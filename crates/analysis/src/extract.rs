@@ -1,0 +1,455 @@
+//! Variable location and VUC extraction (paper §III–§IV).
+//!
+//! A *target instruction* is a memory-access or dereference
+//! instruction whose memory operand is frame-relative — it operates
+//! exactly one variable. For every target instruction we cut a
+//! **Variable Usage Context**: the instruction plus `WINDOW`
+//! instructions before and after (within the owning function,
+//! BLANK-padded at the edges), generalized per Table II. VUCs whose
+//! targets resolve to the same stack slot belong to the same variable
+//! — the grouping the voting stage uses.
+
+use cati_asm::binary::Binary;
+use cati_asm::codec::Located;
+use cati_asm::fmt::NoSymbols;
+use cati_asm::generalize::{generalize, GenInsn};
+use cati_asm::insn::MemAccess;
+use cati_asm::reg::Gpr;
+use cati_dwarf::{Debin17, DebugInfo, DwarfError, TypeClass, VarLocation};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Context window radius: 10 instructions each side (paper §II-A).
+pub const WINDOW: usize = 10;
+/// Total VUC length: forward + target + backward.
+pub const VUC_LEN: usize = 2 * WINDOW + 1;
+
+/// Identifies one variable inside one binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarKey {
+    /// Index of the owning function.
+    pub func: u32,
+    /// Canonical slot base offset from the frame base.
+    pub offset: i32,
+}
+
+/// One recovered variable with its VUC group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Variable {
+    /// Identity.
+    pub key: VarKey,
+    /// Source name, when labeled from debug info.
+    pub name: Option<String>,
+    /// Ground-truth class (19-way), when labeled.
+    pub class: Option<TypeClass>,
+    /// Ground-truth label for the DEBIN comparison task, when labeled.
+    pub debin: Option<Debin17>,
+    /// Indices into [`Extraction::vucs`] of this variable's VUCs.
+    pub vucs: Vec<u32>,
+}
+
+/// One Variable Usage Context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vuc {
+    /// Exactly [`VUC_LEN`] generalized instructions; index [`WINDOW`]
+    /// is the target instruction.
+    pub insns: Vec<GenInsn>,
+    /// Index of the owning variable in [`Extraction::vars`].
+    pub var: u32,
+    /// Ground-truth class of each *context* position's operated
+    /// variable (`None` when the position is not a target instruction
+    /// of a labeled variable) — drives the clustering statistics of
+    /// paper Table V.
+    pub context_classes: Vec<Option<TypeClass>>,
+}
+
+impl Vuc {
+    /// Ground-truth class of the target variable, when labeled.
+    pub fn class(&self, vars: &[Variable]) -> Option<TypeClass> {
+        vars[self.var as usize].class
+    }
+}
+
+/// The result of running extraction over one binary.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Extraction {
+    /// Name of the binary.
+    pub binary_name: String,
+    /// Recovered variables.
+    pub vars: Vec<Variable>,
+    /// All extracted VUCs.
+    pub vucs: Vec<Vuc>,
+}
+
+impl Extraction {
+    /// Only the variables carrying a ground-truth class label.
+    pub fn labeled_vars(&self) -> impl Iterator<Item = (usize, &Variable)> {
+        self.vars.iter().enumerate().filter(|(_, v)| v.class.is_some())
+    }
+}
+
+/// How VUC features should be generalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureView {
+    /// Use the binary's symbol table (training view: call targets
+    /// resolve to `FUNC`).
+    WithSymbols,
+    /// Pretend the binary is stripped (test view: call targets
+    /// generalize to `BLANK`).
+    Stripped,
+}
+
+/// Error during extraction.
+#[derive(Debug)]
+pub enum ExtractError {
+    /// The binary carries no debug section but labeling was requested.
+    NoDebugInfo,
+    /// The debug section is corrupt.
+    Dwarf(DwarfError),
+    /// The text section does not decode.
+    Decode(cati_asm::codec::DecodeError),
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::NoDebugInfo => write!(f, "binary has no debug information"),
+            ExtractError::Dwarf(e) => write!(f, "bad debug section: {e}"),
+            ExtractError::Decode(e) => write!(f, "undecodable text section: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+impl From<DwarfError> for ExtractError {
+    fn from(e: DwarfError) -> Self {
+        ExtractError::Dwarf(e)
+    }
+}
+
+impl From<cati_asm::codec::DecodeError> for ExtractError {
+    fn from(e: cati_asm::codec::DecodeError) -> Self {
+        ExtractError::Decode(e)
+    }
+}
+
+/// Detects the frame base of a function from its prologue: a
+/// `push %rbp; mov %rsp,%rbp` pair means `%rbp`-based frames,
+/// otherwise accesses are `%rsp`-relative.
+pub fn detect_frame_base(insns: &[Located]) -> Gpr {
+    use cati_asm::mnemonic::Mnemonic;
+    use cati_asm::reg::regs;
+    for w in insns.windows(2).take(4) {
+        let a = &w[0].insn;
+        let b = &w[1].insn;
+        if a.mnemonic == Mnemonic::PushQ
+            && a.operands.first().and_then(|o| o.as_gpr()).map(|r| r.is_bp()) == Some(true)
+            && b.mnemonic == Mnemonic::MovQ
+            && b.operands.first().and_then(|o| o.as_gpr()).map(|r| r.is_sp()) == Some(true)
+            && b.operands.get(1).and_then(|o| o.as_gpr()).map(|r| r.is_bp()) == Some(true)
+        {
+            return regs::rbp();
+        }
+    }
+    regs::rsp()
+}
+
+/// Splits a linear-sweep listing into functions.
+///
+/// With a symbol table the split is exact; otherwise every `ret` ends
+/// a function — correct for this substrate, and the approach linear
+/// disassemblers fall back to on stripped input.
+pub fn split_functions(insns: &[Located], binary: &Binary) -> Vec<(usize, usize)> {
+    if !binary.symbols.is_empty() {
+        let mut out = Vec::new();
+        for sym in &binary.symbols {
+            if sym.addr < binary.text_base {
+                continue; // PLT pseudo-symbols live below the text base
+            }
+            let start = insns.partition_point(|l| l.addr < sym.addr);
+            let end = insns.partition_point(|l| l.addr < sym.addr + sym.len);
+            if start < end {
+                out.push((start, end));
+            }
+        }
+        out.sort_unstable();
+        return out;
+    }
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (i, l) in insns.iter().enumerate() {
+        if l.insn.mnemonic == cati_asm::mnemonic::Mnemonic::Ret {
+            out.push((start, i + 1));
+            start = i + 1;
+        }
+    }
+    if start < insns.len() {
+        out.push((start, insns.len()));
+    }
+    out
+}
+
+/// The frame-slot offset a target instruction touches, if its memory
+/// operand is relative to `base` (directly or via a scaled index).
+fn frame_offset_of(located: &Located, base: Gpr) -> Option<(i32, MemAccess)> {
+    let (mem, access) = located.insn.mem_operand()?;
+    let mem_base = mem.base?;
+    (mem_base.num() == base.num()).then_some((mem.disp, access))
+}
+
+/// Extracts variables and VUCs from `binary`.
+///
+/// When the binary has a debug section, variables are labeled with
+/// their ground-truth classes (typedefs resolved recursively); when it
+/// does not, variables are recovered from the access pattern alone:
+/// every maximal cluster of accessed offsets becomes one variable —
+/// the posture of the inference pipeline on unseen stripped binaries.
+///
+/// # Errors
+///
+/// Fails if the text section does not decode or the debug section is
+/// corrupt.
+pub fn extract(binary: &Binary, view: FeatureView) -> Result<Extraction, ExtractError> {
+    let insns = binary.disassemble()?;
+    let debug = match &binary.debug {
+        Some(bytes) => Some(DebugInfo::parse(bytes)?),
+        None => None,
+    };
+    let functions = split_functions(&insns, binary);
+
+    let mut vars: Vec<Variable> = Vec::new();
+    let mut var_index: HashMap<VarKey, u32> = HashMap::new();
+    let mut vucs: Vec<Vuc> = Vec::new();
+
+    // Per-function: find targets, resolve to variables, cut windows.
+    for (func_idx, &(start, end)) in functions.iter().enumerate() {
+        let body = &insns[start..end];
+        let base = detect_frame_base(body);
+        let func_entry = body.first().map(|l| l.addr).unwrap_or(0);
+        let debug_func = debug
+            .as_ref()
+            .and_then(|d| d.functions.iter().find(|f| f.entry == func_entry));
+
+        // First pass: per-instruction variable resolution.
+        let mut insn_var: Vec<Option<u32>> = vec![None; body.len()];
+        for (i, located) in body.iter().enumerate() {
+            let Some((disp, _access)) = frame_offset_of(located, base) else {
+                continue;
+            };
+            // Resolve to a canonical variable.
+            let resolved = match (&debug, debug_func) {
+                (Some(di), Some(df)) => {
+                    di.var_at_frame_offset(df, disp).map(|vr| {
+                        let VarLocation::Frame(slot) = vr.location else { unreachable!() };
+                        (slot, Some(vr))
+                    })
+                }
+                _ => Some((disp, None)),
+            };
+            let Some((slot, var_record)) = resolved else {
+                continue; // access outside any recorded variable
+            };
+            let key = VarKey { func: func_idx as u32, offset: slot };
+            let vid = *var_index.entry(key).or_insert_with(|| {
+                vars.push(Variable {
+                    key,
+                    name: var_record.map(|r| r.name.clone()),
+                    class: var_record.and_then(|r| TypeClass::of(&r.ty)),
+                    debin: var_record.and_then(|r| Debin17::of(&r.ty)),
+                    vucs: Vec::new(),
+                });
+                (vars.len() - 1) as u32
+            });
+            // Unlabeled (or union/void-typed) variables are recovered
+            // but carry no class; they still get VUCs in stripped mode.
+            insn_var[i] = Some(vid);
+        }
+
+        // Second pass: cut VUC windows.
+        for (i, _located) in body.iter().enumerate() {
+            let Some(vid) = insn_var[i] else { continue };
+            // In labeled mode, skip variables the paper excludes
+            // (no class) — they are still counted as recovered.
+            if debug.is_some() && vars[vid as usize].class.is_none() {
+                continue;
+            }
+            let mut window = Vec::with_capacity(VUC_LEN);
+            let mut context_classes = Vec::with_capacity(VUC_LEN);
+            for j in i as i64 - WINDOW as i64..=i as i64 + WINDOW as i64 {
+                if j < 0 || j as usize >= body.len() {
+                    window.push(GenInsn::blank());
+                    context_classes.push(None);
+                    continue;
+                }
+                let j = j as usize;
+                let gen = match view {
+                    FeatureView::WithSymbols => generalize(&body[j].insn, binary),
+                    FeatureView::Stripped => generalize(&body[j].insn, &NoSymbols),
+                };
+                window.push(gen);
+                context_classes.push(
+                    insn_var[j].and_then(|v| vars[v as usize].class),
+                );
+            }
+            let vuc_id = vucs.len() as u32;
+            vucs.push(Vuc { insns: window, var: vid, context_classes });
+            vars[vid as usize].vucs.push(vuc_id);
+        }
+    }
+
+    // Drop variables that ended up with no VUCs (e.g. labeled-mode
+    // variables of excluded classes), remapping indices.
+    let mut remap = vec![u32::MAX; vars.len()];
+    let mut kept = Vec::with_capacity(vars.len());
+    for (old, var) in vars.into_iter().enumerate() {
+        if var.vucs.is_empty() {
+            continue;
+        }
+        remap[old] = kept.len() as u32;
+        kept.push(var);
+    }
+    for vuc in &mut vucs {
+        vuc.var = remap[vuc.var as usize];
+        debug_assert_ne!(vuc.var, u32::MAX);
+    }
+
+    Ok(Extraction { binary_name: binary.name.clone(), vars: kept, vucs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cati_synbin::{build_app, AppProfile, CodegenOptions, Compiler, OptLevel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_binary(opt: OptLevel, seed: u64) -> Binary {
+        let profile = AppProfile::new("unit");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opts = CodegenOptions { compiler: Compiler::Gcc, opt };
+        build_app(&profile, opts, 0.5, &mut rng).remove(0).binary
+    }
+
+    #[test]
+    fn labeled_extraction_finds_variables() {
+        let bin = sample_binary(OptLevel::O0, 1);
+        let ex = extract(&bin, FeatureView::WithSymbols).unwrap();
+        assert!(ex.vars.len() > 5, "found only {} vars", ex.vars.len());
+        assert!(ex.vucs.len() >= ex.vars.len());
+        // Every labeled variable's VUCs point back at it.
+        for (i, var) in ex.vars.iter().enumerate() {
+            assert!(!var.vucs.is_empty());
+            for &v in &var.vucs {
+                assert_eq!(ex.vucs[v as usize].var, i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn vucs_are_exactly_21_instructions() {
+        let bin = sample_binary(OptLevel::O0, 2);
+        let ex = extract(&bin, FeatureView::WithSymbols).unwrap();
+        for vuc in &ex.vucs {
+            assert_eq!(vuc.insns.len(), VUC_LEN);
+            assert_eq!(vuc.context_classes.len(), VUC_LEN);
+        }
+    }
+
+    #[test]
+    fn center_instruction_is_never_blank() {
+        let bin = sample_binary(OptLevel::O2, 3);
+        let ex = extract(&bin, FeatureView::WithSymbols).unwrap();
+        for vuc in &ex.vucs {
+            assert_ne!(vuc.insns[WINDOW].mnemonic(), "BLANK");
+        }
+    }
+
+    #[test]
+    fn stripped_view_has_no_func_tokens() {
+        let bin = sample_binary(OptLevel::O0, 4);
+        let labeled = extract(&bin, FeatureView::WithSymbols).unwrap();
+        let stripped = extract(&bin, FeatureView::Stripped).unwrap();
+        let has_func = |ex: &Extraction| {
+            ex.vucs
+                .iter()
+                .flat_map(|v| v.insns.iter())
+                .any(|g| g.iter().any(|t| t == "FUNC"))
+        };
+        assert!(has_func(&labeled), "symbolized view should contain FUNC tokens");
+        assert!(!has_func(&stripped));
+    }
+
+    #[test]
+    fn stripped_binary_still_yields_variables() {
+        let bin = sample_binary(OptLevel::O0, 5).strip();
+        let ex = extract(&bin, FeatureView::Stripped).unwrap();
+        assert!(!ex.vars.is_empty());
+        assert!(ex.vars.iter().all(|v| v.class.is_none() && v.name.is_none()));
+    }
+
+    #[test]
+    fn oracle_and_stripped_agree_on_rbp_functions() {
+        // At -O0 every access is rbp-relative with the slot base equal
+        // to the declared frame offset for scalar variables, so the
+        // stripped recovery should find at least as many variables.
+        let bin = sample_binary(OptLevel::O0, 6);
+        let labeled = extract(&bin, FeatureView::WithSymbols).unwrap();
+        let stripped = extract(&bin.strip(), FeatureView::Stripped).unwrap();
+        assert!(
+            stripped.vars.len() >= labeled.vars.len(),
+            "stripped {} < labeled {}",
+            stripped.vars.len(),
+            labeled.vars.len()
+        );
+    }
+
+    #[test]
+    fn struct_member_accesses_group_to_one_variable() {
+        // Find a variable labeled `struct` with several VUCs whose
+        // target offsets differ — member stores resolved to one slot.
+        let mut found = false;
+        for seed in 0..30 {
+            let bin = sample_binary(OptLevel::O0, seed);
+            let ex = extract(&bin, FeatureView::WithSymbols).unwrap();
+            for var in &ex.vars {
+                if var.class == Some(TypeClass::Struct) && var.vucs.len() >= 2 {
+                    found = true;
+                }
+            }
+            if found {
+                break;
+            }
+        }
+        assert!(found, "no struct variable with grouped member accesses in 30 binaries");
+    }
+
+    #[test]
+    fn typedefs_resolve_in_labels() {
+        // Typedef'd ints must label as Int, not as their alias.
+        let mut any_labeled = 0;
+        for seed in 0..5 {
+            let bin = sample_binary(OptLevel::O0, seed + 100);
+            let ex = extract(&bin, FeatureView::WithSymbols).unwrap();
+            any_labeled += ex.labeled_vars().count();
+        }
+        assert!(any_labeled > 20);
+    }
+
+    #[test]
+    fn function_split_matches_symbols() {
+        let bin = sample_binary(OptLevel::O1, 7);
+        let insns = bin.disassemble().unwrap();
+        let funcs = split_functions(&insns, &bin);
+        let n_real_syms = bin
+            .symbols
+            .iter()
+            .filter(|s| s.addr >= bin.text_base)
+            .count();
+        assert_eq!(funcs.len(), n_real_syms);
+        // Stripped split-by-ret finds the same count here.
+        let stripped = bin.strip();
+        let funcs2 = split_functions(&insns, &stripped);
+        assert_eq!(funcs2.len(), funcs.len());
+    }
+}

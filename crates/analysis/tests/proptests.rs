@@ -1,0 +1,77 @@
+//! Property tests: extraction is total over arbitrary generated
+//! binaries, in both the labeled and the stripped posture.
+
+use cati_analysis::{extract, FeatureView, VUC_LEN};
+use cati_synbin::{
+    generate_program, link_program, AppProfile, CodegenOptions, Compiler, OptLevel,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_opts() -> impl Strategy<Value = CodegenOptions> {
+    (0usize..2, 0u8..4).prop_map(|(c, o)| CodegenOptions {
+        compiler: Compiler::ALL[c],
+        opt: OptLevel(o),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn extraction_is_total_over_seeds(seed in any::<u64>(), opts in arb_opts()) {
+        let profile = AppProfile::new("prop");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = generate_program("p", &profile, &mut rng);
+        let binary = link_program(&program, opts, &mut rng);
+
+        let ex = extract(&binary, FeatureView::WithSymbols).unwrap();
+        for vuc in &ex.vucs {
+            prop_assert_eq!(vuc.insns.len(), VUC_LEN);
+            prop_assert!((vuc.var as usize) < ex.vars.len());
+            // Labeled-mode VUCs always resolve to a classified variable.
+            prop_assert!(vuc.class(&ex.vars).is_some());
+        }
+        // Variable VUC lists and VUC back-pointers agree.
+        for (i, var) in ex.vars.iter().enumerate() {
+            for &v in &var.vucs {
+                prop_assert_eq!(ex.vucs[v as usize].var as usize, i);
+            }
+        }
+
+        // Stripped extraction is total and unlabeled.
+        let sx = extract(&binary.strip(), FeatureView::Stripped).unwrap();
+        for var in &sx.vars {
+            prop_assert!(var.class.is_none());
+            prop_assert!(var.name.is_none());
+        }
+    }
+
+    #[test]
+    fn label_offsets_cover_stripped_offsets(seed in 0u64..500) {
+        // Every labeled variable's slot is also discovered by the
+        // symbol-free recovery (it may find more — unclassified slots).
+        let profile = AppProfile::new("cover");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = generate_program("p", &profile, &mut rng);
+        let binary = link_program(
+            &program,
+            CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O0 },
+            &mut rng,
+        );
+        let labeled = extract(&binary, FeatureView::WithSymbols).unwrap();
+        let stripped = extract(&binary.strip(), FeatureView::Stripped).unwrap();
+        let keys: std::collections::HashSet<_> =
+            stripped.vars.iter().map(|v| v.key).collect();
+        let covered = labeled.vars.iter().filter(|v| keys.contains(&v.key)).count();
+        // Struct member accesses collapse to the slot base in labeled
+        // mode but appear at member offsets in stripped mode, so
+        // coverage of exact keys is partial; require a majority.
+        prop_assert!(
+            covered * 2 >= labeled.vars.len(),
+            "{covered}/{} labeled slots found on stripped input",
+            labeled.vars.len()
+        );
+    }
+}

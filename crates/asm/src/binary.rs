@@ -1,0 +1,135 @@
+//! The binary container: text section, symbol table, debug section.
+//!
+//! Mirrors the parts of an ELF executable the CATI pipeline touches: a
+//! code section mapped at a base address, a symbol table (function
+//! names), and an optional debug-information payload. [`Binary::strip`]
+//! removes symbols and debug info exactly the way `strip(1)` does.
+
+use crate::codec::{self, DecodeError, Located};
+use crate::fmt::SymbolResolver;
+use serde::{Deserialize, Serialize};
+
+/// A function symbol: name and code range.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Virtual address of the first instruction.
+    pub addr: u64,
+    /// Code length in bytes.
+    pub len: u64,
+}
+
+/// An executable image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Binary {
+    /// Name of the binary (e.g. the application it belongs to).
+    pub name: String,
+    /// Encoded text section.
+    pub text: Vec<u8>,
+    /// Virtual base address of the text section.
+    pub text_base: u64,
+    /// Function symbols (empty after stripping).
+    pub symbols: Vec<Symbol>,
+    /// Serialized debug-information section (absent after stripping).
+    pub debug: Option<Vec<u8>>,
+}
+
+impl Binary {
+    /// Default base address used by the synthetic linker.
+    pub const DEFAULT_BASE: u64 = 0x40_1000;
+
+    /// Disassembles the whole text section by linear sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodeError`] from the decoder.
+    pub fn disassemble(&self) -> Result<Vec<Located>, DecodeError> {
+        codec::linear_sweep(&self.text, self.text_base)
+    }
+
+    /// Returns a stripped copy: no symbols, no debug info, same code.
+    pub fn strip(&self) -> Binary {
+        Binary {
+            name: self.name.clone(),
+            text: self.text.clone(),
+            text_base: self.text_base,
+            symbols: Vec::new(),
+            debug: None,
+        }
+    }
+
+    /// Whether the binary has been stripped.
+    pub fn is_stripped(&self) -> bool {
+        self.symbols.is_empty() && self.debug.is_none()
+    }
+
+    /// The symbol covering `addr`, if any.
+    pub fn symbol_at(&self, addr: u64) -> Option<&Symbol> {
+        self.symbols
+            .iter()
+            .find(|s| s.addr <= addr && addr < s.addr + s.len.max(1))
+    }
+}
+
+impl SymbolResolver for Binary {
+    fn symbol_at(&self, addr: u64) -> Option<&str> {
+        Binary::symbol_at(self, addr).map(|s| s.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmt::format_insn;
+    use crate::insn::{Insn, Operand};
+    use crate::mnemonic::Mnemonic;
+    use crate::reg::regs;
+
+    fn sample() -> Binary {
+        let insns = vec![
+            Insn::op1(Mnemonic::PushQ, regs::rbp()),
+            Insn::op2(Mnemonic::MovQ, regs::rsp(), regs::rbp()),
+            Insn::op1(Mnemonic::CallQ, Operand::Addr(Binary::DEFAULT_BASE)),
+            Insn::op0(Mnemonic::Ret),
+        ];
+        let text = codec::encode_all(&insns);
+        let len = text.len() as u64;
+        Binary {
+            name: "demo".into(),
+            text,
+            text_base: Binary::DEFAULT_BASE,
+            symbols: vec![Symbol { name: "main".into(), addr: Binary::DEFAULT_BASE, len }],
+            debug: Some(vec![1, 2, 3]),
+        }
+    }
+
+    #[test]
+    fn disassemble_roundtrip() {
+        let b = sample();
+        let insns = b.disassemble().unwrap();
+        assert_eq!(insns.len(), 4);
+        assert_eq!(insns[0].addr, Binary::DEFAULT_BASE);
+    }
+
+    #[test]
+    fn strip_removes_symbols_and_debug() {
+        let b = sample();
+        assert!(!b.is_stripped());
+        let s = b.strip();
+        assert!(s.is_stripped());
+        assert_eq!(s.text, b.text);
+        // Symbolized formatting degrades gracefully.
+        let insns = s.disassemble().unwrap();
+        let call = &insns[2].insn;
+        assert_eq!(format_insn(call, &b), "callq 0x401000 <main>");
+        assert_eq!(format_insn(call, &s), "callq 0x401000");
+    }
+
+    #[test]
+    fn symbol_lookup_by_range() {
+        let b = sample();
+        assert_eq!(b.symbol_at(Binary::DEFAULT_BASE + 2).unwrap().name, "main");
+        assert!(b.symbol_at(0).is_none());
+    }
+}

@@ -1,0 +1,362 @@
+//! Byte encoding of instructions — the "machine code" of the
+//! synthetic substrate.
+//!
+//! Real CATI consumes objdump/IDA disassembly of x86-64 machine code;
+//! the classifier never sees raw bytes, only the instruction stream.
+//! We therefore keep full *instruction-level* fidelity but replace the
+//! Intel opcode maps with a compact reversible encoding (opcode byte =
+//! mnemonic index, ModRM-inspired operand encoding, variable length).
+//! Linear-sweep disassembly, section layout, stripping and symbol
+//! resolution all behave exactly as they would over real machine code.
+
+use crate::insn::{Insn, MemRef, Operand};
+use crate::mnemonic::Mnemonic;
+use crate::reg::{Gpr, Width, Xmm};
+use std::error::Error;
+use std::fmt;
+
+/// Error decoding an instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended mid-instruction.
+    Truncated {
+        /// Offset of the instruction being decoded.
+        at: usize,
+    },
+    /// Unknown opcode byte.
+    BadOpcode {
+        /// Offset of the opcode byte.
+        at: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+    /// Malformed operand payload.
+    BadOperand {
+        /// Offset of the instruction being decoded.
+        at: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { at } => write!(f, "instruction truncated at offset {at}"),
+            DecodeError::BadOpcode { at, byte } => {
+                write!(f, "unknown opcode 0x{byte:02x} at offset {at}")
+            }
+            DecodeError::BadOperand { at } => write!(f, "malformed operand at offset {at}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+const TAG_REG: u8 = 0;
+const TAG_XMM: u8 = 1;
+const TAG_IMM8: u8 = 2;
+const TAG_IMM32: u8 = 3;
+const TAG_IMM64: u8 = 4;
+const TAG_MEM: u8 = 5;
+const TAG_ABS: u8 = 6;
+const TAG_ADDR: u8 = 7;
+
+fn width_code(w: Width) -> u8 {
+    match w {
+        Width::B1 => 0,
+        Width::B2 => 1,
+        Width::B4 => 2,
+        Width::B8 => 3,
+    }
+}
+
+fn width_from_code(c: u8) -> Option<Width> {
+    match c {
+        0 => Some(Width::B1),
+        1 => Some(Width::B2),
+        2 => Some(Width::B4),
+        3 => Some(Width::B8),
+        _ => None,
+    }
+}
+
+fn encode_operand(out: &mut Vec<u8>, op: &Operand) {
+    match op {
+        Operand::Reg(r) => {
+            out.push(TAG_REG);
+            out.push((width_code(r.width()) << 4) | r.num());
+        }
+        Operand::Xmm(x) => {
+            out.push(TAG_XMM);
+            out.push(x.num());
+        }
+        Operand::Imm(v) => {
+            if let Ok(b) = i8::try_from(*v) {
+                out.push(TAG_IMM8);
+                out.push(b as u8);
+            } else if let Ok(d) = i32::try_from(*v) {
+                out.push(TAG_IMM32);
+                out.extend_from_slice(&d.to_le_bytes());
+            } else {
+                out.push(TAG_IMM64);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Operand::Mem(m) => {
+            out.push(TAG_MEM);
+            // flags: bit0 = has base, bit1 = has index.
+            let flags =
+                u8::from(m.base.is_some()) | (u8::from(m.index.is_some()) << 1);
+            out.push(flags);
+            if let Some(b) = m.base {
+                out.push(b.num());
+            }
+            if let Some((i, s)) = m.index {
+                out.push(i.num());
+                out.push(s);
+            }
+            out.extend_from_slice(&m.disp.to_le_bytes());
+        }
+        Operand::Abs(a) => {
+            out.push(TAG_ABS);
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+        Operand::Addr(a) => {
+            out.push(TAG_ADDR);
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+    }
+}
+
+/// Appends the encoding of `insn` to `out`, returning the number of
+/// bytes written.
+pub fn encode_insn(out: &mut Vec<u8>, insn: &Insn) -> usize {
+    let start = out.len();
+    out.push(insn.mnemonic.opcode());
+    out.push(insn.operands.len() as u8);
+    for op in &insn.operands {
+        encode_operand(out, op);
+    }
+    out.len() - start
+}
+
+/// Encodes a sequence of instructions into a fresh byte vector.
+pub fn encode_all(insns: &[Insn]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(insns.len() * 8);
+    for insn in insns {
+        encode_insn(&mut out, insn);
+    }
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    start: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(DecodeError::Truncated { at: self.start })?;
+        self.pos += 1;
+        Ok(b)
+    }
+    fn bytes<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        if self.pos + N > self.buf.len() {
+            return Err(DecodeError::Truncated { at: self.start });
+        }
+        let arr = self.buf[self.pos..self.pos + N].try_into().unwrap();
+        self.pos += N;
+        Ok(arr)
+    }
+}
+
+fn decode_operand(c: &mut Cursor<'_>) -> Result<Operand, DecodeError> {
+    let at = c.start;
+    Ok(match c.u8()? {
+        TAG_REG => {
+            let b = c.u8()?;
+            let width = width_from_code(b >> 4).ok_or(DecodeError::BadOperand { at })?;
+            let num = b & 0x0f;
+            Operand::Reg(Gpr::new(num, width))
+        }
+        TAG_XMM => {
+            let n = c.u8()?;
+            if n >= 16 {
+                return Err(DecodeError::BadOperand { at });
+            }
+            Operand::Xmm(Xmm::new(n))
+        }
+        TAG_IMM8 => Operand::Imm(c.u8()? as i8 as i64),
+        TAG_IMM32 => Operand::Imm(i32::from_le_bytes(c.bytes()?) as i64),
+        TAG_IMM64 => Operand::Imm(i64::from_le_bytes(c.bytes()?)),
+        TAG_MEM => {
+            let flags = c.u8()?;
+            if flags > 3 {
+                return Err(DecodeError::BadOperand { at });
+            }
+            let base = if flags & 1 != 0 {
+                let n = c.u8()?;
+                if n >= 16 {
+                    return Err(DecodeError::BadOperand { at });
+                }
+                Some(Gpr::new(n, Width::B8))
+            } else {
+                None
+            };
+            let index = if flags & 2 != 0 {
+                let n = c.u8()?;
+                let s = c.u8()?;
+                if n >= 16 || !matches!(s, 1 | 2 | 4 | 8) {
+                    return Err(DecodeError::BadOperand { at });
+                }
+                Some((Gpr::new(n, Width::B8), s))
+            } else {
+                None
+            };
+            let disp = i32::from_le_bytes(c.bytes()?);
+            Operand::Mem(MemRef { base, index, disp })
+        }
+        TAG_ABS => Operand::Abs(u64::from_le_bytes(c.bytes()?)),
+        TAG_ADDR => Operand::Addr(u64::from_le_bytes(c.bytes()?)),
+        _ => return Err(DecodeError::BadOperand { at }),
+    })
+}
+
+/// Decodes a single instruction starting at `buf[offset..]`, returning
+/// the instruction and its encoded length.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation, an unknown opcode, or a
+/// malformed operand payload.
+pub fn decode_insn(buf: &[u8], offset: usize) -> Result<(Insn, usize), DecodeError> {
+    let mut c = Cursor { buf, pos: offset, start: offset };
+    let opcode = c.u8()?;
+    let mnemonic = Mnemonic::from_opcode(opcode)
+        .ok_or(DecodeError::BadOpcode { at: offset, byte: opcode })?;
+    let count = c.u8()?;
+    if count > 2 {
+        return Err(DecodeError::BadOperand { at: offset });
+    }
+    let mut operands = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        operands.push(decode_operand(&mut c)?);
+    }
+    Ok((Insn { mnemonic, operands }, c.pos - offset))
+}
+
+/// An instruction paired with its address and encoded length, as
+/// produced by linear sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Located {
+    /// Virtual address of the first byte.
+    pub addr: u64,
+    /// Encoded length in bytes.
+    pub len: u32,
+    /// The instruction.
+    pub insn: Insn,
+}
+
+/// Linear-sweep disassembly of a text section mapped at `base`.
+///
+/// # Errors
+///
+/// Fails on the first undecodable byte — our sections contain pure
+/// code, so any error indicates corruption.
+pub fn linear_sweep(text: &[u8], base: u64) -> Result<Vec<Located>, DecodeError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < text.len() {
+        let (insn, len) = decode_insn(text, pos)?;
+        out.push(Located { addr: base + pos as u64, len: len as u32, insn });
+        pos += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::regs;
+
+    fn samples() -> Vec<Insn> {
+        vec![
+            Insn::op1(Mnemonic::PushQ, regs::rbp()),
+            Insn::op2(Mnemonic::MovQ, regs::rsp(), regs::rbp()),
+            Insn::op2(Mnemonic::MovL, Operand::Imm(0x100), MemRef::base_disp(regs::rsp(), 0xb8)),
+            Insn::op2(
+                Mnemonic::LeaQ,
+                MemRef::base_index(regs::rbp(), regs::r9(), 4, -0x300),
+                regs::rax(),
+            ),
+            Insn::op1(Mnemonic::CallQ, Operand::Addr(0x4044d0)),
+            Insn::op2(Mnemonic::MovabsQ, Operand::Imm(0x1234_5678_9abc), regs::rdi()),
+            Insn::op2(Mnemonic::Movsd, MemRef::base_disp(regs::rbp(), -0x10), Operand::Xmm(Xmm::new(0))),
+            Insn::op2(Mnemonic::MovQ, Operand::Abs(0x601040), regs::rax()),
+            Insn::op0(Mnemonic::Ret),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_each() {
+        for insn in samples() {
+            let mut buf = Vec::new();
+            let len = encode_insn(&mut buf, &insn);
+            assert_eq!(len, buf.len());
+            let (decoded, dlen) = decode_insn(&buf, 0).unwrap();
+            assert_eq!(decoded, insn);
+            assert_eq!(dlen, len);
+        }
+    }
+
+    #[test]
+    fn linear_sweep_recovers_stream() {
+        let insns = samples();
+        let bytes = encode_all(&insns);
+        let decoded = linear_sweep(&bytes, 0x401000).unwrap();
+        assert_eq!(decoded.len(), insns.len());
+        assert_eq!(decoded[0].addr, 0x401000);
+        for (d, orig) in decoded.iter().zip(&insns) {
+            assert_eq!(&d.insn, orig);
+        }
+        // Addresses are contiguous.
+        for w in decoded.windows(2) {
+            assert_eq!(w[0].addr + w[0].len as u64, w[1].addr);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode_all(&samples());
+        assert!(matches!(
+            decode_insn(&bytes[..1], 0),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // Chopping the stream anywhere strictly inside an instruction fails.
+        let (_, first_len) = decode_insn(&bytes, 0).unwrap();
+        for cut in 1..first_len {
+            assert!(decode_insn(&bytes[..cut], 0).is_err());
+        }
+    }
+
+    #[test]
+    fn bad_opcode_is_detected() {
+        let bytes = vec![0xff, 0x00];
+        assert!(matches!(
+            decode_insn(&bytes, 0),
+            Err(DecodeError::BadOpcode { byte: 0xff, .. })
+        ));
+    }
+
+    #[test]
+    fn small_immediates_use_short_form() {
+        let mut short = Vec::new();
+        encode_insn(&mut short, &Insn::op2(Mnemonic::AddQ, Operand::Imm(8), regs::rsp()));
+        let mut long = Vec::new();
+        encode_insn(&mut long, &Insn::op2(Mnemonic::AddQ, Operand::Imm(0x1000), regs::rsp()));
+        assert!(short.len() < long.len());
+    }
+}

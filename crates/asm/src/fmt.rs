@@ -1,0 +1,197 @@
+//! AT&T-syntax formatting, objdump style.
+//!
+//! Two knobs matter for CATI's token stream:
+//!
+//! - width suffixes are elided when a register operand pins the width
+//!   (`mov %rax,0xb0(%rsp)` vs `movl $0x100,0xb8(%rsp)`), and
+//! - call/jump targets print as hex addresses, optionally followed by
+//!   `<symbol>` when a symbol table is supplied — which is exactly the
+//!   part stripping removes.
+
+use crate::insn::{Insn, MemRef, Operand};
+use std::fmt;
+
+/// Resolves a code address to a symbol name, objdump's `<name>` part.
+pub trait SymbolResolver {
+    /// The symbol covering `addr`, if any.
+    fn symbol_at(&self, addr: u64) -> Option<&str>;
+}
+
+/// A resolver that knows no symbols — a stripped binary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoSymbols;
+
+impl SymbolResolver for NoSymbols {
+    fn symbol_at(&self, _addr: u64) -> Option<&str> {
+        None
+    }
+}
+
+fn fmt_hex(f: &mut fmt::Formatter<'_>, v: i64) -> fmt::Result {
+    if v < 0 {
+        write!(f, "-0x{:x}", -(v as i128))
+    } else {
+        write!(f, "0x{v:x}")
+    }
+}
+
+struct DisplayMem(MemRef);
+
+impl fmt::Display for DisplayMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.0;
+        if m.disp != 0 || (m.base.is_none() && m.index.is_none()) {
+            fmt_hex(f, m.disp as i64)?;
+        }
+        match (m.base, m.index) {
+            (None, None) => Ok(()),
+            (Some(b), None) => write!(f, "({b})"),
+            (Some(b), Some((i, s))) => write!(f, "({b},{i},{s})"),
+            (None, Some((i, s))) => write!(f, "(,{i},{s})"),
+        }
+    }
+}
+
+/// Formats one operand.
+struct DisplayOperand<'a, R: SymbolResolver> {
+    op: &'a Operand,
+    symbols: &'a R,
+}
+
+impl<R: SymbolResolver> fmt::Display for DisplayOperand<'_, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Xmm(x) => write!(f, "{x}"),
+            Operand::Imm(v) => {
+                write!(f, "$")?;
+                fmt_hex(f, *v)
+            }
+            Operand::Mem(m) => write!(f, "{}", DisplayMem(*m)),
+            Operand::Abs(a) => write!(f, "0x{a:x}"),
+            Operand::Addr(a) => {
+                write!(f, "0x{a:x}")?;
+                if let Some(sym) = self.symbols.symbol_at(*a) {
+                    write!(f, " <{sym}>")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Renders `insn` in AT&T syntax with objdump conventions, resolving
+/// call/jump targets through `symbols`.
+pub fn format_insn<R: SymbolResolver>(insn: &Insn, symbols: &R) -> String {
+    let name = if insn.has_reg_operand() {
+        insn.mnemonic.base_name()
+    } else {
+        insn.mnemonic.full_name()
+    };
+    if insn.operands.is_empty() {
+        return name.to_string();
+    }
+    let ops: Vec<String> = insn
+        .operands
+        .iter()
+        .map(|op| DisplayOperand { op, symbols }.to_string())
+        .collect();
+    format!("{name} {}", ops.join(","))
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_insn(self, &NoSymbols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnemonic::Mnemonic;
+    use crate::reg::{regs, Width};
+
+    struct OneSym;
+    impl SymbolResolver for OneSym {
+        fn symbol_at(&self, addr: u64) -> Option<&str> {
+            (addr == 0x4044d0).then_some("memchr@plt")
+        }
+    }
+
+    #[test]
+    fn suffix_kept_for_imm_to_mem() {
+        let i = Insn::op2(
+            Mnemonic::MovL,
+            Operand::Imm(0x100),
+            MemRef::base_disp(regs::rsp(), 0xb8),
+        );
+        assert_eq!(i.to_string(), "movl $0x100,0xb8(%rsp)");
+    }
+
+    #[test]
+    fn suffix_elided_with_reg_operand() {
+        let i = Insn::op2(Mnemonic::MovQ, regs::rax(), MemRef::base_disp(regs::rsp(), 0xb0));
+        assert_eq!(i.to_string(), "mov %rax,0xb0(%rsp)");
+    }
+
+    #[test]
+    fn lea_prints_unsuffixed() {
+        let i = Insn::op2(Mnemonic::LeaQ, MemRef::base_disp(regs::rsp(), 0x220), regs::rax());
+        assert_eq!(i.to_string(), "lea 0x220(%rsp),%rax");
+    }
+
+    #[test]
+    fn base_index_scale() {
+        let i = Insn::op2(
+            Mnemonic::LeaQ,
+            MemRef::base_index(regs::rdi(), regs::rsi(), 1, 0),
+            Operand::Reg(regs::r15()),
+        );
+        assert_eq!(i.to_string(), "lea (%rdi,%rsi,1),%r15");
+        let j = Insn::op2(
+            Mnemonic::LeaQ,
+            MemRef::base_index(regs::rbp(), regs::r9(), 4, -0x300),
+            regs::rax(),
+        );
+        assert_eq!(j.to_string(), "lea -0x300(%rbp,%r9,4),%rax");
+    }
+
+    #[test]
+    fn call_with_symbol() {
+        let i = Insn::op1(Mnemonic::CallQ, Operand::Addr(0x4044d0));
+        assert_eq!(format_insn(&i, &OneSym), "callq 0x4044d0 <memchr@plt>");
+        assert_eq!(format_insn(&i, &NoSymbols), "callq 0x4044d0");
+    }
+
+    #[test]
+    fn jump_without_symbol() {
+        let i = Insn::op1(Mnemonic::Jmp, Operand::Addr(0x3bc59));
+        assert_eq!(i.to_string(), "jmp 0x3bc59");
+    }
+
+    #[test]
+    fn negative_disp_and_imm() {
+        let i = Insn::op2(Mnemonic::AddQ, Operand::Imm(-0xd0), regs::rax());
+        assert_eq!(i.to_string(), "add $-0xd0,%rax");
+        let j = Insn::op2(Mnemonic::MovB, Operand::Imm(0), MemRef::base_disp(regs::rbp(), -0x11));
+        assert_eq!(j.to_string(), "movb $0x0,-0x11(%rbp)");
+    }
+
+    #[test]
+    fn zero_operand_and_setcc() {
+        assert_eq!(Insn::op0(Mnemonic::Ret).to_string(), "ret");
+        assert_eq!(Insn::op0(Mnemonic::Cltq).to_string(), "cltq");
+        let s = Insn::op1(Mnemonic::Sete, regs::rax().with_width(Width::B1));
+        assert_eq!(s.to_string(), "sete %al");
+    }
+
+    #[test]
+    fn movzbl_keeps_full_name() {
+        let i = Insn::op2(
+            Mnemonic::Movzbl,
+            MemRef::base_disp(regs::rbp(), -0x9),
+            regs::rax().with_width(Width::B4),
+        );
+        assert_eq!(i.to_string(), "movzbl -0x9(%rbp),%eax");
+    }
+}

@@ -1,0 +1,219 @@
+//! Operand generalization and tokenization (paper §IV-B, Table II).
+//!
+//! Binary-specific values are rewritten to unified placeholder tokens
+//! before embedding:
+//!
+//! - immediate values and displacements → `IMM` (sign preserved,
+//!   scale factors in effective addresses kept — they correlate with
+//!   variable length);
+//! - jump/call target addresses → `ADDR`;
+//! - known call-target symbols → `FUNC`;
+//! - instructions with fewer than two operands are padded with
+//!   `BLANK`, so every instruction tokenizes to exactly
+//!   `[mnemonic, operand, operand]`.
+
+use crate::fmt::SymbolResolver;
+use crate::insn::{Insn, MemRef, Operand};
+use crate::mnemonic::Kind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Padding token for missing operands.
+pub const BLANK: &str = "BLANK";
+/// Placeholder token for branch/call targets.
+pub const ADDR: &str = "ADDR";
+/// Placeholder token for resolved call-target names.
+pub const FUNC: &str = "FUNC";
+
+/// Number of tokens every generalized instruction occupies.
+pub const TOKENS_PER_INSN: usize = 3;
+
+/// A generalized instruction: exactly three tokens.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GenInsn {
+    /// `[mnemonic, operand1, operand2]`, padded with [`BLANK`].
+    pub tokens: [String; TOKENS_PER_INSN],
+}
+
+impl GenInsn {
+    /// The mnemonic token.
+    pub fn mnemonic(&self) -> &str {
+        &self.tokens[0]
+    }
+
+    /// Iterates over all three tokens.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.tokens.iter().map(String::as_str)
+    }
+
+    /// A synthetic all-BLANK instruction, used by the occlusion study
+    /// (paper Eq. 5) to erase one context position.
+    pub fn blank() -> GenInsn {
+        GenInsn {
+            tokens: [BLANK.to_string(), BLANK.to_string(), BLANK.to_string()],
+        }
+    }
+}
+
+impl fmt::Display for GenInsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.tokens[0], self.tokens[1], self.tokens[2])
+    }
+}
+
+fn generalize_mem(m: &MemRef) -> String {
+    let mut s = String::new();
+    if m.disp != 0 {
+        if m.disp < 0 {
+            s.push_str("-0xIMM");
+        } else {
+            s.push_str("0xIMM");
+        }
+    }
+    match (m.base, m.index) {
+        (None, None) => {
+            // Displacement-only reference; ensure the token is non-empty.
+            if s.is_empty() {
+                s.push_str("0xIMM");
+            }
+        }
+        (Some(b), None) => s.push_str(&format!("({b})")),
+        (Some(b), Some((i, sc))) => s.push_str(&format!("({b},{i},{sc})")),
+        (None, Some((i, sc))) => s.push_str(&format!("(,{i},{sc})")),
+    }
+    s
+}
+
+/// Generalizes one instruction into its three-token form.
+///
+/// `symbols` determines whether call targets carry a [`FUNC`] token:
+/// in a stripped binary `objdump` cannot name the target, and "if
+/// objdump cannot find function name, its position is filled with a
+/// BLANK" (paper §IV-B).
+pub fn generalize<R: SymbolResolver>(insn: &Insn, symbols: &R) -> GenInsn {
+    // The mnemonic token uses the printed (suffix-elided) spelling so
+    // the token distribution matches the objdump listings CATI learns
+    // from.
+    let name = if insn.has_reg_operand() {
+        insn.mnemonic.base_name()
+    } else {
+        insn.mnemonic.full_name()
+    };
+    let mut tokens = vec![name.to_string()];
+
+    let is_call = matches!(insn.mnemonic.kind(), Kind::Call);
+    for op in &insn.operands {
+        match op {
+            Operand::Reg(r) => tokens.push(r.to_string()),
+            Operand::Xmm(x) => tokens.push(x.to_string()),
+            Operand::Imm(v) => {
+                tokens.push(if *v < 0 { "$-0xIMM".into() } else { "$0xIMM".into() })
+            }
+            Operand::Mem(m) => tokens.push(generalize_mem(m)),
+            Operand::Abs(_) => tokens.push("0xIMM".into()),
+            Operand::Addr(a) => {
+                tokens.push(ADDR.to_string());
+                if is_call {
+                    tokens.push(if symbols.symbol_at(*a).is_some() {
+                        FUNC.to_string()
+                    } else {
+                        BLANK.to_string()
+                    });
+                }
+            }
+        }
+    }
+    while tokens.len() < TOKENS_PER_INSN {
+        tokens.push(BLANK.to_string());
+    }
+    tokens.truncate(TOKENS_PER_INSN);
+    let arr: [String; TOKENS_PER_INSN] = tokens.try_into().expect("exactly three tokens");
+    GenInsn { tokens: arr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmt::NoSymbols;
+    use crate::mnemonic::Mnemonic;
+    use crate::parse::parse_insn;
+    use crate::reg::regs;
+
+    struct AllSyms;
+    impl SymbolResolver for AllSyms {
+        fn symbol_at(&self, _addr: u64) -> Option<&str> {
+            Some("bfd_zalloc")
+        }
+    }
+
+    fn gen(line: &str) -> GenInsn {
+        generalize(&parse_insn(line).unwrap().insn, &NoSymbols)
+    }
+
+    #[test]
+    fn table2_row1_immediate() {
+        // add $-0xd0,%rax => add $-0xIMM,%rax
+        assert_eq!(gen("add $-0xd0,%rax").to_string(), "add $-0xIMM %rax");
+    }
+
+    #[test]
+    fn table2_row2_effective_address_keeps_scale() {
+        assert_eq!(
+            gen("lea -0x300(%rbp,%r9,4),%rax").to_string(),
+            "lea -0xIMM(%rbp,%r9,4) %rax"
+        );
+    }
+
+    #[test]
+    fn table2_row3_jump() {
+        assert_eq!(gen("jmp 0x3bc59").to_string(), "jmp ADDR BLANK");
+    }
+
+    #[test]
+    fn table2_row4_call_with_symbol() {
+        let insn = parse_insn("callq 0x3bc59").unwrap().insn;
+        assert_eq!(generalize(&insn, &AllSyms).to_string(), "callq ADDR FUNC");
+        assert_eq!(generalize(&insn, &NoSymbols).to_string(), "callq ADDR BLANK");
+    }
+
+    #[test]
+    fn frame_slot_displacements_collapse() {
+        // Two different offsets on the same base produce the same tokens
+        // — the "uncertain sample" confounder of paper Fig. 1.
+        assert_eq!(
+            gen("movl $0x100,0xb8(%rsp)").tokens,
+            gen("movl $0x100,0xd0(%rsp)").tokens
+        );
+        assert_ne!(
+            gen("movl $0x100,0xb8(%rsp)").tokens,
+            gen("movl $0x100,0xb8(%rbp)").tokens
+        );
+    }
+
+    #[test]
+    fn zero_disp_mem_keeps_paren_form() {
+        assert_eq!(gen("mov (%rdi),%rax").to_string(), "mov (%rdi) %rax");
+    }
+
+    #[test]
+    fn absolute_memory_generalizes_to_imm() {
+        let insn = Insn::op2(Mnemonic::MovQ, Operand::Abs(0x601040), regs::rax());
+        assert_eq!(generalize(&insn, &NoSymbols).to_string(), "mov 0xIMM %rax");
+    }
+
+    #[test]
+    fn zero_operand_pads_to_three() {
+        assert_eq!(gen("ret").to_string(), "ret BLANK BLANK");
+        assert_eq!(gen("cltq").to_string(), "cltq BLANK BLANK");
+    }
+
+    #[test]
+    fn blank_insn_is_all_blank() {
+        assert_eq!(GenInsn::blank().to_string(), "BLANK BLANK BLANK");
+    }
+
+    #[test]
+    fn registers_survive_generalization() {
+        assert_eq!(gen("movslq %esi,%rsi").to_string(), "movslq %esi %rsi");
+    }
+}

@@ -1,0 +1,398 @@
+//! The instruction mnemonic set.
+//!
+//! The subset of x86-64 covered here is what GCC/Clang emit for
+//! integer, pointer, SSE floating-point and x87 `long double` code at
+//! `-O0`..`-O3` — the instruction vocabulary CATI's classifier sees.
+//!
+//! Mnemonics carry their AT&T spelling twice: the *full* (suffixed)
+//! name, e.g. `movl`, and the *base* name, e.g. `mov`. Like objdump,
+//! the formatter elides the width suffix whenever a register operand
+//! already pins the width, so `movl $0x100,0xb8(%rsp)` keeps its
+//! suffix while `mov %rax,0xb0(%rsp)` drops it — exactly the token
+//! distribution visible in the paper's figures.
+
+use crate::reg::Width;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Behavioural class of a mnemonic, used by codegen and by the
+/// variable-analysis pass to decide how operands touch memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Kind {
+    /// `mov` family: operand 0 → operand 1.
+    Move,
+    /// `movabs`: 64-bit immediate load.
+    Movabs,
+    /// Sign/zero extension; source and destination widths differ.
+    Ext {
+        /// Source operand width.
+        src: Width,
+        /// Destination operand width.
+        dst: Width,
+    },
+    /// `lea`: address computation, no memory access.
+    Lea,
+    /// Two-operand ALU op that reads and writes the destination.
+    Arith,
+    /// `cmp`/`test`: reads both operands, writes flags only.
+    Compare,
+    /// One-operand read-modify-write (`neg`, `not`, `inc`, `dec`).
+    Unary,
+    /// Shift by immediate or `%cl`.
+    Shift,
+    /// `imul` two-operand form.
+    Mul,
+    /// One-operand divide family (`idiv`, `div`, `mul`).
+    Div,
+    /// Width conversions `cltq`/`cltd`/`cqto` (implicit operands).
+    SignCvt,
+    /// `push` (reads operand, writes stack).
+    Push,
+    /// `pop` (writes operand, reads stack).
+    Pop,
+    /// `call`.
+    Call,
+    /// `ret`.
+    Ret,
+    /// `leave`.
+    Leave,
+    /// Unconditional `jmp`.
+    Jmp,
+    /// Conditional jump.
+    Jcc,
+    /// `setCC %r8`.
+    SetCc,
+    /// SSE scalar move (`movss`/`movsd`) or packed move.
+    SseMove,
+    /// SSE scalar arithmetic (`addsd`, `mulss`, ...).
+    SseArith,
+    /// SSE compare (`ucomiss`/`ucomisd`).
+    SseCmp,
+    /// SSE ↔ GPR conversions (`cvtsi2sd`, `cvttsd2si`, ...).
+    SseCvt,
+    /// SSE register zeroing (`pxor`, `xorps`, `xorpd`).
+    SseZero,
+    /// x87 load (`flds`/`fldl`/`fldt`) — reads memory.
+    X87Load,
+    /// x87 store-and-pop (`fstps`/`fstpl`/`fstpt`) — writes memory.
+    X87Store,
+    /// x87 stack arithmetic (`faddp`, `fmulp`, ...).
+    X87Arith,
+    /// `nop`.
+    Nop,
+}
+
+macro_rules! mnemonics {
+    ($(($variant:ident, $full:literal, $base:literal, $kind:expr, $width:expr)),* $(,)?) => {
+        /// An instruction mnemonic (AT&T spelling).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum Mnemonic {
+            $($variant,)*
+        }
+
+        impl Mnemonic {
+            /// Every mnemonic, in declaration order. The position of a
+            /// mnemonic here is its stable opcode in the byte encoding.
+            pub const ALL: &'static [Mnemonic] = &[$(Mnemonic::$variant,)*];
+
+            /// Full AT&T name including any width suffix.
+            pub fn full_name(self) -> &'static str {
+                match self { $(Mnemonic::$variant => $full,)* }
+            }
+
+            /// Suffix-elided name, printed when a register operand
+            /// already determines the width (objdump's behaviour).
+            pub fn base_name(self) -> &'static str {
+                match self { $(Mnemonic::$variant => $base,)* }
+            }
+
+            /// Behavioural class.
+            pub fn kind(self) -> Kind {
+                match self { $(Mnemonic::$variant => $kind,)* }
+            }
+
+            /// Data width of the integer operation, if the mnemonic
+            /// is width-suffixed.
+            pub fn width(self) -> Option<Width> {
+                match self { $(Mnemonic::$variant => $width,)* }
+            }
+
+            /// Looks up a mnemonic by its full name.
+            pub fn from_full_name(name: &str) -> Option<Mnemonic> {
+                match name {
+                    $($full => Some(Mnemonic::$variant),)*
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+use Width::{B1, B2, B4, B8};
+
+mnemonics! {
+    // Integer moves.
+    (MovB, "movb", "mov", Kind::Move, Some(B1)),
+    (MovW, "movw", "mov", Kind::Move, Some(B2)),
+    (MovL, "movl", "mov", Kind::Move, Some(B4)),
+    (MovQ, "movq", "mov", Kind::Move, Some(B8)),
+    (MovabsQ, "movabsq", "movabs", Kind::Movabs, Some(B8)),
+    // Sign/zero extensions.
+    (Movsbw, "movsbw", "movsbw", Kind::Ext { src: B1, dst: B2 }, Some(B2)),
+    (Movsbl, "movsbl", "movsbl", Kind::Ext { src: B1, dst: B4 }, Some(B4)),
+    (Movsbq, "movsbq", "movsbq", Kind::Ext { src: B1, dst: B8 }, Some(B8)),
+    (Movswl, "movswl", "movswl", Kind::Ext { src: B2, dst: B4 }, Some(B4)),
+    (Movswq, "movswq", "movswq", Kind::Ext { src: B2, dst: B8 }, Some(B8)),
+    (Movslq, "movslq", "movslq", Kind::Ext { src: B4, dst: B8 }, Some(B8)),
+    (Movzbw, "movzbw", "movzbw", Kind::Ext { src: B1, dst: B2 }, Some(B2)),
+    (Movzbl, "movzbl", "movzbl", Kind::Ext { src: B1, dst: B4 }, Some(B4)),
+    (Movzbq, "movzbq", "movzbq", Kind::Ext { src: B1, dst: B8 }, Some(B8)),
+    (Movzwl, "movzwl", "movzwl", Kind::Ext { src: B2, dst: B4 }, Some(B4)),
+    (Movzwq, "movzwq", "movzwq", Kind::Ext { src: B2, dst: B8 }, Some(B8)),
+    // Address computation.
+    (LeaL, "leal", "lea", Kind::Lea, Some(B4)),
+    (LeaQ, "leaq", "lea", Kind::Lea, Some(B8)),
+    // Two-operand ALU.
+    (AddB, "addb", "add", Kind::Arith, Some(B1)),
+    (AddW, "addw", "add", Kind::Arith, Some(B2)),
+    (AddL, "addl", "add", Kind::Arith, Some(B4)),
+    (AddQ, "addq", "add", Kind::Arith, Some(B8)),
+    (SubB, "subb", "sub", Kind::Arith, Some(B1)),
+    (SubW, "subw", "sub", Kind::Arith, Some(B2)),
+    (SubL, "subl", "sub", Kind::Arith, Some(B4)),
+    (SubQ, "subq", "sub", Kind::Arith, Some(B8)),
+    (AndB, "andb", "and", Kind::Arith, Some(B1)),
+    (AndW, "andw", "and", Kind::Arith, Some(B2)),
+    (AndL, "andl", "and", Kind::Arith, Some(B4)),
+    (AndQ, "andq", "and", Kind::Arith, Some(B8)),
+    (OrB, "orb", "or", Kind::Arith, Some(B1)),
+    (OrW, "orw", "or", Kind::Arith, Some(B2)),
+    (OrL, "orl", "or", Kind::Arith, Some(B4)),
+    (OrQ, "orq", "or", Kind::Arith, Some(B8)),
+    (XorB, "xorb", "xor", Kind::Arith, Some(B1)),
+    (XorW, "xorw", "xor", Kind::Arith, Some(B2)),
+    (XorL, "xorl", "xor", Kind::Arith, Some(B4)),
+    (XorQ, "xorq", "xor", Kind::Arith, Some(B8)),
+    // Flag-only comparisons.
+    (CmpB, "cmpb", "cmp", Kind::Compare, Some(B1)),
+    (CmpW, "cmpw", "cmp", Kind::Compare, Some(B2)),
+    (CmpL, "cmpl", "cmp", Kind::Compare, Some(B4)),
+    (CmpQ, "cmpq", "cmp", Kind::Compare, Some(B8)),
+    (TestB, "testb", "test", Kind::Compare, Some(B1)),
+    (TestW, "testw", "test", Kind::Compare, Some(B2)),
+    (TestL, "testl", "test", Kind::Compare, Some(B4)),
+    (TestQ, "testq", "test", Kind::Compare, Some(B8)),
+    // Multiply / divide.
+    (ImulL, "imull", "imul", Kind::Mul, Some(B4)),
+    (ImulQ, "imulq", "imul", Kind::Mul, Some(B8)),
+    (IdivL, "idivl", "idiv", Kind::Div, Some(B4)),
+    (IdivQ, "idivq", "idiv", Kind::Div, Some(B8)),
+    (DivL, "divl", "div", Kind::Div, Some(B4)),
+    (DivQ, "divq", "div", Kind::Div, Some(B8)),
+    (MulL, "mull", "mul", Kind::Div, Some(B4)),
+    (MulQ, "mulq", "mul", Kind::Div, Some(B8)),
+    // One-operand RMW.
+    (NegL, "negl", "neg", Kind::Unary, Some(B4)),
+    (NegQ, "negq", "neg", Kind::Unary, Some(B8)),
+    (NotL, "notl", "not", Kind::Unary, Some(B4)),
+    (NotQ, "notq", "not", Kind::Unary, Some(B8)),
+    (IncL, "incl", "inc", Kind::Unary, Some(B4)),
+    (IncQ, "incq", "inc", Kind::Unary, Some(B8)),
+    (DecL, "decl", "dec", Kind::Unary, Some(B4)),
+    (DecQ, "decq", "dec", Kind::Unary, Some(B8)),
+    // Shifts.
+    (ShlB, "shlb", "shl", Kind::Shift, Some(B1)),
+    (ShlL, "shll", "shl", Kind::Shift, Some(B4)),
+    (ShlQ, "shlq", "shl", Kind::Shift, Some(B8)),
+    (ShrB, "shrb", "shr", Kind::Shift, Some(B1)),
+    (ShrL, "shrl", "shr", Kind::Shift, Some(B4)),
+    (ShrQ, "shrq", "shr", Kind::Shift, Some(B8)),
+    (SarL, "sarl", "sar", Kind::Shift, Some(B4)),
+    (SarQ, "sarq", "sar", Kind::Shift, Some(B8)),
+    // Implicit-operand sign conversions.
+    (Cltq, "cltq", "cltq", Kind::SignCvt, None),
+    (Cltd, "cltd", "cltd", Kind::SignCvt, None),
+    (Cqto, "cqto", "cqto", Kind::SignCvt, None),
+    // Stack & control flow.
+    (PushQ, "pushq", "push", Kind::Push, Some(B8)),
+    (PopQ, "popq", "pop", Kind::Pop, Some(B8)),
+    (Leave, "leave", "leave", Kind::Leave, None),
+    (Ret, "ret", "ret", Kind::Ret, None),
+    (CallQ, "callq", "callq", Kind::Call, None),
+    (Jmp, "jmp", "jmp", Kind::Jmp, None),
+    (Je, "je", "je", Kind::Jcc, None),
+    (Jne, "jne", "jne", Kind::Jcc, None),
+    (Jl, "jl", "jl", Kind::Jcc, None),
+    (Jle, "jle", "jle", Kind::Jcc, None),
+    (Jg, "jg", "jg", Kind::Jcc, None),
+    (Jge, "jge", "jge", Kind::Jcc, None),
+    (Jb, "jb", "jb", Kind::Jcc, None),
+    (Jbe, "jbe", "jbe", Kind::Jcc, None),
+    (Ja, "ja", "ja", Kind::Jcc, None),
+    (Jae, "jae", "jae", Kind::Jcc, None),
+    (Js, "js", "js", Kind::Jcc, None),
+    (Jns, "jns", "jns", Kind::Jcc, None),
+    // Flag materialization.
+    (Sete, "sete", "sete", Kind::SetCc, Some(B1)),
+    (Setne, "setne", "setne", Kind::SetCc, Some(B1)),
+    (Setl, "setl", "setl", Kind::SetCc, Some(B1)),
+    (Setle, "setle", "setle", Kind::SetCc, Some(B1)),
+    (Setg, "setg", "setg", Kind::SetCc, Some(B1)),
+    (Setge, "setge", "setge", Kind::SetCc, Some(B1)),
+    (Setb, "setb", "setb", Kind::SetCc, Some(B1)),
+    (Setbe, "setbe", "setbe", Kind::SetCc, Some(B1)),
+    (Seta, "seta", "seta", Kind::SetCc, Some(B1)),
+    (Setae, "setae", "setae", Kind::SetCc, Some(B1)),
+    // SSE scalar floating point.
+    (Movss, "movss", "movss", Kind::SseMove, Some(B4)),
+    (Movsd, "movsd", "movsd", Kind::SseMove, Some(B8)),
+    (Movaps, "movaps", "movaps", Kind::SseMove, None),
+    (Addss, "addss", "addss", Kind::SseArith, Some(B4)),
+    (Addsd, "addsd", "addsd", Kind::SseArith, Some(B8)),
+    (Subss, "subss", "subss", Kind::SseArith, Some(B4)),
+    (Subsd, "subsd", "subsd", Kind::SseArith, Some(B8)),
+    (Mulss, "mulss", "mulss", Kind::SseArith, Some(B4)),
+    (Mulsd, "mulsd", "mulsd", Kind::SseArith, Some(B8)),
+    (Divss, "divss", "divss", Kind::SseArith, Some(B4)),
+    (Divsd, "divsd", "divsd", Kind::SseArith, Some(B8)),
+    (Ucomiss, "ucomiss", "ucomiss", Kind::SseCmp, Some(B4)),
+    (Ucomisd, "ucomisd", "ucomisd", Kind::SseCmp, Some(B8)),
+    (Cvtsi2ss, "cvtsi2ss", "cvtsi2ss", Kind::SseCvt, Some(B4)),
+    (Cvtsi2sd, "cvtsi2sd", "cvtsi2sd", Kind::SseCvt, Some(B8)),
+    (Cvttss2si, "cvttss2si", "cvttss2si", Kind::SseCvt, Some(B4)),
+    (Cvttsd2si, "cvttsd2si", "cvttsd2si", Kind::SseCvt, Some(B8)),
+    (Cvtss2sd, "cvtss2sd", "cvtss2sd", Kind::SseCvt, Some(B8)),
+    (Cvtsd2ss, "cvtsd2ss", "cvtsd2ss", Kind::SseCvt, Some(B4)),
+    (Pxor, "pxor", "pxor", Kind::SseZero, None),
+    (Xorps, "xorps", "xorps", Kind::SseZero, Some(B4)),
+    (Xorpd, "xorpd", "xorpd", Kind::SseZero, Some(B8)),
+    // x87 (long double).
+    (Flds, "flds", "flds", Kind::X87Load, Some(B4)),
+    (Fldl, "fldl", "fldl", Kind::X87Load, Some(B8)),
+    (Fldt, "fldt", "fldt", Kind::X87Load, None),
+    (Fstps, "fstps", "fstps", Kind::X87Store, Some(B4)),
+    (Fstpl, "fstpl", "fstpl", Kind::X87Store, Some(B8)),
+    (Fstpt, "fstpt", "fstpt", Kind::X87Store, None),
+    (Faddp, "faddp", "faddp", Kind::X87Arith, None),
+    (Fsubp, "fsubp", "fsubp", Kind::X87Arith, None),
+    (Fmulp, "fmulp", "fmulp", Kind::X87Arith, None),
+    (Fdivp, "fdivp", "fdivp", Kind::X87Arith, None),
+    (Fchs, "fchs", "fchs", Kind::X87Arith, None),
+    (Fucomip, "fucomip", "fucomip", Kind::X87Arith, None),
+    (Fld1, "fld1", "fld1", Kind::X87Arith, None),
+    (Fldz, "fldz", "fldz", Kind::X87Arith, None),
+    // Padding.
+    (Nop, "nop", "nop", Kind::Nop, None),
+}
+
+impl Mnemonic {
+    /// Stable opcode byte used by the binary encoding.
+    pub fn opcode(self) -> u8 {
+        Mnemonic::ALL.iter().position(|m| *m == self).expect("mnemonic in ALL") as u8
+    }
+
+    /// Inverse of [`Mnemonic::opcode`].
+    pub fn from_opcode(op: u8) -> Option<Mnemonic> {
+        Mnemonic::ALL.get(op as usize).copied()
+    }
+
+    /// Byte size of the memory access this mnemonic performs when one
+    /// of its operands is a memory reference. `fldt`/`fstpt` access the
+    /// 80-bit x87 slot (10 bytes).
+    pub fn mem_access_bytes(self) -> Option<u32> {
+        match self {
+            Mnemonic::Fldt | Mnemonic::Fstpt => Some(10),
+            Mnemonic::Movaps => Some(16),
+            // For extensions, the memory operand is always the source.
+            Mnemonic::Movsbw | Mnemonic::Movsbl | Mnemonic::Movsbq | Mnemonic::Movzbw
+            | Mnemonic::Movzbl | Mnemonic::Movzbq => Some(1),
+            Mnemonic::Movswl | Mnemonic::Movswq | Mnemonic::Movzwl | Mnemonic::Movzwq => Some(2),
+            _ => self.width().map(Width::bytes),
+        }
+    }
+
+    /// Whether this is a control-flow transfer (call/jmp/jcc/ret).
+    pub fn is_control_flow(self) -> bool {
+        matches!(self.kind(), Kind::Call | Kind::Jmp | Kind::Jcc | Kind::Ret)
+    }
+
+    /// Resolves a printed AT&T name back to a mnemonic: tries the full
+    /// spelling first, then re-attaches a width suffix inferred from a
+    /// register operand (`hint`), which undoes the objdump-style
+    /// suffix elision.
+    pub fn resolve_name(name: &str, hint: Option<Width>) -> Option<Mnemonic> {
+        if let Some(m) = Mnemonic::from_full_name(name) {
+            return Some(m);
+        }
+        let mut candidates = Vec::new();
+        if let Some(w) = hint {
+            candidates.push(format!("{name}{}", w.att_suffix()));
+        }
+        // Stack ops and movabs are always 64-bit.
+        candidates.push(format!("{name}q"));
+        candidates.into_iter().find_map(|c| Mnemonic::from_full_name(&c))
+    }
+}
+
+impl fmt::Display for Mnemonic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.full_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_names_are_unique() {
+        let mut names: Vec<_> = Mnemonic::ALL.iter().map(|m| m.full_name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate full mnemonic names");
+    }
+
+    #[test]
+    fn opcode_roundtrip() {
+        for &m in Mnemonic::ALL {
+            assert_eq!(Mnemonic::from_opcode(m.opcode()), Some(m));
+        }
+        assert!(Mnemonic::ALL.len() <= 256, "opcodes must fit one byte");
+    }
+
+    #[test]
+    fn full_name_roundtrip() {
+        for &m in Mnemonic::ALL {
+            assert_eq!(Mnemonic::from_full_name(m.full_name()), Some(m));
+        }
+    }
+
+    #[test]
+    fn resolve_elided_suffix() {
+        assert_eq!(Mnemonic::resolve_name("mov", Some(Width::B8)), Some(Mnemonic::MovQ));
+        assert_eq!(Mnemonic::resolve_name("mov", Some(Width::B4)), Some(Mnemonic::MovL));
+        assert_eq!(Mnemonic::resolve_name("movl", None), Some(Mnemonic::MovL));
+        assert_eq!(Mnemonic::resolve_name("push", None), Some(Mnemonic::PushQ));
+        assert_eq!(Mnemonic::resolve_name("lea", Some(Width::B8)), Some(Mnemonic::LeaQ));
+        assert_eq!(Mnemonic::resolve_name("bogus", Some(Width::B8)), None);
+    }
+
+    #[test]
+    fn mem_access_bytes_for_typed_moves() {
+        assert_eq!(Mnemonic::MovB.mem_access_bytes(), Some(1));
+        assert_eq!(Mnemonic::MovQ.mem_access_bytes(), Some(8));
+        assert_eq!(Mnemonic::Movss.mem_access_bytes(), Some(4));
+        assert_eq!(Mnemonic::Fldt.mem_access_bytes(), Some(10));
+        assert_eq!(Mnemonic::Movzbl.mem_access_bytes(), Some(1));
+        assert_eq!(Mnemonic::Ret.mem_access_bytes(), None);
+    }
+
+    #[test]
+    fn control_flow_predicate() {
+        assert!(Mnemonic::CallQ.is_control_flow());
+        assert!(Mnemonic::Jne.is_control_flow());
+        assert!(!Mnemonic::MovQ.is_control_flow());
+    }
+}

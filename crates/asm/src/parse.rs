@@ -1,0 +1,296 @@
+//! AT&T-syntax parsing — the inverse of [`crate::fmt`].
+//!
+//! The parser accepts objdump-style lines, including suffix-elided
+//! mnemonics (`mov %rax,(%rsp)`) and symbolized targets
+//! (`callq 0x4044d0 <memchr@plt>`); symbols are returned alongside the
+//! instruction so callers can rebuild symbol tables from listings.
+
+use crate::insn::{Insn, MemRef, Operand};
+use crate::mnemonic::Mnemonic;
+use crate::reg::{Gpr, Width, Xmm};
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing an AT&T instruction line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line was empty.
+    Empty,
+    /// The mnemonic is not in the supported subset.
+    UnknownMnemonic(String),
+    /// An operand could not be parsed.
+    BadOperand(String),
+    /// A number could not be parsed.
+    BadNumber(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty instruction line"),
+            ParseError::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            ParseError::BadOperand(o) => write!(f, "malformed operand `{o}`"),
+            ParseError::BadNumber(n) => write!(f, "malformed number `{n}`"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// A parsed line: the instruction plus any `<symbol>` annotation that
+/// followed its address operand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedInsn {
+    /// The instruction.
+    pub insn: Insn,
+    /// The symbol objdump printed after the target, if present.
+    pub symbol: Option<String>,
+}
+
+fn parse_number(s: &str) -> Result<i64, ParseError> {
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|_| ParseError::BadNumber(s.into()))?
+    } else {
+        s.parse::<u64>().map_err(|_| ParseError::BadNumber(s.into()))?
+    };
+    let v = v as i64;
+    Ok(if neg { v.wrapping_neg() } else { v })
+}
+
+fn parse_reg(s: &str) -> Result<Operand, ParseError> {
+    let name = s.strip_prefix('%').ok_or_else(|| ParseError::BadOperand(s.into()))?;
+    if let Some(x) = Xmm::parse_name(name) {
+        return Ok(Operand::Xmm(x));
+    }
+    Gpr::parse_name(name)
+        .map(Operand::Reg)
+        .ok_or_else(|| ParseError::BadOperand(s.into()))
+}
+
+fn parse_mem(s: &str) -> Result<Operand, ParseError> {
+    // disp(base,index,scale) — any piece may be absent.
+    let open = s.find('(');
+    let (disp_str, inner) = match open {
+        Some(i) => {
+            let close = s.rfind(')').ok_or_else(|| ParseError::BadOperand(s.into()))?;
+            (&s[..i], Some(&s[i + 1..close]))
+        }
+        None => (s, None),
+    };
+    let disp = if disp_str.is_empty() { 0 } else { parse_number(disp_str)? };
+    let Some(inner) = inner else {
+        // Bare number with no parens: absolute memory reference.
+        let addr = u64::try_from(disp).map_err(|_| ParseError::BadOperand(s.into()))?;
+        return Ok(Operand::Abs(addr));
+    };
+    let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+    let base = match parts.first() {
+        Some(&"") | None => None,
+        Some(r) => Some(
+            r.parse::<Gpr>()
+                .map_err(|_| ParseError::BadOperand(s.into()))?,
+        ),
+    };
+    let index = if parts.len() >= 2 {
+        let ireg = parts[1]
+            .parse::<Gpr>()
+            .map_err(|_| ParseError::BadOperand(s.into()))?;
+        let scale = if parts.len() >= 3 {
+            parse_number(parts[2])? as u8
+        } else {
+            1
+        };
+        if !matches!(scale, 1 | 2 | 4 | 8) {
+            return Err(ParseError::BadOperand(s.into()));
+        }
+        Some((ireg, scale))
+    } else {
+        None
+    };
+    let disp = i32::try_from(disp).map_err(|_| ParseError::BadOperand(s.into()))?;
+    Ok(Operand::Mem(MemRef { base, index, disp }))
+}
+
+fn parse_operand(s: &str, is_branch: bool) -> Result<Operand, ParseError> {
+    let s = s.trim();
+    if let Some(imm) = s.strip_prefix('$') {
+        return Ok(Operand::Imm(parse_number(imm)?));
+    }
+    if s.starts_with('%') {
+        return parse_reg(s);
+    }
+    if is_branch {
+        let v = parse_number(s)?;
+        let addr = u64::try_from(v).map_err(|_| ParseError::BadOperand(s.into()))?;
+        return Ok(Operand::Addr(addr));
+    }
+    parse_mem(s)
+}
+
+/// Splits the operand field on commas that are *outside* parentheses,
+/// so `-0x300(%rbp,%r9,4),%rax` yields two operands.
+fn split_operands(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+/// Parses one AT&T instruction line.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] when the mnemonic is outside the supported
+/// subset or an operand is malformed.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), cati_asm::parse::ParseError> {
+/// let p = cati_asm::parse::parse_insn("movl $0x100,0xb8(%rsp)")?;
+/// assert_eq!(p.insn.to_string(), "movl $0x100,0xb8(%rsp)");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_insn(line: &str) -> Result<ParsedInsn, ParseError> {
+    let line = line.trim();
+    // Peel a trailing `<symbol>` annotation.
+    let (line, symbol) = match (line.rfind('<'), line.ends_with('>')) {
+        (Some(lt), true) => (
+            line[..lt].trim_end(),
+            Some(line[lt + 1..line.len() - 1].to_string()),
+        ),
+        _ => (line, None),
+    };
+    let mut parts = line.splitn(2, char::is_whitespace);
+    let name = parts.next().filter(|s| !s.is_empty()).ok_or(ParseError::Empty)?;
+    let rest = parts.next().unwrap_or("").trim();
+
+    // Branch targets are bare numbers; detect branch-ish names first
+    // (they never carry elided suffixes).
+    let branchish = Mnemonic::from_full_name(name)
+        .map(Mnemonic::is_control_flow)
+        .unwrap_or(false);
+
+    let operand_strs = if rest.is_empty() { Vec::new() } else { split_operands(rest) };
+    let operands = operand_strs
+        .iter()
+        .map(|s| parse_operand(s, branchish))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // Resolve the mnemonic, re-attaching an elided width suffix using
+    // the first register operand as the hint.
+    let hint: Option<Width> = operands.iter().find_map(|o| o.as_gpr().map(Gpr::width));
+    let mnemonic = Mnemonic::resolve_name(name, hint)
+        .ok_or_else(|| ParseError::UnknownMnemonic(name.into()))?;
+
+    Ok(ParsedInsn {
+        insn: Insn::new(mnemonic, operands),
+        symbol,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmt::format_insn;
+    use crate::fmt::NoSymbols;
+    use crate::reg::regs;
+
+    fn roundtrip(line: &str) {
+        let parsed = parse_insn(line).unwrap_or_else(|e| panic!("parse `{line}`: {e}"));
+        assert_eq!(format_insn(&parsed.insn, &NoSymbols), line, "roundtrip of `{line}`");
+    }
+
+    #[test]
+    fn roundtrips_paper_examples() {
+        // The instructions visible in paper Figures 1, 2 and Table II.
+        roundtrip("movq $0x0,0xa8(%rsp)");
+        roundtrip("lea 0x120(%rsp),%rax");
+        roundtrip("movslq %esi,%rsi");
+        roundtrip("movl $0x100,0xb8(%rsp)");
+        roundtrip("lea (%rdi,%rsi,1),%r15");
+        roundtrip("movb $0x0,0xc0(%rsp)");
+        roundtrip("mov %rax,0xb0(%rsp)");
+        roundtrip("lea 0x220(%rsp),%rax");
+        roundtrip("mov %rdi,%rbp");
+        roundtrip("mov $0x3c,%esi");
+        roundtrip("sub %rbp,%rdx");
+        roundtrip("lea -0x300(%rbp,%r9,4),%rax");
+    }
+
+    #[test]
+    fn parses_branch_targets() {
+        let p = parse_insn("jmp 0x3bc59").unwrap();
+        assert_eq!(p.insn.target(), Some(0x3bc59));
+        assert_eq!(p.symbol, None);
+    }
+
+    #[test]
+    fn parses_symbolized_call() {
+        let p = parse_insn("callq 0x4044d0 <memchr@plt>").unwrap();
+        assert_eq!(p.insn.target(), Some(0x4044d0));
+        assert_eq!(p.symbol.as_deref(), Some("memchr@plt"));
+    }
+
+    #[test]
+    fn suffix_inference_uses_register_width() {
+        assert_eq!(parse_insn("mov %eax,%ebx").unwrap().insn.mnemonic, Mnemonic::MovL);
+        assert_eq!(parse_insn("mov %rax,%rbx").unwrap().insn.mnemonic, Mnemonic::MovQ);
+        assert_eq!(parse_insn("push %rbp").unwrap().insn.mnemonic, Mnemonic::PushQ);
+    }
+
+    #[test]
+    fn parses_absolute_memory() {
+        let p = parse_insn("movq 0x601040,%rax").unwrap_or_else(|e| panic!("{e}"));
+        assert!(matches!(p.insn.operands[0], Operand::Abs(0x601040)));
+    }
+
+    #[test]
+    fn parses_negative_immediates() {
+        let p = parse_insn("add $-0xd0,%rax").unwrap();
+        assert_eq!(p.insn.operands[0], Operand::Imm(-0xd0));
+    }
+
+    #[test]
+    fn rejects_junk() {
+        assert!(matches!(parse_insn(""), Err(ParseError::Empty)));
+        assert!(matches!(parse_insn("frobnicate %rax"), Err(ParseError::UnknownMnemonic(_))));
+        assert!(parse_insn("mov %zzz,%rax").is_err());
+        assert!(parse_insn("movl $0x1,0x4(%rbp,%r9,3)").is_err());
+    }
+
+    #[test]
+    fn index_only_memref() {
+        let p = parse_insn("mov (,%rsi,8),%rax").unwrap();
+        let m = p.insn.operands[0].as_mem().unwrap();
+        assert_eq!(m.base, None);
+        assert_eq!(m.index, Some((regs::rsi(), 8)));
+    }
+
+    #[test]
+    fn zero_operand_lines() {
+        assert_eq!(parse_insn("ret").unwrap().insn.mnemonic, Mnemonic::Ret);
+        assert_eq!(parse_insn("cltq").unwrap().insn.mnemonic, Mnemonic::Cltq);
+        assert_eq!(parse_insn("leave").unwrap().insn.mnemonic, Mnemonic::Leave);
+    }
+}

@@ -1,0 +1,300 @@
+//! x86-64 register model.
+//!
+//! General-purpose registers are identified by their hardware number
+//! (0–15) plus an access width, so `%rax`, `%eax`, `%ax` and `%al` are
+//! four views of GPR 0. SSE registers `%xmm0`–`%xmm15` are separate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Access width of a general-purpose register operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Width {
+    /// 8-bit (`%al`, `%r9b`, ...).
+    B1,
+    /// 16-bit (`%ax`, `%r9w`, ...).
+    B2,
+    /// 32-bit (`%eax`, `%r9d`, ...).
+    B4,
+    /// 64-bit (`%rax`, `%r9`, ...).
+    B8,
+}
+
+impl Width {
+    /// Width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Width::B1 => 1,
+            Width::B2 => 2,
+            Width::B4 => 4,
+            Width::B8 => 8,
+        }
+    }
+
+    /// The width matching a byte size.
+    pub fn from_bytes(bytes: u32) -> Option<Width> {
+        match bytes {
+            1 => Some(Width::B1),
+            2 => Some(Width::B2),
+            4 => Some(Width::B4),
+            8 => Some(Width::B8),
+            _ => None,
+        }
+    }
+
+    /// AT&T mnemonic suffix letter for this width (`b`, `w`, `l`, `q`).
+    pub fn att_suffix(self) -> char {
+        match self {
+            Width::B1 => 'b',
+            Width::B2 => 'w',
+            Width::B4 => 'l',
+            Width::B8 => 'q',
+        }
+    }
+}
+
+/// A general-purpose register: hardware number 0–15 viewed at a width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gpr {
+    num: u8,
+    width: Width,
+}
+
+/// Hardware numbers of the 16 GPRs, named for their 64-bit forms.
+pub mod gprnum {
+    /// `%rax`.
+    pub const RAX: u8 = 0;
+    /// `%rcx`.
+    pub const RCX: u8 = 1;
+    /// `%rdx`.
+    pub const RDX: u8 = 2;
+    /// `%rbx`.
+    pub const RBX: u8 = 3;
+    /// `%rsp`.
+    pub const RSP: u8 = 4;
+    /// `%rbp`.
+    pub const RBP: u8 = 5;
+    /// `%rsi`.
+    pub const RSI: u8 = 6;
+    /// `%rdi`.
+    pub const RDI: u8 = 7;
+    /// `%r8`.
+    pub const R8: u8 = 8;
+    /// `%r9`.
+    pub const R9: u8 = 9;
+    /// `%r10`.
+    pub const R10: u8 = 10;
+    /// `%r11`.
+    pub const R11: u8 = 11;
+    /// `%r12`.
+    pub const R12: u8 = 12;
+    /// `%r13`.
+    pub const R13: u8 = 13;
+    /// `%r14`.
+    pub const R14: u8 = 14;
+    /// `%r15`.
+    pub const R15: u8 = 15;
+}
+
+const NAMES_64: [&str; 16] = [
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12",
+    "r13", "r14", "r15",
+];
+const NAMES_32: [&str; 16] = [
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi", "r8d", "r9d", "r10d", "r11d",
+    "r12d", "r13d", "r14d", "r15d",
+];
+const NAMES_16: [&str; 16] = [
+    "ax", "cx", "dx", "bx", "sp", "bp", "si", "di", "r8w", "r9w", "r10w", "r11w", "r12w",
+    "r13w", "r14w", "r15w",
+];
+const NAMES_8: [&str; 16] = [
+    "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil", "r8b", "r9b", "r10b", "r11b", "r12b",
+    "r13b", "r14b", "r15b",
+];
+
+impl Gpr {
+    /// A register by hardware number and width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num > 15`.
+    pub fn new(num: u8, width: Width) -> Gpr {
+        assert!(num < 16, "GPR number {num} out of range");
+        Gpr { num, width }
+    }
+
+    /// Hardware number 0–15.
+    pub fn num(self) -> u8 {
+        self.num
+    }
+
+    /// Access width.
+    pub fn width(self) -> Width {
+        self.width
+    }
+
+    /// The same register viewed at a different width.
+    pub fn with_width(self, width: Width) -> Gpr {
+        Gpr { width, ..self }
+    }
+
+    /// AT&T name without the `%` sigil.
+    pub fn name(self) -> &'static str {
+        match self.width {
+            Width::B8 => NAMES_64[self.num as usize],
+            Width::B4 => NAMES_32[self.num as usize],
+            Width::B2 => NAMES_16[self.num as usize],
+            Width::B1 => NAMES_8[self.num as usize],
+        }
+    }
+
+    /// Parses an AT&T register name (no `%`), e.g. `"eax"` or `"r13b"`.
+    pub fn parse_name(name: &str) -> Option<Gpr> {
+        for (width, table) in [
+            (Width::B8, &NAMES_64),
+            (Width::B4, &NAMES_32),
+            (Width::B2, &NAMES_16),
+            (Width::B1, &NAMES_8),
+        ] {
+            if let Some(num) = table.iter().position(|n| *n == name) {
+                return Some(Gpr { num: num as u8, width });
+            }
+        }
+        None
+    }
+
+    /// Whether this is the stack pointer (`%rsp` family).
+    pub fn is_sp(self) -> bool {
+        self.num == gprnum::RSP
+    }
+
+    /// Whether this is the frame pointer (`%rbp` family).
+    pub fn is_bp(self) -> bool {
+        self.num == gprnum::RBP
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.name())
+    }
+}
+
+impl FromStr for Gpr {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Gpr, ()> {
+        let s = s.strip_prefix('%').unwrap_or(s);
+        Gpr::parse_name(s).ok_or(())
+    }
+}
+
+/// An SSE register `%xmm0`–`%xmm15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Xmm(u8);
+
+impl Xmm {
+    /// Register by number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num > 15`.
+    pub fn new(num: u8) -> Xmm {
+        assert!(num < 16, "XMM number {num} out of range");
+        Xmm(num)
+    }
+
+    /// Hardware number 0–15.
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// Parses `"xmm7"` (no `%`).
+    pub fn parse_name(name: &str) -> Option<Xmm> {
+        let n: u8 = name.strip_prefix("xmm")?.parse().ok()?;
+        (n < 16).then_some(Xmm(n))
+    }
+}
+
+impl fmt::Display for Xmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%xmm{}", self.0)
+    }
+}
+
+/// Convenience constructors for the common 64-bit registers.
+pub mod regs {
+    use super::{gprnum, Gpr, Width};
+
+    macro_rules! named {
+        ($($fn_name:ident => $num:expr),* $(,)?) => {
+            $(
+                #[doc = concat!("The 64-bit register `%", stringify!($fn_name), "`.")]
+                pub fn $fn_name() -> Gpr {
+                    Gpr::new($num, Width::B8)
+                }
+            )*
+        };
+    }
+
+    named! {
+        rax => gprnum::RAX, rcx => gprnum::RCX, rdx => gprnum::RDX, rbx => gprnum::RBX,
+        rsp => gprnum::RSP, rbp => gprnum::RBP, rsi => gprnum::RSI, rdi => gprnum::RDI,
+        r8 => gprnum::R8, r9 => gprnum::R9, r10 => gprnum::R10, r11 => gprnum::R11,
+        r12 => gprnum::R12, r13 => gprnum::R13, r14 => gprnum::R14, r15 => gprnum::R15,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_at_every_width() {
+        for num in 0..16u8 {
+            for width in [Width::B1, Width::B2, Width::B4, Width::B8] {
+                let r = Gpr::new(num, width);
+                assert_eq!(Gpr::parse_name(r.name()), Some(r));
+            }
+        }
+    }
+
+    #[test]
+    fn display_has_sigil() {
+        assert_eq!(regs::rax().to_string(), "%rax");
+        assert_eq!(Gpr::new(9, Width::B1).to_string(), "%r9b");
+        assert_eq!(Gpr::new(5, Width::B4).to_string(), "%ebp");
+    }
+
+    #[test]
+    fn from_str_accepts_optional_sigil() {
+        assert_eq!("%rdi".parse::<Gpr>().unwrap(), regs::rdi());
+        assert_eq!("esi".parse::<Gpr>().unwrap(), regs::rsi().with_width(Width::B4));
+        assert!("rq9".parse::<Gpr>().is_err());
+    }
+
+    #[test]
+    fn width_conversions() {
+        assert_eq!(Width::from_bytes(4), Some(Width::B4));
+        assert_eq!(Width::from_bytes(3), None);
+        assert_eq!(Width::B8.att_suffix(), 'q');
+        assert_eq!(regs::rax().with_width(Width::B1).name(), "al");
+    }
+
+    #[test]
+    fn xmm_parse_and_display() {
+        assert_eq!(Xmm::parse_name("xmm12"), Some(Xmm::new(12)));
+        assert_eq!(Xmm::new(3).to_string(), "%xmm3");
+        assert_eq!(Xmm::parse_name("xmm16"), None);
+        assert_eq!(Xmm::parse_name("mm1"), None);
+    }
+
+    #[test]
+    fn sp_bp_predicates() {
+        assert!(regs::rsp().is_sp());
+        assert!(regs::rbp().is_bp());
+        assert!(!regs::rax().is_sp());
+    }
+}

@@ -1,0 +1,140 @@
+//! A rule-based heuristic typer in the spirit of IDA Pro / TIE /
+//! REWARDS: type a variable from the mnemonics and operand widths of
+//! its *target instructions only*, with hand-written rules and no
+//! learning. This is the expert-knowledge family CATI argues against
+//! (paper §I).
+
+use crate::VarTyper;
+use cati_analysis::{Extraction, WINDOW};
+use cati_dwarf::TypeClass;
+use std::collections::HashMap;
+
+/// The stateless rule-based typer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleTyper;
+
+/// Maps one generalized target instruction to a candidate class with
+/// a rule weight.
+fn rule_votes(mnemonic: &str, op1: &str, op2: &str) -> Vec<(TypeClass, f32)> {
+    let mut votes = Vec::new();
+    let mut vote = |c: TypeClass, w: f32| votes.push((c, w));
+    match mnemonic {
+        // Float family: unambiguous width signals.
+        "movss" | "addss" | "subss" | "mulss" | "divss" | "ucomiss" | "cvtsi2ss" => {
+            vote(TypeClass::Float, 3.0)
+        }
+        "movsd" | "addsd" | "subsd" | "mulsd" | "divsd" | "ucomisd" | "cvtsi2sd" => {
+            vote(TypeClass::Double, 3.0)
+        }
+        "fldt" | "fstpt" => vote(TypeClass::LongDouble, 3.0),
+        "flds" | "fstps" => vote(TypeClass::Float, 2.0),
+        "fldl" | "fstpl" => vote(TypeClass::Double, 2.0),
+        // Byte accesses: bool or char.
+        "movb" | "cmpb" | "testb" => {
+            vote(TypeClass::Char, 1.0);
+            vote(TypeClass::Bool, 0.8);
+            vote(TypeClass::Struct, 0.4);
+        }
+        "movsbl" | "movsbq" | "movsbw" => vote(TypeClass::Char, 2.0),
+        "movzbl" | "movzbq" | "movzbw" => {
+            vote(TypeClass::UnsignedChar, 1.2);
+            vote(TypeClass::Bool, 1.0);
+        }
+        // 16-bit.
+        "movw" | "cmpw" => {
+            vote(TypeClass::ShortInt, 1.0);
+            vote(TypeClass::ShortUnsignedInt, 0.5);
+        }
+        "movswl" | "movswq" => vote(TypeClass::ShortInt, 2.0),
+        "movzwl" | "movzwq" => vote(TypeClass::ShortUnsignedInt, 2.0),
+        // 32-bit: int-ish, could be struct member.
+        "movl" | "cmpl" | "addl" | "subl" | "andl" | "orl" | "imull" | "testl" => {
+            vote(TypeClass::Int, 1.5);
+            vote(TypeClass::UnsignedInt, 0.3);
+            vote(TypeClass::Enum, 0.3);
+            vote(TypeClass::Struct, 0.4);
+        }
+        "shrl" | "divl" => vote(TypeClass::UnsignedInt, 1.5),
+        "sarl" | "idivl" | "cltq" => vote(TypeClass::Int, 1.5),
+        // 64-bit: long or pointer — the classic ambiguity.
+        "movq" | "cmpq" | "addq" | "subq" | "testq" => {
+            vote(TypeClass::LongInt, 0.8);
+            vote(TypeClass::PtrStruct, 0.8);
+            vote(TypeClass::PtrVoid, 0.4);
+            vote(TypeClass::LongUnsignedInt, 0.5);
+        }
+        "shrq" | "divq" => vote(TypeClass::LongUnsignedInt, 1.5),
+        "sarq" | "idivq" | "cqto" => vote(TypeClass::LongInt, 1.5),
+        // lea of a slot: aggregate whose address is taken.
+        "lea" => {
+            vote(TypeClass::Struct, 1.5);
+            vote(TypeClass::Char, 0.7); // char buffers are lea'd too
+        }
+        // Suffix-elided moves: fall back on register width in operands.
+        "mov" | "cmp" | "add" | "sub" | "and" | "or" | "xor" | "test" | "imul" => {
+            let ops = format!("{op1} {op2}");
+            if ops.contains("%r") && !ops.contains("%r8d") && !ops.contains('d') {
+                vote(TypeClass::LongInt, 0.5);
+                vote(TypeClass::PtrStruct, 0.7);
+                vote(TypeClass::PtrArith, 0.3);
+            } else if ops.contains("%e") {
+                vote(TypeClass::Int, 1.2);
+                vote(TypeClass::Struct, 0.3);
+            } else if ops.contains("%al") || ops.contains('b') {
+                vote(TypeClass::Bool, 0.8);
+                vote(TypeClass::Char, 0.8);
+            } else {
+                vote(TypeClass::Int, 0.5);
+            }
+        }
+        _ => vote(TypeClass::Int, 0.2),
+    }
+    votes
+}
+
+impl VarTyper for RuleTyper {
+    fn name(&self) -> &'static str {
+        "rule-based"
+    }
+
+    fn predict_var(&self, ex: &Extraction, var_idx: usize) -> TypeClass {
+        let mut totals: HashMap<TypeClass, f32> = HashMap::new();
+        for &v in &ex.vars[var_idx].vucs {
+            let center = &ex.vucs[v as usize].insns[WINDOW];
+            let votes = rule_votes(center.mnemonic(), &center.tokens[1], &center.tokens[2]);
+            for (class, w) in votes {
+                *totals.entry(class).or_insert(0.0) += w;
+            }
+        }
+        totals
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+            .map(|(c, _)| c)
+            .unwrap_or(TypeClass::Int)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_rules_are_decisive() {
+        let v = rule_votes("movsd", "0xIMM(%rbp)", "%xmm0");
+        assert_eq!(v[0].0, TypeClass::Double);
+        let v = rule_votes("fldt", "-0xIMM(%rbp)", "BLANK");
+        assert_eq!(v[0].0, TypeClass::LongDouble);
+    }
+
+    #[test]
+    fn byte_access_is_ambiguous_by_design() {
+        let v = rule_votes("movb", "$0xIMM", "-0xIMM(%rbp)");
+        assert!(v.len() >= 2, "byte accesses should produce several candidates");
+    }
+
+    #[test]
+    fn unsigned_signals() {
+        assert_eq!(rule_votes("shrl", "$0xIMM", "%eax")[0].0, TypeClass::UnsignedInt);
+        assert_eq!(rule_votes("divq", "%rcx", "BLANK")[0].0, TypeClass::LongUnsignedInt);
+    }
+}

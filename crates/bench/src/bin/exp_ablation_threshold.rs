@@ -1,0 +1,54 @@
+//! Ablation: the confidence-clipping threshold of the voting rule.
+//!
+//! The paper sets the threshold to 0.9 "after several empirical
+//! experiments" (§V-B). This sweep regenerates that choice: variable
+//! accuracy across thresholds, where 1.1 disables clipping entirely
+//! (plain confidence summation).
+//!
+//! ```sh
+//! cargo run --release -p cati-bench --bin exp_ablation_threshold -- --scale medium
+//! ```
+
+use cati::dataset::embed_extraction;
+use cati::report::Table;
+use cati::vote;
+use cati_bench::{load_ctx, Scale};
+use cati_dwarf::TypeClass;
+use cati_synbin::Compiler;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = load_ctx(scale, Compiler::Gcc);
+
+    // Precompute leaf distributions once.
+    let mut per_var: Vec<(TypeClass, Vec<Vec<f32>>)> = Vec::new();
+    for (_, ex) in ctx.test.iter() {
+        let xs = embed_extraction(ex, &ctx.cati.embedder);
+        let dists: Vec<Vec<f32>> =
+            xs.iter().map(|x| ctx.cati.stages.leaf_distribution(x)).collect();
+        for var in &ex.vars {
+            let Some(class) = var.class else { continue };
+            let vd: Vec<Vec<f32>> =
+                var.vucs.iter().map(|&v| dists[v as usize].clone()).collect();
+            per_var.push((class, vd));
+        }
+    }
+
+    let mut table = Table::new(&["threshold", "variable accuracy", "note"]);
+    for &threshold in &[0.5f32, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.1] {
+        let mut ok = 0u64;
+        for (class, dists) in &per_var {
+            let pred = vote(dists, threshold).class;
+            ok += u64::from(TypeClass::ALL[pred] == *class);
+        }
+        let acc = ok as f64 / per_var.len().max(1) as f64;
+        let note = match threshold {
+            t if t == 0.9 => "paper's choice",
+            t if t > 1.0 => "clipping disabled",
+            _ => "",
+        };
+        table.row(vec![format!("{threshold:.2}"), format!("{acc:.4}"), note.into()]);
+    }
+    println!("\nAblation — voting threshold ({}; {} variables)\n", scale.name(), per_var.len());
+    println!("{}", table.render());
+}

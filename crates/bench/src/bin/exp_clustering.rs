@@ -1,0 +1,52 @@
+//! The same-type variable clustering phenomenon (paper §II-B, Fig. 2):
+//! in a ±10-instruction window, over half the variable instructions
+//! share the target's type.
+//!
+//! ```sh
+//! cargo run --release -p cati-bench --bin exp_clustering -- --scale medium
+//! ```
+
+use cati::report::{pct, Table};
+use cati_analysis::clustering_stats;
+use cati_bench::{load_ctx, Scale};
+use cati_synbin::Compiler;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = load_ctx(scale, Compiler::Gcc);
+
+    let report = clustering_stats(
+        ctx.train
+            .iter()
+            .map(|(_, e)| e)
+            .chain(ctx.test.iter().map(|(_, e)| e)),
+    );
+    println!("\nSame-type variable clustering (paper §II-B)\n");
+    println!("VUCs surveyed:            {}", report.overall.vucs);
+    println!(
+        "variable instructions in their windows: {}",
+        report.overall.total_var_insns
+    );
+    println!(
+        "same-type instructions:   {} ({})",
+        report.overall.same_class_insns,
+        pct(report.overall.c_rate())
+    );
+    println!("paper: 540k variable instructions in 107k VUCs, >53% same-type\n");
+
+    let mut table = Table::new(&["class", "vucs", "cnt-same", "cnt-all", "c-rate"]);
+    for class in cati_dwarf::TypeClass::ALL {
+        let cs = &report.per_class[class.index()];
+        if cs.vucs == 0 {
+            continue;
+        }
+        table.row(vec![
+            class.name().to_string(),
+            cs.vucs.to_string(),
+            format!("{:.2}", cs.cnt_same()),
+            format!("{:.2}", cs.cnt_all()),
+            pct(cs.c_rate()),
+        ]);
+    }
+    println!("{}", table.render());
+}

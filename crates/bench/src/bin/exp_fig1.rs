@@ -1,0 +1,65 @@
+//! Fig. 1: real uncertain-sample pairs — variables whose generalized
+//! target instructions are identical but whose ground-truth types
+//! differ. The paper shows two hand-picked pairs; this regenerator
+//! mines them from the corpus and prints the most frequent collisions.
+//!
+//! ```sh
+//! cargo run --release -p cati-bench --bin exp_fig1 -- --scale medium
+//! ```
+
+use cati_analysis::{Extraction, WINDOW};
+use cati_bench::{load_ctx, Scale};
+use cati_dwarf::TypeClass;
+use cati_synbin::Compiler;
+use std::collections::HashMap;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = load_ctx(scale, Compiler::Gcc);
+
+    // signature -> class -> count, over 1-VUC variables (the orphan
+    // population of paper Fig. 1 a/b).
+    let mut table: HashMap<String, HashMap<TypeClass, u32>> = HashMap::new();
+    let collect = |ds: &cati::Dataset, table: &mut HashMap<String, HashMap<TypeClass, u32>>| {
+        for (_, ex) in ds.iter() {
+            let ex: &Extraction = ex;
+            for var in &ex.vars {
+                let Some(class) = var.class else { continue };
+                if var.vucs.len() != 1 {
+                    continue;
+                }
+                let sig = ex.vucs[var.vucs[0] as usize].insns[WINDOW].to_string();
+                *table.entry(sig).or_default().entry(class).or_insert(0) += 1;
+            }
+        }
+    };
+    collect(&ctx.train, &mut table);
+    collect(&ctx.test, &mut table);
+
+    let mut collisions: Vec<(String, Vec<(TypeClass, u32)>)> = table
+        .into_iter()
+        .filter(|(_, classes)| classes.len() >= 2)
+        .map(|(sig, classes)| {
+            let mut v: Vec<(TypeClass, u32)> = classes.into_iter().collect();
+            v.sort_by(|a, b| b.1.cmp(&a.1));
+            (sig, v)
+        })
+        .collect();
+    collisions.sort_by_key(|(_, v)| std::cmp::Reverse(v.iter().map(|(_, c)| *c).sum::<u32>()));
+
+    println!("\nFig. 1 — uncertain samples mined from the corpus ({})\n", scale.name());
+    println!("single-VUC variables whose generalized target instruction collides");
+    println!("across type classes (top 12 by frequency):\n");
+    for (sig, classes) in collisions.iter().take(12) {
+        let parts: Vec<String> = classes
+            .iter()
+            .map(|(c, n)| format!("{c} ×{n}"))
+            .collect();
+        println!("  {sig:<40} -> {}", parts.join(", "));
+    }
+    println!(
+        "\n{} colliding signatures in total — no target-instruction-only method can \
+         separate these populations (paper §II-B).",
+        collisions.len()
+    );
+}

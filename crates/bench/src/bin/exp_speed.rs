@@ -1,0 +1,66 @@
+//! Training and inference speed (paper §VII): the paper quotes ~2 h
+//! CNN training, ~3 h Word2Vec, 24 min extraction + 5 min prediction
+//! over the test set, ~6 s per binary end to end. We time the same
+//! phases on this substrate.
+//!
+//! ```sh
+//! cargo run --release -p cati-bench --bin exp_speed -- --scale medium
+//! ```
+
+use cati::{embedding_sentences, Cati, Config, Dataset, MultiStage};
+use cati_analysis::FeatureView;
+use cati_bench::{Scale, SEED};
+use cati_embedding::{VucEmbedder, Word2Vec};
+use cati_synbin::{build_corpus, Compiler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let config: Config = scale.config();
+    let corpus = build_corpus(&scale.corpus(SEED).with_compiler(Compiler::Gcc));
+    println!("\nTiming ({}; {} train / {} test binaries)\n", scale.name(), corpus.train.len(), corpus.test.len());
+
+    let t = Instant::now();
+    let train_ds = Dataset::from_binaries(&corpus.train, FeatureView::WithSymbols);
+    let t_extract_train = t.elapsed();
+    println!(
+        "extraction (train): {:>8.2?}  ({} vars, {} VUCs)",
+        t_extract_train,
+        train_ds.var_count(),
+        train_ds.vuc_count()
+    );
+
+    let t = Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let sentences = embedding_sentences(&corpus.train, config.max_sentences, &mut rng);
+    let w2v = Word2Vec::train(&sentences, config.w2v);
+    let t_w2v = t.elapsed();
+    println!("Word2Vec training:  {t_w2v:>8.2?}  ({} sentences)", sentences.len());
+    let embedder = VucEmbedder::new(w2v);
+
+    let t = Instant::now();
+    let stages = MultiStage::train(&train_ds, &embedder, &config, |_| {});
+    let t_cnn = t.elapsed();
+    println!("CNN training (6 stages): {t_cnn:>8.2?}");
+
+    let cati = Cati { config, embedder, stages };
+
+    // Per-binary inference: extraction + prediction + voting.
+    let t = Instant::now();
+    let mut total_vars = 0usize;
+    for built in &corpus.test {
+        let stripped = built.binary.strip();
+        let inferred = cati.infer(&stripped).expect("inference");
+        total_vars += inferred.len();
+    }
+    let t_infer = t.elapsed();
+    println!(
+        "inference: {:>8.2?} total, {:.3} s/binary, {} variables typed",
+        t_infer,
+        t_infer.as_secs_f64() / corpus.test.len() as f64,
+        total_vars
+    );
+    println!("\npaper: ~6 s per binary (extraction dominates), 2 h CNN, 3 h Word2Vec");
+}

@@ -1,0 +1,67 @@
+//! Tables III and IV: per-application, per-stage precision / recall /
+//! F1 at VUC granularity (Table III) and at variable granularity after
+//! voting (Table IV).
+//!
+//! ```sh
+//! cargo run --release -p cati-bench --bin exp_table3_4 -- --scale medium
+//! ```
+
+use cati::report::{cell, Table};
+use cati::{stage_var_metrics, stage_vuc_metrics};
+use cati_analysis::Extraction;
+use cati_bench::{load_ctx, Scale, TEST_APPS};
+use cati_dwarf::StageId;
+use cati_synbin::Compiler;
+
+fn render(
+    title: &str,
+    ctx: &cati_bench::Ctx,
+    metrics: impl Fn(&[&Extraction], StageId) -> (cati::Prf, cati::Confusion),
+) {
+    let by_app = ctx.test.by_app();
+    let mut header = vec!["Stage", "m"];
+    header.extend(TEST_APPS);
+    let mut table = Table::new(&header);
+    for stage in StageId::ALL {
+        let mut rows = vec![Vec::new(), Vec::new(), Vec::new()];
+        for app in TEST_APPS {
+            let exs: Vec<&Extraction> = by_app
+                .iter()
+                .filter(|(a, _)| a == app)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
+            let (prf, conf) = metrics(&exs, stage);
+            let support = conf.total();
+            rows[0].push(cell(prf.precision, support));
+            rows[1].push(cell(prf.recall, support));
+            rows[2].push(cell(prf.f1, support));
+        }
+        for (metric, cells) in ["P", "R", "F1"].iter().zip(rows) {
+            let mut row = vec![stage.name().to_string(), metric.to_string()];
+            row.extend(cells);
+            table.row(row);
+        }
+    }
+    println!("\n{title}\n");
+    println!("{}", table.render());
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = load_ctx(scale, Compiler::Gcc);
+    render(
+        &format!("Table III — VUC prediction (P/R/F1) per application ({})", scale.name()),
+        &ctx,
+        |exs, stage| stage_vuc_metrics(&ctx.cati, exs, stage),
+    );
+    render(
+        &format!(
+            "Table IV — variable prediction after voting (P/R/F1) per application ({})",
+            scale.name()
+        ),
+        &ctx,
+        |exs, stage| stage_var_metrics(&ctx.cati, exs, stage),
+    );
+    println!("Expected shape (paper): Stage1 strongest (~0.9), Stage2-1 weakest (~0.7);");
+    println!("voting improves Stage1/2-2/3-1/3-3 and can hurt Stage2-1/3-2.");
+}

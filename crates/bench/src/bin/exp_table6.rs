@@ -1,0 +1,54 @@
+//! Table VI: per-application pipeline accuracy at VUC and variable
+//! granularity (paper totals: 0.68 / 0.71).
+//!
+//! ```sh
+//! cargo run --release -p cati-bench --bin exp_table6 -- --scale medium
+//! ```
+
+use cati::pipeline_accuracy;
+use cati::report::Table;
+use cati_bench::{load_ctx, Scale, TEST_APPS};
+use cati_synbin::Compiler;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = load_ctx(scale, Compiler::Gcc);
+    let by_app = ctx.test.by_app();
+
+    let mut table = Table::new(&["", "VUC Acc", "VUC Support", "Var Acc", "Var Support"]);
+    let mut tot = (0.0f64, 0u64, 0.0f64, 0u64);
+    for app in TEST_APPS {
+        let mut acc = (0.0f64, 0u64, 0.0f64, 0u64);
+        for (_, exs) in by_app.iter().filter(|(a, _)| a == app) {
+            for ex in exs {
+                let (va, vn, ra, rn) = pipeline_accuracy(&ctx.cati, ex);
+                acc.0 += va * vn as f64;
+                acc.1 += vn;
+                acc.2 += ra * rn as f64;
+                acc.3 += rn;
+            }
+        }
+        tot.0 += acc.0;
+        tot.1 += acc.1;
+        tot.2 += acc.2;
+        tot.3 += acc.3;
+        table.row(vec![
+            app.to_string(),
+            format!("{:.2}", acc.0 / acc.1.max(1) as f64),
+            acc.1.to_string(),
+            format!("{:.2}", acc.2 / acc.3.max(1) as f64),
+            acc.3.to_string(),
+        ]);
+    }
+    table.row(vec![
+        "Total".to_string(),
+        format!("{:.2}", tot.0 / tot.1.max(1) as f64),
+        tot.1.to_string(),
+        format!("{:.2}", tot.2 / tot.3.max(1) as f64),
+        tot.3.to_string(),
+    ]);
+    println!("\nTable VI — pipeline accuracy per application ({})\n", scale.name());
+    println!("{}", table.render());
+    println!("Paper totals: VUC 0.68 over >1M VUCs, variable 0.71 over >150k variables;");
+    println!("voting lifts variable accuracy ~3 points over VUC accuracy.");
+}

@@ -1,0 +1,50 @@
+//! Table VII: the transferability experiment — retrain the full
+//! pipeline on a Clang-compiled corpus and report per-stage P/R/F1
+//! (paper §VIII; total variable accuracy 82.14%).
+//!
+//! ```sh
+//! cargo run --release -p cati-bench --bin exp_table7 -- --scale medium
+//! ```
+
+use cati::report::Table;
+use cati::{pipeline_accuracy, stage_vuc_metrics};
+use cati_analysis::Extraction;
+use cati_bench::{load_ctx, Scale};
+use cati_dwarf::StageId;
+use cati_synbin::Compiler;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = load_ctx(scale, Compiler::Clang);
+    let exs: Vec<&Extraction> = ctx.test.iter().map(|(_, e)| e).collect();
+
+    let mut table = Table::new(&["Stage", "Precision", "Recall", "F1-score"]);
+    for stage in StageId::ALL {
+        let (prf, conf) = stage_vuc_metrics(&ctx.cati, &exs, stage);
+        if conf.total() == 0 {
+            table.row(vec![stage.name().into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        table.row(vec![
+            stage.name().to_string(),
+            format!("{:.2}", prf.precision),
+            format!("{:.2}", prf.recall),
+            format!("{:.2}", prf.f1),
+        ]);
+    }
+    println!("\nTable VII — evaluation on Clang-compiled corpus ({})\n", scale.name());
+    println!("{}", table.render());
+
+    let mut ok = 0.0;
+    let mut n = 0u64;
+    for ex in &exs {
+        let (_, _, ra, rn) = pipeline_accuracy(&ctx.cati, ex);
+        ok += ra * rn as f64;
+        n += rn;
+    }
+    println!(
+        "total variable accuracy on Clang: {:.2}%   (paper: 82.14%)",
+        100.0 * ok / n.max(1) as f64
+    );
+    println!("Conclusion to check: the prototype transfers across compilers.");
+}

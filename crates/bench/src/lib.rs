@@ -1,0 +1,135 @@
+//! `cati-bench` — experiment regenerators and benchmarks.
+//!
+//! One binary per table/figure of the paper's evaluation (see
+//! DESIGN.md §4 for the index) plus criterion benchmarks. All
+//! experiment binaries accept `--scale small|medium|paper` and share
+//! a cached trained model per `(scale, seed, compiler)` under
+//! `target/cati-cache/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cati::{Cati, Config, Dataset};
+use cati_analysis::FeatureView;
+use cati_synbin::{build_corpus, Compiler, Corpus, CorpusConfig};
+use std::path::PathBuf;
+
+/// Experiment scale, selected with `--scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds of CPU; sanity-check quality.
+    Small,
+    /// Minutes of CPU; default for experiments.
+    Medium,
+    /// Paper-shaped sizes; expect long runtimes.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale <s>` from `std::env::args`, defaulting to
+    /// [`Scale::Small`] (CI-friendly; pass `--scale medium` to get
+    /// report-quality numbers).
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for w in args.windows(2) {
+            if w[0] == "--scale" {
+                return match w[1].as_str() {
+                    "medium" => Scale::Medium,
+                    "paper" => Scale::Paper,
+                    _ => Scale::Small,
+                };
+            }
+        }
+        Scale::Small
+    }
+
+    /// The pipeline configuration for this scale.
+    pub fn config(self) -> Config {
+        match self {
+            Scale::Small => Config::small(),
+            Scale::Medium => Config::medium(),
+            Scale::Paper => Config::paper(),
+        }
+    }
+
+    /// The corpus configuration for this scale.
+    pub fn corpus(self, seed: u64) -> CorpusConfig {
+        match self {
+            Scale::Small => CorpusConfig::small(seed),
+            Scale::Medium => CorpusConfig::medium(seed),
+            Scale::Paper => CorpusConfig::paper(seed),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// Default seed shared by experiments so they describe one corpus.
+pub const SEED: u64 = 2020;
+
+/// A fully prepared experiment context.
+pub struct Ctx {
+    /// The corpus (train + test).
+    pub corpus: Corpus,
+    /// The trained system.
+    pub cati: Cati,
+    /// Labeled test-set extractions with the *stripped* feature view —
+    /// the deployment posture (features from stripped code, labels
+    /// from the unstripped twin for scoring).
+    pub test: Dataset,
+    /// Labeled training-set extractions (symbolized view).
+    pub train: Dataset,
+}
+
+fn cache_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/cati-cache");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Builds the corpus and trains (or loads a cached) model for `scale`
+/// and `compiler`.
+pub fn load_ctx(scale: Scale, compiler: Compiler) -> Ctx {
+    let config = scale.config();
+    let corpus_cfg = scale.corpus(SEED).with_compiler(compiler);
+    eprintln!("[ctx] building corpus ({}, {})...", scale.name(), compiler.name());
+    let corpus = build_corpus(&corpus_cfg);
+    eprintln!(
+        "[ctx] {} train binaries, {} test binaries",
+        corpus.train.len(),
+        corpus.test.len()
+    );
+    let cache = cache_dir().join(format!("cati-{}-{}-{SEED}.json", scale.name(), compiler.name()));
+    let cati = match Cati::load(&cache) {
+        Ok(model) if model.config == config => {
+            eprintln!("[ctx] loaded cached model {}", cache.display());
+            model
+        }
+        _ => {
+            eprintln!("[ctx] training model (no cache hit)...");
+            let model = Cati::train(&corpus.train, &config, |line| eprintln!("[train] {line}"));
+            if let Err(e) = model.save(&cache) {
+                eprintln!("[ctx] cache write failed: {e}");
+            }
+            model
+        }
+    };
+    eprintln!("[ctx] extracting test set...");
+    let test = Dataset::from_binaries(&corpus.test, FeatureView::Stripped);
+    let train = Dataset::from_binaries(&corpus.train, FeatureView::WithSymbols);
+    Ctx { corpus, cati, test, train }
+}
+
+/// The 12 test application names, in the paper's column order.
+pub const TEST_APPS: [&str; 12] = [
+    "bash", "bison", "cflow", "gawk", "grep", "gzip", "inetutils", "less", "nano", "R", "sed",
+    "wget",
+];

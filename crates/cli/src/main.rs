@@ -1,0 +1,280 @@
+//! `cati` — the command-line interface to the CATI reproduction.
+//!
+//! Subcommands mirror the deployment workflow:
+//!
+//! ```text
+//! cati build-corpus --out DIR [--scale S] [--compiler C] [--seed N]
+//! cati disasm BINARY.json [--strip]
+//! cati vars BINARY.json
+//! cati train --corpus DIR --out MODEL.json [--scale S]
+//! cati infer --model MODEL.json BINARY.json
+//! cati strip BINARY.json --out STRIPPED.json
+//! ```
+//!
+//! Binaries are stored as JSON serializations of
+//! [`cati_asm::Binary`]; `build-corpus` writes one file per binary
+//! plus a manifest.
+
+use cati::{Cati, Config};
+use cati_analysis::{extract, FeatureView};
+use cati_asm::binary::Binary;
+use cati_asm::fmt::format_insn;
+use cati_synbin::{build_corpus, Compiler, CorpusConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+
+/// Formats a signed frame offset as `-0x18` / `0x40`.
+fn hex_off(off: i32) -> String {
+    if off < 0 {
+        format!("-{:#x}", -(off as i64))
+    } else {
+        format!("{off:#x}")
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+    switches: std::collections::HashSet<String>,
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut switches = std::collections::HashSet::new();
+    let mut it = argv.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_string(), it.next().unwrap().clone());
+                }
+                _ => {
+                    switches.insert(name.to_string());
+                }
+            }
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Args { positional, flags, switches }
+}
+
+fn load_binary(path: &str) -> Result<Binary, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_slice(&bytes).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn save_json<T: serde::Serialize>(value: &T, path: &Path) -> Result<(), String> {
+    let json = serde_json::to_vec(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+fn scale_of(args: &Args) -> (Config, fn(u64) -> CorpusConfig) {
+    match args.flags.get("scale").map(String::as_str) {
+        Some("paper") => (Config::paper(), CorpusConfig::paper),
+        Some("medium") => (Config::medium(), CorpusConfig::medium),
+        _ => (Config::small(), CorpusConfig::small),
+    }
+}
+
+fn cmd_build_corpus(args: &Args) -> Result<(), String> {
+    let out = PathBuf::from(
+        args.flags
+            .get("out")
+            .ok_or("build-corpus requires --out DIR")?,
+    );
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(2020);
+    let compiler = match args.flags.get("compiler").map(String::as_str) {
+        Some("clang") => Compiler::Clang,
+        _ => Compiler::Gcc,
+    };
+    let (_, corpus_cfg) = scale_of(args);
+    let corpus = build_corpus(&corpus_cfg(seed).with_compiler(compiler));
+    let mut manifest = Vec::new();
+    for (split, binaries) in [("train", &corpus.train), ("test", &corpus.test)] {
+        for (i, built) in binaries.iter().enumerate() {
+            let name = format!("{split}_{:04}_{}.json", i, built.binary.name);
+            save_json(&built.binary, &out.join(&name))?;
+            manifest.push(serde_json::json!({
+                "file": name,
+                "split": split,
+                "app": built.app,
+                "compiler": built.opts.compiler.name(),
+                "opt": built.opts.opt.0,
+            }));
+        }
+    }
+    save_json(&manifest, &out.join("manifest.json"))?;
+    println!(
+        "wrote {} train + {} test binaries to {}",
+        corpus.train.len(),
+        corpus.test.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_disasm(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("disasm requires a binary path")?;
+    let mut binary = load_binary(path)?;
+    if args.switches.contains("strip") {
+        binary = binary.strip();
+    }
+    let insns = binary.disassemble().map_err(|e| e.to_string())?;
+    for located in insns {
+        let sym = binary
+            .symbol_at(located.addr)
+            .filter(|s| s.addr == located.addr)
+            .map(|s| format!("\n{:016x} <{}>:", s.addr, s.name));
+        if let Some(header) = sym {
+            println!("{header}");
+        }
+        println!("  {:6x}:\t{}", located.addr, format_insn(&located.insn, &binary));
+    }
+    Ok(())
+}
+
+fn cmd_vars(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("vars requires a binary path")?;
+    let binary = load_binary(path)?;
+    let view = if binary.debug.is_some() {
+        FeatureView::WithSymbols
+    } else {
+        FeatureView::Stripped
+    };
+    let ex = extract(&binary, view).map_err(|e| e.to_string())?;
+    println!("{:<6} {:>8}  {:<24} {:>5}", "func", "offset", "type (ground truth)", "vucs");
+    for var in &ex.vars {
+        println!(
+            "{:<6} {:>8}  {:<24} {:>5}",
+            var.key.func,
+            hex_off(var.key.offset),
+            var.class.map(|c| c.to_string()).unwrap_or_else(|| "?".into()),
+            var.vucs.len()
+        );
+    }
+    println!("{} variables, {} VUCs", ex.vars.len(), ex.vucs.len());
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let corpus_dir = PathBuf::from(
+        args.flags
+            .get("corpus")
+            .ok_or("train requires --corpus DIR")?,
+    );
+    let out = args.flags.get("out").ok_or("train requires --out MODEL.json")?;
+    let (config, _) = scale_of(args);
+    let manifest: Vec<serde_json::Value> = serde_json::from_slice(
+        &std::fs::read(corpus_dir.join("manifest.json")).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut train = Vec::new();
+    for entry in &manifest {
+        if entry["split"] == "train" {
+            let file = entry["file"].as_str().ok_or("bad manifest")?;
+            let binary = load_binary(corpus_dir.join(file).to_str().unwrap())?;
+            let opt = entry["opt"].as_u64().unwrap_or(0) as u8;
+            let compiler = if entry["compiler"] == "clang" { Compiler::Clang } else { Compiler::Gcc };
+            train.push(cati_synbin::BuiltBinary {
+                binary,
+                app: entry["app"].as_str().unwrap_or("unknown").to_string(),
+                opts: cati_synbin::CodegenOptions {
+                    compiler,
+                    opt: cati_synbin::OptLevel(opt),
+                },
+            });
+        }
+    }
+    if train.is_empty() {
+        return Err("no training binaries in manifest".into());
+    }
+    println!("training on {} binaries...", train.len());
+    let cati = Cati::train(&train, &config, |line| println!("  {line}"));
+    cati.save(out).map_err(|e| e.to_string())?;
+    println!("model saved to {out}");
+    Ok(())
+}
+
+fn cmd_infer(args: &Args) -> Result<(), String> {
+    let model = args.flags.get("model").ok_or("infer requires --model MODEL.json")?;
+    let path = args.positional.first().ok_or("infer requires a binary path")?;
+    let cati = Cati::load(model).map_err(|e| e.to_string())?;
+    let binary = load_binary(path)?;
+    let mut inferred = cati.infer(&binary).map_err(|e| e.to_string())?;
+    inferred.sort_by(|a, b| (a.key.func, a.key.offset).cmp(&(b.key.func, b.key.offset)));
+    if args.switches.contains("json") {
+        println!("{}", serde_json::to_string_pretty(&inferred).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    println!("{:<6} {:>8}  {:<22} {:>5} {:>6}", "func", "offset", "inferred type", "vucs", "conf");
+    for var in &inferred {
+        println!(
+            "{:<6} {:>8}  {:<22} {:>5} {:>5.0}%",
+            var.key.func,
+            hex_off(var.key.offset),
+            var.class.to_string(),
+            var.vuc_count,
+            var.confidence * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_strip(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("strip requires a binary path")?;
+    let out = args.flags.get("out").ok_or("strip requires --out FILE")?;
+    let binary = load_binary(path)?;
+    save_json(&binary.strip(), Path::new(out))?;
+    println!("stripped binary written to {out}");
+    Ok(())
+}
+
+const USAGE: &str = "\
+cati — context-assisted type inference from stripped binaries
+
+USAGE:
+  cati build-corpus --out DIR [--scale small|medium|paper] [--compiler gcc|clang] [--seed N]
+  cati disasm BINARY.json [--strip]
+  cati vars BINARY.json
+  cati train --corpus DIR --out MODEL.json [--scale small|medium|paper]
+  cati infer --model MODEL.json BINARY.json [--json]
+  cati strip BINARY.json --out STRIPPED.json
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = parse_args(&argv[1..]);
+    let result = match cmd.as_str() {
+        "build-corpus" => cmd_build_corpus(&args),
+        "disasm" => cmd_disasm(&args),
+        "vars" => cmd_vars(&args),
+        "train" => cmd_train(&args),
+        "infer" => cmd_infer(&args),
+        "strip" => cmd_strip(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end test of the `cati` command-line tool: build a corpus,
+//! strip a binary, train a model, infer types — all through the CLI.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cati_bin() -> PathBuf {
+    // target/<profile>/cati sits two levels above the test executable.
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // deps/
+    p.pop(); // debug|release/
+    p.push("cati");
+    p
+}
+
+fn run(args: &[&str], cwd: &std::path::Path) -> (bool, String, String) {
+    let out = Command::new(cati_bin())
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn cati");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = std::env::temp_dir().join(format!("cati_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // 1. Build a corpus.
+    let (ok, stdout, stderr) = run(&["build-corpus", "--out", "corpus", "--seed", "5"], &dir);
+    assert!(ok, "build-corpus failed: {stderr}");
+    assert!(stdout.contains("wrote"), "{stdout}");
+    let manifest = dir.join("corpus/manifest.json");
+    assert!(manifest.exists());
+
+    // Find one test binary from the manifest.
+    let entries: Vec<serde_json::Value> =
+        serde_json::from_slice(&std::fs::read(&manifest).unwrap()).unwrap();
+    let test_file = entries
+        .iter()
+        .find(|e| e["split"] == "test")
+        .and_then(|e| e["file"].as_str())
+        .expect("a test binary");
+    let test_path = format!("corpus/{test_file}");
+
+    // 2. Strip it.
+    let (ok, _, stderr) = run(&["strip", &test_path, "--out", "stripped.json"], &dir);
+    assert!(ok, "strip failed: {stderr}");
+
+    // 3. Disassemble both views.
+    let (ok, full, _) = run(&["disasm", &test_path], &dir);
+    assert!(ok);
+    assert!(full.contains("push %rbp") || full.contains("sub $"), "{full}");
+    assert!(full.contains('<'), "unstripped listing should show symbols");
+    let (ok, stripped_listing, _) = run(&["disasm", "stripped.json"], &dir);
+    assert!(ok);
+    assert!(
+        !stripped_listing.contains('<'),
+        "stripped listing must not show symbols"
+    );
+
+    // 4. Ground-truth variables.
+    let (ok, vars, _) = run(&["vars", &test_path], &dir);
+    assert!(ok);
+    assert!(vars.contains("variables,"), "{vars}");
+
+    // 5. Train.
+    let (ok, _, stderr) = run(
+        &["train", "--corpus", "corpus", "--out", "model.json"],
+        &dir,
+    );
+    assert!(ok, "train failed: {stderr}");
+    assert!(dir.join("model.json").exists());
+
+    // 6. Infer on the stripped binary.
+    let (ok, inferred, stderr) = run(&["infer", "--model", "model.json", "stripped.json"], &dir);
+    assert!(ok, "infer failed: {stderr}");
+    assert!(inferred.contains("inferred type"), "{inferred}");
+    assert!(inferred.lines().count() > 3, "no variables inferred:\n{inferred}");
+
+    // 7. JSON output parses.
+    let (ok, json_out, _) = run(
+        &["infer", "--model", "model.json", "stripped.json", "--json"],
+        &dir,
+    );
+    assert!(ok);
+    let parsed: serde_json::Value = serde_json::from_str(&json_out).expect("valid JSON");
+    assert!(parsed.as_array().map(|a| !a.is_empty()).unwrap_or(false));
+
+    // 8. Unknown commands fail cleanly.
+    let (ok, _, stderr) = run(&["frobnicate"], &dir);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

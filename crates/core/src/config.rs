@@ -1,0 +1,111 @@
+//! Pipeline configuration at three scales.
+
+use cati_embedding::W2vConfig;
+use serde::{Deserialize, Serialize};
+
+/// Full CATI pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// Word2Vec hyper-parameters.
+    pub w2v: W2vConfig,
+    /// First conv layer channels (paper: 32).
+    pub conv1: usize,
+    /// Second conv layer channels (paper: 64).
+    pub conv2: usize,
+    /// Fully connected width (paper: 1024).
+    pub fc: usize,
+    /// CNN training epochs per stage.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Confidence clipping threshold for voting (paper Eq. 3: 0.9).
+    pub vote_threshold: f32,
+    /// Cap on per-stage training samples (0 = unlimited).
+    pub max_stage_samples: usize,
+    /// Cap on Word2Vec training sentences (0 = unlimited).
+    pub max_sentences: usize,
+    /// Rare classes are oversampled until they hold at least this
+    /// fraction of the largest class's count (0 disables).
+    pub oversample_floor: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Paper-scale hyper-parameters (§IV–§V): embed 32, window 5,
+    /// CNN 32-64 + FC-1024, threshold 0.9.
+    pub fn paper() -> Config {
+        Config {
+            w2v: W2vConfig::paper(),
+            conv1: 32,
+            conv2: 64,
+            fc: 1024,
+            epochs: 4,
+            batch: 64,
+            lr: 1e-3,
+            vote_threshold: 0.9,
+            max_stage_samples: 0,
+            max_sentences: 0,
+            oversample_floor: 0.05,
+            seed: 2020,
+        }
+    }
+
+    /// Medium scale: same structure, smaller widths — minutes of CPU
+    /// instead of hours, used by the experiment binaries by default.
+    pub fn medium() -> Config {
+        Config {
+            w2v: W2vConfig { dim: 16, ..W2vConfig::paper() },
+            conv1: 16,
+            conv2: 32,
+            fc: 256,
+            epochs: 3,
+            batch: 64,
+            lr: 1.5e-3,
+            vote_threshold: 0.9,
+            max_stage_samples: 60_000,
+            max_sentences: 40_000,
+            oversample_floor: 0.05,
+            seed: 2020,
+        }
+    }
+
+    /// Tiny scale for unit and integration tests (seconds of CPU).
+    pub fn small() -> Config {
+        Config {
+            w2v: W2vConfig { dim: 8, epochs: 2, ..W2vConfig::tiny() },
+            conv1: 8,
+            conv2: 8,
+            fc: 32,
+            epochs: 2,
+            batch: 32,
+            lr: 2e-3,
+            vote_threshold: 0.9,
+            max_stage_samples: 4_000,
+            max_sentences: 2_000,
+            oversample_floor: 0.05,
+            seed: 2020,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_size() {
+        let s = Config::small();
+        let m = Config::medium();
+        let p = Config::paper();
+        assert!(s.fc < m.fc && m.fc < p.fc);
+        assert!(s.w2v.dim <= m.w2v.dim && m.w2v.dim <= p.w2v.dim);
+        assert_eq!(p.vote_threshold, 0.9);
+        assert_eq!(p.w2v.dim, 32);
+        assert_eq!(p.conv1, 32);
+        assert_eq!(p.conv2, 64);
+        assert_eq!(p.fc, 1024);
+    }
+}

@@ -1,0 +1,243 @@
+//! Dataset assembly: corpus → extractions → embedding sentences →
+//! per-stage training sets.
+
+use cati_analysis::{extract, Extraction, FeatureView};
+use cati_asm::generalize::generalize;
+use cati_dwarf::{StageId, TypeClass};
+use cati_embedding::VucEmbedder;
+use cati_synbin::BuiltBinary;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The extractions of a set of binaries, tagged with their
+/// application names.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// `(application, extraction)` per binary.
+    pub entries: Vec<(String, Extraction)>,
+}
+
+impl Dataset {
+    /// Extracts every binary in `built` in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a binary fails to extract — corpus binaries are
+    /// produced by our own linker, so failure indicates a bug.
+    pub fn from_binaries(built: &[BuiltBinary], view: FeatureView) -> Dataset {
+        let entries = built
+            .par_iter()
+            .map(|b| {
+                let ex = extract(&b.binary, view).expect("corpus binary must extract");
+                (b.app.clone(), ex)
+            })
+            .collect();
+        Dataset { entries }
+    }
+
+    /// Total labeled variables.
+    pub fn var_count(&self) -> usize {
+        self.entries.iter().map(|(_, e)| e.vars.len()).sum()
+    }
+
+    /// Total VUCs.
+    pub fn vuc_count(&self) -> usize {
+        self.entries.iter().map(|(_, e)| e.vucs.len()).sum()
+    }
+
+    /// Iterates `(app, extraction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(String, Extraction)> {
+        self.entries.iter()
+    }
+
+    /// Groups extractions by application name (insertion order).
+    pub fn by_app(&self) -> Vec<(String, Vec<&Extraction>)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut map: std::collections::HashMap<&str, Vec<&Extraction>> = Default::default();
+        for (app, ex) in &self.entries {
+            if !map.contains_key(app.as_str()) {
+                order.push(app.clone());
+            }
+            map.entry(app.as_str()).or_default().push(ex);
+        }
+        order
+            .into_iter()
+            .map(|app| {
+                let v = map.remove(app.as_str()).unwrap_or_default();
+                (app, v)
+            })
+            .collect()
+    }
+}
+
+/// Builds Word2Vec training sentences from whole binaries: one
+/// sentence per function's generalized instruction stream, which is
+/// what "assembly code embedding" trains over (paper §IV-C).
+pub fn embedding_sentences(
+    built: &[BuiltBinary],
+    max_sentences: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<String>> {
+    let mut sentences: Vec<Vec<String>> = built
+        .par_iter()
+        .flat_map_iter(|b| {
+            let insns = b.binary.disassemble().expect("corpus binary must decode");
+            let funcs = cati_analysis::split_functions(&insns, &b.binary);
+            let mut out = Vec::with_capacity(funcs.len());
+            for (start, end) in funcs {
+                let mut sent = Vec::with_capacity((end - start) * 3);
+                for located in &insns[start..end] {
+                    let g = generalize(&located.insn, &b.binary);
+                    sent.extend(g.iter().map(str::to_string));
+                }
+                out.push(sent);
+            }
+            out
+        })
+        .collect();
+    if max_sentences > 0 && sentences.len() > max_sentences {
+        sentences.shuffle(rng);
+        sentences.truncate(max_sentences);
+    }
+    sentences
+}
+
+/// One embedded, stage-labeled training sample.
+pub type Sample = (Vec<f32>, usize);
+
+/// Builds the training set of one stage: every VUC whose ground-truth
+/// class carries a label at `stage`, embedded and labeled, capped and
+/// rare-class-oversampled per the configuration.
+pub fn stage_dataset(
+    dataset: &Dataset,
+    embedder: &VucEmbedder,
+    stage: StageId,
+    max_samples: usize,
+    oversample_floor: f64,
+    rng: &mut StdRng,
+) -> Vec<Sample> {
+    // Collect (extraction ref, vuc idx, label) first — cheap.
+    let mut refs: Vec<(&Extraction, usize, usize)> = Vec::new();
+    for (_, ex) in &dataset.entries {
+        for (i, vuc) in ex.vucs.iter().enumerate() {
+            let Some(class) = vuc.class(&ex.vars) else { continue };
+            let Some(label) = stage.label_of(class) else { continue };
+            refs.push((ex, i, label));
+        }
+    }
+    if max_samples > 0 && refs.len() > max_samples {
+        refs.shuffle(rng);
+        refs.truncate(max_samples);
+    }
+    // Rare-class oversampling to a floor fraction of the largest class.
+    if oversample_floor > 0.0 {
+        let mut counts = vec![0usize; stage.num_classes()];
+        for &(_, _, l) in &refs {
+            counts[l] += 1;
+        }
+        let max_count = counts.iter().copied().max().unwrap_or(0);
+        let floor = ((max_count as f64) * oversample_floor) as usize;
+        let mut extra = Vec::new();
+        for label in 0..stage.num_classes() {
+            if counts[label] == 0 || counts[label] >= floor {
+                continue;
+            }
+            let pool: Vec<_> = refs.iter().filter(|r| r.2 == label).copied().collect();
+            while counts[label] + extra.len() < floor && !pool.is_empty() {
+                extra.push(pool[rng.gen_range(0..pool.len())]);
+                if extra.len() > max_count {
+                    break; // hard safety bound
+                }
+            }
+            refs.extend(extra.drain(..));
+        }
+    }
+    refs.into_par_iter()
+        .map(|(ex, i, label)| (embedder.embed_window(&ex.vucs[i].insns), label))
+        .collect()
+}
+
+/// Embeds every VUC of one extraction (inference path).
+pub fn embed_extraction(ex: &Extraction, embedder: &VucEmbedder) -> Vec<Vec<f32>> {
+    ex.vucs
+        .par_iter()
+        .map(|v| embedder.embed_window(&v.insns))
+        .collect()
+}
+
+/// The class distribution of labeled variables, indexed by
+/// [`TypeClass::index`].
+pub fn class_histogram(dataset: &Dataset) -> Vec<u64> {
+    let mut hist = vec![0u64; TypeClass::ALL.len()];
+    for (_, ex) in &dataset.entries {
+        for (_, var) in ex.labeled_vars() {
+            hist[var.class.expect("labeled").index()] += 1;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cati_embedding::{W2vConfig, Word2Vec};
+    use cati_synbin::{build_corpus, CorpusConfig};
+    use rand::SeedableRng;
+
+    fn tiny_dataset() -> (Dataset, Vec<BuiltBinary>) {
+        let corpus = build_corpus(&CorpusConfig::small(77));
+        let ds = Dataset::from_binaries(&corpus.train, FeatureView::WithSymbols);
+        (ds, corpus.train)
+    }
+
+    #[test]
+    fn dataset_collects_labeled_vucs() {
+        let (ds, _) = tiny_dataset();
+        assert!(ds.var_count() > 50, "vars {}", ds.var_count());
+        assert!(ds.vuc_count() >= ds.var_count());
+    }
+
+    #[test]
+    fn sentences_and_stage_sets() {
+        let (ds, built) = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        let sentences = embedding_sentences(&built, 500, &mut rng);
+        assert!(!sentences.is_empty());
+        assert!(sentences.len() <= 500);
+        let model = Word2Vec::train(&sentences, W2vConfig::tiny());
+        let embedder = VucEmbedder::new(model);
+
+        let s1 = stage_dataset(&ds, &embedder, StageId::Stage1, 300, 0.05, &mut rng);
+        assert!(!s1.is_empty());
+        assert!(s1.len() <= 330, "cap plus oversample slack, got {}", s1.len());
+        for (x, label) in &s1 {
+            assert_eq!(x.len(), embedder.embed_dim() * 21);
+            assert!(*label < 2);
+        }
+        // Stage 3-2 may be tiny but labels stay in range.
+        let s32 = stage_dataset(&ds, &embedder, StageId::Stage3Float, 0, 0.05, &mut rng);
+        for (_, label) in &s32 {
+            assert!(*label < 3);
+        }
+    }
+
+    #[test]
+    fn histogram_covers_common_classes() {
+        let (ds, _) = tiny_dataset();
+        let hist = class_histogram(&ds);
+        assert!(hist[TypeClass::Int.index()] > 0);
+        assert!(hist[TypeClass::PtrStruct.index()] + hist[TypeClass::Struct.index()] > 0);
+        assert_eq!(hist.iter().sum::<u64>() as usize, ds.var_count());
+    }
+
+    #[test]
+    fn by_app_groups_entries() {
+        let (ds, _) = tiny_dataset();
+        let groups = ds.by_app();
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, ds.entries.len());
+    }
+}

@@ -1,0 +1,71 @@
+//! `cati` — Context-Assisted Type Inference from stripped binaries.
+//!
+//! A from-scratch Rust reproduction of CATI (Chen, He, Mao — DSN
+//! 2020): a system that locates variables in stripped x86-64 binaries
+//! and infers one of 19 C type classes for each from the *Variable
+//! Usage Context* — the target instruction plus ten instructions of
+//! context on each side — using a six-stage tree of CNN classifiers
+//! and a confidence-clipped voting rule over each variable's VUCs.
+//!
+//! The crate composes the substrates (see DESIGN.md):
+//! [`cati_synbin`] builds corpora, [`cati_analysis`] recovers
+//! variables and cuts VUCs, [`cati_embedding`] trains Word2Vec and
+//! embeds windows, [`cati_nn`] trains the stage CNNs. This crate adds
+//! the stage tree ([`multistage`]), voting ([`vote`]), metrics
+//! ([`metrics`]), occlusion analysis ([`occlusion`], paper Fig. 6),
+//! compiler identification ([`compiler_id`], §VIII), the DEBIN
+//! comparison task ([`debin`]) and the end-to-end [`Cati`] pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cati::{Cati, Config};
+//! use cati_synbin::{build_corpus, CorpusConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let corpus = build_corpus(&CorpusConfig::small(7));
+//! let cati = Cati::train(&corpus.train[..4], &Config::small(), |_| {});
+//! let stripped = corpus.test[0].binary.strip();
+//! let vars = cati.infer(&stripped)?;
+//! for var in vars.iter().take(3) {
+//!     println!("func {} offset {:#x}: {} ({} VUCs)",
+//!              var.key.func, var.key.offset, var.class, var.vuc_count);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compiler_id;
+pub mod config;
+pub mod dataset;
+pub mod debin;
+pub mod metrics;
+pub mod multistage;
+pub mod occlusion;
+pub mod pipeline;
+pub mod report;
+pub mod vote;
+
+pub use compiler_id::CompilerId;
+pub use config::Config;
+pub use dataset::{class_histogram, embedding_sentences, Dataset};
+pub use debin::DebinTask;
+pub use metrics::{confusion, Confusion, Prf};
+pub use multistage::MultiStage;
+pub use occlusion::{importance_heatmap, occlusion_epsilons, ImportanceHeatmap};
+pub use pipeline::{
+    pipeline_accuracy, stage_var_metrics, stage_vuc_metrics, Cati, Evaluation, InferredVar,
+};
+pub use vote::{clip_confidences, vote, VoteResult};
+
+// Re-export the substrate crates so downstream users need only one
+// dependency.
+pub use cati_analysis as analysis;
+pub use cati_asm as asm;
+pub use cati_dwarf as dwarf;
+pub use cati_embedding as embedding;
+pub use cati_nn as nn;
+pub use cati_synbin as synbin;

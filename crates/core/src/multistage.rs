@@ -1,0 +1,206 @@
+//! The tree of six stage classifiers (paper Fig. 5).
+
+use crate::config::Config;
+use crate::dataset::{stage_dataset, Dataset};
+use cati_dwarf::{StageId, TypeClass};
+use cati_embedding::VucEmbedder;
+use cati_nn::{Adam, TextCnn, TextCnnConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The six trained stage models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiStage {
+    models: Vec<(StageId, TextCnn)>,
+}
+
+impl MultiStage {
+    /// Trains all six stages on `dataset` using `embedder` features.
+    /// `progress` receives one line per stage.
+    pub fn train(
+        dataset: &Dataset,
+        embedder: &VucEmbedder,
+        config: &Config,
+        mut progress: impl FnMut(&str),
+    ) -> MultiStage {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut models = Vec::with_capacity(StageId::ALL.len());
+        for stage in StageId::ALL {
+            let data = stage_dataset(
+                dataset,
+                embedder,
+                stage,
+                config.max_stage_samples,
+                config.oversample_floor,
+                &mut rng,
+            );
+            let cnn_cfg = TextCnnConfig {
+                seq_len: cati_analysis::VUC_LEN,
+                embed_dim: embedder.embed_dim(),
+                conv1: config.conv1,
+                conv2: config.conv2,
+                fc: config.fc,
+                classes: stage.num_classes(),
+            };
+            let mut model = TextCnn::new(cnn_cfg, config.seed ^ stage as u64);
+            let mut opt = Adam::new(config.lr);
+            let mut last_loss = f32::NAN;
+            for _ in 0..config.epochs {
+                last_loss = model.train_epoch(&data, &mut opt, config.batch, &mut rng);
+            }
+            progress(&format!(
+                "{stage}: {} samples, final loss {last_loss:.4}",
+                data.len()
+            ));
+            models.push((stage, model));
+        }
+        MultiStage { models }
+    }
+
+    /// The model for one stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage is missing (cannot happen for trained
+    /// instances).
+    pub fn stage(&self, stage: StageId) -> &TextCnn {
+        &self.models.iter().find(|(s, _)| *s == stage).expect("stage trained").1
+    }
+
+    /// Per-stage class probabilities for one embedded VUC.
+    pub fn stage_probs(&self, stage: StageId, x: &[f32]) -> Vec<f32> {
+        self.stage(stage).predict(x)
+    }
+
+    /// The full 19-class leaf distribution of one embedded VUC: the
+    /// probability of each leaf is the product of the stage
+    /// probabilities along its root-to-leaf path.
+    pub fn leaf_distribution(&self, x: &[f32]) -> Vec<f32> {
+        let per_stage: Vec<(StageId, Vec<f32>)> = StageId::ALL
+            .iter()
+            .map(|&s| (s, self.stage_probs(s, x)))
+            .collect();
+        let prob = |stage: StageId, label: usize| -> f32 {
+            per_stage
+                .iter()
+                .find(|(s, _)| *s == stage)
+                .map(|(_, p)| p[label])
+                .unwrap_or(0.0)
+        };
+        TypeClass::ALL
+            .iter()
+            .map(|&class| {
+                StageId::path_of(class)
+                    .into_iter()
+                    .map(|(stage, label)| prob(stage, label))
+                    .product()
+            })
+            .collect()
+    }
+
+    /// Greedy tree descent: the argmax label at each stage decides the
+    /// branch; returns the leaf and the (stage, label, confidence)
+    /// path.
+    pub fn descend(&self, x: &[f32]) -> (TypeClass, Vec<(StageId, usize, f32)>) {
+        let mut stage = StageId::Stage1;
+        let mut path = Vec::with_capacity(3);
+        loop {
+            let probs = self.stage_probs(stage, x);
+            let (label, conf) = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, p)| (i, *p))
+                .expect("non-empty distribution");
+            path.push((stage, label, conf));
+            if let Some(leaf) = stage.leaf(label) {
+                return (leaf, path);
+            }
+            stage = stage.next(label).expect("non-leaf label routes onward");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::embedding_sentences;
+    use cati_analysis::FeatureView;
+    use cati_embedding::{Word2Vec, VucEmbedder};
+    use cati_synbin::{build_corpus, CorpusConfig};
+
+    fn trained() -> (MultiStage, VucEmbedder, Dataset) {
+        let config = Config::small();
+        let corpus = build_corpus(&CorpusConfig::small(13));
+        let ds = Dataset::from_binaries(&corpus.train, FeatureView::WithSymbols);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sentences = embedding_sentences(&corpus.train, config.max_sentences, &mut rng);
+        let embedder = VucEmbedder::new(Word2Vec::train(&sentences, config.w2v));
+        let ms = MultiStage::train(&ds, &embedder, &config, |_| {});
+        (ms, embedder, ds)
+    }
+
+    #[test]
+    fn leaf_distribution_sums_to_one() {
+        let (ms, embedder, ds) = trained();
+        let ex = &ds.entries[0].1;
+        let x = embedder.embed_window(&ex.vucs[0].insns);
+        let dist = ms.leaf_distribution(&x);
+        assert_eq!(dist.len(), 19);
+        let sum: f32 = dist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "leaf distribution sums to {sum}");
+        assert!(dist.iter().all(|p| *p >= 0.0));
+    }
+
+    #[test]
+    fn descend_agrees_with_leaf_argmax_often() {
+        let (ms, embedder, ds) = trained();
+        let mut agree = 0;
+        let mut total = 0;
+        for (_, ex) in ds.entries.iter().take(3) {
+            for vuc in ex.vucs.iter().take(30) {
+                let x = embedder.embed_window(&vuc.insns);
+                let (leaf, path) = ms.descend(&x);
+                assert!(!path.is_empty() && path.len() <= 3);
+                let dist = ms.leaf_distribution(&x);
+                let argmax = TypeClass::ALL[dist
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .unwrap()
+                    .0];
+                total += 1;
+                if argmax == leaf {
+                    agree += 1;
+                }
+            }
+        }
+        // Greedy descent and global argmax agree in the typical case.
+        assert!(agree * 2 > total, "only {agree}/{total} agreement");
+    }
+
+    #[test]
+    fn stage1_learns_pointerness_signal() {
+        let (ms, embedder, ds) = trained();
+        // On training data itself, stage 1 should beat a coin flip.
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (_, ex) in &ds.entries {
+            for vuc in &ex.vucs {
+                let Some(class) = vuc.class(&ex.vars) else { continue };
+                let truth = usize::from(class.is_pointer());
+                let x = embedder.embed_window(&vuc.insns);
+                let p = ms.stage_probs(StageId::Stage1, &x);
+                let pred = usize::from(p[1] > p[0]);
+                correct += usize::from(pred == truth);
+                total += 1;
+                if total > 400 {
+                    break;
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.6, "stage1 train accuracy {acc:.2}");
+    }
+}

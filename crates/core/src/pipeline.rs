@@ -1,0 +1,260 @@
+//! The end-to-end CATI pipeline: train on a corpus, evaluate on
+//! labeled extractions, infer types from unseen stripped binaries.
+
+use crate::config::Config;
+use crate::dataset::{embed_extraction, embedding_sentences, Dataset};
+use crate::metrics::{Confusion, Prf};
+use crate::multistage::MultiStage;
+use crate::vote::vote;
+use cati_analysis::{extract, ExtractError, Extraction, FeatureView, VarKey};
+use cati_asm::binary::Binary;
+use cati_dwarf::{StageId, TypeClass};
+use cati_embedding::{VucEmbedder, Word2Vec};
+use cati_synbin::BuiltBinary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A trained CATI system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cati {
+    /// Configuration used for training.
+    pub config: Config,
+    /// The instruction embedder.
+    pub embedder: VucEmbedder,
+    /// The six stage classifiers.
+    pub stages: MultiStage,
+}
+
+/// Per-VUC and per-variable predictions for one extraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Leaf distribution of each VUC (19 classes).
+    pub vuc_dists: Vec<Vec<f32>>,
+    /// Argmax class of each VUC.
+    pub vuc_preds: Vec<TypeClass>,
+    /// Voted class of each variable (parallel to `Extraction::vars`).
+    pub var_preds: Vec<TypeClass>,
+}
+
+/// One inferred variable of a stripped binary — the system's final
+/// user-facing output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferredVar {
+    /// Location of the variable.
+    pub key: VarKey,
+    /// Predicted type class.
+    pub class: TypeClass,
+    /// Mean (clipped) vote share of the winning class.
+    pub confidence: f32,
+    /// Number of VUCs that voted.
+    pub vuc_count: u32,
+}
+
+impl Cati {
+    /// Trains the full pipeline on `train` binaries: extraction →
+    /// Word2Vec → six stage CNNs. `progress` receives status lines.
+    pub fn train(
+        train: &[BuiltBinary],
+        config: &Config,
+        mut progress: impl FnMut(&str),
+    ) -> Cati {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        progress(&format!("extracting {} training binaries", train.len()));
+        let dataset = Dataset::from_binaries(train, FeatureView::WithSymbols);
+        progress(&format!(
+            "extracted {} variables / {} VUCs",
+            dataset.var_count(),
+            dataset.vuc_count()
+        ));
+        let sentences = embedding_sentences(train, config.max_sentences, &mut rng);
+        progress(&format!("training Word2Vec on {} sentences", sentences.len()));
+        let embedder = VucEmbedder::new(Word2Vec::train(&sentences, config.w2v));
+        let stages = MultiStage::train(&dataset, &embedder, config, &mut progress);
+        Cati { config: *config, embedder, stages }
+    }
+
+    /// Leaf distribution (19 classes) of one generalized window.
+    pub fn predict_window(&self, insns: &[cati_asm::generalize::GenInsn]) -> Vec<f32> {
+        let x = self.embedder.embed_window(insns);
+        self.stages.leaf_distribution(&x)
+    }
+
+    /// Evaluates one labeled extraction: per-VUC distributions and
+    /// per-variable votes.
+    pub fn evaluate(&self, ex: &Extraction) -> Evaluation {
+        let xs = embed_extraction(ex, &self.embedder);
+        let vuc_dists: Vec<Vec<f32>> = xs
+            .par_iter()
+            .map(|x| self.stages.leaf_distribution(x))
+            .collect();
+        let vuc_preds: Vec<TypeClass> = vuc_dists
+            .iter()
+            .map(|d| {
+                TypeClass::ALL[d
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)]
+            })
+            .collect();
+        let var_preds = ex
+            .vars
+            .iter()
+            .map(|var| {
+                let dists: Vec<Vec<f32>> = var
+                    .vucs
+                    .iter()
+                    .map(|&v| vuc_dists[v as usize].clone())
+                    .collect();
+                TypeClass::ALL[vote(&dists, self.config.vote_threshold).class]
+            })
+            .collect();
+        Evaluation { vuc_dists, vuc_preds, var_preds }
+    }
+
+    /// Runs the full inference pipeline on a stripped binary: locate
+    /// variables, extract VUCs, classify, vote.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the binary's text section does not decode.
+    pub fn infer(&self, binary: &Binary) -> Result<Vec<InferredVar>, ExtractError> {
+        let ex = extract(binary, FeatureView::Stripped)?;
+        let eval = self.evaluate(&ex);
+        Ok(ex
+            .vars
+            .iter()
+            .zip(&eval.var_preds)
+            .map(|(var, &class)| {
+                let dists: Vec<Vec<f32>> = var
+                    .vucs
+                    .iter()
+                    .map(|&v| eval.vuc_dists[v as usize].clone())
+                    .collect();
+                let result = vote(&dists, self.config.vote_threshold);
+                let share = result.totals[result.class] / var.vucs.len() as f32;
+                InferredVar {
+                    key: var.key,
+                    class,
+                    confidence: share.min(1.0),
+                    vuc_count: var.vucs.len() as u32,
+                }
+            })
+            .collect())
+    }
+
+    /// Serializes the trained system to JSON at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = serde_json::to_vec(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a system serialized by [`Cati::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialization failures.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Cati> {
+        let bytes = std::fs::read(path)?;
+        serde_json::from_slice(&bytes).map_err(std::io::Error::other)
+    }
+}
+
+/// Per-stage evaluation at VUC granularity: each stage classifier is
+/// scored on the samples whose ground truth reaches it (paper Table
+/// III).
+pub fn stage_vuc_metrics(
+    cati: &Cati,
+    extractions: &[&Extraction],
+    stage: StageId,
+) -> (Prf, Confusion) {
+    let mut m = Confusion::new(stage.num_classes());
+    for ex in extractions {
+        let xs = embed_extraction(ex, &cati.embedder);
+        let preds: Vec<Option<usize>> = xs
+            .par_iter()
+            .zip(&ex.vucs)
+            .map(|(x, vuc)| {
+                let class = vuc.class(&ex.vars)?;
+                stage.label_of(class)?;
+                let probs = cati.stages.stage_probs(stage, x);
+                Some(
+                    probs
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0),
+                )
+            })
+            .collect();
+        for (vuc, pred) in ex.vucs.iter().zip(preds) {
+            let (Some(class), Some(pred)) = (vuc.class(&ex.vars), pred) else {
+                continue;
+            };
+            let Some(truth) = stage.label_of(class) else { continue };
+            m.record(truth, pred);
+        }
+    }
+    (m.weighted_avg(), m)
+}
+
+/// Per-stage evaluation at variable granularity, after voting over
+/// each variable's VUCs with the stage's own distributions (paper
+/// Table IV).
+pub fn stage_var_metrics(
+    cati: &Cati,
+    extractions: &[&Extraction],
+    stage: StageId,
+) -> (Prf, Confusion) {
+    let mut m = Confusion::new(stage.num_classes());
+    for ex in extractions {
+        let xs = embed_extraction(ex, &cati.embedder);
+        let stage_dists: Vec<Vec<f32>> = xs
+            .par_iter()
+            .map(|x| cati.stages.stage_probs(stage, x))
+            .collect();
+        for var in &ex.vars {
+            let Some(class) = var.class else { continue };
+            let Some(truth) = stage.label_of(class) else { continue };
+            let dists: Vec<Vec<f32>> = var
+                .vucs
+                .iter()
+                .map(|&v| stage_dists[v as usize].clone())
+                .collect();
+            let pred = vote(&dists, cati.config.vote_threshold).class;
+            m.record(truth, pred);
+        }
+    }
+    (m.weighted_avg(), m)
+}
+
+/// End-to-end accuracies of one extraction at both granularities
+/// (paper Table VI): `(vuc_accuracy, vuc_n, var_accuracy, var_n)`.
+pub fn pipeline_accuracy(cati: &Cati, ex: &Extraction) -> (f64, u64, f64, u64) {
+    let eval = cati.evaluate(ex);
+    let mut vuc_ok = 0u64;
+    let mut vuc_n = 0u64;
+    for (vuc, pred) in ex.vucs.iter().zip(&eval.vuc_preds) {
+        let Some(class) = vuc.class(&ex.vars) else { continue };
+        vuc_n += 1;
+        vuc_ok += u64::from(class == *pred);
+    }
+    let mut var_ok = 0u64;
+    let mut var_n = 0u64;
+    for (var, pred) in ex.vars.iter().zip(&eval.var_preds) {
+        let Some(class) = var.class else { continue };
+        var_n += 1;
+        var_ok += u64::from(class == *pred);
+    }
+    let div = |a: u64, b: u64| if b == 0 { 0.0 } else { a as f64 / b as f64 };
+    (div(vuc_ok, vuc_n), vuc_n, div(var_ok, var_n), var_n)
+}

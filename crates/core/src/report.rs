@@ -1,0 +1,101 @@
+//! Plain-text table rendering for the experiment regenerators.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a ratio as `0.93`-style two-decimal text, or `-` when the
+/// support is zero (the dashes of paper Table III).
+pub fn cell(value: f64, support: u64) -> String {
+    if support == 0 {
+        "-".to_string()
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+/// Formats a percentage with two decimals (`65.85%`).
+pub fn pct(value: f64) -> String {
+    format!("{:.2}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["app", "P", "R"]);
+        t.row(vec!["bash".into(), "0.93".into(), "0.93".into()]);
+        t.row(vec!["inetutils".into(), "0.89".into(), "0.89".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("0.93"));
+        assert!(lines[0].contains("app"));
+    }
+
+    #[test]
+    fn zero_support_renders_dash() {
+        assert_eq!(cell(0.5, 0), "-");
+        assert_eq!(cell(0.512, 3), "0.51");
+        assert_eq!(pct(0.6585), "65.85%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        Table::new(&["a"]).row(vec!["x".into(), "y".into()]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Confidence-based voting (paper §V-B, Eq. 2–4).
+//!
+//! A variable's VUCs each yield a class distribution. Confidences at
+//! or above the threshold (0.9) are promoted to 1.0 so that confident
+//! predictions dominate, then the per-class sums are argmaxed.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of voting over one variable's VUC distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoteResult {
+    /// Winning class index.
+    pub class: usize,
+    /// Per-class accumulated (clipped) confidence.
+    pub totals: Vec<f32>,
+}
+
+/// Applies Eq. 3's clipping to one distribution.
+pub fn clip_confidences(probs: &[f32], threshold: f32) -> Vec<f32> {
+    probs
+        .iter()
+        .map(|&p| if p >= threshold { 1.0 } else { p })
+        .collect()
+}
+
+/// Votes over the distributions of one variable's VUCs (Eq. 4).
+///
+/// # Panics
+///
+/// Panics if `distributions` is empty or rows have inconsistent
+/// lengths.
+pub fn vote(distributions: &[Vec<f32>], threshold: f32) -> VoteResult {
+    assert!(!distributions.is_empty(), "cannot vote over zero VUCs");
+    let classes = distributions[0].len();
+    let mut totals = vec![0.0f32; classes];
+    for dist in distributions {
+        assert_eq!(dist.len(), classes, "inconsistent class counts");
+        for (t, p) in totals.iter_mut().zip(clip_confidences(dist, threshold)) {
+            *t += p;
+        }
+    }
+    let class = totals
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty totals");
+    VoteResult { class, totals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clipping_promotes_confident_rows() {
+        let clipped = clip_confidences(&[0.95, 0.05], 0.9);
+        assert_eq!(clipped, vec![1.0, 0.05]);
+        let untouched = clip_confidences(&[0.5, 0.5], 0.9);
+        assert_eq!(untouched, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn majority_wins() {
+        let dists = vec![
+            vec![0.6, 0.4],
+            vec![0.75, 0.25],
+            vec![0.2, 0.8],
+        ];
+        let r = vote(&dists, 0.9);
+        assert_eq!(r.class, 0);
+        assert!((r.totals[0] - 1.55).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_confident_vuc_outweighs_two_borderline() {
+        // Paper's rationale: clipping "avoids letting the borderline
+        // result control the decision". Unclipped sums favor class 1
+        // (1.47 vs 1.53); promoting the confident 0.91 to 1.0 flips
+        // the decision to class 0 (1.56 vs 1.53).
+        let dists = vec![
+            vec![0.91, 0.09],
+            vec![0.28, 0.72],
+            vec![0.28, 0.72],
+        ];
+        let r = vote(&dists, 0.9);
+        assert_eq!(r.class, 0, "totals {:?}", r.totals);
+    }
+
+    #[test]
+    fn without_clipping_borderline_majority_would_win() {
+        let dists = vec![
+            vec![0.91, 0.09],
+            vec![0.28, 0.72],
+            vec![0.28, 0.72],
+        ];
+        // threshold 1.1 disables clipping entirely.
+        let r = vote(&dists, 1.1);
+        assert_eq!(r.class, 1);
+    }
+
+    #[test]
+    fn single_vuc_vote_is_its_argmax() {
+        let r = vote(&[vec![0.2, 0.3, 0.5]], 0.9);
+        assert_eq!(r.class, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot vote over zero VUCs")]
+    fn empty_vote_panics() {
+        vote(&[], 0.9);
+    }
+}

@@ -1,0 +1,502 @@
+//! The 19 predicted type classes and the multi-stage label hierarchy.
+//!
+//! CATI predicts 19 classes (paper §V-A, Table V): the 16 non-pointer
+//! base classes (every C99 base type except `union`, plus `struct` and
+//! `enum`) and a pointer trichotomy `void*` / `struct*` / `arith*`.
+//! The six-stage classifier tree refines a coarse pointer/non-pointer
+//! split down to these leaves (paper Fig. 5).
+
+use crate::ctype::{CType, FloatWidth, IntWidth};
+#[cfg(test)]
+use crate::ctype::Signedness;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the 19 leaf type classes CATI predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TypeClass {
+    /// `_Bool`.
+    Bool,
+    /// `struct` (by value, including arrays of struct).
+    Struct,
+    /// `char`.
+    Char,
+    /// `unsigned char`.
+    UnsignedChar,
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+    /// `long double`.
+    LongDouble,
+    /// `enum`.
+    Enum,
+    /// `int`.
+    Int,
+    /// `short int`.
+    ShortInt,
+    /// `long int`.
+    LongInt,
+    /// `long long int`.
+    LongLongInt,
+    /// `unsigned int`.
+    UnsignedInt,
+    /// `short unsigned int`.
+    ShortUnsignedInt,
+    /// `long unsigned int`.
+    LongUnsignedInt,
+    /// `long long unsigned int`.
+    LongLongUnsignedInt,
+    /// Pointer to `void` (and other pointers with opaque pointees).
+    PtrVoid,
+    /// Pointer to `struct` or `union`.
+    PtrStruct,
+    /// Pointer to an arithmetic type (paper's "pointer to arithmetic"
+    /// cluster: the pointee is a base type whose exact identity static
+    /// analysis cannot fix).
+    PtrArith,
+}
+
+impl TypeClass {
+    /// All 19 classes in a stable order (the order of paper Table V,
+    /// with `arith*` appended).
+    pub const ALL: [TypeClass; 19] = [
+        TypeClass::Bool,
+        TypeClass::Struct,
+        TypeClass::Char,
+        TypeClass::UnsignedChar,
+        TypeClass::Float,
+        TypeClass::Double,
+        TypeClass::LongDouble,
+        TypeClass::Enum,
+        TypeClass::Int,
+        TypeClass::ShortInt,
+        TypeClass::LongInt,
+        TypeClass::LongLongInt,
+        TypeClass::UnsignedInt,
+        TypeClass::ShortUnsignedInt,
+        TypeClass::LongUnsignedInt,
+        TypeClass::LongLongUnsignedInt,
+        TypeClass::PtrVoid,
+        TypeClass::PtrStruct,
+        TypeClass::PtrArith,
+    ];
+
+    /// Stable dense index of this class in [`TypeClass::ALL`].
+    pub fn index(self) -> usize {
+        TypeClass::ALL.iter().position(|c| *c == self).expect("class in ALL")
+    }
+
+    /// Classifies a resolved source type into a leaf class.
+    ///
+    /// Returns `None` for types the paper excludes from prediction:
+    /// `void` values, `union` by value (too polymorphic, §V-A) and
+    /// function types. Arrays classify as their element type, matching
+    /// how the paper labels `struct attr_pair[8]` as `struct` (Fig. 2).
+    pub fn of(ty: &CType) -> Option<TypeClass> {
+        match ty.resolve() {
+            CType::Void => None,
+            CType::Union(_) => None,
+            CType::Bool => Some(TypeClass::Bool),
+            CType::Struct(_) => Some(TypeClass::Struct),
+            CType::Enum(_) => Some(TypeClass::Enum),
+            CType::Float(FloatWidth::Float) => Some(TypeClass::Float),
+            CType::Float(FloatWidth::Double) => Some(TypeClass::Double),
+            CType::Float(FloatWidth::LongDouble) => Some(TypeClass::LongDouble),
+            CType::Integer(w, s) => Some(match (w, s.is_signed()) {
+                (IntWidth::Char, true) => TypeClass::Char,
+                (IntWidth::Char, false) => TypeClass::UnsignedChar,
+                (IntWidth::Short, true) => TypeClass::ShortInt,
+                (IntWidth::Short, false) => TypeClass::ShortUnsignedInt,
+                (IntWidth::Int, true) => TypeClass::Int,
+                (IntWidth::Int, false) => TypeClass::UnsignedInt,
+                (IntWidth::Long, true) => TypeClass::LongInt,
+                (IntWidth::Long, false) => TypeClass::LongUnsignedInt,
+                (IntWidth::LongLong, true) => TypeClass::LongLongInt,
+                (IntWidth::LongLong, false) => TypeClass::LongLongUnsignedInt,
+            }),
+            CType::Pointer(inner) => Some(match inner.resolve() {
+                CType::Void => TypeClass::PtrVoid,
+                CType::Struct(_) | CType::Union(_) => TypeClass::PtrStruct,
+                t if t.is_arithmetic() => TypeClass::PtrArith,
+                // Pointer-to-pointer and pointer-to-array pointees are
+                // opaque to the static trichotomy; cluster with void*.
+                _ => TypeClass::PtrVoid,
+            }),
+            CType::Array(elem, _) => TypeClass::of(elem),
+            CType::Typedef(..) => unreachable!("resolve() strips typedefs"),
+        }
+    }
+
+    /// Whether this leaf sits under the pointer branch of Stage 1.
+    pub fn is_pointer(self) -> bool {
+        matches!(self, TypeClass::PtrVoid | TypeClass::PtrStruct | TypeClass::PtrArith)
+    }
+
+    /// Human-readable name matching the paper's Table V spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            TypeClass::Bool => "bool",
+            TypeClass::Struct => "struct",
+            TypeClass::Char => "char",
+            TypeClass::UnsignedChar => "unsigned char",
+            TypeClass::Float => "float",
+            TypeClass::Double => "double",
+            TypeClass::LongDouble => "long double",
+            TypeClass::Enum => "enum",
+            TypeClass::Int => "int",
+            TypeClass::ShortInt => "short int",
+            TypeClass::LongInt => "long int",
+            TypeClass::LongLongInt => "long long int",
+            TypeClass::UnsignedInt => "unsigned int",
+            TypeClass::ShortUnsignedInt => "short unsigned int",
+            TypeClass::LongUnsignedInt => "long unsigned int",
+            TypeClass::LongLongUnsignedInt => "long long unsigned int",
+            TypeClass::PtrVoid => "void*",
+            TypeClass::PtrStruct => "struct*",
+            TypeClass::PtrArith => "arith*",
+        }
+    }
+}
+
+impl fmt::Display for TypeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identifier of one of the six classifiers in the stage tree (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StageId {
+    /// Stage 1: pointer vs non-pointer (2 classes).
+    Stage1,
+    /// Stage 2-1: `void*` / `struct*` / `arith*` (3 classes).
+    Stage2Ptr,
+    /// Stage 2-2: `struct` / `bool` / char-family / float-family /
+    /// int-family (5 classes).
+    Stage2NonPtr,
+    /// Stage 3-1: `char` / `unsigned char` (2 classes).
+    Stage3Char,
+    /// Stage 3-2: `float` / `double` / `long double` (3 classes).
+    Stage3Float,
+    /// Stage 3-3: the nine int-family leaves (9 classes).
+    Stage3Int,
+}
+
+impl StageId {
+    /// All six stages in training order.
+    pub const ALL: [StageId; 6] = [
+        StageId::Stage1,
+        StageId::Stage2Ptr,
+        StageId::Stage2NonPtr,
+        StageId::Stage3Char,
+        StageId::Stage3Float,
+        StageId::Stage3Int,
+    ];
+
+    /// Number of output classes of this stage's classifier.
+    pub fn num_classes(self) -> usize {
+        match self {
+            StageId::Stage1 => 2,
+            StageId::Stage2Ptr => 3,
+            StageId::Stage2NonPtr => 5,
+            StageId::Stage3Char => 2,
+            StageId::Stage3Float => 3,
+            StageId::Stage3Int => 9,
+        }
+    }
+
+    /// Paper's display name, e.g. `Stage2-1`.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Stage1 => "Stage1",
+            StageId::Stage2Ptr => "Stage2-1",
+            StageId::Stage2NonPtr => "Stage2-2",
+            StageId::Stage3Char => "Stage3-1",
+            StageId::Stage3Float => "Stage3-2",
+            StageId::Stage3Int => "Stage3-3",
+        }
+    }
+
+    /// The label a leaf class carries at this stage, or `None` if VUCs
+    /// of that class never reach this stage (e.g. a pointer never
+    /// reaches Stage 2-2).
+    pub fn label_of(self, class: TypeClass) -> Option<usize> {
+        use TypeClass::*;
+        match self {
+            StageId::Stage1 => Some(usize::from(class.is_pointer())),
+            StageId::Stage2Ptr => match class {
+                PtrVoid => Some(0),
+                PtrStruct => Some(1),
+                PtrArith => Some(2),
+                _ => None,
+            },
+            StageId::Stage2NonPtr => match class {
+                Struct => Some(0),
+                Bool => Some(1),
+                Char | UnsignedChar => Some(2),
+                Float | Double | LongDouble => Some(3),
+                Enum | Int | ShortInt | LongInt | LongLongInt | UnsignedInt
+                | ShortUnsignedInt | LongUnsignedInt | LongLongUnsignedInt => Some(4),
+                _ => None,
+            },
+            StageId::Stage3Char => match class {
+                Char => Some(0),
+                UnsignedChar => Some(1),
+                _ => None,
+            },
+            StageId::Stage3Float => match class {
+                Float => Some(0),
+                Double => Some(1),
+                LongDouble => Some(2),
+                _ => None,
+            },
+            StageId::Stage3Int => match class {
+                Enum => Some(0),
+                Int => Some(1),
+                ShortInt => Some(2),
+                LongInt => Some(3),
+                LongLongInt => Some(4),
+                UnsignedInt => Some(5),
+                ShortUnsignedInt => Some(6),
+                LongUnsignedInt => Some(7),
+                LongLongUnsignedInt => Some(8),
+                _ => None,
+            },
+        }
+    }
+
+    /// The stage a VUC routes to next after this stage outputs `label`,
+    /// or `None` when `label` is a leaf decision.
+    pub fn next(self, label: usize) -> Option<StageId> {
+        match (self, label) {
+            (StageId::Stage1, 0) => Some(StageId::Stage2NonPtr),
+            (StageId::Stage1, 1) => Some(StageId::Stage2Ptr),
+            (StageId::Stage2NonPtr, 2) => Some(StageId::Stage3Char),
+            (StageId::Stage2NonPtr, 3) => Some(StageId::Stage3Float),
+            (StageId::Stage2NonPtr, 4) => Some(StageId::Stage3Int),
+            _ => None,
+        }
+    }
+
+    /// The leaf class decided when this stage outputs `label`, if that
+    /// label terminates the descent.
+    pub fn leaf(self, label: usize) -> Option<TypeClass> {
+        use TypeClass::*;
+        match (self, label) {
+            (StageId::Stage2Ptr, 0) => Some(PtrVoid),
+            (StageId::Stage2Ptr, 1) => Some(PtrStruct),
+            (StageId::Stage2Ptr, 2) => Some(PtrArith),
+            (StageId::Stage2NonPtr, 0) => Some(Struct),
+            (StageId::Stage2NonPtr, 1) => Some(Bool),
+            (StageId::Stage3Char, 0) => Some(Char),
+            (StageId::Stage3Char, 1) => Some(UnsignedChar),
+            (StageId::Stage3Float, 0) => Some(Float),
+            (StageId::Stage3Float, 1) => Some(Double),
+            (StageId::Stage3Float, 2) => Some(LongDouble),
+            (StageId::Stage3Int, 0) => Some(Enum),
+            (StageId::Stage3Int, 1) => Some(Int),
+            (StageId::Stage3Int, 2) => Some(ShortInt),
+            (StageId::Stage3Int, 3) => Some(LongInt),
+            (StageId::Stage3Int, 4) => Some(LongLongInt),
+            (StageId::Stage3Int, 5) => Some(UnsignedInt),
+            (StageId::Stage3Int, 6) => Some(ShortUnsignedInt),
+            (StageId::Stage3Int, 7) => Some(LongUnsignedInt),
+            (StageId::Stage3Int, 8) => Some(LongLongUnsignedInt),
+            _ => None,
+        }
+    }
+
+    /// The sequence of (stage, label) pairs a correctly classified VUC
+    /// of class `class` traverses from the root to its leaf.
+    pub fn path_of(class: TypeClass) -> Vec<(StageId, usize)> {
+        let mut path = Vec::with_capacity(3);
+        let mut stage = StageId::Stage1;
+        loop {
+            let label = stage.label_of(class).expect("class reaches stage on its own path");
+            path.push((stage, label));
+            match stage.next(label) {
+                Some(next) => stage = next,
+                None => break,
+            }
+        }
+        path
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The 17 classes of the DEBIN comparison task (paper §VII:
+/// struct, union, enum, array, pointer, void, bool, plus signed and
+/// unsigned char/short/int/long/long long).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are their own documentation
+pub enum Debin17 {
+    Struct,
+    Union,
+    Enum,
+    Array,
+    Pointer,
+    Void,
+    Bool,
+    Char,
+    UnsignedChar,
+    Short,
+    UnsignedShort,
+    Int,
+    UnsignedInt,
+    Long,
+    UnsignedLong,
+    LongLong,
+    UnsignedLongLong,
+}
+
+impl Debin17 {
+    /// All 17 labels in a stable order.
+    pub const ALL: [Debin17; 17] = [
+        Debin17::Struct,
+        Debin17::Union,
+        Debin17::Enum,
+        Debin17::Array,
+        Debin17::Pointer,
+        Debin17::Void,
+        Debin17::Bool,
+        Debin17::Char,
+        Debin17::UnsignedChar,
+        Debin17::Short,
+        Debin17::UnsignedShort,
+        Debin17::Int,
+        Debin17::UnsignedInt,
+        Debin17::Long,
+        Debin17::UnsignedLong,
+        Debin17::LongLong,
+        Debin17::UnsignedLongLong,
+    ];
+
+    /// Stable dense index in [`Debin17::ALL`].
+    pub fn index(self) -> usize {
+        Debin17::ALL.iter().position(|c| *c == self).expect("label in ALL")
+    }
+
+    /// Maps a source type to the DEBIN label set. Unlike
+    /// [`TypeClass::of`], arrays and unions are their own classes and
+    /// all pointers collapse into one.
+    pub fn of(ty: &CType) -> Option<Debin17> {
+        match ty.resolve() {
+            CType::Void => Some(Debin17::Void),
+            CType::Bool => Some(Debin17::Bool),
+            CType::Struct(_) => Some(Debin17::Struct),
+            CType::Union(_) => Some(Debin17::Union),
+            CType::Enum(_) => Some(Debin17::Enum),
+            CType::Array(..) => Some(Debin17::Array),
+            CType::Pointer(_) => Some(Debin17::Pointer),
+            // DEBIN's task folds float into void/no-float buckets; the
+            // paper's 17-type list has no float entry, so skip them.
+            CType::Float(_) => None,
+            CType::Integer(w, s) => Some(match (w, s.is_signed()) {
+                (IntWidth::Char, true) => Debin17::Char,
+                (IntWidth::Char, false) => Debin17::UnsignedChar,
+                (IntWidth::Short, true) => Debin17::Short,
+                (IntWidth::Short, false) => Debin17::UnsignedShort,
+                (IntWidth::Int, true) => Debin17::Int,
+                (IntWidth::Int, false) => Debin17::UnsignedInt,
+                (IntWidth::Long, true) => Debin17::Long,
+                (IntWidth::Long, false) => Debin17::UnsignedLong,
+                (IntWidth::LongLong, true) => Debin17::LongLong,
+                (IntWidth::LongLong, false) => Debin17::UnsignedLongLong,
+            }),
+            CType::Typedef(..) => unreachable!("resolve() strips typedefs"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_classes() {
+        assert_eq!(TypeClass::ALL.len(), 19);
+        for (i, c) in TypeClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn classify_base_types() {
+        assert_eq!(TypeClass::of(&CType::Bool), Some(TypeClass::Bool));
+        assert_eq!(TypeClass::of(&CType::char()), Some(TypeClass::Char));
+        assert_eq!(
+            TypeClass::of(&CType::Integer(IntWidth::LongLong, Signedness::Unsigned)),
+            Some(TypeClass::LongLongUnsignedInt)
+        );
+        assert_eq!(TypeClass::of(&CType::Void), None);
+        assert_eq!(TypeClass::of(&CType::Union(3)), None);
+    }
+
+    #[test]
+    fn classify_pointers() {
+        assert_eq!(TypeClass::of(&CType::ptr_to(CType::Void)), Some(TypeClass::PtrVoid));
+        assert_eq!(TypeClass::of(&CType::ptr_to(CType::Struct(0))), Some(TypeClass::PtrStruct));
+        assert_eq!(TypeClass::of(&CType::ptr_to(CType::int())), Some(TypeClass::PtrArith));
+        assert_eq!(
+            TypeClass::of(&CType::ptr_to(CType::ptr_to(CType::int()))),
+            Some(TypeClass::PtrVoid)
+        );
+    }
+
+    #[test]
+    fn arrays_classify_as_element() {
+        let arr = CType::Array(Box::new(CType::Struct(1)), 8);
+        assert_eq!(TypeClass::of(&arr), Some(TypeClass::Struct));
+    }
+
+    #[test]
+    fn typedefs_resolve_before_classification() {
+        let t = CType::Typedef("myint".into(), Box::new(CType::int()));
+        assert_eq!(TypeClass::of(&t), Some(TypeClass::Int));
+    }
+
+    #[test]
+    fn every_class_has_a_root_to_leaf_path() {
+        for class in TypeClass::ALL {
+            let path = StageId::path_of(class);
+            assert_eq!(path[0].0, StageId::Stage1);
+            let (last_stage, last_label) = *path.last().unwrap();
+            assert_eq!(last_stage.leaf(last_label), Some(class), "class {class}");
+        }
+    }
+
+    #[test]
+    fn stage_labels_in_range() {
+        for stage in StageId::ALL {
+            for class in TypeClass::ALL {
+                if let Some(l) = stage.label_of(class) {
+                    assert!(l < stage.num_classes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_class_counts_match_paper() {
+        assert_eq!(StageId::Stage1.num_classes(), 2);
+        assert_eq!(StageId::Stage2Ptr.num_classes(), 3);
+        assert_eq!(StageId::Stage2NonPtr.num_classes(), 5);
+        assert_eq!(StageId::Stage3Char.num_classes(), 2);
+        assert_eq!(StageId::Stage3Float.num_classes(), 3);
+        assert_eq!(StageId::Stage3Int.num_classes(), 9);
+    }
+
+    #[test]
+    fn debin17_covers_aggregates() {
+        assert_eq!(Debin17::of(&CType::Array(Box::new(CType::int()), 4)), Some(Debin17::Array));
+        assert_eq!(Debin17::of(&CType::Union(0)), Some(Debin17::Union));
+        assert_eq!(Debin17::of(&CType::ptr_to(CType::Struct(0))), Some(Debin17::Pointer));
+        assert_eq!(Debin17::ALL.len(), 17);
+    }
+}

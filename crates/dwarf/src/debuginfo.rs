@@ -1,0 +1,531 @@
+//! A DWARF-inspired debug-information section.
+//!
+//! Real CATI parses DWARF emitted by GCC to label training VUCs with
+//! ground-truth types (paper §IV-A, §VI). Our synthetic-compiler
+//! substrate emits the same *information content* — variable name,
+//! parent function, frame offset or register location, and the type
+//! with its typedef chain — in a compact binary section that this
+//! module can serialize and parse back. Stripping a binary simply
+//! drops this section.
+
+use crate::ctype::{CType, EnumDef, FloatWidth, IntWidth, Signedness, StructDef};
+use crate::error::DwarfError;
+use serde::{Deserialize, Serialize};
+
+/// Where a variable lives for its whole lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VarLocation {
+    /// At `rbp/rsp + offset` within the parent function's stack frame
+    /// (DWARF `DW_OP_fbreg`). Offsets are relative to the frame base
+    /// chosen by the compiler profile.
+    Frame(i32),
+    /// Pinned in a general-purpose register (DWARF `DW_OP_regN`),
+    /// identified by its DWARF register number.
+    Register(u8),
+}
+
+/// A local variable or parameter record (DWARF `DW_TAG_variable` /
+/// `DW_TAG_formal_parameter`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarRecord {
+    /// Source-level name.
+    pub name: String,
+    /// The declared type (typedef chains preserved).
+    pub ty: CType,
+    /// Location within the parent function.
+    pub location: VarLocation,
+    /// Whether this is a formal parameter.
+    pub is_param: bool,
+}
+
+/// Per-function debug records (DWARF `DW_TAG_subprogram`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuncRecord {
+    /// Function name.
+    pub name: String,
+    /// Byte offset of the first instruction in the text section.
+    pub entry: u64,
+    /// Byte length of the function's code.
+    pub code_len: u64,
+    /// Variables and parameters, in declaration order.
+    pub vars: Vec<VarRecord>,
+}
+
+/// Struct/union and enum definition tables shared by all [`CType`]
+/// values of a program. Indices in `CType::Struct(i)` etc. point here.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TypeTable {
+    /// Struct and union definitions.
+    pub structs: Vec<StructDef>,
+    /// Enum definitions.
+    pub enums: Vec<EnumDef>,
+}
+
+impl TypeTable {
+    /// Creates an empty table.
+    pub fn new() -> TypeTable {
+        TypeTable::default()
+    }
+
+    /// Adds a struct definition, returning its index.
+    pub fn add_struct(&mut self, def: StructDef) -> u32 {
+        self.structs.push(def);
+        (self.structs.len() - 1) as u32
+    }
+
+    /// Adds an enum definition, returning its index.
+    pub fn add_enum(&mut self, def: EnumDef) -> u32 {
+        self.enums.push(def);
+        (self.enums.len() - 1) as u32
+    }
+
+    /// Size in bytes of `ty`, consulting the definition tables for
+    /// aggregates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` references a struct/enum index outside the table.
+    pub fn size_of(&self, ty: &CType) -> u32 {
+        match ty.resolve() {
+            CType::Struct(i) | CType::Union(i) => self.structs[*i as usize].size,
+            CType::Array(elem, n) => self.size_of(elem) * (*n).max(1),
+            other => other.size(),
+        }
+    }
+
+    /// Alignment in bytes of `ty`, consulting the definition tables.
+    pub fn align_of(&self, ty: &CType) -> u32 {
+        match ty.resolve() {
+            CType::Struct(i) | CType::Union(i) => self.structs[*i as usize].align,
+            CType::Array(elem, _) => self.align_of(elem),
+            other => other.align(),
+        }
+    }
+}
+
+/// The debug-information section of one (non-stripped) binary.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DebugInfo {
+    /// Type definition tables.
+    pub types: TypeTable,
+    /// Per-function records, sorted by entry address.
+    pub functions: Vec<FuncRecord>,
+}
+
+impl DebugInfo {
+    /// Creates an empty section.
+    pub fn new() -> DebugInfo {
+        DebugInfo::default()
+    }
+
+    /// Total number of variable records across all functions.
+    pub fn var_count(&self) -> usize {
+        self.functions.iter().map(|f| f.vars.len()).sum()
+    }
+
+    /// Finds the function whose code range contains `addr`.
+    pub fn function_at(&self, addr: u64) -> Option<&FuncRecord> {
+        self.functions
+            .iter()
+            .find(|f| f.entry <= addr && addr < f.entry + f.code_len)
+    }
+
+    /// Looks up the variable of `func` stored at frame offset `off`,
+    /// the query the labeling stage issues for every located stack
+    /// variable.
+    pub fn var_at_frame_offset<'a>(
+        &'a self,
+        func: &'a FuncRecord,
+        off: i32,
+    ) -> Option<&'a VarRecord> {
+        // An access may land inside a struct/array variable rather than
+        // exactly at its start; find the covering record.
+        func.vars.iter().find(|v| match v.location {
+            VarLocation::Frame(base) => {
+                let size = self.types.size_of(&v.ty).max(1) as i64;
+                let base = base as i64;
+                let off = off as i64;
+                base <= off && off < base + size
+            }
+            VarLocation::Register(_) => false,
+        })
+    }
+
+    /// Serializes the section to bytes (see module docs).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.bytes(b"CDWF");
+        w.u32(1); // version
+        // Struct table.
+        w.u32(self.types.structs.len() as u32);
+        for s in &self.types.structs {
+            w.str(&s.name);
+            w.u32(s.size);
+            w.u32(s.align);
+            w.u32(s.members.len() as u32);
+            for m in &s.members {
+                w.str(&m.name);
+                w.u32(m.offset);
+                w.ctype(&m.ty);
+            }
+        }
+        // Enum table.
+        w.u32(self.types.enums.len() as u32);
+        for e in &self.types.enums {
+            w.str(&e.name);
+            w.u32(e.variants.len() as u32);
+            for v in &e.variants {
+                w.str(v);
+            }
+        }
+        // Functions.
+        w.u32(self.functions.len() as u32);
+        for f in &self.functions {
+            w.str(&f.name);
+            w.u64(f.entry);
+            w.u64(f.code_len);
+            w.u32(f.vars.len() as u32);
+            for v in &f.vars {
+                w.str(&v.name);
+                w.ctype(&v.ty);
+                match v.location {
+                    VarLocation::Frame(off) => {
+                        w.u8(0);
+                        w.i32(off);
+                    }
+                    VarLocation::Register(r) => {
+                        w.u8(1);
+                        w.u8(r);
+                    }
+                }
+                w.u8(u8::from(v.is_param));
+            }
+        }
+        w.out
+    }
+
+    /// Parses a section serialized by [`DebugInfo::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DwarfError`] on a bad magic number, unsupported
+    /// version, or truncated/corrupt payload.
+    pub fn parse(bytes: &[u8]) -> Result<DebugInfo, DwarfError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != b"CDWF" {
+            return Err(DwarfError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != 1 {
+            return Err(DwarfError::UnsupportedVersion(version));
+        }
+        let mut types = TypeTable::new();
+        let n_structs = r.u32()? as usize;
+        for _ in 0..n_structs {
+            let name = r.str()?;
+            let size = r.u32()?;
+            let align = r.u32()?;
+            let n_members = r.u32()? as usize;
+            let mut members = Vec::with_capacity(n_members.min(4096));
+            for _ in 0..n_members {
+                let mname = r.str()?;
+                let offset = r.u32()?;
+                let ty = r.ctype(0)?;
+                members.push(crate::ctype::Member { name: mname, ty, offset });
+            }
+            types.structs.push(StructDef { name, members, size, align });
+        }
+        let n_enums = r.u32()? as usize;
+        for _ in 0..n_enums {
+            let name = r.str()?;
+            let n_vars = r.u32()? as usize;
+            let mut variants = Vec::with_capacity(n_vars.min(4096));
+            for _ in 0..n_vars {
+                variants.push(r.str()?);
+            }
+            types.enums.push(EnumDef { name, variants });
+        }
+        let n_funcs = r.u32()? as usize;
+        let mut functions = Vec::with_capacity(n_funcs.min(4096));
+        for _ in 0..n_funcs {
+            let name = r.str()?;
+            let entry = r.u64()?;
+            let code_len = r.u64()?;
+            let n_vars = r.u32()? as usize;
+            let mut vars = Vec::with_capacity(n_vars.min(4096));
+            for _ in 0..n_vars {
+                let vname = r.str()?;
+                let ty = r.ctype(0)?;
+                let location = match r.u8()? {
+                    0 => VarLocation::Frame(r.i32()?),
+                    1 => VarLocation::Register(r.u8()?),
+                    t => return Err(DwarfError::BadTag(t)),
+                };
+                let is_param = r.u8()? != 0;
+                vars.push(VarRecord { name: vname, ty, location, is_param });
+            }
+            functions.push(FuncRecord { name, entry, code_len, vars });
+        }
+        Ok(DebugInfo { types, functions })
+    }
+}
+
+#[derive(Default)]
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn bytes(&mut self, b: &[u8]) {
+        self.out.extend_from_slice(b);
+    }
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+    fn ctype(&mut self, ty: &CType) {
+        match ty {
+            CType::Void => self.u8(0),
+            CType::Bool => self.u8(1),
+            CType::Integer(w, s) => {
+                self.u8(2);
+                self.u8(match w {
+                    IntWidth::Char => 0,
+                    IntWidth::Short => 1,
+                    IntWidth::Int => 2,
+                    IntWidth::Long => 3,
+                    IntWidth::LongLong => 4,
+                });
+                self.u8(u8::from(s.is_signed()));
+            }
+            CType::Float(w) => {
+                self.u8(3);
+                self.u8(match w {
+                    FloatWidth::Float => 0,
+                    FloatWidth::Double => 1,
+                    FloatWidth::LongDouble => 2,
+                });
+            }
+            CType::Enum(i) => {
+                self.u8(4);
+                self.u32(*i);
+            }
+            CType::Struct(i) => {
+                self.u8(5);
+                self.u32(*i);
+            }
+            CType::Union(i) => {
+                self.u8(6);
+                self.u32(*i);
+            }
+            CType::Pointer(inner) => {
+                self.u8(7);
+                self.ctype(inner);
+            }
+            CType::Array(inner, n) => {
+                self.u8(8);
+                self.u32(*n);
+                self.ctype(inner);
+            }
+            CType::Typedef(name, inner) => {
+                self.u8(9);
+                self.str(name);
+                self.ctype(inner);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+const MAX_TYPE_DEPTH: u32 = 64;
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DwarfError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DwarfError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DwarfError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, DwarfError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn i32(&mut self) -> Result<i32, DwarfError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, DwarfError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, DwarfError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DwarfError::BadString)
+    }
+    fn ctype(&mut self, depth: u32) -> Result<CType, DwarfError> {
+        if depth > MAX_TYPE_DEPTH {
+            return Err(DwarfError::TypeTooDeep);
+        }
+        Ok(match self.u8()? {
+            0 => CType::Void,
+            1 => CType::Bool,
+            2 => {
+                let w = match self.u8()? {
+                    0 => IntWidth::Char,
+                    1 => IntWidth::Short,
+                    2 => IntWidth::Int,
+                    3 => IntWidth::Long,
+                    4 => IntWidth::LongLong,
+                    t => return Err(DwarfError::BadTag(t)),
+                };
+                let s = if self.u8()? != 0 { Signedness::Signed } else { Signedness::Unsigned };
+                CType::Integer(w, s)
+            }
+            3 => CType::Float(match self.u8()? {
+                0 => FloatWidth::Float,
+                1 => FloatWidth::Double,
+                2 => FloatWidth::LongDouble,
+                t => return Err(DwarfError::BadTag(t)),
+            }),
+            4 => CType::Enum(self.u32()?),
+            5 => CType::Struct(self.u32()?),
+            6 => CType::Union(self.u32()?),
+            7 => CType::Pointer(Box::new(self.ctype(depth + 1)?)),
+            8 => {
+                let n = self.u32()?;
+                CType::Array(Box::new(self.ctype(depth + 1)?), n)
+            }
+            9 => {
+                let name = self.str()?;
+                CType::Typedef(name, Box::new(self.ctype(depth + 1)?))
+            }
+            t => return Err(DwarfError::BadTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DebugInfo {
+        let mut types = TypeTable::new();
+        let sid = types.add_struct(StructDef::layout(
+            "attr_pair",
+            vec![
+                ("key".into(), CType::ptr_to(CType::char())),
+                ("value".into(), CType::int()),
+            ],
+        ));
+        let eid = types.add_enum(EnumDef {
+            name: "color".into(),
+            variants: vec!["RED".into(), "GREEN".into()],
+        });
+        DebugInfo {
+            types,
+            functions: vec![FuncRecord {
+                name: "map_html_tags".into(),
+                entry: 0x400,
+                code_len: 0x120,
+                vars: vec![
+                    VarRecord {
+                        name: "pairs".into(),
+                        ty: CType::ptr_to(CType::Struct(sid)),
+                        location: VarLocation::Frame(-0x30),
+                        is_param: false,
+                    },
+                    VarRecord {
+                        name: "c".into(),
+                        ty: CType::Typedef("byte".into(), Box::new(CType::char())),
+                        location: VarLocation::Register(3),
+                        is_param: true,
+                    },
+                    VarRecord {
+                        name: "col".into(),
+                        ty: CType::Enum(eid),
+                        location: VarLocation::Frame(-0x40),
+                        is_param: false,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let di = sample();
+        let bytes = di.to_bytes();
+        let parsed = DebugInfo::parse(&bytes).unwrap();
+        assert_eq!(di, parsed);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(DebugInfo::parse(b"NOPE"), Err(DwarfError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                DebugInfo::parse(&bytes[..cut]).is_err(),
+                "prefix of length {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn function_at_covers_range() {
+        let di = sample();
+        assert!(di.function_at(0x400).is_some());
+        assert!(di.function_at(0x51f).is_some());
+        assert!(di.function_at(0x520).is_none());
+        assert!(di.function_at(0x3ff).is_none());
+    }
+
+    #[test]
+    fn var_at_frame_offset_covers_interior_accesses() {
+        let di = sample();
+        let f = &di.functions[0];
+        // `pairs` is an 8-byte pointer at -0x30: offsets -0x30..-0x28 hit it.
+        assert_eq!(di.var_at_frame_offset(f, -0x30).unwrap().name, "pairs");
+        assert_eq!(di.var_at_frame_offset(f, -0x2c).unwrap().name, "pairs");
+        assert!(di.var_at_frame_offset(f, -0x28).is_none());
+        // Register-located variables never match frame queries.
+        assert_eq!(di.var_at_frame_offset(f, -0x40).unwrap().name, "col");
+    }
+
+    #[test]
+    fn size_of_consults_tables() {
+        let di = sample();
+        assert_eq!(di.types.size_of(&CType::Struct(0)), 16);
+        assert_eq!(di.types.size_of(&CType::Array(Box::new(CType::Struct(0)), 8)), 128);
+        assert_eq!(di.types.size_of(&CType::Enum(0)), 4);
+    }
+
+    #[test]
+    fn var_count_sums_functions() {
+        assert_eq!(sample().var_count(), 3);
+    }
+}

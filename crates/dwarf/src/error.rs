@@ -1,0 +1,38 @@
+//! Error type for debug-information parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing a serialized [`crate::debuginfo::DebugInfo`] section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DwarfError {
+    /// The section does not start with the `CDWF` magic.
+    BadMagic,
+    /// The section's format version is newer than this parser.
+    UnsupportedVersion(u32),
+    /// The payload ended before a record was complete.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadString,
+    /// An unknown tag byte was encountered.
+    BadTag(u8),
+    /// A type expression nests deeper than the parser allows.
+    TypeTooDeep,
+}
+
+impl fmt::Display for DwarfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DwarfError::BadMagic => write!(f, "debug section has wrong magic number"),
+            DwarfError::UnsupportedVersion(v) => {
+                write!(f, "unsupported debug section version {v}")
+            }
+            DwarfError::Truncated => write!(f, "debug section is truncated"),
+            DwarfError::BadString => write!(f, "debug section string is not valid utf-8"),
+            DwarfError::BadTag(t) => write!(f, "unknown tag byte 0x{t:02x} in debug section"),
+            DwarfError::TypeTooDeep => write!(f, "type expression nests too deeply"),
+        }
+    }
+}
+
+impl Error for DwarfError {}

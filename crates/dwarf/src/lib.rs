@@ -1,0 +1,37 @@
+//! `cati-dwarf` — C type model and DWARF-like debug information.
+//!
+//! This crate is the *type domain* substrate of the CATI reproduction:
+//!
+//! - [`ctype`] models source-level C types the way DWARF type DIEs do,
+//!   including typedef chains that the labeling stage resolves
+//!   recursively to base types.
+//! - [`classes`] defines the 19 leaf classes CATI predicts
+//!   ([`TypeClass`]), the six-stage classifier hierarchy ([`StageId`],
+//!   paper Fig. 5), and the 17-label DEBIN comparison task
+//!   ([`Debin17`]).
+//! - [`debuginfo`] is a compact binary debug section carrying variable
+//!   names, locations and types; the synthetic compiler emits it and
+//!   the labeler parses it, mirroring the paper's GCC-DWARF loop.
+//!
+//! # Example
+//!
+//! ```
+//! use cati_dwarf::{CType, TypeClass};
+//!
+//! let declared = CType::Typedef("size_t".into(), Box::new(
+//!     CType::Integer(cati_dwarf::IntWidth::Long, cati_dwarf::Signedness::Unsigned)));
+//! assert_eq!(TypeClass::of(&declared), Some(TypeClass::LongUnsignedInt));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classes;
+pub mod ctype;
+pub mod debuginfo;
+pub mod error;
+
+pub use classes::{Debin17, StageId, TypeClass};
+pub use ctype::{CType, EnumDef, FloatWidth, IntWidth, Member, Signedness, StructDef};
+pub use debuginfo::{DebugInfo, FuncRecord, TypeTable, VarLocation, VarRecord};
+pub use error::DwarfError;

@@ -1,0 +1,121 @@
+//! Property tests: arbitrary debug-info sections roundtrip through
+//! the binary codec, and type classification is total over the
+//! classifiable subset.
+
+use cati_dwarf::{
+    CType, DebugInfo, EnumDef, FloatWidth, FuncRecord, IntWidth, Member, Signedness, StageId,
+    StructDef, TypeClass, VarLocation, VarRecord,
+};
+use proptest::prelude::*;
+
+fn arb_scalar() -> impl Strategy<Value = CType> {
+    prop_oneof![
+        Just(CType::Void),
+        Just(CType::Bool),
+        (0u8..5, any::<bool>()).prop_map(|(w, s)| {
+            let w = match w {
+                0 => IntWidth::Char,
+                1 => IntWidth::Short,
+                2 => IntWidth::Int,
+                3 => IntWidth::Long,
+                _ => IntWidth::LongLong,
+            };
+            CType::Integer(w, if s { Signedness::Signed } else { Signedness::Unsigned })
+        }),
+        (0u8..3).prop_map(|f| CType::Float(match f {
+            0 => FloatWidth::Float,
+            1 => FloatWidth::Double,
+            _ => FloatWidth::LongDouble,
+        })),
+        (0u32..4).prop_map(CType::Enum),
+        (0u32..4).prop_map(CType::Struct),
+        (0u32..4).prop_map(CType::Union),
+    ]
+}
+
+fn arb_ctype() -> impl Strategy<Value = CType> {
+    arb_scalar().prop_recursive(4, 16, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| CType::Pointer(Box::new(t))),
+            (inner.clone(), 1u32..16).prop_map(|(t, n)| CType::Array(Box::new(t), n)),
+            (inner, "[a-z_]{1,12}").prop_map(|(t, n)| CType::Typedef(n, Box::new(t))),
+        ]
+    })
+}
+
+fn arb_location() -> impl Strategy<Value = VarLocation> {
+    prop_oneof![
+        (-4096i32..4096).prop_map(VarLocation::Frame),
+        (0u8..16).prop_map(VarLocation::Register),
+    ]
+}
+
+fn arb_debuginfo() -> impl Strategy<Value = DebugInfo> {
+    let member = ("[a-z]{1,8}", arb_ctype(), 0u32..256)
+        .prop_map(|(name, ty, offset)| Member { name, ty, offset });
+    let sdef = ("[a-z]{1,8}", proptest::collection::vec(member, 0..4), 1u32..256, 1u32..16)
+        .prop_map(|(name, members, size, align)| StructDef { name, members, size, align });
+    let edef = ("[a-z]{1,8}", proptest::collection::vec("[A-Z]{1,6}".prop_map(String::from), 0..4))
+        .prop_map(|(name, variants)| EnumDef { name, variants });
+    let var = ("[a-z]{1,8}", arb_ctype(), arb_location(), any::<bool>())
+        .prop_map(|(name, ty, location, is_param)| VarRecord { name, ty, location, is_param });
+    let func = ("[a-z_]{1,12}", 0u64..1 << 32, 1u64..4096, proptest::collection::vec(var, 0..6))
+        .prop_map(|(name, entry, code_len, vars)| FuncRecord { name, entry, code_len, vars });
+    (
+        proptest::collection::vec(sdef, 0..4),
+        proptest::collection::vec(edef, 0..4),
+        proptest::collection::vec(func, 0..5),
+    )
+        .prop_map(|(structs, enums, functions)| DebugInfo {
+            types: cati_dwarf::TypeTable { structs, enums },
+            functions,
+        })
+}
+
+proptest! {
+    #[test]
+    fn debug_info_roundtrips(di in arb_debuginfo()) {
+        let bytes = di.to_bytes();
+        let parsed = DebugInfo::parse(&bytes).unwrap();
+        prop_assert_eq!(di, parsed);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = DebugInfo::parse(&bytes);
+    }
+
+    #[test]
+    fn parser_survives_bit_flips(di in arb_debuginfo(), idx in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut bytes = di.to_bytes();
+        if !bytes.is_empty() {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= 1 << bit;
+            let _ = DebugInfo::parse(&bytes); // must not panic
+        }
+    }
+
+    #[test]
+    fn classification_resolves_typedefs(ty in arb_ctype()) {
+        // A typedef wrapper never changes the class.
+        let wrapped = CType::Typedef("alias".into(), Box::new(ty.clone()));
+        prop_assert_eq!(TypeClass::of(&ty), TypeClass::of(&wrapped));
+    }
+
+    #[test]
+    fn classified_types_have_stage_paths(ty in arb_ctype()) {
+        if let Some(class) = TypeClass::of(&ty) {
+            let path = StageId::path_of(class);
+            prop_assert!(!path.is_empty());
+            let (stage, label) = *path.last().unwrap();
+            prop_assert_eq!(stage.leaf(label), Some(class));
+        }
+    }
+
+    #[test]
+    fn sizes_and_alignments_are_positive(ty in arb_ctype()) {
+        prop_assert!(ty.size() >= 1);
+        let a = ty.align();
+        prop_assert!(a >= 1 && a.is_power_of_two());
+    }
+}

@@ -1,0 +1,159 @@
+//! VUC → CNN-input embedding.
+//!
+//! Each instruction is three tokens; each token embeds to `dim`
+//! floats; a VUC of `L` instructions becomes a `[3*dim][L]`
+//! channel-major matrix — the paper's 21×96 input at dim = 32.
+
+use crate::word2vec::Word2Vec;
+use cati_asm::generalize::{GenInsn, TOKENS_PER_INSN};
+use serde::{Deserialize, Serialize};
+
+/// Embeds generalized instruction windows into CNN input tensors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VucEmbedder {
+    model: Word2Vec,
+}
+
+impl VucEmbedder {
+    /// Wraps a trained Word2Vec model.
+    pub fn new(model: Word2Vec) -> VucEmbedder {
+        VucEmbedder { model }
+    }
+
+    /// Per-token embedding dimension.
+    pub fn token_dim(&self) -> usize {
+        self.model.cfg.dim
+    }
+
+    /// Channel count of the produced tensors (`3 × token_dim`).
+    pub fn embed_dim(&self) -> usize {
+        TOKENS_PER_INSN * self.model.cfg.dim
+    }
+
+    /// The underlying Word2Vec model.
+    pub fn model(&self) -> &Word2Vec {
+        &self.model
+    }
+
+    /// Embeds a window of instructions into a `[embed_dim][len]`
+    /// channel-major tensor (`x[c * len + t]`). Out-of-vocabulary
+    /// tokens embed to zero — by construction generalization covers
+    /// >99% of unseen instructions (paper §IV-B), so this is rare.
+    pub fn embed_window(&self, insns: &[GenInsn]) -> Vec<f32> {
+        let len = insns.len();
+        let dim = self.model.cfg.dim;
+        let mut x = vec![0.0f32; self.embed_dim() * len];
+        for (t, insn) in insns.iter().enumerate() {
+            for (k, token) in insn.iter().enumerate() {
+                if let Some(v) = self.model.vector(token) {
+                    for (d, &val) in v.iter().enumerate() {
+                        x[(k * dim + d) * len + t] = val;
+                    }
+                }
+            }
+        }
+        x
+    }
+
+    /// Fraction of tokens in `insns` that are in-vocabulary; the
+    /// coverage figure the paper quotes as >99%.
+    pub fn coverage<'a>(&self, windows: impl IntoIterator<Item = &'a Vec<GenInsn>>) -> f64 {
+        let mut total = 0u64;
+        let mut known = 0u64;
+        for window in windows {
+            for insn in window {
+                for token in insn.iter() {
+                    total += 1;
+                    if self.model.vocab.id(token).is_some() {
+                        known += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            known as f64 / total as f64
+        }
+    }
+}
+
+/// Flattens instruction windows into token sentences for Word2Vec
+/// training (one sentence per window or function stream).
+pub fn to_sentences<'a>(windows: impl IntoIterator<Item = &'a [GenInsn]>) -> Vec<Vec<String>> {
+    windows
+        .into_iter()
+        .map(|w| {
+            w.iter()
+                .flat_map(|insn| insn.iter().map(str::to_string))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word2vec::W2vConfig;
+    use cati_asm::fmt::NoSymbols;
+    use cati_asm::parse::parse_insn;
+
+    fn gen(line: &str) -> GenInsn {
+        cati_asm::generalize::generalize(&parse_insn(line).unwrap().insn, &NoSymbols)
+    }
+
+    fn sample_windows() -> Vec<Vec<GenInsn>> {
+        vec![
+            vec![gen("movl $0x8,0x40(%rsp)"), gen("mov %rax,0xb0(%rsp)"), gen("ret")],
+            vec![gen("lea 0x220(%rsp),%rax"), gen("movl $0x8,0x40(%rsp)"), gen("cltq")],
+        ]
+    }
+
+    fn embedder() -> VucEmbedder {
+        let windows = sample_windows();
+        let sentences = to_sentences(windows.iter().map(Vec::as_slice));
+        VucEmbedder::new(Word2Vec::train(&sentences, W2vConfig::tiny()))
+    }
+
+    #[test]
+    fn embed_shape_is_channel_major() {
+        let e = embedder();
+        let w = sample_windows().remove(0);
+        let x = e.embed_window(&w);
+        assert_eq!(x.len(), e.embed_dim() * 3);
+        assert_eq!(e.embed_dim(), 24); // 3 tokens × 8 dims
+    }
+
+    #[test]
+    fn blank_padding_embeds_consistently() {
+        let e = embedder();
+        let w = vec![GenInsn::blank(), gen("ret"), GenInsn::blank()];
+        let x = e.embed_window(&w);
+        let len = 3;
+        // Both BLANK positions produce identical channel columns.
+        for c in 0..e.embed_dim() {
+            assert_eq!(x[c * len], x[c * len + 2]);
+        }
+    }
+
+    #[test]
+    fn oov_tokens_embed_to_zero() {
+        let e = embedder();
+        // `fldt` and `-0xIMM(%rbp)` were never seen in training; the
+        // BLANK pad token was.
+        let w = vec![gen("fldt -0x20(%rbp)")];
+        let x = e.embed_window(&w);
+        let dim = e.token_dim();
+        // Channels of the first two token slots are all zero.
+        assert!(x[..2 * dim].iter().all(|v| *v == 0.0));
+        let cov = e.coverage(std::iter::once(&w));
+        assert!(cov < 0.5, "coverage {cov}");
+    }
+
+    #[test]
+    fn coverage_is_full_on_training_tokens() {
+        let e = embedder();
+        let windows = sample_windows();
+        assert_eq!(e.coverage(windows.iter()), 1.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! `cati-embedding` — instruction-token embedding.
+//!
+//! The paper embeds each generalized token with gensim's Word2Vec
+//! (skip-gram, window 5, dimension 32) and concatenates the three
+//! token vectors of an instruction into one 96-dim row, making a VUC a
+//! 21×96 matrix. This crate reimplements that pipeline: [`vocab`]
+//! builds the token vocabulary and the `count^0.75` unigram table,
+//! [`word2vec`] trains skip-gram with negative sampling (paper Eq. 1),
+//! and [`embedder`] turns instruction windows into channel-major CNN
+//! input tensors.
+//!
+//! # Example
+//!
+//! ```
+//! use cati_embedding::{to_sentences, VucEmbedder, W2vConfig, Word2Vec};
+//! use cati_asm::generalize::GenInsn;
+//!
+//! let windows: Vec<Vec<GenInsn>> = vec![vec![GenInsn::blank(); 5]];
+//! let sentences = to_sentences(windows.iter().map(Vec::as_slice));
+//! let model = Word2Vec::train(&sentences, W2vConfig::tiny());
+//! let embedder = VucEmbedder::new(model);
+//! let x = embedder.embed_window(&windows[0]);
+//! assert_eq!(x.len(), embedder.embed_dim() * 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod embedder;
+pub mod vocab;
+pub mod word2vec;
+
+pub use embedder::{to_sentences, VucEmbedder};
+pub use vocab::Vocab;
+pub use word2vec::{W2vConfig, Word2Vec};

@@ -1,0 +1,146 @@
+//! Token vocabulary with a unigram table for negative sampling.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A token vocabulary built from a corpus.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    counts: Vec<u64>,
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from token streams, keeping tokens with at
+    /// least `min_count` occurrences, ordered by descending frequency.
+    pub fn build<'a>(
+        sentences: impl IntoIterator<Item = &'a Vec<String>>,
+        min_count: u64,
+    ) -> Vocab {
+        let mut counts: HashMap<&str, u64> = HashMap::new();
+        for sentence in sentences {
+            for tok in sentence {
+                *counts.entry(tok.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut pairs: Vec<(&str, u64)> =
+            counts.into_iter().filter(|(_, c)| *c >= min_count).collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let mut vocab = Vocab::default();
+        for (tok, count) in pairs {
+            vocab.index.insert(tok.to_string(), vocab.tokens.len() as u32);
+            vocab.tokens.push(tok.to_string());
+            vocab.counts.push(count);
+        }
+        vocab
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Token id, if in vocabulary.
+    pub fn id(&self, token: &str) -> Option<u32> {
+        self.index.get(token).copied()
+    }
+
+    /// Token string for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn token(&self, id: u32) -> &str {
+        &self.tokens[id as usize]
+    }
+
+    /// Occurrence count for an id.
+    pub fn count(&self, id: u32) -> u64 {
+        self.counts[id as usize]
+    }
+
+    /// Builds the `count^0.75` unigram table used for negative
+    /// sampling, with `size` slots.
+    pub fn unigram_table(&self, size: usize) -> Vec<u32> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let pow: Vec<f64> = self.counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+        let total: f64 = pow.iter().sum();
+        let mut table = Vec::with_capacity(size);
+        let mut cum = 0.0;
+        let mut id = 0usize;
+        for slot in 0..size {
+            let target = (slot as f64 + 0.5) / size as f64 * total;
+            while cum + pow[id] < target && id + 1 < pow.len() {
+                cum += pow[id];
+                id += 1;
+            }
+            table.push(id as u32);
+        }
+        table
+    }
+
+    /// Encodes a sentence to ids, dropping out-of-vocabulary tokens.
+    pub fn encode(&self, sentence: &[String]) -> Vec<u32> {
+        sentence.iter().filter_map(|t| self.id(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<String>> {
+        let s = |v: &[&str]| v.iter().map(|t| t.to_string()).collect::<Vec<_>>();
+        vec![
+            s(&["mov", "%rax", "%rbx", "mov", "%rax", "BLANK"]),
+            s(&["add", "%rax", "mov", "rare"]),
+        ]
+    }
+
+    #[test]
+    fn frequency_order() {
+        let v = Vocab::build(&corpus(), 1);
+        // "mov" and "%rax" both occur 3 times; ties break
+        // alphabetically, so "%rax" comes first.
+        assert_eq!(v.token(0), "%rax");
+        assert_eq!(v.token(1), "mov");
+        assert_eq!(v.count(0), 3);
+        assert!(v.id("rare").is_some());
+        assert!(v.id("nonexistent").is_none());
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let v = Vocab::build(&corpus(), 2);
+        assert!(v.id("rare").is_none());
+        assert!(v.id("mov").is_some());
+    }
+
+    #[test]
+    fn unigram_table_prefers_frequent_tokens() {
+        let v = Vocab::build(&corpus(), 1);
+        let table = v.unigram_table(1000);
+        assert_eq!(table.len(), 1000);
+        let mov_id = v.id("mov").unwrap();
+        let rare_id = v.id("rare").unwrap();
+        let mov_slots = table.iter().filter(|&&t| t == mov_id).count();
+        let rare_slots = table.iter().filter(|&&t| t == rare_id).count();
+        assert!(mov_slots > rare_slots);
+        assert!(rare_slots > 0);
+    }
+
+    #[test]
+    fn encode_drops_oov() {
+        let v = Vocab::build(&corpus(), 2);
+        let ids = v.encode(&["mov".into(), "bogus".into(), "%rax".into()]);
+        assert_eq!(ids.len(), 2);
+    }
+}

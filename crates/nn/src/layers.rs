@@ -1,0 +1,383 @@
+//! Neural-network layers with explicit forward/backward passes.
+//!
+//! Everything is `f32` and allocation-light: forward passes return the
+//! activations they need cached for the backward pass, and gradients
+//! accumulate into caller-owned buffers so mini-batches can be
+//! processed in parallel and reduced.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+fn xavier(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> f32 {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    rng.gen_range(-bound..bound)
+}
+
+/// 1-D convolution over a `[channels][length]` input with kernel size
+/// `k`, stride 1 and symmetric zero padding of `k/2` (length
+/// preserving for odd `k`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv1d {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Kernel width (odd).
+    pub k: usize,
+    /// Weights, laid out `[out][in][k]`.
+    pub w: Vec<f32>,
+    /// Per-output-channel bias.
+    pub b: Vec<f32>,
+}
+
+impl Conv1d {
+    /// Xavier-initialized convolution.
+    pub fn new(in_ch: usize, out_ch: usize, k: usize, rng: &mut StdRng) -> Conv1d {
+        assert!(k % 2 == 1, "kernel must be odd");
+        let w = (0..out_ch * in_ch * k)
+            .map(|_| xavier(in_ch * k, out_ch * k, rng))
+            .collect();
+        Conv1d { in_ch, out_ch, k, w, b: vec![0.0; out_ch] }
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Forward pass: `x` is `[in_ch][len]` flattened; output is
+    /// `[out_ch][len]` flattened.
+    pub fn forward(&self, x: &[f32], len: usize, y: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), self.in_ch * len);
+        let pad = self.k / 2;
+        y.clear();
+        y.resize(self.out_ch * len, 0.0);
+        for o in 0..self.out_ch {
+            let yo = &mut y[o * len..(o + 1) * len];
+            yo.fill(self.b[o]);
+            for i in 0..self.in_ch {
+                let xi = &x[i * len..(i + 1) * len];
+                let wbase = (o * self.in_ch + i) * self.k;
+                for dk in 0..self.k {
+                    let wv = self.w[wbase + dk];
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    // t + dk - pad must be in [0, len)
+                    let t0 = pad.saturating_sub(dk);
+                    let t1 = (len + pad).saturating_sub(dk).min(len);
+                    for t in t0..t1 {
+                        yo[t] += wv * xi[t + dk - pad];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Backward pass. `gy` is the output gradient `[out_ch][len]`;
+    /// fills `gx` (same shape as `x`) and accumulates into `gw`/`gb`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward(
+        &self,
+        x: &[f32],
+        len: usize,
+        gy: &[f32],
+        gx: &mut Vec<f32>,
+        gw: &mut [f32],
+        gb: &mut [f32],
+    ) {
+        let pad = self.k / 2;
+        gx.clear();
+        gx.resize(self.in_ch * len, 0.0);
+        for o in 0..self.out_ch {
+            let gyo = &gy[o * len..(o + 1) * len];
+            gb[o] += gyo.iter().sum::<f32>();
+            for i in 0..self.in_ch {
+                let xi = &x[i * len..(i + 1) * len];
+                let gxi = &mut gx[i * len..(i + 1) * len];
+                let wbase = (o * self.in_ch + i) * self.k;
+                for dk in 0..self.k {
+                    let t0 = pad.saturating_sub(dk);
+                    let t1 = (len + pad).saturating_sub(dk).min(len);
+                    let mut gwv = 0.0f32;
+                    let wv = self.w[wbase + dk];
+                    for t in t0..t1 {
+                        let xv = xi[t + dk - pad];
+                        gwv += gyo[t] * xv;
+                        gxi[t + dk - pad] += gyo[t] * wv;
+                    }
+                    gw[wbase + dk] += gwv;
+                }
+            }
+        }
+    }
+}
+
+/// Fully connected layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Input features.
+    pub in_dim: usize,
+    /// Output features.
+    pub out_dim: usize,
+    /// Weights `[out][in]`.
+    pub w: Vec<f32>,
+    /// Bias `[out]`.
+    pub b: Vec<f32>,
+}
+
+impl Dense {
+    /// Xavier-initialized dense layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Dense {
+        let w = (0..out_dim * in_dim).map(|_| xavier(in_dim, out_dim, rng)).collect();
+        Dense { in_dim, out_dim, w, b: vec![0.0; out_dim] }
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// `y = W x + b`.
+    pub fn forward(&self, x: &[f32], y: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        y.clear();
+        y.reserve(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let dot: f32 = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            y.push(dot + self.b[o]);
+        }
+    }
+
+    /// Backward pass; fills `gx`, accumulates `gw`/`gb`.
+    pub fn backward(
+        &self,
+        x: &[f32],
+        gy: &[f32],
+        gx: &mut Vec<f32>,
+        gw: &mut [f32],
+        gb: &mut [f32],
+    ) {
+        gx.clear();
+        gx.resize(self.in_dim, 0.0);
+        for o in 0..self.out_dim {
+            let g = gy[o];
+            gb[o] += g;
+            if g == 0.0 {
+                continue;
+            }
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let grow = &mut gw[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                grow[i] += g * x[i];
+                gx[i] += g * row[i];
+            }
+        }
+    }
+}
+
+/// In-place ReLU; returns nothing, the mask is recoverable from the
+/// output (`y > 0`).
+pub fn relu(y: &mut [f32]) {
+    for v in y {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Backward ReLU: zero the gradient where the forward output was zero.
+pub fn relu_backward(y: &[f32], gy: &mut [f32]) {
+    for (g, v) in gy.iter_mut().zip(y) {
+        if *v <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Max-pool each channel of `[channels][len]` by a factor of 2
+/// (floor). Returns the pooled tensor and the argmax indices.
+pub fn maxpool2(x: &[f32], channels: usize, len: usize) -> (Vec<f32>, Vec<u32>) {
+    let out_len = len / 2;
+    let mut y = Vec::with_capacity(channels * out_len);
+    let mut arg = Vec::with_capacity(channels * out_len);
+    for c in 0..channels {
+        let xc = &x[c * len..(c + 1) * len];
+        for t in 0..out_len {
+            let (a, b) = (xc[2 * t], xc[2 * t + 1]);
+            if a >= b {
+                y.push(a);
+                arg.push((c * len + 2 * t) as u32);
+            } else {
+                y.push(b);
+                arg.push((c * len + 2 * t + 1) as u32);
+            }
+        }
+    }
+    (y, arg)
+}
+
+/// Backward max-pool: route gradients to the argmax positions.
+pub fn maxpool2_backward(gy: &[f32], arg: &[u32], input_len_total: usize) -> Vec<f32> {
+    let mut gx = vec![0.0; input_len_total];
+    for (g, &a) in gy.iter().zip(arg) {
+        gx[a as usize] += g;
+    }
+    gx
+}
+
+/// Numerically stable softmax in place.
+pub fn softmax(z: &mut [f32]) {
+    let max = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in z.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in z.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Cross-entropy loss of a softmax distribution against a label, and
+/// the logit gradient (`p - onehot`), written into `probs` in place.
+pub fn cross_entropy_backward(probs: &mut [f32], label: usize) -> f32 {
+    let loss = -(probs[label].max(1e-12)).ln();
+    probs[label] -= 1.0;
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_identity_kernel_preserves_signal() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv1d::new(1, 1, 3, &mut rng);
+        conv.w = vec![0.0, 1.0, 0.0];
+        conv.b = vec![0.0];
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut y = Vec::new();
+        conv.forward(&x, 4, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn conv_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv1d::new(2, 3, 3, &mut rng);
+        let len = 5;
+        let x: Vec<f32> = (0..2 * len).map(|i| (i as f32 * 0.3).sin()).collect();
+        let mut y = Vec::new();
+        conv.forward(&x, len, &mut y);
+        // Loss = sum(y^2)/2, so gy = y.
+        let gy = y.clone();
+        let mut gx = Vec::new();
+        let mut gw = vec![0.0; conv.w.len()];
+        let mut gb = vec![0.0; conv.b.len()];
+        conv.backward(&x, len, &gy, &mut gx, &mut gw, &mut gb);
+
+        let eps = 1e-3f32;
+        let loss = |c: &Conv1d, x: &[f32]| {
+            let mut yy = Vec::new();
+            c.forward(x, len, &mut yy);
+            yy.iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+        // Check a few weight gradients.
+        for idx in [0usize, 3, 7, conv.w.len() - 1] {
+            let mut c2 = conv.clone();
+            c2.w[idx] += eps;
+            let num = (loss(&c2, &x) - loss(&conv, &x)) / eps;
+            assert!(
+                (num - gw[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "dw[{idx}]: numeric {num} vs analytic {}",
+                gw[idx]
+            );
+        }
+        // And a few input gradients.
+        for idx in [0usize, 4, 9] {
+            let mut x2 = x.clone();
+            x2[idx] += eps;
+            let num = (loss(&conv, &x2) - loss(&conv, &x)) / eps;
+            assert!(
+                (num - gx[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "dx[{idx}]: numeric {num} vs analytic {}",
+                gx[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn dense_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dense = Dense::new(4, 3, &mut rng);
+        let x = vec![0.5, -0.2, 0.8, 0.1];
+        let mut y = Vec::new();
+        dense.forward(&x, &mut y);
+        let gy = y.clone();
+        let mut gx = Vec::new();
+        let mut gw = vec![0.0; dense.w.len()];
+        let mut gb = vec![0.0; dense.b.len()];
+        dense.backward(&x, &gy, &mut gx, &mut gw, &mut gb);
+        let loss = |d: &Dense, x: &[f32]| {
+            let mut yy = Vec::new();
+            d.forward(x, &mut yy);
+            yy.iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+        let eps = 1e-3f32;
+        for idx in 0..dense.w.len() {
+            let mut d2 = dense.clone();
+            d2.w[idx] += eps;
+            let num = (loss(&d2, &x) - loss(&dense, &x)) / eps;
+            assert!((num - gw[idx]).abs() < 0.02 * (1.0 + num.abs()));
+        }
+        for idx in 0..x.len() {
+            let mut x2 = x.clone();
+            x2[idx] += eps;
+            let num = (loss(&dense, &x2) - loss(&dense, &x)) / eps;
+            assert!((num - gx[idx]).abs() < 0.02 * (1.0 + num.abs()));
+        }
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let mut y = vec![-1.0, 0.0, 2.0];
+        relu(&mut y);
+        assert_eq!(y, vec![0.0, 0.0, 2.0]);
+        let mut gy = vec![5.0, 5.0, 5.0];
+        relu_backward(&y, &mut gy);
+        assert_eq!(gy, vec![0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn maxpool_and_backward() {
+        let x = vec![1.0, 3.0, 2.0, 0.0, /* ch2 */ 5.0, 4.0, 7.0, 8.0];
+        let (y, arg) = maxpool2(&x, 2, 4);
+        assert_eq!(y, vec![3.0, 2.0, 5.0, 8.0]);
+        let gx = maxpool2_backward(&[1.0, 1.0, 1.0, 1.0], &arg, 8);
+        assert_eq!(gx, vec![0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut z = vec![1.0, 2.0, 3.0];
+        softmax(&mut z);
+        let sum: f32 = z.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(z[2] > z[1] && z[1] > z[0]);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_shape() {
+        let mut z = vec![0.1, 0.2, 0.7f32];
+        let loss = cross_entropy_backward(&mut z, 2);
+        assert!((loss - (-0.7f32.ln())).abs() < 1e-6);
+        assert!((z[2] - (0.7 - 1.0)).abs() < 1e-6);
+        let sum: f32 = z.iter().sum();
+        assert!(sum.abs() < 1e-6, "softmax-CE gradient sums to zero");
+    }
+}

@@ -1,0 +1,357 @@
+//! The 2-layer text CNN used by every stage classifier.
+//!
+//! Architecture (paper §V-A): Conv1d(embed→c1, k=3) → ReLU →
+//! MaxPool(2) → Conv1d(c1→c2, k=3) → ReLU → MaxPool(2) → Dense(fc) →
+//! ReLU → Dense(classes) → softmax. The paper's sizes are c1=32,
+//! c2=64, fc=1024 over a 21×96 input; everything is configurable so
+//! tests can run a tiny instance.
+
+use crate::layers::{
+    cross_entropy_backward, maxpool2, maxpool2_backward, relu, relu_backward, softmax, Conv1d,
+    Dense,
+};
+use crate::optim::{Adam, GradBuffers};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a [`TextCnn`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TextCnnConfig {
+    /// Sequence length (21 for a VUC).
+    pub seq_len: usize,
+    /// Input channels (96 = 3 tokens × 32 dims at paper scale).
+    pub embed_dim: usize,
+    /// First conv output channels (paper: 32).
+    pub conv1: usize,
+    /// Second conv output channels (paper: 64).
+    pub conv2: usize,
+    /// Fully connected width (paper: 1024).
+    pub fc: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl TextCnnConfig {
+    /// Paper-scale configuration for a given class count.
+    pub fn paper(classes: usize) -> TextCnnConfig {
+        TextCnnConfig { seq_len: 21, embed_dim: 96, conv1: 32, conv2: 64, fc: 1024, classes }
+    }
+
+    /// Small configuration for fast tests.
+    pub fn tiny(embed_dim: usize, classes: usize) -> TextCnnConfig {
+        TextCnnConfig { seq_len: 21, embed_dim, conv1: 8, conv2: 8, fc: 32, classes }
+    }
+}
+
+/// A 2-layer convolutional text classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TextCnn {
+    /// Configuration.
+    pub cfg: TextCnnConfig,
+    conv1: Conv1d,
+    conv2: Conv1d,
+    fc1: Dense,
+    fc2: Dense,
+}
+
+/// Per-sample forward activations cached for the backward pass.
+#[derive(Debug, Default, Clone)]
+pub struct Workspace {
+    c1: Vec<f32>,
+    p1: Vec<f32>,
+    a1: Vec<u32>,
+    c2: Vec<f32>,
+    p2: Vec<f32>,
+    a2: Vec<u32>,
+    h: Vec<f32>,
+    logits: Vec<f32>,
+    // backward scratch
+    gh: Vec<f32>,
+    gp2: Vec<f32>,
+    gp1: Vec<f32>,
+    gx: Vec<f32>,
+}
+
+impl TextCnn {
+    /// A freshly initialized model.
+    pub fn new(cfg: TextCnnConfig, seed: u64) -> TextCnn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len2 = cfg.seq_len / 2;
+        let len4 = len2 / 2;
+        TextCnn {
+            cfg,
+            conv1: Conv1d::new(cfg.embed_dim, cfg.conv1, 3, &mut rng),
+            conv2: Conv1d::new(cfg.conv1, cfg.conv2, 3, &mut rng),
+            fc1: Dense::new(cfg.conv2 * len4, cfg.fc, &mut rng),
+            fc2: Dense::new(cfg.fc, cfg.classes, &mut rng),
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.conv1.param_count()
+            + self.conv2.param_count()
+            + self.fc1.param_count()
+            + self.fc2.param_count()
+    }
+
+    /// Gradient buffers with this model's shapes.
+    pub fn grad_buffers(&self) -> GradBuffers {
+        GradBuffers::new(&[
+            self.conv1.w.len(),
+            self.conv1.b.len(),
+            self.conv2.w.len(),
+            self.conv2.b.len(),
+            self.fc1.w.len(),
+            self.fc1.b.len(),
+            self.fc2.w.len(),
+            self.fc2.b.len(),
+        ])
+    }
+
+    /// Immutable views of all parameter tensors, in the order
+    /// [`TextCnn::grad_buffers`] uses.
+    pub fn params(&self) -> [&[f32]; 8] {
+        [
+            &self.conv1.w,
+            &self.conv1.b,
+            &self.conv2.w,
+            &self.conv2.b,
+            &self.fc1.w,
+            &self.fc1.b,
+            &self.fc2.w,
+            &self.fc2.b,
+        ]
+    }
+
+    fn params_mut(&mut self) -> [&mut Vec<f32>; 8] {
+        [
+            &mut self.conv1.w,
+            &mut self.conv1.b,
+            &mut self.conv2.w,
+            &mut self.conv2.b,
+            &mut self.fc1.w,
+            &mut self.fc1.b,
+            &mut self.fc2.w,
+            &mut self.fc2.b,
+        ]
+    }
+
+    /// Forward pass into `ws`; returns the logits slice.
+    pub fn forward<'w>(&self, x: &[f32], ws: &'w mut Workspace) -> &'w [f32] {
+        let len = self.cfg.seq_len;
+        self.conv1.forward(x, len, &mut ws.c1);
+        relu(&mut ws.c1);
+        let (p1, a1) = maxpool2(&ws.c1, self.cfg.conv1, len);
+        ws.p1 = p1;
+        ws.a1 = a1;
+        let len2 = len / 2;
+        self.conv2.forward(&ws.p1, len2, &mut ws.c2);
+        relu(&mut ws.c2);
+        let (p2, a2) = maxpool2(&ws.c2, self.cfg.conv2, len2);
+        ws.p2 = p2;
+        ws.a2 = a2;
+        self.fc1.forward(&ws.p2, &mut ws.h);
+        relu(&mut ws.h);
+        self.fc2.forward(&ws.h, &mut ws.logits);
+        &ws.logits
+    }
+
+    /// Class probabilities for one input.
+    pub fn predict(&self, x: &[f32]) -> Vec<f32> {
+        let mut ws = Workspace::default();
+        self.forward(x, &mut ws);
+        let mut probs = ws.logits;
+        softmax(&mut probs);
+        probs
+    }
+
+    /// Forward + backward for one `(x, label)`; accumulates gradients
+    /// into `grads` and returns the sample loss.
+    pub fn backward(
+        &self,
+        x: &[f32],
+        label: usize,
+        ws: &mut Workspace,
+        grads: &mut GradBuffers,
+    ) -> f32 {
+        let len = self.cfg.seq_len;
+        let len2 = len / 2;
+        self.forward(x, ws);
+        let mut probs = ws.logits.clone();
+        softmax(&mut probs);
+        let loss = cross_entropy_backward(&mut probs, label);
+        let glogits = probs;
+
+        let [gc1w, gc1b, gc2w, gc2b, gf1w, gf1b, gf2w, gf2b] = grads.as_mut_arrays();
+        self.fc2.backward(&ws.h, &glogits, &mut ws.gh, gf2w, gf2b);
+        relu_backward(&ws.h, &mut ws.gh);
+        let gh = std::mem::take(&mut ws.gh);
+        self.fc1.backward(&ws.p2, &gh, &mut ws.gp2, gf1w, gf1b);
+        ws.gh = gh;
+        let mut gc2 = maxpool2_backward(&ws.gp2, &ws.a2, self.cfg.conv2 * len2);
+        relu_backward(&ws.c2, &mut gc2);
+        self.conv2.backward(&ws.p1, len2, &gc2, &mut ws.gp1, gc2w, gc2b);
+        let mut gc1 = maxpool2_backward(&ws.gp1, &ws.a1, self.cfg.conv1 * len);
+        relu_backward(&ws.c1, &mut gc1);
+        self.conv1.backward(x, len, &gc1, &mut ws.gx, gc1w, gc1b);
+        loss
+    }
+
+    /// Applies accumulated gradients through `opt` and clears them.
+    pub fn apply_grads(&mut self, grads: &mut GradBuffers, opt: &mut Adam, batch_size: usize) {
+        let scale = 1.0 / batch_size.max(1) as f32;
+        grads.scale(scale);
+        let params = self.params_mut();
+        opt.step(params, grads);
+        grads.zero();
+    }
+
+    /// One epoch of mini-batch training over `data`, shuffled with
+    /// `rng`; parallelizes the per-sample backward passes. Returns the
+    /// mean loss.
+    pub fn train_epoch(
+        &mut self,
+        data: &[(Vec<f32>, usize)],
+        opt: &mut Adam,
+        batch_size: usize,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.shuffle(rng);
+        let mut total_loss = 0.0f64;
+        for chunk in order.chunks(batch_size.max(1)) {
+            let (mut grads, loss) = chunk
+                .par_iter()
+                .map(|&i| {
+                    let mut ws = Workspace::default();
+                    let mut g = self.grad_buffers();
+                    let l = self.backward(&data[i].0, data[i].1, &mut ws, &mut g);
+                    (g, l as f64)
+                })
+                .reduce(
+                    || (self.grad_buffers(), 0.0),
+                    |(mut ga, la), (gb, lb)| {
+                        ga.add(&gb);
+                        (ga, la + lb)
+                    },
+                );
+            total_loss += loss;
+            self.apply_grads(&mut grads, opt, chunk.len());
+        }
+        (total_loss / data.len().max(1) as f64) as f32
+    }
+
+    /// Classification accuracy over `data`.
+    pub fn accuracy(&self, data: &[(Vec<f32>, usize)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct: usize = data
+            .par_iter()
+            .map(|(x, label)| {
+                let probs = self.predict(x);
+                let pred = probs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                usize::from(pred == *label)
+            })
+            .sum();
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(cfg: TextCnnConfig, n: usize) -> Vec<(Vec<f32>, usize)> {
+        // Class 0: energy at the left of the sequence; class 1: right.
+        let mut rng = StdRng::seed_from_u64(1234);
+        (0..n)
+            .map(|i| {
+                let label = i % 2;
+                let mut x = vec![0.0f32; cfg.embed_dim * cfg.seq_len];
+                use rand::Rng;
+                for c in 0..cfg.embed_dim {
+                    for t in 0..cfg.seq_len {
+                        let on = if label == 0 { t < cfg.seq_len / 2 } else { t >= cfg.seq_len / 2 };
+                        x[c * cfg.seq_len + t] = if on {
+                            1.0 + rng.gen_range(-0.2..0.2)
+                        } else {
+                            rng.gen_range(-0.2..0.2)
+                        };
+                    }
+                }
+                (x, label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let cfg = TextCnnConfig::tiny(6, 3);
+        let model = TextCnn::new(cfg, 7);
+        let x = vec![0.5; cfg.embed_dim * cfg.seq_len];
+        let probs = model.predict(&x);
+        assert_eq!(probs.len(), 3);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn learns_a_separable_toy_problem() {
+        let cfg = TextCnnConfig::tiny(4, 2);
+        let mut model = TextCnn::new(cfg, 3);
+        let data = toy_dataset(cfg, 120);
+        let mut opt = Adam::new(0.01);
+        let mut rng = StdRng::seed_from_u64(5);
+        let initial = model.accuracy(&data);
+        for _ in 0..8 {
+            model.train_epoch(&data, &mut opt, 16, &mut rng);
+        }
+        let trained = model.accuracy(&data);
+        assert!(
+            trained > 0.95,
+            "accuracy {initial:.2} -> {trained:.2}, failed to learn"
+        );
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let cfg = TextCnnConfig::tiny(4, 2);
+        let mut model = TextCnn::new(cfg, 11);
+        let data = toy_dataset(cfg, 64);
+        let mut opt = Adam::new(0.005);
+        let mut rng = StdRng::seed_from_u64(6);
+        let first = model.train_epoch(&data, &mut opt, 16, &mut rng);
+        let mut last = first;
+        for _ in 0..5 {
+            last = model.train_epoch(&data, &mut opt, 16, &mut rng);
+        }
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_predictions() {
+        let cfg = TextCnnConfig::tiny(4, 3);
+        let model = TextCnn::new(cfg, 9);
+        let json = serde_json::to_string(&model).unwrap();
+        let restored: TextCnn = serde_json::from_str(&json).unwrap();
+        let x = vec![0.25; cfg.embed_dim * cfg.seq_len];
+        assert_eq!(model.predict(&x), restored.predict(&x));
+    }
+
+    #[test]
+    fn paper_config_has_expected_scale() {
+        let model = TextCnn::new(TextCnnConfig::paper(19), 0);
+        // conv1 ~9k, conv2 ~6k, fc1 320*1024 ~328k, fc2 ~19k.
+        let n = model.param_count();
+        assert!(n > 300_000 && n < 500_000, "param count {n}");
+    }
+}

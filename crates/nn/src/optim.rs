@@ -1,0 +1,232 @@
+//! Optimizers and gradient accumulation buffers.
+
+use serde::{Deserialize, Serialize};
+
+/// Gradient buffers matching a model's parameter tensors, in a fixed
+/// order. Buffers are reduced across a mini-batch (possibly in
+/// parallel) before one optimizer step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradBuffers {
+    bufs: Vec<Vec<f32>>,
+}
+
+impl GradBuffers {
+    /// Zeroed buffers with the given tensor lengths.
+    pub fn new(sizes: &[usize]) -> GradBuffers {
+        GradBuffers { bufs: sizes.iter().map(|&n| vec![0.0; n]).collect() }
+    }
+
+    /// Mutable access to exactly eight tensors (the [`TextCnn`
+    /// layout](crate::model::TextCnn::grad_buffers)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer count is not eight.
+    pub fn as_mut_arrays(&mut self) -> [&mut [f32]; 8] {
+        let mut it = self.bufs.iter_mut();
+        std::array::from_fn(|_| it.next().expect("eight gradient tensors").as_mut_slice())
+    }
+
+    /// Element-wise accumulate `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&mut self, other: &GradBuffers) {
+        assert_eq!(self.bufs.len(), other.bufs.len());
+        for (a, b) in self.bufs.iter_mut().zip(&other.bufs) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
+        }
+    }
+
+    /// Multiply every gradient by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for buf in &mut self.bufs {
+            for v in buf.iter_mut() {
+                *v *= s;
+            }
+        }
+    }
+
+    /// Reset to zero.
+    pub fn zero(&mut self) {
+        for buf in &mut self.bufs {
+            buf.fill(0.0);
+        }
+    }
+
+    /// Global L2 norm across all buffers.
+    pub fn norm(&self) -> f32 {
+        self.bufs
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Vec<f32>> {
+        self.bufs.iter()
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with optional gradient clipping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Epsilon.
+    pub eps: f32,
+    /// Clip gradients to this global norm (0 disables).
+    pub clip: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with standard betas.
+    pub fn new(lr: f32) -> Adam {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: 5.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// One update step over all parameter tensors.
+    pub fn step(&mut self, params: [&mut Vec<f32>; 8], grads: &mut GradBuffers) {
+        if self.m.is_empty() {
+            for g in grads.iter() {
+                self.m.push(vec![0.0; g.len()]);
+                self.v.push(vec![0.0; g.len()]);
+            }
+        }
+        if self.clip > 0.0 {
+            let norm = grads.norm();
+            if norm > self.clip {
+                grads.scale(self.clip / norm);
+            }
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in params
+            .into_iter()
+            .zip(grads.iter())
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            for i in 0..p.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                p[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain SGD with momentum, as a baseline optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and 0.9 momentum.
+    pub fn new(lr: f32) -> Sgd {
+        Sgd { lr, momentum: 0.9, velocity: Vec::new() }
+    }
+
+    /// One update step.
+    pub fn step(&mut self, params: [&mut Vec<f32>; 8], grads: &GradBuffers) {
+        if self.velocity.is_empty() {
+            for g in grads.iter() {
+                self.velocity.push(vec![0.0; g.len()]);
+            }
+        }
+        for ((p, g), vel) in params.into_iter().zip(grads.iter()).zip(self.velocity.iter_mut()) {
+            for i in 0..p.len() {
+                vel[i] = self.momentum * vel[i] - self.lr * g[i];
+                p[i] += vel[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_optimizer(mut step: impl FnMut([&mut Vec<f32>; 8], &mut GradBuffers)) -> f32 {
+        let mut params: Vec<Vec<f32>> = (0..8).map(|_| vec![1.0f32; 4]).collect();
+        for _ in 0..300 {
+            let mut grads = GradBuffers::new(&[4; 8]);
+            {
+                let arrays = grads.as_mut_arrays();
+                for (g, p) in arrays.into_iter().zip(&params) {
+                    for i in 0..4 {
+                        g[i] = 2.0 * p[i];
+                    }
+                }
+            }
+            let mut it = params.iter_mut();
+            let refs: [&mut Vec<f32>; 8] = std::array::from_fn(|_| it.next().unwrap());
+            step(refs, &mut grads);
+        }
+        params.iter().flat_map(|p| p.iter()).map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut adam = Adam::new(0.05);
+        let residual = with_optimizer(|p, g| adam.step(p, g));
+        assert!(residual < 1e-3, "residual {residual}");
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let mut sgd = Sgd::new(0.01);
+        let residual = with_optimizer(|p, g| sgd.step(p, g));
+        assert!(residual < 1e-3, "residual {residual}");
+    }
+
+    #[test]
+    fn clipping_bounds_gradient_norm() {
+        let mut grads = GradBuffers::new(&[4; 8]);
+        {
+            let arrays = grads.as_mut_arrays();
+            for g in arrays {
+                g.fill(100.0);
+            }
+        }
+        let norm_before = grads.norm();
+        assert!(norm_before > 5.0);
+        let mut adam = Adam::new(0.001);
+        let mut params: Vec<Vec<f32>> = (0..8).map(|_| vec![0.0f32; 4]).collect();
+        let mut it = params.iter_mut();
+        let refs: [&mut Vec<f32>; 8] = std::array::from_fn(|_| it.next().unwrap());
+        adam.step(refs, &mut grads);
+        assert!(grads.norm() <= 5.0 + 1e-3);
+    }
+
+    #[test]
+    fn gradbuffers_add_and_scale() {
+        let mut a = GradBuffers::new(&[2; 8]);
+        let mut b = GradBuffers::new(&[2; 8]);
+        a.as_mut_arrays()[0][0] = 1.0;
+        b.as_mut_arrays()[0][0] = 2.0;
+        a.add(&b);
+        a.scale(0.5);
+        assert_eq!(a.as_mut_arrays()[0][0], 1.5);
+        a.zero();
+        assert_eq!(a.norm(), 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Corpus construction: many applications × optimization levels.
+//!
+//! Mirrors the paper's data set (§VII-A): a training set built from
+//! many open-source-style projects compiled at `-O0`..`-O3` with one
+//! compiler, and a disjoint 12-application test set.
+
+use crate::gen::generate_program;
+use crate::link::link_program;
+use crate::profile::{CodegenOptions, Compiler, OptLevel};
+use crate::typedist::AppProfile;
+use cati_asm::binary::Binary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One built binary and its provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuiltBinary {
+    /// The (non-stripped) binary. Call [`Binary::strip`] for the
+    /// classifier's input view.
+    pub binary: Binary,
+    /// Application the binary belongs to.
+    pub app: String,
+    /// Options it was "compiled" with.
+    pub opts: CodegenOptions,
+}
+
+/// A train/test corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// Training binaries (many projects, all optimization levels).
+    pub train: Vec<BuiltBinary>,
+    /// Test binaries (the 12 benchmark applications).
+    pub test: Vec<BuiltBinary>,
+}
+
+/// Corpus size/shape knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Compiler profile for the whole corpus (the paper controls this
+    /// variable; §VIII retrains on Clang).
+    pub compiler: Compiler,
+    /// How many training projects to instantiate.
+    pub train_projects: usize,
+    /// Optimization levels used for training builds.
+    pub opt_levels: Vec<OptLevel>,
+    /// Base RNG seed; corpora are fully reproducible.
+    pub seed: u64,
+    /// Multiplier on per-application binary counts (0.0 < scale).
+    pub scale: f64,
+}
+
+impl CorpusConfig {
+    /// A small configuration suitable for unit tests.
+    pub fn small(seed: u64) -> CorpusConfig {
+        CorpusConfig {
+            compiler: Compiler::Gcc,
+            train_projects: 2,
+            opt_levels: vec![OptLevel::O0, OptLevel::O2],
+            seed,
+            scale: 0.25,
+        }
+    }
+
+    /// A medium configuration for experiments (minutes of CPU).
+    pub fn medium(seed: u64) -> CorpusConfig {
+        CorpusConfig {
+            compiler: Compiler::Gcc,
+            train_projects: 8,
+            opt_levels: OptLevel::ALL.to_vec(),
+            seed,
+            scale: 1.0,
+        }
+    }
+
+    /// Paper-scale shape (2141 training binaries is approximated by
+    /// project-count × opt-levels × scale; expect long build times).
+    pub fn paper(seed: u64) -> CorpusConfig {
+        CorpusConfig {
+            compiler: Compiler::Gcc,
+            train_projects: 24,
+            opt_levels: OptLevel::ALL.to_vec(),
+            seed,
+            scale: 4.0,
+        }
+    }
+
+    /// Same configuration with a different compiler.
+    pub fn with_compiler(mut self, compiler: Compiler) -> CorpusConfig {
+        self.compiler = compiler;
+        self
+    }
+}
+
+fn scaled(count: u32, scale: f64) -> u32 {
+    ((f64::from(count) * scale).round() as u32).max(1)
+}
+
+/// Builds the binaries of one application at one optimization level.
+pub fn build_app(
+    profile: &AppProfile,
+    opts: CodegenOptions,
+    scale: f64,
+    rng: &mut StdRng,
+) -> Vec<BuiltBinary> {
+    let n = scaled(profile.binaries, scale);
+    (0..n)
+        .map(|i| {
+            let program = generate_program(&format!("{}_{i}", profile.name), profile, rng);
+            let binary = link_program(&program, opts, rng);
+            BuiltBinary { binary, app: profile.name.clone(), opts }
+        })
+        .collect()
+}
+
+/// Builds a full train/test corpus.
+pub fn build_corpus(cfg: &CorpusConfig) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut train = Vec::new();
+    for profile in AppProfile::training_projects(cfg.train_projects) {
+        for &opt in &cfg.opt_levels {
+            let opts = CodegenOptions { compiler: cfg.compiler, opt };
+            train.extend(build_app(&profile, opts, cfg.scale, &mut rng));
+        }
+    }
+    let mut test = Vec::new();
+    for profile in AppProfile::test_apps() {
+        // Test binaries use a mix of optimization levels, like the
+        // deployed binaries the system would face.
+        let n_levels = cfg.opt_levels.len();
+        let opt = cfg.opt_levels[rng.gen_range(0..n_levels)];
+        let opts = CodegenOptions { compiler: cfg.compiler, opt };
+        test.extend(build_app(&profile, opts, cfg.scale, &mut rng));
+    }
+    Corpus { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_corpus_builds_and_disassembles() {
+        let corpus = build_corpus(&CorpusConfig::small(3));
+        assert!(!corpus.train.is_empty());
+        assert_eq!(
+            corpus
+                .test
+                .iter()
+                .map(|b| b.app.clone())
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            12
+        );
+        for built in corpus.train.iter().chain(&corpus.test) {
+            let insns = built.binary.disassemble().expect("binary must decode");
+            assert!(insns.len() > 20, "{} too small", built.binary.name);
+            assert!(built.binary.debug.is_some());
+        }
+    }
+
+    #[test]
+    fn corpora_are_reproducible() {
+        let a = build_corpus(&CorpusConfig::small(9));
+        let b = build_corpus(&CorpusConfig::small(9));
+        assert_eq!(a.train.len(), b.train.len());
+        for (x, y) in a.train.iter().zip(&b.train) {
+            assert_eq!(x.binary.text, y.binary.text);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build_corpus(&CorpusConfig::small(1));
+        let b = build_corpus(&CorpusConfig::small(2));
+        let same = a
+            .train
+            .iter()
+            .zip(&b.train)
+            .all(|(x, y)| x.binary.text == y.binary.text);
+        assert!(!same);
+    }
+
+    #[test]
+    fn clang_corpus_uses_clang_profile() {
+        let cfg = CorpusConfig::small(4).with_compiler(Compiler::Clang);
+        let corpus = build_corpus(&cfg);
+        assert!(corpus.train.iter().all(|b| b.opts.compiler == Compiler::Clang));
+    }
+}

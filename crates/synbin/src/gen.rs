@@ -1,0 +1,925 @@
+//! Random typed-program generation.
+//!
+//! Programs are generated episode by episode so that the *same-type
+//! variable clustering phenomenon* (paper §II-B) arises the way it
+//! does in real code: struct initialization bursts, arithmetic
+//! sequences on one variable, array-fill loops. Single-use temporaries
+//! are common, reproducing the paper's *orphan variable* population
+//! (~35% of variables with ≤2 related instructions).
+
+use crate::ir::{
+    BinOp, Callee, CmpOp, Cond, ExternFunc, FuncId, Function, Local, LocalId, Operand2, Program,
+    Rhs, Stmt,
+};
+use crate::typedist::AppProfile;
+use cati_dwarf::{
+    CType, EnumDef, FloatWidth, IntWidth, Signedness, StructDef, TypeClass, TypeTable,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// External routines every generated program may call.
+pub const EXTERN_POOL: [&str; 10] = [
+    "malloc", "free", "memcpy", "memset", "strlen", "strcmp", "printf", "memchr", "realloc",
+    "calloc",
+];
+
+const TYPEDEF_NAMES: [&str; 10] = [
+    "size_t", "ssize_t", "byte", "uint32", "u64", "word_t", "offset_t", "count_t", "idx_t",
+    "flag_t",
+];
+
+const FUNC_VERBS: [&str; 12] = [
+    "parse", "update", "check", "emit", "scan", "map", "read", "write", "init", "flush",
+    "hash", "merge",
+];
+const FUNC_NOUNS: [&str; 12] = [
+    "header", "state", "buffer", "table", "node", "entry", "block", "token", "frame", "chunk",
+    "record", "option",
+];
+
+fn scalar_pool(rng: &mut StdRng) -> CType {
+    match rng.gen_range(0..8) {
+        0 => CType::char(),
+        1 => CType::Integer(IntWidth::Int, Signedness::Unsigned),
+        2 => CType::Integer(IntWidth::Long, Signedness::Signed),
+        3 => CType::Bool,
+        4 => CType::Float(FloatWidth::Double),
+        5 => CType::Integer(IntWidth::Short, Signedness::Signed),
+        _ => CType::int(),
+    }
+}
+
+fn random_struct(idx: usize, rng: &mut StdRng) -> StructDef {
+    let n = rng.gen_range(2..=6);
+    let mut members = Vec::with_capacity(n);
+    for m in 0..n {
+        let ty = match rng.gen_range(0..10) {
+            0 => CType::ptr_to(CType::char()),
+            1 => CType::ptr_to(CType::Void),
+            2 => CType::Array(Box::new(CType::char()), rng.gen_range(4..=32)),
+            _ => scalar_pool(rng),
+        };
+        members.push((format!("m{m}"), ty));
+    }
+    StructDef::layout(format!("s{idx}"), members)
+}
+
+fn random_enum(idx: usize, rng: &mut StdRng) -> EnumDef {
+    let n = rng.gen_range(2..=6);
+    EnumDef {
+        name: format!("e{idx}"),
+        variants: (0..n).map(|v| format!("E{idx}_V{v}")).collect(),
+    }
+}
+
+/// Realizes a sampled class into a concrete type, occasionally wrapped
+/// in typedef chains (which the labeler must resolve) or turned into
+/// an array.
+fn realize(class: TypeClass, n_structs: u32, n_enums: u32, rng: &mut StdRng) -> CType {
+    let base = match class {
+        TypeClass::Bool => CType::Bool,
+        TypeClass::Char => {
+            if rng.gen_bool(0.3) {
+                CType::Array(Box::new(CType::char()), rng.gen_range(8..=64))
+            } else {
+                CType::char()
+            }
+        }
+        TypeClass::UnsignedChar => CType::Integer(IntWidth::Char, Signedness::Unsigned),
+        TypeClass::ShortInt => CType::Integer(IntWidth::Short, Signedness::Signed),
+        TypeClass::ShortUnsignedInt => CType::Integer(IntWidth::Short, Signedness::Unsigned),
+        TypeClass::Int => {
+            if rng.gen_bool(0.08) {
+                CType::Array(Box::new(CType::int()), rng.gen_range(4..=16))
+            } else {
+                CType::int()
+            }
+        }
+        TypeClass::UnsignedInt => CType::Integer(IntWidth::Int, Signedness::Unsigned),
+        TypeClass::LongInt => CType::Integer(IntWidth::Long, Signedness::Signed),
+        TypeClass::LongUnsignedInt => CType::Integer(IntWidth::Long, Signedness::Unsigned),
+        TypeClass::LongLongInt => CType::Integer(IntWidth::LongLong, Signedness::Signed),
+        TypeClass::LongLongUnsignedInt => CType::Integer(IntWidth::LongLong, Signedness::Unsigned),
+        TypeClass::Float => CType::Float(FloatWidth::Float),
+        TypeClass::Double => CType::Float(FloatWidth::Double),
+        TypeClass::LongDouble => CType::Float(FloatWidth::LongDouble),
+        TypeClass::Enum => CType::Enum(rng.gen_range(0..n_enums.max(1))),
+        TypeClass::Struct => {
+            let id = rng.gen_range(0..n_structs.max(1));
+            if rng.gen_bool(0.25) {
+                CType::Array(Box::new(CType::Struct(id)), rng.gen_range(2..=8))
+            } else {
+                CType::Struct(id)
+            }
+        }
+        TypeClass::PtrVoid => CType::ptr_to(CType::Void),
+        TypeClass::PtrStruct => CType::ptr_to(CType::Struct(rng.gen_range(0..n_structs.max(1)))),
+        TypeClass::PtrArith => {
+            let pointee = match rng.gen_range(0..5) {
+                0 => CType::char(),
+                1 => CType::Float(FloatWidth::Double),
+                2 => CType::Integer(IntWidth::Long, Signedness::Signed),
+                3 => CType::Integer(IntWidth::Int, Signedness::Unsigned),
+                _ => CType::int(),
+            };
+            CType::ptr_to(pointee)
+        }
+    };
+    if rng.gen_bool(0.18) && !matches!(base, CType::Array(..)) {
+        let name = TYPEDEF_NAMES.choose(rng).unwrap().to_string();
+        if rng.gen_bool(0.25) {
+            CType::Typedef(
+                format!("{name}_inner"),
+                Box::new(CType::Typedef(name, Box::new(base))),
+            )
+        } else {
+            CType::Typedef(name, Box::new(base))
+        }
+    } else {
+        base
+    }
+}
+
+/// Context while generating one function body.
+struct FnGen<'a> {
+    locals: Vec<Local>,
+    types: &'a TypeTable,
+    /// Per-pointer binding: the local it may legally point at.
+    ptr_binding: Vec<Option<LocalId>>,
+    rng: &'a mut StdRng,
+    /// Functions generated so far (callable).
+    callable: Vec<(FuncId, Vec<TypeClass>, bool)>,
+    n_externs: u32,
+}
+
+impl FnGen<'_> {
+    fn class_of(&self, id: LocalId) -> Option<TypeClass> {
+        TypeClass::of(&self.locals[id.0 as usize].ty)
+    }
+
+    fn locals_of_class(&self, class: TypeClass) -> Vec<LocalId> {
+        (0..self.locals.len() as u32)
+            .map(LocalId)
+            .filter(|id| self.class_of(*id) == Some(class))
+            .collect()
+    }
+
+    /// A local with exactly this resolved type.
+    fn local_of_type(&self, ty: &CType) -> Option<LocalId> {
+        (0..self.locals.len() as u32).map(LocalId).find(|id| {
+            self.locals[id.0 as usize].ty.resolve() == ty.resolve()
+                && !matches!(self.locals[id.0 as usize].ty.resolve(), CType::Array(..))
+        })
+    }
+
+    fn is_array(&self, id: LocalId) -> bool {
+        matches!(self.locals[id.0 as usize].ty.resolve(), CType::Array(..))
+    }
+
+    fn int_scalar(&mut self) -> Option<LocalId> {
+        let candidates: Vec<LocalId> = (0..self.locals.len() as u32)
+            .map(LocalId)
+            .filter(|id| {
+                matches!(
+                    self.locals[id.0 as usize].ty.resolve(),
+                    CType::Integer(IntWidth::Int | IntWidth::Long, _)
+                ) && !self.is_array(*id)
+            })
+            .collect();
+        candidates.choose(self.rng).copied()
+    }
+
+    fn small_const(&mut self) -> i64 {
+        *[0i64, 1, 2, 4, 8, 0x10, 0x20, 0x40, 0x100, -1, 3, 7]
+            .choose(self.rng)
+            .unwrap()
+    }
+
+    fn same_class_peer(&mut self, id: LocalId) -> Option<LocalId> {
+        let class = self.class_of(id)?;
+        let peers: Vec<LocalId> = self
+            .locals_of_class(class)
+            .into_iter()
+            .filter(|p| *p != id && !self.is_array(*p) && !self.is_array(id))
+            .collect();
+        peers.choose(self.rng).copied()
+    }
+
+    /// Emits one episode of statements centred on `id`.
+    fn episode(&mut self, id: LocalId, out: &mut Vec<Stmt>) {
+        let Some(class) = self.class_of(id) else {
+            return;
+        };
+        if self.is_array(id) {
+            self.array_episode(id, out);
+            return;
+        }
+        use TypeClass::*;
+        match class {
+            Bool => self.bool_episode(id, out),
+            Struct => self.struct_episode(id, out),
+            PtrStruct => self.ptr_struct_episode(id, out),
+            PtrVoid => self.ptr_void_episode(id, out),
+            PtrArith => self.ptr_arith_episode(id, out),
+            Float | Double | LongDouble => self.float_episode(id, out),
+            Enum => self.enum_episode(id, out),
+            _ => self.int_episode(id, out),
+        }
+    }
+
+    fn int_episode(&mut self, id: LocalId, out: &mut Vec<Stmt>) {
+        match self.rng.gen_range(0..7) {
+            0 => {
+                let c = self.small_const();
+                out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(c) });
+            }
+            1 | 2 => {
+                let op = *[
+                    BinOp::Add,
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::Mul,
+                    BinOp::Shl,
+                    BinOp::Shr,
+                ]
+                .choose(self.rng)
+                .unwrap();
+                let b = if matches!(op, BinOp::Shl | BinOp::Shr) {
+                    Operand2::Const(self.rng.gen_range(1..8))
+                } else if let Some(peer) = self.same_class_peer(id) {
+                    if self.rng.gen_bool(0.5) {
+                        Operand2::Local(peer)
+                    } else {
+                        Operand2::Const(self.small_const())
+                    }
+                } else {
+                    Operand2::Const(self.small_const())
+                };
+                out.push(Stmt::Assign { dst: id, rhs: Rhs::Bin(op, id, b) });
+            }
+            3 => {
+                // Division: avoid zero divisors.
+                let b = match self.same_class_peer(id) {
+                    Some(p) if self.rng.gen_bool(0.6) => Operand2::Local(p),
+                    _ => Operand2::Const(self.rng.gen_range(1..16)),
+                };
+                out.push(Stmt::Assign { dst: id, rhs: Rhs::Bin(BinOp::Div, id, b) });
+            }
+            4 => {
+                if let Some(peer) = self.same_class_peer(id) {
+                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Local(peer) });
+                } else {
+                    let c = self.small_const();
+                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(c) });
+                }
+            }
+            5 => {
+                // Cross-type cast copy (movsx/movzx/cvt signal).
+                let others: Vec<LocalId> = (0..self.locals.len() as u32)
+                    .map(LocalId)
+                    .filter(|o| {
+                        *o != id
+                            && !self.is_array(*o)
+                            && self.locals[o.0 as usize].ty.resolve().is_arithmetic()
+                    })
+                    .collect();
+                if let Some(src) = others.choose(self.rng).copied() {
+                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Local(src) });
+                }
+            }
+            _ => {
+                // Single-use temp pattern: init then compare-branch.
+                let c = self.small_const();
+                out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(c) });
+                if self.rng.gen_bool(0.5) {
+                    let inner_c = self.small_const();
+                    out.push(Stmt::If {
+                        cond: Cond { lhs: id, op: CmpOp::Ne, rhs: Operand2::Const(inner_c) },
+                        then_body: vec![Stmt::Assign {
+                            dst: id,
+                            rhs: Rhs::Bin(BinOp::Add, id, Operand2::Const(1)),
+                        }],
+                        else_body: vec![],
+                    });
+                }
+            }
+        }
+    }
+
+    fn bool_episode(&mut self, id: LocalId, out: &mut Vec<Stmt>) {
+        match self.rng.gen_range(0..3) {
+            0 => out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(i64::from(self.rng.gen_bool(0.5))) }),
+            1 => {
+                if let Some(int) = self.int_scalar() {
+                    let op = *[CmpOp::Lt, CmpOp::Eq, CmpOp::Gt, CmpOp::Ne].choose(self.rng).unwrap();
+                    let c = self.small_const();
+                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Cmp(op, int, Operand2::Const(c)) });
+                } else {
+                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(1) });
+                }
+            }
+            _ => {
+                out.push(Stmt::If {
+                    cond: Cond { lhs: id, op: CmpOp::Ne, rhs: Operand2::Const(0) },
+                    then_body: vec![Stmt::Assign { dst: id, rhs: Rhs::Const(0) }],
+                    else_body: vec![],
+                });
+            }
+        }
+    }
+
+    fn enum_episode(&mut self, id: LocalId, out: &mut Vec<Stmt>) {
+        match self.rng.gen_range(0..3) {
+            0 => {
+                let c = self.rng.gen_range(0..6);
+                out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(c) });
+            }
+            1 => {
+                // switch-ish chain.
+                let c = self.rng.gen_range(0..4);
+                out.push(Stmt::If {
+                    cond: Cond { lhs: id, op: CmpOp::Eq, rhs: Operand2::Const(c) },
+                    then_body: vec![Stmt::Assign { dst: id, rhs: Rhs::Const(c + 1) }],
+                    else_body: vec![Stmt::Assign { dst: id, rhs: Rhs::Const(0) }],
+                });
+            }
+            _ => {
+                if let Some(peer) = self.same_class_peer(id) {
+                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Local(peer) });
+                } else {
+                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(1) });
+                }
+            }
+        }
+    }
+
+    fn float_episode(&mut self, id: LocalId, out: &mut Vec<Stmt>) {
+        match self.rng.gen_range(0..4) {
+            0 => out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(1) }),
+            1 | 2 => {
+                let op = *[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div].choose(self.rng).unwrap();
+                let b = match self.same_class_peer(id) {
+                    Some(p) if self.rng.gen_bool(0.6) => Operand2::Local(p),
+                    _ => Operand2::Const(1),
+                };
+                out.push(Stmt::Assign { dst: id, rhs: Rhs::Bin(op, id, b) });
+            }
+            _ => {
+                // Cast from an int or between float widths.
+                let others: Vec<LocalId> = (0..self.locals.len() as u32)
+                    .map(LocalId)
+                    .filter(|o| {
+                        *o != id
+                            && !self.is_array(*o)
+                            && self.locals[o.0 as usize].ty.resolve().is_arithmetic()
+                    })
+                    .collect();
+                if let Some(src) = others.choose(self.rng).copied() {
+                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Local(src) });
+                }
+            }
+        }
+    }
+
+    fn struct_members(&self, id: LocalId) -> Option<(u32, Vec<(u32, CType)>)> {
+        let (sid, base_elems) = match self.locals[id.0 as usize].ty.resolve() {
+            CType::Struct(sid) => (*sid, 1u32),
+            CType::Array(elem, n) => match elem.resolve() {
+                CType::Struct(sid) => (*sid, (*n).max(1)),
+                _ => return None,
+            },
+            _ => return None,
+        };
+        let def = self.types.structs.get(sid as usize)?;
+        let elem_size = def.size;
+        let members: Vec<(u32, CType)> = def
+            .members
+            .iter()
+            .filter(|m| !matches!(m.ty.resolve(), CType::Array(..)))
+            .map(|m| (m.offset, m.ty.clone()))
+            .collect();
+        if members.is_empty() {
+            return None;
+        }
+        Some((base_elems * 0 + elem_size, members)).map(|(es, ms)| {
+            let _ = es;
+            (base_elems, ms)
+        })
+    }
+
+    fn struct_episode(&mut self, id: LocalId, out: &mut Vec<Stmt>) {
+        let Some((elems, members)) = self.struct_members(id) else {
+            return;
+        };
+        let elem_size = match self.locals[id.0 as usize].ty.resolve() {
+            CType::Array(elem, _) => self.types.size_of(elem),
+            other => self.types.size_of(other),
+        };
+        // Usually a struct is touched through one or two members —
+        // indistinguishable from scalars of the member type, which is
+        // why the paper's struct recall is poor (0.58) despite a high
+        // clustering rate. Full initialization bursts (Fig. 2) happen
+        // but are the minority.
+        let elem = self.rng.gen_range(0..elems);
+        let base_off = elem * elem_size;
+        let burst = if self.rng.gen_bool(0.3) {
+            self.rng.gen_range(2..=members.len().min(5).max(2))
+        } else {
+            1
+        };
+        let mut picked = members.clone();
+        picked.shuffle(self.rng);
+        for (off, mty) in picked.into_iter().take(burst) {
+            let src = if self.rng.gen_bool(0.75) {
+                Operand2::Const(self.small_const())
+            } else if let Some(src) = self.local_of_type(&mty) {
+                Operand2::Local(src)
+            } else {
+                Operand2::Const(0)
+            };
+            out.push(Stmt::StoreMember { base: id, offset: base_off + off, member_ty: mty, src });
+        }
+        // Occasionally read a member back.
+        if self.rng.gen_bool(0.4) {
+            let (off, mty) = members.choose(self.rng).unwrap().clone();
+            if let Some(dst) = self.local_of_type(&mty) {
+                out.push(Stmt::Assign { dst, rhs: Rhs::Member(id, base_off + off, mty) });
+            }
+        }
+    }
+
+    fn ptr_struct_episode(&mut self, id: LocalId, out: &mut Vec<Stmt>) {
+        let sid = match self.locals[id.0 as usize].ty.resolve() {
+            CType::Pointer(inner) => match inner.resolve() {
+                CType::Struct(sid) => *sid,
+                _ => return,
+            },
+            _ => return,
+        };
+        match self.rng.gen_range(0..4) {
+            0 => {
+                if let Some(target) = self.ptr_binding[id.0 as usize] {
+                    out.push(Stmt::Assign { dst: id, rhs: Rhs::AddrOf(target) });
+                } else {
+                    // p = malloc(sz)
+                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Call(Callee::Extern(0), vec![]) });
+                }
+            }
+            1 | 2 => {
+                let Some(def) = self.types.structs.get(sid as usize) else { return };
+                let members: Vec<(u32, CType)> = def
+                    .members
+                    .iter()
+                    .filter(|m| !matches!(m.ty.resolve(), CType::Array(..)))
+                    .map(|m| (m.offset, m.ty.clone()))
+                    .collect();
+                if members.is_empty() {
+                    return;
+                }
+                let n = self.rng.gen_range(1..=members.len().min(3));
+                for _ in 0..n {
+                    let (off, mty) = members.choose(self.rng).unwrap().clone();
+                    if self.rng.gen_bool(0.6) {
+                        let c = self.small_const();
+                        out.push(Stmt::StoreMemberPtr {
+                            ptr: id,
+                            offset: off,
+                            member_ty: mty,
+                            src: Operand2::Const(c),
+                        });
+                    } else if let Some(dst) = self.local_of_type(&mty) {
+                        out.push(Stmt::Assign { dst, rhs: Rhs::MemberOfPtr(id, off, mty) });
+                    }
+                }
+            }
+            _ => {
+                if let Some(peer) = self.same_class_peer(id) {
+                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Local(peer) });
+                }
+                out.push(Stmt::If {
+                    cond: Cond { lhs: id, op: CmpOp::Ne, rhs: Operand2::Const(0) },
+                    then_body: vec![],
+                    else_body: vec![],
+                });
+            }
+        }
+    }
+
+    fn ptr_void_episode(&mut self, id: LocalId, out: &mut Vec<Stmt>) {
+        match self.rng.gen_range(0..3) {
+            0 => {
+                let args = self.int_scalar().map(|a| vec![a]).unwrap_or_default();
+                out.push(Stmt::Assign { dst: id, rhs: Rhs::Call(Callee::Extern(0), args) });
+            }
+            1 => {
+                out.push(Stmt::If {
+                    cond: Cond { lhs: id, op: CmpOp::Eq, rhs: Operand2::Const(0) },
+                    then_body: vec![Stmt::Return(None)],
+                    else_body: vec![],
+                });
+            }
+            _ => {
+                out.push(Stmt::CallStmt { callee: Callee::Extern(1), args: vec![id] });
+            }
+        }
+    }
+
+    fn ptr_arith_episode(&mut self, id: LocalId, out: &mut Vec<Stmt>) {
+        let pointee = match self.locals[id.0 as usize].ty.resolve() {
+            CType::Pointer(inner) => inner.resolve().clone(),
+            _ => return,
+        };
+        match self.rng.gen_range(0..4) {
+            0 => {
+                if let Some(target) = self.ptr_binding[id.0 as usize] {
+                    out.push(Stmt::Assign { dst: id, rhs: Rhs::AddrOf(target) });
+                }
+            }
+            1 => {
+                if let Some(dst) = self.local_of_type(&pointee) {
+                    out.push(Stmt::Assign { dst, rhs: Rhs::Deref(id) });
+                }
+            }
+            2 => {
+                let src = match self.local_of_type(&pointee) {
+                    Some(s) if self.rng.gen_bool(0.5) => Operand2::Local(s),
+                    _ => Operand2::Const(self.small_const()),
+                };
+                out.push(Stmt::StoreDeref { ptr: id, src });
+            }
+            _ => {
+                // Pointer bump by element size.
+                let step = pointee.size().max(1) as i64;
+                out.push(Stmt::Assign {
+                    dst: id,
+                    rhs: Rhs::Bin(BinOp::Add, id, Operand2::Const(step)),
+                });
+            }
+        }
+    }
+
+    fn array_episode(&mut self, id: LocalId, out: &mut Vec<Stmt>) {
+        let elem_ty = match self.locals[id.0 as usize].ty.resolve() {
+            CType::Array(elem, _) => elem.resolve().clone(),
+            _ => return,
+        };
+        if matches!(elem_ty, CType::Struct(_)) {
+            self.struct_episode(id, out);
+            return;
+        }
+        let Some(idx) = self.int_scalar() else { return };
+        match self.rng.gen_range(0..3) {
+            0 => {
+                let c = self.small_const();
+                out.push(Stmt::StoreIndexed {
+                    base: id,
+                    index: idx,
+                    elem_ty,
+                    src: Operand2::Const(c),
+                });
+            }
+            1 => {
+                if let Some(dst) = self.local_of_type(&elem_ty) {
+                    out.push(Stmt::Assign {
+                        dst,
+                        rhs: Rhs::LoadIndexed { base: id, index: idx, elem_ty },
+                    });
+                }
+            }
+            _ => {
+                // Fill loop: while (i < n) { a[i] = c; i = i + 1; }
+                let n = self.rng.gen_range(4..16);
+                let c = self.small_const();
+                out.push(Stmt::Assign { dst: idx, rhs: Rhs::Const(0) });
+                out.push(Stmt::While {
+                    cond: Cond { lhs: idx, op: CmpOp::Lt, rhs: Operand2::Const(n) },
+                    body: vec![
+                        Stmt::StoreIndexed {
+                            base: id,
+                            index: idx,
+                            elem_ty,
+                            src: Operand2::Const(c),
+                        },
+                        Stmt::Assign {
+                            dst: idx,
+                            rhs: Rhs::Bin(BinOp::Add, idx, Operand2::Const(1)),
+                        },
+                    ],
+                });
+            }
+        }
+    }
+
+    fn call_episode(&mut self, out: &mut Vec<Stmt>) {
+        // Prefer calling an already-generated local function with
+        // class-compatible arguments; otherwise call an extern.
+        let local_call = (!self.callable.is_empty()).then(|| {
+            self.callable[self.rng.gen_range(0..self.callable.len())].clone()
+        });
+        if let Some((fid, param_classes, has_ret)) = local_call {
+            let mut args = Vec::with_capacity(param_classes.len());
+            for class in &param_classes {
+                let cands = self.locals_of_class(*class);
+                let Some(arg) = cands.choose(self.rng).copied() else { return };
+                if self.is_array(arg) {
+                    return;
+                }
+                args.push(arg);
+            }
+            if has_ret && self.rng.gen_bool(0.6) {
+                if let Some(dst) = self.int_scalar() {
+                    out.push(Stmt::Assign { dst, rhs: Rhs::Call(Callee::Local(fid), args) });
+                    return;
+                }
+            }
+            out.push(Stmt::CallStmt { callee: Callee::Local(fid), args });
+        } else {
+            let e = self.rng.gen_range(0..EXTERN_POOL.len() as u32);
+            let args = self.int_scalar().map(|a| vec![a]).unwrap_or_default();
+            out.push(Stmt::CallStmt { callee: Callee::Extern(e), args });
+        }
+    }
+}
+
+/// Generates one program for `profile`.
+pub fn generate_program(name: &str, profile: &AppProfile, rng: &mut StdRng) -> Program {
+    let mut types = TypeTable::new();
+    let n_structs = rng.gen_range(3..=7u32);
+    for i in 0..n_structs {
+        let def = random_struct(i as usize, rng);
+        types.add_struct(def);
+    }
+    let n_enums = rng.gen_range(2..=5u32);
+    for i in 0..n_enums {
+        let def = random_enum(i as usize, rng);
+        types.add_enum(def);
+    }
+    let externs = EXTERN_POOL
+        .iter()
+        .map(|n| ExternFunc { name: (*n).to_string() })
+        .collect();
+
+    let mut functions: Vec<Function> = Vec::new();
+    let mut callable: Vec<(FuncId, Vec<TypeClass>, bool)> = Vec::new();
+    for fidx in 0..profile.functions_per_binary {
+        let func = generate_function(fidx, profile, &types, n_structs, n_enums, &callable, rng);
+        let param_classes: Vec<TypeClass> = func.locals[..func.num_params as usize]
+            .iter()
+            .filter_map(|l| TypeClass::of(&l.ty))
+            .collect();
+        if param_classes.len() == func.num_params as usize {
+            callable.push((FuncId(fidx), param_classes, func.ret.is_some()));
+        }
+        functions.push(func);
+    }
+
+    Program { name: name.to_string(), types, functions, externs }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn generate_function(
+    fidx: u32,
+    profile: &AppProfile,
+    types: &TypeTable,
+    n_structs: u32,
+    n_enums: u32,
+    callable: &[(FuncId, Vec<TypeClass>, bool)],
+    rng: &mut StdRng,
+) -> Function {
+    let verb = FUNC_VERBS[rng.gen_range(0..FUNC_VERBS.len())];
+    let noun = FUNC_NOUNS[rng.gen_range(0..FUNC_NOUNS.len())];
+    let name = format!("{verb}_{noun}_{fidx}");
+
+    let target = profile.locals_per_function.max(3);
+    let n_locals = rng.gen_range(target / 2 + 2..=target * 3 / 2 + 2);
+    let mut locals: Vec<Local> = Vec::with_capacity(n_locals as usize);
+    for i in 0..n_locals {
+        let class = profile.mix.sample(rng);
+        let ty = realize(class, n_structs, n_enums, rng);
+        locals.push(Local { name: format!("v{i}"), ty });
+    }
+
+    // Parameters: scalars and pointers only.
+    let num_params = rng.gen_range(0..=3u32).min(n_locals);
+    for p in 0..num_params {
+        let ty = &locals[p as usize].ty;
+        let bad = matches!(ty.resolve(), CType::Struct(_) | CType::Union(_) | CType::Array(..));
+        if bad {
+            locals[p as usize].ty = if rng.gen_bool(0.5) {
+                CType::int()
+            } else {
+                CType::ptr_to(CType::Struct(rng.gen_range(0..n_structs.max(1))))
+            };
+        }
+        locals[p as usize].name = format!("arg{p}");
+    }
+
+    // Pointer bindings: every arith/struct pointer gets a target local
+    // of matching pointee type, appending one if necessary.
+    let mut ptr_binding: Vec<Option<LocalId>> = vec![None; locals.len()];
+    for i in 0..locals.len() {
+        let pointee = match locals[i].ty.resolve() {
+            CType::Pointer(inner) => inner.resolve().clone(),
+            _ => continue,
+        };
+        if matches!(pointee, CType::Void | CType::Union(_) | CType::Pointer(_)) {
+            continue;
+        }
+        let found = locals.iter().position(|l| {
+            l.ty.resolve() == &pointee && !matches!(l.ty.resolve(), CType::Array(..))
+        });
+        let target = match found {
+            Some(t) => t,
+            None => {
+                locals.push(Local { name: format!("v{}", locals.len()), ty: pointee });
+                ptr_binding.push(None);
+                locals.len() - 1
+            }
+        };
+        ptr_binding[i] = Some(LocalId(target as u32));
+    }
+
+    // Ensure an index local exists when arrays are present.
+    let has_array = locals.iter().any(|l| matches!(l.ty.resolve(), CType::Array(..)));
+    let has_int = locals
+        .iter()
+        .any(|l| matches!(l.ty.resolve(), CType::Integer(IntWidth::Int | IntWidth::Long, _)));
+    if has_array && !has_int {
+        locals.push(Local { name: format!("v{}", locals.len()), ty: CType::int() });
+        ptr_binding.push(None);
+    }
+
+    let ret = if rng.gen_bool(0.6) { Some(CType::int()) } else { None };
+
+    let mut ctx = FnGen {
+        locals: locals.clone(),
+        types,
+        ptr_binding,
+        rng,
+        callable: callable.to_vec(),
+        n_externs: EXTERN_POOL.len() as u32,
+    };
+    let _ = ctx.n_externs;
+
+    let mut body = Vec::new();
+    let n_episodes = profile.episodes_per_function.max(3);
+    let n_episodes = ctx.rng.gen_range(n_episodes / 2 + 1..=n_episodes * 3 / 2 + 1);
+    let mut last: Option<LocalId> = None;
+    for _ in 0..n_episodes {
+        // Locality biases: real code keeps working on the same
+        // variable (multi-use variables; paper: 65% of variables have
+        // 3+ related instructions) and on same-typed neighbours (the
+        // clustering phenomenon).
+        let id = match last {
+            Some(prev) if ctx.rng.gen_bool(0.30) => prev,
+            Some(prev) if ctx.rng.gen_bool(0.40) => ctx.same_class_peer(prev).unwrap_or(prev),
+            _ => LocalId(ctx.rng.gen_range(0..ctx.locals.len() as u32)),
+        };
+        let wrap = ctx.rng.gen_range(0..10);
+        let mut episode_stmts = Vec::new();
+        if ctx.rng.gen_bool(0.12) {
+            ctx.call_episode(&mut episode_stmts);
+        } else {
+            ctx.episode(id, &mut episode_stmts);
+        }
+        if episode_stmts.is_empty() {
+            continue;
+        }
+        match wrap {
+            0 => {
+                // Wrap in a branch on some integer local.
+                if let Some(c) = ctx.int_scalar() {
+                    let k = ctx.small_const();
+                    body.push(Stmt::If {
+                        cond: Cond { lhs: c, op: CmpOp::Gt, rhs: Operand2::Const(k) },
+                        then_body: episode_stmts,
+                        else_body: vec![],
+                    });
+                } else {
+                    body.append(&mut episode_stmts);
+                }
+            }
+            1 => {
+                // Wrap in a counted loop.
+                if let Some(c) = ctx.int_scalar() {
+                    let n = ctx.rng.gen_range(2..12);
+                    episode_stmts.push(Stmt::Assign {
+                        dst: c,
+                        rhs: Rhs::Bin(BinOp::Add, c, Operand2::Const(1)),
+                    });
+                    body.push(Stmt::Assign { dst: c, rhs: Rhs::Const(0) });
+                    body.push(Stmt::While {
+                        cond: Cond { lhs: c, op: CmpOp::Lt, rhs: Operand2::Const(n) },
+                        body: episode_stmts,
+                    });
+                } else {
+                    body.append(&mut episode_stmts);
+                }
+            }
+            _ => body.append(&mut episode_stmts),
+        }
+        last = Some(id);
+    }
+    // Light interleaving: real compilers and real statement order mix
+    // unrelated computations, so adjacent top-level statements swap
+    // with small probability. This dilutes context windows the same
+    // way real code does.
+    for i in 0..body.len().saturating_sub(1) {
+        if ctx.rng.gen_bool(0.15) {
+            body.swap(i, i + 1);
+        }
+    }
+    let ret_local = ret.as_ref().and_then(|_| {
+        ctx.locals
+            .iter()
+            .position(|l| matches!(l.ty.resolve(), CType::Integer(IntWidth::Int, _)))
+            .map(|i| LocalId(i as u32))
+    });
+    body.push(Stmt::Return(ret_local));
+    let ret = ret_local.map(|_| CType::int());
+
+    Function { name, num_params, locals: ctx.locals, ret, body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_programs_are_well_formed() {
+        let profile = AppProfile::new("test");
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..10 {
+            let p = generate_program(&format!("p{i}"), &profile, &mut rng);
+            assert!(!p.functions.is_empty());
+            for f in &p.functions {
+                assert!(f.num_params as usize <= f.locals.len());
+                // Every referenced local exists.
+                for stmt in f.walk_stmts() {
+                    if let Stmt::Assign { dst, .. } = stmt {
+                        assert!((dst.0 as usize) < f.locals.len());
+                    }
+                }
+                // Body ends with a return.
+                assert!(matches!(f.body.last(), Some(Stmt::Return(_))));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let profile = AppProfile::new("det");
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        let pa = generate_program("x", &profile, &mut a);
+        let pb = generate_program("x", &profile, &mut b);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn programs_cover_many_type_classes() {
+        let profile = AppProfile::new("cov");
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut classes = std::collections::HashSet::new();
+        for i in 0..20 {
+            let p = generate_program(&format!("p{i}"), &profile, &mut rng);
+            for f in &p.functions {
+                for l in &f.locals {
+                    if let Some(c) = TypeClass::of(&l.ty) {
+                        classes.insert(c);
+                    }
+                }
+            }
+        }
+        assert!(classes.len() >= 12, "only {} classes seen: {classes:?}", classes.len());
+    }
+
+    #[test]
+    fn pointer_bindings_point_at_matching_types() {
+        let profile = AppProfile::new("bind");
+        let mut rng = StdRng::seed_from_u64(17);
+        let p = generate_program("p", &profile, &mut rng);
+        for f in &p.functions {
+            for stmt in f.walk_stmts() {
+                if let Stmt::Assign { dst, rhs: Rhs::AddrOf(src) } = stmt {
+                    let dst_ty = f.local(*dst).ty.resolve();
+                    let CType::Pointer(pointee) = dst_ty else {
+                        panic!("AddrOf into non-pointer")
+                    };
+                    assert_eq!(
+                        pointee.resolve(),
+                        f.local(*src).ty.resolve(),
+                        "binding mismatch in {}",
+                        f.name
+                    );
+                }
+            }
+        }
+    }
+}

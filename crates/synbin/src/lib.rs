@@ -1,0 +1,39 @@
+//! `cati-synbin` — the synthetic compiler/corpus substrate.
+//!
+//! The paper trains on 2141 real binaries compiled from open-source C
+//! projects with GCC (and Clang in §VIII) at `-O0`..`-O3`. Neither the
+//! projects nor the compilers' exact outputs are available here, so
+//! this crate builds the closest synthetic equivalent (see DESIGN.md
+//! §2): a random typed-program generator ([`gen`]) plus a mini code
+//! generator ([`codegen`]) that lowers those programs with realistic
+//! per-type instruction idioms, GCC/Clang habit profiles and
+//! optimization-level variation, then links them into executable
+//! images with symbol tables and DWARF-like debug info ([`link`]).
+//!
+//! # Example
+//!
+//! ```
+//! use cati_synbin::corpus::{build_corpus, CorpusConfig};
+//!
+//! let corpus = build_corpus(&CorpusConfig::small(42));
+//! let stripped = corpus.test[0].binary.strip();
+//! assert!(stripped.is_stripped());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod corpus;
+pub mod gen;
+pub mod ir;
+pub mod link;
+pub mod profile;
+pub mod typedist;
+
+pub use codegen::{lower_function, FuncCode, ScalarKind};
+pub use corpus::{build_app, build_corpus, BuiltBinary, Corpus, CorpusConfig};
+pub use gen::generate_program;
+pub use link::link_program;
+pub use profile::{CodegenOptions, Compiler, OptLevel};
+pub use typedist::{AppProfile, TypeMix};

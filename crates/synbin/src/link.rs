@@ -1,0 +1,238 @@
+//! Linking lowered functions into an executable image.
+//!
+//! Lays out functions sequentially in a text section, resolves
+//! intra-function branches and cross-function calls, assigns fake PLT
+//! addresses to external routines, and emits the symbol table plus the
+//! DWARF-like debug section. The output [`Binary`] is the non-stripped
+//! artifact; [`Binary::strip`] produces the classifier's actual input.
+
+use crate::codegen::{lower_function, FuncCode};
+use crate::ir::{Callee, Program};
+use crate::profile::CodegenOptions;
+use cati_asm::binary::{Binary, Symbol};
+use cati_asm::codec::encode_insn;
+use cati_asm::insn::Operand;
+use cati_dwarf::{DebugInfo, FuncRecord, VarRecord};
+use rand::rngs::StdRng;
+
+/// Base address of the fake PLT region external calls target.
+pub const PLT_BASE: u64 = 0x40_0800;
+/// Byte stride between PLT entries.
+pub const PLT_STRIDE: u64 = 0x10;
+
+/// Compiles and links `program` into a non-stripped binary.
+///
+/// The `rng` drives scheduling jitter and literal-pool addresses; pass
+/// a seeded generator for reproducible corpora.
+pub fn link_program(program: &Program, opts: CodegenOptions, rng: &mut StdRng) -> Binary {
+    let lowered: Vec<FuncCode> = program
+        .functions
+        .iter()
+        .map(|f| lower_function(f, &program.types, opts, rng))
+        .collect();
+
+    // Function byte lengths.
+    let mut scratch = Vec::new();
+    let lengths: Vec<u64> = lowered
+        .iter()
+        .map(|code| {
+            code.insns
+                .iter()
+                .map(|i| {
+                    scratch.clear();
+                    encode_insn(&mut scratch, i) as u64
+                })
+                .sum()
+        })
+        .collect();
+
+    let text_base = Binary::DEFAULT_BASE;
+    let mut bases = Vec::with_capacity(lowered.len());
+    let mut cursor = text_base;
+    for len in &lengths {
+        bases.push(cursor);
+        cursor += len;
+    }
+
+    // Patch addresses and encode.
+    let mut text = Vec::new();
+    let mut symbols = Vec::new();
+    let mut functions = Vec::new();
+    for (fi, mut code) in lowered.into_iter().enumerate() {
+        let base = bases[fi];
+        for &bi in &code.branch_insns {
+            if let Some(Operand::Addr(rel)) = code.insns[bi].operands.first().copied() {
+                code.insns[bi].operands[0] = Operand::Addr(base + rel);
+            }
+        }
+        for &(ci, callee) in &code.call_fixups {
+            let target = match callee {
+                Callee::Local(f) => bases[f.0 as usize],
+                Callee::Extern(e) => PLT_BASE + u64::from(e) * PLT_STRIDE,
+            };
+            code.insns[ci].operands[0] = Operand::Addr(target);
+        }
+        for insn in &code.insns {
+            encode_insn(&mut text, insn);
+        }
+
+        let func = &program.functions[fi];
+        symbols.push(Symbol { name: func.name.clone(), addr: base, len: lengths[fi] });
+        let locations = code.frame.locations();
+        let vars = func
+            .locals
+            .iter()
+            .zip(locations)
+            .enumerate()
+            .map(|(i, (local, location))| VarRecord {
+                name: local.name.clone(),
+                ty: local.ty.clone(),
+                location,
+                is_param: (i as u32) < func.num_params,
+            })
+            .collect();
+        functions.push(FuncRecord {
+            name: func.name.clone(),
+            entry: base,
+            code_len: lengths[fi],
+            vars,
+        });
+    }
+
+    for (e, ext) in program.externs.iter().enumerate() {
+        symbols.push(Symbol {
+            name: format!("{}@plt", ext.name),
+            addr: PLT_BASE + e as u64 * PLT_STRIDE,
+            len: PLT_STRIDE,
+        });
+    }
+
+    let debug = DebugInfo { types: program.types.clone(), functions };
+    Binary {
+        name: program.name.clone(),
+        text,
+        text_base,
+        symbols,
+        debug: Some(debug.to_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ExternFunc, FuncId, Function, Local, LocalId, Rhs, Stmt};
+    use crate::profile::{Compiler, OptLevel};
+    use cati_dwarf::{CType, TypeTable};
+    use rand::SeedableRng;
+
+    fn two_function_program() -> Program {
+        let callee = Function {
+            name: "helper".into(),
+            num_params: 1,
+            locals: vec![Local { name: "x".into(), ty: CType::int() }],
+            ret: Some(CType::int()),
+            body: vec![Stmt::Return(Some(LocalId(0)))],
+        };
+        let main = Function {
+            name: "main".into(),
+            num_params: 0,
+            locals: vec![Local { name: "r".into(), ty: CType::int() }],
+            ret: Some(CType::int()),
+            body: vec![
+                Stmt::Assign {
+                    dst: LocalId(0),
+                    rhs: Rhs::Call(Callee::Local(FuncId(0)), vec![LocalId(0)]),
+                },
+                Stmt::CallStmt { callee: Callee::Extern(0), args: vec![LocalId(0)] },
+                Stmt::Return(Some(LocalId(0))),
+            ],
+        };
+        Program {
+            name: "demo".into(),
+            types: TypeTable::new(),
+            functions: vec![callee, main],
+            externs: vec![ExternFunc { name: "printf".into() }],
+        }
+    }
+
+    #[test]
+    fn linked_binary_disassembles_fully() {
+        let p = two_function_program();
+        let opts = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let bin = link_program(&p, opts, &mut rng);
+        let insns = bin.disassemble().unwrap();
+        assert!(insns.len() > 10);
+        // All call targets resolve to symbols.
+        for located in &insns {
+            if let Some(t) = located.insn.target() {
+                if located.insn.mnemonic == cati_asm::mnemonic::Mnemonic::CallQ {
+                    assert!(bin.symbol_at(t).is_some(), "unresolved call target {t:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branch_targets_stay_inside_their_function() {
+        let p = two_function_program();
+        let opts = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let bin = link_program(&p, opts, &mut rng);
+        let insns = bin.disassemble().unwrap();
+        for located in &insns {
+            if located.insn.mnemonic.is_control_flow()
+                && located.insn.mnemonic != cati_asm::mnemonic::Mnemonic::CallQ
+            {
+                if let Some(t) = located.insn.target() {
+                    let own = bin.symbol_at(located.addr).expect("insn inside a function");
+                    assert!(
+                        t >= own.addr && t <= own.addr + own.len,
+                        "branch at {:#x} escapes {} (target {t:#x})",
+                        located.addr,
+                        own.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn debug_info_parses_and_matches_functions() {
+        let p = two_function_program();
+        let opts = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let bin = link_program(&p, opts, &mut rng);
+        let di = DebugInfo::parse(bin.debug.as_ref().unwrap()).unwrap();
+        assert_eq!(di.functions.len(), 2);
+        assert_eq!(di.functions[0].name, "helper");
+        assert_eq!(di.var_count(), 2);
+        // Entries line up with symbols.
+        for f in &di.functions {
+            let sym = bin.symbols.iter().find(|s| s.name == f.name).unwrap();
+            assert_eq!(sym.addr, f.entry);
+            assert_eq!(sym.len, f.code_len);
+        }
+    }
+
+    #[test]
+    fn stripping_keeps_code_identical() {
+        let p = two_function_program();
+        let opts = CodegenOptions { compiler: Compiler::Clang, opt: OptLevel::O2 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let bin = link_program(&p, opts, &mut rng);
+        let stripped = bin.strip();
+        assert!(stripped.is_stripped());
+        assert_eq!(stripped.text, bin.text);
+    }
+
+    #[test]
+    fn extern_symbols_use_plt_addresses() {
+        let p = two_function_program();
+        let opts = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O1 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let bin = link_program(&p, opts, &mut rng);
+        let plt = bin.symbols.iter().find(|s| s.name == "printf@plt").unwrap();
+        assert_eq!(plt.addr, PLT_BASE);
+    }
+}

@@ -1,0 +1,421 @@
+//! Compiler profiles, optimization levels and stack-frame layout.
+//!
+//! The two profiles encode the *observable* habits that distinguish
+//! GCC and Clang output — scratch-register choice, zeroing idiom,
+//! frame-base choice at `-O1+`, parameter spill order, callee-saved
+//! preference — which is what makes the paper's compiler-identification
+//! experiment (§VIII, 100% accuracy) reproducible.
+
+use crate::ir::{Function, Local, LocalId};
+use cati_asm::reg::{gprnum, regs, Gpr, Width};
+use cati_dwarf::{CType, TypeTable, VarLocation};
+use serde::{Deserialize, Serialize};
+
+/// Which compiler's habits to imitate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Compiler {
+    /// GNU GCC.
+    Gcc,
+    /// LLVM Clang.
+    Clang,
+}
+
+impl Compiler {
+    /// Both profiles.
+    pub const ALL: [Compiler; 2] = [Compiler::Gcc, Compiler::Clang];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Compiler::Gcc => "gcc",
+            Compiler::Clang => "clang",
+        }
+    }
+
+    /// Secondary integer scratch register (primary is always `%rax`).
+    pub(crate) fn scratch2(self) -> Gpr {
+        match self {
+            Compiler::Gcc => regs::rdx(),
+            Compiler::Clang => regs::rcx(),
+        }
+    }
+
+    /// Tertiary scratch, used for constant divisors and the like.
+    pub(crate) fn scratch3(self) -> Gpr {
+        match self {
+            Compiler::Gcc => regs::rcx(),
+            Compiler::Clang => regs::rsi(),
+        }
+    }
+
+    /// Callee-saved registers in this compiler's preferred promotion
+    /// order.
+    pub(crate) fn callee_saved(self) -> &'static [u8] {
+        match self {
+            Compiler::Gcc => &[gprnum::RBX, gprnum::R12, gprnum::R13, gprnum::R14, gprnum::R15],
+            Compiler::Clang => &[gprnum::R14, gprnum::R15, gprnum::RBX, gprnum::R12, gprnum::R13],
+        }
+    }
+}
+
+/// Optimization level `-O0`..`-O3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OptLevel(pub u8);
+
+impl OptLevel {
+    /// All four levels.
+    pub const ALL: [OptLevel; 4] = [OptLevel(0), OptLevel(1), OptLevel(2), OptLevel(3)];
+
+    /// `-O0`: frame-pointer based, everything through memory.
+    pub const O0: OptLevel = OptLevel(0);
+    /// `-O1`: leaner frames, still slot-based.
+    pub const O1: OptLevel = OptLevel(1);
+    /// `-O2`: register promotion and instruction scheduling.
+    pub const O2: OptLevel = OptLevel(2);
+    /// `-O3`: `-O2` plus loop unrolling.
+    pub const O3: OptLevel = OptLevel(3);
+
+    /// Whether scalars are promoted into callee-saved registers.
+    pub fn promotes_registers(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Whether the scheduler may reorder independent instructions.
+    pub fn schedules(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Whether loops are unrolled once.
+    pub fn unrolls(self) -> bool {
+        self.0 >= 3
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "-O{}", self.0)
+    }
+}
+
+/// Full code-generation configuration for one translation unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CodegenOptions {
+    /// Compiler habits to imitate.
+    pub compiler: Compiler,
+    /// Optimization level.
+    pub opt: OptLevel,
+}
+
+impl CodegenOptions {
+    /// Whether functions keep a `%rbp` frame base. GCC drops it at
+    /// `-O1+`; Clang keeps it (a deliberate, learnable profile
+    /// difference).
+    pub fn uses_frame_pointer(self) -> bool {
+        match self.compiler {
+            Compiler::Gcc => self.opt.0 == 0,
+            Compiler::Clang => true,
+        }
+    }
+}
+
+/// Where a local lives during codegen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// Stack slot at this offset from the frame base.
+    Frame(i32),
+    /// Promoted into a callee-saved register (64-bit view).
+    Reg(Gpr),
+}
+
+/// The frame layout of one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Frame base register (`%rbp` or `%rsp`).
+    pub base: Gpr,
+    /// Per-local slot, parallel to `Function::locals`.
+    pub slots: Vec<Slot>,
+    /// Total frame size in bytes (rounded to 16).
+    pub size: u32,
+    /// Callee-saved registers this function must save/restore.
+    pub saved: Vec<Gpr>,
+}
+
+impl Frame {
+    /// The slot of `id`.
+    pub fn slot(&self, id: LocalId) -> Slot {
+        self.slots[id.0 as usize]
+    }
+
+    /// Debug-info locations for every local, parallel to
+    /// `Function::locals`.
+    pub fn locations(&self) -> Vec<VarLocation> {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Slot::Frame(off) => VarLocation::Frame(*off),
+                Slot::Reg(r) => VarLocation::Register(r.num()),
+            })
+            .collect()
+    }
+}
+
+fn is_promotable(ty: &CType) -> bool {
+    use cati_dwarf::FloatWidth;
+    match ty.resolve() {
+        CType::Bool | CType::Integer(..) | CType::Enum(_) | CType::Pointer(_) => true,
+        // SSE registers are caller-saved; keep floats in memory.
+        CType::Float(FloatWidth::Float | FloatWidth::Double | FloatWidth::LongDouble) => false,
+        _ => false,
+    }
+}
+
+/// Counts how often each local is referenced in the body, the
+/// promotion heuristic's notion of "hot".
+fn use_counts(func: &Function) -> Vec<u32> {
+    use crate::ir::{Operand2, Rhs, Stmt};
+    let mut counts = vec![0u32; func.locals.len()];
+    let bump = |id: LocalId, counts: &mut Vec<u32>| counts[id.0 as usize] += 1;
+    let op2 = |o: &Operand2, counts: &mut Vec<u32>| {
+        if let Operand2::Local(l) = o {
+            counts[l.0 as usize] += 1;
+        }
+    };
+    for stmt in func.walk_stmts() {
+        match stmt {
+            Stmt::Assign { dst, rhs } => {
+                bump(*dst, &mut counts);
+                match rhs {
+                    Rhs::Local(a) | Rhs::Neg(a) | Rhs::Deref(a) => bump(*a, &mut counts),
+                    Rhs::Bin(_, a, b) | Rhs::Cmp(_, a, b) => {
+                        bump(*a, &mut counts);
+                        op2(b, &mut counts);
+                    }
+                    Rhs::Call(_, args) => args.iter().for_each(|a| bump(*a, &mut counts)),
+                    Rhs::AddrOf(a) => bump(*a, &mut counts),
+                    Rhs::MemberOfPtr(a, ..) | Rhs::Member(a, ..) => bump(*a, &mut counts),
+                    Rhs::LoadIndexed { base, index, .. } => {
+                        bump(*base, &mut counts);
+                        bump(*index, &mut counts);
+                    }
+                    Rhs::Const(_) => {}
+                }
+            }
+            Stmt::StoreDeref { ptr, src } => {
+                bump(*ptr, &mut counts);
+                op2(src, &mut counts);
+            }
+            Stmt::StoreMember { base, src, .. } => {
+                bump(*base, &mut counts);
+                op2(src, &mut counts);
+            }
+            Stmt::StoreMemberPtr { ptr, src, .. } => {
+                bump(*ptr, &mut counts);
+                op2(src, &mut counts);
+            }
+            Stmt::StoreIndexed { base, index, src, .. } => {
+                bump(*base, &mut counts);
+                bump(*index, &mut counts);
+                op2(src, &mut counts);
+            }
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => {
+                bump(cond.lhs, &mut counts);
+                op2(&cond.rhs, &mut counts);
+            }
+            Stmt::CallStmt { args, .. } => args.iter().for_each(|a| bump(*a, &mut counts)),
+            Stmt::Return(Some(a)) => bump(*a, &mut counts),
+            Stmt::Return(None) => {}
+        }
+    }
+    counts
+}
+
+/// Lays out the stack frame of `func` under `opts`.
+///
+/// `-O0` allocates every local a slot; `-O2+` promotes the hottest
+/// promotable scalars (address-taken locals excluded by the caller via
+/// `no_promote`) into callee-saved registers.
+pub fn layout_frame(
+    func: &Function,
+    types: &TypeTable,
+    opts: CodegenOptions,
+    no_promote: &[bool],
+) -> Frame {
+    let base = if opts.uses_frame_pointer() { regs::rbp() } else { regs::rsp() };
+    let mut slots = vec![Slot::Frame(0); func.locals.len()];
+    let mut saved = Vec::new();
+
+    // Register promotion first, so promoted locals take no stack space.
+    let mut promoted = vec![false; func.locals.len()];
+    if opts.opt.promotes_registers() {
+        let counts = use_counts(func);
+        let mut order: Vec<usize> = (0..func.locals.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+        let mut avail = opts.compiler.callee_saved().iter();
+        for i in order {
+            if !is_promotable(&func.locals[i].ty) || no_promote[i] {
+                continue;
+            }
+            let Some(&regnum) = avail.next() else { break };
+            let reg = Gpr::new(regnum, Width::B8);
+            slots[i] = Slot::Reg(reg);
+            saved.push(reg);
+            promoted[i] = true;
+        }
+    }
+
+    // Slot assignment for everything else.
+    let rbp_based = base.is_bp();
+    let mut cursor: i64 = 0;
+    let order: Box<dyn Iterator<Item = usize>> = match opts.compiler {
+        Compiler::Gcc => Box::new(0..func.locals.len()),
+        // Clang allocates in reverse declaration order — offsets
+        // differ between the two compilers for identical programs.
+        Compiler::Clang => Box::new((0..func.locals.len()).rev()),
+    };
+    for i in order {
+        if promoted[i] {
+            continue;
+        }
+        let Local { ty, .. } = &func.locals[i];
+        let size = types.size_of(ty).max(1) as i64;
+        let align = types.align_of(ty).max(1) as i64;
+        if rbp_based {
+            cursor -= size;
+            cursor = -((-cursor + align - 1) / align * align);
+            slots[i] = Slot::Frame(cursor as i32);
+        } else {
+            cursor = (cursor + align - 1) / align * align;
+            slots[i] = Slot::Frame(cursor as i32);
+            cursor += size;
+        }
+    }
+    let used = cursor.unsigned_abs() as u32;
+    let size = used.div_ceil(16) * 16;
+    Frame { base, slots, size, saved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Rhs, Stmt};
+
+    fn func_with_locals(tys: Vec<CType>) -> Function {
+        let locals = tys
+            .into_iter()
+            .enumerate()
+            .map(|(i, ty)| Local { name: format!("v{i}"), ty })
+            .collect::<Vec<_>>();
+        let body = (0..locals.len() as u32)
+            .map(|i| Stmt::Assign { dst: LocalId(i), rhs: Rhs::Const(1) })
+            .collect();
+        Function { name: "f".into(), num_params: 0, locals, ret: None, body }
+    }
+
+    #[test]
+    fn o0_gcc_uses_negative_rbp_offsets() {
+        let f = func_with_locals(vec![CType::int(), CType::char(), CType::ptr_to(CType::Void)]);
+        let frame = layout_frame(
+            &f,
+            &TypeTable::new(),
+            CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O0 },
+            &[false; 3],
+        );
+        assert!(frame.base.is_bp());
+        for s in &frame.slots {
+            match s {
+                Slot::Frame(off) => assert!(*off < 0, "O0 offsets must be negative"),
+                Slot::Reg(_) => panic!("no promotion at O0"),
+            }
+        }
+        assert_eq!(frame.size % 16, 0);
+    }
+
+    #[test]
+    fn o1_gcc_uses_positive_rsp_offsets() {
+        let f = func_with_locals(vec![CType::int(), CType::ptr_to(CType::Void)]);
+        let frame = layout_frame(
+            &f,
+            &TypeTable::new(),
+            CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O1 },
+            &[false; 2],
+        );
+        assert!(frame.base.is_sp());
+        for s in &frame.slots {
+            match s {
+                Slot::Frame(off) => assert!(*off >= 0),
+                Slot::Reg(_) => panic!("no promotion at O1"),
+            }
+        }
+    }
+
+    #[test]
+    fn clang_keeps_frame_pointer_at_o2() {
+        let opts = CodegenOptions { compiler: Compiler::Clang, opt: OptLevel::O2 };
+        assert!(opts.uses_frame_pointer());
+        let gcc = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O2 };
+        assert!(!gcc.uses_frame_pointer());
+    }
+
+    #[test]
+    fn o2_promotes_hot_scalars_but_not_structs() {
+        let mut types = TypeTable::new();
+        let sid = types.add_struct(cati_dwarf::StructDef::layout(
+            "s",
+            vec![("a".into(), CType::int())],
+        ));
+        let f = func_with_locals(vec![CType::int(), CType::Struct(sid)]);
+        let frame = layout_frame(
+            &f,
+            &types,
+            CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O2 },
+            &[false; 2],
+        );
+        assert!(matches!(frame.slot(LocalId(0)), Slot::Reg(_)));
+        assert!(matches!(frame.slot(LocalId(1)), Slot::Frame(_)));
+        assert_eq!(frame.saved.len(), 1);
+    }
+
+    #[test]
+    fn address_taken_locals_are_not_promoted() {
+        let f = func_with_locals(vec![CType::int()]);
+        let frame = layout_frame(
+            &f,
+            &TypeTable::new(),
+            CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O3 },
+            &[true],
+        );
+        assert!(matches!(frame.slot(LocalId(0)), Slot::Frame(_)));
+    }
+
+    #[test]
+    fn slots_do_not_overlap() {
+        let tys = vec![
+            CType::Bool,
+            CType::int(),
+            CType::char(),
+            CType::Integer(cati_dwarf::IntWidth::Long, cati_dwarf::Signedness::Signed),
+            CType::Array(Box::new(CType::int()), 6),
+        ];
+        for compiler in Compiler::ALL {
+            let f = func_with_locals(tys.clone());
+            let frame = layout_frame(
+                &f,
+                &TypeTable::new(),
+                CodegenOptions { compiler, opt: OptLevel::O0 },
+                &[false; 5],
+            );
+            let types = TypeTable::new();
+            let mut ranges: Vec<(i64, i64)> = Vec::new();
+            for (i, s) in frame.slots.iter().enumerate() {
+                if let Slot::Frame(off) = s {
+                    let size = types.size_of(&f.locals[i].ty) as i64;
+                    ranges.push((*off as i64, *off as i64 + size));
+                }
+            }
+            ranges.sort();
+            for w in ranges.windows(2) {
+                assert!(w[0].1 <= w[1].0, "{compiler:?}: overlapping slots {ranges:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Per-application type distributions.
+//!
+//! The paper's corpus spans OS tools, network programs and
+//! compute-heavy projects whose variable-type mixes differ strongly
+//! (e.g. `R` holds >10k float-family variables while `gzip`, `nano`
+//! and `sed` have none — visible in Table III's Stage 3-2 dashes).
+//! Each [`AppProfile`] gives one application a type mix and size
+//! parameters; the default weights approximate Table V's support
+//! column.
+
+use cati_dwarf::TypeClass;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Sampling weights over the 19 type classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeMix {
+    weights: [f64; 19],
+}
+
+impl TypeMix {
+    /// Weights approximating the paper's overall corpus (Table V
+    /// support column).
+    pub fn paper_default() -> TypeMix {
+        // Weights are tuned so the distribution of *extracted*
+        // variables matches Table V's support column: aggregates keep
+        // their frame slots while hot scalars are register-promoted at
+        // -O2/-O3 and disappear from the frame, so scalar classes get
+        // proportionally more sampling weight than their final share.
+        let mut weights = [0.0; 19];
+        let set = |w: &mut [f64; 19], c: TypeClass, v: f64| w[c.index()] = v;
+        set(&mut weights, TypeClass::Bool, 1.4);
+        set(&mut weights, TypeClass::Struct, 2.2);
+        set(&mut weights, TypeClass::Char, 4.5);
+        set(&mut weights, TypeClass::UnsignedChar, 0.5);
+        set(&mut weights, TypeClass::Float, 0.05);
+        set(&mut weights, TypeClass::Double, 4.5);
+        set(&mut weights, TypeClass::LongDouble, 0.15);
+        set(&mut weights, TypeClass::Enum, 3.8);
+        set(&mut weights, TypeClass::Int, 34.0);
+        set(&mut weights, TypeClass::ShortInt, 0.06);
+        set(&mut weights, TypeClass::LongInt, 7.0);
+        set(&mut weights, TypeClass::LongLongInt, 0.04);
+        set(&mut weights, TypeClass::UnsignedInt, 2.4);
+        set(&mut weights, TypeClass::ShortUnsignedInt, 0.08);
+        set(&mut weights, TypeClass::LongUnsignedInt, 8.0);
+        set(&mut weights, TypeClass::LongLongUnsignedInt, 0.04);
+        set(&mut weights, TypeClass::PtrVoid, 3.2);
+        set(&mut weights, TypeClass::PtrStruct, 28.0);
+        set(&mut weights, TypeClass::PtrArith, 9.0);
+        TypeMix { weights }
+    }
+
+    /// Sets the weight of one class, returning `self` for chaining.
+    pub fn with(mut self, class: TypeClass, weight: f64) -> TypeMix {
+        self.weights[class.index()] = weight;
+        self
+    }
+
+    /// Scales the whole float family (float/double/long double).
+    pub fn scale_floats(mut self, factor: f64) -> TypeMix {
+        for c in [TypeClass::Float, TypeClass::Double, TypeClass::LongDouble] {
+            self.weights[c.index()] *= factor;
+        }
+        self
+    }
+
+    /// The weight of a class.
+    pub fn weight(&self, class: TypeClass) -> f64 {
+        self.weights[class.index()]
+    }
+
+    /// Samples a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every weight is zero.
+    pub fn sample(&self, rng: &mut StdRng) -> TypeClass {
+        let dist = WeightedIndex::new(self.weights.iter().map(|w| w.max(0.0)))
+            .expect("at least one positive weight");
+        TypeClass::ALL[dist.sample(rng)]
+    }
+}
+
+/// Size and shape parameters of one synthetic application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Application name (matches the paper's test-set naming).
+    pub name: String,
+    /// Type mix of its variables.
+    pub mix: TypeMix,
+    /// Number of binaries (translation units) in the application.
+    pub binaries: u32,
+    /// Functions per binary.
+    pub functions_per_binary: u32,
+    /// Mean locals per function.
+    pub locals_per_function: u32,
+    /// Mean statement episodes per function.
+    pub episodes_per_function: u32,
+}
+
+impl AppProfile {
+    /// A medium-sized application with the default mix.
+    pub fn new(name: impl Into<String>) -> AppProfile {
+        AppProfile {
+            name: name.into(),
+            mix: TypeMix::paper_default(),
+            binaries: 2,
+            functions_per_binary: 12,
+            locals_per_function: 7,
+            episodes_per_function: 18,
+        }
+    }
+
+    /// The 12 test applications of paper Tables III/IV/VI, with mixes
+    /// tuned to the paper's observations (R float-heavy; gzip, nano
+    /// and sed float-free; inetutils largest).
+    pub fn test_apps() -> Vec<AppProfile> {
+        let base = TypeMix::paper_default;
+        vec![
+            AppProfile { binaries: 3, ..AppProfile { mix: base(), ..AppProfile::new("bash") } },
+            AppProfile::new("bison"),
+            AppProfile {
+                binaries: 1,
+                ..AppProfile { mix: base().scale_floats(0.3), ..AppProfile::new("cflow") }
+            },
+            AppProfile { binaries: 3, ..AppProfile { mix: base(), ..AppProfile::new("gawk") } },
+            AppProfile {
+                mix: base().with(TypeClass::PtrArith, 14.0).with(TypeClass::Char, 6.0),
+                ..AppProfile::new("grep")
+            },
+            AppProfile {
+                binaries: 1,
+                functions_per_binary: 8,
+                ..AppProfile { mix: base().scale_floats(0.0), ..AppProfile::new("gzip") }
+            },
+            AppProfile {
+                binaries: 5,
+                ..AppProfile {
+                    mix: base().with(TypeClass::Struct, 10.0).with(TypeClass::PtrStruct, 36.0),
+                    ..AppProfile::new("inetutils")
+                }
+            },
+            AppProfile {
+                binaries: 1,
+                ..AppProfile { mix: base().scale_floats(0.2), ..AppProfile::new("less") }
+            },
+            AppProfile {
+                binaries: 1,
+                ..AppProfile { mix: base().scale_floats(0.0), ..AppProfile::new("nano") }
+            },
+            AppProfile {
+                binaries: 8,
+                functions_per_binary: 16,
+                ..AppProfile {
+                    mix: base()
+                        .with(TypeClass::Float, 1.0)
+                        .with(TypeClass::Double, 16.0)
+                        .with(TypeClass::LongDouble, 0.4),
+                    ..AppProfile::new("R")
+                }
+            },
+            AppProfile {
+                binaries: 1,
+                ..AppProfile { mix: base().scale_floats(0.0), ..AppProfile::new("sed") }
+            },
+            AppProfile {
+                binaries: 2,
+                ..AppProfile {
+                    mix: base().with(TypeClass::PtrArith, 12.0),
+                    ..AppProfile::new("wget")
+                }
+            },
+        ]
+    }
+
+    /// Training-project profiles (paper §VII-A: GCC, coreutils,
+    /// binutils, php, nginx, xpdf, zlib, Python, ...). `count` scales
+    /// how many of the pool to use.
+    pub fn training_projects(count: usize) -> Vec<AppProfile> {
+        let base = TypeMix::paper_default;
+        let pool: Vec<AppProfile> = vec![
+            AppProfile { binaries: 4, ..AppProfile::new("coreutils") },
+            AppProfile { binaries: 4, ..AppProfile::new("binutils") },
+            AppProfile {
+                binaries: 4,
+                ..AppProfile { mix: base().with(TypeClass::Enum, 5.0), ..AppProfile::new("gcc") }
+            },
+            AppProfile {
+                binaries: 3,
+                ..AppProfile {
+                    mix: base().with(TypeClass::PtrStruct, 36.0),
+                    ..AppProfile::new("php")
+                }
+            },
+            AppProfile {
+                binaries: 2,
+                ..AppProfile {
+                    mix: base().with(TypeClass::Struct, 9.0),
+                    ..AppProfile::new("nginx")
+                }
+            },
+            AppProfile {
+                binaries: 2,
+                ..AppProfile {
+                    mix: base().with(TypeClass::Double, 10.0).with(TypeClass::Float, 0.6),
+                    ..AppProfile::new("xpdf")
+                }
+            },
+            AppProfile {
+                binaries: 1,
+                ..AppProfile {
+                    mix: base().with(TypeClass::UnsignedInt, 6.0).with(TypeClass::LongUnsignedInt, 9.0),
+                    ..AppProfile::new("zlib")
+                }
+            },
+            AppProfile {
+                binaries: 4,
+                ..AppProfile {
+                    mix: base().with(TypeClass::Double, 8.0).with(TypeClass::Float, 0.5),
+                    ..AppProfile::new("python")
+                }
+            },
+            AppProfile {
+                binaries: 3,
+                ..AppProfile {
+                    mix: base().with(TypeClass::Double, 14.0),
+                    ..AppProfile::new("r-base")
+                }
+            },
+            AppProfile {
+                binaries: 2,
+                ..AppProfile { mix: base().scale_floats(0.1), ..AppProfile::new("findutils") }
+            },
+            AppProfile {
+                binaries: 2,
+                ..AppProfile { mix: base().with(TypeClass::Char, 5.0), ..AppProfile::new("diffutils") }
+            },
+            AppProfile {
+                binaries: 2,
+                ..AppProfile { mix: base().with(TypeClass::Bool, 3.0), ..AppProfile::new("tar") }
+            },
+        ];
+        pool.into_iter().cycle().take(count).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_mix_samples_every_common_class() {
+        let mix = TypeMix::paper_default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            seen.insert(mix.sample(&mut rng));
+        }
+        for c in [
+            TypeClass::Int,
+            TypeClass::PtrStruct,
+            TypeClass::Struct,
+            TypeClass::Bool,
+            TypeClass::Double,
+            TypeClass::Char,
+            TypeClass::Enum,
+        ] {
+            assert!(seen.contains(&c), "never sampled {c}");
+        }
+    }
+
+    #[test]
+    fn float_free_apps_have_zero_float_weight() {
+        let apps = AppProfile::test_apps();
+        for name in ["gzip", "nano", "sed"] {
+            let app = apps.iter().find(|a| a.name == name).unwrap();
+            assert_eq!(app.mix.weight(TypeClass::Float), 0.0);
+            assert_eq!(app.mix.weight(TypeClass::Double), 0.0);
+        }
+        let r = apps.iter().find(|a| a.name == "R").unwrap();
+        assert!(r.mix.weight(TypeClass::Double) > 10.0);
+    }
+
+    #[test]
+    fn twelve_test_apps_match_paper() {
+        let apps = AppProfile::test_apps();
+        assert_eq!(apps.len(), 12);
+        let names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["bash", "bison", "cflow", "gawk", "grep", "gzip", "inetutils", "less", "nano", "R", "sed", "wget"]
+        );
+    }
+
+    #[test]
+    fn training_pool_cycles() {
+        assert_eq!(AppProfile::training_projects(30).len(), 30);
+        assert!(AppProfile::training_projects(3).len() == 3);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests: the generator → codegen → linker chain is total
+//! over seeds, profiles and optimization levels, and its output
+//! satisfies binary-level invariants.
+
+use cati_synbin::{
+    generate_program, link_program, AppProfile, CodegenOptions, Compiler, OptLevel,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_opts() -> impl Strategy<Value = CodegenOptions> {
+    (0usize..2, 0u8..4).prop_map(|(c, o)| CodegenOptions {
+        compiler: Compiler::ALL[c],
+        opt: OptLevel(o),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_seed_compiles_and_links(seed in any::<u64>(), opts in arb_opts()) {
+        let profile = AppProfile::new("prop");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = generate_program("p", &profile, &mut rng);
+        let binary = link_program(&program, opts, &mut rng);
+        // Invariant 1: the whole text section decodes.
+        let insns = binary.disassemble().unwrap();
+        prop_assert!(!insns.is_empty());
+        // Invariant 2: every function symbol covers decodable code and
+        // symbols tile the text section exactly.
+        let mut covered = 0u64;
+        for sym in binary.symbols.iter().filter(|s| s.addr >= binary.text_base) {
+            covered += sym.len;
+        }
+        prop_assert_eq!(covered, binary.text.len() as u64);
+        // Invariant 3: all intra-text branch targets land on an
+        // instruction boundary.
+        let starts: std::collections::HashSet<u64> = insns.iter().map(|l| l.addr).collect();
+        for l in &insns {
+            if let Some(t) = l.insn.target() {
+                if t >= binary.text_base {
+                    prop_assert!(starts.contains(&t), "target {t:#x} not a boundary");
+                }
+            }
+        }
+        // Invariant 4: debug info parses and frame variables do not
+        // overlap within a function.
+        let di = cati_dwarf::DebugInfo::parse(binary.debug.as_ref().unwrap()).unwrap();
+        for f in &di.functions {
+            let mut ranges: Vec<(i64, i64)> = f
+                .vars
+                .iter()
+                .filter_map(|v| match v.location {
+                    cati_dwarf::VarLocation::Frame(off) => {
+                        let size = di.types.size_of(&v.ty).max(1) as i64;
+                        Some((off as i64, off as i64 + size))
+                    }
+                    cati_dwarf::VarLocation::Register(_) => None,
+                })
+                .collect();
+            ranges.sort();
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "{}: overlapping slots {ranges:?}", f.name);
+            }
+        }
+    }
+
+}

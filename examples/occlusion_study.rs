@@ -1,0 +1,45 @@
+//! Occlusion importance study (paper Fig. 6): which positions of the
+//! 21-instruction window drive the prediction?
+//!
+//! ```sh
+//! cargo run --release --example occlusion_study [small|medium]
+//! ```
+
+use cati::{importance_heatmap, Cati, Config};
+use cati_analysis::{extract, Extraction, FeatureView, WINDOW};
+use cati_dwarf::StageId;
+use cati_synbin::{build_corpus, CorpusConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "small".into());
+    let (config, corpus_cfg, max_vucs) = match scale.as_str() {
+        "medium" => (Config::medium(), CorpusConfig::medium(99), 2000),
+        _ => (Config::small(), CorpusConfig::small(99), 300),
+    };
+    let corpus = build_corpus(&corpus_cfg);
+    let cati = Cati::train(&corpus.train, &config, |_| {});
+
+    let exs: Vec<Extraction> = corpus
+        .test
+        .iter()
+        .take(4)
+        .map(|b| extract(&b.binary, FeatureView::Stripped))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&Extraction> = exs.iter().collect();
+
+    println!("computing occlusion heatmap over <= {max_vucs} VUCs (Stage 1)...");
+    let heatmap = importance_heatmap(&cati, &refs, StageId::Stage1, max_vucs);
+    println!("sampled {} VUCs\n", heatmap.samples);
+    println!("pos   P(eps<0.1) ... P(eps<1.0)   importance");
+    for (k, row) in heatmap.rows.iter().enumerate() {
+        let marker = if k == WINDOW { " <= target" } else { "" };
+        let cells: Vec<String> = row.iter().map(|v| format!("{:5.1}%", v * 100.0)).collect();
+        println!("{k:>3}   {}   {:.4}{marker}", cells.join(" "), heatmap.row_importance(k));
+    }
+    println!(
+        "\ncenter importance {:.4} vs edge importance {:.4}",
+        heatmap.row_importance(WINDOW),
+        (heatmap.row_importance(0) + heatmap.row_importance(2 * WINDOW)) / 2.0
+    );
+    Ok(())
+}

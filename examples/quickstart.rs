@@ -1,0 +1,62 @@
+//! Quickstart: train CATI on a synthetic corpus and infer variable
+//! types from an unseen stripped binary.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [small|medium]
+//! ```
+
+use cati::{Cati, Config};
+use cati_synbin::{build_corpus, CorpusConfig};
+
+
+/// Formats a signed frame offset as `-0x18` / `0x40`.
+fn hex_off(off: i32) -> String {
+    if off < 0 {
+        format!("-{:#x}", -(off as i64))
+    } else {
+        format!("{off:#x}")
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "small".into());
+    let (config, corpus_cfg) = match scale.as_str() {
+        "medium" => (Config::medium(), CorpusConfig::medium(42)),
+        _ => (Config::small(), CorpusConfig::small(42)),
+    };
+
+    println!("building corpus ({scale})...");
+    let corpus = build_corpus(&corpus_cfg);
+    println!(
+        "  {} training binaries, {} test binaries",
+        corpus.train.len(),
+        corpus.test.len()
+    );
+
+    println!("training CATI...");
+    let cati = Cati::train(&corpus.train, &config, |line| println!("  {line}"));
+
+    // Take one unseen application binary, strip it, and infer.
+    let built = &corpus.test[0];
+    let stripped = built.binary.strip();
+    println!(
+        "\ninferring types for stripped binary `{}` (app {})",
+        stripped.name, built.app
+    );
+    let mut inferred = cati.infer(&stripped)?;
+    inferred.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
+
+    println!("{:<6} {:>8}  {:<22} {:>5} {:>6}", "func", "offset", "type", "vucs", "conf");
+    for var in inferred.iter().take(20) {
+        println!(
+            "{:<6} {:>8}  {:<22} {:>5} {:>5.0}%",
+            var.key.func,
+            hex_off(var.key.offset),
+            var.class.to_string(),
+            var.vuc_count,
+            var.confidence * 100.0
+        );
+    }
+    println!("... {} variables total", inferred.len());
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Full training run with model persistence and per-application
+//! evaluation — the workflow of paper §VII.
+//!
+//! ```sh
+//! cargo run --release --example train_and_infer [small|medium]
+//! ```
+
+use cati::{pipeline_accuracy, Cati, Config};
+use cati_analysis::{extract, FeatureView};
+use cati_synbin::{build_corpus, CorpusConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "small".into());
+    let (config, corpus_cfg) = match scale.as_str() {
+        "medium" => (Config::medium(), CorpusConfig::medium(7)),
+        _ => (Config::small(), CorpusConfig::small(7)),
+    };
+    let corpus = build_corpus(&corpus_cfg);
+    let cati = Cati::train(&corpus.train, &config, |line| println!("[train] {line}"));
+
+    // Persist and reload, as a deployment would.
+    let model_path = std::env::temp_dir().join("cati_trained_model.json");
+    cati.save(&model_path)?;
+    println!("model saved to {} ({} bytes)", model_path.display(), std::fs::metadata(&model_path)?.len());
+    let cati = Cati::load(&model_path)?;
+
+    // Evaluate per application at both granularities.
+    println!("\n{:<12} {:>8} {:>9} {:>8} {:>9}", "app", "vuc-acc", "vuc-n", "var-acc", "var-n");
+    let mut by_app: std::collections::BTreeMap<String, (f64, u64, f64, u64)> = Default::default();
+    for built in &corpus.test {
+        let ex = extract(&built.binary, FeatureView::Stripped)?;
+        let (va, vn, ra, rn) = pipeline_accuracy(&cati, &ex);
+        let e = by_app.entry(built.app.clone()).or_insert((0.0, 0, 0.0, 0));
+        e.0 += va * vn as f64;
+        e.1 += vn;
+        e.2 += ra * rn as f64;
+        e.3 += rn;
+    }
+    let (mut tv, mut tn, mut rv, mut rn_total) = (0.0, 0u64, 0.0, 0u64);
+    for (app, (va, vn, ra, rn)) in &by_app {
+        println!(
+            "{:<12} {:>8.3} {:>9} {:>8.3} {:>9}",
+            app,
+            va / (*vn).max(1) as f64,
+            vn,
+            ra / (*rn).max(1) as f64,
+            rn
+        );
+        tv += va;
+        tn += vn;
+        rv += ra;
+        rn_total += rn;
+    }
+    println!(
+        "{:<12} {:>8.3} {:>9} {:>8.3} {:>9}",
+        "total",
+        tv / tn.max(1) as f64,
+        tn,
+        rv / rn_total.max(1) as f64,
+        rn_total
+    );
+    std::fs::remove_file(&model_path).ok();
+    Ok(())
+}
