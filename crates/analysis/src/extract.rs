@@ -84,7 +84,10 @@ pub struct Extraction {
 impl Extraction {
     /// Only the variables carrying a ground-truth class label.
     pub fn labeled_vars(&self) -> impl Iterator<Item = (usize, &Variable)> {
-        self.vars.iter().enumerate().filter(|(_, v)| v.class.is_some())
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.class.is_some())
     }
 }
 
@@ -144,10 +147,22 @@ pub fn detect_frame_base(insns: &[Located]) -> Gpr {
         let a = &w[0].insn;
         let b = &w[1].insn;
         if a.mnemonic == Mnemonic::PushQ
-            && a.operands.first().and_then(|o| o.as_gpr()).map(|r| r.is_bp()) == Some(true)
+            && a.operands
+                .first()
+                .and_then(|o| o.as_gpr())
+                .map(|r| r.is_bp())
+                == Some(true)
             && b.mnemonic == Mnemonic::MovQ
-            && b.operands.first().and_then(|o| o.as_gpr()).map(|r| r.is_sp()) == Some(true)
-            && b.operands.get(1).and_then(|o| o.as_gpr()).map(|r| r.is_bp()) == Some(true)
+            && b.operands
+                .first()
+                .and_then(|o| o.as_gpr())
+                .map(|r| r.is_sp())
+                == Some(true)
+            && b.operands
+                .get(1)
+                .and_then(|o| o.as_gpr())
+                .map(|r| r.is_bp())
+                == Some(true)
         {
             return regs::rbp();
         }
@@ -239,18 +254,21 @@ pub fn extract(binary: &Binary, view: FeatureView) -> Result<Extraction, Extract
             };
             // Resolve to a canonical variable.
             let resolved = match (&debug, debug_func) {
-                (Some(di), Some(df)) => {
-                    di.var_at_frame_offset(df, disp).map(|vr| {
-                        let VarLocation::Frame(slot) = vr.location else { unreachable!() };
-                        (slot, Some(vr))
-                    })
-                }
+                (Some(di), Some(df)) => di.var_at_frame_offset(df, disp).map(|vr| {
+                    let VarLocation::Frame(slot) = vr.location else {
+                        unreachable!()
+                    };
+                    (slot, Some(vr))
+                }),
                 _ => Some((disp, None)),
             };
             let Some((slot, var_record)) = resolved else {
                 continue; // access outside any recorded variable
             };
-            let key = VarKey { func: func_idx as u32, offset: slot };
+            let key = VarKey {
+                func: func_idx as u32,
+                offset: slot,
+            };
             let vid = *var_index.entry(key).or_insert_with(|| {
                 vars.push(Variable {
                     key,
@@ -288,12 +306,14 @@ pub fn extract(binary: &Binary, view: FeatureView) -> Result<Extraction, Extract
                     FeatureView::Stripped => generalize(&body[j].insn, &NoSymbols),
                 };
                 window.push(gen);
-                context_classes.push(
-                    insn_var[j].and_then(|v| vars[v as usize].class),
-                );
+                context_classes.push(insn_var[j].and_then(|v| vars[v as usize].class));
             }
             let vuc_id = vucs.len() as u32;
-            vucs.push(Vuc { insns: window, var: vid, context_classes });
+            vucs.push(Vuc {
+                insns: window,
+                var: vid,
+                context_classes,
+            });
             vars[vid as usize].vucs.push(vuc_id);
         }
     }
@@ -314,7 +334,11 @@ pub fn extract(binary: &Binary, view: FeatureView) -> Result<Extraction, Extract
         debug_assert_ne!(vuc.var, u32::MAX);
     }
 
-    Ok(Extraction { binary_name: binary.name.clone(), vars: kept, vucs })
+    Ok(Extraction {
+        binary_name: binary.name.clone(),
+        vars: kept,
+        vucs,
+    })
 }
 
 #[cfg(test)]
@@ -327,7 +351,10 @@ mod tests {
     fn sample_binary(opt: OptLevel, seed: u64) -> Binary {
         let profile = AppProfile::new("unit");
         let mut rng = StdRng::seed_from_u64(seed);
-        let opts = CodegenOptions { compiler: Compiler::Gcc, opt };
+        let opts = CodegenOptions {
+            compiler: Compiler::Gcc,
+            opt,
+        };
         build_app(&profile, opts, 0.5, &mut rng).remove(0).binary
     }
 
@@ -376,7 +403,10 @@ mod tests {
                 .flat_map(|v| v.insns.iter())
                 .any(|g| g.iter().any(|t| t == "FUNC"))
         };
-        assert!(has_func(&labeled), "symbolized view should contain FUNC tokens");
+        assert!(
+            has_func(&labeled),
+            "symbolized view should contain FUNC tokens"
+        );
         assert!(!has_func(&stripped));
     }
 
@@ -385,7 +415,10 @@ mod tests {
         let bin = sample_binary(OptLevel::O0, 5).strip();
         let ex = extract(&bin, FeatureView::Stripped).unwrap();
         assert!(!ex.vars.is_empty());
-        assert!(ex.vars.iter().all(|v| v.class.is_none() && v.name.is_none()));
+        assert!(ex
+            .vars
+            .iter()
+            .all(|v| v.class.is_none() && v.name.is_none()));
     }
 
     #[test]
@@ -421,7 +454,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found, "no struct variable with grouped member accesses in 30 binaries");
+        assert!(
+            found,
+            "no struct variable with grouped member accesses in 30 binaries"
+        );
     }
 
     #[test]

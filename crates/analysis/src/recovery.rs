@@ -80,7 +80,10 @@ mod tests {
 
     fn stats_for(opt: OptLevel, seed: u64) -> RecoveryStats {
         let mut rng = StdRng::seed_from_u64(seed);
-        let opts = CodegenOptions { compiler: Compiler::Gcc, opt };
+        let opts = CodegenOptions {
+            compiler: Compiler::Gcc,
+            opt,
+        };
         let built = build_app(&AppProfile::new("rec"), opts, 0.5, &mut rng).remove(0);
         recovery_stats(&built.binary).unwrap()
     }
@@ -110,7 +113,10 @@ mod tests {
     #[test]
     fn missing_debug_info_is_an_error() {
         let mut rng = StdRng::seed_from_u64(3);
-        let opts = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O0 };
+        let opts = CodegenOptions {
+            compiler: Compiler::Gcc,
+            opt: OptLevel::O0,
+        };
         let built = build_app(&AppProfile::new("err"), opts, 0.3, &mut rng).remove(0);
         let stripped = built.binary.strip();
         assert!(matches!(

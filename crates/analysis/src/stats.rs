@@ -159,7 +159,9 @@ pub fn clustering_stats<'a>(
     };
     for ex in extractions {
         for vuc in &ex.vucs {
-            let Some(target_class) = vuc.class(&ex.vars) else { continue };
+            let Some(target_class) = vuc.class(&ex.vars) else {
+                continue;
+            };
             let entry = &mut report.per_class[target_class.index()];
             entry.vucs += 1;
             report.overall.vucs += 1;
@@ -191,7 +193,10 @@ mod tests {
 
     fn extractions(n_apps: usize, seed: u64) -> Vec<Extraction> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let opts = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O0 };
+        let opts = CodegenOptions {
+            compiler: Compiler::Gcc,
+            opt: OptLevel::O0,
+        };
         let mut out = Vec::new();
         for i in 0..n_apps {
             let profile = AppProfile::new(format!("stat{i}"));
@@ -206,7 +211,11 @@ mod tests {
     fn orphans_exist_and_are_mostly_uncertain() {
         let exs = extractions(6, 21);
         let stats = orphan_stats(&exs);
-        assert!(stats.variables > 100, "need a real sample, got {}", stats.variables);
+        assert!(
+            stats.variables > 100,
+            "need a real sample, got {}",
+            stats.variables
+        );
         let orphan_rate = stats.orphan_rate();
         assert!(
             orphan_rate > 0.10 && orphan_rate < 0.80,

@@ -2,9 +2,7 @@
 //! binaries, in both the labeled and the stripped posture.
 
 use cati_analysis::{extract, FeatureView, VUC_LEN};
-use cati_synbin::{
-    generate_program, link_program, AppProfile, CodegenOptions, Compiler, OptLevel,
-};
+use cati_synbin::{generate_program, link_program, AppProfile, CodegenOptions, Compiler, OptLevel};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

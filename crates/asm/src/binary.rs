@@ -99,7 +99,11 @@ mod tests {
             name: "demo".into(),
             text,
             text_base: Binary::DEFAULT_BASE,
-            symbols: vec![Symbol { name: "main".into(), addr: Binary::DEFAULT_BASE, len }],
+            symbols: vec![Symbol {
+                name: "main".into(),
+                addr: Binary::DEFAULT_BASE,
+                len,
+            }],
             debug: Some(vec![1, 2, 3]),
         }
     }

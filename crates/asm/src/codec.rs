@@ -104,8 +104,7 @@ fn encode_operand(out: &mut Vec<u8>, op: &Operand) {
         Operand::Mem(m) => {
             out.push(TAG_MEM);
             // flags: bit0 = has base, bit1 = has index.
-            let flags =
-                u8::from(m.base.is_some()) | (u8::from(m.index.is_some()) << 1);
+            let flags = u8::from(m.base.is_some()) | (u8::from(m.index.is_some()) << 1);
             out.push(flags);
             if let Some(b) = m.base {
                 out.push(b.num());
@@ -233,10 +232,16 @@ fn decode_operand(c: &mut Cursor<'_>) -> Result<Operand, DecodeError> {
 /// Returns [`DecodeError`] on truncation, an unknown opcode, or a
 /// malformed operand payload.
 pub fn decode_insn(buf: &[u8], offset: usize) -> Result<(Insn, usize), DecodeError> {
-    let mut c = Cursor { buf, pos: offset, start: offset };
+    let mut c = Cursor {
+        buf,
+        pos: offset,
+        start: offset,
+    };
     let opcode = c.u8()?;
-    let mnemonic = Mnemonic::from_opcode(opcode)
-        .ok_or(DecodeError::BadOpcode { at: offset, byte: opcode })?;
+    let mnemonic = Mnemonic::from_opcode(opcode).ok_or(DecodeError::BadOpcode {
+        at: offset,
+        byte: opcode,
+    })?;
     let count = c.u8()?;
     if count > 2 {
         return Err(DecodeError::BadOperand { at: offset });
@@ -271,7 +276,11 @@ pub fn linear_sweep(text: &[u8], base: u64) -> Result<Vec<Located>, DecodeError>
     let mut pos = 0usize;
     while pos < text.len() {
         let (insn, len) = decode_insn(text, pos)?;
-        out.push(Located { addr: base + pos as u64, len: len as u32, insn });
+        out.push(Located {
+            addr: base + pos as u64,
+            len: len as u32,
+            insn,
+        });
         pos += len;
     }
     Ok(out)
@@ -286,15 +295,27 @@ mod tests {
         vec![
             Insn::op1(Mnemonic::PushQ, regs::rbp()),
             Insn::op2(Mnemonic::MovQ, regs::rsp(), regs::rbp()),
-            Insn::op2(Mnemonic::MovL, Operand::Imm(0x100), MemRef::base_disp(regs::rsp(), 0xb8)),
+            Insn::op2(
+                Mnemonic::MovL,
+                Operand::Imm(0x100),
+                MemRef::base_disp(regs::rsp(), 0xb8),
+            ),
             Insn::op2(
                 Mnemonic::LeaQ,
                 MemRef::base_index(regs::rbp(), regs::r9(), 4, -0x300),
                 regs::rax(),
             ),
             Insn::op1(Mnemonic::CallQ, Operand::Addr(0x4044d0)),
-            Insn::op2(Mnemonic::MovabsQ, Operand::Imm(0x1234_5678_9abc), regs::rdi()),
-            Insn::op2(Mnemonic::Movsd, MemRef::base_disp(regs::rbp(), -0x10), Operand::Xmm(Xmm::new(0))),
+            Insn::op2(
+                Mnemonic::MovabsQ,
+                Operand::Imm(0x1234_5678_9abc),
+                regs::rdi(),
+            ),
+            Insn::op2(
+                Mnemonic::Movsd,
+                MemRef::base_disp(regs::rbp(), -0x10),
+                Operand::Xmm(Xmm::new(0)),
+            ),
             Insn::op2(Mnemonic::MovQ, Operand::Abs(0x601040), regs::rax()),
             Insn::op0(Mnemonic::Ret),
         ]
@@ -354,9 +375,15 @@ mod tests {
     #[test]
     fn small_immediates_use_short_form() {
         let mut short = Vec::new();
-        encode_insn(&mut short, &Insn::op2(Mnemonic::AddQ, Operand::Imm(8), regs::rsp()));
+        encode_insn(
+            &mut short,
+            &Insn::op2(Mnemonic::AddQ, Operand::Imm(8), regs::rsp()),
+        );
         let mut long = Vec::new();
-        encode_insn(&mut long, &Insn::op2(Mnemonic::AddQ, Operand::Imm(0x1000), regs::rsp()));
+        encode_insn(
+            &mut long,
+            &Insn::op2(Mnemonic::AddQ, Operand::Imm(0x1000), regs::rsp()),
+        );
         assert!(short.len() < long.len());
     }
 }

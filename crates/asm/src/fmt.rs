@@ -130,13 +130,21 @@ mod tests {
 
     #[test]
     fn suffix_elided_with_reg_operand() {
-        let i = Insn::op2(Mnemonic::MovQ, regs::rax(), MemRef::base_disp(regs::rsp(), 0xb0));
+        let i = Insn::op2(
+            Mnemonic::MovQ,
+            regs::rax(),
+            MemRef::base_disp(regs::rsp(), 0xb0),
+        );
         assert_eq!(i.to_string(), "mov %rax,0xb0(%rsp)");
     }
 
     #[test]
     fn lea_prints_unsuffixed() {
-        let i = Insn::op2(Mnemonic::LeaQ, MemRef::base_disp(regs::rsp(), 0x220), regs::rax());
+        let i = Insn::op2(
+            Mnemonic::LeaQ,
+            MemRef::base_disp(regs::rsp(), 0x220),
+            regs::rax(),
+        );
         assert_eq!(i.to_string(), "lea 0x220(%rsp),%rax");
     }
 
@@ -173,7 +181,11 @@ mod tests {
     fn negative_disp_and_imm() {
         let i = Insn::op2(Mnemonic::AddQ, Operand::Imm(-0xd0), regs::rax());
         assert_eq!(i.to_string(), "add $-0xd0,%rax");
-        let j = Insn::op2(Mnemonic::MovB, Operand::Imm(0), MemRef::base_disp(regs::rbp(), -0x11));
+        let j = Insn::op2(
+            Mnemonic::MovB,
+            Operand::Imm(0),
+            MemRef::base_disp(regs::rbp(), -0x11),
+        );
         assert_eq!(j.to_string(), "movb $0x0,-0x11(%rbp)");
     }
 

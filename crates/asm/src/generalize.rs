@@ -57,7 +57,11 @@ impl GenInsn {
 
 impl fmt::Display for GenInsn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {}", self.tokens[0], self.tokens[1], self.tokens[2])
+        write!(
+            f,
+            "{} {} {}",
+            self.tokens[0], self.tokens[1], self.tokens[2]
+        )
     }
 }
 
@@ -106,9 +110,11 @@ pub fn generalize<R: SymbolResolver>(insn: &Insn, symbols: &R) -> GenInsn {
         match op {
             Operand::Reg(r) => tokens.push(r.to_string()),
             Operand::Xmm(x) => tokens.push(x.to_string()),
-            Operand::Imm(v) => {
-                tokens.push(if *v < 0 { "$-0xIMM".into() } else { "$0xIMM".into() })
-            }
+            Operand::Imm(v) => tokens.push(if *v < 0 {
+                "$-0xIMM".into()
+            } else {
+                "$0xIMM".into()
+            }),
             Operand::Mem(m) => tokens.push(generalize_mem(m)),
             Operand::Abs(_) => tokens.push("0xIMM".into()),
             Operand::Addr(a) => {
@@ -173,7 +179,10 @@ mod tests {
     fn table2_row4_call_with_symbol() {
         let insn = parse_insn("callq 0x3bc59").unwrap().insn;
         assert_eq!(generalize(&insn, &AllSyms).to_string(), "callq ADDR FUNC");
-        assert_eq!(generalize(&insn, &NoSymbols).to_string(), "callq ADDR BLANK");
+        assert_eq!(
+            generalize(&insn, &NoSymbols).to_string(),
+            "callq ADDR BLANK"
+        );
     }
 
     #[test]

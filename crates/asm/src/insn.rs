@@ -18,7 +18,11 @@ pub struct MemRef {
 impl MemRef {
     /// `disp(%base)`.
     pub fn base_disp(base: Gpr, disp: i32) -> MemRef {
-        MemRef { base: Some(base), index: None, disp }
+        MemRef {
+            base: Some(base),
+            index: None,
+            disp,
+        }
     }
 
     /// `disp(%base, %index, scale)`.
@@ -28,7 +32,11 @@ impl MemRef {
     /// Panics if `scale` is not 1, 2, 4 or 8.
     pub fn base_index(base: Gpr, index: Gpr, scale: u8, disp: i32) -> MemRef {
         assert!(matches!(scale, 1 | 2 | 4 | 8), "bad scale {scale}");
-        MemRef { base: Some(base), index: Some((index, scale)), disp }
+        MemRef {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp,
+        }
     }
 
     /// Whether the reference is relative to the stack pointer or the
@@ -130,7 +138,11 @@ impl Insn {
     ///
     /// Panics if more than two operands are supplied.
     pub fn new(mnemonic: Mnemonic, operands: Vec<Operand>) -> Insn {
-        assert!(operands.len() <= 2, "{mnemonic} with {} operands", operands.len());
+        assert!(
+            operands.len() <= 2,
+            "{mnemonic} with {} operands",
+            operands.len()
+        );
         Insn { mnemonic, operands }
     }
 
@@ -159,7 +171,11 @@ impl Insn {
             Operand::Mem(m) => m,
             // Absolute references are globals; variable analysis only
             // tracks frame slots, so surface them with no base.
-            Operand::Abs(_) => MemRef { base: None, index: None, disp: 0 },
+            Operand::Abs(_) => MemRef {
+                base: None,
+                index: None,
+                disp: 0,
+            },
             _ => unreachable!(),
         };
         let access = match self.mnemonic.kind() {
@@ -178,8 +194,14 @@ impl Insn {
                 }
             }
             Kind::Unary => MemAccess::ReadWrite,
-            Kind::Compare | Kind::SseCmp | Kind::SseArith | Kind::SseCvt | Kind::Mul
-            | Kind::Div | Kind::X87Load | Kind::Push => MemAccess::Read,
+            Kind::Compare
+            | Kind::SseCmp
+            | Kind::SseArith
+            | Kind::SseCvt
+            | Kind::Mul
+            | Kind::Div
+            | Kind::X87Load
+            | Kind::Push => MemAccess::Read,
             Kind::Pop | Kind::SetCc | Kind::X87Store => MemAccess::Write,
             Kind::Lea => MemAccess::AddressOf,
             _ => return None,
@@ -202,7 +224,9 @@ impl Insn {
     /// The width implied by the first GPR operand, used for suffix
     /// elision and for re-resolving parsed base names.
     pub fn gpr_width_hint(&self) -> Option<Width> {
-        self.operands.iter().find_map(|o| o.as_gpr().map(Gpr::width))
+        self.operands
+            .iter()
+            .find_map(|o| o.as_gpr().map(Gpr::width))
     }
 
     /// Whether any operand is a GPR or XMM register (objdump elides
@@ -235,25 +259,41 @@ mod tests {
     #[test]
     fn mem_operand_detects_read() {
         // mov 0xb0(%rsp),%rax
-        let i = Insn::op2(Mnemonic::MovQ, MemRef::base_disp(regs::rsp(), 0xb0), regs::rax());
+        let i = Insn::op2(
+            Mnemonic::MovQ,
+            MemRef::base_disp(regs::rsp(), 0xb0),
+            regs::rax(),
+        );
         assert_eq!(i.mem_operand().unwrap().1, MemAccess::Read);
     }
 
     #[test]
     fn arith_on_memory_is_rmw() {
-        let i = Insn::op2(Mnemonic::AddL, Operand::Imm(1), MemRef::base_disp(regs::rbp(), -4));
+        let i = Insn::op2(
+            Mnemonic::AddL,
+            Operand::Imm(1),
+            MemRef::base_disp(regs::rbp(), -4),
+        );
         assert_eq!(i.mem_operand().unwrap().1, MemAccess::ReadWrite);
     }
 
     #[test]
     fn lea_is_address_of() {
-        let i = Insn::op2(Mnemonic::LeaQ, MemRef::base_disp(regs::rsp(), 0x220), regs::rax());
+        let i = Insn::op2(
+            Mnemonic::LeaQ,
+            MemRef::base_disp(regs::rsp(), 0x220),
+            regs::rax(),
+        );
         assert_eq!(i.mem_operand().unwrap().1, MemAccess::AddressOf);
     }
 
     #[test]
     fn cmp_reads_memory() {
-        let i = Insn::op2(Mnemonic::CmpL, Operand::Imm(0), MemRef::base_disp(regs::rbp(), -8));
+        let i = Insn::op2(
+            Mnemonic::CmpL,
+            Operand::Imm(0),
+            MemRef::base_disp(regs::rbp(), -8),
+        );
         assert_eq!(i.mem_operand().unwrap().1, MemAccess::Read);
     }
 

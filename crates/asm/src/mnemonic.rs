@@ -289,7 +289,10 @@ mnemonics! {
 impl Mnemonic {
     /// Stable opcode byte used by the binary encoding.
     pub fn opcode(self) -> u8 {
-        Mnemonic::ALL.iter().position(|m| *m == self).expect("mnemonic in ALL") as u8
+        Mnemonic::ALL
+            .iter()
+            .position(|m| *m == self)
+            .expect("mnemonic in ALL") as u8
     }
 
     /// Inverse of [`Mnemonic::opcode`].
@@ -305,8 +308,12 @@ impl Mnemonic {
             Mnemonic::Fldt | Mnemonic::Fstpt => Some(10),
             Mnemonic::Movaps => Some(16),
             // For extensions, the memory operand is always the source.
-            Mnemonic::Movsbw | Mnemonic::Movsbl | Mnemonic::Movsbq | Mnemonic::Movzbw
-            | Mnemonic::Movzbl | Mnemonic::Movzbq => Some(1),
+            Mnemonic::Movsbw
+            | Mnemonic::Movsbl
+            | Mnemonic::Movsbq
+            | Mnemonic::Movzbw
+            | Mnemonic::Movzbl
+            | Mnemonic::Movzbq => Some(1),
             Mnemonic::Movswl | Mnemonic::Movswq | Mnemonic::Movzwl | Mnemonic::Movzwq => Some(2),
             _ => self.width().map(Width::bytes),
         }
@@ -331,7 +338,9 @@ impl Mnemonic {
         }
         // Stack ops and movabs are always 64-bit.
         candidates.push(format!("{name}q"));
-        candidates.into_iter().find_map(|c| Mnemonic::from_full_name(&c))
+        candidates
+            .into_iter()
+            .find_map(|c| Mnemonic::from_full_name(&c))
     }
 }
 
@@ -371,11 +380,20 @@ mod tests {
 
     #[test]
     fn resolve_elided_suffix() {
-        assert_eq!(Mnemonic::resolve_name("mov", Some(Width::B8)), Some(Mnemonic::MovQ));
-        assert_eq!(Mnemonic::resolve_name("mov", Some(Width::B4)), Some(Mnemonic::MovL));
+        assert_eq!(
+            Mnemonic::resolve_name("mov", Some(Width::B8)),
+            Some(Mnemonic::MovQ)
+        );
+        assert_eq!(
+            Mnemonic::resolve_name("mov", Some(Width::B4)),
+            Some(Mnemonic::MovL)
+        );
         assert_eq!(Mnemonic::resolve_name("movl", None), Some(Mnemonic::MovL));
         assert_eq!(Mnemonic::resolve_name("push", None), Some(Mnemonic::PushQ));
-        assert_eq!(Mnemonic::resolve_name("lea", Some(Width::B8)), Some(Mnemonic::LeaQ));
+        assert_eq!(
+            Mnemonic::resolve_name("lea", Some(Width::B8)),
+            Some(Mnemonic::LeaQ)
+        );
         assert_eq!(Mnemonic::resolve_name("bogus", Some(Width::B8)), None);
     }
 

@@ -55,14 +55,17 @@ fn parse_number(s: &str) -> Result<i64, ParseError> {
     let v = if let Some(hex) = s.strip_prefix("0x") {
         u64::from_str_radix(hex, 16).map_err(|_| ParseError::BadNumber(s.into()))?
     } else {
-        s.parse::<u64>().map_err(|_| ParseError::BadNumber(s.into()))?
+        s.parse::<u64>()
+            .map_err(|_| ParseError::BadNumber(s.into()))?
     };
     let v = v as i64;
     Ok(if neg { v.wrapping_neg() } else { v })
 }
 
 fn parse_reg(s: &str) -> Result<Operand, ParseError> {
-    let name = s.strip_prefix('%').ok_or_else(|| ParseError::BadOperand(s.into()))?;
+    let name = s
+        .strip_prefix('%')
+        .ok_or_else(|| ParseError::BadOperand(s.into()))?;
     if let Some(x) = Xmm::parse_name(name) {
         return Ok(Operand::Xmm(x));
     }
@@ -76,12 +79,18 @@ fn parse_mem(s: &str) -> Result<Operand, ParseError> {
     let open = s.find('(');
     let (disp_str, inner) = match open {
         Some(i) => {
-            let close = s.rfind(')').ok_or_else(|| ParseError::BadOperand(s.into()))?;
+            let close = s
+                .rfind(')')
+                .ok_or_else(|| ParseError::BadOperand(s.into()))?;
             (&s[..i], Some(&s[i + 1..close]))
         }
         None => (s, None),
     };
-    let disp = if disp_str.is_empty() { 0 } else { parse_number(disp_str)? };
+    let disp = if disp_str.is_empty() {
+        0
+    } else {
+        parse_number(disp_str)?
+    };
     let Some(inner) = inner else {
         // Bare number with no parens: absolute memory reference.
         let addr = u64::try_from(disp).map_err(|_| ParseError::BadOperand(s.into()))?;
@@ -182,7 +191,10 @@ pub fn parse_insn(line: &str) -> Result<ParsedInsn, ParseError> {
         _ => (line, None),
     };
     let mut parts = line.splitn(2, char::is_whitespace);
-    let name = parts.next().filter(|s| !s.is_empty()).ok_or(ParseError::Empty)?;
+    let name = parts
+        .next()
+        .filter(|s| !s.is_empty())
+        .ok_or(ParseError::Empty)?;
     let rest = parts.next().unwrap_or("").trim();
 
     // Branch targets are bare numbers; detect branch-ish names first
@@ -191,7 +203,11 @@ pub fn parse_insn(line: &str) -> Result<ParsedInsn, ParseError> {
         .map(Mnemonic::is_control_flow)
         .unwrap_or(false);
 
-    let operand_strs = if rest.is_empty() { Vec::new() } else { split_operands(rest) };
+    let operand_strs = if rest.is_empty() {
+        Vec::new()
+    } else {
+        split_operands(rest)
+    };
     let operands = operand_strs
         .iter()
         .map(|s| parse_operand(s, branchish))
@@ -218,7 +234,11 @@ mod tests {
 
     fn roundtrip(line: &str) {
         let parsed = parse_insn(line).unwrap_or_else(|e| panic!("parse `{line}`: {e}"));
-        assert_eq!(format_insn(&parsed.insn, &NoSymbols), line, "roundtrip of `{line}`");
+        assert_eq!(
+            format_insn(&parsed.insn, &NoSymbols),
+            line,
+            "roundtrip of `{line}`"
+        );
     }
 
     #[test]
@@ -254,9 +274,18 @@ mod tests {
 
     #[test]
     fn suffix_inference_uses_register_width() {
-        assert_eq!(parse_insn("mov %eax,%ebx").unwrap().insn.mnemonic, Mnemonic::MovL);
-        assert_eq!(parse_insn("mov %rax,%rbx").unwrap().insn.mnemonic, Mnemonic::MovQ);
-        assert_eq!(parse_insn("push %rbp").unwrap().insn.mnemonic, Mnemonic::PushQ);
+        assert_eq!(
+            parse_insn("mov %eax,%ebx").unwrap().insn.mnemonic,
+            Mnemonic::MovL
+        );
+        assert_eq!(
+            parse_insn("mov %rax,%rbx").unwrap().insn.mnemonic,
+            Mnemonic::MovQ
+        );
+        assert_eq!(
+            parse_insn("push %rbp").unwrap().insn.mnemonic,
+            Mnemonic::PushQ
+        );
     }
 
     #[test]
@@ -274,7 +303,10 @@ mod tests {
     #[test]
     fn rejects_junk() {
         assert!(matches!(parse_insn(""), Err(ParseError::Empty)));
-        assert!(matches!(parse_insn("frobnicate %rax"), Err(ParseError::UnknownMnemonic(_))));
+        assert!(matches!(
+            parse_insn("frobnicate %rax"),
+            Err(ParseError::UnknownMnemonic(_))
+        ));
         assert!(parse_insn("mov %zzz,%rax").is_err());
         assert!(parse_insn("movl $0x1,0x4(%rbp,%r9,3)").is_err());
     }

@@ -98,16 +98,16 @@ pub mod gprnum {
 }
 
 const NAMES_64: [&str; 16] = [
-    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12",
-    "r13", "r14", "r15",
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12", "r13",
+    "r14", "r15",
 ];
 const NAMES_32: [&str; 16] = [
-    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi", "r8d", "r9d", "r10d", "r11d",
-    "r12d", "r13d", "r14d", "r15d",
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi", "r8d", "r9d", "r10d", "r11d", "r12d",
+    "r13d", "r14d", "r15d",
 ];
 const NAMES_16: [&str; 16] = [
-    "ax", "cx", "dx", "bx", "sp", "bp", "si", "di", "r8w", "r9w", "r10w", "r11w", "r12w",
-    "r13w", "r14w", "r15w",
+    "ax", "cx", "dx", "bx", "sp", "bp", "si", "di", "r8w", "r9w", "r10w", "r11w", "r12w", "r13w",
+    "r14w", "r15w",
 ];
 const NAMES_8: [&str; 16] = [
     "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil", "r8b", "r9b", "r10b", "r11b", "r12b",
@@ -159,7 +159,10 @@ impl Gpr {
             (Width::B1, &NAMES_8),
         ] {
             if let Some(num) = table.iter().position(|n| *n == name) {
-                return Some(Gpr { num: num as u8, width });
+                return Some(Gpr {
+                    num: num as u8,
+                    width,
+                });
             }
         }
         None
@@ -271,7 +274,10 @@ mod tests {
     #[test]
     fn from_str_accepts_optional_sigil() {
         assert_eq!("%rdi".parse::<Gpr>().unwrap(), regs::rdi());
-        assert_eq!("esi".parse::<Gpr>().unwrap(), regs::rsi().with_width(Width::B4));
+        assert_eq!(
+            "esi".parse::<Gpr>().unwrap(),
+            regs::rsi().with_width(Width::B4)
+        );
         assert!("rq9".parse::<Gpr>().is_err());
     }
 

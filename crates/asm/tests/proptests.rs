@@ -29,7 +29,10 @@ fn arb_gpr64() -> impl Strategy<Value = Gpr> {
 fn arb_mem() -> impl Strategy<Value = MemRef> {
     (
         proptest::option::of(arb_gpr64()),
-        proptest::option::of((arb_gpr64(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])),
+        proptest::option::of((
+            arb_gpr64(),
+            prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+        )),
         -0x10000i32..0x10000,
     )
         .prop_map(|(base, index, disp)| MemRef { base, index, disp })
@@ -51,7 +54,10 @@ fn arb_mnemonic() -> impl Strategy<Value = Mnemonic> {
 }
 
 fn arb_insn() -> impl Strategy<Value = Insn> {
-    (arb_mnemonic(), proptest::collection::vec(arb_operand(), 0..=2))
+    (
+        arb_mnemonic(),
+        proptest::collection::vec(arb_operand(), 0..=2),
+    )
         .prop_map(|(m, ops)| Insn::new(m, ops))
 }
 
@@ -123,9 +129,8 @@ fn arb_wellformed() -> impl Strategy<Value = Insn> {
         };
         Insn::op2(mn, Operand::Imm(v), m)
     });
-    let lea = (arb_mem(), 0u8..16).prop_map(|(m, r)| {
-        Insn::op2(Mnemonic::LeaQ, m, Gpr::new(r, Width::B8))
-    });
+    let lea = (arb_mem(), 0u8..16)
+        .prop_map(|(m, r)| Insn::op2(Mnemonic::LeaQ, m, Gpr::new(r, Width::B8)));
     let branch = (1u64..0xffff_ffff).prop_map(|a| Insn::op1(Mnemonic::Jne, Operand::Addr(a)));
     prop_oneof![mv, imm_to_mem, lea, branch]
 }

@@ -17,7 +17,13 @@ pub fn blank_context(window: &[GenInsn]) -> Vec<GenInsn> {
     window
         .iter()
         .enumerate()
-        .map(|(i, g)| if i == WINDOW { g.clone() } else { GenInsn::blank() })
+        .map(|(i, g)| {
+            if i == WINDOW {
+                g.clone()
+            } else {
+                GenInsn::blank()
+            }
+        })
         .collect()
 }
 

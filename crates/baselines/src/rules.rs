@@ -129,12 +129,21 @@ mod tests {
     #[test]
     fn byte_access_is_ambiguous_by_design() {
         let v = rule_votes("movb", "$0xIMM", "-0xIMM(%rbp)");
-        assert!(v.len() >= 2, "byte accesses should produce several candidates");
+        assert!(
+            v.len() >= 2,
+            "byte accesses should produce several candidates"
+        );
     }
 
     #[test]
     fn unsigned_signals() {
-        assert_eq!(rule_votes("shrl", "$0xIMM", "%eax")[0].0, TypeClass::UnsignedInt);
-        assert_eq!(rule_votes("divq", "%rcx", "BLANK")[0].0, TypeClass::LongUnsignedInt);
+        assert_eq!(
+            rule_votes("shrl", "$0xIMM", "%eax")[0].0,
+            TypeClass::UnsignedInt
+        );
+        assert_eq!(
+            rule_votes("divq", "%rcx", "BLANK")[0].0,
+            TypeClass::LongUnsignedInt
+        );
     }
 }

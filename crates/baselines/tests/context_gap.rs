@@ -33,8 +33,7 @@ fn gap_experiment(corpus_cfg: CorpusConfig, config: Config) -> (f64, f64, f64, f
 
     // Rules and signature k-NN.
     let rules_acc = variable_accuracy(&RuleTyper, test.iter().copied());
-    let train_refs: Vec<&cati_analysis::Extraction> =
-        train_ds.iter().map(|(_, e)| e).collect();
+    let train_refs: Vec<&cati_analysis::Extraction> = train_ds.iter().map(|(_, e)| e).collect();
     let knn = SignatureKnn::train(train_refs.iter().copied(), SignatureWidth::TargetOnly);
     let knn_acc = variable_accuracy(&knn, test.iter().copied());
     (cati_acc, nc_acc, rules_acc, knn_acc, n)

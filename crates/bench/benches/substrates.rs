@@ -34,7 +34,7 @@ fn bench_generalize(c: &mut Criterion) {
             insns
                 .iter()
                 .map(|l| generalize(&l.insn, &NoSymbols))
-                .count()
+                .collect::<Vec<_>>()
         });
     });
     g.finish();
@@ -55,7 +55,10 @@ fn bench_embedding(c: &mut Criterion) {
     c.bench_function("word2vec_train_200_sentences", |b| {
         b.iter(|| Word2Vec::train(&sentences, cati_embedding::W2vConfig::tiny()));
     });
-    let embedder = VucEmbedder::new(Word2Vec::train(&sentences, cati_embedding::W2vConfig::tiny()));
+    let embedder = VucEmbedder::new(Word2Vec::train(
+        &sentences,
+        cati_embedding::W2vConfig::tiny(),
+    ));
     let ex = extract(&corpus.train[0].binary, FeatureView::WithSymbols).unwrap();
     let window = &ex.vucs[0].insns;
     c.bench_function("embed_one_vuc", |b| {

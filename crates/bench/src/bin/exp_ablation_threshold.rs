@@ -24,12 +24,17 @@ fn main() {
     let mut per_var: Vec<(TypeClass, Vec<Vec<f32>>)> = Vec::new();
     for (_, ex) in ctx.test.iter() {
         let xs = embed_extraction(ex, &ctx.cati.embedder);
-        let dists: Vec<Vec<f32>> =
-            xs.iter().map(|x| ctx.cati.stages.leaf_distribution(x)).collect();
+        let dists: Vec<Vec<f32>> = xs
+            .iter()
+            .map(|x| ctx.cati.stages.leaf_distribution(x))
+            .collect();
         for var in &ex.vars {
             let Some(class) = var.class else { continue };
-            let vd: Vec<Vec<f32>> =
-                var.vucs.iter().map(|&v| dists[v as usize].clone()).collect();
+            let vd: Vec<Vec<f32>> = var
+                .vucs
+                .iter()
+                .map(|&v| dists[v as usize].clone())
+                .collect();
             per_var.push((class, vd));
         }
     }
@@ -42,13 +47,23 @@ fn main() {
             ok += u64::from(TypeClass::ALL[pred] == *class);
         }
         let acc = ok as f64 / per_var.len().max(1) as f64;
-        let note = match threshold {
-            t if t == 0.9 => "paper's choice",
-            t if t > 1.0 => "clipping disabled",
-            _ => "",
+        let note = if threshold == 0.9 {
+            "paper's choice"
+        } else if threshold > 1.0 {
+            "clipping disabled"
+        } else {
+            ""
         };
-        table.row(vec![format!("{threshold:.2}"), format!("{acc:.4}"), note.into()]);
+        table.row(vec![
+            format!("{threshold:.2}"),
+            format!("{acc:.4}"),
+            note.into(),
+        ]);
     }
-    println!("\nAblation — voting threshold ({}; {} variables)\n", scale.name(), per_var.len());
+    println!(
+        "\nAblation — voting threshold ({}; {} variables)\n",
+        scale.name(),
+        per_var.len()
+    );
     println!("{}", table.render());
 }

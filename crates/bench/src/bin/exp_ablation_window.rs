@@ -63,7 +63,9 @@ fn accuracies(
         let xs = embed_extraction(ex, embedder);
         let dists: Vec<Vec<f32>> = xs.iter().map(|x| stages.leaf_distribution(x)).collect();
         for (vuc, dist) in ex.vucs.iter().zip(&dists) {
-            let Some(class) = vuc.class(&ex.vars) else { continue };
+            let Some(class) = vuc.class(&ex.vars) else {
+                continue;
+            };
             let pred = dist
                 .iter()
                 .enumerate()
@@ -75,8 +77,11 @@ fn accuracies(
         }
         for var in &ex.vars {
             let Some(class) = var.class else { continue };
-            let vd: Vec<Vec<f32>> =
-                var.vucs.iter().map(|&v| dists[v as usize].clone()).collect();
+            let vd: Vec<Vec<f32>> = var
+                .vucs
+                .iter()
+                .map(|&v| dists[v as usize].clone())
+                .collect();
             let pred = vote(&vd, threshold).class;
             var_n += 1;
             var_ok += u64::from(TypeClass::ALL[pred] == class);

@@ -43,8 +43,7 @@ fn main() {
     let nocontext = NoContextCati::train(&ctx.train, &ctx.cati.embedder, &config);
     eprintln!("[debin] training signature k-NN baselines...");
     let knn_narrow = SignatureKnn::train(train.iter().copied(), SignatureWidth::TargetOnly);
-    let knn_wide =
-        SignatureKnn::train(train.iter().copied(), SignatureWidth::TargetPlusMinusOne);
+    let knn_wide = SignatureKnn::train(train.iter().copied(), SignatureWidth::TargetPlusMinusOne);
 
     let cati_acc_19 = {
         let mut ok = 0.0;
@@ -77,7 +76,10 @@ fn main() {
 
     println!("\nDEBIN comparison ({})\n", scale.name());
     let mut t17 = Table::new(&["method (17-type task)", "variable accuracy"]);
-    t17.row(vec!["CATI (context VUCs)".into(), format!("{:.3}", cati17_acc)]);
+    t17.row(vec![
+        "CATI (context VUCs)".into(),
+        format!("{:.3}", cati17_acc),
+    ]);
     t17.row(vec![
         "dependency-only (DEBIN-style features)".into(),
         format!("{:.3}", nocontext17_acc),

@@ -41,20 +41,20 @@ fn main() {
         .filter(|(_, classes)| classes.len() >= 2)
         .map(|(sig, classes)| {
             let mut v: Vec<(TypeClass, u32)> = classes.into_iter().collect();
-            v.sort_by(|a, b| b.1.cmp(&a.1));
+            v.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
             (sig, v)
         })
         .collect();
     collisions.sort_by_key(|(_, v)| std::cmp::Reverse(v.iter().map(|(_, c)| *c).sum::<u32>()));
 
-    println!("\nFig. 1 — uncertain samples mined from the corpus ({})\n", scale.name());
+    println!(
+        "\nFig. 1 — uncertain samples mined from the corpus ({})\n",
+        scale.name()
+    );
     println!("single-VUC variables whose generalized target instruction collides");
     println!("across type classes (top 12 by frequency):\n");
     for (sig, classes) in collisions.iter().take(12) {
-        let parts: Vec<String> = classes
-            .iter()
-            .map(|(c, n)| format!("{c} ×{n}"))
-            .collect();
+        let parts: Vec<String> = classes.iter().map(|(c, n)| format!("{c} ×{n}")).collect();
         println!("  {sig:<40} -> {}", parts.join(", "));
     }
     println!(

@@ -38,7 +38,10 @@ fn main() {
     // (b) Heat map over the test set.
     println!("\nFig. 6(b) — cumulative epsilon distribution per position\n");
     let heatmap = importance_heatmap(&ctx.cati, &exs, StageId::Stage1, max_vucs);
-    println!("sampled {} VUCs; columns are P(eps < 0.1) ... P(eps < 1.0)\n", heatmap.samples);
+    println!(
+        "sampled {} VUCs; columns are P(eps < 0.1) ... P(eps < 1.0)\n",
+        heatmap.samples
+    );
     print!("pos ");
     for c in 1..=10 {
         print!("  <{:.1} ", c as f64 / 10.0);
@@ -53,8 +56,7 @@ fn main() {
     }
     let center = heatmap.row_importance(WINDOW);
     let edges = (heatmap.row_importance(0) + heatmap.row_importance(2 * WINDOW)) / 2.0;
-    let neighbors =
-        (heatmap.row_importance(WINDOW - 1) + heatmap.row_importance(WINDOW + 1)) / 2.0;
+    let neighbors = (heatmap.row_importance(WINDOW - 1) + heatmap.row_importance(WINDOW + 1)) / 2.0;
     println!("\nimportance: center {center:.4}, next-door {neighbors:.4}, edges {edges:.4}");
     println!("Expected shape (paper): the central instruction dominates and importance");
     println!("decays with distance; next-door neighbours already differ sharply.");

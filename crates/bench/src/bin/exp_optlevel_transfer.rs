@@ -25,7 +25,10 @@ fn build_split(scale: Scale, levels: &[OptLevel], seed: u64, projects: usize) ->
     let mut out = Vec::new();
     for profile in AppProfile::training_projects(projects) {
         for &opt in levels {
-            let opts = CodegenOptions { compiler: Compiler::Gcc, opt };
+            let opts = CodegenOptions {
+                compiler: Compiler::Gcc,
+                opt,
+            };
             out.extend(build_app(&profile, opts, factor, &mut rng));
         }
     }
@@ -44,9 +47,15 @@ fn main() {
     // Two training regimes.
     let low_train = build_split(scale, &[OptLevel::O0, OptLevel::O1], SEED, projects);
     let all_train = build_split(scale, &OptLevel::ALL, SEED, projects);
-    eprintln!("[optlevel] training low-opt model ({} binaries)...", low_train.len());
+    eprintln!(
+        "[optlevel] training low-opt model ({} binaries)...",
+        low_train.len()
+    );
     let low_model = Cati::train(&low_train, &config, |_| {});
-    eprintln!("[optlevel] training all-opt model ({} binaries)...", all_train.len());
+    eprintln!(
+        "[optlevel] training all-opt model ({} binaries)...",
+        all_train.len()
+    );
     let all_model = Cati::train(&all_train, &config, |_| {});
 
     // Per-level test sets from unseen apps.
@@ -60,7 +69,10 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(SEED ^ 0xBEEF ^ opt.0 as u64);
         let mut test = Vec::new();
         for profile in AppProfile::test_apps().into_iter().take(6) {
-            let opts = CodegenOptions { compiler: Compiler::Gcc, opt };
+            let opts = CodegenOptions {
+                compiler: Compiler::Gcc,
+                opt,
+            };
             test.extend(build_app(&profile, opts, 0.5, &mut rng));
         }
         let ds = Dataset::from_binaries(&test, FeatureView::Stripped);

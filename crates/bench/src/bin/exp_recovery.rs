@@ -21,13 +21,22 @@ fn main() {
         Scale::Medium => 12,
         Scale::Paper => 40,
     };
-    let mut table = Table::new(&["opt level", "oracle vars", "recovered", "recall", "precision"]);
+    let mut table = Table::new(&[
+        "opt level",
+        "oracle vars",
+        "recovered",
+        "recall",
+        "precision",
+    ]);
     for opt in OptLevel::ALL {
         let mut agg = RecoveryStats::default();
         let mut rng = StdRng::seed_from_u64(SEED ^ opt.0 as u64);
         for i in 0..reps {
             let profile = AppProfile::new(format!("rec{i}"));
-            let opts = CodegenOptions { compiler: Compiler::Gcc, opt };
+            let opts = CodegenOptions {
+                compiler: Compiler::Gcc,
+                opt,
+            };
             for built in build_app(&profile, opts, 0.5, &mut rng) {
                 let s = recovery_stats(&built.binary).expect("labeled corpus binary");
                 agg.oracle_vars += s.oracle_vars;
@@ -43,7 +52,10 @@ fn main() {
             pct(agg.precision()),
         ]);
     }
-    println!("\nVariable recovery vs debug-info oracle ({})\n", scale.name());
+    println!(
+        "\nVariable recovery vs debug-info oracle ({})\n",
+        scale.name()
+    );
     println!("{}", table.render());
     println!("paper context: DIVINE/DEBIN reach ~90% variable recovery; CATI's");
     println!("evaluation assumes locations are given (§VII-B).");

@@ -1,7 +1,13 @@
 //! Training and inference speed (paper §VII): the paper quotes ~2 h
 //! CNN training, ~3 h Word2Vec, 24 min extraction + 5 min prediction
 //! over the test set, ~6 s per binary end to end. We time the same
-//! phases on this substrate.
+//! phases on this substrate, at one worker thread and at all cores,
+//! and record the result in `BENCH_speed.json` so later changes have
+//! a perf trajectory to compare against.
+//!
+//! The execution engine is deterministic across thread counts, so the
+//! two timed runs must also produce bit-identical models — this
+//! binary asserts that and records it.
 //!
 //! ```sh
 //! cargo run --release -p cati-bench --bin exp_speed -- --scale medium
@@ -14,13 +20,85 @@ use cati_embedding::{VucEmbedder, Word2Vec};
 use cati_synbin::{build_corpus, Compiler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde_json::json;
 use std::time::Instant;
+
+/// One timed training + inference pass at a fixed thread count.
+struct Run {
+    threads: usize,
+    cnn_train_s: f64,
+    train_s_per_epoch: f64,
+    infer_s: f64,
+    infer_s_per_binary: f64,
+    infer_vucs_per_s: f64,
+    model_json: String,
+}
+
+fn timed_run(
+    threads: usize,
+    config: &Config,
+    corpus: &cati_synbin::Corpus,
+    train_ds: &Dataset,
+    embedder: &VucEmbedder,
+    test_vucs: usize,
+) -> Run {
+    let config = Config { threads, ..*config };
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+
+    let t = Instant::now();
+    let stages = pool.install(|| MultiStage::train(train_ds, embedder, &config, |_| {}));
+    let cnn_train_s = t.elapsed().as_secs_f64();
+
+    let cati = Cati {
+        config,
+        embedder: embedder.clone(),
+        stages,
+    };
+    let model_json = serde_json::to_string(&cati.stages).expect("serialize stages");
+
+    let t = Instant::now();
+    let mut total_vars = 0usize;
+    for built in &corpus.test {
+        let stripped = built.binary.strip();
+        let inferred = cati.infer(&stripped).expect("inference");
+        total_vars += inferred.len();
+    }
+    let infer_s = t.elapsed().as_secs_f64();
+    println!(
+        "threads={threads}: CNN train {:.2}s ({:.2}s/epoch), inference {:.2}s \
+         ({:.3} s/binary, {:.0} VUCs/s, {total_vars} variables typed)",
+        cnn_train_s,
+        cnn_train_s / config.epochs.max(1) as f64,
+        infer_s,
+        infer_s / corpus.test.len() as f64,
+        test_vucs as f64 / infer_s,
+    );
+    Run {
+        threads,
+        cnn_train_s,
+        train_s_per_epoch: cnn_train_s / config.epochs.max(1) as f64,
+        infer_s,
+        infer_s_per_binary: infer_s / corpus.test.len() as f64,
+        infer_vucs_per_s: test_vucs as f64 / infer_s,
+        model_json,
+    }
+}
 
 fn main() {
     let scale = Scale::from_args();
     let config: Config = scale.config();
     let corpus = build_corpus(&scale.corpus(SEED).with_compiler(Compiler::Gcc));
-    println!("\nTiming ({}; {} train / {} test binaries)\n", scale.name(), corpus.train.len(), corpus.test.len());
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "\nTiming ({}; {} train / {} test binaries; {} cores)\n",
+        scale.name(),
+        corpus.train.len(),
+        corpus.test.len(),
+        cores
+    );
 
     let t = Instant::now();
     let train_ds = Dataset::from_binaries(&corpus.train, FeatureView::WithSymbols);
@@ -37,30 +115,76 @@ fn main() {
     let sentences = embedding_sentences(&corpus.train, config.max_sentences, &mut rng);
     let w2v = Word2Vec::train(&sentences, config.w2v);
     let t_w2v = t.elapsed();
-    println!("Word2Vec training:  {t_w2v:>8.2?}  ({} sentences)", sentences.len());
+    println!(
+        "Word2Vec training:  {t_w2v:>8.2?}  ({} sentences)",
+        sentences.len()
+    );
     let embedder = VucEmbedder::new(w2v);
 
-    let t = Instant::now();
-    let stages = MultiStage::train(&train_ds, &embedder, &config, |_| {});
-    let t_cnn = t.elapsed();
-    println!("CNN training (6 stages): {t_cnn:>8.2?}");
+    let test_vucs: usize = corpus
+        .test
+        .iter()
+        .map(|b| {
+            cati_analysis::extract(&b.binary.strip(), FeatureView::Stripped)
+                .map_or(0, |ex| ex.vucs.len())
+        })
+        .sum();
 
-    let cati = Cati { config, embedder, stages };
+    // One worker vs. all cores (at least 2, so the multi-thread code
+    // path is exercised even on a single-core machine).
+    let multi = cores.max(2);
+    let single = timed_run(1, &config, &corpus, &train_ds, &embedder, test_vucs);
+    let parallel = timed_run(multi, &config, &corpus, &train_ds, &embedder, test_vucs);
 
-    // Per-binary inference: extraction + prediction + voting.
-    let t = Instant::now();
-    let mut total_vars = 0usize;
-    for built in &corpus.test {
-        let stripped = built.binary.strip();
-        let inferred = cati.infer(&stripped).expect("inference");
-        total_vars += inferred.len();
-    }
-    let t_infer = t.elapsed();
-    println!(
-        "inference: {:>8.2?} total, {:.3} s/binary, {} variables typed",
-        t_infer,
-        t_infer.as_secs_f64() / corpus.test.len() as f64,
-        total_vars
+    let bit_identical = single.model_json == parallel.model_json;
+    assert!(
+        bit_identical,
+        "threads=1 and threads={multi} models diverged"
     );
-    println!("\npaper: ~6 s per binary (extraction dominates), 2 h CNN, 3 h Word2Vec");
+    let speedup_train = single.cnn_train_s / parallel.cnn_train_s;
+    let speedup_infer = parallel.infer_vucs_per_s / single.infer_vucs_per_s;
+    println!(
+        "\nspeedup: train {speedup_train:.2}x, inference {speedup_infer:.2}x \
+         (threads {multi} vs 1 on {cores} cores); models bit-identical: {bit_identical}"
+    );
+    if cores == 1 {
+        println!("note: single-core machine — wall-clock speedup is not measurable here");
+    }
+    println!("paper: ~6 s per binary (extraction dominates), 2 h CNN, 3 h Word2Vec");
+
+    let run_json = |r: &Run| {
+        json!({
+            "threads": r.threads,
+            "cnn_train_s": r.cnn_train_s,
+            "train_s_per_epoch": r.train_s_per_epoch,
+            "infer_s": r.infer_s,
+            "infer_s_per_binary": r.infer_s_per_binary,
+            "infer_vucs_per_s": r.infer_vucs_per_s,
+        })
+    };
+    let report = json!({
+        "experiment": "speed",
+        "scale": scale.name(),
+        "seed": SEED,
+        "cores": cores,
+        "test_vucs": test_vucs,
+        "extract_train_s": t_extract_train.as_secs_f64(),
+        "word2vec_s": t_w2v.as_secs_f64(),
+        "runs": [run_json(&single), run_json(&parallel)],
+        "speedup_train": speedup_train,
+        "speedup_infer": speedup_infer,
+        "models_bit_identical": bit_identical,
+        "note": if cores == 1 {
+            "single-core machine: threads>1 runs oversubscribed, wall-clock speedup not measurable"
+        } else {
+            "speedups are wall-clock, all-cores vs one worker thread"
+        },
+    });
+    let out = "BENCH_speed.json";
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&report).expect("report json"),
+    )
+    .expect("write BENCH_speed.json");
+    println!("wrote {out}");
 }

@@ -21,14 +21,37 @@ fn main() {
 
     let mut table = Table::new(&["", "Training Set", "Testing Set"]);
     let row = |name: &str, a: u64, b: u64| vec![name.to_string(), a.to_string(), b.to_string()];
-    table.row(row("Variables", train_stats.variables, test_stats.variables));
+    table.row(row(
+        "Variables",
+        train_stats.variables,
+        test_stats.variables,
+    ));
     table.row(row("VUCs", train_stats.vucs, test_stats.vucs));
-    table.row(row("Variables with 1 VUC", train_stats.vars_1_vuc, test_stats.vars_1_vuc));
-    table.row(row("Uncertain Samples-1", train_stats.uncertain_1, test_stats.uncertain_1));
-    table.row(row("Variables with 2 VUCs", train_stats.vars_2_vuc, test_stats.vars_2_vuc));
-    table.row(row("Uncertain Samples-2", train_stats.uncertain_2, test_stats.uncertain_2));
+    table.row(row(
+        "Variables with 1 VUC",
+        train_stats.vars_1_vuc,
+        test_stats.vars_1_vuc,
+    ));
+    table.row(row(
+        "Uncertain Samples-1",
+        train_stats.uncertain_1,
+        test_stats.uncertain_1,
+    ));
+    table.row(row(
+        "Variables with 2 VUCs",
+        train_stats.vars_2_vuc,
+        test_stats.vars_2_vuc,
+    ));
+    table.row(row(
+        "Uncertain Samples-2",
+        train_stats.uncertain_2,
+        test_stats.uncertain_2,
+    ));
 
-    println!("\nTable I — orphan variables and uncertain samples ({})\n", scale.name());
+    println!(
+        "\nTable I — orphan variables and uncertain samples ({})\n",
+        scale.name()
+    );
     println!("{}", table.render());
     println!(
         "orphan rate: train {} / test {}   (paper: ~35% of variables)",

@@ -50,7 +50,10 @@ fn main() {
     let scale = Scale::from_args();
     let ctx = load_ctx(scale, Compiler::Gcc);
     render(
-        &format!("Table III — VUC prediction (P/R/F1) per application ({})", scale.name()),
+        &format!(
+            "Table III — VUC prediction (P/R/F1) per application ({})",
+            scale.name()
+        ),
         &ctx,
         |exs, stage| stage_vuc_metrics(&ctx.cati, exs, stage),
     );

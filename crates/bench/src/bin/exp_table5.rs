@@ -31,16 +31,24 @@ fn main() {
         let stage_dists: Vec<(StageId, Vec<Vec<f32>>)> = StageId::ALL
             .iter()
             .map(|&s| {
-                let d: Vec<Vec<f32>> =
-                    xs.iter().map(|x| ctx.cati.stages.stage_probs(s, x)).collect();
+                let d: Vec<Vec<f32>> = xs
+                    .iter()
+                    .map(|x| ctx.cati.stages.stage_probs(s, x))
+                    .collect();
                 (s, d)
             })
             .collect();
         let dist_of = |s: StageId, i: usize| -> &Vec<f32> {
-            &stage_dists.iter().find(|(x, _)| *x == s).expect("stage cached").1[i]
+            &stage_dists
+                .iter()
+                .find(|(x, _)| *x == s)
+                .expect("stage cached")
+                .1[i]
         };
-        let leaf_dists: Vec<Vec<f32>> =
-            xs.iter().map(|x| ctx.cati.stages.leaf_distribution(x)).collect();
+        let leaf_dists: Vec<Vec<f32>> = xs
+            .iter()
+            .map(|x| ctx.cati.stages.leaf_distribution(x))
+            .collect();
 
         for var in &ex.vars {
             let Some(class) = var.class else { continue };
@@ -96,7 +104,10 @@ fn main() {
             pct(cs.c_rate()),
         ]);
     }
-    println!("\nTable V — per-type stage recalls and clustering ({})\n", scale.name());
+    println!(
+        "\nTable V — per-type stage recalls and clustering ({})\n",
+        scale.name()
+    );
     println!("{}", table.render());
     println!(
         "overall clustering: cnt-same {:.2}, cnt-all {:.2}, c-rate {}   (paper: ~53% same-type)",

@@ -47,7 +47,10 @@ fn main() {
         format!("{:.2}", tot.2 / tot.3.max(1) as f64),
         tot.3.to_string(),
     ]);
-    println!("\nTable VI — pipeline accuracy per application ({})\n", scale.name());
+    println!(
+        "\nTable VI — pipeline accuracy per application ({})\n",
+        scale.name()
+    );
     println!("{}", table.render());
     println!("Paper totals: VUC 0.68 over >1M VUCs, variable 0.71 over >150k variables;");
     println!("voting lifts variable accuracy ~3 points over VUC accuracy.");

@@ -22,7 +22,12 @@ fn main() {
     for stage in StageId::ALL {
         let (prf, conf) = stage_vuc_metrics(&ctx.cati, &exs, stage);
         if conf.total() == 0 {
-            table.row(vec![stage.name().into(), "-".into(), "-".into(), "-".into()]);
+            table.row(vec![
+                stage.name().into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         table.row(vec![
@@ -32,7 +37,10 @@ fn main() {
             format!("{:.2}", prf.f1),
         ]);
     }
-    println!("\nTable VII — evaluation on Clang-compiled corpus ({})\n", scale.name());
+    println!(
+        "\nTable VII — evaluation on Clang-compiled corpus ({})\n",
+        scale.name()
+    );
     println!("{}", table.render());
 
     let mut ok = 0.0;

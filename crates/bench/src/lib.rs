@@ -89,8 +89,7 @@ pub struct Ctx {
 }
 
 fn cache_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/cati-cache");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/cati-cache");
     std::fs::create_dir_all(&dir).ok();
     dir
 }
@@ -100,14 +99,22 @@ fn cache_dir() -> PathBuf {
 pub fn load_ctx(scale: Scale, compiler: Compiler) -> Ctx {
     let config = scale.config();
     let corpus_cfg = scale.corpus(SEED).with_compiler(compiler);
-    eprintln!("[ctx] building corpus ({}, {})...", scale.name(), compiler.name());
+    eprintln!(
+        "[ctx] building corpus ({}, {})...",
+        scale.name(),
+        compiler.name()
+    );
     let corpus = build_corpus(&corpus_cfg);
     eprintln!(
         "[ctx] {} train binaries, {} test binaries",
         corpus.train.len(),
         corpus.test.len()
     );
-    let cache = cache_dir().join(format!("cati-{}-{}-{SEED}.json", scale.name(), compiler.name()));
+    let cache = cache_dir().join(format!(
+        "cati-{}-{}-{SEED}.json",
+        scale.name(),
+        compiler.name()
+    ));
     let cati = match Cati::load(&cache) {
         Ok(model) if model.config == config => {
             eprintln!("[ctx] loaded cached model {}", cache.display());
@@ -125,11 +132,26 @@ pub fn load_ctx(scale: Scale, compiler: Compiler) -> Ctx {
     eprintln!("[ctx] extracting test set...");
     let test = Dataset::from_binaries(&corpus.test, FeatureView::Stripped);
     let train = Dataset::from_binaries(&corpus.train, FeatureView::WithSymbols);
-    Ctx { corpus, cati, test, train }
+    Ctx {
+        corpus,
+        cati,
+        test,
+        train,
+    }
 }
 
 /// The 12 test application names, in the paper's column order.
 pub const TEST_APPS: [&str; 12] = [
-    "bash", "bison", "cflow", "gawk", "grep", "gzip", "inetutils", "less", "nano", "R", "sed",
+    "bash",
+    "bison",
+    "cflow",
+    "gawk",
+    "grep",
+    "gzip",
+    "inetutils",
+    "less",
+    "nano",
+    "R",
+    "sed",
     "wget",
 ];

@@ -6,8 +6,8 @@
 //! cati build-corpus --out DIR [--scale S] [--compiler C] [--seed N]
 //! cati disasm BINARY.json [--strip]
 //! cati vars BINARY.json
-//! cati train --corpus DIR --out MODEL.json [--scale S]
-//! cati infer --model MODEL.json BINARY.json
+//! cati train --corpus DIR --out MODEL.json [--scale S] [--threads N]
+//! cati infer --model MODEL.json BINARY.json [--threads N]
 //! cati strip BINARY.json --out STRIPPED.json
 //! ```
 //!
@@ -22,7 +22,6 @@ use cati_asm::fmt::format_insn;
 use cati_synbin::{build_corpus, Compiler, CorpusConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
 
 /// Formats a signed frame offset as `-0x18` / `0x40`.
 fn hex_off(off: i32) -> String {
@@ -58,7 +57,11 @@ fn parse_args(argv: &[String]) -> Args {
             positional.push(arg.clone());
         }
     }
-    Args { positional, flags, switches }
+    Args {
+        positional,
+        flags,
+        switches,
+    }
 }
 
 fn load_binary(path: &str) -> Result<Binary, String> {
@@ -72,11 +75,16 @@ fn save_json<T: serde::Serialize>(value: &T, path: &Path) -> Result<(), String> 
 }
 
 fn scale_of(args: &Args) -> (Config, fn(u64) -> CorpusConfig) {
-    match args.flags.get("scale").map(String::as_str) {
-        Some("paper") => (Config::paper(), CorpusConfig::paper),
-        Some("medium") => (Config::medium(), CorpusConfig::medium),
-        _ => (Config::small(), CorpusConfig::small),
+    let (mut config, corpus): (Config, fn(u64) -> CorpusConfig) =
+        match args.flags.get("scale").map(String::as_str) {
+            Some("paper") => (Config::paper(), CorpusConfig::paper),
+            Some("medium") => (Config::medium(), CorpusConfig::medium),
+            _ => (Config::small(), CorpusConfig::small),
+        };
+    if let Some(t) = args.flags.get("threads") {
+        config.threads = t.parse().unwrap_or(0);
     }
+    (config, corpus)
 }
 
 fn cmd_build_corpus(args: &Args) -> Result<(), String> {
@@ -123,7 +131,10 @@ fn cmd_build_corpus(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_disasm(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("disasm requires a binary path")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("disasm requires a binary path")?;
     let mut binary = load_binary(path)?;
     if args.switches.contains("strip") {
         binary = binary.strip();
@@ -137,13 +148,20 @@ fn cmd_disasm(args: &Args) -> Result<(), String> {
         if let Some(header) = sym {
             println!("{header}");
         }
-        println!("  {:6x}:\t{}", located.addr, format_insn(&located.insn, &binary));
+        println!(
+            "  {:6x}:\t{}",
+            located.addr,
+            format_insn(&located.insn, &binary)
+        );
     }
     Ok(())
 }
 
 fn cmd_vars(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("vars requires a binary path")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("vars requires a binary path")?;
     let binary = load_binary(path)?;
     let view = if binary.debug.is_some() {
         FeatureView::WithSymbols
@@ -151,13 +169,18 @@ fn cmd_vars(args: &Args) -> Result<(), String> {
         FeatureView::Stripped
     };
     let ex = extract(&binary, view).map_err(|e| e.to_string())?;
-    println!("{:<6} {:>8}  {:<24} {:>5}", "func", "offset", "type (ground truth)", "vucs");
+    println!(
+        "{:<6} {:>8}  {:<24} {:>5}",
+        "func", "offset", "type (ground truth)", "vucs"
+    );
     for var in &ex.vars {
         println!(
             "{:<6} {:>8}  {:<24} {:>5}",
             var.key.func,
             hex_off(var.key.offset),
-            var.class.map(|c| c.to_string()).unwrap_or_else(|| "?".into()),
+            var.class
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "?".into()),
             var.vucs.len()
         );
     }
@@ -171,7 +194,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             .get("corpus")
             .ok_or("train requires --corpus DIR")?,
     );
-    let out = args.flags.get("out").ok_or("train requires --out MODEL.json")?;
+    let out = args
+        .flags
+        .get("out")
+        .ok_or("train requires --out MODEL.json")?;
     let (config, _) = scale_of(args);
     let manifest: Vec<serde_json::Value> = serde_json::from_slice(
         &std::fs::read(corpus_dir.join("manifest.json")).map_err(|e| e.to_string())?,
@@ -183,7 +209,11 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             let file = entry["file"].as_str().ok_or("bad manifest")?;
             let binary = load_binary(corpus_dir.join(file).to_str().unwrap())?;
             let opt = entry["opt"].as_u64().unwrap_or(0) as u8;
-            let compiler = if entry["compiler"] == "clang" { Compiler::Clang } else { Compiler::Gcc };
+            let compiler = if entry["compiler"] == "clang" {
+                Compiler::Clang
+            } else {
+                Compiler::Gcc
+            };
             train.push(cati_synbin::BuiltBinary {
                 binary,
                 app: entry["app"].as_str().unwrap_or("unknown").to_string(),
@@ -205,17 +235,33 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_infer(args: &Args) -> Result<(), String> {
-    let model = args.flags.get("model").ok_or("infer requires --model MODEL.json")?;
-    let path = args.positional.first().ok_or("infer requires a binary path")?;
+    let model = args
+        .flags
+        .get("model")
+        .ok_or("infer requires --model MODEL.json")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("infer requires a binary path")?;
     let cati = Cati::load(model).map_err(|e| e.to_string())?;
     let binary = load_binary(path)?;
+    let mut cati = cati;
+    if let Some(t) = args.flags.get("threads") {
+        cati.config.threads = t.parse().unwrap_or(0);
+    }
     let mut inferred = cati.infer(&binary).map_err(|e| e.to_string())?;
-    inferred.sort_by(|a, b| (a.key.func, a.key.offset).cmp(&(b.key.func, b.key.offset)));
+    inferred.sort_by_key(|v| (v.key.func, v.key.offset));
     if args.switches.contains("json") {
-        println!("{}", serde_json::to_string_pretty(&inferred).map_err(|e| e.to_string())?);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&inferred).map_err(|e| e.to_string())?
+        );
         return Ok(());
     }
-    println!("{:<6} {:>8}  {:<22} {:>5} {:>6}", "func", "offset", "inferred type", "vucs", "conf");
+    println!(
+        "{:<6} {:>8}  {:<22} {:>5} {:>6}",
+        "func", "offset", "inferred type", "vucs", "conf"
+    );
     for var in &inferred {
         println!(
             "{:<6} {:>8}  {:<22} {:>5} {:>5.0}%",
@@ -230,7 +276,10 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_strip(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("strip requires a binary path")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("strip requires a binary path")?;
     let out = args.flags.get("out").ok_or("strip requires --out FILE")?;
     let binary = load_binary(path)?;
     save_json(&binary.strip(), Path::new(out))?;
@@ -245,8 +294,11 @@ USAGE:
   cati build-corpus --out DIR [--scale small|medium|paper] [--compiler gcc|clang] [--seed N]
   cati disasm BINARY.json [--strip]
   cati vars BINARY.json
-  cati train --corpus DIR --out MODEL.json [--scale small|medium|paper]
-  cati infer --model MODEL.json BINARY.json [--json]
+  cati train --corpus DIR --out MODEL.json [--scale small|medium|paper] [--threads N]
+  cati infer --model MODEL.json BINARY.json [--json] [--threads N]
+
+Training and batched inference use --threads worker threads
+(0 or omitted = all cores); results are bit-identical for any value.
   cati strip BINARY.json --out STRIPPED.json
 ";
 

@@ -55,7 +55,10 @@ fn full_cli_workflow() {
     // 3. Disassemble both views.
     let (ok, full, _) = run(&["disasm", &test_path], &dir);
     assert!(ok);
-    assert!(full.contains("push %rbp") || full.contains("sub $"), "{full}");
+    assert!(
+        full.contains("push %rbp") || full.contains("sub $"),
+        "{full}"
+    );
     assert!(full.contains('<'), "unstripped listing should show symbols");
     let (ok, stripped_listing, _) = run(&["disasm", "stripped.json"], &dir);
     assert!(ok);
@@ -81,7 +84,10 @@ fn full_cli_workflow() {
     let (ok, inferred, stderr) = run(&["infer", "--model", "model.json", "stripped.json"], &dir);
     assert!(ok, "infer failed: {stderr}");
     assert!(inferred.contains("inferred type"), "{inferred}");
-    assert!(inferred.lines().count() > 3, "no variables inferred:\n{inferred}");
+    assert!(
+        inferred.lines().count() > 3,
+        "no variables inferred:\n{inferred}"
+    );
 
     // 7. JSON output parses.
     let (ok, json_out, _) = run(

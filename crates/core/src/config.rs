@@ -29,6 +29,10 @@ pub struct Config {
     /// Rare classes are oversampled until they hold at least this
     /// fraction of the largest class's count (0 disables).
     pub oversample_floor: f64,
+    /// Worker threads for training and batched inference
+    /// (0 = all available cores). Results are bit-identical for any
+    /// value — see the execution-engine notes in DESIGN.md.
+    pub threads: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -49,6 +53,7 @@ impl Config {
             max_stage_samples: 0,
             max_sentences: 0,
             oversample_floor: 0.05,
+            threads: 0,
             seed: 2020,
         }
     }
@@ -57,7 +62,10 @@ impl Config {
     /// instead of hours, used by the experiment binaries by default.
     pub fn medium() -> Config {
         Config {
-            w2v: W2vConfig { dim: 16, ..W2vConfig::paper() },
+            w2v: W2vConfig {
+                dim: 16,
+                ..W2vConfig::paper()
+            },
             conv1: 16,
             conv2: 32,
             fc: 256,
@@ -68,14 +76,33 @@ impl Config {
             max_stage_samples: 60_000,
             max_sentences: 40_000,
             oversample_floor: 0.05,
+            threads: 0,
             seed: 2020,
         }
+    }
+
+    /// Runs `op` with this configuration's thread count as the
+    /// ambient parallelism (`threads == 0` leaves the caller's
+    /// setting untouched).
+    pub fn with_threads<R>(&self, op: impl FnOnce() -> R) -> R {
+        if self.threads == 0 {
+            return op();
+        }
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("thread pool")
+            .install(op)
     }
 
     /// Tiny scale for unit and integration tests (seconds of CPU).
     pub fn small() -> Config {
         Config {
-            w2v: W2vConfig { dim: 8, epochs: 2, ..W2vConfig::tiny() },
+            w2v: W2vConfig {
+                dim: 8,
+                epochs: 2,
+                ..W2vConfig::tiny()
+            },
             conv1: 8,
             conv2: 8,
             fc: 32,
@@ -86,6 +113,7 @@ impl Config {
             max_stage_samples: 4_000,
             max_sentences: 2_000,
             oversample_floor: 0.05,
+            threads: 0,
             seed: 2020,
         }
     }

@@ -123,8 +123,12 @@ pub fn stage_dataset(
     let mut refs: Vec<(&Extraction, usize, usize)> = Vec::new();
     for (_, ex) in &dataset.entries {
         for (i, vuc) in ex.vucs.iter().enumerate() {
-            let Some(class) = vuc.class(&ex.vars) else { continue };
-            let Some(label) = stage.label_of(class) else { continue };
+            let Some(class) = vuc.class(&ex.vars) else {
+                continue;
+            };
+            let Some(label) = stage.label_of(class) else {
+                continue;
+            };
             refs.push((ex, i, label));
         }
     }
@@ -141,18 +145,18 @@ pub fn stage_dataset(
         let max_count = counts.iter().copied().max().unwrap_or(0);
         let floor = ((max_count as f64) * oversample_floor) as usize;
         let mut extra = Vec::new();
-        for label in 0..stage.num_classes() {
-            if counts[label] == 0 || counts[label] >= floor {
+        for (label, &count) in counts.iter().enumerate() {
+            if count == 0 || count >= floor {
                 continue;
             }
             let pool: Vec<_> = refs.iter().filter(|r| r.2 == label).copied().collect();
-            while counts[label] + extra.len() < floor && !pool.is_empty() {
+            while count + extra.len() < floor && !pool.is_empty() {
                 extra.push(pool[rng.gen_range(0..pool.len())]);
                 if extra.len() > max_count {
                     break; // hard safety bound
                 }
             }
-            refs.extend(extra.drain(..));
+            refs.append(&mut extra);
         }
     }
     refs.into_par_iter()
@@ -212,7 +216,11 @@ mod tests {
 
         let s1 = stage_dataset(&ds, &embedder, StageId::Stage1, 300, 0.05, &mut rng);
         assert!(!s1.is_empty());
-        assert!(s1.len() <= 330, "cap plus oversample slack, got {}", s1.len());
+        assert!(
+            s1.len() <= 330,
+            "cap plus oversample slack, got {}",
+            s1.len()
+        );
         for (x, label) in &s1 {
             assert_eq!(x.len(), embedder.embed_dim() * 21);
             assert!(*label < 2);

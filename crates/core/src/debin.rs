@@ -62,7 +62,10 @@ impl DebinTask {
         for _ in 0..config.epochs {
             model.train_epoch(&samples, &mut opt, config.batch, &mut rng);
         }
-        DebinTask { model, threshold: config.vote_threshold }
+        DebinTask {
+            model,
+            threshold: config.vote_threshold,
+        }
     }
 
     /// Variable-level accuracy on labeled extractions, with voting.
@@ -70,18 +73,22 @@ impl DebinTask {
         let mut correct = 0u64;
         let mut total = 0u64;
         for ex in extractions {
-            let dists: Vec<Vec<f32>> = ex
+            let xs: Vec<Vec<f32>> = ex
                 .vucs
                 .par_iter()
-                .map(|v| self.model.predict(&embedder.embed_window(&v.insns)))
+                .map(|v| embedder.embed_window(&v.insns))
                 .collect();
+            let dists = self.model.predict_batch(&xs);
             for var in &ex.vars {
                 let Some(truth) = var.debin else { continue };
                 if var.vucs.is_empty() {
                     continue;
                 }
-                let var_dists: Vec<Vec<f32>> =
-                    var.vucs.iter().map(|&v| dists[v as usize].clone()).collect();
+                let var_dists: Vec<&[f32]> = var
+                    .vucs
+                    .iter()
+                    .map(|&v| dists[v as usize].as_slice())
+                    .collect();
                 let pred = vote(&var_dists, self.threshold).class;
                 total += 1;
                 correct += u64::from(pred == truth.index());

@@ -26,7 +26,10 @@ pub struct Confusion {
 impl Confusion {
     /// An empty `n × n` matrix.
     pub fn new(n: usize) -> Confusion {
-        Confusion { n, counts: vec![0; n * n] }
+        Confusion {
+            n,
+            counts: vec![0; n * n],
+        }
     }
 
     /// Number of classes.
@@ -62,16 +65,35 @@ impl Confusion {
     /// Per-class precision/recall/F1.
     pub fn per_class(&self, class: usize) -> Prf {
         let tp = self.get(class, class);
-        let fp: u64 = (0..self.n).filter(|&t| t != class).map(|t| self.get(t, class)).sum();
-        let fn_: u64 = (0..self.n).filter(|&p| p != class).map(|p| self.get(class, p)).sum();
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let fp: u64 = (0..self.n)
+            .filter(|&t| t != class)
+            .map(|t| self.get(t, class))
+            .sum();
+        let fn_: u64 = (0..self.n)
+            .filter(|&p| p != class)
+            .map(|p| self.get(class, p))
+            .sum();
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Prf { precision, recall, f1, support: self.support(class) }
+        Prf {
+            precision,
+            recall,
+            f1,
+            support: self.support(class),
+        }
     }
 
     /// Support-weighted average of the per-class metrics — what the
@@ -81,7 +103,10 @@ impl Confusion {
         if total == 0 {
             return Prf::default();
         }
-        let mut acc = Prf { support: total, ..Prf::default() };
+        let mut acc = Prf {
+            support: total,
+            ..Prf::default()
+        };
         for c in 0..self.n {
             let prf = self.per_class(c);
             let w = prf.support as f64 / total as f64;

@@ -7,7 +7,16 @@ use cati_embedding::VucEmbedder;
 use cati_nn::{Adam, TextCnn, TextCnnConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// RNG stream seed for one stage's data sampling and batch schedule:
+/// the master seed mixed with a stage-specific odd multiplier
+/// (SplitMix64's golden-ratio constant), keeping the streams distinct
+/// from each other and from the `seed ^ stage` model-init seeds.
+fn stage_seed(seed: u64, stage: StageId) -> u64 {
+    seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stage as u64 + 1)
+}
 
 /// The six trained stage models.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -17,42 +26,55 @@ pub struct MultiStage {
 
 impl MultiStage {
     /// Trains all six stages on `dataset` using `embedder` features.
-    /// `progress` receives one line per stage.
+    /// `progress` receives one line per stage (in stage order, after
+    /// training finishes).
+    ///
+    /// Each stage derives its own RNG from `(seed, stage)`, so its
+    /// data sampling and batch schedule never depend on how much
+    /// randomness earlier stages consumed. That independence is what
+    /// lets the six stages train concurrently — one worker per stage
+    /// — while staying bit-identical to sequential training and to
+    /// any other thread count.
     pub fn train(
         dataset: &Dataset,
         embedder: &VucEmbedder,
         config: &Config,
         mut progress: impl FnMut(&str),
     ) -> MultiStage {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut models = Vec::with_capacity(StageId::ALL.len());
-        for stage in StageId::ALL {
-            let data = stage_dataset(
-                dataset,
-                embedder,
-                stage,
-                config.max_stage_samples,
-                config.oversample_floor,
-                &mut rng,
-            );
-            let cnn_cfg = TextCnnConfig {
-                seq_len: cati_analysis::VUC_LEN,
-                embed_dim: embedder.embed_dim(),
-                conv1: config.conv1,
-                conv2: config.conv2,
-                fc: config.fc,
-                classes: stage.num_classes(),
-            };
-            let mut model = TextCnn::new(cnn_cfg, config.seed ^ stage as u64);
-            let mut opt = Adam::new(config.lr);
-            let mut last_loss = f32::NAN;
-            for _ in 0..config.epochs {
-                last_loss = model.train_epoch(&data, &mut opt, config.batch, &mut rng);
-            }
-            progress(&format!(
-                "{stage}: {} samples, final loss {last_loss:.4}",
-                data.len()
-            ));
+        let trained: Vec<(StageId, TextCnn, String)> = StageId::ALL
+            .par_iter()
+            .with_max_len(1)
+            .map(|&stage| {
+                let mut rng = StdRng::seed_from_u64(stage_seed(config.seed, stage));
+                let data = stage_dataset(
+                    dataset,
+                    embedder,
+                    stage,
+                    config.max_stage_samples,
+                    config.oversample_floor,
+                    &mut rng,
+                );
+                let cnn_cfg = TextCnnConfig {
+                    seq_len: cati_analysis::VUC_LEN,
+                    embed_dim: embedder.embed_dim(),
+                    conv1: config.conv1,
+                    conv2: config.conv2,
+                    fc: config.fc,
+                    classes: stage.num_classes(),
+                };
+                let mut model = TextCnn::new(cnn_cfg, config.seed ^ stage as u64);
+                let mut opt = Adam::new(config.lr);
+                let mut last_loss = f32::NAN;
+                for _ in 0..config.epochs {
+                    last_loss = model.train_epoch(&data, &mut opt, config.batch, &mut rng);
+                }
+                let line = format!("{stage}: {} samples, final loss {last_loss:.4}", data.len());
+                (stage, model, line)
+            })
+            .collect();
+        let mut models = Vec::with_capacity(trained.len());
+        for (stage, model, line) in trained {
+            progress(&line);
             models.push((stage, model));
         }
         MultiStage { models }
@@ -65,12 +87,57 @@ impl MultiStage {
     /// Panics if the stage is missing (cannot happen for trained
     /// instances).
     pub fn stage(&self, stage: StageId) -> &TextCnn {
-        &self.models.iter().find(|(s, _)| *s == stage).expect("stage trained").1
+        &self
+            .models
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .expect("stage trained")
+            .1
     }
 
     /// Per-stage class probabilities for one embedded VUC.
     pub fn stage_probs(&self, stage: StageId, x: &[f32]) -> Vec<f32> {
         self.stage(stage).predict(x)
+    }
+
+    /// Per-stage class probabilities for a batch of embedded VUCs
+    /// (one batched CNN pass; workspaces shared per worker shard).
+    pub fn stage_probs_batch<X: AsRef<[f32]> + Sync>(
+        &self,
+        stage: StageId,
+        xs: &[X],
+    ) -> Vec<Vec<f32>> {
+        self.stage(stage).predict_batch(xs)
+    }
+
+    /// Leaf distributions of a whole batch of embedded VUCs: one
+    /// batched pass per stage, then the per-sample root-to-leaf
+    /// products. Row `i` equals `leaf_distribution(&xs[i])`.
+    pub fn leaf_distributions_batch<X: AsRef<[f32]> + Sync>(&self, xs: &[X]) -> Vec<Vec<f32>> {
+        let per_stage: Vec<(StageId, Vec<Vec<f32>>)> = StageId::ALL
+            .iter()
+            .map(|&s| (s, self.stage_probs_batch(s, xs)))
+            .collect();
+        (0..xs.len())
+            .map(|i| {
+                let prob = |stage: StageId, label: usize| -> f32 {
+                    per_stage
+                        .iter()
+                        .find(|(s, _)| *s == stage)
+                        .map(|(_, p)| p[i][label])
+                        .unwrap_or(0.0)
+                };
+                TypeClass::ALL
+                    .iter()
+                    .map(|&class| {
+                        StageId::path_of(class)
+                            .into_iter()
+                            .map(|(stage, label)| prob(stage, label))
+                            .product()
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// The full 19-class leaf distribution of one embedded VUC: the
@@ -127,7 +194,7 @@ mod tests {
     use super::*;
     use crate::dataset::embedding_sentences;
     use cati_analysis::FeatureView;
-    use cati_embedding::{Word2Vec, VucEmbedder};
+    use cati_embedding::{VucEmbedder, Word2Vec};
     use cati_synbin::{build_corpus, CorpusConfig};
 
     fn trained() -> (MultiStage, VucEmbedder, Dataset) {
@@ -188,7 +255,9 @@ mod tests {
         let mut total = 0usize;
         for (_, ex) in &ds.entries {
             for vuc in &ex.vucs {
-                let Some(class) = vuc.class(&ex.vars) else { continue };
+                let Some(class) = vuc.class(&ex.vars) else {
+                    continue;
+                };
                 let truth = usize::from(class.is_pointer());
                 let x = embedder.embed_window(&vuc.insns);
                 let p = ms.stage_probs(StageId::Stage1, &x);

@@ -85,9 +85,9 @@ pub fn importance_heatmap(
     let mut rows = vec![vec![0.0f64; 10]; VUC_LEN];
     for eps in &all_eps {
         for (k, &e) in eps.iter().enumerate() {
-            for c in 0..10 {
+            for (c, cell) in rows[k].iter_mut().enumerate() {
                 if e < (c as f32 + 1.0) / 10.0 {
-                    rows[k][c] += 1.0;
+                    *cell += 1.0;
                 }
             }
         }
@@ -98,7 +98,10 @@ pub fn importance_heatmap(
             *v /= n;
         }
     }
-    ImportanceHeatmap { rows, samples: all_eps.len() as u64 }
+    ImportanceHeatmap {
+        rows,
+        samples: all_eps.len() as u64,
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,6 @@ use cati_embedding::{VucEmbedder, Word2Vec};
 use cati_synbin::BuiltBinary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -56,24 +55,29 @@ pub struct InferredVar {
 impl Cati {
     /// Trains the full pipeline on `train` binaries: extraction →
     /// Word2Vec → six stage CNNs. `progress` receives status lines.
-    pub fn train(
-        train: &[BuiltBinary],
-        config: &Config,
-        mut progress: impl FnMut(&str),
-    ) -> Cati {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        progress(&format!("extracting {} training binaries", train.len()));
-        let dataset = Dataset::from_binaries(train, FeatureView::WithSymbols);
-        progress(&format!(
-            "extracted {} variables / {} VUCs",
-            dataset.var_count(),
-            dataset.vuc_count()
-        ));
-        let sentences = embedding_sentences(train, config.max_sentences, &mut rng);
-        progress(&format!("training Word2Vec on {} sentences", sentences.len()));
-        let embedder = VucEmbedder::new(Word2Vec::train(&sentences, config.w2v));
-        let stages = MultiStage::train(&dataset, &embedder, config, &mut progress);
-        Cati { config: *config, embedder, stages }
+    pub fn train(train: &[BuiltBinary], config: &Config, mut progress: impl FnMut(&str)) -> Cati {
+        config.with_threads(|| {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            progress(&format!("extracting {} training binaries", train.len()));
+            let dataset = Dataset::from_binaries(train, FeatureView::WithSymbols);
+            progress(&format!(
+                "extracted {} variables / {} VUCs",
+                dataset.var_count(),
+                dataset.vuc_count()
+            ));
+            let sentences = embedding_sentences(train, config.max_sentences, &mut rng);
+            progress(&format!(
+                "training Word2Vec on {} sentences",
+                sentences.len()
+            ));
+            let embedder = VucEmbedder::new(Word2Vec::train(&sentences, config.w2v));
+            let stages = MultiStage::train(&dataset, &embedder, config, &mut progress);
+            Cati {
+                config: *config,
+                embedder,
+                stages,
+            }
+        })
     }
 
     /// Leaf distribution (19 classes) of one generalized window.
@@ -83,37 +87,42 @@ impl Cati {
     }
 
     /// Evaluates one labeled extraction: per-VUC distributions and
-    /// per-variable votes.
+    /// per-variable votes. All six stages run as batched passes over
+    /// the whole extraction; votes index the shared distribution
+    /// table by reference instead of cloning per-variable copies.
     pub fn evaluate(&self, ex: &Extraction) -> Evaluation {
-        let xs = embed_extraction(ex, &self.embedder);
-        let vuc_dists: Vec<Vec<f32>> = xs
-            .par_iter()
-            .map(|x| self.stages.leaf_distribution(x))
-            .collect();
-        let vuc_preds: Vec<TypeClass> = vuc_dists
-            .iter()
-            .map(|d| {
-                TypeClass::ALL[d
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)]
-            })
-            .collect();
-        let var_preds = ex
-            .vars
-            .iter()
-            .map(|var| {
-                let dists: Vec<Vec<f32>> = var
-                    .vucs
-                    .iter()
-                    .map(|&v| vuc_dists[v as usize].clone())
-                    .collect();
-                TypeClass::ALL[vote(&dists, self.config.vote_threshold).class]
-            })
-            .collect();
-        Evaluation { vuc_dists, vuc_preds, var_preds }
+        self.config.with_threads(|| {
+            let xs = embed_extraction(ex, &self.embedder);
+            let vuc_dists = self.stages.leaf_distributions_batch(&xs);
+            let vuc_preds: Vec<TypeClass> = vuc_dists
+                .iter()
+                .map(|d| {
+                    TypeClass::ALL[d
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0)]
+                })
+                .collect();
+            let var_preds = ex
+                .vars
+                .iter()
+                .map(|var| {
+                    let dists: Vec<&[f32]> = var
+                        .vucs
+                        .iter()
+                        .map(|&v| vuc_dists[v as usize].as_slice())
+                        .collect();
+                    TypeClass::ALL[vote(&dists, self.config.vote_threshold).class]
+                })
+                .collect();
+            Evaluation {
+                vuc_dists,
+                vuc_preds,
+                var_preds,
+            }
+        })
     }
 
     /// Runs the full inference pipeline on a stripped binary: locate
@@ -130,10 +139,10 @@ impl Cati {
             .iter()
             .zip(&eval.var_preds)
             .map(|(var, &class)| {
-                let dists: Vec<Vec<f32>> = var
+                let dists: Vec<&[f32]> = var
                     .vucs
                     .iter()
-                    .map(|&v| eval.vuc_dists[v as usize].clone())
+                    .map(|&v| eval.vuc_dists[v as usize].as_slice())
                     .collect();
                 let result = vote(&dists, self.config.vote_threshold);
                 let share = result.totals[result.class] / var.vucs.len() as f32;
@@ -179,28 +188,26 @@ pub fn stage_vuc_metrics(
     let mut m = Confusion::new(stage.num_classes());
     for ex in extractions {
         let xs = embed_extraction(ex, &cati.embedder);
-        let preds: Vec<Option<usize>> = xs
-            .par_iter()
-            .zip(&ex.vucs)
-            .map(|(x, vuc)| {
+        // Only VUCs whose ground truth reaches this stage are scored;
+        // batch the CNN over exactly that subset (borrowed rows).
+        let scored: Vec<(usize, usize)> = ex
+            .vucs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, vuc)| {
                 let class = vuc.class(&ex.vars)?;
-                stage.label_of(class)?;
-                let probs = cati.stages.stage_probs(stage, x);
-                Some(
-                    probs
-                        .iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1.total_cmp(b.1))
-                        .map(|(i, _)| i)
-                        .unwrap_or(0),
-                )
+                Some((i, stage.label_of(class)?))
             })
             .collect();
-        for (vuc, pred) in ex.vucs.iter().zip(preds) {
-            let (Some(class), Some(pred)) = (vuc.class(&ex.vars), pred) else {
-                continue;
-            };
-            let Some(truth) = stage.label_of(class) else { continue };
+        let sel: Vec<&[f32]> = scored.iter().map(|&(i, _)| xs[i].as_slice()).collect();
+        let probs = cati.stages.stage_probs_batch(stage, &sel);
+        for (&(_, truth), probs) in scored.iter().zip(&probs) {
+            let pred = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
             m.record(truth, pred);
         }
     }
@@ -218,17 +225,16 @@ pub fn stage_var_metrics(
     let mut m = Confusion::new(stage.num_classes());
     for ex in extractions {
         let xs = embed_extraction(ex, &cati.embedder);
-        let stage_dists: Vec<Vec<f32>> = xs
-            .par_iter()
-            .map(|x| cati.stages.stage_probs(stage, x))
-            .collect();
+        let stage_dists = cati.stages.stage_probs_batch(stage, &xs);
         for var in &ex.vars {
             let Some(class) = var.class else { continue };
-            let Some(truth) = stage.label_of(class) else { continue };
-            let dists: Vec<Vec<f32>> = var
+            let Some(truth) = stage.label_of(class) else {
+                continue;
+            };
+            let dists: Vec<&[f32]> = var
                 .vucs
                 .iter()
-                .map(|&v| stage_dists[v as usize].clone())
+                .map(|&v| stage_dists[v as usize].as_slice())
                 .collect();
             let pred = vote(&dists, cati.config.vote_threshold).class;
             m.record(truth, pred);
@@ -244,7 +250,9 @@ pub fn pipeline_accuracy(cati: &Cati, ex: &Extraction) -> (f64, u64, f64, u64) {
     let mut vuc_ok = 0u64;
     let mut vuc_n = 0u64;
     for (vuc, pred) in ex.vucs.iter().zip(&eval.vuc_preds) {
-        let Some(class) = vuc.class(&ex.vars) else { continue };
+        let Some(class) = vuc.class(&ex.vars) else {
+            continue;
+        };
         vuc_n += 1;
         vuc_ok += u64::from(class == *pred);
     }

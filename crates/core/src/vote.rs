@@ -25,18 +25,23 @@ pub fn clip_confidences(probs: &[f32], threshold: f32) -> Vec<f32> {
 
 /// Votes over the distributions of one variable's VUCs (Eq. 4).
 ///
+/// Rows may be anything slice-like (`Vec<f32>`, `&[f32]`, …), so
+/// callers holding a table of all VUC distributions can vote over
+/// borrowed rows instead of cloning each variable's subset.
+///
 /// # Panics
 ///
 /// Panics if `distributions` is empty or rows have inconsistent
 /// lengths.
-pub fn vote(distributions: &[Vec<f32>], threshold: f32) -> VoteResult {
+pub fn vote<D: AsRef<[f32]>>(distributions: &[D], threshold: f32) -> VoteResult {
     assert!(!distributions.is_empty(), "cannot vote over zero VUCs");
-    let classes = distributions[0].len();
+    let classes = distributions[0].as_ref().len();
     let mut totals = vec![0.0f32; classes];
     for dist in distributions {
+        let dist = dist.as_ref();
         assert_eq!(dist.len(), classes, "inconsistent class counts");
-        for (t, p) in totals.iter_mut().zip(clip_confidences(dist, threshold)) {
-            *t += p;
+        for (t, &p) in totals.iter_mut().zip(dist) {
+            *t += if p >= threshold { 1.0 } else { p };
         }
     }
     let class = totals
@@ -62,11 +67,7 @@ mod tests {
 
     #[test]
     fn majority_wins() {
-        let dists = vec![
-            vec![0.6, 0.4],
-            vec![0.75, 0.25],
-            vec![0.2, 0.8],
-        ];
+        let dists = vec![vec![0.6, 0.4], vec![0.75, 0.25], vec![0.2, 0.8]];
         let r = vote(&dists, 0.9);
         assert_eq!(r.class, 0);
         assert!((r.totals[0] - 1.55).abs() < 1e-6);
@@ -78,22 +79,14 @@ mod tests {
         // result control the decision". Unclipped sums favor class 1
         // (1.47 vs 1.53); promoting the confident 0.91 to 1.0 flips
         // the decision to class 0 (1.56 vs 1.53).
-        let dists = vec![
-            vec![0.91, 0.09],
-            vec![0.28, 0.72],
-            vec![0.28, 0.72],
-        ];
+        let dists = vec![vec![0.91, 0.09], vec![0.28, 0.72], vec![0.28, 0.72]];
         let r = vote(&dists, 0.9);
         assert_eq!(r.class, 0, "totals {:?}", r.totals);
     }
 
     #[test]
     fn without_clipping_borderline_majority_would_win() {
-        let dists = vec![
-            vec![0.91, 0.09],
-            vec![0.28, 0.72],
-            vec![0.28, 0.72],
-        ];
+        let dists = vec![vec![0.91, 0.09], vec![0.28, 0.72], vec![0.28, 0.72]];
         // threshold 1.1 disables clipping entirely.
         let r = vote(&dists, 1.1);
         assert_eq!(r.class, 1);
@@ -108,6 +101,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot vote over zero VUCs")]
     fn empty_vote_panics() {
-        vote(&[], 0.9);
+        vote::<Vec<f32>>(&[], 0.9);
+    }
+
+    #[test]
+    fn borrowed_rows_vote_like_owned_rows() {
+        let owned = vec![vec![0.91, 0.09], vec![0.3, 0.7]];
+        let borrowed: Vec<&[f32]> = owned.iter().map(Vec::as_slice).collect();
+        assert_eq!(vote(&owned, 0.9), vote(&borrowed, 0.9));
     }
 }

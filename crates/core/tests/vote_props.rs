@@ -1,0 +1,83 @@
+//! Property tests for confidence clipping and voting (paper Eq. 2–4).
+//!
+//! Probabilities are drawn as dyadic rationals `k/64` so that every
+//! clipped sum is exactly representable in `f32`: reordering the rows
+//! then cannot perturb the totals even in the last bit, which lets
+//! the permutation-invariance property assert exact equality.
+
+use cati::{clip_confidences, vote};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Reshapes a flat list of 64ths into rows of `cols` probabilities.
+fn rows(flat: &[u8], cols: usize) -> Vec<Vec<f32>> {
+    flat.chunks_exact(cols)
+        .map(|c| c.iter().map(|&k| f32::from(k) / 64.0).collect())
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn clipping_is_idempotent(ks in vec(0u8..=64, 1..=12), t in 0u8..=64) {
+        let probs: Vec<f32> = ks.iter().map(|&k| f32::from(k) / 64.0).collect();
+        let threshold = f32::from(t) / 64.0;
+        let once = clip_confidences(&probs, threshold);
+        let twice = clip_confidences(&once, threshold);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn clipping_never_lowers_a_confidence(ks in vec(0u8..=64, 1..=12), t in 0u8..=64) {
+        let probs: Vec<f32> = ks.iter().map(|&k| f32::from(k) / 64.0).collect();
+        let clipped = clip_confidences(&probs, f32::from(t) / 64.0);
+        for (p, c) in probs.iter().zip(&clipped) {
+            prop_assert!(c >= p && *c <= 1.0);
+        }
+    }
+
+    #[test]
+    fn vote_totals_are_nonnegative_and_bounded(
+        flat in vec(0u8..=64, 6..=36),
+        cols in 2usize..=6,
+    ) {
+        let d = rows(&flat, cols);
+        let r = vote(&d, 0.9);
+        prop_assert!(r.class < cols);
+        prop_assert_eq!(r.totals.len(), cols);
+        for &t in &r.totals {
+            // Each row contributes at most 1.0 per class after clipping.
+            prop_assert!((0.0..=d.len() as f32).contains(&t));
+        }
+    }
+
+    #[test]
+    fn vote_is_invariant_under_row_permutation(
+        flat in vec(0u8..=64, 6..=36),
+        cols in 2usize..=6,
+        rot in 0usize..=35,
+    ) {
+        let d = rows(&flat, cols);
+        let mut rotated = d.clone();
+        let n = rotated.len();
+        rotated.rotate_left(rot % n);
+        let a = vote(&d, 0.9);
+        let b = vote(&rotated, 0.9);
+        prop_assert_eq!(a.class, b.class);
+        prop_assert_eq!(a.totals, b.totals);
+    }
+
+    #[test]
+    fn threshold_one_degenerates_to_probability_summing(
+        flat in vec(0u8..=63, 6..=36),
+        cols in 2usize..=6,
+    ) {
+        // All probabilities are < 1.0, so a threshold of 1.0 promotes
+        // nothing and voting reduces to summing raw probabilities.
+        let d = rows(&flat, cols);
+        let r = vote(&d, 1.0);
+        for (c, &total) in r.totals.iter().enumerate() {
+            let sum: f32 = d.iter().map(|row| row[c]).sum();
+            prop_assert!((total - sum).abs() < 1e-6, "class {c}: {total} vs {sum}");
+        }
+    }
+}

@@ -6,9 +6,9 @@
 //! The six-stage classifier tree refines a coarse pointer/non-pointer
 //! split down to these leaves (paper Fig. 5).
 
-use crate::ctype::{CType, FloatWidth, IntWidth};
 #[cfg(test)]
 use crate::ctype::Signedness;
+use crate::ctype::{CType, FloatWidth, IntWidth};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -84,7 +84,10 @@ impl TypeClass {
 
     /// Stable dense index of this class in [`TypeClass::ALL`].
     pub fn index(self) -> usize {
-        TypeClass::ALL.iter().position(|c| *c == self).expect("class in ALL")
+        TypeClass::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("class in ALL")
     }
 
     /// Classifies a resolved source type into a leaf class.
@@ -130,7 +133,10 @@ impl TypeClass {
 
     /// Whether this leaf sits under the pointer branch of Stage 1.
     pub fn is_pointer(self) -> bool {
-        matches!(self, TypeClass::PtrVoid | TypeClass::PtrStruct | TypeClass::PtrArith)
+        matches!(
+            self,
+            TypeClass::PtrVoid | TypeClass::PtrStruct | TypeClass::PtrArith
+        )
     }
 
     /// Human-readable name matching the paper's Table V spelling.
@@ -236,8 +242,8 @@ impl StageId {
                 Bool => Some(1),
                 Char | UnsignedChar => Some(2),
                 Float | Double | LongDouble => Some(3),
-                Enum | Int | ShortInt | LongInt | LongLongInt | UnsignedInt
-                | ShortUnsignedInt | LongUnsignedInt | LongLongUnsignedInt => Some(4),
+                Enum | Int | ShortInt | LongInt | LongLongInt | UnsignedInt | ShortUnsignedInt
+                | LongUnsignedInt | LongLongUnsignedInt => Some(4),
                 _ => None,
             },
             StageId::Stage3Char => match class {
@@ -313,7 +319,9 @@ impl StageId {
         let mut path = Vec::with_capacity(3);
         let mut stage = StageId::Stage1;
         loop {
-            let label = stage.label_of(class).expect("class reaches stage on its own path");
+            let label = stage
+                .label_of(class)
+                .expect("class reaches stage on its own path");
             path.push((stage, label));
             match stage.next(label) {
                 Some(next) => stage = next,
@@ -379,7 +387,10 @@ impl Debin17 {
 
     /// Stable dense index in [`Debin17::ALL`].
     pub fn index(self) -> usize {
-        Debin17::ALL.iter().position(|c| *c == self).expect("label in ALL")
+        Debin17::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("label in ALL")
     }
 
     /// Maps a source type to the DEBIN label set. Unlike
@@ -440,9 +451,18 @@ mod tests {
 
     #[test]
     fn classify_pointers() {
-        assert_eq!(TypeClass::of(&CType::ptr_to(CType::Void)), Some(TypeClass::PtrVoid));
-        assert_eq!(TypeClass::of(&CType::ptr_to(CType::Struct(0))), Some(TypeClass::PtrStruct));
-        assert_eq!(TypeClass::of(&CType::ptr_to(CType::int())), Some(TypeClass::PtrArith));
+        assert_eq!(
+            TypeClass::of(&CType::ptr_to(CType::Void)),
+            Some(TypeClass::PtrVoid)
+        );
+        assert_eq!(
+            TypeClass::of(&CType::ptr_to(CType::Struct(0))),
+            Some(TypeClass::PtrStruct)
+        );
+        assert_eq!(
+            TypeClass::of(&CType::ptr_to(CType::int())),
+            Some(TypeClass::PtrArith)
+        );
         assert_eq!(
             TypeClass::of(&CType::ptr_to(CType::ptr_to(CType::int()))),
             Some(TypeClass::PtrVoid)
@@ -494,9 +514,15 @@ mod tests {
 
     #[test]
     fn debin17_covers_aggregates() {
-        assert_eq!(Debin17::of(&CType::Array(Box::new(CType::int()), 4)), Some(Debin17::Array));
+        assert_eq!(
+            Debin17::of(&CType::Array(Box::new(CType::int()), 4)),
+            Some(Debin17::Array)
+        );
         assert_eq!(Debin17::of(&CType::Union(0)), Some(Debin17::Union));
-        assert_eq!(Debin17::of(&CType::ptr_to(CType::Struct(0))), Some(Debin17::Pointer));
+        assert_eq!(
+            Debin17::of(&CType::ptr_to(CType::Struct(0))),
+            Some(Debin17::Pointer)
+        );
         assert_eq!(Debin17::ALL.len(), 17);
     }
 }

@@ -109,11 +109,20 @@ impl StructDef {
             let a = ty.align().max(1);
             align = align.max(a);
             offset = offset.div_ceil(a) * a;
-            out.push(Member { name: mname, ty: ty.clone(), offset });
+            out.push(Member {
+                name: mname,
+                ty: ty.clone(),
+                offset,
+            });
             offset += ty.size();
         }
         let size = offset.div_ceil(align) * align;
-        StructDef { name: name.into(), members: out, size: size.max(1), align }
+        StructDef {
+            name: name.into(),
+            members: out,
+            size: size.max(1),
+            align,
+        }
     }
 
     /// Looks up a member by byte offset, returning the member that
@@ -318,7 +327,10 @@ mod tests {
             "pair",
             vec![
                 ("flag".into(), CType::Bool),
-                ("value".into(), CType::Integer(IntWidth::Long, Signedness::Signed)),
+                (
+                    "value".into(),
+                    CType::Integer(IntWidth::Long, Signedness::Signed),
+                ),
             ],
         );
         assert_eq!(def.members[0].offset, 0);
@@ -331,10 +343,7 @@ mod tests {
     fn member_at_finds_containing_member() {
         let def = StructDef::layout(
             "s",
-            vec![
-                ("a".into(), CType::int()),
-                ("b".into(), CType::int()),
-            ],
+            vec![("a".into(), CType::int()), ("b".into(), CType::int())],
         );
         assert_eq!(def.member_at(0).unwrap().name, "a");
         assert_eq!(def.member_at(5).unwrap().name, "b");

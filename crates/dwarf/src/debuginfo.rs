@@ -156,7 +156,7 @@ impl DebugInfo {
         let mut w = Writer::default();
         w.bytes(b"CDWF");
         w.u32(1); // version
-        // Struct table.
+                  // Struct table.
         w.u32(self.types.structs.len() as u32);
         for s in &self.types.structs {
             w.str(&s.name);
@@ -232,9 +232,18 @@ impl DebugInfo {
                 let mname = r.str()?;
                 let offset = r.u32()?;
                 let ty = r.ctype(0)?;
-                members.push(crate::ctype::Member { name: mname, ty, offset });
+                members.push(crate::ctype::Member {
+                    name: mname,
+                    ty,
+                    offset,
+                });
             }
-            types.structs.push(StructDef { name, members, size, align });
+            types.structs.push(StructDef {
+                name,
+                members,
+                size,
+                align,
+            });
         }
         let n_enums = r.u32()? as usize;
         for _ in 0..n_enums {
@@ -263,9 +272,19 @@ impl DebugInfo {
                     t => return Err(DwarfError::BadTag(t)),
                 };
                 let is_param = r.u8()? != 0;
-                vars.push(VarRecord { name: vname, ty, location, is_param });
+                vars.push(VarRecord {
+                    name: vname,
+                    ty,
+                    location,
+                    is_param,
+                });
             }
-            functions.push(FuncRecord { name, entry, code_len, vars });
+            functions.push(FuncRecord {
+                name,
+                entry,
+                code_len,
+                vars,
+            });
         }
         Ok(DebugInfo { types, functions })
     }
@@ -398,7 +417,11 @@ impl<'a> Reader<'a> {
                     4 => IntWidth::LongLong,
                     t => return Err(DwarfError::BadTag(t)),
                 };
-                let s = if self.u8()? != 0 { Signedness::Signed } else { Signedness::Unsigned };
+                let s = if self.u8()? != 0 {
+                    Signedness::Signed
+                } else {
+                    Signedness::Unsigned
+                };
                 CType::Integer(w, s)
             }
             3 => CType::Float(match self.u8()? {
@@ -481,7 +504,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        assert!(matches!(DebugInfo::parse(b"NOPE"), Err(DwarfError::BadMagic)));
+        assert!(matches!(
+            DebugInfo::parse(b"NOPE"),
+            Err(DwarfError::BadMagic)
+        ));
     }
 
     #[test]
@@ -520,7 +546,11 @@ mod tests {
     fn size_of_consults_tables() {
         let di = sample();
         assert_eq!(di.types.size_of(&CType::Struct(0)), 16);
-        assert_eq!(di.types.size_of(&CType::Array(Box::new(CType::Struct(0)), 8)), 128);
+        assert_eq!(
+            di.types
+                .size_of(&CType::Array(Box::new(CType::Struct(0)), 8)),
+            128
+        );
         assert_eq!(di.types.size_of(&CType::Enum(0)), 4);
     }
 

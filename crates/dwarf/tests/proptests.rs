@@ -20,7 +20,14 @@ fn arb_scalar() -> impl Strategy<Value = CType> {
                 3 => IntWidth::Long,
                 _ => IntWidth::LongLong,
             };
-            CType::Integer(w, if s { Signedness::Signed } else { Signedness::Unsigned })
+            CType::Integer(
+                w,
+                if s {
+                    Signedness::Signed
+                } else {
+                    Signedness::Unsigned
+                },
+            )
         }),
         (0u8..3).prop_map(|f| CType::Float(match f {
             0 => FloatWidth::Float,
@@ -51,16 +58,48 @@ fn arb_location() -> impl Strategy<Value = VarLocation> {
 }
 
 fn arb_debuginfo() -> impl Strategy<Value = DebugInfo> {
-    let member = ("[a-z]{1,8}", arb_ctype(), 0u32..256)
-        .prop_map(|(name, ty, offset)| Member { name, ty, offset });
-    let sdef = ("[a-z]{1,8}", proptest::collection::vec(member, 0..4), 1u32..256, 1u32..16)
-        .prop_map(|(name, members, size, align)| StructDef { name, members, size, align });
-    let edef = ("[a-z]{1,8}", proptest::collection::vec("[A-Z]{1,6}".prop_map(String::from), 0..4))
+    let member = ("[a-z]{1,8}", arb_ctype(), 0u32..256).prop_map(|(name, ty, offset)| Member {
+        name,
+        ty,
+        offset,
+    });
+    let sdef = (
+        "[a-z]{1,8}",
+        proptest::collection::vec(member, 0..4),
+        1u32..256,
+        1u32..16,
+    )
+        .prop_map(|(name, members, size, align)| StructDef {
+            name,
+            members,
+            size,
+            align,
+        });
+    let edef = (
+        "[a-z]{1,8}",
+        proptest::collection::vec("[A-Z]{1,6}".prop_map(String::from), 0..4),
+    )
         .prop_map(|(name, variants)| EnumDef { name, variants });
-    let var = ("[a-z]{1,8}", arb_ctype(), arb_location(), any::<bool>())
-        .prop_map(|(name, ty, location, is_param)| VarRecord { name, ty, location, is_param });
-    let func = ("[a-z_]{1,12}", 0u64..1 << 32, 1u64..4096, proptest::collection::vec(var, 0..6))
-        .prop_map(|(name, entry, code_len, vars)| FuncRecord { name, entry, code_len, vars });
+    let var = ("[a-z]{1,8}", arb_ctype(), arb_location(), any::<bool>()).prop_map(
+        |(name, ty, location, is_param)| VarRecord {
+            name,
+            ty,
+            location,
+            is_param,
+        },
+    );
+    let func = (
+        "[a-z_]{1,12}",
+        0u64..1 << 32,
+        1u64..4096,
+        proptest::collection::vec(var, 0..6),
+    )
+        .prop_map(|(name, entry, code_len, vars)| FuncRecord {
+            name,
+            entry,
+            code_len,
+            vars,
+        });
     (
         proptest::collection::vec(sdef, 0..4),
         proptest::collection::vec(edef, 0..4),

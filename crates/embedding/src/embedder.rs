@@ -104,8 +104,16 @@ mod tests {
 
     fn sample_windows() -> Vec<Vec<GenInsn>> {
         vec![
-            vec![gen("movl $0x8,0x40(%rsp)"), gen("mov %rax,0xb0(%rsp)"), gen("ret")],
-            vec![gen("lea 0x220(%rsp),%rax"), gen("movl $0x8,0x40(%rsp)"), gen("cltq")],
+            vec![
+                gen("movl $0x8,0x40(%rsp)"),
+                gen("mov %rax,0xb0(%rsp)"),
+                gen("ret"),
+            ],
+            vec![
+                gen("lea 0x220(%rsp),%rax"),
+                gen("movl $0x8,0x40(%rsp)"),
+                gen("cltq"),
+            ],
         ]
     }
 

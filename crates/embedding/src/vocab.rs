@@ -24,12 +24,16 @@ impl Vocab {
                 *counts.entry(tok.as_str()).or_insert(0) += 1;
             }
         }
-        let mut pairs: Vec<(&str, u64)> =
-            counts.into_iter().filter(|(_, c)| *c >= min_count).collect();
+        let mut pairs: Vec<(&str, u64)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
         pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         let mut vocab = Vocab::default();
         for (tok, count) in pairs {
-            vocab.index.insert(tok.to_string(), vocab.tokens.len() as u32);
+            vocab
+                .index
+                .insert(tok.to_string(), vocab.tokens.len() as u32);
             vocab.tokens.push(tok.to_string());
             vocab.counts.push(count);
         }

@@ -28,12 +28,26 @@ pub struct W2vConfig {
 impl W2vConfig {
     /// Paper-scale configuration.
     pub fn paper() -> W2vConfig {
-        W2vConfig { dim: 32, window: 5, negatives: 5, epochs: 3, lr: 0.025, seed: 17 }
+        W2vConfig {
+            dim: 32,
+            window: 5,
+            negatives: 5,
+            epochs: 3,
+            lr: 0.025,
+            seed: 17,
+        }
     }
 
     /// Small configuration for tests.
     pub fn tiny() -> W2vConfig {
-        W2vConfig { dim: 8, window: 3, negatives: 3, epochs: 5, lr: 0.05, seed: 17 }
+        W2vConfig {
+            dim: 8,
+            window: 3,
+            negatives: 3,
+            epochs: 5,
+            lr: 0.05,
+            seed: 17,
+        }
     }
 }
 
@@ -67,8 +81,7 @@ impl Word2Vec {
         let mut output = vec![0.0f32; n * cfg.dim];
         let table = vocab.unigram_table(100_000.min(n * 512).max(16));
         let encoded: Vec<Vec<u32>> = sentences.iter().map(|s| vocab.encode(s)).collect();
-        let total_steps: usize =
-            encoded.iter().map(Vec::len).sum::<usize>().max(1) * cfg.epochs;
+        let total_steps: usize = encoded.iter().map(Vec::len).sum::<usize>().max(1) * cfg.epochs;
         let mut step = 0usize;
         let mut grad = vec![0.0f32; cfg.dim];
 
@@ -76,17 +89,15 @@ impl Word2Vec {
             for sentence in &encoded {
                 for (pos, &center) in sentence.iter().enumerate() {
                     step += 1;
-                    let lr = cfg.lr
-                        * (1.0 - 0.9 * step as f32 / total_steps as f32).max(0.1);
+                    let lr = cfg.lr * (1.0 - 0.9 * step as f32 / total_steps as f32).max(0.1);
                     // Dynamic window, as in the reference implementation.
                     let b = rng.gen_range(0..cfg.window.max(1));
                     let lo = pos.saturating_sub(cfg.window - b);
                     let hi = (pos + cfg.window - b + 1).min(sentence.len());
-                    for ctx_pos in lo..hi {
+                    for (ctx_pos, &context) in sentence.iter().enumerate().take(hi).skip(lo) {
                         if ctx_pos == pos {
                             continue;
                         }
-                        let context = sentence[ctx_pos];
                         let ci = center as usize * cfg.dim;
                         grad.fill(0.0);
                         // One positive + k negative updates.
@@ -100,9 +111,8 @@ impl Word2Vec {
                                 continue;
                             }
                             let ti = target as usize * cfg.dim;
-                            let dot: f32 = (0..cfg.dim)
-                                .map(|d| input[ci + d] * output[ti + d])
-                                .sum();
+                            let dot: f32 =
+                                (0..cfg.dim).map(|d| input[ci + d] * output[ti + d]).sum();
                             let g = (label - sigmoid(dot)) * lr;
                             for d in 0..cfg.dim {
                                 grad[d] += g * output[ti + d];
@@ -116,7 +126,12 @@ impl Word2Vec {
                 }
             }
         }
-        Word2Vec { vocab, cfg, input, output }
+        Word2Vec {
+            vocab,
+            cfg,
+            input,
+            output,
+        }
     }
 
     /// The input embedding of a token, or `None` if out of vocabulary.

@@ -38,7 +38,13 @@ impl Conv1d {
         let w = (0..out_ch * in_ch * k)
             .map(|_| xavier(in_ch * k, out_ch * k, rng))
             .collect();
-        Conv1d { in_ch, out_ch, k, w, b: vec![0.0; out_ch] }
+        Conv1d {
+            in_ch,
+            out_ch,
+            k,
+            w,
+            b: vec![0.0; out_ch],
+        }
     }
 
     /// Number of parameters.
@@ -130,8 +136,15 @@ pub struct Dense {
 impl Dense {
     /// Xavier-initialized dense layer.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Dense {
-        let w = (0..out_dim * in_dim).map(|_| xavier(in_dim, out_dim, rng)).collect();
-        Dense { in_dim, out_dim, w, b: vec![0.0; out_dim] }
+        let w = (0..out_dim * in_dim)
+            .map(|_| xavier(in_dim, out_dim, rng))
+            .collect();
+        Dense {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+        }
     }
 
     /// Number of parameters.
@@ -329,17 +342,17 @@ mod tests {
             yy.iter().map(|v| v * v).sum::<f32>() / 2.0
         };
         let eps = 1e-3f32;
-        for idx in 0..dense.w.len() {
+        for (idx, &g) in gw.iter().enumerate() {
             let mut d2 = dense.clone();
             d2.w[idx] += eps;
             let num = (loss(&d2, &x) - loss(&dense, &x)) / eps;
-            assert!((num - gw[idx]).abs() < 0.02 * (1.0 + num.abs()));
+            assert!((num - g).abs() < 0.02 * (1.0 + num.abs()));
         }
-        for idx in 0..x.len() {
+        for (idx, &g) in gx.iter().enumerate() {
             let mut x2 = x.clone();
             x2[idx] += eps;
             let num = (loss(&dense, &x2) - loss(&dense, &x)) / eps;
-            assert!((num - gx[idx]).abs() < 0.02 * (1.0 + num.abs()));
+            assert!((num - g).abs() < 0.02 * (1.0 + num.abs()));
         }
     }
 

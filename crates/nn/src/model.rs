@@ -37,12 +37,26 @@ pub struct TextCnnConfig {
 impl TextCnnConfig {
     /// Paper-scale configuration for a given class count.
     pub fn paper(classes: usize) -> TextCnnConfig {
-        TextCnnConfig { seq_len: 21, embed_dim: 96, conv1: 32, conv2: 64, fc: 1024, classes }
+        TextCnnConfig {
+            seq_len: 21,
+            embed_dim: 96,
+            conv1: 32,
+            conv2: 64,
+            fc: 1024,
+            classes,
+        }
     }
 
     /// Small configuration for fast tests.
     pub fn tiny(embed_dim: usize, classes: usize) -> TextCnnConfig {
-        TextCnnConfig { seq_len: 21, embed_dim, conv1: 8, conv2: 8, fc: 32, classes }
+        TextCnnConfig {
+            seq_len: 21,
+            embed_dim,
+            conv1: 8,
+            conv2: 8,
+            fc: 32,
+            classes,
+        }
     }
 }
 
@@ -169,6 +183,23 @@ impl TextCnn {
         probs
     }
 
+    /// Class probabilities for a batch of inputs. Equivalent to
+    /// mapping [`TextCnn::predict`], but workers reuse one
+    /// [`Workspace`] per shard instead of allocating activations for
+    /// every sample. Inputs may be owned rows (`Vec<f32>`) or
+    /// borrowed ones (`&[f32]`, `&Vec<f32>`), so callers can batch a
+    /// selected subset of a table without copying it.
+    pub fn predict_batch<X: AsRef<[f32]> + Sync>(&self, xs: &[X]) -> Vec<Vec<f32>> {
+        xs.par_iter()
+            .map_init(Workspace::default, |ws, x| {
+                self.forward(x.as_ref(), ws);
+                let mut probs = ws.logits.clone();
+                softmax(&mut probs);
+                probs
+            })
+            .collect()
+    }
+
     /// Forward + backward for one `(x, label)`; accumulates gradients
     /// into `grads` and returns the sample loss.
     pub fn backward(
@@ -194,7 +225,8 @@ impl TextCnn {
         ws.gh = gh;
         let mut gc2 = maxpool2_backward(&ws.gp2, &ws.a2, self.cfg.conv2 * len2);
         relu_backward(&ws.c2, &mut gc2);
-        self.conv2.backward(&ws.p1, len2, &gc2, &mut ws.gp1, gc2w, gc2b);
+        self.conv2
+            .backward(&ws.p1, len2, &gc2, &mut ws.gp1, gc2w, gc2b);
         let mut gc1 = maxpool2_backward(&ws.gp1, &ws.a1, self.cfg.conv1 * len);
         relu_backward(&ws.c1, &mut gc1);
         self.conv1.backward(x, len, &gc1, &mut ws.gx, gc1w, gc1b);
@@ -210,9 +242,50 @@ impl TextCnn {
         grads.zero();
     }
 
+    /// Accumulated gradients and summed loss of one minibatch (the
+    /// samples `idxs` indexes into `data`).
+    ///
+    /// The minibatch is split into fixed shards — a function of the
+    /// batch alone, never of the thread count. Each worker owns one
+    /// [`Workspace`] and one [`GradBuffers`] per shard, accumulates
+    /// the shard's samples sequentially, and the shard buffers are
+    /// reduced strictly in shard order. Gradient sums are therefore
+    /// bit-identical for any thread count.
+    pub fn batch_gradients(
+        &self,
+        data: &[(Vec<f32>, usize)],
+        idxs: &[usize],
+    ) -> (GradBuffers, f64) {
+        /// Samples per worker shard: small enough to balance load,
+        /// large enough to amortize the per-shard buffer allocation.
+        const SHARD: usize = 8;
+        let shards: Vec<&[usize]> = idxs.chunks(SHARD).collect();
+        let partials: Vec<(GradBuffers, f64)> = shards
+            .par_iter()
+            .map(|shard| {
+                let mut ws = Workspace::default();
+                let mut g = self.grad_buffers();
+                let mut loss = 0.0f64;
+                for &i in *shard {
+                    loss += f64::from(self.backward(&data[i].0, data[i].1, &mut ws, &mut g));
+                }
+                (g, loss)
+            })
+            .collect();
+        let mut partials = partials.into_iter();
+        let (mut grads, mut loss) = partials
+            .next()
+            .unwrap_or_else(|| (self.grad_buffers(), 0.0));
+        for (g, l) in partials {
+            grads.add(&g);
+            loss += l;
+        }
+        (grads, loss)
+    }
+
     /// One epoch of mini-batch training over `data`, shuffled with
-    /// `rng`; parallelizes the per-sample backward passes. Returns the
-    /// mean loss.
+    /// `rng`; per-sample backward passes run data-parallel via
+    /// [`TextCnn::batch_gradients`]. Returns the mean loss.
     pub fn train_epoch(
         &mut self,
         data: &[(Vec<f32>, usize)],
@@ -224,37 +297,26 @@ impl TextCnn {
         order.shuffle(rng);
         let mut total_loss = 0.0f64;
         for chunk in order.chunks(batch_size.max(1)) {
-            let (mut grads, loss) = chunk
-                .par_iter()
-                .map(|&i| {
-                    let mut ws = Workspace::default();
-                    let mut g = self.grad_buffers();
-                    let l = self.backward(&data[i].0, data[i].1, &mut ws, &mut g);
-                    (g, l as f64)
-                })
-                .reduce(
-                    || (self.grad_buffers(), 0.0),
-                    |(mut ga, la), (gb, lb)| {
-                        ga.add(&gb);
-                        (ga, la + lb)
-                    },
-                );
+            let (mut grads, loss) = self.batch_gradients(data, chunk);
             total_loss += loss;
             self.apply_grads(&mut grads, opt, chunk.len());
         }
         (total_loss / data.len().max(1) as f64) as f32
     }
 
-    /// Classification accuracy over `data`.
+    /// Classification accuracy over `data`; workers share one
+    /// [`Workspace`] per shard.
     pub fn accuracy(&self, data: &[(Vec<f32>, usize)]) -> f64 {
         if data.is_empty() {
             return 0.0;
         }
         let correct: usize = data
             .par_iter()
-            .map(|(x, label)| {
-                let probs = self.predict(x);
-                let pred = probs
+            .map_init(Workspace::default, |ws, (x, label)| {
+                // argmax over logits == argmax over softmax probs.
+                self.forward(x, ws);
+                let pred = ws
+                    .logits
                     .iter()
                     .enumerate()
                     .max_by(|a, b| a.1.total_cmp(b.1))
@@ -281,7 +343,11 @@ mod tests {
                 use rand::Rng;
                 for c in 0..cfg.embed_dim {
                     for t in 0..cfg.seq_len {
-                        let on = if label == 0 { t < cfg.seq_len / 2 } else { t >= cfg.seq_len / 2 };
+                        let on = if label == 0 {
+                            t < cfg.seq_len / 2
+                        } else {
+                            t >= cfg.seq_len / 2
+                        };
                         x[c * cfg.seq_len + t] = if on {
                             1.0 + rng.gen_range(-0.2..0.2)
                         } else {

@@ -13,7 +13,9 @@ pub struct GradBuffers {
 impl GradBuffers {
     /// Zeroed buffers with the given tensor lengths.
     pub fn new(sizes: &[usize]) -> GradBuffers {
-        GradBuffers { bufs: sizes.iter().map(|&n| vec![0.0; n]).collect() }
+        GradBuffers {
+            bufs: sizes.iter().map(|&n| vec![0.0; n]).collect(),
+        }
     }
 
     /// Mutable access to exactly eight tensors (the [`TextCnn`
@@ -93,7 +95,16 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas.
     pub fn new(lr: f32) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: 5.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: 5.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// One update step over all parameter tensors.
@@ -142,7 +153,11 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the given learning rate and 0.9 momentum.
     pub fn new(lr: f32) -> Sgd {
-        Sgd { lr, momentum: 0.9, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.9,
+            velocity: Vec::new(),
+        }
     }
 
     /// One update step.
@@ -152,7 +167,11 @@ impl Sgd {
                 self.velocity.push(vec![0.0; g.len()]);
             }
         }
-        for ((p, g), vel) in params.into_iter().zip(grads.iter()).zip(self.velocity.iter_mut()) {
+        for ((p, g), vel) in params
+            .into_iter()
+            .zip(grads.iter())
+            .zip(self.velocity.iter_mut())
+        {
             for i in 0..p.len() {
                 vel[i] = self.momentum * vel[i] - self.lr * g[i];
                 p[i] += vel[i];

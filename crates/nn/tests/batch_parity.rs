@@ -1,0 +1,64 @@
+//! Parity harness for the batched inference path: `predict_batch`
+//! must agree with per-sample `predict` on every row, for untrained
+//! and trained models, across shard boundaries of the work splitter.
+
+use cati_nn::{Adam, TextCnn, TextCnnConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic pseudo-inputs covering a range of magnitudes.
+fn inputs(cfg: &TextCnnConfig, n: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|s| {
+            (0..cfg.embed_dim * cfg.seq_len)
+                .map(|i| ((s * 31 + i) as f32 * 0.37).sin() * 2.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_parity(model: &TextCnn, xs: &[Vec<f32>]) {
+    let batch = model.predict_batch(xs);
+    assert_eq!(batch.len(), xs.len());
+    for (x, row) in xs.iter().zip(&batch) {
+        let single = model.predict(x);
+        assert_eq!(single.len(), row.len());
+        for (a, b) in single.iter().zip(row) {
+            assert!((a - b).abs() <= 1e-5, "batch/single diverge: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn predict_batch_matches_predict_untrained() {
+    let cfg = TextCnnConfig::tiny(6, 4);
+    let model = TextCnn::new(cfg, 7);
+    // 37 samples: spans several shards of the parallel splitter.
+    assert_parity(&model, &inputs(&cfg, 37));
+}
+
+#[test]
+fn predict_batch_matches_predict_after_training() {
+    let cfg = TextCnnConfig::tiny(5, 3);
+    let mut model = TextCnn::new(cfg, 11);
+    let data: Vec<(Vec<f32>, usize)> = inputs(&cfg, 24)
+        .into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, i % cfg.classes))
+        .collect();
+    let mut opt = Adam::new(0.01);
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..3 {
+        model.train_epoch(&data, &mut opt, 6, &mut rng);
+    }
+    assert_parity(&model, &inputs(&cfg, 19));
+}
+
+#[test]
+fn predict_batch_handles_empty_and_single_inputs() {
+    let cfg = TextCnnConfig::tiny(4, 3);
+    let model = TextCnn::new(cfg, 1);
+    let none: Vec<Vec<f32>> = Vec::new();
+    assert!(model.predict_batch(&none).is_empty());
+    assert_parity(&model, &inputs(&cfg, 1));
+}

@@ -14,9 +14,9 @@ use crate::profile::{layout_frame, CodegenOptions, Compiler, Frame, Slot};
 use cati_asm::insn::{Insn, MemRef, Operand};
 use cati_asm::mnemonic::{Kind, Mnemonic};
 use cati_asm::reg::{gprnum, regs, Gpr, Width, Xmm};
-use cati_dwarf::{CType, FloatWidth, TypeTable};
 #[cfg(test)]
 use cati_dwarf::IntWidth;
+use cati_dwarf::{CType, FloatWidth, TypeTable};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -43,13 +43,22 @@ impl ScalarKind {
     /// The scalar kind of a (resolved) type, or `None` for aggregates.
     pub fn of(ty: &CType) -> Option<ScalarKind> {
         Some(match ty.resolve() {
-            CType::Bool => ScalarKind::Int { width: Width::B1, signed: false },
+            CType::Bool => ScalarKind::Int {
+                width: Width::B1,
+                signed: false,
+            },
             CType::Integer(w, s) => ScalarKind::Int {
                 width: Width::from_bytes(w.size()).expect("int widths are powers of two"),
                 signed: s.is_signed(),
             },
-            CType::Enum(_) => ScalarKind::Int { width: Width::B4, signed: true },
-            CType::Pointer(_) => ScalarKind::Int { width: Width::B8, signed: false },
+            CType::Enum(_) => ScalarKind::Int {
+                width: Width::B4,
+                signed: true,
+            },
+            CType::Pointer(_) => ScalarKind::Int {
+                width: Width::B8,
+                signed: false,
+            },
             CType::Float(FloatWidth::Float) => ScalarKind::F32,
             CType::Float(FloatWidth::Double) => ScalarKind::F64,
             CType::Float(FloatWidth::LongDouble) => ScalarKind::F80,
@@ -61,7 +70,9 @@ impl ScalarKind {
     /// sub-`int` widths promote to 32 bits).
     pub fn promoted_width(self) -> Width {
         match self {
-            ScalarKind::Int { width: Width::B8, .. } => Width::B8,
+            ScalarKind::Int {
+                width: Width::B8, ..
+            } => Width::B8,
             _ => Width::B4,
         }
     }
@@ -218,8 +229,10 @@ impl<'a> Lower<'a> {
     }
 
     fn kind_of(&self, id: LocalId) -> ScalarKind {
-        ScalarKind::of(&self.func.local(id).ty)
-            .unwrap_or(ScalarKind::Int { width: Width::B8, signed: false })
+        ScalarKind::of(&self.func.local(id).ty).unwrap_or(ScalarKind::Int {
+            width: Width::B8,
+            signed: false,
+        })
     }
 
     /// `movl $0x0,%reg` (GCC) or `xor %reg,%reg` (Clang).
@@ -232,7 +245,11 @@ impl<'a> Lower<'a> {
             )),
             Compiler::Clang => {
                 let r = reg.with_width(Width::B4.max(reg.width().min(Width::B4)));
-                self.emit(Insn::op2(Mnemonic::XorL, r.with_width(Width::B4), r.with_width(Width::B4)));
+                self.emit(Insn::op2(
+                    Mnemonic::XorL,
+                    r.with_width(Width::B4),
+                    r.with_width(Width::B4),
+                ));
             }
         }
     }
@@ -252,7 +269,11 @@ impl<'a> Lower<'a> {
             }
             Slot::Reg(r) => {
                 if width < Width::B4 {
-                    self.emit(Insn::op2(load_ext_for(width, signed), r.with_width(width), dst));
+                    self.emit(Insn::op2(
+                        load_ext_for(width, signed),
+                        r.with_width(width),
+                        dst,
+                    ));
                 } else {
                     self.emit(Insn::op2(mov_for(pw), r.with_width(pw), dst));
                 }
@@ -269,7 +290,11 @@ impl<'a> Lower<'a> {
         };
         match self.frame.slot(id) {
             Slot::Frame(off) => {
-                self.emit(Insn::op2(mov_for(width), src.with_width(width), self.mem(off)));
+                self.emit(Insn::op2(
+                    mov_for(width),
+                    src.with_width(width),
+                    self.mem(off),
+                ));
             }
             Slot::Reg(r) => {
                 let w = width.max(Width::B4);
@@ -316,10 +341,18 @@ impl<'a> Lower<'a> {
             ScalarKind::Int { width, .. } => match self.frame.slot(dst) {
                 Slot::Frame(off) => {
                     if width == Width::B8 && i32::try_from(value).is_err() {
-                        self.emit(Insn::op2(Mnemonic::MovabsQ, Operand::Imm(value), regs::rax()));
+                        self.emit(Insn::op2(
+                            Mnemonic::MovabsQ,
+                            Operand::Imm(value),
+                            regs::rax(),
+                        ));
                         self.emit(Insn::op2(Mnemonic::MovQ, regs::rax(), self.mem(off)));
                     } else {
-                        self.emit(Insn::op2(mov_for(width), Operand::Imm(value), self.mem(off)));
+                        self.emit(Insn::op2(
+                            mov_for(width),
+                            Operand::Imm(value),
+                            self.mem(off),
+                        ));
                     }
                 }
                 Slot::Reg(r) => {
@@ -344,7 +377,11 @@ impl<'a> Lower<'a> {
                 self.store_float(Xmm::new(0), dst);
             }
             ScalarKind::F80 => {
-                let mn = if value == 0 { Mnemonic::Fldz } else { Mnemonic::Fld1 };
+                let mn = if value == 0 {
+                    Mnemonic::Fldz
+                } else {
+                    Mnemonic::Fld1
+                };
                 self.emit(Insn::op0(mn));
                 self.store_float(Xmm::new(0), dst);
             }
@@ -363,11 +400,10 @@ impl<'a> Lower<'a> {
                 let r = self.load_int(*id, self.scratch2(Width::B8));
                 // Normalize to pw (load_int may produce the local's own
                 // promoted width, which can differ under casts).
-                if r.width() != pw {
-                    if pw == Width::B8 {
-                        self.emit(Insn::op0(Mnemonic::Cltq));
-                    }
-                    // Narrowing is implicit: use the sub-register.
+                // Narrowing is implicit via the sub-register; only
+                // widening to B8 needs an instruction.
+                if r.width() != pw && pw == Width::B8 {
+                    self.emit(Insn::op0(Mnemonic::Cltq));
                 }
                 return self.scratch2(pw);
             }
@@ -390,11 +426,20 @@ impl<'a> Lower<'a> {
         let loaded = self.load_int(a, self.scratch1(Width::B8));
         if loaded.width() < pw {
             // Promote to 64-bit for pointer-width arithmetic.
-            let ScalarKind::Int { signed: asigned, .. } = ka else { unreachable!() };
+            let ScalarKind::Int {
+                signed: asigned, ..
+            } = ka
+            else {
+                unreachable!()
+            };
             if asigned {
                 self.emit(Insn::op0(Mnemonic::Cltq));
             } else {
-                self.emit(Insn::op2(Mnemonic::MovL, loaded.with_width(Width::B4), acc.with_width(Width::B4)));
+                self.emit(Insn::op2(
+                    Mnemonic::MovL,
+                    loaded.with_width(Width::B4),
+                    acc.with_width(Width::B4),
+                ));
             }
         }
         match op {
@@ -428,7 +473,11 @@ impl<'a> Lower<'a> {
                 }
             }
             BinOp::Mul => {
-                let mn = if pw == Width::B8 { Mnemonic::ImulQ } else { Mnemonic::ImulL };
+                let mn = if pw == Width::B8 {
+                    Mnemonic::ImulQ
+                } else {
+                    Mnemonic::ImulL
+                };
                 let r = self.load_operand2_int(b, pw, signed);
                 self.emit(Insn::op2(mn, r, acc));
             }
@@ -436,7 +485,11 @@ impl<'a> Lower<'a> {
                 // Dividend in rax; sign-extend or zero rdx; divisor in
                 // memory, a register, or scratch3.
                 if signed {
-                    self.emit(Insn::op0(if pw == Width::B8 { Mnemonic::Cqto } else { Mnemonic::Cltd }));
+                    self.emit(Insn::op0(if pw == Width::B8 {
+                        Mnemonic::Cqto
+                    } else {
+                        Mnemonic::Cltd
+                    }));
                 } else {
                     self.zero_reg(Gpr::new(gprnum::RDX, pw));
                 }
@@ -523,7 +576,11 @@ impl<'a> Lower<'a> {
             }
             Operand2::Const(_) => {
                 let addr = self.rodata_addr();
-                let load = if single { Mnemonic::Movss } else { Mnemonic::Movsd };
+                let load = if single {
+                    Mnemonic::Movss
+                } else {
+                    Mnemonic::Movsd
+                };
                 self.emit(Insn::op2(load, Operand::Abs(addr), Xmm::new(1)));
                 self.emit(Insn::op2(mn, Xmm::new(1), Xmm::new(0)));
             }
@@ -540,7 +597,9 @@ impl<'a> Lower<'a> {
             (ScalarKind::Int { .. }, ScalarKind::Int { width: dw, .. }) => {
                 let r = self.load_int(src, self.scratch1(Width::B8));
                 if dw == Width::B8 && r.width() == Width::B4 {
-                    let ScalarKind::Int { signed, .. } = ks else { unreachable!() };
+                    let ScalarKind::Int { signed, .. } = ks else {
+                        unreachable!()
+                    };
                     if signed {
                         self.emit(Insn::op0(Mnemonic::Cltq));
                     }
@@ -559,12 +618,20 @@ impl<'a> Lower<'a> {
             }
             (ScalarKind::F32, ScalarKind::Int { .. }) => {
                 self.load_float(src, Xmm::new(0));
-                self.emit(Insn::op2(Mnemonic::Cvttss2si, Xmm::new(0), self.scratch1(Width::B4)));
+                self.emit(Insn::op2(
+                    Mnemonic::Cvttss2si,
+                    Xmm::new(0),
+                    self.scratch1(Width::B4),
+                ));
                 self.store_int(self.scratch1(Width::B8), dst);
             }
             (ScalarKind::F64, ScalarKind::Int { .. }) => {
                 self.load_float(src, Xmm::new(0));
-                self.emit(Insn::op2(Mnemonic::Cvttsd2si, Xmm::new(0), self.scratch1(Width::B4)));
+                self.emit(Insn::op2(
+                    Mnemonic::Cvttsd2si,
+                    Xmm::new(0),
+                    self.scratch1(Width::B4),
+                ));
                 self.store_int(self.scratch1(Width::B8), dst);
             }
             (ScalarKind::F32, ScalarKind::F64) => {
@@ -636,7 +703,10 @@ impl<'a> Lower<'a> {
     }
 
     fn typed_store_to(&mut self, mem: MemRef, ty: &CType, src: &Operand2) {
-        let kind = ScalarKind::of(ty).unwrap_or(ScalarKind::Int { width: Width::B8, signed: false });
+        let kind = ScalarKind::of(ty).unwrap_or(ScalarKind::Int {
+            width: Width::B8,
+            signed: false,
+        });
         match kind {
             ScalarKind::Int { width, .. } => match src {
                 Operand2::Const(v) => {
@@ -648,7 +718,11 @@ impl<'a> Lower<'a> {
                 }
             },
             ScalarKind::F32 | ScalarKind::F64 => {
-                let mn = if kind == ScalarKind::F32 { Mnemonic::Movss } else { Mnemonic::Movsd };
+                let mn = if kind == ScalarKind::F32 {
+                    Mnemonic::Movss
+                } else {
+                    Mnemonic::Movsd
+                };
                 match src {
                     Operand2::Const(_) => {
                         let a = self.rodata_addr();
@@ -669,11 +743,18 @@ impl<'a> Lower<'a> {
     }
 
     fn typed_load_from(&mut self, mem: MemRef, ty: &CType, dst: LocalId) {
-        let kind = ScalarKind::of(ty).unwrap_or(ScalarKind::Int { width: Width::B8, signed: false });
+        let kind = ScalarKind::of(ty).unwrap_or(ScalarKind::Int {
+            width: Width::B8,
+            signed: false,
+        });
         match kind {
             ScalarKind::Int { width, signed } => {
                 let mn = load_ext_for(width, signed);
-                let pw = if width == Width::B8 { Width::B8 } else { Width::B4 };
+                let pw = if width == Width::B8 {
+                    Width::B8
+                } else {
+                    Width::B4
+                };
                 self.emit(Insn::op2(mn, mem, self.scratch2(pw)));
                 self.store_int(self.scratch2(Width::B8), dst);
             }
@@ -759,7 +840,11 @@ impl<'a> Lower<'a> {
             ScalarKind::F32 | ScalarKind::F64 => {
                 let single = self.kind_of(cond.lhs) == ScalarKind::F32;
                 self.load_float(cond.lhs, Xmm::new(0));
-                let cmp = if single { Mnemonic::Ucomiss } else { Mnemonic::Ucomisd };
+                let cmp = if single {
+                    Mnemonic::Ucomiss
+                } else {
+                    Mnemonic::Ucomisd
+                };
                 match &cond.rhs {
                     Operand2::Local(id) => {
                         if let Slot::Frame(off) = self.frame.slot(*id) {
@@ -768,7 +853,11 @@ impl<'a> Lower<'a> {
                     }
                     Operand2::Const(_) => {
                         let a = self.rodata_addr();
-                        let load = if single { Mnemonic::Movss } else { Mnemonic::Movsd };
+                        let load = if single {
+                            Mnemonic::Movss
+                        } else {
+                            Mnemonic::Movsd
+                        };
                         self.emit(Insn::op2(load, Operand::Abs(a), Xmm::new(1)));
                         self.emit(Insn::op2(cmp, Xmm::new(1), Xmm::new(0)));
                     }
@@ -803,14 +892,22 @@ impl<'a> Lower<'a> {
                     }
                     let areg = Gpr::new(INT_ARG_REGS[int_args], Width::B8);
                     int_args += 1;
-                    let pw = if width == Width::B8 { Width::B8 } else { Width::B4 };
+                    let pw = if width == Width::B8 {
+                        Width::B8
+                    } else {
+                        Width::B4
+                    };
                     match self.frame.slot(arg) {
                         Slot::Frame(off) => {
                             let mn = load_ext_for(width, signed);
                             self.emit(Insn::op2(mn, self.mem(off), areg.with_width(pw)));
                         }
                         Slot::Reg(r) => {
-                            self.emit(Insn::op2(mov_for(pw), r.with_width(pw), areg.with_width(pw)));
+                            self.emit(Insn::op2(
+                                mov_for(pw),
+                                r.with_width(pw),
+                                areg.with_width(pw),
+                            ));
                         }
                     }
                 }
@@ -855,8 +952,10 @@ impl<'a> Lower<'a> {
                     CType::Pointer(inner) => (**inner).clone(),
                     _ => CType::int(),
                 };
-                let kind = ScalarKind::of(&pointee)
-                    .unwrap_or(ScalarKind::Int { width: Width::B8, signed: false });
+                let kind = ScalarKind::of(&pointee).unwrap_or(ScalarKind::Int {
+                    width: Width::B8,
+                    signed: false,
+                });
                 match (src, kind) {
                     (Operand2::Const(v), ScalarKind::Int { width, .. }) => {
                         let p = self.load_ptr(*ptr);
@@ -881,7 +980,11 @@ impl<'a> Lower<'a> {
                             self.emit(Insn::op2(Mnemonic::Movsd, Operand::Abs(a), Xmm::new(0)));
                         }
                         let p = self.load_ptr(*ptr);
-                        let mn = if kind == ScalarKind::F32 { Mnemonic::Movss } else { Mnemonic::Movsd };
+                        let mn = if kind == ScalarKind::F32 {
+                            Mnemonic::Movss
+                        } else {
+                            Mnemonic::Movsd
+                        };
                         self.emit(Insn::op2(mn, Xmm::new(0), MemRef::base_disp(p, 0)));
                     }
                     (_, ScalarKind::F80) => {
@@ -895,22 +998,34 @@ impl<'a> Lower<'a> {
                     }
                 }
             }
-            Stmt::StoreMember { base, offset, member_ty, src } => {
+            Stmt::StoreMember {
+                base,
+                offset,
+                member_ty,
+                src,
+            } => {
                 let Slot::Frame(slot) = self.frame.slot(*base) else {
                     unreachable!("structs always live in the frame");
                 };
                 let mem = self.mem(slot + *offset as i32);
                 self.typed_store_to(mem, member_ty, src);
             }
-            Stmt::StoreMemberPtr { ptr, offset, member_ty, src } => {
+            Stmt::StoreMemberPtr {
+                ptr,
+                offset,
+                member_ty,
+                src,
+            } => {
                 // Evaluate src into scratch2/xmm first, then the pointer.
                 match src {
-                    Operand2::Local(id)
-                        if matches!(self.kind_of(*id), ScalarKind::Int { .. }) =>
-                    {
-                        let kind = ScalarKind::of(member_ty)
-                            .unwrap_or(ScalarKind::Int { width: Width::B4, signed: true });
-                        let ScalarKind::Int { width, .. } = kind else { unreachable!() };
+                    Operand2::Local(id) if matches!(self.kind_of(*id), ScalarKind::Int { .. }) => {
+                        let kind = ScalarKind::of(member_ty).unwrap_or(ScalarKind::Int {
+                            width: Width::B4,
+                            signed: true,
+                        });
+                        let ScalarKind::Int { width, .. } = kind else {
+                            unreachable!()
+                        };
                         self.load_int(*id, self.scratch2(Width::B8));
                         let p = self.load_ptr(*ptr);
                         let s2 = self.scratch2(width);
@@ -927,13 +1042,20 @@ impl<'a> Lower<'a> {
                     }
                 }
             }
-            Stmt::StoreIndexed { base, index, elem_ty, src } => {
+            Stmt::StoreIndexed {
+                base,
+                index,
+                elem_ty,
+                src,
+            } => {
                 let size = self.types.size_of(elem_ty).max(1);
                 match src {
                     Operand2::Const(v) => {
                         let mem = self.array_elem_mem(*base, *index, size);
-                        let kind = ScalarKind::of(elem_ty)
-                            .unwrap_or(ScalarKind::Int { width: Width::B4, signed: true });
+                        let kind = ScalarKind::of(elem_ty).unwrap_or(ScalarKind::Int {
+                            width: Width::B4,
+                            signed: true,
+                        });
                         if let ScalarKind::Int { width, .. } = kind {
                             self.emit(Insn::op2(mov_for(width), Operand::Imm(*v), mem));
                         } else {
@@ -966,7 +1088,11 @@ impl<'a> Lower<'a> {
                     }
                 }
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let else_l = self.label();
                 let end_l = self.label();
                 self.lower_cond(cond, else_l, true);
@@ -1026,7 +1152,11 @@ impl<'a> Lower<'a> {
             Rhs::Neg(a) => match self.kind_of(dst) {
                 ScalarKind::Int { width, .. } => {
                     let r = self.load_int(*a, self.scratch1(Width::B8));
-                    let mn = if width == Width::B8 { Mnemonic::NegQ } else { Mnemonic::NegL };
+                    let mn = if width == Width::B8 {
+                        Mnemonic::NegQ
+                    } else {
+                        Mnemonic::NegL
+                    };
                     self.emit(Insn::op1(mn, r));
                     self.store_int(self.scratch1(Width::B8), dst);
                 }
@@ -1038,7 +1168,11 @@ impl<'a> Lower<'a> {
                 kind => {
                     // SSE negation: xorps/xorpd with a sign mask.
                     self.load_float(*a, Xmm::new(0));
-                    let mn = if kind == ScalarKind::F32 { Mnemonic::Xorps } else { Mnemonic::Xorpd };
+                    let mn = if kind == ScalarKind::F32 {
+                        Mnemonic::Xorps
+                    } else {
+                        Mnemonic::Xorpd
+                    };
                     self.emit(Insn::op2(mn, Xmm::new(1), Xmm::new(0)));
                     self.store_float(Xmm::new(0), dst);
                 }
@@ -1061,7 +1195,11 @@ impl<'a> Lower<'a> {
             }
             Rhs::MemberOfPtr(ptr, offset, member_ty) => {
                 let p = self.load_ptr(*ptr);
-                self.typed_load_from(MemRef::base_disp(p, *offset as i32), &member_ty.clone(), dst);
+                self.typed_load_from(
+                    MemRef::base_disp(p, *offset as i32),
+                    &member_ty.clone(),
+                    dst,
+                );
             }
             Rhs::Member(base, offset, member_ty) => {
                 let Slot::Frame(slot) = self.frame.slot(*base) else {
@@ -1070,7 +1208,11 @@ impl<'a> Lower<'a> {
                 let mem = self.mem(slot + *offset as i32);
                 self.typed_load_from(mem, &member_ty.clone(), dst);
             }
-            Rhs::LoadIndexed { base, index, elem_ty } => {
+            Rhs::LoadIndexed {
+                base,
+                index,
+                elem_ty,
+            } => {
                 let size = self.types.size_of(elem_ty).max(1);
                 let mem = self.array_elem_mem(*base, *index, size);
                 self.typed_load_from(mem, &elem_ty.clone(), dst);
@@ -1106,7 +1248,11 @@ impl<'a> Lower<'a> {
             self.emit(Insn::op1(Mnemonic::PushQ, reg));
         }
         if self.frame.size > 0 {
-            self.emit(Insn::op2(Mnemonic::SubQ, Operand::Imm(self.frame.size as i64), regs::rsp()));
+            self.emit(Insn::op2(
+                Mnemonic::SubQ,
+                Operand::Imm(self.frame.size as i64),
+                regs::rsp(),
+            ));
         }
         // Move parameters to their home (frame slot or promoted reg).
         let mut int_args = 0usize;
@@ -1176,7 +1322,11 @@ impl<'a> Lower<'a> {
     fn epilogue(&mut self) {
         self.place(EPILOGUE_LABEL);
         if self.frame.size > 0 && !self.opts.uses_frame_pointer() {
-            self.emit(Insn::op2(Mnemonic::AddQ, Operand::Imm(self.frame.size as i64), regs::rsp()));
+            self.emit(Insn::op2(
+                Mnemonic::AddQ,
+                Operand::Imm(self.frame.size as i64),
+                regs::rsp(),
+            ));
         }
         for reg in self.frame.saved.clone().into_iter().rev() {
             self.emit(Insn::op1(Mnemonic::PopQ, reg));
@@ -1200,7 +1350,11 @@ fn no_promote_mask(func: &Function, types: &TypeTable) -> Vec<bool> {
         .map(|l| ScalarKind::of(&l.ty).is_none() || types.size_of(&l.ty) > 8)
         .collect();
     for stmt in func.walk_stmts() {
-        if let Stmt::Assign { rhs: Rhs::AddrOf(src), .. } = stmt {
+        if let Stmt::Assign {
+            rhs: Rhs::AddrOf(src),
+            ..
+        } = stmt
+        {
             mask[src.0 as usize] = true;
         }
     }
@@ -1223,7 +1377,10 @@ fn rw_sets(insn: &Insn) -> (Vec<u16>, Vec<u16>) {
             Operand::Reg(r) => {
                 if is_dst {
                     writes.push(r.num() as u16);
-                    if !matches!(insn.mnemonic.kind(), Kind::Move | Kind::Ext { .. } | Kind::Lea) {
+                    if !matches!(
+                        insn.mnemonic.kind(),
+                        Kind::Move | Kind::Ext { .. } | Kind::Lea
+                    ) {
                         reads.push(r.num() as u16);
                     }
                 } else {
@@ -1374,10 +1531,8 @@ pub fn lower_function(
             }
             Item::Branch(mn, _) => {
                 scratch.clear();
-                off += cati_asm::codec::encode_insn(
-                    &mut scratch,
-                    &Insn::op1(*mn, Operand::Addr(0)),
-                );
+                off +=
+                    cati_asm::codec::encode_insn(&mut scratch, &Insn::op1(*mn, Operand::Addr(0)));
             }
             Item::Call(_) => {
                 scratch.clear();
@@ -1407,7 +1562,12 @@ pub fn lower_function(
             }
         }
     }
-    FuncCode { insns, branch_insns, call_fixups, frame }
+    FuncCode {
+        insns,
+        branch_insns,
+        call_fixups,
+        frame,
+    }
 }
 
 #[cfg(test)]
@@ -1421,9 +1581,18 @@ mod tests {
         let locals = tys
             .into_iter()
             .enumerate()
-            .map(|(i, ty)| Local { name: format!("v{i}"), ty })
+            .map(|(i, ty)| Local {
+                name: format!("v{i}"),
+                ty,
+            })
             .collect();
-        let func = Function { name: "f".into(), num_params: 0, locals, ret: None, body };
+        let func = Function {
+            name: "f".into(),
+            num_params: 0,
+            locals,
+            ret: None,
+            body,
+        };
         let types = TypeTable::new();
         let mut rng = StdRng::seed_from_u64(7);
         lower_function(&func, &types, opts, &mut rng)
@@ -1433,18 +1602,25 @@ mod tests {
         code.insns.iter().map(|i| i.to_string()).collect()
     }
 
-    const GCC_O0: CodegenOptions = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O0 };
+    const GCC_O0: CodegenOptions = CodegenOptions {
+        compiler: Compiler::Gcc,
+        opt: OptLevel::O0,
+    };
 
     #[test]
     fn int_const_store_uses_movl() {
         let code = lower_simple(
             vec![CType::int()],
-            vec![Stmt::Assign { dst: LocalId(0), rhs: Rhs::Const(8) }],
+            vec![Stmt::Assign {
+                dst: LocalId(0),
+                rhs: Rhs::Const(8),
+            }],
             GCC_O0,
         );
         let t = text(&code);
         assert!(
-            t.iter().any(|s| s.starts_with("movl $0x8,") && s.contains("(%rbp)")),
+            t.iter()
+                .any(|s| s.starts_with("movl $0x8,") && s.contains("(%rbp)")),
             "{t:?}"
         );
     }
@@ -1468,7 +1644,10 @@ mod tests {
     fn char_load_sign_extends() {
         let code = lower_simple(
             vec![CType::char(), CType::char()],
-            vec![Stmt::Assign { dst: LocalId(0), rhs: Rhs::Local(LocalId(1)) }],
+            vec![Stmt::Assign {
+                dst: LocalId(0),
+                rhs: Rhs::Local(LocalId(1)),
+            }],
             GCC_O0,
         );
         let t = text(&code);
@@ -1496,7 +1675,10 @@ mod tests {
         let ld = CType::Float(FloatWidth::LongDouble);
         let code = lower_simple(
             vec![ld.clone(), ld],
-            vec![Stmt::Assign { dst: LocalId(0), rhs: Rhs::Local(LocalId(1)) }],
+            vec![Stmt::Assign {
+                dst: LocalId(0),
+                rhs: Rhs::Local(LocalId(1)),
+            }],
             GCC_O0,
         );
         let t = text(&code);
@@ -1508,11 +1690,18 @@ mod tests {
     fn addr_of_uses_lea() {
         let code = lower_simple(
             vec![CType::ptr_to(CType::int()), CType::int()],
-            vec![Stmt::Assign { dst: LocalId(0), rhs: Rhs::AddrOf(LocalId(1)) }],
+            vec![Stmt::Assign {
+                dst: LocalId(0),
+                rhs: Rhs::AddrOf(LocalId(1)),
+            }],
             GCC_O0,
         );
         let t = text(&code);
-        assert!(t.iter().any(|s| s.starts_with("lea ") && s.contains("(%rbp),%rax")), "{t:?}");
+        assert!(
+            t.iter()
+                .any(|s| s.starts_with("lea ") && s.contains("(%rbp),%rax")),
+            "{t:?}"
+        );
     }
 
     #[test]
@@ -1552,7 +1741,11 @@ mod tests {
         let code = lower_simple(
             vec![CType::int()],
             vec![Stmt::While {
-                cond: Cond { lhs: LocalId(0), op: CmpOp::Lt, rhs: Operand2::Const(10) },
+                cond: Cond {
+                    lhs: LocalId(0),
+                    op: CmpOp::Lt,
+                    rhs: Operand2::Const(10),
+                },
                 body: vec![Stmt::Assign {
                     dst: LocalId(0),
                     rhs: Rhs::Bin(BinOp::Add, LocalId(0), Operand2::Const(1)),
@@ -1563,7 +1756,9 @@ mod tests {
         assert!(!code.branch_insns.is_empty());
         // Some branch target precedes its own instruction (a back edge).
         let has_back_edge = code.branch_insns.iter().any(|&i| {
-            let Some(t) = code.insns[i].target() else { return false };
+            let Some(t) = code.insns[i].target() else {
+                return false;
+            };
             // Compute this insn's own offset.
             let mut off = 0u64;
             let mut scratch = Vec::new();
@@ -1578,11 +1773,17 @@ mod tests {
 
     #[test]
     fn clang_uses_xor_zeroing_and_rcx_scratch() {
-        let opts = CodegenOptions { compiler: Compiler::Clang, opt: OptLevel::O0 };
+        let opts = CodegenOptions {
+            compiler: Compiler::Clang,
+            opt: OptLevel::O0,
+        };
         let code = lower_simple(
             vec![CType::int(), CType::int(), CType::int()],
             vec![
-                Stmt::Assign { dst: LocalId(0), rhs: Rhs::Const(0) },
+                Stmt::Assign {
+                    dst: LocalId(0),
+                    rhs: Rhs::Const(0),
+                },
                 Stmt::Assign {
                     dst: LocalId(1),
                     rhs: Rhs::Bin(BinOp::Add, LocalId(0), Operand2::Local(LocalId(2))),
@@ -1593,14 +1794,23 @@ mod tests {
         // No xor at O0 for frame stores; but scratch2 is rcx for binops
         // at O0 (loads go through %ecx).
         let t = text(&code);
-        assert!(t.iter().any(|s| s.contains("%ecx") || s.contains("%rcx")), "{t:?}");
+        assert!(
+            t.iter().any(|s| s.contains("%ecx") || s.contains("%rcx")),
+            "{t:?}"
+        );
     }
 
     #[test]
     fn gcc_o2_promotes_and_schedules_deterministically() {
-        let opts = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O2 };
+        let opts = CodegenOptions {
+            compiler: Compiler::Gcc,
+            opt: OptLevel::O2,
+        };
         let body = vec![
-            Stmt::Assign { dst: LocalId(0), rhs: Rhs::Const(3) },
+            Stmt::Assign {
+                dst: LocalId(0),
+                rhs: Rhs::Const(3),
+            },
             Stmt::Assign {
                 dst: LocalId(1),
                 rhs: Rhs::Bin(BinOp::Add, LocalId(0), Operand2::Const(4)),
@@ -1617,7 +1827,11 @@ mod tests {
                 || s.contains("%r13")),
             "{t:?}"
         );
-        assert!(t.iter().any(|s| s.starts_with("push %rbx") || s.contains("push %r")), "{t:?}");
+        assert!(
+            t.iter()
+                .any(|s| s.starts_with("push %rbx") || s.contains("push %r")),
+            "{t:?}"
+        );
     }
 
     #[test]
@@ -1642,7 +1856,10 @@ mod tests {
     fn epilogue_shape_matches_frame_kind() {
         let gcc_o0 = lower_simple(
             vec![CType::int()],
-            vec![Stmt::Assign { dst: LocalId(0), rhs: Rhs::Const(1) }],
+            vec![Stmt::Assign {
+                dst: LocalId(0),
+                rhs: Rhs::Const(1),
+            }],
             GCC_O0,
         );
         let t0 = text(&gcc_o0);
@@ -1652,12 +1869,22 @@ mod tests {
 
         let gcc_o1 = lower_simple(
             vec![CType::int()],
-            vec![Stmt::Assign { dst: LocalId(0), rhs: Rhs::Const(1) }],
-            CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O1 },
+            vec![Stmt::Assign {
+                dst: LocalId(0),
+                rhs: Rhs::Const(1),
+            }],
+            CodegenOptions {
+                compiler: Compiler::Gcc,
+                opt: OptLevel::O1,
+            },
         );
         let t1 = text(&gcc_o1);
         assert!(!t1.contains(&"leave".to_string()));
-        assert!(t1.iter().any(|s| s.starts_with("sub $") && s.contains("%rsp")), "{t1:?}");
+        assert!(
+            t1.iter()
+                .any(|s| s.starts_with("sub $") && s.contains("%rsp")),
+            "{t1:?}"
+        );
         assert!(t1.iter().any(|s| s.contains("(%rsp)")), "{t1:?}");
     }
 
@@ -1665,7 +1892,10 @@ mod tests {
     fn call_loads_args_into_abi_registers() {
         let code = lower_simple(
             vec![CType::int(), CType::ptr_to(CType::char())],
-            vec![Stmt::CallStmt { callee: Callee::Extern(0), args: vec![LocalId(0), LocalId(1)] }],
+            vec![Stmt::CallStmt {
+                callee: Callee::Extern(0),
+                args: vec![LocalId(0), LocalId(1)],
+            }],
             GCC_O0,
         );
         let t = text(&code);
@@ -1677,10 +1907,22 @@ mod tests {
     #[test]
     fn scheduler_never_swaps_dependent_pairs() {
         use cati_asm::insn::Operand as Op;
-        let a = Insn::op2(Mnemonic::MovL, Op::Imm(1), regs::rax().with_width(Width::B4));
-        let b = Insn::op2(Mnemonic::AddL, regs::rax().with_width(Width::B4), regs::rdx().with_width(Width::B4));
+        let a = Insn::op2(
+            Mnemonic::MovL,
+            Op::Imm(1),
+            regs::rax().with_width(Width::B4),
+        );
+        let b = Insn::op2(
+            Mnemonic::AddL,
+            regs::rax().with_width(Width::B4),
+            regs::rdx().with_width(Width::B4),
+        );
         assert!(!independent(&a, &b));
-        let c = Insn::op2(Mnemonic::MovL, Op::Imm(1), regs::rcx().with_width(Width::B4));
+        let c = Insn::op2(
+            Mnemonic::MovL,
+            Op::Imm(1),
+            regs::rcx().with_width(Width::B4),
+        );
         let d = Insn::op2(Mnemonic::MovQ, regs::rdi(), regs::rsi());
         assert!(independent(&c, &d));
     }

@@ -108,7 +108,11 @@ pub fn build_app(
         .map(|i| {
             let program = generate_program(&format!("{}_{i}", profile.name), profile, rng);
             let binary = link_program(&program, opts, rng);
-            BuiltBinary { binary, app: profile.name.clone(), opts }
+            BuiltBinary {
+                binary,
+                app: profile.name.clone(),
+                opts,
+            }
         })
         .collect()
 }
@@ -119,7 +123,10 @@ pub fn build_corpus(cfg: &CorpusConfig) -> Corpus {
     let mut train = Vec::new();
     for profile in AppProfile::training_projects(cfg.train_projects) {
         for &opt in &cfg.opt_levels {
-            let opts = CodegenOptions { compiler: cfg.compiler, opt };
+            let opts = CodegenOptions {
+                compiler: cfg.compiler,
+                opt,
+            };
             train.extend(build_app(&profile, opts, cfg.scale, &mut rng));
         }
     }
@@ -129,7 +136,10 @@ pub fn build_corpus(cfg: &CorpusConfig) -> Corpus {
         // deployed binaries the system would face.
         let n_levels = cfg.opt_levels.len();
         let opt = cfg.opt_levels[rng.gen_range(0..n_levels)];
-        let opts = CodegenOptions { compiler: cfg.compiler, opt };
+        let opts = CodegenOptions {
+            compiler: cfg.compiler,
+            opt,
+        };
         test.extend(build_app(&profile, opts, cfg.scale, &mut rng));
     }
     Corpus { train, test }
@@ -185,6 +195,9 @@ mod tests {
     fn clang_corpus_uses_clang_profile() {
         let cfg = CorpusConfig::small(4).with_compiler(Compiler::Clang);
         let corpus = build_corpus(&cfg);
-        assert!(corpus.train.iter().all(|b| b.opts.compiler == Compiler::Clang));
+        assert!(corpus
+            .train
+            .iter()
+            .all(|b| b.opts.compiler == Compiler::Clang));
     }
 }

@@ -31,8 +31,8 @@ const TYPEDEF_NAMES: [&str; 10] = [
 ];
 
 const FUNC_VERBS: [&str; 12] = [
-    "parse", "update", "check", "emit", "scan", "map", "read", "write", "init", "flush",
-    "hash", "merge",
+    "parse", "update", "check", "emit", "scan", "map", "read", "write", "init", "flush", "hash",
+    "merge",
 ];
 const FUNC_NOUNS: [&str; 12] = [
     "header", "state", "buffer", "table", "node", "entry", "block", "token", "frame", "chunk",
@@ -233,7 +233,10 @@ impl FnGen<'_> {
         match self.rng.gen_range(0..7) {
             0 => {
                 let c = self.small_const();
-                out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(c) });
+                out.push(Stmt::Assign {
+                    dst: id,
+                    rhs: Rhs::Const(c),
+                });
             }
             1 | 2 => {
                 let op = *[
@@ -260,7 +263,10 @@ impl FnGen<'_> {
                 } else {
                     Operand2::Const(self.small_const())
                 };
-                out.push(Stmt::Assign { dst: id, rhs: Rhs::Bin(op, id, b) });
+                out.push(Stmt::Assign {
+                    dst: id,
+                    rhs: Rhs::Bin(op, id, b),
+                });
             }
             3 => {
                 // Division: avoid zero divisors.
@@ -268,14 +274,23 @@ impl FnGen<'_> {
                     Some(p) if self.rng.gen_bool(0.6) => Operand2::Local(p),
                     _ => Operand2::Const(self.rng.gen_range(1..16)),
                 };
-                out.push(Stmt::Assign { dst: id, rhs: Rhs::Bin(BinOp::Div, id, b) });
+                out.push(Stmt::Assign {
+                    dst: id,
+                    rhs: Rhs::Bin(BinOp::Div, id, b),
+                });
             }
             4 => {
                 if let Some(peer) = self.same_class_peer(id) {
-                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Local(peer) });
+                    out.push(Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::Local(peer),
+                    });
                 } else {
                     let c = self.small_const();
-                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(c) });
+                    out.push(Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::Const(c),
+                    });
                 }
             }
             5 => {
@@ -289,17 +304,27 @@ impl FnGen<'_> {
                     })
                     .collect();
                 if let Some(src) = others.choose(self.rng).copied() {
-                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Local(src) });
+                    out.push(Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::Local(src),
+                    });
                 }
             }
             _ => {
                 // Single-use temp pattern: init then compare-branch.
                 let c = self.small_const();
-                out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(c) });
+                out.push(Stmt::Assign {
+                    dst: id,
+                    rhs: Rhs::Const(c),
+                });
                 if self.rng.gen_bool(0.5) {
                     let inner_c = self.small_const();
                     out.push(Stmt::If {
-                        cond: Cond { lhs: id, op: CmpOp::Ne, rhs: Operand2::Const(inner_c) },
+                        cond: Cond {
+                            lhs: id,
+                            op: CmpOp::Ne,
+                            rhs: Operand2::Const(inner_c),
+                        },
                         then_body: vec![Stmt::Assign {
                             dst: id,
                             rhs: Rhs::Bin(BinOp::Add, id, Operand2::Const(1)),
@@ -313,20 +338,38 @@ impl FnGen<'_> {
 
     fn bool_episode(&mut self, id: LocalId, out: &mut Vec<Stmt>) {
         match self.rng.gen_range(0..3) {
-            0 => out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(i64::from(self.rng.gen_bool(0.5))) }),
+            0 => out.push(Stmt::Assign {
+                dst: id,
+                rhs: Rhs::Const(i64::from(self.rng.gen_bool(0.5))),
+            }),
             1 => {
                 if let Some(int) = self.int_scalar() {
-                    let op = *[CmpOp::Lt, CmpOp::Eq, CmpOp::Gt, CmpOp::Ne].choose(self.rng).unwrap();
+                    let op = *[CmpOp::Lt, CmpOp::Eq, CmpOp::Gt, CmpOp::Ne]
+                        .choose(self.rng)
+                        .unwrap();
                     let c = self.small_const();
-                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Cmp(op, int, Operand2::Const(c)) });
+                    out.push(Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::Cmp(op, int, Operand2::Const(c)),
+                    });
                 } else {
-                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(1) });
+                    out.push(Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::Const(1),
+                    });
                 }
             }
             _ => {
                 out.push(Stmt::If {
-                    cond: Cond { lhs: id, op: CmpOp::Ne, rhs: Operand2::Const(0) },
-                    then_body: vec![Stmt::Assign { dst: id, rhs: Rhs::Const(0) }],
+                    cond: Cond {
+                        lhs: id,
+                        op: CmpOp::Ne,
+                        rhs: Operand2::Const(0),
+                    },
+                    then_body: vec![Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::Const(0),
+                    }],
                     else_body: vec![],
                 });
             }
@@ -337,22 +380,41 @@ impl FnGen<'_> {
         match self.rng.gen_range(0..3) {
             0 => {
                 let c = self.rng.gen_range(0..6);
-                out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(c) });
+                out.push(Stmt::Assign {
+                    dst: id,
+                    rhs: Rhs::Const(c),
+                });
             }
             1 => {
                 // switch-ish chain.
                 let c = self.rng.gen_range(0..4);
                 out.push(Stmt::If {
-                    cond: Cond { lhs: id, op: CmpOp::Eq, rhs: Operand2::Const(c) },
-                    then_body: vec![Stmt::Assign { dst: id, rhs: Rhs::Const(c + 1) }],
-                    else_body: vec![Stmt::Assign { dst: id, rhs: Rhs::Const(0) }],
+                    cond: Cond {
+                        lhs: id,
+                        op: CmpOp::Eq,
+                        rhs: Operand2::Const(c),
+                    },
+                    then_body: vec![Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::Const(c + 1),
+                    }],
+                    else_body: vec![Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::Const(0),
+                    }],
                 });
             }
             _ => {
                 if let Some(peer) = self.same_class_peer(id) {
-                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Local(peer) });
+                    out.push(Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::Local(peer),
+                    });
                 } else {
-                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(1) });
+                    out.push(Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::Const(1),
+                    });
                 }
             }
         }
@@ -360,14 +422,22 @@ impl FnGen<'_> {
 
     fn float_episode(&mut self, id: LocalId, out: &mut Vec<Stmt>) {
         match self.rng.gen_range(0..4) {
-            0 => out.push(Stmt::Assign { dst: id, rhs: Rhs::Const(1) }),
+            0 => out.push(Stmt::Assign {
+                dst: id,
+                rhs: Rhs::Const(1),
+            }),
             1 | 2 => {
-                let op = *[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div].choose(self.rng).unwrap();
+                let op = *[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div]
+                    .choose(self.rng)
+                    .unwrap();
                 let b = match self.same_class_peer(id) {
                     Some(p) if self.rng.gen_bool(0.6) => Operand2::Local(p),
                     _ => Operand2::Const(1),
                 };
-                out.push(Stmt::Assign { dst: id, rhs: Rhs::Bin(op, id, b) });
+                out.push(Stmt::Assign {
+                    dst: id,
+                    rhs: Rhs::Bin(op, id, b),
+                });
             }
             _ => {
                 // Cast from an int or between float widths.
@@ -380,7 +450,10 @@ impl FnGen<'_> {
                     })
                     .collect();
                 if let Some(src) = others.choose(self.rng).copied() {
-                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Local(src) });
+                    out.push(Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::Local(src),
+                    });
                 }
             }
         }
@@ -396,7 +469,6 @@ impl FnGen<'_> {
             _ => return None,
         };
         let def = self.types.structs.get(sid as usize)?;
-        let elem_size = def.size;
         let members: Vec<(u32, CType)> = def
             .members
             .iter()
@@ -406,10 +478,7 @@ impl FnGen<'_> {
         if members.is_empty() {
             return None;
         }
-        Some((base_elems * 0 + elem_size, members)).map(|(es, ms)| {
-            let _ = es;
-            (base_elems, ms)
-        })
+        Some((base_elems, members))
     }
 
     fn struct_episode(&mut self, id: LocalId, out: &mut Vec<Stmt>) {
@@ -428,7 +497,7 @@ impl FnGen<'_> {
         let elem = self.rng.gen_range(0..elems);
         let base_off = elem * elem_size;
         let burst = if self.rng.gen_bool(0.3) {
-            self.rng.gen_range(2..=members.len().min(5).max(2))
+            self.rng.gen_range(2..=members.len().clamp(2, 5))
         } else {
             1
         };
@@ -442,13 +511,21 @@ impl FnGen<'_> {
             } else {
                 Operand2::Const(0)
             };
-            out.push(Stmt::StoreMember { base: id, offset: base_off + off, member_ty: mty, src });
+            out.push(Stmt::StoreMember {
+                base: id,
+                offset: base_off + off,
+                member_ty: mty,
+                src,
+            });
         }
         // Occasionally read a member back.
         if self.rng.gen_bool(0.4) {
             let (off, mty) = members.choose(self.rng).unwrap().clone();
             if let Some(dst) = self.local_of_type(&mty) {
-                out.push(Stmt::Assign { dst, rhs: Rhs::Member(id, base_off + off, mty) });
+                out.push(Stmt::Assign {
+                    dst,
+                    rhs: Rhs::Member(id, base_off + off, mty),
+                });
             }
         }
     }
@@ -464,14 +541,22 @@ impl FnGen<'_> {
         match self.rng.gen_range(0..4) {
             0 => {
                 if let Some(target) = self.ptr_binding[id.0 as usize] {
-                    out.push(Stmt::Assign { dst: id, rhs: Rhs::AddrOf(target) });
+                    out.push(Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::AddrOf(target),
+                    });
                 } else {
                     // p = malloc(sz)
-                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Call(Callee::Extern(0), vec![]) });
+                    out.push(Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::Call(Callee::Extern(0), vec![]),
+                    });
                 }
             }
             1 | 2 => {
-                let Some(def) = self.types.structs.get(sid as usize) else { return };
+                let Some(def) = self.types.structs.get(sid as usize) else {
+                    return;
+                };
                 let members: Vec<(u32, CType)> = def
                     .members
                     .iter()
@@ -493,16 +578,26 @@ impl FnGen<'_> {
                             src: Operand2::Const(c),
                         });
                     } else if let Some(dst) = self.local_of_type(&mty) {
-                        out.push(Stmt::Assign { dst, rhs: Rhs::MemberOfPtr(id, off, mty) });
+                        out.push(Stmt::Assign {
+                            dst,
+                            rhs: Rhs::MemberOfPtr(id, off, mty),
+                        });
                     }
                 }
             }
             _ => {
                 if let Some(peer) = self.same_class_peer(id) {
-                    out.push(Stmt::Assign { dst: id, rhs: Rhs::Local(peer) });
+                    out.push(Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::Local(peer),
+                    });
                 }
                 out.push(Stmt::If {
-                    cond: Cond { lhs: id, op: CmpOp::Ne, rhs: Operand2::Const(0) },
+                    cond: Cond {
+                        lhs: id,
+                        op: CmpOp::Ne,
+                        rhs: Operand2::Const(0),
+                    },
                     then_body: vec![],
                     else_body: vec![],
                 });
@@ -514,17 +609,27 @@ impl FnGen<'_> {
         match self.rng.gen_range(0..3) {
             0 => {
                 let args = self.int_scalar().map(|a| vec![a]).unwrap_or_default();
-                out.push(Stmt::Assign { dst: id, rhs: Rhs::Call(Callee::Extern(0), args) });
+                out.push(Stmt::Assign {
+                    dst: id,
+                    rhs: Rhs::Call(Callee::Extern(0), args),
+                });
             }
             1 => {
                 out.push(Stmt::If {
-                    cond: Cond { lhs: id, op: CmpOp::Eq, rhs: Operand2::Const(0) },
+                    cond: Cond {
+                        lhs: id,
+                        op: CmpOp::Eq,
+                        rhs: Operand2::Const(0),
+                    },
                     then_body: vec![Stmt::Return(None)],
                     else_body: vec![],
                 });
             }
             _ => {
-                out.push(Stmt::CallStmt { callee: Callee::Extern(1), args: vec![id] });
+                out.push(Stmt::CallStmt {
+                    callee: Callee::Extern(1),
+                    args: vec![id],
+                });
             }
         }
     }
@@ -537,12 +642,18 @@ impl FnGen<'_> {
         match self.rng.gen_range(0..4) {
             0 => {
                 if let Some(target) = self.ptr_binding[id.0 as usize] {
-                    out.push(Stmt::Assign { dst: id, rhs: Rhs::AddrOf(target) });
+                    out.push(Stmt::Assign {
+                        dst: id,
+                        rhs: Rhs::AddrOf(target),
+                    });
                 }
             }
             1 => {
                 if let Some(dst) = self.local_of_type(&pointee) {
-                    out.push(Stmt::Assign { dst, rhs: Rhs::Deref(id) });
+                    out.push(Stmt::Assign {
+                        dst,
+                        rhs: Rhs::Deref(id),
+                    });
                 }
             }
             2 => {
@@ -587,7 +698,11 @@ impl FnGen<'_> {
                 if let Some(dst) = self.local_of_type(&elem_ty) {
                     out.push(Stmt::Assign {
                         dst,
-                        rhs: Rhs::LoadIndexed { base: id, index: idx, elem_ty },
+                        rhs: Rhs::LoadIndexed {
+                            base: id,
+                            index: idx,
+                            elem_ty,
+                        },
                     });
                 }
             }
@@ -595,9 +710,16 @@ impl FnGen<'_> {
                 // Fill loop: while (i < n) { a[i] = c; i = i + 1; }
                 let n = self.rng.gen_range(4..16);
                 let c = self.small_const();
-                out.push(Stmt::Assign { dst: idx, rhs: Rhs::Const(0) });
+                out.push(Stmt::Assign {
+                    dst: idx,
+                    rhs: Rhs::Const(0),
+                });
                 out.push(Stmt::While {
-                    cond: Cond { lhs: idx, op: CmpOp::Lt, rhs: Operand2::Const(n) },
+                    cond: Cond {
+                        lhs: idx,
+                        op: CmpOp::Lt,
+                        rhs: Operand2::Const(n),
+                    },
                     body: vec![
                         Stmt::StoreIndexed {
                             base: id,
@@ -618,14 +740,15 @@ impl FnGen<'_> {
     fn call_episode(&mut self, out: &mut Vec<Stmt>) {
         // Prefer calling an already-generated local function with
         // class-compatible arguments; otherwise call an extern.
-        let local_call = (!self.callable.is_empty()).then(|| {
-            self.callable[self.rng.gen_range(0..self.callable.len())].clone()
-        });
+        let local_call = (!self.callable.is_empty())
+            .then(|| self.callable[self.rng.gen_range(0..self.callable.len())].clone());
         if let Some((fid, param_classes, has_ret)) = local_call {
             let mut args = Vec::with_capacity(param_classes.len());
             for class in &param_classes {
                 let cands = self.locals_of_class(*class);
-                let Some(arg) = cands.choose(self.rng).copied() else { return };
+                let Some(arg) = cands.choose(self.rng).copied() else {
+                    return;
+                };
                 if self.is_array(arg) {
                     return;
                 }
@@ -633,15 +756,24 @@ impl FnGen<'_> {
             }
             if has_ret && self.rng.gen_bool(0.6) {
                 if let Some(dst) = self.int_scalar() {
-                    out.push(Stmt::Assign { dst, rhs: Rhs::Call(Callee::Local(fid), args) });
+                    out.push(Stmt::Assign {
+                        dst,
+                        rhs: Rhs::Call(Callee::Local(fid), args),
+                    });
                     return;
                 }
             }
-            out.push(Stmt::CallStmt { callee: Callee::Local(fid), args });
+            out.push(Stmt::CallStmt {
+                callee: Callee::Local(fid),
+                args,
+            });
         } else {
             let e = self.rng.gen_range(0..EXTERN_POOL.len() as u32);
             let args = self.int_scalar().map(|a| vec![a]).unwrap_or_default();
-            out.push(Stmt::CallStmt { callee: Callee::Extern(e), args });
+            out.push(Stmt::CallStmt {
+                callee: Callee::Extern(e),
+                args,
+            });
         }
     }
 }
@@ -661,7 +793,9 @@ pub fn generate_program(name: &str, profile: &AppProfile, rng: &mut StdRng) -> P
     }
     let externs = EXTERN_POOL
         .iter()
-        .map(|n| ExternFunc { name: (*n).to_string() })
+        .map(|n| ExternFunc {
+            name: (*n).to_string(),
+        })
         .collect();
 
     let mut functions: Vec<Function> = Vec::new();
@@ -678,7 +812,12 @@ pub fn generate_program(name: &str, profile: &AppProfile, rng: &mut StdRng) -> P
         functions.push(func);
     }
 
-    Program { name: name.to_string(), types, functions, externs }
+    Program {
+        name: name.to_string(),
+        types,
+        functions,
+        externs,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -701,14 +840,20 @@ fn generate_function(
     for i in 0..n_locals {
         let class = profile.mix.sample(rng);
         let ty = realize(class, n_structs, n_enums, rng);
-        locals.push(Local { name: format!("v{i}"), ty });
+        locals.push(Local {
+            name: format!("v{i}"),
+            ty,
+        });
     }
 
     // Parameters: scalars and pointers only.
     let num_params = rng.gen_range(0..=3u32).min(n_locals);
     for p in 0..num_params {
         let ty = &locals[p as usize].ty;
-        let bad = matches!(ty.resolve(), CType::Struct(_) | CType::Union(_) | CType::Array(..));
+        let bad = matches!(
+            ty.resolve(),
+            CType::Struct(_) | CType::Union(_) | CType::Array(..)
+        );
         if bad {
             locals[p as usize].ty = if rng.gen_bool(0.5) {
                 CType::int()
@@ -736,7 +881,10 @@ fn generate_function(
         let target = match found {
             Some(t) => t,
             None => {
-                locals.push(Local { name: format!("v{}", locals.len()), ty: pointee });
+                locals.push(Local {
+                    name: format!("v{}", locals.len()),
+                    ty: pointee,
+                });
                 ptr_binding.push(None);
                 locals.len() - 1
             }
@@ -745,16 +893,28 @@ fn generate_function(
     }
 
     // Ensure an index local exists when arrays are present.
-    let has_array = locals.iter().any(|l| matches!(l.ty.resolve(), CType::Array(..)));
-    let has_int = locals
+    let has_array = locals
         .iter()
-        .any(|l| matches!(l.ty.resolve(), CType::Integer(IntWidth::Int | IntWidth::Long, _)));
+        .any(|l| matches!(l.ty.resolve(), CType::Array(..)));
+    let has_int = locals.iter().any(|l| {
+        matches!(
+            l.ty.resolve(),
+            CType::Integer(IntWidth::Int | IntWidth::Long, _)
+        )
+    });
     if has_array && !has_int {
-        locals.push(Local { name: format!("v{}", locals.len()), ty: CType::int() });
+        locals.push(Local {
+            name: format!("v{}", locals.len()),
+            ty: CType::int(),
+        });
         ptr_binding.push(None);
     }
 
-    let ret = if rng.gen_bool(0.6) { Some(CType::int()) } else { None };
+    let ret = if rng.gen_bool(0.6) {
+        Some(CType::int())
+    } else {
+        None
+    };
 
     let mut ctx = FnGen {
         locals: locals.clone(),
@@ -768,7 +928,9 @@ fn generate_function(
 
     let mut body = Vec::new();
     let n_episodes = profile.episodes_per_function.max(3);
-    let n_episodes = ctx.rng.gen_range(n_episodes / 2 + 1..=n_episodes * 3 / 2 + 1);
+    let n_episodes = ctx
+        .rng
+        .gen_range(n_episodes / 2 + 1..=n_episodes * 3 / 2 + 1);
     let mut last: Option<LocalId> = None;
     for _ in 0..n_episodes {
         // Locality biases: real code keeps working on the same
@@ -796,7 +958,11 @@ fn generate_function(
                 if let Some(c) = ctx.int_scalar() {
                     let k = ctx.small_const();
                     body.push(Stmt::If {
-                        cond: Cond { lhs: c, op: CmpOp::Gt, rhs: Operand2::Const(k) },
+                        cond: Cond {
+                            lhs: c,
+                            op: CmpOp::Gt,
+                            rhs: Operand2::Const(k),
+                        },
                         then_body: episode_stmts,
                         else_body: vec![],
                     });
@@ -812,9 +978,16 @@ fn generate_function(
                         dst: c,
                         rhs: Rhs::Bin(BinOp::Add, c, Operand2::Const(1)),
                     });
-                    body.push(Stmt::Assign { dst: c, rhs: Rhs::Const(0) });
+                    body.push(Stmt::Assign {
+                        dst: c,
+                        rhs: Rhs::Const(0),
+                    });
                     body.push(Stmt::While {
-                        cond: Cond { lhs: c, op: CmpOp::Lt, rhs: Operand2::Const(n) },
+                        cond: Cond {
+                            lhs: c,
+                            op: CmpOp::Lt,
+                            rhs: Operand2::Const(n),
+                        },
                         body: episode_stmts,
                     });
                 } else {
@@ -843,7 +1016,13 @@ fn generate_function(
     body.push(Stmt::Return(ret_local));
     let ret = ret_local.map(|_| CType::int());
 
-    Function { name, num_params, locals: ctx.locals, ret, body }
+    Function {
+        name,
+        num_params,
+        locals: ctx.locals,
+        ret,
+        body,
+    }
 }
 
 #[cfg(test)]
@@ -897,7 +1076,11 @@ mod tests {
                 }
             }
         }
-        assert!(classes.len() >= 12, "only {} classes seen: {classes:?}", classes.len());
+        assert!(
+            classes.len() >= 12,
+            "only {} classes seen: {classes:?}",
+            classes.len()
+        );
     }
 
     #[test]
@@ -907,7 +1090,11 @@ mod tests {
         let p = generate_program("p", &profile, &mut rng);
         for f in &p.functions {
             for stmt in f.walk_stmts() {
-                if let Stmt::Assign { dst, rhs: Rhs::AddrOf(src) } = stmt {
+                if let Stmt::Assign {
+                    dst,
+                    rhs: Rhs::AddrOf(src),
+                } = stmt
+                {
                     let dst_ty = f.local(*dst).ty.resolve();
                     let CType::Pointer(pointee) = dst_ty else {
                         panic!("AddrOf into non-pointer")

@@ -247,7 +247,11 @@ impl Function {
             for s in stmts {
                 out.push(s);
                 match s {
-                    Stmt::If { then_body, else_body, .. } => {
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
                         rec(then_body, out);
                         rec(else_body, out);
                     }
@@ -298,15 +302,32 @@ mod tests {
         let f = Function {
             name: "f".into(),
             num_params: 0,
-            locals: vec![Local { name: "a".into(), ty: CType::int() }],
+            locals: vec![Local {
+                name: "a".into(),
+                ty: CType::int(),
+            }],
             ret: None,
             body: vec![
-                Stmt::Assign { dst: LocalId(0), rhs: Rhs::Const(1) },
+                Stmt::Assign {
+                    dst: LocalId(0),
+                    rhs: Rhs::Const(1),
+                },
                 Stmt::If {
-                    cond: Cond { lhs: LocalId(0), op: CmpOp::Eq, rhs: Operand2::Const(0) },
-                    then_body: vec![Stmt::Assign { dst: LocalId(0), rhs: Rhs::Const(2) }],
+                    cond: Cond {
+                        lhs: LocalId(0),
+                        op: CmpOp::Eq,
+                        rhs: Operand2::Const(0),
+                    },
+                    then_body: vec![Stmt::Assign {
+                        dst: LocalId(0),
+                        rhs: Rhs::Const(2),
+                    }],
                     else_body: vec![Stmt::While {
-                        cond: Cond { lhs: LocalId(0), op: CmpOp::Lt, rhs: Operand2::Const(9) },
+                        cond: Cond {
+                            lhs: LocalId(0),
+                            op: CmpOp::Lt,
+                            rhs: Operand2::Const(9),
+                        },
                         body: vec![Stmt::Return(None)],
                     }],
                 },

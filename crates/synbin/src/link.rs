@@ -77,7 +77,11 @@ pub fn link_program(program: &Program, opts: CodegenOptions, rng: &mut StdRng) -
         }
 
         let func = &program.functions[fi];
-        symbols.push(Symbol { name: func.name.clone(), addr: base, len: lengths[fi] });
+        symbols.push(Symbol {
+            name: func.name.clone(),
+            addr: base,
+            len: lengths[fi],
+        });
         let locations = code.frame.locations();
         let vars = func
             .locals
@@ -107,7 +111,10 @@ pub fn link_program(program: &Program, opts: CodegenOptions, rng: &mut StdRng) -
         });
     }
 
-    let debug = DebugInfo { types: program.types.clone(), functions };
+    let debug = DebugInfo {
+        types: program.types.clone(),
+        functions,
+    };
     Binary {
         name: program.name.clone(),
         text,
@@ -129,21 +136,30 @@ mod tests {
         let callee = Function {
             name: "helper".into(),
             num_params: 1,
-            locals: vec![Local { name: "x".into(), ty: CType::int() }],
+            locals: vec![Local {
+                name: "x".into(),
+                ty: CType::int(),
+            }],
             ret: Some(CType::int()),
             body: vec![Stmt::Return(Some(LocalId(0)))],
         };
         let main = Function {
             name: "main".into(),
             num_params: 0,
-            locals: vec![Local { name: "r".into(), ty: CType::int() }],
+            locals: vec![Local {
+                name: "r".into(),
+                ty: CType::int(),
+            }],
             ret: Some(CType::int()),
             body: vec![
                 Stmt::Assign {
                     dst: LocalId(0),
                     rhs: Rhs::Call(Callee::Local(FuncId(0)), vec![LocalId(0)]),
                 },
-                Stmt::CallStmt { callee: Callee::Extern(0), args: vec![LocalId(0)] },
+                Stmt::CallStmt {
+                    callee: Callee::Extern(0),
+                    args: vec![LocalId(0)],
+                },
                 Stmt::Return(Some(LocalId(0))),
             ],
         };
@@ -151,14 +167,19 @@ mod tests {
             name: "demo".into(),
             types: TypeTable::new(),
             functions: vec![callee, main],
-            externs: vec![ExternFunc { name: "printf".into() }],
+            externs: vec![ExternFunc {
+                name: "printf".into(),
+            }],
         }
     }
 
     #[test]
     fn linked_binary_disassembles_fully() {
         let p = two_function_program();
-        let opts = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O0 };
+        let opts = CodegenOptions {
+            compiler: Compiler::Gcc,
+            opt: OptLevel::O0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let bin = link_program(&p, opts, &mut rng);
         let insns = bin.disassemble().unwrap();
@@ -176,7 +197,10 @@ mod tests {
     #[test]
     fn branch_targets_stay_inside_their_function() {
         let p = two_function_program();
-        let opts = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O0 };
+        let opts = CodegenOptions {
+            compiler: Compiler::Gcc,
+            opt: OptLevel::O0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let bin = link_program(&p, opts, &mut rng);
         let insns = bin.disassemble().unwrap();
@@ -200,7 +224,10 @@ mod tests {
     #[test]
     fn debug_info_parses_and_matches_functions() {
         let p = two_function_program();
-        let opts = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O0 };
+        let opts = CodegenOptions {
+            compiler: Compiler::Gcc,
+            opt: OptLevel::O0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let bin = link_program(&p, opts, &mut rng);
         let di = DebugInfo::parse(bin.debug.as_ref().unwrap()).unwrap();
@@ -218,7 +245,10 @@ mod tests {
     #[test]
     fn stripping_keeps_code_identical() {
         let p = two_function_program();
-        let opts = CodegenOptions { compiler: Compiler::Clang, opt: OptLevel::O2 };
+        let opts = CodegenOptions {
+            compiler: Compiler::Clang,
+            opt: OptLevel::O2,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let bin = link_program(&p, opts, &mut rng);
         let stripped = bin.strip();
@@ -229,7 +259,10 @@ mod tests {
     #[test]
     fn extern_symbols_use_plt_addresses() {
         let p = two_function_program();
-        let opts = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O1 };
+        let opts = CodegenOptions {
+            compiler: Compiler::Gcc,
+            opt: OptLevel::O1,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let bin = link_program(&p, opts, &mut rng);
         let plt = bin.symbols.iter().find(|s| s.name == "printf@plt").unwrap();

@@ -52,8 +52,20 @@ impl Compiler {
     /// order.
     pub(crate) fn callee_saved(self) -> &'static [u8] {
         match self {
-            Compiler::Gcc => &[gprnum::RBX, gprnum::R12, gprnum::R13, gprnum::R14, gprnum::R15],
-            Compiler::Clang => &[gprnum::R14, gprnum::R15, gprnum::RBX, gprnum::R12, gprnum::R13],
+            Compiler::Gcc => &[
+                gprnum::RBX,
+                gprnum::R12,
+                gprnum::R13,
+                gprnum::R14,
+                gprnum::R15,
+            ],
+            Compiler::Clang => &[
+                gprnum::R14,
+                gprnum::R15,
+                gprnum::RBX,
+                gprnum::R12,
+                gprnum::R13,
+            ],
         }
     }
 }
@@ -212,7 +224,9 @@ fn use_counts(func: &Function) -> Vec<u32> {
                 bump(*ptr, &mut counts);
                 op2(src, &mut counts);
             }
-            Stmt::StoreIndexed { base, index, src, .. } => {
+            Stmt::StoreIndexed {
+                base, index, src, ..
+            } => {
                 bump(*base, &mut counts);
                 bump(*index, &mut counts);
                 op2(src, &mut counts);
@@ -240,7 +254,11 @@ pub fn layout_frame(
     opts: CodegenOptions,
     no_promote: &[bool],
 ) -> Frame {
-    let base = if opts.uses_frame_pointer() { regs::rbp() } else { regs::rsp() };
+    let base = if opts.uses_frame_pointer() {
+        regs::rbp()
+    } else {
+        regs::rsp()
+    };
     let mut slots = vec![Slot::Frame(0); func.locals.len()];
     let mut saved = Vec::new();
 
@@ -291,7 +309,12 @@ pub fn layout_frame(
     }
     let used = cursor.unsigned_abs() as u32;
     let size = used.div_ceil(16) * 16;
-    Frame { base, slots, size, saved }
+    Frame {
+        base,
+        slots,
+        size,
+        saved,
+    }
 }
 
 #[cfg(test)]
@@ -303,21 +326,40 @@ mod tests {
         let locals = tys
             .into_iter()
             .enumerate()
-            .map(|(i, ty)| Local { name: format!("v{i}"), ty })
+            .map(|(i, ty)| Local {
+                name: format!("v{i}"),
+                ty,
+            })
             .collect::<Vec<_>>();
         let body = (0..locals.len() as u32)
-            .map(|i| Stmt::Assign { dst: LocalId(i), rhs: Rhs::Const(1) })
+            .map(|i| Stmt::Assign {
+                dst: LocalId(i),
+                rhs: Rhs::Const(1),
+            })
             .collect();
-        Function { name: "f".into(), num_params: 0, locals, ret: None, body }
+        Function {
+            name: "f".into(),
+            num_params: 0,
+            locals,
+            ret: None,
+            body,
+        }
     }
 
     #[test]
     fn o0_gcc_uses_negative_rbp_offsets() {
-        let f = func_with_locals(vec![CType::int(), CType::char(), CType::ptr_to(CType::Void)]);
+        let f = func_with_locals(vec![
+            CType::int(),
+            CType::char(),
+            CType::ptr_to(CType::Void),
+        ]);
         let frame = layout_frame(
             &f,
             &TypeTable::new(),
-            CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O0 },
+            CodegenOptions {
+                compiler: Compiler::Gcc,
+                opt: OptLevel::O0,
+            },
             &[false; 3],
         );
         assert!(frame.base.is_bp());
@@ -336,7 +378,10 @@ mod tests {
         let frame = layout_frame(
             &f,
             &TypeTable::new(),
-            CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O1 },
+            CodegenOptions {
+                compiler: Compiler::Gcc,
+                opt: OptLevel::O1,
+            },
             &[false; 2],
         );
         assert!(frame.base.is_sp());
@@ -350,9 +395,15 @@ mod tests {
 
     #[test]
     fn clang_keeps_frame_pointer_at_o2() {
-        let opts = CodegenOptions { compiler: Compiler::Clang, opt: OptLevel::O2 };
+        let opts = CodegenOptions {
+            compiler: Compiler::Clang,
+            opt: OptLevel::O2,
+        };
         assert!(opts.uses_frame_pointer());
-        let gcc = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O2 };
+        let gcc = CodegenOptions {
+            compiler: Compiler::Gcc,
+            opt: OptLevel::O2,
+        };
         assert!(!gcc.uses_frame_pointer());
     }
 
@@ -367,7 +418,10 @@ mod tests {
         let frame = layout_frame(
             &f,
             &types,
-            CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O2 },
+            CodegenOptions {
+                compiler: Compiler::Gcc,
+                opt: OptLevel::O2,
+            },
             &[false; 2],
         );
         assert!(matches!(frame.slot(LocalId(0)), Slot::Reg(_)));
@@ -381,7 +435,10 @@ mod tests {
         let frame = layout_frame(
             &f,
             &TypeTable::new(),
-            CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O3 },
+            CodegenOptions {
+                compiler: Compiler::Gcc,
+                opt: OptLevel::O3,
+            },
             &[true],
         );
         assert!(matches!(frame.slot(LocalId(0)), Slot::Frame(_)));
@@ -401,7 +458,10 @@ mod tests {
             let frame = layout_frame(
                 &f,
                 &TypeTable::new(),
-                CodegenOptions { compiler, opt: OptLevel::O0 },
+                CodegenOptions {
+                    compiler,
+                    opt: OptLevel::O0,
+                },
                 &[false; 5],
             );
             let types = TypeTable::new();
@@ -414,7 +474,10 @@ mod tests {
             }
             ranges.sort();
             for w in ranges.windows(2) {
-                assert!(w[0].1 <= w[1].0, "{compiler:?}: overlapping slots {ranges:?}");
+                assert!(
+                    w[0].1 <= w[1].0,
+                    "{compiler:?}: overlapping slots {ranges:?}"
+                );
             }
         }
     }

@@ -119,36 +119,64 @@ impl AppProfile {
     pub fn test_apps() -> Vec<AppProfile> {
         let base = TypeMix::paper_default;
         vec![
-            AppProfile { binaries: 3, ..AppProfile { mix: base(), ..AppProfile::new("bash") } },
+            AppProfile {
+                binaries: 3,
+                ..AppProfile {
+                    mix: base(),
+                    ..AppProfile::new("bash")
+                }
+            },
             AppProfile::new("bison"),
             AppProfile {
                 binaries: 1,
-                ..AppProfile { mix: base().scale_floats(0.3), ..AppProfile::new("cflow") }
+                ..AppProfile {
+                    mix: base().scale_floats(0.3),
+                    ..AppProfile::new("cflow")
+                }
             },
-            AppProfile { binaries: 3, ..AppProfile { mix: base(), ..AppProfile::new("gawk") } },
             AppProfile {
-                mix: base().with(TypeClass::PtrArith, 14.0).with(TypeClass::Char, 6.0),
+                binaries: 3,
+                ..AppProfile {
+                    mix: base(),
+                    ..AppProfile::new("gawk")
+                }
+            },
+            AppProfile {
+                mix: base()
+                    .with(TypeClass::PtrArith, 14.0)
+                    .with(TypeClass::Char, 6.0),
                 ..AppProfile::new("grep")
             },
             AppProfile {
                 binaries: 1,
                 functions_per_binary: 8,
-                ..AppProfile { mix: base().scale_floats(0.0), ..AppProfile::new("gzip") }
+                ..AppProfile {
+                    mix: base().scale_floats(0.0),
+                    ..AppProfile::new("gzip")
+                }
             },
             AppProfile {
                 binaries: 5,
                 ..AppProfile {
-                    mix: base().with(TypeClass::Struct, 10.0).with(TypeClass::PtrStruct, 36.0),
+                    mix: base()
+                        .with(TypeClass::Struct, 10.0)
+                        .with(TypeClass::PtrStruct, 36.0),
                     ..AppProfile::new("inetutils")
                 }
             },
             AppProfile {
                 binaries: 1,
-                ..AppProfile { mix: base().scale_floats(0.2), ..AppProfile::new("less") }
+                ..AppProfile {
+                    mix: base().scale_floats(0.2),
+                    ..AppProfile::new("less")
+                }
             },
             AppProfile {
                 binaries: 1,
-                ..AppProfile { mix: base().scale_floats(0.0), ..AppProfile::new("nano") }
+                ..AppProfile {
+                    mix: base().scale_floats(0.0),
+                    ..AppProfile::new("nano")
+                }
             },
             AppProfile {
                 binaries: 8,
@@ -163,7 +191,10 @@ impl AppProfile {
             },
             AppProfile {
                 binaries: 1,
-                ..AppProfile { mix: base().scale_floats(0.0), ..AppProfile::new("sed") }
+                ..AppProfile {
+                    mix: base().scale_floats(0.0),
+                    ..AppProfile::new("sed")
+                }
             },
             AppProfile {
                 binaries: 2,
@@ -181,11 +212,20 @@ impl AppProfile {
     pub fn training_projects(count: usize) -> Vec<AppProfile> {
         let base = TypeMix::paper_default;
         let pool: Vec<AppProfile> = vec![
-            AppProfile { binaries: 4, ..AppProfile::new("coreutils") },
-            AppProfile { binaries: 4, ..AppProfile::new("binutils") },
             AppProfile {
                 binaries: 4,
-                ..AppProfile { mix: base().with(TypeClass::Enum, 5.0), ..AppProfile::new("gcc") }
+                ..AppProfile::new("coreutils")
+            },
+            AppProfile {
+                binaries: 4,
+                ..AppProfile::new("binutils")
+            },
+            AppProfile {
+                binaries: 4,
+                ..AppProfile {
+                    mix: base().with(TypeClass::Enum, 5.0),
+                    ..AppProfile::new("gcc")
+                }
             },
             AppProfile {
                 binaries: 3,
@@ -204,21 +244,27 @@ impl AppProfile {
             AppProfile {
                 binaries: 2,
                 ..AppProfile {
-                    mix: base().with(TypeClass::Double, 10.0).with(TypeClass::Float, 0.6),
+                    mix: base()
+                        .with(TypeClass::Double, 10.0)
+                        .with(TypeClass::Float, 0.6),
                     ..AppProfile::new("xpdf")
                 }
             },
             AppProfile {
                 binaries: 1,
                 ..AppProfile {
-                    mix: base().with(TypeClass::UnsignedInt, 6.0).with(TypeClass::LongUnsignedInt, 9.0),
+                    mix: base()
+                        .with(TypeClass::UnsignedInt, 6.0)
+                        .with(TypeClass::LongUnsignedInt, 9.0),
                     ..AppProfile::new("zlib")
                 }
             },
             AppProfile {
                 binaries: 4,
                 ..AppProfile {
-                    mix: base().with(TypeClass::Double, 8.0).with(TypeClass::Float, 0.5),
+                    mix: base()
+                        .with(TypeClass::Double, 8.0)
+                        .with(TypeClass::Float, 0.5),
                     ..AppProfile::new("python")
                 }
             },
@@ -231,15 +277,24 @@ impl AppProfile {
             },
             AppProfile {
                 binaries: 2,
-                ..AppProfile { mix: base().scale_floats(0.1), ..AppProfile::new("findutils") }
+                ..AppProfile {
+                    mix: base().scale_floats(0.1),
+                    ..AppProfile::new("findutils")
+                }
             },
             AppProfile {
                 binaries: 2,
-                ..AppProfile { mix: base().with(TypeClass::Char, 5.0), ..AppProfile::new("diffutils") }
+                ..AppProfile {
+                    mix: base().with(TypeClass::Char, 5.0),
+                    ..AppProfile::new("diffutils")
+                }
             },
             AppProfile {
                 binaries: 2,
-                ..AppProfile { mix: base().with(TypeClass::Bool, 3.0), ..AppProfile::new("tar") }
+                ..AppProfile {
+                    mix: base().with(TypeClass::Bool, 3.0),
+                    ..AppProfile::new("tar")
+                }
             },
         ];
         pool.into_iter().cycle().take(count).collect()
@@ -291,7 +346,20 @@ mod tests {
         let names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
         assert_eq!(
             names,
-            ["bash", "bison", "cflow", "gawk", "grep", "gzip", "inetutils", "less", "nano", "R", "sed", "wget"]
+            [
+                "bash",
+                "bison",
+                "cflow",
+                "gawk",
+                "grep",
+                "gzip",
+                "inetutils",
+                "less",
+                "nano",
+                "R",
+                "sed",
+                "wget"
+            ]
         );
     }
 

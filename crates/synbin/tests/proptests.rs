@@ -2,9 +2,7 @@
 //! over seeds, profiles and optimization levels, and its output
 //! satisfies binary-level invariants.
 
-use cati_synbin::{
-    generate_program, link_program, AppProfile, CodegenOptions, Compiler, OptLevel,
-};
+use cati_synbin::{generate_program, link_program, AppProfile, CodegenOptions, Compiler, OptLevel};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

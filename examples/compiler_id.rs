@@ -31,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let extract_all = |binaries: &[cati_synbin::BuiltBinary], compiler: Compiler| {
         binaries
             .iter()
-            .map(|b| (extract(&b.binary, FeatureView::WithSymbols).unwrap(), compiler))
+            .map(|b| {
+                (
+                    extract(&b.binary, FeatureView::WithSymbols).unwrap(),
+                    compiler,
+                )
+            })
             .collect::<Vec<_>>()
     };
     let train: Vec<(Extraction, Compiler)> = extract_all(&gcc.train, Compiler::Gcc)
@@ -43,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .chain(extract_all(&clang.test, Compiler::Clang))
         .collect();
 
-    let train_refs: Vec<(&Extraction, Compiler)> =
-        train.iter().map(|(e, c)| (e, *c)).collect();
+    let train_refs: Vec<(&Extraction, Compiler)> = train.iter().map(|(e, c)| (e, *c)).collect();
     let test_refs: Vec<(&Extraction, Compiler)> = test.iter().map(|(e, c)| (e, *c)).collect();
 
     println!("training compiler-id classifier...");

@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (k, row) in heatmap.rows.iter().enumerate() {
         let marker = if k == WINDOW { " <= target" } else { "" };
         let cells: Vec<String> = row.iter().map(|v| format!("{:5.1}%", v * 100.0)).collect();
-        println!("{k:>3}   {}   {:.4}{marker}", cells.join(" "), heatmap.row_importance(k));
+        println!(
+            "{k:>3}   {}   {:.4}{marker}",
+            cells.join(" "),
+            heatmap.row_importance(k)
+        );
     }
     println!(
         "\ncenter importance {:.4} vs edge importance {:.4}",

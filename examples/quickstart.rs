@@ -8,7 +8,6 @@
 use cati::{Cati, Config};
 use cati_synbin::{build_corpus, CorpusConfig};
 
-
 /// Formats a signed frame offset as `-0x18` / `0x40`.
 fn hex_off(off: i32) -> String {
     if off < 0 {
@@ -46,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut inferred = cati.infer(&stripped)?;
     inferred.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
 
-    println!("{:<6} {:>8}  {:<22} {:>5} {:>6}", "func", "offset", "type", "vucs", "conf");
+    println!(
+        "{:<6} {:>8}  {:<22} {:>5} {:>6}",
+        "func", "offset", "type", "vucs", "conf"
+    );
     for var in inferred.iter().take(20) {
         println!(
             "{:<6} {:>8}  {:<22} {:>5} {:>5.0}%",

@@ -21,11 +21,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Persist and reload, as a deployment would.
     let model_path = std::env::temp_dir().join("cati_trained_model.json");
     cati.save(&model_path)?;
-    println!("model saved to {} ({} bytes)", model_path.display(), std::fs::metadata(&model_path)?.len());
+    println!(
+        "model saved to {} ({} bytes)",
+        model_path.display(),
+        std::fs::metadata(&model_path)?.len()
+    );
     let cati = Cati::load(&model_path)?;
 
     // Evaluate per application at both granularities.
-    println!("\n{:<12} {:>8} {:>9} {:>8} {:>9}", "app", "vuc-acc", "vuc-n", "var-acc", "var-n");
+    println!(
+        "\n{:<12} {:>8} {:>9} {:>8} {:>9}",
+        "app", "vuc-acc", "vuc-n", "var-acc", "var-n"
+    );
     let mut by_app: std::collections::BTreeMap<String, (f64, u64, f64, u64)> = Default::default();
     for built in &corpus.test {
         let ex = extract(&built.binary, FeatureView::Stripped)?;

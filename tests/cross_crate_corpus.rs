@@ -59,7 +59,10 @@ fn generalization_covers_unseen_binaries() {
     }
     assert!(windows.len() > 100);
     let coverage = embedder.coverage(windows.iter());
-    assert!(coverage > 0.99, "token coverage {coverage:.4} below the paper's 99%");
+    assert!(
+        coverage > 0.99,
+        "token coverage {coverage:.4} below the paper's 99%"
+    );
 }
 
 #[test]
@@ -69,14 +72,20 @@ fn opt_levels_and_compilers_shift_the_instruction_mix() {
     let mut rng = StdRng::seed_from_u64(4);
     let gcc_o0 = build_app(
         &profile,
-        CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel::O0 },
+        CodegenOptions {
+            compiler: Compiler::Gcc,
+            opt: OptLevel::O0,
+        },
         0.5,
         &mut rng,
     );
     let mut rng = StdRng::seed_from_u64(4);
     let clang_o0 = build_app(
         &profile,
-        CodegenOptions { compiler: Compiler::Clang, opt: OptLevel::O0 },
+        CodegenOptions {
+            compiler: Compiler::Clang,
+            opt: OptLevel::O0,
+        },
         0.5,
         &mut rng,
     );

@@ -34,8 +34,14 @@ fn trained_system_beats_chance_on_unseen_binaries() {
     let var_acc = var_ok / var_n as f64;
     // 19 classes => chance is ~5%, majority class well under 40%.
     // Even the tiny test-scale model must clearly beat chance.
-    assert!(vuc_acc > 0.25, "VUC accuracy {vuc_acc:.3} is at chance level");
-    assert!(var_acc > 0.25, "variable accuracy {var_acc:.3} is at chance level");
+    assert!(
+        vuc_acc > 0.25,
+        "VUC accuracy {vuc_acc:.3} is at chance level"
+    );
+    assert!(
+        var_acc > 0.25,
+        "variable accuracy {var_acc:.3} is at chance level"
+    );
 }
 
 #[test]

@@ -51,7 +51,11 @@ fn stage_metrics_are_consistent() {
         let (prf_var, conf_var) = stage_var_metrics(&cati, &refs, stage);
         // Metric ranges.
         for prf in [prf_vuc, prf_var] {
-            assert!((0.0..=1.0).contains(&prf.precision), "{stage} P {}", prf.precision);
+            assert!(
+                (0.0..=1.0).contains(&prf.precision),
+                "{stage} P {}",
+                prf.precision
+            );
             assert!((0.0..=1.0).contains(&prf.recall));
             assert!((0.0..=1.0).contains(&prf.f1));
         }
@@ -75,15 +79,15 @@ fn stage1_generalizes_to_unseen_apps() {
     // Pointer vs non-pointer is the paper's easiest stage (~0.9 F1);
     // at test scale it must still be clearly above the majority-class
     // baseline.
-    let majority = (0..2)
-        .map(|c| conf.support(c))
-        .max()
-        .unwrap_or(0) as f64
-        / conf.total() as f64;
+    let majority = (0..2).map(|c| conf.support(c)).max().unwrap_or(0) as f64 / conf.total() as f64;
     assert!(
         prf.recall > majority.min(0.85) - 0.05,
         "stage1 recall {:.3} vs majority {majority:.3}",
         prf.recall
     );
-    assert!(conf.accuracy() > 0.55, "stage1 accuracy {:.3}", conf.accuracy());
+    assert!(
+        conf.accuracy() > 0.55,
+        "stage1 accuracy {:.3}",
+        conf.accuracy()
+    );
 }

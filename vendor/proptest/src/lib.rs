@@ -1,0 +1,464 @@
+//! Offline stand-in for `proptest` (the subset this workspace uses).
+//!
+//! Strategies generate values directly from a per-test deterministic
+//! RNG (seeded from the test's name), with no shrinking: a failing
+//! case panics with the assertion message and the raw inputs are
+//! recoverable by re-running the test. Supported surface: the
+//! [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!` / `prop_assert_eq!`, [`Strategy`] with `prop_map` /
+//! `prop_filter` / `prop_recursive` / `boxed`, tuple and integer /
+//! float range strategies, regex-lite `"[a-z_]{1,12}"` string
+//! strategies, [`Just`], `prop_oneof!`, [`any`], `collection::vec`,
+//! `option::of`, and `sample::Index`.
+
+#![forbid(unsafe_code)]
+
+// Let crate-internal code (and doctests) refer to `proptest::...`
+// the way downstream crates do.
+extern crate self as proptest;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Module alias so `prop::sample::Index` resolves via the prelude,
+/// as it does with real proptest.
+pub mod prop {
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! The glob import used by test files.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------
+// Arbitrary
+// ---------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy's type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Whole-domain strategy for primitives (raw RNG bits).
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> $t {
+                let f: fn(&mut StdRng) -> $t = $gen;
+                f(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> AnyPrimitive<$t> {
+                AnyPrimitive { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_prim! {
+    bool => |rng| rng.gen_bool(0.5),
+    u8 => |rng| rand::RngCore::next_u64(rng) as u8,
+    u16 => |rng| rand::RngCore::next_u64(rng) as u16,
+    u32 => |rng| rand::RngCore::next_u32(rng),
+    u64 => rand::RngCore::next_u64,
+    usize => |rng| rand::RngCore::next_u64(rng) as usize,
+    i8 => |rng| rand::RngCore::next_u64(rng) as i8,
+    i16 => |rng| rand::RngCore::next_u64(rng) as i16,
+    i32 => |rng| rand::RngCore::next_u64(rng) as i32,
+    i64 => |rng| rand::RngCore::next_u64(rng) as i64,
+    isize => |rng| rand::RngCore::next_u64(rng) as isize,
+}
+
+pub mod sample {
+    //! Index sampling, mirroring `proptest::sample`.
+
+    use super::{AnyPrimitive, Arbitrary, StdRng, Strategy};
+
+    /// A deferred index into a collection whose length is only known
+    /// inside the test body.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this sample onto `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Strategy for AnyPrimitive<Index> {
+        type Value = Index;
+        fn gen_value(&self, rng: &mut StdRng) -> Index {
+            Index(rand::RngCore::next_u64(rng))
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = AnyPrimitive<Index>;
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// An inclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `size` elements of `element` each.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies, mirroring `proptest::option`.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>` (3:1 `Some`, like proptest's
+    /// default weighting).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps a strategy's values in `Option`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn gen_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.gen_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test driver used by the `proptest!` macro expansion.
+
+    use super::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (only `cases` is honored).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // Lower than real proptest's 256: no shrinking means a
+            // bigger per-case budget buys little, and some property
+            // bodies train small CNNs.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A soft assertion failure inside a property body.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Constructs a failure with a message.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic case generator for one property.
+    pub struct TestRunner {
+        cases: u32,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Seeds the runner from the property's name (FNV-1a), so
+        /// every property gets a distinct but reproducible stream.
+        pub fn new(config: &ProptestConfig, name: &str) -> TestRunner {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRunner {
+                cases: config.cases,
+                rng: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// The configured case count.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// Draws one value from a strategy.
+        pub fn generate<S: super::Strategy>(&mut self, s: &S) -> S::Value {
+            s.gen_value(&mut self.rng)
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------
+
+/// Defines property tests. Mirrors real proptest's surface for the
+/// forms this workspace writes.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(&config, stringify!($name));
+            let strategies = ( $($strat,)+ );
+            for case in 0..runner.cases() {
+                let ( $($pat,)+ ) = runner.generate(&strategies);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property {} failed at case {case}: {e}", stringify!($name));
+                }
+            }
+        }
+    )*};
+}
+
+/// Soft assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Soft equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {a:?} != {b:?}");
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{a:?} != {b:?}: {}", format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($arm) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn range_values_stay_in_bounds() -> impl Strategy<Value = (u8, i32, f32)> {
+        (0u8..16, -100i32..100, -2.0f32..2.0)
+    }
+
+    proptest! {
+        #[test]
+        fn tuples_and_ranges(v in range_values_stay_in_bounds()) {
+            prop_assert!(v.0 < 16);
+            prop_assert!((-100..100).contains(&v.1));
+            prop_assert!((-2.0..2.0).contains(&v.2));
+        }
+
+        #[test]
+        fn string_pattern_respects_class_and_len(s in "[a-z_]{1,12}") {
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+
+        #[test]
+        fn vec_and_index_compose(
+            xs in proptest::collection::vec(0u32..50, 1..16),
+            i in any::<prop::sample::Index>(),
+        ) {
+            let x = xs[i.index(xs.len())];
+            prop_assert!(x < 50);
+        }
+
+        #[test]
+        fn oneof_filter_and_map(x in prop_oneof![Just(3u32), 10u32..20]
+            .prop_filter("nonzero", |v| *v != 11)
+            .prop_map(|v| v * 2))
+        {
+            prop_assert!(x == 6 || (20..40).contains(&x));
+            prop_assert!(x != 22);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let config = crate::test_runner::ProptestConfig::with_cases(100);
+        let mut runner = crate::test_runner::TestRunner::new(&config, "recursive");
+        for _ in 0..100 {
+            let t = runner.generate(&strat);
+            assert!(depth(&t) <= 5, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn same_test_name_reproduces_the_same_cases() {
+        let config = crate::test_runner::ProptestConfig::default();
+        let mut a = crate::test_runner::TestRunner::new(&config, "x");
+        let mut b = crate::test_runner::TestRunner::new(&config, "x");
+        let s = proptest::collection::vec(0u64..1000, 0..8);
+        for _ in 0..32 {
+            assert_eq!(a.generate(&s), b.generate(&s));
+        }
+    }
+}

@@ -1,0 +1,725 @@
+//! Offline stand-in for `rayon` (the subset this workspace uses).
+//!
+//! Parallel iterators are *indexed producers*: a pipeline knows its
+//! base length and can materialize any contiguous range of items.
+//! Consumption splits the base range into fixed-size shards —
+//! a function of the input length only, never of the thread count —
+//! and distributes contiguous runs of shards across scoped worker
+//! threads. Shard results are combined strictly in shard order, so
+//! `collect`, `sum`, and `reduce` return *bit-identical* results for
+//! any thread count, including floating-point reductions. That
+//! determinism is a deliberate departure from real rayon (whose
+//! `reduce` tree shape varies run to run) and is what the workspace's
+//! threads=1 vs threads=N parity tests rely on.
+//!
+//! Supported: `par_iter` on slices/`Vec`, `into_par_iter` on `Vec`
+//! (items `Clone`), `map`, `map_init` (per-shard state),
+//! `flat_map_iter`, `zip` (indexed bases only), `collect` into
+//! `Vec`, `sum`, `reduce`, plus
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] and
+//! [`current_num_threads`] for thread-count control.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! Traits to import at use sites, mirroring `rayon::prelude`.
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+// ---------------------------------------------------------------
+// Thread-count control
+// ---------------------------------------------------------------
+
+/// Global thread count set by `ThreadPoolBuilder::build_global`
+/// (0 = use hardware parallelism).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override set by `ThreadPool::install`
+    /// (0 = fall back to the global setting).
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads parallel operations will use on this
+/// thread: an `install` override if present, else the global setting,
+/// else the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let local = LOCAL_THREADS.with(Cell::get);
+    if local != 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Thread-pool configuration error (infallible here; kept for
+/// signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] or the global default.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (0 = hardware parallelism).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds a pool handle whose `install` scopes the thread count.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+
+    /// Sets the process-wide default thread count.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in this stand-in (real rayon errors on a second
+    /// call; this one just overwrites).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A lightweight handle scoping parallel operations to a thread
+/// count. Threads are spawned per operation, not pooled.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads != 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        }
+    }
+
+    /// Runs `op` with this pool's thread count as the ambient
+    /// parallelism for every parallel iterator it executes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = LOCAL_THREADS.with(|c| c.replace(self.current_num_threads()));
+        let result = op();
+        LOCAL_THREADS.with(|c| c.set(prev));
+        result
+    }
+}
+
+// ---------------------------------------------------------------
+// Core traits
+// ---------------------------------------------------------------
+
+/// A parallel iterator: an indexed producer plus combinators.
+///
+/// `produce` must append exactly the items of `range` (by base
+/// index), in order. Consumers shard `0..base_len()` and combine
+/// shard outputs in shard order.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of *base* items (pre-flattening).
+    fn base_len(&self) -> usize;
+
+    /// Materializes the items for a contiguous base range, in order.
+    fn produce(&self, range: Range<usize>, out: &mut Vec<Self::Item>);
+
+    /// Upper bound on shard length requested by the pipeline
+    /// (`usize::MAX` = no preference). Combinators forward their
+    /// base's bound; [`ParallelIterator::with_max_len`] overrides it.
+    fn max_shard_len(&self) -> usize {
+        usize::MAX
+    }
+
+    /// Caps shards at `len` items, mirroring rayon's `with_max_len`.
+    /// `with_max_len(1)` forces one shard per item, which is how
+    /// coarse-grained stages (six CNNs) each get their own worker.
+    /// The cap is part of the pipeline, not the thread count, so
+    /// determinism across thread counts is preserved.
+    fn with_max_len(self, len: usize) -> WithMaxLen<Self> {
+        WithMaxLen {
+            base: self,
+            len: len.max(1),
+        }
+    }
+
+    /// Maps each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Maps each item through `f` with per-shard state from `init`.
+    /// `init` runs once per contiguous shard (not per item), so the
+    /// state can hold scratch buffers that are reused across the
+    /// shard's items — the moral equivalent of rayon's `map_init`.
+    fn map_init<I, F, T, R>(self, init: I, f: F) -> MapInit<Self, I, F>
+    where
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, Self::Item) -> R + Sync,
+        R: Send,
+    {
+        MapInit {
+            base: self,
+            init,
+            f,
+        }
+    }
+
+    /// Maps each item to a serial iterator and flattens. The result
+    /// is no longer indexed by base position — do not `zip` after it.
+    fn flat_map_iter<F, I>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        F: Fn(Self::Item) -> I + Sync,
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Pairs items positionally with another indexed iterator,
+    /// truncating to the shorter length.
+    fn zip<Z>(self, other: Z) -> Zip<Self, Z::Iter>
+    where
+        Z: IntoParallelIterator,
+    {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    /// Runs the pipeline and collects into `C` (order preserved).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items. Shard partial sums are combined in shard
+    /// order, so float sums are deterministic for any thread count.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        run_shards(&self, |p, range| {
+            let mut items = Vec::new();
+            p.produce(range, &mut items);
+            items.into_iter().sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Folds items with `op`, seeding each shard from `identity()`
+    /// and folding shard results in shard order — deterministic for
+    /// any thread count (fixed shard boundaries), unlike real rayon.
+    fn reduce<Op, Id>(self, identity: Id, op: Op) -> Self::Item
+    where
+        Op: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+        Id: Fn() -> Self::Item + Sync,
+    {
+        let partials = run_shards(&self, |p, range| {
+            let mut items = Vec::new();
+            p.produce(range, &mut items);
+            items.into_iter().fold(identity(), &op)
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (mirrors rayon's trait).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` on collections, yielding references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send + 'a;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Collecting from a [`ParallelIterator`] (mirrors rayon's trait).
+pub trait FromParallelIterator<T: Send> {
+    /// Runs `p` and gathers its items in order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Vec<T> {
+        let mut shards = run_shards(&p, |p, range| {
+            let mut out = Vec::new();
+            p.produce(range, &mut out);
+            out
+        });
+        if shards.len() == 1 {
+            return shards.pop().expect("one shard");
+        }
+        let total = shards.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for shard in shards {
+            out.extend(shard);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------
+// The execution engine
+// ---------------------------------------------------------------
+
+/// Shard size as a function of input length only. Keeping it
+/// independent of the thread count is what makes every consumer
+/// deterministic across thread counts.
+fn shard_size(len: usize) -> usize {
+    // Small inputs: one shard (no spawn overhead). Larger inputs:
+    // fixed 16-item shards, giving enough shards to balance load.
+    // Written with clamp rather than an if/else: this toolchain's
+    // optimizer has been observed flipping the branch polarity of
+    // `if len <= 16 { len.max(1) } else { 16 }` at opt-level 2
+    // (returning `len` for large inputs, which silently collapses
+    // everything into one shard). The clamp form compiles to
+    // straight-line selects and is covered by the shard-count
+    // canary test below.
+    len.clamp(1, 16)
+}
+
+/// Splits `0..base_len` into fixed shards, evaluates `work` on each,
+/// and returns shard results in shard order. Contiguous runs of
+/// shards go to scoped worker threads; workers run nested parallel
+/// iterators sequentially to avoid oversubscription.
+fn run_shards<P, R, W>(p: &P, work: W) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    W: Fn(&P, Range<usize>) -> R + Sync,
+{
+    let n = p.base_len();
+    let size = shard_size(n).min(p.max_shard_len()).max(1);
+    let mut shards: Vec<Range<usize>> =
+        (0..n).step_by(size).map(|s| s..(s + size).min(n)).collect();
+    if shards.is_empty() {
+        // Zero-length input still produces one (empty) shard.
+        shards.push(0..0);
+    }
+    let threads = current_num_threads().min(shards.len()).max(1);
+    if threads == 1 {
+        return shards.into_iter().map(|r| work(p, r)).collect();
+    }
+    let per_worker = shards.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = shards
+            .chunks(per_worker)
+            .map(|run| {
+                scope.spawn(move || {
+                    // Workers execute their shards (and any nested
+                    // parallel iterators) sequentially.
+                    let prev = LOCAL_THREADS.with(|c| c.replace(1));
+                    let out: Vec<R> = run.iter().map(|r| work(p, r.clone())).collect();
+                    LOCAL_THREADS.with(|c| c.set(prev));
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------
+// Producers
+// ---------------------------------------------------------------
+
+/// Borrowing iterator over a slice.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn base_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn produce(&self, range: Range<usize>, out: &mut Vec<&'a T>) {
+        out.extend(self.slice[range].iter());
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Owning iterator over a `Vec` (items cloned out of shared storage;
+/// the workspace only consumes vectors of cheap `Clone` items).
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync + Clone> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn base_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn produce(&self, range: Range<usize>, out: &mut Vec<T>) {
+        out.extend(self.items[range].iter().cloned());
+    }
+}
+
+impl<T: Send + Sync + Clone> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl<P: ParallelIterator> IntoParallelIterator for P {
+    type Item = P::Item;
+    type Iter = P;
+
+    fn into_par_iter(self) -> P {
+        self
+    }
+}
+
+// ---------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn produce(&self, range: Range<usize>, out: &mut Vec<R>) {
+        let mut tmp = Vec::with_capacity(range.len());
+        self.base.produce(range, &mut tmp);
+        out.extend(tmp.into_iter().map(&self.f));
+    }
+
+    fn max_shard_len(&self) -> usize {
+        self.base.max_shard_len()
+    }
+}
+
+/// See [`ParallelIterator::with_max_len`].
+pub struct WithMaxLen<P> {
+    base: P,
+    len: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for WithMaxLen<P> {
+    type Item = P::Item;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn produce(&self, range: Range<usize>, out: &mut Vec<P::Item>) {
+        self.base.produce(range, out);
+    }
+
+    fn max_shard_len(&self) -> usize {
+        self.len.min(self.base.max_shard_len())
+    }
+}
+
+/// See [`ParallelIterator::map_init`].
+pub struct MapInit<P, I, F> {
+    base: P,
+    init: I,
+    f: F,
+}
+
+impl<P, I, F, T, R> ParallelIterator for MapInit<P, I, F>
+where
+    P: ParallelIterator,
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, P::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn produce(&self, range: Range<usize>, out: &mut Vec<R>) {
+        let mut tmp = Vec::with_capacity(range.len());
+        self.base.produce(range, &mut tmp);
+        let mut state = (self.init)();
+        out.extend(tmp.into_iter().map(|item| (self.f)(&mut state, item)));
+    }
+
+    fn max_shard_len(&self) -> usize {
+        self.base.max_shard_len()
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`].
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, I> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> I + Sync,
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn produce(&self, range: Range<usize>, out: &mut Vec<I::Item>) {
+        let mut tmp = Vec::with_capacity(range.len());
+        self.base.produce(range, &mut tmp);
+        for item in tmp {
+            out.extend((self.f)(item));
+        }
+    }
+
+    fn max_shard_len(&self) -> usize {
+        self.base.max_shard_len()
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn base_len(&self) -> usize {
+        self.a.base_len().min(self.b.base_len())
+    }
+
+    fn produce(&self, range: Range<usize>, out: &mut Vec<(A::Item, B::Item)>) {
+        let mut xs = Vec::with_capacity(range.len());
+        let mut ys = Vec::with_capacity(range.len());
+        self.a.produce(range.clone(), &mut xs);
+        self.b.produce(range, &mut ys);
+        out.extend(xs.into_iter().zip(ys));
+    }
+
+    fn max_shard_len(&self) -> usize {
+        self.a.max_shard_len().min(self.b.max_shard_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u32> = (0..100).collect();
+        let doubled: Vec<u32> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let xs: Vec<u32> = (0..40).collect();
+        let out: Vec<u32> = xs.par_iter().flat_map_iter(|&x| vec![x, x + 100]).collect();
+        let expect: Vec<u32> = (0..40).flat_map(|x| [x, x + 100]).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn zip_pairs_positionally() {
+        let a: Vec<u32> = (0..50).collect();
+        let b: Vec<u32> = (100..150).collect();
+        let out: Vec<u32> = a.par_iter().zip(&b).map(|(x, y)| x + y).collect();
+        assert_eq!(out[0], 100);
+        assert_eq!(out[49], 49 + 149);
+    }
+
+    #[test]
+    fn float_sum_is_identical_across_thread_counts() {
+        let xs: Vec<f32> = (0..1000).map(|i| 1.0 / (i as f32 + 1.0)).collect();
+        let sums: Vec<f32> = [1usize, 2, 4, 7]
+            .iter()
+            .map(|&t| {
+                let pool = ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+                pool.install(|| xs.par_iter().map(|&x| x * 1.0001).sum::<f32>())
+            })
+            .collect();
+        assert!(
+            sums.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()),
+            "{sums:?}"
+        );
+    }
+
+    #[test]
+    fn reduce_is_identical_across_thread_counts() {
+        let xs: Vec<f64> = (0..777).map(|i| (i as f64).sin()).collect();
+        let results: Vec<f64> = [1usize, 3, 8]
+            .iter()
+            .map(|&t| {
+                let pool = ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+                pool.install(|| xs.par_iter().map(|&x| x).reduce(|| 0.0, |a, b| a + b))
+            })
+            .collect();
+        assert!(
+            results.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()),
+            "{results:?}"
+        );
+    }
+
+    #[test]
+    fn map_init_reuses_state_within_shards() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let xs: Vec<u32> = (0..100).collect();
+        let out: Vec<u32> = xs
+            .par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<u32>::new()
+                },
+                |scratch, &x| {
+                    scratch.push(x);
+                    x + 1
+                },
+            )
+            .collect();
+        assert_eq!(out, (1..=100).collect::<Vec<u32>>());
+        // 100 items / 16-item shards = 7 shards: one init per shard,
+        // far fewer than one per item.
+        assert_eq!(inits.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let s: u32 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+    }
+}

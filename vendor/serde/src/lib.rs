@@ -1,0 +1,418 @@
+//! Offline stand-in for `serde` (the subset this workspace uses).
+//!
+//! The build environment has no network access, so the workspace
+//! vendors a minimal serde: data types convert to and from a JSON
+//! [`Value`] tree via the [`Serialize`] / [`Deserialize`] traits, and
+//! `#[derive(Serialize, Deserialize)]` is provided by the companion
+//! `serde_derive` proc-macro crate. The JSON data model matches real
+//! serde's external tagging conventions (structs → objects, unit enum
+//! variants → strings, data variants → single-key objects, newtype
+//! structs → transparent), so files written by this stand-in are
+//! shaped like the ones real serde would write.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+/// Serialization: convert `self` to a JSON [`Value`].
+pub trait Serialize {
+    /// The value tree representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization: reconstruct `Self` from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses the value tree.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`DeError`] describing the first mismatch between
+    /// the value and `Self`'s shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// The value to use when a struct field is absent (`None` means
+    /// "required field"; `Option<T>` overrides this).
+    #[doc(hidden)]
+    fn missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Deserialization error: a path-less description of what mismatched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "Expected X" constructor.
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Unknown enum variant constructor.
+    pub fn unknown_variant(name: &str, ty: &str) -> DeError {
+        DeError(format!("unknown variant `{name}` for {ty}"))
+    }
+
+    /// Missing struct field constructor.
+    pub fn missing_field(field: &str, ty: &str) -> DeError {
+        DeError(format!("missing field `{field}` in {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------
+// Derive support helpers (stable API for generated code only).
+// ---------------------------------------------------------------
+
+/// The two external-tagging shapes an enum value can take.
+#[doc(hidden)]
+pub enum EnumRepr<'a> {
+    /// `"Variant"`.
+    Unit(&'a str),
+    /// `{"Variant": data}`.
+    Data(&'a str, &'a Value),
+}
+
+/// Classifies a value as one of the enum representations.
+#[doc(hidden)]
+pub fn enum_repr<'a>(v: &'a Value, ty: &str) -> Result<EnumRepr<'a>, DeError> {
+    match v {
+        Value::String(s) => Ok(EnumRepr::Unit(s)),
+        Value::Object(m) if m.len() == 1 => {
+            let (k, inner) = m.iter().next().expect("len checked");
+            Ok(EnumRepr::Data(k, inner))
+        }
+        other => Err(DeError::expected(
+            &format!("string or single-key object for enum {ty}"),
+            other,
+        )),
+    }
+}
+
+/// Builds the `{"Variant": data}` representation.
+#[doc(hidden)]
+pub fn variant_value(name: &str, inner: Value) -> Value {
+    let mut m = Map::new();
+    m.insert(name.to_string(), inner);
+    Value::Object(m)
+}
+
+/// Views a value as the object of struct `ty`.
+#[doc(hidden)]
+pub fn as_object_for<'a>(v: &'a Value, ty: &str) -> Result<&'a Map, DeError> {
+    v.as_object()
+        .ok_or_else(|| DeError::expected(&format!("object for {ty}"), v))
+}
+
+/// Views a value as the fixed-arity array of tuple `ty`.
+#[doc(hidden)]
+pub fn as_array_for<'a>(v: &'a Value, ty: &str, len: usize) -> Result<&'a [Value], DeError> {
+    let a = v
+        .as_array()
+        .ok_or_else(|| DeError::expected(&format!("array for {ty}"), v))?;
+    if a.len() != len {
+        return Err(DeError(format!(
+            "expected {len} elements for {ty}, got {}",
+            a.len()
+        )));
+    }
+    Ok(a)
+}
+
+/// Extracts and deserializes one struct field.
+#[doc(hidden)]
+pub fn field<T: Deserialize>(m: &Map, name: &str, ty: &str) -> Result<T, DeError> {
+    match m.get(name) {
+        Some(v) => T::from_value(v),
+        None => T::missing().ok_or_else(|| DeError::missing_field(name, ty)),
+    }
+}
+
+// ---------------------------------------------------------------
+// Implementations for std types.
+// ---------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", v))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        // JSON cannot carry non-finite numbers; serde writes null.
+        if v.is_null() {
+            return Ok(f32::NAN);
+        }
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::expected("f32", v))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        if v.is_null() {
+            return Ok(f64::NAN);
+        }
+        v.as_f64().ok_or_else(|| DeError::expected("f64", v))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("single-char string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-char string", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+
+    fn missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        let a = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        a.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError(format!("expected array of {N} elements, got {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let a = as_array_for(v, "tuple", $len)?;
+                Ok(($($name::from_value(&a[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0) with 1;
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys so serialization is deterministic.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by_key(|(k, _)| k.as_str().to_string());
+        let mut m = Map::new();
+        for (k, v) in entries {
+            m.insert(k.clone(), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}

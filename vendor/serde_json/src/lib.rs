@@ -1,0 +1,464 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! A recursive-descent JSON parser and writer over the vendored
+//! `serde` crate's [`Value`] tree. Covers the workspace's usage:
+//! `to_string` / `to_string_pretty` / `to_vec`, `from_str` /
+//! `from_slice`, the [`Value`] type with indexing, and a `json!`
+//! macro for object/array literals with expression values.
+
+#![forbid(unsafe_code)]
+
+pub use serde::value::{Map, Number, Value};
+
+#[doc(hidden)]
+pub mod __private {
+    pub use serde::Serialize;
+}
+
+/// A JSON (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+/// This crate's result type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Infallible in this stand-in; the `Result` keeps call sites
+/// source-compatible with real `serde_json`.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::value::to_json_string(&value.to_value(), false))
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Infallible in this stand-in.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::value::to_json_string(&value.to_value(), true))
+}
+
+/// Serializes a value to compact JSON bytes.
+///
+/// # Errors
+///
+/// Infallible in this stand-in.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible in this stand-in.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Fails on malformed JSON, trailing input, or a shape mismatch with
+/// `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let v = parse_value_complete(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Deserializes a value from JSON bytes (must be UTF-8).
+///
+/// # Errors
+///
+/// Fails on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Deserializes a typed value from an already-parsed [`Value`].
+///
+/// # Errors
+///
+/// Fails on a shape mismatch with `T`.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T> {
+    Ok(T::from_value(&v)?)
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal. Object keys are
+/// string literals; values are arbitrary serializable expressions
+/// (nested literals need an explicit inner `json!`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key.to_string(), $crate::__private::Serialize::to_value(&$val)); )*
+        $crate::Value::Object(m)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::__private::Serialize::to_value(&$elem) ),* ])
+    };
+    ($other:expr) => { $crate::__private::Serialize::to_value(&$other) };
+}
+
+// ---------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------
+
+fn parse_value_complete(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Error::new(format!("{msg} at line {line} column {col}"))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes in one slice.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: expect a low surrogate escape next.
+                    self.eat(b'\\')?;
+                    self.eat(b'u')?;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))?
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                }
+            }
+            _ => return Err(self.err("invalid escape character")),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        // Integers overflowing i64/u64 (e.g. the full decimal
+        // expansion Rust's float Display emits for huge values) fall
+        // back to f64, like real serde_json.
+        let n = if is_float {
+            Number::from_f64(
+                text.parse::<f64>()
+                    .map_err(|_| self.err("invalid number"))?,
+            )
+        } else if text.starts_with('-') {
+            match text.parse::<i64>() {
+                Ok(v) => Number::from_i64(v),
+                Err(_) => Number::from_f64(
+                    text.parse::<f64>()
+                        .map_err(|_| self.err("invalid number"))?,
+                ),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(v) => Number::from_u64(v),
+                Err(_) => Number::from_f64(
+                    text.parse::<f64>()
+                        .map_err(|_| self.err("invalid number"))?,
+                ),
+            }
+        };
+        Ok(Value::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str::<Value>("null").unwrap(), Value::Null);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(
+            from_str::<String>("\"a\\nb\\u00e9\"").unwrap(),
+            "a\nb\u{e9}"
+        );
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for &f in &[
+            0.1f64,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -0.0,
+            123456.789,
+        ] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(f.to_bits(), back.to_bits(), "through {s}");
+        }
+        for &f in &[0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 1e30] {
+            let s = to_string(&f).unwrap();
+            let back: f32 = from_str(&s).unwrap();
+            assert_eq!(f.to_bits(), back.to_bits(), "through {s}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip_as_nan() {
+        let s = to_string(&f32::NAN).unwrap();
+        assert_eq!(s, "null");
+        let back: f32 = from_str(&s).unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v: Vec<(String, u32)> = vec![("a".into(), 1), ("b".into(), 2)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[[\"a\",1],[\"b\",2]]");
+        let back: Vec<(String, u32)> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let name = String::from("x.json");
+        let v = json!({"file": name, "opt": 2u8, "ok": true});
+        assert_eq!(v["file"].as_str(), Some("x.json"));
+        assert_eq!(v["opt"].as_u64(), Some(2));
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert_eq!(json!(null), Value::Null);
+        let a = json!([1u8, 2u8]);
+        assert_eq!(a[1].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let v = json!({"a": 1u8});
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+}
