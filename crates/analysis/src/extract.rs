@@ -16,6 +16,7 @@ use cati_asm::generalize::{generalize, GenInsn};
 use cati_asm::insn::MemAccess;
 use cati_asm::reg::Gpr;
 use cati_dwarf::{Debin17, DebugInfo, DwarfError, TypeClass, VarLocation};
+use cati_obs::{Event, Observer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -226,6 +227,21 @@ fn frame_offset_of(located: &Located, base: Gpr) -> Option<(i32, MemAccess)> {
 /// Fails if the text section does not decode or the debug section is
 /// corrupt.
 pub fn extract(binary: &Binary, view: FeatureView) -> Result<Extraction, ExtractError> {
+    extract_observed(binary, view, &cati_obs::NOOP)
+}
+
+/// [`extract`] with telemetry: emits counters for functions scanned,
+/// variables recovered (labeled and total), and VUCs cut. The returned
+/// extraction is identical to the unobserved path for any observer.
+///
+/// # Errors
+///
+/// Same failure modes as [`extract`].
+pub fn extract_observed(
+    binary: &Binary,
+    view: FeatureView,
+    obs: &dyn Observer,
+) -> Result<Extraction, ExtractError> {
     let insns = binary.disassemble()?;
     let debug = match &binary.debug {
         Some(bytes) => Some(DebugInfo::parse(bytes)?),
@@ -333,6 +349,23 @@ pub fn extract(binary: &Binary, view: FeatureView) -> Result<Extraction, Extract
         vuc.var = remap[vuc.var as usize];
         debug_assert_ne!(vuc.var, u32::MAX);
     }
+
+    obs.event(&Event::Counter {
+        name: "extract.functions",
+        delta: functions.len() as u64,
+    });
+    obs.event(&Event::Counter {
+        name: "extract.vars",
+        delta: kept.len() as u64,
+    });
+    obs.event(&Event::Counter {
+        name: "extract.vars_labeled",
+        delta: kept.iter().filter(|v| v.class.is_some()).count() as u64,
+    });
+    obs.event(&Event::Counter {
+        name: "extract.vucs",
+        delta: vucs.len() as u64,
+    });
 
     Ok(Extraction {
         binary_name: binary.name.clone(),

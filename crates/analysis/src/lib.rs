@@ -27,14 +27,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod extract;
 pub mod recovery;
 pub mod stats;
 
 pub use extract::{
-    detect_frame_base, extract, split_functions, ExtractError, Extraction, FeatureView, VarKey,
-    Variable, Vuc, VUC_LEN, WINDOW,
+    detect_frame_base, extract, extract_observed, split_functions, ExtractError, Extraction,
+    FeatureView, VarKey, Variable, Vuc, VUC_LEN, WINDOW,
 };
 pub use recovery::{recovery_stats, RecoveryStats};
 pub use stats::{clustering_stats, orphan_stats, ClusterStats, ClusteringReport, OrphanStats};

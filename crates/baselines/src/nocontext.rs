@@ -58,7 +58,7 @@ impl NoContextCati {
                 .map(|(app, ex)| (app.clone(), blank_extraction(ex)))
                 .collect(),
         };
-        let stages = MultiStage::train(&blanked, embedder, config, |_| {});
+        let stages = MultiStage::train(&blanked, embedder, config, &cati::obs::NOOP);
         NoContextCati {
             embedder: embedder.clone(),
             stages,

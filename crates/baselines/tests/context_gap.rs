@@ -12,7 +12,7 @@ use rand::SeedableRng;
 
 fn gap_experiment(corpus_cfg: CorpusConfig, config: Config) -> (f64, f64, f64, f64, u64) {
     let corpus = build_corpus(&corpus_cfg);
-    let cati = Cati::train(&corpus.train, &config, |_| {});
+    let cati = Cati::train(&corpus.train, &config, &cati::obs::NOOP);
     let train_ds = Dataset::from_binaries(&corpus.train, FeatureView::WithSymbols);
     let test_ds = Dataset::from_binaries(&corpus.test, FeatureView::Stripped);
     let test: Vec<&cati_analysis::Extraction> = test_ds.iter().map(|(_, e)| e).collect();

@@ -115,7 +115,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     // for extraction + prediction + voting.
     let corpus = build_corpus(&CorpusConfig::small(5));
     let n = corpus.train.len().min(6);
-    let cati = Cati::train(&corpus.train[..n], &Config::small(), |_| {});
+    let cati = Cati::train(&corpus.train[..n], &Config::small(), &cati::obs::NOOP);
     let stripped = corpus.test[0].binary.strip();
     c.bench_function("infer_stripped_binary", |b| {
         b.iter(|| cati.infer(&stripped).unwrap());

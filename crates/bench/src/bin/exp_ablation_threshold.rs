@@ -12,13 +12,14 @@
 use cati::dataset::embed_extraction;
 use cati::report::Table;
 use cati::vote;
-use cati_bench::{load_ctx, Scale};
+use cati_bench::{load_ctx_observed, RunObs, Scale};
 use cati_dwarf::TypeClass;
 use cati_synbin::Compiler;
 
 fn main() {
     let scale = Scale::from_args();
-    let ctx = load_ctx(scale, Compiler::Gcc);
+    let run = RunObs::from_args("exp_ablation_threshold");
+    let ctx = load_ctx_observed(scale, Compiler::Gcc, run.obs());
 
     // Precompute leaf distributions once.
     let mut per_var: Vec<(TypeClass, Vec<Vec<f32>>)> = Vec::new();

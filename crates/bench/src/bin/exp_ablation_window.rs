@@ -13,7 +13,7 @@ use cati::report::Table;
 use cati::{vote, Dataset, MultiStage};
 use cati_analysis::{Extraction, WINDOW};
 use cati_asm::generalize::GenInsn;
-use cati_bench::{load_ctx, Scale};
+use cati_bench::{load_ctx_observed, RunObs, Scale};
 use cati_dwarf::TypeClass;
 use cati_synbin::Compiler;
 
@@ -95,7 +95,8 @@ fn accuracies(
 
 fn main() {
     let scale = Scale::from_args();
-    let ctx = load_ctx(scale, Compiler::Gcc);
+    let run = RunObs::from_args("exp_ablation_window");
+    let ctx = load_ctx_observed(scale, Compiler::Gcc, run.obs());
     let config = scale.config();
 
     let mut table = Table::new(&["window ±w", "VUC accuracy", "variable accuracy", "note"]);
@@ -103,7 +104,7 @@ fn main() {
         eprintln!("[ablation] training with window ±{w}...");
         let train = mask_dataset(&ctx.train, w);
         let test = mask_dataset(&ctx.test, w);
-        let stages = MultiStage::train(&train, &ctx.cati.embedder, &config, |_| {});
+        let stages = MultiStage::train(&train, &ctx.cati.embedder, &config, &cati::obs::NOOP);
         let (vuc, var) = accuracies(&stages, &ctx.cati.embedder, &test, config.vote_threshold);
         let note = match w {
             0 => "target only (no context)",

@@ -8,12 +8,13 @@
 
 use cati::report::{pct, Table};
 use cati_analysis::clustering_stats;
-use cati_bench::{load_ctx, Scale};
+use cati_bench::{load_ctx_observed, RunObs, Scale};
 use cati_synbin::Compiler;
 
 fn main() {
     let scale = Scale::from_args();
-    let ctx = load_ctx(scale, Compiler::Gcc);
+    let run = RunObs::from_args("exp_clustering");
+    let ctx = load_ctx_observed(scale, Compiler::Gcc, run.obs());
 
     let report = clustering_stats(
         ctx.train

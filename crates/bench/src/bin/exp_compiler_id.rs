@@ -7,7 +7,7 @@
 
 use cati::{embedding_sentences, CompilerId};
 use cati_analysis::{Extraction, FeatureView};
-use cati_bench::{Scale, SEED};
+use cati_bench::{RunObs, Scale, SEED};
 use cati_embedding::{VucEmbedder, Word2Vec};
 use cati_synbin::{build_corpus, Compiler};
 use rand::rngs::StdRng;
@@ -15,6 +15,8 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_args();
+    let run = RunObs::from_args("exp_compiler_id");
+    let _main_span = cati::obs::SpanGuard::enter(run.obs(), "main");
     let config = scale.config();
     let gcc = build_corpus(&scale.corpus(SEED).with_compiler(Compiler::Gcc));
     let clang = build_corpus(&scale.corpus(SEED + 1).with_compiler(Compiler::Clang));

@@ -14,12 +14,13 @@ use cati_baselines::{
     blank_extraction, variable_accuracy, NoContextCati, RuleTyper, SignatureKnn, SignatureWidth,
     VarTyper,
 };
-use cati_bench::{load_ctx, Scale};
+use cati_bench::{load_ctx_observed, RunObs, Scale};
 use cati_synbin::Compiler;
 
 fn main() {
     let scale = Scale::from_args();
-    let ctx = load_ctx(scale, Compiler::Gcc);
+    let run = RunObs::from_args("exp_debin_comparison");
+    let ctx = load_ctx_observed(scale, Compiler::Gcc, run.obs());
     let train: Vec<&Extraction> = ctx.train.iter().map(|(_, e)| e).collect();
     let test: Vec<&Extraction> = ctx.test.iter().map(|(_, e)| e).collect();
     let config = scale.config();

@@ -8,14 +8,15 @@
 //! ```
 
 use cati_analysis::{Extraction, WINDOW};
-use cati_bench::{load_ctx, Scale};
+use cati_bench::{load_ctx_observed, RunObs, Scale};
 use cati_dwarf::TypeClass;
 use cati_synbin::Compiler;
 use std::collections::HashMap;
 
 fn main() {
     let scale = Scale::from_args();
-    let ctx = load_ctx(scale, Compiler::Gcc);
+    let run = RunObs::from_args("exp_fig1");
+    let ctx = load_ctx_observed(scale, Compiler::Gcc, run.obs());
 
     // signature -> class -> count, over 1-VUC variables (the orphan
     // population of paper Fig. 1 a/b).

@@ -8,13 +8,14 @@
 
 use cati::{importance_heatmap, occlusion_epsilons};
 use cati_analysis::{Extraction, WINDOW};
-use cati_bench::{load_ctx, Scale};
+use cati_bench::{load_ctx_observed, RunObs, Scale};
 use cati_dwarf::StageId;
 use cati_synbin::Compiler;
 
 fn main() {
     let scale = Scale::from_args();
-    let ctx = load_ctx(scale, Compiler::Gcc);
+    let run = RunObs::from_args("exp_fig6");
+    let ctx = load_ctx_observed(scale, Compiler::Gcc, run.obs());
     let exs: Vec<&Extraction> = ctx.test.iter().map(|(_, e)| e).collect();
     let max_vucs = match scale {
         Scale::Small => 300,

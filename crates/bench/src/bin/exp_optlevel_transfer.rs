@@ -10,7 +10,7 @@
 use cati::report::Table;
 use cati::{pipeline_accuracy, Cati, Dataset};
 use cati_analysis::FeatureView;
-use cati_bench::{Scale, SEED};
+use cati_bench::{RunObs, Scale, SEED};
 use cati_synbin::{build_app, AppProfile, BuiltBinary, CodegenOptions, Compiler, OptLevel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,6 +37,7 @@ fn build_split(scale: Scale, levels: &[OptLevel], seed: u64, projects: usize) ->
 
 fn main() {
     let scale = Scale::from_args();
+    let run = RunObs::from_args("exp_optlevel_transfer");
     let config = scale.config();
     let projects = match scale {
         Scale::Small => 2,
@@ -51,12 +52,12 @@ fn main() {
         "[optlevel] training low-opt model ({} binaries)...",
         low_train.len()
     );
-    let low_model = Cati::train(&low_train, &config, |_| {});
+    let low_model = Cati::train(&low_train, &config, run.obs());
     eprintln!(
         "[optlevel] training all-opt model ({} binaries)...",
         all_train.len()
     );
-    let all_model = Cati::train(&all_train, &config, |_| {});
+    let all_model = Cati::train(&all_train, &config, run.obs());
 
     // Per-level test sets from unseen apps.
     let mut table = Table::new(&[

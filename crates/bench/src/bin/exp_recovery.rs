@@ -9,13 +9,15 @@
 
 use cati::report::{pct, Table};
 use cati_analysis::{recovery_stats, RecoveryStats};
-use cati_bench::{Scale, SEED};
+use cati_bench::{RunObs, Scale, SEED};
 use cati_synbin::{build_app, AppProfile, CodegenOptions, Compiler, OptLevel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_args();
+    let run = RunObs::from_args("exp_recovery");
+    let _main_span = cati::obs::SpanGuard::enter(run.obs(), "main");
     let reps = match scale {
         Scale::Small => 4,
         Scale::Medium => 12,

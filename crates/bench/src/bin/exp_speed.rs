@@ -15,7 +15,7 @@
 
 use cati::{embedding_sentences, Cati, Config, Dataset, MultiStage};
 use cati_analysis::FeatureView;
-use cati_bench::{Scale, SEED};
+use cati_bench::{RunObs, Scale, SEED};
 use cati_embedding::{VucEmbedder, Word2Vec};
 use cati_synbin::{build_corpus, Compiler};
 use rand::rngs::StdRng;
@@ -49,7 +49,7 @@ fn timed_run(
         .expect("thread pool");
 
     let t = Instant::now();
-    let stages = pool.install(|| MultiStage::train(train_ds, embedder, &config, |_| {}));
+    let stages = pool.install(|| MultiStage::train(train_ds, embedder, &config, &cati::obs::NOOP));
     let cnn_train_s = t.elapsed().as_secs_f64();
 
     let cati = Cati {
@@ -89,6 +89,7 @@ fn timed_run(
 
 fn main() {
     let scale = Scale::from_args();
+    let run = RunObs::from_args("exp_speed");
     let config: Config = scale.config();
     let corpus = build_corpus(&scale.corpus(SEED).with_compiler(Compiler::Gcc));
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
@@ -101,7 +102,10 @@ fn main() {
     );
 
     let t = Instant::now();
-    let train_ds = Dataset::from_binaries(&corpus.train, FeatureView::WithSymbols);
+    let train_ds = {
+        let _span = cati::obs::SpanGuard::enter(run.obs(), "extract");
+        Dataset::from_binaries_observed(&corpus.train, FeatureView::WithSymbols, run.obs())
+    };
     let t_extract_train = t.elapsed();
     println!(
         "extraction (train): {:>8.2?}  ({} vars, {} VUCs)",
@@ -113,7 +117,10 @@ fn main() {
     let t = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let sentences = embedding_sentences(&corpus.train, config.max_sentences, &mut rng);
-    let w2v = Word2Vec::train(&sentences, config.w2v);
+    let w2v = {
+        let _span = cati::obs::SpanGuard::enter(run.obs(), "embed");
+        Word2Vec::train_observed(&sentences, config.w2v, run.obs())
+    };
     let t_w2v = t.elapsed();
     println!(
         "Word2Vec training:  {t_w2v:>8.2?}  ({} sentences)",
@@ -179,6 +186,7 @@ fn main() {
         } else {
             "speedups are wall-clock, all-cores vs one worker thread"
         },
+        "metrics": serde_json::to_value(&run.recorder().snapshot()).expect("metrics snapshot"),
     });
     let out = "BENCH_speed.json";
     std::fs::write(
@@ -187,4 +195,11 @@ fn main() {
     )
     .expect("write BENCH_speed.json");
     println!("wrote {out}");
+    run.finish(&json!({
+        "experiment": "speed",
+        "scale": scale.name(),
+        "speedup_train": speedup_train,
+        "speedup_infer": speedup_infer,
+        "models_bit_identical": bit_identical,
+    }));
 }

@@ -7,12 +7,13 @@
 
 use cati::report::{pct, Table};
 use cati_analysis::{orphan_stats, Extraction};
-use cati_bench::{load_ctx, Scale};
+use cati_bench::{load_ctx_observed, RunObs, Scale};
 use cati_synbin::Compiler;
 
 fn main() {
     let scale = Scale::from_args();
-    let ctx = load_ctx(scale, Compiler::Gcc);
+    let run = RunObs::from_args("exp_table1");
+    let ctx = load_ctx_observed(scale, Compiler::Gcc, run.obs());
 
     let train: Vec<&Extraction> = ctx.train.iter().map(|(_, e)| e).collect();
     let test: Vec<&Extraction> = ctx.test.iter().map(|(_, e)| e).collect();

@@ -13,6 +13,8 @@ impl SymbolResolver for Sym {
 }
 
 fn main() {
+    let run = cati_bench::RunObs::from_args("exp_table2");
+    let _main_span = cati::obs::SpanGuard::enter(run.obs(), "main");
     let rows = [
         "add $-0xd0,%rax",
         "lea -0x300(%rbp,%r9,4),%rax",

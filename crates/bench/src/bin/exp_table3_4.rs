@@ -9,7 +9,7 @@
 use cati::report::{cell, Table};
 use cati::{stage_var_metrics, stage_vuc_metrics};
 use cati_analysis::Extraction;
-use cati_bench::{load_ctx, Scale, TEST_APPS};
+use cati_bench::{load_ctx_observed, RunObs, Scale, TEST_APPS};
 use cati_dwarf::StageId;
 use cati_synbin::Compiler;
 
@@ -48,7 +48,8 @@ fn render(
 
 fn main() {
     let scale = Scale::from_args();
-    let ctx = load_ctx(scale, Compiler::Gcc);
+    let run = RunObs::from_args("exp_table3_4");
+    let ctx = load_ctx_observed(scale, Compiler::Gcc, run.obs());
     render(
         &format!(
             "Table III — VUC prediction (P/R/F1) per application ({})",

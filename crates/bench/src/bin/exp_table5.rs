@@ -9,13 +9,14 @@ use cati::dataset::embed_extraction;
 use cati::report::{cell, pct, Table};
 use cati::vote;
 use cati_analysis::clustering_stats;
-use cati_bench::{load_ctx, Scale};
+use cati_bench::{load_ctx_observed, RunObs, Scale};
 use cati_dwarf::{StageId, TypeClass};
 use cati_synbin::Compiler;
 
 fn main() {
     let scale = Scale::from_args();
-    let ctx = load_ctx(scale, Compiler::Gcc);
+    let run = RunObs::from_args("exp_table5");
+    let ctx = load_ctx_observed(scale, Compiler::Gcc, run.obs());
 
     let n = TypeClass::ALL.len();
     // Per class: [stage-depth-0..2 recall numerators/denominators],

@@ -7,12 +7,13 @@
 
 use cati::pipeline_accuracy;
 use cati::report::Table;
-use cati_bench::{load_ctx, Scale, TEST_APPS};
+use cati_bench::{load_ctx_observed, RunObs, Scale, TEST_APPS};
 use cati_synbin::Compiler;
 
 fn main() {
     let scale = Scale::from_args();
-    let ctx = load_ctx(scale, Compiler::Gcc);
+    let run = RunObs::from_args("exp_table6");
+    let ctx = load_ctx_observed(scale, Compiler::Gcc, run.obs());
     let by_app = ctx.test.by_app();
 
     let mut table = Table::new(&["", "VUC Acc", "VUC Support", "Var Acc", "Var Support"]);

@@ -9,13 +9,14 @@
 use cati::report::Table;
 use cati::{pipeline_accuracy, stage_vuc_metrics};
 use cati_analysis::Extraction;
-use cati_bench::{load_ctx, Scale};
+use cati_bench::{load_ctx_observed, RunObs, Scale};
 use cati_dwarf::StageId;
 use cati_synbin::Compiler;
 
 fn main() {
     let scale = Scale::from_args();
-    let ctx = load_ctx(scale, Compiler::Clang);
+    let run = RunObs::from_args("exp_table7");
+    let ctx = load_ctx_observed(scale, Compiler::Clang, run.obs());
     let exs: Vec<&Extraction> = ctx.test.iter().map(|(_, e)| e).collect();
 
     let mut table = Table::new(&["Stage", "Precision", "Recall", "F1-score"]);

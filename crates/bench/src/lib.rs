@@ -9,10 +9,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use cati::obs::{git_rev, Level, LogFormat, Observer, Recorder, RecorderConfig};
 use cati::{Cati, Config, Dataset};
 use cati_analysis::FeatureView;
 use cati_synbin::{build_corpus, Compiler, Corpus, CorpusConfig};
-use std::path::PathBuf;
+use serde_json::{json, Value};
+use std::path::{Path, PathBuf};
 
 /// Experiment scale, selected with `--scale`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +76,114 @@ impl Scale {
 /// Default seed shared by experiments so they describe one corpus.
 pub const SEED: u64 = 2020;
 
+/// Shared telemetry harness for the `exp_*` binaries: one [`Recorder`]
+/// configured from the common CLI flags, plus the run-manifest
+/// plumbing, so every experiment gets spans, metrics, and a
+/// `results/runs/<name>.jsonl` manifest for `cati report`.
+///
+/// Flags parsed from `std::env::args`:
+///
+/// - `--log-format text|json` — mirror events to stderr (default: text)
+/// - `--log-level error|warn|info|debug` — mirror threshold
+/// - `--batch-stats` — also record per-minibatch gradient norms
+/// - `--manifest PATH` — manifest destination (default
+///   `results/runs/<name>.jsonl` under the workspace root)
+/// - `--no-manifest` — skip manifest writing
+pub struct RunObs {
+    recorder: Recorder,
+    name: String,
+    manifest_path: Option<PathBuf>,
+    finished: std::cell::Cell<bool>,
+}
+
+impl RunObs {
+    /// Builds the harness for the experiment named `name`.
+    pub fn from_args(name: &str) -> RunObs {
+        let args: Vec<String> = std::env::args().collect();
+        let arg = |flag: &str| args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone());
+        let cfg = RecorderConfig {
+            log: Some(
+                arg("--log-format")
+                    .map(|s| LogFormat::parse(&s))
+                    .unwrap_or(LogFormat::Text),
+            ),
+            level: arg("--log-level")
+                .map(|s| Level::parse(&s))
+                .unwrap_or(Level::Info),
+            batch_stats: args.iter().any(|a| a == "--batch-stats"),
+        };
+        let manifest_path = if args.iter().any(|a| a == "--no-manifest") {
+            None
+        } else {
+            Some(
+                arg("--manifest")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| runs_dir().join(format!("{name}.jsonl"))),
+            )
+        };
+        RunObs {
+            recorder: Recorder::new(cfg),
+            name: name.to_string(),
+            manifest_path,
+            finished: std::cell::Cell::new(false),
+        }
+    }
+
+    /// The live observer to pass into instrumented pipeline APIs.
+    pub fn obs(&self) -> &dyn Observer {
+        &self.recorder
+    }
+
+    /// The recorder, for direct access to metrics and the timeline.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Writes the run manifest (unless `--no-manifest`), merging the
+    /// experiment's own result fields from `extra` into the meta line
+    /// alongside the standard `name` / `seed` / `git_rev` keys.
+    /// Returns the manifest path when one was written.
+    pub fn finish(&self, extra: &Value) -> Option<PathBuf> {
+        self.finished.set(true);
+        let path = self.manifest_path.as_ref()?;
+        let mut meta = serde_json::Map::new();
+        meta.insert("name".to_string(), json!(self.name.as_str()));
+        meta.insert("seed".to_string(), json!(SEED));
+        if let Some(rev) = git_rev(Path::new(env!("CARGO_MANIFEST_DIR"))) {
+            meta.insert("git_rev".to_string(), json!(rev));
+        }
+        if let Value::Object(extra) = extra {
+            for (k, v) in extra.iter() {
+                meta.insert(k.clone(), v.clone());
+            }
+        }
+        match self.recorder.write_manifest(path, &Value::Object(meta)) {
+            Ok(()) => {
+                eprintln!("[obs] wrote manifest {}", path.display());
+                Some(path.clone())
+            }
+            Err(e) => {
+                eprintln!("[obs] manifest write failed: {e}");
+                None
+            }
+        }
+    }
+}
+
+impl Drop for RunObs {
+    /// Experiments that never call [`RunObs::finish`] still get their
+    /// manifest written (with the standard meta only) on scope exit.
+    fn drop(&mut self) {
+        if !self.finished.get() {
+            self.finish(&Value::Null);
+        }
+    }
+}
+
+fn runs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/runs")
+}
+
 /// A fully prepared experiment context.
 pub struct Ctx {
     /// The corpus (train + test).
@@ -95,18 +205,25 @@ fn cache_dir() -> PathBuf {
 }
 
 /// Builds the corpus and trains (or loads a cached) model for `scale`
-/// and `compiler`.
-pub fn load_ctx(scale: Scale, compiler: Compiler) -> Ctx {
+/// and `compiler`. `obs` receives the context-preparation telemetry:
+/// `ctx.*` spans, extraction counters, and training events when the
+/// cache misses.
+pub fn load_ctx_observed(scale: Scale, compiler: Compiler, obs: &dyn Observer) -> Ctx {
     let config = scale.config();
     let corpus_cfg = scale.corpus(SEED).with_compiler(compiler);
-    eprintln!(
-        "[ctx] building corpus ({}, {})...",
+    cati::obs::info!(
+        obs,
+        "building corpus ({}, {})...",
         scale.name(),
         compiler.name()
     );
-    let corpus = build_corpus(&corpus_cfg);
-    eprintln!(
-        "[ctx] {} train binaries, {} test binaries",
+    let corpus = {
+        let _span = cati::obs::SpanGuard::enter(obs, "ctx.corpus");
+        build_corpus(&corpus_cfg)
+    };
+    cati::obs::info!(
+        obs,
+        "{} train binaries, {} test binaries",
         corpus.train.len(),
         corpus.test.len()
     );
@@ -117,27 +234,36 @@ pub fn load_ctx(scale: Scale, compiler: Compiler) -> Ctx {
     ));
     let cati = match Cati::load(&cache) {
         Ok(model) if model.config == config => {
-            eprintln!("[ctx] loaded cached model {}", cache.display());
+            cati::obs::info!(obs, "loaded cached model {}", cache.display());
             model
         }
         _ => {
-            eprintln!("[ctx] training model (no cache hit)...");
-            let model = Cati::train(&corpus.train, &config, |line| eprintln!("[train] {line}"));
+            cati::obs::info!(obs, "training model (no cache hit)...");
+            let model = Cati::train(&corpus.train, &config, obs);
             if let Err(e) = model.save(&cache) {
-                eprintln!("[ctx] cache write failed: {e}");
+                cati::obs::info!(obs, "cache write failed: {e}");
             }
             model
         }
     };
-    eprintln!("[ctx] extracting test set...");
-    let test = Dataset::from_binaries(&corpus.test, FeatureView::Stripped);
-    let train = Dataset::from_binaries(&corpus.train, FeatureView::WithSymbols);
+    cati::obs::info!(obs, "extracting test set...");
+    let _span = cati::obs::SpanGuard::enter(obs, "ctx.extract_test");
+    let test = Dataset::from_binaries_observed(&corpus.test, FeatureView::Stripped, obs);
+    let train = Dataset::from_binaries_observed(&corpus.train, FeatureView::WithSymbols, obs);
     Ctx {
         corpus,
         cati,
         test,
         train,
     }
+}
+
+/// [`load_ctx_observed`] with progress mirrored to stderr and no
+/// further telemetry — the drop-in for experiments that manage their
+/// own observer separately.
+pub fn load_ctx(scale: Scale, compiler: Compiler) -> Ctx {
+    let obs = cati::obs::FnObserver(|line: &str| eprintln!("[ctx] {line}"));
+    load_ctx_observed(scale, compiler, &obs)
 }
 
 /// The 12 test application names, in the paper's column order.

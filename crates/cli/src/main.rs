@@ -15,6 +15,7 @@
 //! [`cati_asm::Binary`]; `build-corpus` writes one file per binary
 //! plus a manifest.
 
+use cati::obs::{git_rev, Level, LogFormat, Manifest, Recorder, RecorderConfig};
 use cati::{Cati, Config};
 use cati_analysis::{extract, FeatureView};
 use cati_asm::binary::Binary;
@@ -85,6 +86,54 @@ fn scale_of(args: &Args) -> (Config, fn(u64) -> CorpusConfig) {
         config.threads = t.parse().unwrap_or(0);
     }
     (config, corpus)
+}
+
+/// Builds the telemetry recorder from the shared observability flags:
+/// `--log-format text|json` (default text), `--log-level
+/// error|warn|info|debug` (default info), `--batch-stats`.
+fn recorder_of(args: &Args) -> Recorder {
+    Recorder::new(RecorderConfig {
+        log: Some(
+            args.flags
+                .get("log-format")
+                .map(|s| LogFormat::parse(s))
+                .unwrap_or(LogFormat::Text),
+        ),
+        level: args
+            .flags
+            .get("log-level")
+            .map(|s| Level::parse(s))
+            .unwrap_or(Level::Info),
+        batch_stats: args.switches.contains("batch-stats"),
+    })
+}
+
+/// Writes the run manifest when `--manifest PATH` was given. `extra`
+/// keys join the standard `name` / `git_rev` meta fields.
+fn write_manifest_if_requested(
+    args: &Args,
+    recorder: &Recorder,
+    name: &str,
+    extra: &serde_json::Value,
+) -> Result<(), String> {
+    let Some(path) = args.flags.get("manifest") else {
+        return Ok(());
+    };
+    let mut meta = serde_json::Map::new();
+    meta.insert("name".to_string(), serde_json::json!(name));
+    if let Some(rev) = git_rev(Path::new(".")) {
+        meta.insert("git_rev".to_string(), serde_json::json!(rev));
+    }
+    if let serde_json::Value::Object(extra) = extra {
+        for (k, v) in extra.iter() {
+            meta.insert(k.clone(), v.clone());
+        }
+    }
+    recorder
+        .write_manifest(path, &serde_json::Value::Object(meta))
+        .map_err(|e| e.to_string())?;
+    println!("manifest written to {path}");
+    Ok(())
 }
 
 fn cmd_build_corpus(args: &Args) -> Result<(), String> {
@@ -204,34 +253,71 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     let mut train = Vec::new();
+    let mut holdout = Vec::new();
     for entry in &manifest {
-        if entry["split"] == "train" {
-            let file = entry["file"].as_str().ok_or("bad manifest")?;
-            let binary = load_binary(corpus_dir.join(file).to_str().unwrap())?;
-            let opt = entry["opt"].as_u64().unwrap_or(0) as u8;
-            let compiler = if entry["compiler"] == "clang" {
-                Compiler::Clang
-            } else {
-                Compiler::Gcc
-            };
-            train.push(cati_synbin::BuiltBinary {
-                binary,
-                app: entry["app"].as_str().unwrap_or("unknown").to_string(),
-                opts: cati_synbin::CodegenOptions {
-                    compiler,
-                    opt: cati_synbin::OptLevel(opt),
-                },
-            });
+        let split = entry["split"].as_str().unwrap_or("");
+        if split != "train" && split != "test" {
+            continue;
+        }
+        let file = entry["file"].as_str().ok_or("bad manifest")?;
+        let binary = load_binary(corpus_dir.join(file).to_str().unwrap())?;
+        let opt = entry["opt"].as_u64().unwrap_or(0) as u8;
+        let compiler = if entry["compiler"] == "clang" {
+            Compiler::Clang
+        } else {
+            Compiler::Gcc
+        };
+        let built = cati_synbin::BuiltBinary {
+            binary,
+            app: entry["app"].as_str().unwrap_or("unknown").to_string(),
+            opts: cati_synbin::CodegenOptions {
+                compiler,
+                opt: cati_synbin::OptLevel(opt),
+            },
+        };
+        if split == "train" {
+            train.push(built);
+        } else if holdout.len() < 4 {
+            holdout.push(built);
         }
     }
     if train.is_empty() {
         return Err("no training binaries in manifest".into());
     }
     println!("training on {} binaries...", train.len());
-    let cati = Cati::train(&train, &config, |line| println!("  {line}"));
+    let recorder = recorder_of(args);
+    let cati = Cati::train(&train, &config, &recorder);
     cati.save(out).map_err(|e| e.to_string())?;
     println!("model saved to {out}");
-    Ok(())
+    // Score a small held-out sample so the run manifest also captures
+    // voting telemetry (clip counters, confidence histogram) — not
+    // just the training curves.
+    if !holdout.is_empty() {
+        let _span = cati::obs::SpanGuard::enter(&recorder, "holdout");
+        let mut typed = 0usize;
+        for built in &holdout {
+            typed += cati
+                .infer_observed(&built.binary.strip(), &recorder)
+                .map_err(|e| e.to_string())?
+                .len();
+        }
+        cati::obs::info!(
+            &recorder,
+            "holdout: typed {typed} variables over {} stripped binaries",
+            holdout.len()
+        );
+    }
+    write_manifest_if_requested(
+        args,
+        &recorder,
+        "train",
+        &serde_json::json!({
+            "seed": config.seed,
+            "binaries": train.len(),
+            "config": serde_json::to_value(&config).map_err(|e| e.to_string())?,
+            "model": out.as_str(),
+        }),
+    )
 }
 
 fn cmd_infer(args: &Args) -> Result<(), String> {
@@ -249,8 +335,21 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     if let Some(t) = args.flags.get("threads") {
         cati.config.threads = t.parse().unwrap_or(0);
     }
-    let mut inferred = cati.infer(&binary).map_err(|e| e.to_string())?;
+    let recorder = recorder_of(args);
+    let mut inferred = cati
+        .infer_observed(&binary, &recorder)
+        .map_err(|e| e.to_string())?;
     inferred.sort_by_key(|v| (v.key.func, v.key.offset));
+    write_manifest_if_requested(
+        args,
+        &recorder,
+        "infer",
+        &serde_json::json!({
+            "model": model.as_str(),
+            "binary": path.as_str(),
+            "variables": inferred.len(),
+        }),
+    )?;
     if args.switches.contains("json") {
         println!(
             "{}",
@@ -271,6 +370,39 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
             var.vuc_count,
             var.confidence * 100.0
         );
+    }
+    Ok(())
+}
+
+/// Reads and parses one run manifest.
+fn load_manifest(path: &str) -> Result<Manifest, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    Manifest::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("report requires a manifest path")?;
+    let manifest = load_manifest(path)?;
+    if args.switches.contains("validate") {
+        manifest
+            .validate()
+            .map_err(|e| format!("{path}: INVALID: {e}"))?;
+        println!(
+            "{path}: OK ({} spans, {} loss records)",
+            manifest.spans.len(),
+            manifest.losses.len()
+        );
+        return Ok(());
+    }
+    match args.positional.get(1) {
+        Some(other) => {
+            let b = load_manifest(other)?;
+            print!("{}", Manifest::diff(&manifest, &b));
+        }
+        None => print!("{}", manifest.render()),
     }
     Ok(())
 }
@@ -296,10 +428,21 @@ USAGE:
   cati vars BINARY.json
   cati train --corpus DIR --out MODEL.json [--scale small|medium|paper] [--threads N]
   cati infer --model MODEL.json BINARY.json [--json] [--threads N]
+  cati report MANIFEST.jsonl [OTHER.jsonl] [--validate]
+  cati strip BINARY.json --out STRIPPED.json
 
 Training and batched inference use --threads worker threads
 (0 or omitted = all cores); results are bit-identical for any value.
-  cati strip BINARY.json --out STRIPPED.json
+
+Telemetry (train and infer):
+  --log-format text|json        live event mirror on stderr (default text)
+  --log-level error|warn|info|debug
+  --manifest PATH               write a run manifest (JSONL) for `cati report`
+  --batch-stats                 also record per-minibatch gradient norms
+
+`cati report` pretty-prints one manifest, diffs two, or with
+--validate checks structure (meta line, spans/losses, monotonic
+timestamps) and exits non-zero on failure.
 ";
 
 fn main() -> ExitCode {
@@ -315,6 +458,7 @@ fn main() -> ExitCode {
         "vars" => cmd_vars(&args),
         "train" => cmd_train(&args),
         "infer" => cmd_infer(&args),
+        "report" => cmd_report(&args),
         "strip" => cmd_strip(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -1,10 +1,11 @@
 //! Dataset assembly: corpus → extractions → embedding sentences →
 //! per-stage training sets.
 
-use cati_analysis::{extract, Extraction, FeatureView};
+use cati_analysis::{extract_observed, Extraction, FeatureView};
 use cati_asm::generalize::generalize;
 use cati_dwarf::{StageId, TypeClass};
 use cati_embedding::VucEmbedder;
+use cati_obs::Observer;
 use cati_synbin::BuiltBinary;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -28,10 +29,26 @@ impl Dataset {
     /// Panics if a binary fails to extract — corpus binaries are
     /// produced by our own linker, so failure indicates a bug.
     pub fn from_binaries(built: &[BuiltBinary], view: FeatureView) -> Dataset {
+        Dataset::from_binaries_observed(built, view, &cati_obs::NOOP)
+    }
+
+    /// [`Dataset::from_binaries`] with telemetry: extraction counters
+    /// (functions, variables, VUCs) accumulate into `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a binary fails to extract — corpus binaries are
+    /// produced by our own linker, so failure indicates a bug.
+    pub fn from_binaries_observed(
+        built: &[BuiltBinary],
+        view: FeatureView,
+        obs: &dyn Observer,
+    ) -> Dataset {
         let entries = built
             .par_iter()
             .map(|b| {
-                let ex = extract(&b.binary, view).expect("corpus binary must extract");
+                let ex =
+                    extract_observed(&b.binary, view, obs).expect("corpus binary must extract");
                 (b.app.clone(), ex)
             })
             .collect();

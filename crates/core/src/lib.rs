@@ -24,7 +24,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let corpus = build_corpus(&CorpusConfig::small(7));
-//! let cati = Cati::train(&corpus.train[..4], &Config::small(), |_| {});
+//! let cati = Cati::train(&corpus.train[..4], &Config::small(), &cati::obs::NOOP);
 //! let stripped = corpus.test[0].binary.strip();
 //! let vars = cati.infer(&stripped)?;
 //! for var in vars.iter().take(3) {
@@ -37,6 +37,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod compiler_id;
 pub mod config;
@@ -68,4 +69,5 @@ pub use cati_asm as asm;
 pub use cati_dwarf as dwarf;
 pub use cati_embedding as embedding;
 pub use cati_nn as nn;
+pub use cati_obs as obs;
 pub use cati_synbin as synbin;

@@ -4,11 +4,13 @@ use crate::config::Config;
 use crate::dataset::{stage_dataset, Dataset};
 use cati_dwarf::{StageId, TypeClass};
 use cati_embedding::VucEmbedder;
-use cati_nn::{Adam, TextCnn, TextCnnConfig};
+use cati_nn::{Adam, TextCnn, TextCnnConfig, TrainHook};
+use cati_obs::{Event, Level, Observer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// RNG stream seed for one stage's data sampling and batch schedule:
 /// the master seed mixed with a stage-specific odd multiplier
@@ -16,6 +18,40 @@ use serde::{Deserialize, Serialize};
 /// from each other and from the `seed ^ stage` model-init seeds.
 fn stage_seed(seed: u64, stage: StageId) -> u64 {
     seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stage as u64 + 1)
+}
+
+/// Adapts the [`cati_nn::TrainHook`] batch/epoch callbacks of one
+/// stage's training loop to typed [`Observer`] events. Gradient norms
+/// are only requested (and thus computed) when the observer asks for
+/// batch statistics.
+struct EpochHook<'a> {
+    obs: &'a dyn Observer,
+    stage: &'a str,
+    epoch: usize,
+}
+
+impl TrainHook for EpochHook<'_> {
+    fn wants_grad_norm(&self) -> bool {
+        self.obs.wants_batch_stats()
+    }
+
+    fn on_batch(&mut self, batch: usize, _mean_loss: f32, grad_norm: Option<f32>) {
+        if let Some(norm) = grad_norm {
+            self.obs.event(&Event::GradNorm {
+                stage: self.stage,
+                batch,
+                norm: norm as f64,
+            });
+        }
+    }
+
+    fn on_epoch(&mut self, mean_loss: f32) {
+        self.obs.event(&Event::EpochLoss {
+            stage: self.stage,
+            epoch: self.epoch,
+            loss: mean_loss as f64,
+        });
+    }
 }
 
 /// The six trained stage models.
@@ -26,25 +62,31 @@ pub struct MultiStage {
 
 impl MultiStage {
     /// Trains all six stages on `dataset` using `embedder` features.
-    /// `progress` receives one line per stage (in stage order, after
-    /// training finishes).
+    /// `obs` receives one `train.<stage>` span and per-epoch
+    /// [`Event::EpochLoss`] events per stage as workers emit them,
+    /// plus one summary [`Event::Message`] per stage (in stage order,
+    /// after training finishes).
     ///
     /// Each stage derives its own RNG from `(seed, stage)`, so its
     /// data sampling and batch schedule never depend on how much
     /// randomness earlier stages consumed. That independence is what
     /// lets the six stages train concurrently — one worker per stage
     /// — while staying bit-identical to sequential training and to
-    /// any other thread count.
+    /// any other thread count. Observers only read the computation,
+    /// so the trained models are identical whatever observer is
+    /// installed.
     pub fn train(
         dataset: &Dataset,
         embedder: &VucEmbedder,
         config: &Config,
-        mut progress: impl FnMut(&str),
+        obs: &dyn Observer,
     ) -> MultiStage {
         let trained: Vec<(StageId, TextCnn, String)> = StageId::ALL
             .par_iter()
             .with_max_len(1)
             .map(|&stage| {
+                let t0 = Instant::now();
+                let stage_name = stage.to_string();
                 let mut rng = StdRng::seed_from_u64(stage_seed(config.seed, stage));
                 let data = stage_dataset(
                     dataset,
@@ -54,6 +96,10 @@ impl MultiStage {
                     config.oversample_floor,
                     &mut rng,
                 );
+                obs.event(&Event::Counter {
+                    name: "train.samples",
+                    delta: data.len() as u64,
+                });
                 let cnn_cfg = TextCnnConfig {
                     seq_len: cati_analysis::VUC_LEN,
                     embed_dim: embedder.embed_dim(),
@@ -65,16 +111,37 @@ impl MultiStage {
                 let mut model = TextCnn::new(cnn_cfg, config.seed ^ stage as u64);
                 let mut opt = Adam::new(config.lr);
                 let mut last_loss = f32::NAN;
-                for _ in 0..config.epochs {
-                    last_loss = model.train_epoch(&data, &mut opt, config.batch, &mut rng);
+                let mut hook = EpochHook {
+                    obs,
+                    stage: &stage_name,
+                    epoch: 0,
+                };
+                for epoch in 0..config.epochs {
+                    hook.epoch = epoch;
+                    last_loss = model.train_epoch_hooked(
+                        &data,
+                        &mut opt,
+                        config.batch,
+                        &mut rng,
+                        &mut hook,
+                    );
                 }
+                // Fixed span path regardless of which thread trained
+                // the stage (workers have their own span stacks).
+                obs.event(&Event::SpanClose {
+                    path: &format!("train.{stage_name}"),
+                    nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                });
                 let line = format!("{stage}: {} samples, final loss {last_loss:.4}", data.len());
                 (stage, model, line)
             })
             .collect();
         let mut models = Vec::with_capacity(trained.len());
         for (stage, model, line) in trained {
-            progress(&line);
+            obs.event(&Event::Message {
+                level: Level::Info,
+                text: &line,
+            });
             models.push((stage, model));
         }
         MultiStage { models }
@@ -204,7 +271,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let sentences = embedding_sentences(&corpus.train, config.max_sentences, &mut rng);
         let embedder = VucEmbedder::new(Word2Vec::train(&sentences, config.w2v));
-        let ms = MultiStage::train(&ds, &embedder, &config, |_| {});
+        let ms = MultiStage::train(&ds, &embedder, &config, &cati_obs::NOOP);
         (ms, embedder, ds)
     }
 

@@ -115,7 +115,11 @@ mod tests {
         // trained-free sanity check via a tiny untrained system.
         let cfg = crate::config::Config::small();
         let corpus = cati_synbin::build_corpus(&cati_synbin::CorpusConfig::small(31));
-        let cati = Cati::train(&corpus.train[..2.min(corpus.train.len())], &cfg, |_| {});
+        let cati = Cati::train(
+            &corpus.train[..2.min(corpus.train.len())],
+            &cfg,
+            &cati_obs::NOOP,
+        );
         let window = vec![GenInsn::blank(); VUC_LEN];
         let eps = occlusion_epsilons(&cati, &window, StageId::Stage1);
         assert_eq!(eps.len(), VUC_LEN);

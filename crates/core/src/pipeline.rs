@@ -6,10 +6,12 @@ use crate::dataset::{embed_extraction, embedding_sentences, Dataset};
 use crate::metrics::{Confusion, Prf};
 use crate::multistage::MultiStage;
 use crate::vote::vote;
-use cati_analysis::{extract, ExtractError, Extraction, FeatureView, VarKey};
+use cati_analysis::{extract_observed, ExtractError, Extraction, FeatureView, VarKey};
 use cati_asm::binary::Binary;
 use cati_dwarf::{StageId, TypeClass};
 use cati_embedding::{VucEmbedder, Word2Vec};
+use cati_obs::metrics::UNIT_BUCKETS;
+use cati_obs::{Event, Observer, SpanGuard};
 use cati_synbin::BuiltBinary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -54,24 +56,33 @@ pub struct InferredVar {
 
 impl Cati {
     /// Trains the full pipeline on `train` binaries: extraction →
-    /// Word2Vec → six stage CNNs. `progress` receives status lines.
-    pub fn train(train: &[BuiltBinary], config: &Config, mut progress: impl FnMut(&str)) -> Cati {
+    /// Word2Vec → six stage CNNs. `obs` receives typed telemetry:
+    /// phase spans (`extract`, `embed`, `train.<stage>`), extraction
+    /// counters, per-epoch losses, and human-readable progress
+    /// messages. Pass `&cati_obs::NOOP` (or any legacy line callback
+    /// wrapped in [`cati_obs::FnObserver`]) when telemetry is not
+    /// wanted; the trained system is bit-identical either way.
+    pub fn train(train: &[BuiltBinary], config: &Config, obs: &dyn Observer) -> Cati {
         config.with_threads(|| {
             let mut rng = StdRng::seed_from_u64(config.seed);
-            progress(&format!("extracting {} training binaries", train.len()));
-            let dataset = Dataset::from_binaries(train, FeatureView::WithSymbols);
-            progress(&format!(
+            cati_obs::info!(obs, "extracting {} training binaries", train.len());
+            let dataset = {
+                let _span = SpanGuard::enter(obs, "extract");
+                Dataset::from_binaries_observed(train, FeatureView::WithSymbols, obs)
+            };
+            cati_obs::info!(
+                obs,
                 "extracted {} variables / {} VUCs",
                 dataset.var_count(),
                 dataset.vuc_count()
-            ));
-            let sentences = embedding_sentences(train, config.max_sentences, &mut rng);
-            progress(&format!(
-                "training Word2Vec on {} sentences",
-                sentences.len()
-            ));
-            let embedder = VucEmbedder::new(Word2Vec::train(&sentences, config.w2v));
-            let stages = MultiStage::train(&dataset, &embedder, config, &mut progress);
+            );
+            let embedder = {
+                let _span = SpanGuard::enter(obs, "embed");
+                let sentences = embedding_sentences(train, config.max_sentences, &mut rng);
+                cati_obs::info!(obs, "training Word2Vec on {} sentences", sentences.len());
+                VucEmbedder::new(Word2Vec::train_observed(&sentences, config.w2v, obs))
+            };
+            let stages = MultiStage::train(&dataset, &embedder, config, obs);
             Cati {
                 config: *config,
                 embedder,
@@ -91,7 +102,16 @@ impl Cati {
     /// the whole extraction; votes index the shared distribution
     /// table by reference instead of cloning per-variable copies.
     pub fn evaluate(&self, ex: &Extraction) -> Evaluation {
+        self.evaluate_observed(ex, &cati_obs::NOOP)
+    }
+
+    /// [`Cati::evaluate`] with telemetry: an `evaluate` span, vote
+    /// clip-rate counters (`vote.clipped` / `vote.considered`), and a
+    /// winning-share histogram (`vote.confidence`). The evaluation is
+    /// bit-identical to the unobserved path for any observer.
+    pub fn evaluate_observed(&self, ex: &Extraction, obs: &dyn Observer) -> Evaluation {
         self.config.with_threads(|| {
+            let _span = SpanGuard::enter(obs, "evaluate");
             let xs = embed_extraction(ex, &self.embedder);
             let vuc_dists = self.stages.leaf_distributions_batch(&xs);
             let vuc_preds: Vec<TypeClass> = vuc_dists
@@ -105,6 +125,12 @@ impl Cati {
                         .unwrap_or(0)]
                 })
                 .collect();
+            obs.event(&Event::RegisterHistogram {
+                name: "vote.confidence",
+                bounds: &UNIT_BUCKETS,
+            });
+            let mut clipped = 0u64;
+            let mut considered = 0u64;
             let var_preds = ex
                 .vars
                 .iter()
@@ -114,9 +140,29 @@ impl Cati {
                         .iter()
                         .map(|&v| vuc_dists[v as usize].as_slice())
                         .collect();
-                    TypeClass::ALL[vote(&dists, self.config.vote_threshold).class]
+                    let result = vote(&dists, self.config.vote_threshold);
+                    clipped += u64::from(result.clipped);
+                    considered += (dists.len() * result.totals.len()) as u64;
+                    let share = result.totals[result.class] / dists.len() as f32;
+                    obs.event(&Event::Observe {
+                        name: "vote.confidence",
+                        value: f64::from(share.min(1.0)),
+                    });
+                    TypeClass::ALL[result.class]
                 })
                 .collect();
+            obs.event(&Event::Counter {
+                name: "vote.vars",
+                delta: ex.vars.len() as u64,
+            });
+            obs.event(&Event::Counter {
+                name: "vote.clipped",
+                delta: clipped,
+            });
+            obs.event(&Event::Counter {
+                name: "vote.considered",
+                delta: considered,
+            });
             Evaluation {
                 vuc_dists,
                 vuc_preds,
@@ -132,8 +178,25 @@ impl Cati {
     ///
     /// Fails if the binary's text section does not decode.
     pub fn infer(&self, binary: &Binary) -> Result<Vec<InferredVar>, ExtractError> {
-        let ex = extract(binary, FeatureView::Stripped)?;
-        let eval = self.evaluate(&ex);
+        self.infer_observed(binary, &cati_obs::NOOP)
+    }
+
+    /// [`Cati::infer`] with telemetry: an `infer` span plus the
+    /// extraction counters and vote metrics of the inner phases. The
+    /// inferences are bit-identical to the unobserved path for any
+    /// observer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the binary's text section does not decode.
+    pub fn infer_observed(
+        &self,
+        binary: &Binary,
+        obs: &dyn Observer,
+    ) -> Result<Vec<InferredVar>, ExtractError> {
+        let _span = SpanGuard::enter(obs, "infer");
+        let ex = extract_observed(binary, FeatureView::Stripped, obs)?;
+        let eval = self.evaluate_observed(&ex, obs);
         Ok(ex
             .vars
             .iter()
@@ -156,24 +219,65 @@ impl Cati {
             .collect())
     }
 
-    /// Serializes the trained system to JSON at `path`.
+    /// Serializes the trained system to JSON at `path`, atomically:
+    /// the model is written to a `.tmp` sibling and renamed into
+    /// place, so a crash mid-write never leaves a truncated model at
+    /// the target path.
     ///
     /// # Errors
     ///
-    /// Propagates I/O and serialization failures.
+    /// Propagates I/O and serialization failures, each annotated with
+    /// the path (and payload size) involved.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let json = serde_json::to_vec(self).map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+        let path = path.as_ref();
+        let json = serde_json::to_vec(self).map_err(|e| {
+            std::io::Error::other(format!("serialize model for {}: {e}", path.display()))
+        })?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, &json).map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!(
+                    "write model ({} bytes) to {}: {e}",
+                    json.len(),
+                    tmp.display()
+                ),
+            )
+        })?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!("rename {} -> {}: {e}", tmp.display(), path.display()),
+            )
+        })
     }
 
     /// Loads a system serialized by [`Cati::save`].
     ///
     /// # Errors
     ///
-    /// Propagates I/O and deserialization failures.
+    /// Propagates I/O and deserialization failures. Parse failures are
+    /// reported as [`std::io::ErrorKind::InvalidData`] and carry the
+    /// path, the file size, and the parser's line/column position —
+    /// enough to locate a truncated or corrupted byte without a
+    /// debugger.
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<Cati> {
-        let bytes = std::fs::read(path)?;
-        serde_json::from_slice(&bytes).map_err(std::io::Error::other)
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| {
+            std::io::Error::new(e.kind(), format!("read model {}: {e}", path.display()))
+        })?;
+        serde_json::from_slice(&bytes).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "parse model {} ({} bytes): {e}",
+                    path.display(),
+                    bytes.len()
+                ),
+            )
+        })
     }
 }
 

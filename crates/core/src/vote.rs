@@ -13,6 +13,9 @@ pub struct VoteResult {
     pub class: usize,
     /// Per-class accumulated (clipped) confidence.
     pub totals: Vec<f32>,
+    /// How many confidences Eq. 3 promoted to 1.0 (telemetry: the
+    /// clip rate is `clipped / (VUCs × classes)`).
+    pub clipped: u32,
 }
 
 /// Applies Eq. 3's clipping to one distribution.
@@ -37,11 +40,17 @@ pub fn vote<D: AsRef<[f32]>>(distributions: &[D], threshold: f32) -> VoteResult 
     assert!(!distributions.is_empty(), "cannot vote over zero VUCs");
     let classes = distributions[0].as_ref().len();
     let mut totals = vec![0.0f32; classes];
+    let mut clipped = 0u32;
     for dist in distributions {
         let dist = dist.as_ref();
         assert_eq!(dist.len(), classes, "inconsistent class counts");
         for (t, &p) in totals.iter_mut().zip(dist) {
-            *t += if p >= threshold { 1.0 } else { p };
+            if p >= threshold {
+                *t += 1.0;
+                clipped += 1;
+            } else {
+                *t += p;
+            }
         }
     }
     let class = totals
@@ -50,7 +59,11 @@ pub fn vote<D: AsRef<[f32]>>(distributions: &[D], threshold: f32) -> VoteResult 
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .expect("non-empty totals");
-    VoteResult { class, totals }
+    VoteResult {
+        class,
+        totals,
+        clipped,
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +115,13 @@ mod tests {
     #[should_panic(expected = "cannot vote over zero VUCs")]
     fn empty_vote_panics() {
         vote::<Vec<f32>>(&[], 0.9);
+    }
+
+    #[test]
+    fn clipped_counts_promotions() {
+        let dists = vec![vec![0.91, 0.09], vec![0.95, 0.05], vec![0.3, 0.7]];
+        assert_eq!(vote(&dists, 0.9).clipped, 2);
+        assert_eq!(vote(&dists, 1.1).clipped, 0);
     }
 
     #[test]

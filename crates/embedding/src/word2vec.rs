@@ -4,6 +4,7 @@
 //! at paper scale); the resulting input vectors feed the VUC embedder.
 
 use crate::vocab::Vocab;
+use cati_obs::{Event, Observer, SpanGuard};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -72,7 +73,30 @@ fn sigmoid(x: f32) -> f32 {
 impl Word2Vec {
     /// Trains a model over `sentences` (token streams).
     pub fn train(sentences: &[Vec<String>], cfg: W2vConfig) -> Word2Vec {
+        Word2Vec::train_observed(sentences, cfg, &cati_obs::NOOP)
+    }
+
+    /// [`Word2Vec::train`] with telemetry: per-epoch spans plus
+    /// corpus-size counters and a vocabulary gauge. The trained model
+    /// is bit-identical to the unobserved path for any observer.
+    pub fn train_observed(
+        sentences: &[Vec<String>],
+        cfg: W2vConfig,
+        obs: &dyn Observer,
+    ) -> Word2Vec {
         let vocab = Vocab::build(sentences, 1);
+        obs.event(&Event::Counter {
+            name: "embed.sentences",
+            delta: sentences.len() as u64,
+        });
+        obs.event(&Event::Counter {
+            name: "embed.tokens",
+            delta: sentences.iter().map(Vec::len).sum::<usize>() as u64,
+        });
+        obs.event(&Event::Gauge {
+            name: "embed.vocab_size",
+            value: vocab.len() as f64,
+        });
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let n = vocab.len().max(1);
         let mut input: Vec<f32> = (0..n * cfg.dim)
@@ -85,7 +109,8 @@ impl Word2Vec {
         let mut step = 0usize;
         let mut grad = vec![0.0f32; cfg.dim];
 
-        for _ in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            let _epoch_span = SpanGuard::enter(obs, &format!("epoch{epoch}"));
             for sentence in &encoded {
                 for (pos, &center) in sentence.iter().enumerate() {
                     step += 1;

@@ -24,10 +24,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod layers;
 pub mod model;
 pub mod optim;
 
-pub use model::{TextCnn, TextCnnConfig, Workspace};
+pub use model::{NoHook, TextCnn, TextCnnConfig, TrainHook, Workspace};
 pub use optim::{Adam, GradBuffers, Sgd};

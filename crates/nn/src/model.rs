@@ -60,6 +60,36 @@ impl TextCnnConfig {
     }
 }
 
+/// Receives per-batch / per-epoch training statistics from
+/// [`TextCnn::train_epoch_hooked`]. Hooks observe training — they
+/// never influence it, so the trained weights are bit-identical
+/// whatever hook is installed.
+pub trait TrainHook {
+    /// Whether the trainer should compute the global gradient L2 norm
+    /// for [`TrainHook::on_batch`]. The default `false` skips that
+    /// extra pass entirely, keeping the no-op path zero-cost.
+    fn wants_grad_norm(&self) -> bool {
+        false
+    }
+
+    /// Called after each minibatch with its mean per-sample loss and,
+    /// when requested, the pre-scaling gradient L2 norm.
+    fn on_batch(&mut self, batch: usize, mean_loss: f32, grad_norm: Option<f32>) {
+        let _ = (batch, mean_loss, grad_norm);
+    }
+
+    /// Called once per epoch with the epoch's mean per-sample loss.
+    fn on_epoch(&mut self, mean_loss: f32) {
+        let _ = mean_loss;
+    }
+}
+
+/// The do-nothing default [`TrainHook`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHook;
+
+impl TrainHook for NoHook {}
+
 /// A 2-layer convolutional text classifier.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TextCnn {
@@ -293,15 +323,35 @@ impl TextCnn {
         batch_size: usize,
         rng: &mut StdRng,
     ) -> f32 {
+        self.train_epoch_hooked(data, opt, batch_size, rng, &mut NoHook)
+    }
+
+    /// [`TextCnn::train_epoch`] with a telemetry hook: the hook sees
+    /// each minibatch's mean loss (plus the gradient norm when it
+    /// asks for it) and the epoch's mean loss. Training results are
+    /// identical to the unhooked path for any hook.
+    pub fn train_epoch_hooked(
+        &mut self,
+        data: &[(Vec<f32>, usize)],
+        opt: &mut Adam,
+        batch_size: usize,
+        rng: &mut StdRng,
+        hook: &mut dyn TrainHook,
+    ) -> f32 {
         let mut order: Vec<usize> = (0..data.len()).collect();
         order.shuffle(rng);
         let mut total_loss = 0.0f64;
-        for chunk in order.chunks(batch_size.max(1)) {
+        let wants_norm = hook.wants_grad_norm();
+        for (batch, chunk) in order.chunks(batch_size.max(1)).enumerate() {
             let (mut grads, loss) = self.batch_gradients(data, chunk);
             total_loss += loss;
+            let grad_norm = wants_norm.then(|| grads.norm());
+            hook.on_batch(batch, (loss / chunk.len().max(1) as f64) as f32, grad_norm);
             self.apply_grads(&mut grads, opt, chunk.len());
         }
-        (total_loss / data.len().max(1) as f64) as f32
+        let mean = (total_loss / data.len().max(1) as f64) as f32;
+        hook.on_epoch(mean);
+        mean
     }
 
     /// Classification accuracy over `data`; workers share one

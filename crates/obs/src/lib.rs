@@ -1,0 +1,314 @@
+//! `cati-obs` — telemetry for the CATI pipeline.
+//!
+//! Three layers, all dependency-free (vendored `serde`/`serde_json`
+//! only) and safe to leave permanently wired into hot paths:
+//!
+//! - **Structured tracing**: [`SpanGuard`] / [`span!`] time nested
+//!   regions (`train.stage2_2`) and report them as typed
+//!   [`Event::SpanClose`] events; nesting is tracked per thread, so
+//!   spans opened on rayon-shim workers stay isolated.
+//! - **Metrics registry** ([`metrics::Metrics`]): monotonic counters,
+//!   gauges, and fixed-bucket histograms (non-finite observations
+//!   land in an `invalid` bucket instead of panicking), snapshotted
+//!   into a serializable [`metrics::MetricsSnapshot`].
+//! - **Run manifests** ([`manifest`], [`recorder::Recorder`]): every
+//!   instrumented run can write a `results/runs/<name>.jsonl` capturing
+//!   config, seed, git revision, per-stage timings, per-epoch losses,
+//!   and final metrics; `cati report` renders and diffs them.
+//!
+//! Instrumented code talks to a single [`Observer`] trait object. The
+//! default [`NullObserver`] makes every event a no-op virtual call, so
+//! telemetry never perturbs determinism (observers only *read* the
+//! computation) and costs ≈nothing when disabled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
+pub mod manifest;
+pub mod metrics;
+pub mod recorder;
+
+pub use manifest::{git_rev, Manifest};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use recorder::{LogFormat, Recorder, RecorderConfig};
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// Severity of a [`Event::Message`], ordered most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-losing conditions.
+    Error,
+    /// Suspicious but survivable conditions.
+    Warn,
+    /// Progress lines a user running `--log-level info` wants.
+    Info,
+    /// High-volume detail (span opens, counter ticks).
+    Debug,
+}
+
+impl Level {
+    /// Parses a `--log-level` argument (defaults to `Info` for
+    /// unknown input).
+    pub fn parse(s: &str) -> Level {
+        match s {
+            "error" => Level::Error,
+            "warn" => Level::Warn,
+            "debug" => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// One typed telemetry event. Borrowed payloads keep emission
+/// allocation-free on hot paths; observers that retain events copy
+/// what they need.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<'a> {
+    /// A span began (`path` is the dot-joined nesting path).
+    SpanOpen {
+        /// Full dot-joined span path.
+        path: &'a str,
+    },
+    /// A span finished after `nanos` nanoseconds.
+    SpanClose {
+        /// Full dot-joined span path.
+        path: &'a str,
+        /// Wall-clock duration in nanoseconds.
+        nanos: u64,
+    },
+    /// A monotonic counter increment.
+    Counter {
+        /// Registry name of the counter.
+        name: &'static str,
+        /// Amount to add.
+        delta: u64,
+    },
+    /// A gauge assignment (last write wins).
+    Gauge {
+        /// Registry name of the gauge.
+        name: &'static str,
+        /// New value.
+        value: f64,
+    },
+    /// Declares a histogram's bucket bounds before first observation
+    /// (idempotent; the first registration wins).
+    RegisterHistogram {
+        /// Registry name of the histogram.
+        name: &'static str,
+        /// Ascending inclusive upper bucket bounds.
+        bounds: &'a [f64],
+    },
+    /// One histogram observation.
+    Observe {
+        /// Registry name of the histogram.
+        name: &'static str,
+        /// Observed value (non-finite values count as `invalid`).
+        value: f64,
+    },
+    /// Mean training loss of one stage epoch.
+    EpochLoss {
+        /// Stage name (e.g. `stage2_2`).
+        stage: &'a str,
+        /// Zero-based epoch index.
+        epoch: usize,
+        /// Mean per-sample loss.
+        loss: f64,
+    },
+    /// Global gradient L2 norm of one minibatch (only computed when
+    /// [`Observer::wants_batch_stats`] returns true).
+    GradNorm {
+        /// Stage name.
+        stage: &'a str,
+        /// Zero-based minibatch index within the epoch.
+        batch: usize,
+        /// L2 norm over all parameter gradients.
+        norm: f64,
+    },
+    /// A human-readable progress line.
+    Message {
+        /// Severity.
+        level: Level,
+        /// The line (no trailing newline).
+        text: &'a str,
+    },
+}
+
+/// Receives telemetry events from instrumented code.
+///
+/// Implementations must be cheap and side-effect-free with respect to
+/// the computation being observed: training and inference results are
+/// bit-identical whatever observer is installed.
+pub trait Observer: Send + Sync {
+    /// Handles one event.
+    fn event(&self, event: &Event<'_>);
+
+    /// Whether instrumented code should compute optional, costly
+    /// per-batch statistics (gradient norms). The default `false`
+    /// keeps the no-op path free of extra arithmetic.
+    fn wants_batch_stats(&self) -> bool {
+        false
+    }
+}
+
+/// The zero-cost default observer: every event is discarded.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn event(&self, _event: &Event<'_>) {}
+}
+
+/// A ready-made `&'static dyn`-able no-op observer, for call sites
+/// that don't care about telemetry: `Cati::train(.., &cati_obs::NOOP)`.
+pub static NOOP: NullObserver = NullObserver;
+
+/// An observer that forwards human-readable [`Event::Message`] lines
+/// to a closure and ignores everything else — the adapter for legacy
+/// `FnMut(&str)`-style progress callbacks (made `Fn` by the shared
+/// observer contract).
+pub struct FnObserver<F: Fn(&str) + Send + Sync>(pub F);
+
+impl<F: Fn(&str) + Send + Sync> Observer for FnObserver<F> {
+    fn event(&self, event: &Event<'_>) {
+        if let Event::Message { text, .. } = event {
+            (self.0)(text);
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread stack of open span paths. Worker threads spawned by
+    /// the rayon shim start with an empty stack, so their spans root
+    /// at their own names and never interleave with other threads'.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII timer for one span: emits [`Event::SpanOpen`] on entry and
+/// [`Event::SpanClose`] with the elapsed time on drop. Nest guards
+/// lexically; the dot-joined path records the nesting.
+pub struct SpanGuard<'a> {
+    obs: &'a dyn Observer,
+    path: String,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Opens a span named `name` under the thread's current span (if
+    /// any).
+    pub fn enter(obs: &'a dyn Observer, name: &str) -> SpanGuard<'a> {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}.{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        obs.event(&Event::SpanOpen { path: &path });
+        SpanGuard {
+            obs,
+            path,
+            start: Instant::now(),
+        }
+    }
+
+    /// The full dot-joined path of this span.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards drop LIFO in normal use; tolerate out-of-order
+            // drops by removing the matching entry wherever it is.
+            if let Some(i) = stack.iter().rposition(|p| p == &self.path) {
+                stack.remove(i);
+            }
+        });
+        self.obs.event(&Event::SpanClose {
+            path: &self.path,
+            nanos,
+        });
+    }
+}
+
+/// Opens a [`SpanGuard`] with a format-string name:
+/// `let _g = span!(obs, "train.{stage}");`.
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $($fmt:tt)+) => {
+        $crate::SpanGuard::enter($obs, &format!($($fmt)+))
+    };
+}
+
+/// Emits an [`Event::Message`] with format-string text:
+/// `info!(obs, "extracted {n} VUCs");`.
+#[macro_export]
+macro_rules! info {
+    ($obs:expr, $($fmt:tt)+) => {
+        $crate::Observer::event($obs, &$crate::Event::Message {
+            level: $crate::Level::Info,
+            text: &format!($($fmt)+),
+        })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Capture(Mutex<Vec<String>>);
+
+    impl Observer for Capture {
+        fn event(&self, event: &Event<'_>) {
+            if let Event::SpanClose { path, .. } = event {
+                self.0.lock().unwrap().push(path.to_string());
+            }
+        }
+    }
+
+    #[test]
+    fn spans_nest_lexically() {
+        let cap = Capture::default();
+        {
+            let _a = SpanGuard::enter(&cap, "outer");
+            {
+                let _b = span!(&cap, "inner{}", 1);
+            }
+        }
+        let got = cap.0.lock().unwrap().clone();
+        assert_eq!(got, vec!["outer.inner1".to_string(), "outer".to_string()]);
+    }
+
+    #[test]
+    fn fn_observer_receives_messages_only() {
+        let lines = Mutex::new(Vec::new());
+        let obs = FnObserver(|s: &str| lines.lock().unwrap().push(s.to_string()));
+        obs.event(&Event::Counter {
+            name: "x",
+            delta: 1,
+        });
+        info!(&obs, "hello {}", 42);
+        assert_eq!(lines.into_inner().unwrap(), vec!["hello 42".to_string()]);
+    }
+}

@@ -1,0 +1,371 @@
+//! The metrics registry: counters, gauges, and fixed-bucket
+//! histograms, all lock-light and safe to update from rayon-shim
+//! worker threads.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Default histogram bounds: log-spaced, wide enough for
+/// milliseconds, losses, and norms alike.
+pub const DEFAULT_BUCKETS: [f64; 12] = [
+    0.001, 0.005, 0.025, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 50.0, 250.0, 1000.0,
+];
+
+/// Bounds suited to probabilities / confidences in `[0, 1]`.
+pub const UNIT_BUCKETS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// An `f64` cell updated via compare-and-swap on its bit pattern.
+#[derive(Debug, Default)]
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    fn new(v: f64) -> AtomicF64 {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram. Bounds are ascending inclusive upper
+/// edges; values above the last bound land in an overflow bucket and
+/// non-finite values (NaN, ±inf) in a dedicated `invalid` bucket —
+/// a NaN loss must be *visible*, never a panic.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` slots; the last is the overflow bucket.
+    counts: Vec<AtomicU64>,
+    invalid: AtomicU64,
+    sum: AtomicF64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            invalid: AtomicU64::new(0),
+            sum: AtomicF64::new(0.0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            self.invalid.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let i = self.bounds.partition_point(|b| v > *b);
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+        self.sum.add(v);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            invalid: self.invalid.load(Ordering::Relaxed),
+            count: self.total.load(Ordering::Relaxed),
+            sum: self.sum.get(),
+        }
+    }
+}
+
+/// Serializable state of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Ascending inclusive upper bucket bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one longer than `bounds` (last = overflow).
+    pub counts: Vec<u64>,
+    /// Non-finite observations (NaN, ±inf).
+    pub invalid: u64,
+    /// Total finite observations.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of finite observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Serializable state of one counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// Serializable state of one gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Last written value.
+    pub value: f64,
+}
+
+/// A point-in-time copy of a whole [`Metrics`] registry, sorted by
+/// name (so snapshots of identical states are byte-identical).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Value of a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Whether nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// The registry: named counters, gauges, and histograms created on
+/// first use. Name lookups take a read lock; updates are atomic.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicF64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the named counter (created at 0 on first use).
+    pub fn inc(&self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.read().expect("counters lock").get(name) {
+            c.fetch_add(delta, Ordering::Relaxed);
+            return;
+        }
+        self.counters
+            .write()
+            .expect("counters lock")
+            .entry(name.to_string())
+            .or_default()
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the named gauge (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(g) = self.gauges.read().expect("gauges lock").get(name) {
+            g.set(value);
+            return;
+        }
+        self.gauges
+            .write()
+            .expect("gauges lock")
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicF64::new(value)))
+            .set(value);
+    }
+
+    /// Registers a histogram with explicit bounds. Idempotent: the
+    /// first registration wins, later calls are no-ops.
+    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+        if self
+            .histograms
+            .read()
+            .expect("histograms lock")
+            .contains_key(name)
+        {
+            return;
+        }
+        self.histograms
+            .write()
+            .expect("histograms lock")
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)));
+    }
+
+    /// Records one observation into the named histogram, creating it
+    /// with [`DEFAULT_BUCKETS`] if unregistered.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(h) = self.histograms.read().expect("histograms lock").get(name) {
+            h.record(value);
+            return;
+        }
+        let h = Arc::clone(
+            self.histograms
+                .write()
+                .expect("histograms lock")
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(&DEFAULT_BUCKETS))),
+        );
+        h.record(value);
+    }
+
+    /// Current value of a counter (0 if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("counters lock")
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Snapshots the whole registry, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("counters lock")
+                .iter()
+                .map(|(name, c)| CounterSnapshot {
+                    name: name.clone(),
+                    value: c.load(Ordering::Relaxed),
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("gauges lock")
+                .iter()
+                .map(|(name, g)| GaugeSnapshot {
+                    name: name.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("histograms lock")
+                .iter()
+                .map(|(name, h)| h.snapshot(name))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let m = Metrics::new();
+        m.inc("b", 2);
+        m.inc("a", 1);
+        m.inc("b", 3);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("a"), Some(1));
+        assert_eq!(snap.counter("b"), Some(5));
+        assert_eq!(snap.counters[0].name, "a");
+    }
+
+    #[test]
+    fn histogram_buckets_values_inclusively() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 2.0, 4.0, 9.0] {
+            h.record(v);
+        }
+        let s = h.snapshot("t");
+        // ≤1: {0.5, 1.0}; ≤2: {1.5, 2.0}; ≤4: {4.0}; overflow: {9.0}.
+        assert_eq!(s.counts, vec![2, 2, 1, 1]);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.invalid, 0);
+    }
+
+    #[test]
+    fn non_finite_observations_land_in_invalid() {
+        let h = Histogram::new(&DEFAULT_BUCKETS);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(1.0);
+        let s = h.snapshot("t");
+        assert_eq!(s.invalid, 3);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 1.0);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let m = Metrics::new();
+        m.set_gauge("g", 1.5);
+        m.set_gauge("g", -2.5);
+        assert_eq!(m.snapshot().gauge("g"), Some(-2.5));
+    }
+
+    #[test]
+    fn histogram_registration_is_first_wins() {
+        let m = Metrics::new();
+        m.register_histogram("h", &[1.0]);
+        m.register_histogram("h", &[5.0, 10.0]);
+        m.observe("h", 0.5);
+        let s = m.snapshot();
+        assert_eq!(s.histogram("h").unwrap().bounds, vec![1.0]);
+    }
+}

@@ -1,0 +1,360 @@
+//! The standard observer: records a timestamped event timeline plus a
+//! metrics registry, optionally mirroring events to stderr as human
+//! text or JSONL, and writes the whole run out as a manifest.
+
+use crate::manifest::unix_ms;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::{Event, Level, Observer};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Live log output format for [`Recorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Human-readable lines.
+    Text,
+    /// One JSON object per line.
+    Json,
+}
+
+impl LogFormat {
+    /// Parses a `--log-format` argument (defaults to `Text`).
+    pub fn parse(s: &str) -> LogFormat {
+        match s {
+            "json" | "jsonl" => LogFormat::Json,
+            _ => LogFormat::Text,
+        }
+    }
+}
+
+/// Configuration of a [`Recorder`].
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderConfig {
+    /// Mirror events to stderr in this format (`None` = record only).
+    pub log: Option<LogFormat>,
+    /// Threshold for mirrored events; `Debug` also mirrors span opens
+    /// and counter/gauge/histogram updates.
+    pub level: Level,
+    /// Ask instrumented code for per-batch gradient norms (costs one
+    /// extra pass over the gradients per minibatch).
+    pub batch_stats: bool,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> RecorderConfig {
+        RecorderConfig {
+            log: None,
+            level: Level::Info,
+            batch_stats: false,
+        }
+    }
+}
+
+/// One recorded timeline entry (everything except registry updates,
+/// which aggregate into [`Metrics`] instead).
+#[derive(Debug, Clone)]
+pub enum Entry {
+    /// A closed span.
+    Span {
+        /// Dot-joined path.
+        path: String,
+        /// Duration in milliseconds.
+        ms: f64,
+    },
+    /// One stage-epoch mean loss.
+    Loss {
+        /// Stage name.
+        stage: String,
+        /// Zero-based epoch.
+        epoch: usize,
+        /// Mean per-sample loss.
+        loss: f64,
+    },
+    /// A progress message.
+    Message {
+        /// Severity.
+        level: Level,
+        /// Text.
+        text: String,
+    },
+}
+
+/// The standard [`Observer`]: timeline + metrics + optional stderr
+/// mirror + manifest writing.
+pub struct Recorder {
+    t0: Instant,
+    started_unix_ms: u64,
+    cfg: RecorderConfig,
+    metrics: Metrics,
+    /// Timestamps are taken under this lock, so entries are strictly
+    /// non-decreasing in `ts_ms` — the property `cati report
+    /// --validate` checks.
+    timeline: Mutex<Vec<(f64, Entry)>>,
+}
+
+impl Recorder {
+    /// A recorder with the given live-log configuration.
+    pub fn new(cfg: RecorderConfig) -> Recorder {
+        Recorder {
+            t0: Instant::now(),
+            started_unix_ms: unix_ms(),
+            cfg,
+            metrics: Metrics::new(),
+            timeline: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A recorder that only records (no stderr mirror).
+    pub fn silent() -> Recorder {
+        Recorder::new(RecorderConfig::default())
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Snapshots the metrics registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Milliseconds since the recorder was created.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Total milliseconds per span path, summed over repeats, sorted
+    /// by path.
+    pub fn span_totals(&self) -> Vec<(String, f64)> {
+        let mut totals: BTreeMap<String, f64> = BTreeMap::new();
+        for (_, e) in self.timeline.lock().expect("timeline lock").iter() {
+            if let Entry::Span { path, ms } = e {
+                *totals.entry(path.clone()).or_default() += ms;
+            }
+        }
+        totals.into_iter().collect()
+    }
+
+    /// All `(stage, epoch, loss)` records in arrival order.
+    pub fn losses(&self) -> Vec<(String, usize, f64)> {
+        self.timeline
+            .lock()
+            .expect("timeline lock")
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Entry::Loss { stage, epoch, loss } => Some((stage.clone(), *epoch, *loss)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn record(&self, entry: Entry) {
+        let mut timeline = self.timeline.lock().expect("timeline lock");
+        // Timestamp under the lock: file order == time order.
+        let ts = self.elapsed_ms();
+        self.mirror(ts, &entry);
+        timeline.push((ts, entry));
+    }
+
+    fn mirror(&self, ts: f64, entry: &Entry) {
+        let Some(format) = self.cfg.log else { return };
+        let line = match entry {
+            Entry::Message { level, text } => {
+                if *level > self.cfg.level {
+                    return;
+                }
+                match format {
+                    LogFormat::Text => format!("[{ts:10.1}ms] {}: {text}", level.name()),
+                    LogFormat::Json => serde_json::to_string(&json!({
+                        "ts_ms": ts, "event": "message", "level": level.name(), "text": text,
+                    }))
+                    .unwrap_or_default(),
+                }
+            }
+            Entry::Span { path, ms } => {
+                if self.cfg.level < Level::Info {
+                    return;
+                }
+                match format {
+                    LogFormat::Text => format!("[{ts:10.1}ms] span {path} {ms:.2}ms"),
+                    LogFormat::Json => serde_json::to_string(&json!({
+                        "ts_ms": ts, "event": "span", "path": path, "ms": ms,
+                    }))
+                    .unwrap_or_default(),
+                }
+            }
+            Entry::Loss { stage, epoch, loss } => {
+                if self.cfg.level < Level::Info {
+                    return;
+                }
+                match format {
+                    LogFormat::Text => {
+                        format!("[{ts:10.1}ms] loss {stage} epoch {epoch} {loss:.4}")
+                    }
+                    LogFormat::Json => serde_json::to_string(&json!({
+                        "ts_ms": ts, "event": "loss", "stage": stage,
+                        "epoch": epoch, "loss": loss,
+                    }))
+                    .unwrap_or_default(),
+                }
+            }
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{line}");
+    }
+
+    /// The full run as manifest JSONL: a `meta` line (the caller's
+    /// metadata plus timing context), the timeline, a final `metrics`
+    /// snapshot, and an `end` line.
+    pub fn manifest_jsonl(&self, meta: &Value) -> String {
+        let mut out = String::new();
+        let mut meta_line = match meta {
+            Value::Object(m) => m.clone(),
+            other => {
+                let mut m = serde_json::Map::new();
+                m.insert("meta".to_string(), other.clone());
+                m
+            }
+        };
+        meta_line.insert("record".to_string(), json!("meta"));
+        meta_line.insert("ts_ms".to_string(), json!(0.0f64));
+        meta_line.insert("started_unix_ms".to_string(), json!(self.started_unix_ms));
+        out.push_str(&serde_json::to_string(&Value::Object(meta_line)).unwrap_or_default());
+        out.push('\n');
+        for (ts, entry) in self.timeline.lock().expect("timeline lock").iter() {
+            let v = match entry {
+                Entry::Span { path, ms } => json!({
+                    "record": "span", "ts_ms": *ts, "path": path, "ms": *ms,
+                }),
+                Entry::Loss { stage, epoch, loss } => json!({
+                    "record": "loss", "ts_ms": *ts, "stage": stage,
+                    "epoch": *epoch, "loss": *loss,
+                }),
+                Entry::Message { level, text } => json!({
+                    "record": "message", "ts_ms": *ts, "level": level.name(), "text": text,
+                }),
+            };
+            out.push_str(&serde_json::to_string(&v).unwrap_or_default());
+            out.push('\n');
+        }
+        let end_ts = self.elapsed_ms();
+        let snapshot = serde_json::to_value(&self.snapshot()).unwrap_or(Value::Null);
+        out.push_str(
+            &serde_json::to_string(&json!({
+                "record": "metrics", "ts_ms": end_ts, "snapshot": snapshot,
+            }))
+            .unwrap_or_default(),
+        );
+        out.push('\n');
+        out.push_str(
+            &serde_json::to_string(&json!({
+                "record": "end", "ts_ms": end_ts, "wall_ms": end_ts,
+            }))
+            .unwrap_or_default(),
+        );
+        out.push('\n');
+        out
+    }
+
+    /// Writes the manifest to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures, annotated with the path.
+    pub fn write_manifest(&self, path: impl AsRef<Path>, meta: &Value) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| {
+                    std::io::Error::new(
+                        e.kind(),
+                        format!("create manifest dir {}: {e}", parent.display()),
+                    )
+                })?;
+            }
+        }
+        std::fs::write(path, self.manifest_jsonl(meta)).map_err(|e| {
+            std::io::Error::new(e.kind(), format!("write manifest {}: {e}", path.display()))
+        })
+    }
+}
+
+impl Observer for Recorder {
+    fn event(&self, event: &Event<'_>) {
+        match *event {
+            Event::SpanOpen { .. } => {}
+            Event::SpanClose { path, nanos } => {
+                let ms = nanos as f64 / 1e6;
+                self.metrics.observe("span_ms", ms);
+                self.record(Entry::Span {
+                    path: path.to_string(),
+                    ms,
+                });
+            }
+            Event::Counter { name, delta } => self.metrics.inc(name, delta),
+            Event::Gauge { name, value } => self.metrics.set_gauge(name, value),
+            Event::RegisterHistogram { name, bounds } => {
+                self.metrics.register_histogram(name, bounds);
+            }
+            Event::Observe { name, value } => self.metrics.observe(name, value),
+            Event::EpochLoss { stage, epoch, loss } => {
+                self.metrics.observe("train.epoch_loss", loss);
+                self.metrics
+                    .set_gauge(&format!("train.{stage}.final_loss"), loss);
+                self.record(Entry::Loss {
+                    stage: stage.to_string(),
+                    epoch,
+                    loss,
+                });
+            }
+            Event::GradNorm { norm, .. } => self.metrics.observe("train.grad_norm", norm),
+            Event::Message { level, text } => self.record(Entry::Message {
+                level,
+                text: text.to_string(),
+            }),
+        }
+    }
+
+    fn wants_batch_stats(&self) -> bool {
+        self.cfg.batch_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_timestamps_are_monotonic() {
+        let r = Recorder::silent();
+        for i in 0..10 {
+            r.event(&Event::Message {
+                level: Level::Info,
+                text: &format!("m{i}"),
+            });
+        }
+        let timeline = r.timeline.lock().unwrap();
+        assert!(timeline.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn span_totals_aggregate_repeats() {
+        let r = Recorder::silent();
+        r.event(&Event::SpanClose {
+            path: "a",
+            nanos: 2_000_000,
+        });
+        r.event(&Event::SpanClose {
+            path: "a",
+            nanos: 3_000_000,
+        });
+        let totals = r.span_totals();
+        assert_eq!(totals.len(), 1);
+        assert!((totals[0].1 - 5.0).abs() < 1e-9);
+    }
+}

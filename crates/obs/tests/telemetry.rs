@@ -1,0 +1,171 @@
+//! Integration tests for the telemetry crate: span nesting under the
+//! rayon-shim worker threads, histogram edge cases, and the manifest
+//! JSONL round-trip through the vendored serde_json.
+
+use cati_obs::metrics::Metrics;
+use cati_obs::{Event, Level, Manifest, Observer, Recorder, RecorderConfig, SpanGuard};
+use rayon::prelude::*;
+use serde_json::json;
+use std::sync::Mutex;
+
+#[derive(Default)]
+struct CaptureSpans(Mutex<Vec<String>>);
+
+impl Observer for CaptureSpans {
+    fn event(&self, event: &Event<'_>) {
+        if let Event::SpanClose { path, .. } = event {
+            self.0.lock().unwrap().push(path.to_string());
+        }
+    }
+}
+
+#[test]
+fn spans_on_rayon_workers_never_inherit_foreign_parents() {
+    let cap = CaptureSpans::default();
+    {
+        let _outer = SpanGuard::enter(&cap, "outer");
+        // Worker threads must root their spans at their own names —
+        // never under another thread's open span and never nested
+        // into a sibling task's span.
+        let ids: Vec<u32> = (0..64).collect();
+        let _done: Vec<u32> = ids
+            .into_par_iter()
+            .with_max_len(1)
+            .map(|i| {
+                let _task = SpanGuard::enter(&cap, &format!("task{i}"));
+                i
+            })
+            .collect();
+    }
+    let paths = cap.0.into_inner().unwrap();
+    assert_eq!(paths.len(), 65);
+    for p in &paths {
+        if p == "outer" {
+            continue;
+        }
+        // Either rooted bare (worker thread) or directly under
+        // `outer` (task inlined on the calling thread) — but never
+        // nested under a *sibling* task.
+        let ok = p.starts_with("task") || (p.starts_with("outer.task") && !p.contains("task."));
+        assert!(ok, "unexpected span path {p:?}");
+    }
+    assert_eq!(paths.iter().filter(|p| p.contains("task")).count(), 64);
+}
+
+#[test]
+fn concurrent_counter_increments_never_lose_updates() {
+    let metrics = Metrics::new();
+    let work: Vec<u64> = (0..1000).collect();
+    let _done: Vec<u64> = work
+        .into_par_iter()
+        .with_max_len(8)
+        .map(|i| {
+            metrics.inc("hits", 1);
+            i
+        })
+        .collect();
+    assert_eq!(metrics.counter_value("hits"), 1000);
+}
+
+#[test]
+fn histograms_survive_hostile_values() {
+    let metrics = Metrics::new();
+    metrics.register_histogram("h", &[1.0, 10.0]);
+    for v in [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        -5.0,
+        0.5,
+        5.0,
+        50.0,
+    ] {
+        metrics.observe("h", v); // must not panic
+    }
+    let snap = metrics.snapshot();
+    let h = snap.histogram("h").expect("histogram registered");
+    assert_eq!(h.invalid, 3, "non-finite observations land in invalid");
+    assert_eq!(h.count, 4, "finite observations all counted");
+    assert_eq!(h.counts, vec![2, 1, 1], "-5.0/0.5 | 5.0 | 50.0 overflow");
+}
+
+#[test]
+fn manifest_roundtrips_through_vendored_serde_json() {
+    let recorder = Recorder::new(RecorderConfig::default());
+    {
+        let _span = SpanGuard::enter(&recorder, "extract");
+    }
+    recorder.event(&Event::EpochLoss {
+        stage: "Stage1",
+        epoch: 0,
+        loss: 0.75,
+    });
+    recorder.event(&Event::EpochLoss {
+        stage: "Stage1",
+        epoch: 1,
+        loss: 0.5,
+    });
+    recorder.event(&Event::Counter {
+        name: "vote.clipped",
+        delta: 7,
+    });
+    recorder.event(&Event::Message {
+        level: Level::Info,
+        text: "hello",
+    });
+    let text = recorder.manifest_jsonl(&json!({"name": "unit", "seed": 13}));
+    let manifest = Manifest::parse(&text).expect("manifest parses");
+    manifest.validate().expect("manifest validates");
+    assert_eq!(manifest.meta.get("name"), Some(&json!("unit")));
+    assert_eq!(manifest.meta.get("seed"), Some(&json!(13)));
+    assert_eq!(manifest.spans.len(), 1);
+    assert_eq!(manifest.spans[0].path, "extract");
+    assert_eq!(
+        manifest.final_losses().get("Stage1").copied(),
+        Some(0.5),
+        "last epoch wins"
+    );
+    let snap = manifest.metrics.as_ref().expect("metrics line present");
+    assert_eq!(snap.counter("vote.clipped"), Some(7));
+    // Round-trip again: rendering and re-parsing the same text is
+    // stable, and the metrics snapshot survives serialization exactly.
+    let again = Manifest::parse(&text).unwrap();
+    assert_eq!(again.metrics, manifest.metrics);
+    assert!(!manifest.render().is_empty());
+
+    // Validation catches a non-monotonic timeline.
+    let mut lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 4);
+    lines.swap(1, 2);
+    let swapped = lines.join("\n");
+    let bad = Manifest::parse(&swapped).unwrap();
+    // Swapping adjacent timeline records with distinct timestamps
+    // must trip the monotonicity check (equal stamps stay valid).
+    if bad.ts_seq.windows(2).any(|w| w[0] > w[1]) {
+        assert!(bad.validate().is_err());
+    }
+
+    // A manifest with no meta line is rejected outright.
+    assert!(Manifest::parse("{\"record\":\"end\",\"ts_ms\":0,\"wall_ms\":0}\n").is_err());
+}
+
+#[test]
+fn manifest_diff_names_both_runs() {
+    let make = |loss: f64| {
+        let r = Recorder::silent();
+        {
+            let _s = SpanGuard::enter(&r, "train");
+        }
+        r.event(&Event::EpochLoss {
+            stage: "Stage1",
+            epoch: 0,
+            loss,
+        });
+        Manifest::parse(&r.manifest_jsonl(&json!({"name": "d"}))).unwrap()
+    };
+    let a = make(0.9);
+    let b = make(0.4);
+    let diff = Manifest::diff(&a, &b);
+    assert!(diff.contains("train"), "diff mentions the span: {diff}");
+    assert!(diff.contains("Stage1"), "diff mentions the loss: {diff}");
+}

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         _ => (Config::small(), CorpusConfig::small(99), 300),
     };
     let corpus = build_corpus(&corpus_cfg);
-    let cati = Cati::train(&corpus.train, &config, |_| {});
+    let cati = Cati::train(&corpus.train, &config, &cati::obs::NOOP);
 
     let exs: Vec<Extraction> = corpus
         .test

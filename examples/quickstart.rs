@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("training CATI...");
-    let cati = Cati::train(&corpus.train, &config, |line| println!("  {line}"));
+    let cati = Cati::train(
+        &corpus.train,
+        &config,
+        &cati::obs::FnObserver(|line: &str| println!("  {line}")),
+    );
 
     // Take one unseen application binary, strip it, and infer.
     let built = &corpus.test[0];

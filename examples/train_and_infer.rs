@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         _ => (Config::small(), CorpusConfig::small(7)),
     };
     let corpus = build_corpus(&corpus_cfg);
-    let cati = Cati::train(&corpus.train, &config, |line| println!("[train] {line}"));
+    let cati = Cati::train(
+        &corpus.train,
+        &config,
+        &cati::obs::FnObserver(|line: &str| println!("[train] {line}")),
+    );
 
     // Persist and reload, as a deployment would.
     let model_path = std::env::temp_dir().join("cati_trained_model.json");

@@ -1,25 +1,33 @@
 //! Determinism harness for the parallel execution engine (§ training
 //! and batched inference): a fixed seed must give bit-identical
-//! models and predictions regardless of the thread count, and a
-//! trained system must survive a save/load roundtrip with its
-//! inference output unchanged.
+//! models and predictions regardless of the thread count — with
+//! telemetry enabled — and a trained system must survive a save/load
+//! roundtrip with its inference output unchanged.
 
+use cati::obs::{Recorder, RecorderConfig};
 use cati::{Cati, Config};
 use cati_synbin::{build_corpus, Corpus, CorpusConfig};
 
-fn train_with_threads(corpus: &Corpus, threads: usize) -> Cati {
+/// Trains under a live [`Recorder`] (not the no-op observer), so this
+/// harness also proves instrumentation never perturbs the engine.
+fn train_with_threads(corpus: &Corpus, threads: usize) -> (Cati, Recorder) {
     let config = Config {
         threads,
         ..Config::small()
     };
-    Cati::train(&corpus.train, &config, |_| {})
+    let recorder = Recorder::new(RecorderConfig {
+        batch_stats: true,
+        ..RecorderConfig::default()
+    });
+    let cati = Cati::train(&corpus.train, &config, &recorder);
+    (cati, recorder)
 }
 
 #[test]
 fn thread_count_does_not_change_the_model() {
     let corpus = build_corpus(&CorpusConfig::small(13));
-    let one = train_with_threads(&corpus, 1);
-    let four = train_with_threads(&corpus, 4);
+    let (one, obs_one) = train_with_threads(&corpus, 1);
+    let (four, obs_four) = train_with_threads(&corpus, 4);
     // The configs differ only in the `threads` knob; everything
     // training produced must be bit-identical, so the serialized
     // forms must match byte for byte.
@@ -40,13 +48,43 @@ fn thread_count_does_not_change_the_model() {
         four.infer(&stripped).unwrap(),
         "inference diverged across thread counts"
     );
+    // Telemetry content (not timings) must also agree: identical
+    // training observes identical losses and counts, whatever the
+    // thread count. Losses may arrive in any order across workers, so
+    // compare them sorted.
+    for obs in [&obs_one, &obs_four] {
+        let spans = obs.span_totals();
+        for stage in [
+            "Stage1", "Stage2-1", "Stage2-2", "Stage3-1", "Stage3-2", "Stage3-3",
+        ] {
+            assert!(
+                spans.iter().any(|(p, _)| p == &format!("train.{stage}")),
+                "missing span for {stage}: {spans:?}"
+            );
+        }
+    }
+    let sorted = |r: &Recorder| {
+        let mut l = r.losses();
+        l.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        l
+    };
+    assert_eq!(
+        sorted(&obs_one),
+        sorted(&obs_four),
+        "observed losses diverged across thread counts"
+    );
+    assert_eq!(
+        obs_one.metrics().counter_value("train.samples"),
+        obs_four.metrics().counter_value("train.samples"),
+        "observed sample counts diverged across thread counts"
+    );
 }
 
 #[test]
 fn golden_retrain_and_save_load_roundtrip() {
     let corpus = build_corpus(&CorpusConfig::small(13));
-    let a = train_with_threads(&corpus, 0);
-    let b = train_with_threads(&corpus, 0);
+    let (a, _) = train_with_threads(&corpus, 0);
+    let (b, _) = train_with_threads(&corpus, 0);
     // Same seed, same corpus: retraining reproduces the exact system.
     assert_eq!(a, b, "retraining with a fixed seed is not deterministic");
 
@@ -58,7 +96,30 @@ fn golden_retrain_and_save_load_roundtrip() {
     let path = std::env::temp_dir().join(format!("cati_golden_{}.json", std::process::id()));
     a.save(&path).unwrap();
     let loaded = Cati::load(&path).unwrap();
+
+    // A corrupted model must fail to load with an error that names
+    // the file and its size — not silently misparse or panic.
+    let corrupt = std::env::temp_dir().join(format!("cati_corrupt_{}.json", std::process::id()));
+    let mut bytes = std::fs::read(&path).unwrap();
+    let cut = bytes.len() / 2;
+    bytes.truncate(cut);
+    std::fs::write(&corrupt, &bytes).unwrap();
+    let err = Cati::load(&corrupt).expect_err("truncated model must not load");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(
+        msg.contains("cati_corrupt") && msg.contains(&format!("{cut} bytes")),
+        "load error lacks path/size context: {msg}"
+    );
+    let err = Cati::load(std::env::temp_dir().join("cati_no_such_model.json"))
+        .expect_err("missing model must not load");
+    assert!(
+        err.to_string().contains("cati_no_such_model"),
+        "read error lacks path context: {err}"
+    );
+    std::fs::remove_file(&corrupt).ok();
     std::fs::remove_file(&path).ok();
+
     assert_eq!(
         loaded.infer(&stripped).unwrap(),
         before,

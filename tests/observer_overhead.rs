@@ -1,0 +1,46 @@
+//! Overhead budget check for the telemetry layer (ignored by default;
+//! run with `cargo test --release --test observer_overhead -- --ignored
+//! --nocapture`): trains the same corpus under the no-op observer and
+//! under a live [`Recorder`], and reports the relative cost. The
+//! numbers quoted in DESIGN.md §Telemetry come from this harness.
+
+use cati::obs::{Recorder, RecorderConfig, NOOP};
+use cati::{Cati, Config};
+use cati_synbin::{build_corpus, CorpusConfig};
+use std::time::Instant;
+
+#[test]
+#[ignore = "timing harness; run explicitly in --release"]
+fn noop_observer_overhead_is_within_budget() {
+    let corpus = build_corpus(&CorpusConfig::small(2020));
+    let config = Config::small();
+    // Warm up (page in the corpus, JIT-free but caches matter).
+    let _ = Cati::train(&corpus.train, &config, &NOOP);
+
+    let reps = 5;
+    let mut noop_s = f64::MAX;
+    let mut live_s = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = Cati::train(&corpus.train, &config, &NOOP);
+        noop_s = noop_s.min(t.elapsed().as_secs_f64());
+
+        let recorder = Recorder::new(RecorderConfig::default());
+        let t = Instant::now();
+        let _ = Cati::train(&corpus.train, &config, &recorder);
+        live_s = live_s.min(t.elapsed().as_secs_f64());
+    }
+    let overhead_pct = (live_s - noop_s) / noop_s * 100.0;
+    println!(
+        "train (best of {reps}): noop {noop_s:.3}s, live recorder {live_s:.3}s, \
+         overhead {overhead_pct:+.2}%"
+    );
+    // The live recorder bounds the no-op cost from above: the no-op
+    // path does strictly less work per event. Allow generous slack —
+    // this guards against regressions like per-sample events, not
+    // scheduler jitter.
+    assert!(
+        overhead_pct < 10.0,
+        "live-recorder overhead {overhead_pct:.2}% suggests telemetry landed on a hot path"
+    );
+}

@@ -10,7 +10,7 @@ fn small_corpus() -> Corpus {
 }
 
 fn train_small(corpus: &Corpus) -> Cati {
-    Cati::train(&corpus.train, &Config::small(), |_| {})
+    Cati::train(&corpus.train, &Config::small(), &cati::obs::NOOP)
 }
 
 #[test]

@@ -7,7 +7,7 @@ use cati_synbin::{build_corpus, CorpusConfig};
 
 fn setup() -> (Cati, Vec<Extraction>) {
     let corpus = build_corpus(&CorpusConfig::small(31337));
-    let cati = Cati::train(&corpus.train, &Config::small(), |_| {});
+    let cati = Cati::train(&corpus.train, &Config::small(), &cati::obs::NOOP);
     let exs = corpus
         .test
         .iter()
