@@ -1,0 +1,144 @@
+//! Content digests for cache keys.
+//!
+//! The on-disk artifact cache addresses extractions and embeddings by
+//! *content*: a binary's digest plus (for embeddings) a model
+//! fingerprint. FNV-1a over 128 bits is enough — the digest guards a
+//! local cache against staleness, not an adversary — and needs no
+//! dependency the container lacks.
+
+use cati_asm::binary::Binary;
+use std::fmt;
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// A 128-bit content digest, rendered as 32 hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest(pub u128);
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a/128 hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv128(u128);
+
+impl Default for Fnv128 {
+    fn default() -> Fnv128 {
+        Fnv128::new()
+    }
+}
+
+impl Fnv128 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv128 {
+        Fnv128(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a length-prefixed byte field, so adjacent
+    /// variable-length fields cannot alias each other.
+    pub fn update_field(&mut self, bytes: &[u8]) {
+        self.update(&(bytes.len() as u64).to_le_bytes());
+        self.update(bytes);
+    }
+
+    /// Absorbs one `u64`.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// The final digest.
+    pub fn finish(&self) -> Digest {
+        Digest(self.0)
+    }
+}
+
+/// Digests an arbitrary byte string.
+pub fn digest_bytes(bytes: &[u8]) -> Digest {
+    let mut h = Fnv128::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Digests everything extraction depends on: name, text bytes, base
+/// address, the symbol table, and the debug section (whose presence
+/// switches labeling, and whose bytes carry the labels). Two binaries
+/// with equal digests extract identically; stripping changes the
+/// digest.
+pub fn digest_binary(binary: &Binary) -> Digest {
+    let mut h = Fnv128::new();
+    h.update_field(binary.name.as_bytes());
+    h.update_field(&binary.text);
+    h.update_u64(binary.text_base);
+    h.update_u64(binary.symbols.len() as u64);
+    for sym in &binary.symbols {
+        h.update_field(sym.name.as_bytes());
+        h.update_u64(sym.addr);
+        h.update_u64(sym.len);
+    }
+    match &binary.debug {
+        Some(bytes) => {
+            h.update_u64(1);
+            h.update_field(bytes);
+        }
+        None => h.update_u64(0),
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors_match_fnv1a_128() {
+        // Published FNV-1a 128-bit test vectors.
+        assert_eq!(digest_bytes(b"").0, FNV_OFFSET);
+        assert_eq!(
+            digest_bytes(b"a").to_string(),
+            "d228cb696f1a8caf78912b704e4a8964"
+        );
+    }
+
+    #[test]
+    fn field_framing_prevents_aliasing() {
+        let mut a = Fnv128::new();
+        a.update_field(b"ab");
+        a.update_field(b"c");
+        let mut b = Fnv128::new();
+        b.update_field(b"a");
+        b.update_field(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn binary_digest_tracks_content_and_stripping() {
+        let profile = cati_synbin::AppProfile::new("digest");
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let opts = cati_synbin::CodegenOptions {
+            compiler: cati_synbin::Compiler::Gcc,
+            opt: cati_synbin::OptLevel::O0,
+        };
+        let bin = cati_synbin::build_app(&profile, opts, 0.5, &mut rng)
+            .remove(0)
+            .binary;
+        let d = digest_binary(&bin);
+        assert_eq!(d, digest_binary(&bin.clone()), "digest must be stable");
+        let stripped = bin.strip();
+        assert_ne!(d, digest_binary(&stripped), "stripping must change it");
+        let mut renamed = bin.clone();
+        renamed.name.push('x');
+        assert_ne!(d, digest_binary(&renamed), "name is part of the key");
+    }
+}

@@ -178,7 +178,7 @@ pub fn detect_frame_base(insns: &[Located]) -> Gpr {
 /// disassemblers fall back to on stripped input.
 pub fn split_functions(insns: &[Located], binary: &Binary) -> Vec<(usize, usize)> {
     if !binary.symbols.is_empty() {
-        let mut out = Vec::new();
+        let mut ranges = Vec::new();
         for sym in &binary.symbols {
             if sym.addr < binary.text_base {
                 continue; // PLT pseudo-symbols live below the text base
@@ -186,10 +186,24 @@ pub fn split_functions(insns: &[Located], binary: &Binary) -> Vec<(usize, usize)
             let start = insns.partition_point(|l| l.addr < sym.addr);
             let end = insns.partition_point(|l| l.addr < sym.addr + sym.len);
             if start < end {
+                ranges.push((start, end));
+            }
+        }
+        ranges.sort_unstable();
+        // Symbol tables can repeat an address (duplicates, aliases)
+        // or declare lengths that spill into the next function, which
+        // would double-count every VUC cut from the shared
+        // instructions. One function per start address (the sort puts
+        // the shortest candidate first), and each range is clipped to
+        // begin after the previous one ends.
+        ranges.dedup_by_key(|r| r.0);
+        let mut out: Vec<(usize, usize)> = Vec::with_capacity(ranges.len());
+        for (start, end) in ranges {
+            let start = start.max(out.last().map_or(0, |&(_, prev_end)| prev_end));
+            if start < end {
                 out.push((start, end));
             }
         }
-        out.sort_unstable();
         return out;
     }
     let mut out = Vec::new();
@@ -503,6 +517,40 @@ mod tests {
             any_labeled += ex.labeled_vars().count();
         }
         assert!(any_labeled > 20);
+    }
+
+    #[test]
+    fn overlapping_and_duplicate_symbols_split_without_double_counting() {
+        let mut bin = sample_binary(OptLevel::O0, 21);
+        let insns = bin.disassemble().unwrap();
+        let clean = split_functions(&insns, &bin);
+        assert!(clean.len() >= 2, "need at least two functions");
+        // Corrupt the symbol table the ways real ones are corrupt:
+        // an exact duplicate, an alias at the same address with a
+        // different length, and a symbol whose length spills into the
+        // next function.
+        let dup = bin.symbols[0].clone();
+        bin.symbols.push(dup);
+        let mut alias = bin.symbols[1].clone();
+        alias.name = "alias".to_string();
+        alias.len += 4;
+        bin.symbols.push(alias);
+        bin.symbols[0].len += bin.symbols[1].len / 2;
+        let funcs = split_functions(&insns, &bin);
+        // Every instruction belongs to at most one range, ranges are
+        // sorted, non-empty, and in bounds.
+        for w in funcs.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping ranges {w:?}");
+        }
+        for &(start, end) in &funcs {
+            assert!(start < end, "empty range ({start}, {end})");
+            assert!(end <= insns.len());
+        }
+        assert_eq!(
+            funcs.len(),
+            clean.len(),
+            "duplicates/aliases must not add functions"
+        );
     }
 
     #[test]

@@ -29,10 +29,12 @@
 #![warn(missing_docs)]
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
+pub mod digest;
 pub mod extract;
 pub mod recovery;
 pub mod stats;
 
+pub use digest::{digest_binary, digest_bytes, Digest, Fnv128};
 pub use extract::{
     detect_frame_base, extract, extract_observed, split_functions, ExtractError, Extraction,
     FeatureView, VarKey, Variable, Vuc, VUC_LEN, WINDOW,

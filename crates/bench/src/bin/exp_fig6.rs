@@ -6,7 +6,7 @@
 //! cargo run --release -p cati-bench --bin exp_fig6 -- --scale medium
 //! ```
 
-use cati::{importance_heatmap, occlusion_epsilons};
+use cati::{importance_heatmap, occlusion_epsilons, EmbeddedExtraction};
 use cati_analysis::{Extraction, WINDOW};
 use cati_bench::{load_ctx_observed, RunObs, Scale};
 use cati_dwarf::StageId;
@@ -36,9 +36,14 @@ fn main() {
         println!("{e:>8.5}  {insn}{marker}");
     }
 
-    // (b) Heat map over the test set.
+    // (b) Heat map over the test set. One embedding session per
+    // extraction feeds every occluded position.
     println!("\nFig. 6(b) — cumulative epsilon distribution per position\n");
-    let heatmap = importance_heatmap(&ctx.cati, &exs, StageId::Stage1, max_vucs);
+    let sessions: Vec<EmbeddedExtraction> = exs
+        .iter()
+        .map(|ex| EmbeddedExtraction::new_observed(&ctx.cati.embedder, ex, run.obs()))
+        .collect();
+    let heatmap = importance_heatmap(&ctx.cati, &sessions, StageId::Stage1, max_vucs);
     println!(
         "sampled {} VUCs; columns are P(eps < 0.1) ... P(eps < 1.0)\n",
         heatmap.samples

@@ -13,7 +13,8 @@
 //! cargo run --release -p cati-bench --bin exp_speed -- --scale medium
 //! ```
 
-use cati::{embedding_sentences, Cati, Config, Dataset, MultiStage};
+use cati::obs::{Observer, Recorder};
+use cati::{embedding_sentences, ArtifactCache, Cati, Config, Dataset, MultiStage};
 use cati_analysis::FeatureView;
 use cati_bench::{RunObs, Scale, SEED};
 use cati_embedding::{VucEmbedder, Word2Vec};
@@ -21,6 +22,7 @@ use cati_synbin::{build_corpus, Compiler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::json;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// One timed training + inference pass at a fixed thread count.
@@ -159,6 +161,57 @@ fn main() {
     }
     println!("paper: ~6 s per binary (extraction dominates), 2 h CNN, 3 h Word2Vec");
 
+    // Cold-vs-warm artifact cache: infer over the stripped test set
+    // three times — no cache, against a fresh cache directory (cold),
+    // and again against the now-populated cache (warm). All three must
+    // produce bit-identical output; the cold/warm wall-clock ratio is
+    // the cache-speedup headline recorded in BENCH_speed.json.
+    let stages: MultiStage = serde_json::from_str(&parallel.model_json).expect("stages roundtrip");
+    let cati = Cati {
+        config: Config {
+            threads: multi,
+            ..config
+        },
+        embedder: embedder.clone(),
+        stages,
+    };
+    let stripped: Vec<_> = corpus.test.iter().map(|b| b.binary.strip()).collect();
+    let artifacts_dir =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/cati-cache/speed-artifacts");
+    let _ = std::fs::remove_dir_all(&artifacts_dir);
+    let artifacts = ArtifactCache::open(&artifacts_dir).expect("open artifact cache");
+    let infer_all = |cache: Option<&ArtifactCache>, obs: &dyn Observer| {
+        let t = Instant::now();
+        let vars: Vec<Vec<_>> = stripped
+            .iter()
+            .map(|bin| cati.infer_cached(bin, cache, obs).expect("inference"))
+            .collect();
+        let json = serde_json::to_string(&vars).expect("vars json");
+        (t.elapsed().as_secs_f64(), json)
+    };
+    let (uncached_s, uncached_out) = infer_all(None, &cati::obs::NOOP);
+    let cold_rec = Recorder::silent();
+    let (cache_cold_s, cold_out) = infer_all(Some(&artifacts), &cold_rec);
+    let warm_rec = Recorder::silent();
+    let (cache_warm_s, warm_out) = infer_all(Some(&artifacts), &warm_rec);
+    assert_eq!(
+        uncached_out, cold_out,
+        "cold cache changed inference output"
+    );
+    assert_eq!(
+        uncached_out, warm_out,
+        "warm cache changed inference output"
+    );
+    let cold_hits = cold_rec.metrics().counter_value("cache.hit");
+    let warm_hits = warm_rec.metrics().counter_value("cache.hit");
+    assert!(warm_hits > 0, "warm run should hit the artifact cache");
+    let cache_speedup = cache_cold_s / cache_warm_s.max(1e-9);
+    println!(
+        "artifact cache: uncached {uncached_s:.2}s, cold {cache_cold_s:.2}s \
+         ({cold_hits} hits), warm {cache_warm_s:.2}s ({warm_hits} hits) — \
+         {cache_speedup:.2}x cold/warm, outputs bit-identical"
+    );
+
     let run_json = |r: &Run| {
         json!({
             "threads": r.threads,
@@ -181,6 +234,13 @@ fn main() {
         "speedup_train": speedup_train,
         "speedup_infer": speedup_infer,
         "models_bit_identical": bit_identical,
+        "cache_uncached_s": uncached_s,
+        "cache_cold_s": cache_cold_s,
+        "cache_warm_s": cache_warm_s,
+        "cache_speedup": cache_speedup,
+        "cache_cold_hits": cold_hits,
+        "cache_warm_hits": warm_hits,
+        "cache_outputs_bit_identical": true,
         "note": if cores == 1 {
             "single-core machine: threads>1 runs oversubscribed, wall-clock speedup not measurable"
         } else {
@@ -201,5 +261,7 @@ fn main() {
         "speedup_train": speedup_train,
         "speedup_infer": speedup_infer,
         "models_bit_identical": bit_identical,
+        "cache_speedup": cache_speedup,
+        "cache_warm_hits": warm_hits,
     }));
 }

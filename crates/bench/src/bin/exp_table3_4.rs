@@ -2,35 +2,39 @@
 //! F1 at VUC granularity (Table III) and at variable granularity after
 //! voting (Table IV).
 //!
+//! Both tables share one [`EmbeddedExtraction`] session per test
+//! extraction — 6 stages × 2 tables reuse the same tensors, and the
+//! `embed.windows` counter in the manifest proves each extraction was
+//! embedded exactly once.
+//!
 //! ```sh
 //! cargo run --release -p cati-bench --bin exp_table3_4 -- --scale medium
 //! ```
 
 use cati::report::{cell, Table};
-use cati::{stage_var_metrics, stage_vuc_metrics};
-use cati_analysis::Extraction;
+use cati::{stage_var_metrics, stage_vuc_metrics, EmbeddedExtraction};
 use cati_bench::{load_ctx_observed, RunObs, Scale, TEST_APPS};
 use cati_dwarf::StageId;
 use cati_synbin::Compiler;
+use serde_json::json;
 
 fn render(
     title: &str,
-    ctx: &cati_bench::Ctx,
-    metrics: impl Fn(&[&Extraction], StageId) -> (cati::Prf, cati::Confusion),
+    sessions_by_app: &[(String, Vec<EmbeddedExtraction<'_>>)],
+    metrics: impl Fn(&[EmbeddedExtraction<'_>], StageId) -> (cati::Prf, cati::Confusion),
 ) {
-    let by_app = ctx.test.by_app();
     let mut header = vec!["Stage", "m"];
     header.extend(TEST_APPS);
     let mut table = Table::new(&header);
     for stage in StageId::ALL {
         let mut rows = vec![Vec::new(), Vec::new(), Vec::new()];
         for app in TEST_APPS {
-            let exs: Vec<&Extraction> = by_app
+            let sessions = sessions_by_app
                 .iter()
-                .filter(|(a, _)| a == app)
-                .flat_map(|(_, v)| v.iter().copied())
-                .collect();
-            let (prf, conf) = metrics(&exs, stage);
+                .find(|(a, _)| a == app)
+                .map(|(_, v)| v.as_slice())
+                .unwrap_or(&[]);
+            let (prf, conf) = metrics(sessions, stage);
             let support = conf.total();
             rows[0].push(cell(prf.precision, support));
             rows[1].push(cell(prf.recall, support));
@@ -50,22 +54,50 @@ fn main() {
     let scale = Scale::from_args();
     let run = RunObs::from_args("exp_table3_4");
     let ctx = load_ctx_observed(scale, Compiler::Gcc, run.obs());
+
+    // Embed every test extraction exactly once; everything below
+    // reuses these sessions.
+    let sessions_by_app: Vec<(String, Vec<EmbeddedExtraction>)> = ctx
+        .test
+        .by_app()
+        .into_iter()
+        .map(|(app, exs)| {
+            let sessions = exs
+                .into_iter()
+                .map(|ex| EmbeddedExtraction::new_observed(&ctx.cati.embedder, ex, run.obs()))
+                .collect();
+            (app, sessions)
+        })
+        .collect();
+
     render(
         &format!(
             "Table III — VUC prediction (P/R/F1) per application ({})",
             scale.name()
         ),
-        &ctx,
-        |exs, stage| stage_vuc_metrics(&ctx.cati, exs, stage),
+        &sessions_by_app,
+        |sessions, stage| stage_vuc_metrics(&ctx.cati, sessions, stage),
     );
     render(
         &format!(
             "Table IV — variable prediction after voting (P/R/F1) per application ({})",
             scale.name()
         ),
-        &ctx,
-        |exs, stage| stage_var_metrics(&ctx.cati, exs, stage),
+        &sessions_by_app,
+        |sessions, stage| stage_var_metrics(&ctx.cati, sessions, stage),
     );
     println!("Expected shape (paper): Stage1 strongest (~0.9), Stage2-1 weakest (~0.7);");
     println!("voting improves Stage1/2-2/3-1/3-3 and can hurt Stage2-1/3-2.");
+
+    let total_vucs: u64 = ctx.test.iter().map(|(_, e)| e.vucs.len() as u64).sum();
+    let embedded = run.recorder().metrics().counter_value("embed.windows");
+    assert_eq!(
+        embedded, total_vucs,
+        "each test extraction must be embedded exactly once across both tables"
+    );
+    run.finish(&json!({
+        "embed_windows": embedded,
+        "test_vucs": total_vucs,
+        "embeds_per_extraction": 1,
+    }));
 }

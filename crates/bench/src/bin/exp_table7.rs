@@ -2,13 +2,16 @@
 //! pipeline on a Clang-compiled corpus and report per-stage P/R/F1
 //! (paper §VIII; total variable accuracy 82.14%).
 //!
+//! Each test extraction is embedded once into an
+//! [`EmbeddedExtraction`] session shared by all six stage evaluations
+//! and the end-to-end accuracy pass.
+//!
 //! ```sh
 //! cargo run --release -p cati-bench --bin exp_table7 -- --scale medium
 //! ```
 
 use cati::report::Table;
-use cati::{pipeline_accuracy, stage_vuc_metrics};
-use cati_analysis::Extraction;
+use cati::{pipeline_accuracy_session, stage_vuc_metrics, EmbeddedExtraction};
 use cati_bench::{load_ctx_observed, RunObs, Scale};
 use cati_dwarf::StageId;
 use cati_synbin::Compiler;
@@ -17,11 +20,15 @@ fn main() {
     let scale = Scale::from_args();
     let run = RunObs::from_args("exp_table7");
     let ctx = load_ctx_observed(scale, Compiler::Clang, run.obs());
-    let exs: Vec<&Extraction> = ctx.test.iter().map(|(_, e)| e).collect();
+    let sessions: Vec<EmbeddedExtraction> = ctx
+        .test
+        .iter()
+        .map(|(_, ex)| EmbeddedExtraction::new_observed(&ctx.cati.embedder, ex, run.obs()))
+        .collect();
 
     let mut table = Table::new(&["Stage", "Precision", "Recall", "F1-score"]);
     for stage in StageId::ALL {
-        let (prf, conf) = stage_vuc_metrics(&ctx.cati, &exs, stage);
+        let (prf, conf) = stage_vuc_metrics(&ctx.cati, &sessions, stage);
         if conf.total() == 0 {
             table.row(vec![
                 stage.name().into(),
@@ -46,8 +53,8 @@ fn main() {
 
     let mut ok = 0.0;
     let mut n = 0u64;
-    for ex in &exs {
-        let (_, _, ra, rn) = pipeline_accuracy(&ctx.cati, ex);
+    for session in &sessions {
+        let (_, _, ra, rn) = pipeline_accuracy_session(&ctx.cati, session);
         ok += ra * rn as f64;
         n += rn;
     }

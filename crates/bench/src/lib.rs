@@ -10,7 +10,7 @@
 #![warn(missing_docs)]
 
 use cati::obs::{git_rev, Level, LogFormat, Observer, Recorder, RecorderConfig};
-use cati::{Cati, Config, Dataset};
+use cati::{ArtifactCache, Cati, Config, Dataset};
 use cati_analysis::FeatureView;
 use cati_synbin::{build_corpus, Compiler, Corpus, CorpusConfig};
 use serde_json::{json, Value};
@@ -89,6 +89,10 @@ pub const SEED: u64 = 2020;
 /// - `--manifest PATH` — manifest destination (default
 ///   `results/runs/<name>.jsonl` under the workspace root)
 /// - `--no-manifest` — skip manifest writing
+///
+/// Experiments additionally honor `--cache-dir DIR` (see
+/// [`artifact_cache_from_args`]) for on-disk extraction/embedding
+/// reuse across runs.
 pub struct RunObs {
     recorder: Recorder,
     name: String,
@@ -204,6 +208,25 @@ fn cache_dir() -> PathBuf {
     dir
 }
 
+/// Parses `--cache-dir DIR` from `std::env::args`: the on-disk
+/// content-addressed artifact cache shared by the experiments'
+/// extraction (and inference embedding) phases. Absent flag means no
+/// artifact cache; results are bit-identical either way.
+pub fn artifact_cache_from_args() -> Option<ArtifactCache> {
+    let args: Vec<String> = std::env::args().collect();
+    let dir = args
+        .windows(2)
+        .find(|w| w[0] == "--cache-dir")
+        .map(|w| w[1].clone())?;
+    match ArtifactCache::open(&dir) {
+        Ok(cache) => Some(cache),
+        Err(e) => {
+            eprintln!("[obs] cannot open artifact cache {dir}: {e}");
+            None
+        }
+    }
+}
+
 /// Builds the corpus and trains (or loads a cached) model for `scale`
 /// and `compiler`. `obs` receives the context-preparation telemetry:
 /// `ctx.*` spans, extraction counters, and training events when the
@@ -247,9 +270,16 @@ pub fn load_ctx_observed(scale: Scale, compiler: Compiler, obs: &dyn Observer) -
         }
     };
     cati::obs::info!(obs, "extracting test set...");
+    let artifacts = artifact_cache_from_args();
     let _span = cati::obs::SpanGuard::enter(obs, "ctx.extract_test");
-    let test = Dataset::from_binaries_observed(&corpus.test, FeatureView::Stripped, obs);
-    let train = Dataset::from_binaries_observed(&corpus.train, FeatureView::WithSymbols, obs);
+    let test =
+        Dataset::from_binaries_cached(&corpus.test, FeatureView::Stripped, artifacts.as_ref(), obs);
+    let train = Dataset::from_binaries_cached(
+        &corpus.train,
+        FeatureView::WithSymbols,
+        artifacts.as_ref(),
+        obs,
+    );
     Ctx {
         corpus,
         cati,

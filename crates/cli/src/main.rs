@@ -16,7 +16,7 @@
 //! plus a manifest.
 
 use cati::obs::{git_rev, Level, LogFormat, Manifest, Recorder, RecorderConfig};
-use cati::{Cati, Config};
+use cati::{ArtifactCache, Cati, Config};
 use cati_analysis::{extract, FeatureView};
 use cati_asm::binary::Binary;
 use cati_asm::fmt::format_insn;
@@ -132,7 +132,8 @@ fn write_manifest_if_requested(
     recorder
         .write_manifest(path, &serde_json::Value::Object(meta))
         .map_err(|e| e.to_string())?;
-    println!("manifest written to {path}");
+    // stderr, so `infer --json > out.json` stays machine-readable.
+    eprintln!("manifest written to {path}");
     Ok(())
 }
 
@@ -336,8 +337,13 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
         cati.config.threads = t.parse().unwrap_or(0);
     }
     let recorder = recorder_of(args);
+    let artifacts = args
+        .flags
+        .get("cache-dir")
+        .map(|dir| ArtifactCache::open(dir).map_err(|e| format!("open cache {dir}: {e}")))
+        .transpose()?;
     let mut inferred = cati
-        .infer_observed(&binary, &recorder)
+        .infer_cached(&binary, artifacts.as_ref(), &recorder)
         .map_err(|e| e.to_string())?;
     inferred.sort_by_key(|v| (v.key.func, v.key.offset));
     write_manifest_if_requested(
@@ -348,6 +354,8 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
             "model": model.as_str(),
             "binary": path.as_str(),
             "variables": inferred.len(),
+            "cache_hits": recorder.metrics().counter_value("cache.hit"),
+            "cache_misses": recorder.metrics().counter_value("cache.miss"),
         }),
     )?;
     if args.switches.contains("json") {
@@ -427,12 +435,18 @@ USAGE:
   cati disasm BINARY.json [--strip]
   cati vars BINARY.json
   cati train --corpus DIR --out MODEL.json [--scale small|medium|paper] [--threads N]
-  cati infer --model MODEL.json BINARY.json [--json] [--threads N]
+  cati infer --model MODEL.json BINARY.json [--json] [--threads N] [--cache-dir DIR]
   cati report MANIFEST.jsonl [OTHER.jsonl] [--validate]
   cati strip BINARY.json --out STRIPPED.json
 
 Training and batched inference use --threads worker threads
 (0 or omitted = all cores); results are bit-identical for any value.
+
+`cati infer --cache-dir DIR` keeps a content-addressed artifact cache
+(extraction + window embeddings, keyed by binary digest and model
+fingerprint) so repeated runs skip recomputation; output is
+bit-identical with or without the cache. Cache traffic is reported as
+cache_hits / cache_misses in the run manifest.
 
 Telemetry (train and infer):
   --log-format text|json        live event mirror on stderr (default text)

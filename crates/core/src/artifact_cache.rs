@@ -1,0 +1,253 @@
+//! On-disk content-addressed artifact cache.
+//!
+//! Extractions and embeddings are pure functions of their inputs, so
+//! they can be cached across runs keyed by content: an extraction by
+//! the binary's digest and feature view, embeddings additionally by a
+//! fingerprint of the embedding model. A key matches only when every
+//! input is byte-identical, so a cache hit returns exactly the value
+//! the pure function would compute (the vendored JSON codec
+//! round-trips `f32` exactly) and results are bit-identical with the
+//! cache on or off. Telemetry: `cache.hit` / `cache.miss` /
+//! `cache.bytes` counters flow through the observer into run
+//! manifests.
+
+use crate::dataset::embed_extraction;
+use cati_analysis::{
+    digest_binary, digest_bytes, extract_observed, Digest, ExtractError, Extraction, FeatureView,
+};
+use cati_asm::binary::Binary;
+use cati_embedding::VucEmbedder;
+use cati_obs::{Event, Observer};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever the serialized artifact layout changes, so stale
+/// caches are silently misses instead of parse errors.
+const FORMAT_VERSION: u32 = 1;
+
+/// A directory of content-addressed extraction/embedding artifacts.
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+}
+
+fn view_tag(view: FeatureView) -> &'static str {
+    match view {
+        FeatureView::WithSymbols => "sym",
+        FeatureView::Stripped => "stripped",
+    }
+}
+
+/// Fingerprints an embedding model: the digest of its serialized
+/// form, so any retrained or differently-configured model gets its
+/// own embedding cache entries.
+pub fn embedder_fingerprint(embedder: &VucEmbedder) -> Digest {
+    digest_bytes(&serde_json::to_vec(embedder).expect("embedder serializes"))
+}
+
+impl ArtifactCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<ArtifactCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ArtifactCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Loads and parses one artifact. A present, parseable entry is a
+    /// `cache.hit` (its size accumulating into `cache.bytes`);
+    /// anything else — absent, unreadable, corrupt — is a
+    /// `cache.miss` and the caller recomputes (overwriting a corrupt
+    /// entry).
+    fn load<T: Deserialize>(&self, file: &str, obs: &dyn Observer) -> Option<T> {
+        let loaded = std::fs::read(self.dir.join(file))
+            .ok()
+            .and_then(|bytes| Some((serde_json::from_slice(&bytes).ok()?, bytes.len())));
+        match loaded {
+            Some((value, len)) => {
+                obs.event(&Event::Counter {
+                    name: "cache.hit",
+                    delta: 1,
+                });
+                obs.event(&Event::Counter {
+                    name: "cache.bytes",
+                    delta: len as u64,
+                });
+                Some(value)
+            }
+            None => {
+                obs.event(&Event::Counter {
+                    name: "cache.miss",
+                    delta: 1,
+                });
+                None
+            }
+        }
+    }
+
+    /// Stores one artifact atomically (tmp + rename, so a crash never
+    /// leaves a truncated entry a later run would half-parse). Write
+    /// failures only disable reuse, so they are logged, not fatal.
+    fn store<T: Serialize>(&self, file: &str, value: &T, obs: &dyn Observer) {
+        let json = match serde_json::to_vec(value) {
+            Ok(json) => json,
+            Err(e) => {
+                cati_obs::warn!(obs, "cache: serialize {file}: {e}");
+                return;
+            }
+        };
+        let path = self.dir.join(file);
+        let tmp = self.dir.join(format!("{file}.tmp"));
+        let written = std::fs::write(&tmp, &json).and_then(|()| std::fs::rename(&tmp, &path));
+        match written {
+            Ok(()) => obs.event(&Event::Counter {
+                name: "cache.bytes",
+                delta: json.len() as u64,
+            }),
+            Err(e) => cati_obs::warn!(obs, "cache: write {}: {e}", path.display()),
+        }
+    }
+
+    /// The extraction of `binary` under `view`: loaded from the cache
+    /// when the binary's digest matches, otherwise extracted and
+    /// stored.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a cache miss forces extraction and the binary's text
+    /// section does not decode.
+    pub fn extraction(
+        &self,
+        binary: &Binary,
+        view: FeatureView,
+        obs: &dyn Observer,
+    ) -> Result<Extraction, ExtractError> {
+        let file = format!(
+            "ext-v{FORMAT_VERSION}-{}-{}.json",
+            digest_binary(binary),
+            view_tag(view)
+        );
+        if let Some(ex) = self.load(&file, obs) {
+            return Ok(ex);
+        }
+        let ex = extract_observed(binary, view, obs)?;
+        self.store(&file, &ex, obs);
+        Ok(ex)
+    }
+
+    /// The embedded tensors of `ex`'s VUCs under `embedder`: loaded
+    /// from the cache when both the binary digest and the model
+    /// fingerprint match, otherwise embedded (counting
+    /// `embed.windows`) and stored.
+    pub fn embeddings(
+        &self,
+        binary: &Binary,
+        view: FeatureView,
+        embedder: &VucEmbedder,
+        ex: &Extraction,
+        obs: &dyn Observer,
+    ) -> Vec<Vec<f32>> {
+        let file = format!(
+            "emb-v{FORMAT_VERSION}-{}-{}-{}.json",
+            digest_binary(binary),
+            view_tag(view),
+            embedder_fingerprint(embedder)
+        );
+        if let Some(xs) = self.load::<Vec<Vec<f32>>>(&file, obs) {
+            if xs.len() == ex.vucs.len() {
+                return xs;
+            }
+        }
+        let xs = embed_extraction(ex, embedder);
+        obs.event(&Event::Counter {
+            name: "embed.windows",
+            delta: ex.vucs.len() as u64,
+        });
+        self.store(&file, &xs, obs);
+        xs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cati_embedding::{W2vConfig, Word2Vec};
+    use cati_obs::{Recorder, RecorderConfig};
+
+    fn temp_cache(tag: &str) -> ArtifactCache {
+        let dir = std::env::temp_dir().join(format!("cati_cache_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        ArtifactCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn extraction_and_embeddings_roundtrip_with_counters() {
+        let corpus = cati_synbin::build_corpus(&cati_synbin::CorpusConfig::small(23));
+        let binary = &corpus.test[0].binary.strip();
+        let cache = temp_cache("roundtrip");
+        let rec = Recorder::new(RecorderConfig::default());
+
+        let cold = cache
+            .extraction(binary, FeatureView::Stripped, &rec)
+            .unwrap();
+        let direct = cati_analysis::extract(binary, FeatureView::Stripped).unwrap();
+        assert_eq!(cold, direct, "cold path must equal direct extraction");
+        let warm = cache
+            .extraction(binary, FeatureView::Stripped, &rec)
+            .unwrap();
+        assert_eq!(warm, direct, "warm path must equal direct extraction");
+
+        let sentences = vec![vec!["mov".to_string(), "ret".to_string()]];
+        let embedder = VucEmbedder::new(Word2Vec::train(&sentences, W2vConfig::tiny()));
+        let xs_cold = cache.embeddings(binary, FeatureView::Stripped, &embedder, &direct, &rec);
+        let xs_warm = cache.embeddings(binary, FeatureView::Stripped, &embedder, &direct, &rec);
+        assert_eq!(xs_cold, xs_warm, "cached embeddings must be bit-identical");
+        assert_eq!(
+            xs_cold,
+            crate::dataset::embed_extraction(&direct, &embedder)
+        );
+
+        let m = rec.metrics();
+        assert_eq!(m.counter_value("cache.miss"), 2, "one cold miss per kind");
+        assert_eq!(m.counter_value("cache.hit"), 2, "one warm hit per kind");
+        assert!(m.counter_value("cache.bytes") > 0);
+        // Only the cold embedding pass embedded anything.
+        assert_eq!(m.counter_value("embed.windows"), direct.vucs.len() as u64);
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn corrupt_entries_recompute_instead_of_failing() {
+        let corpus = cati_synbin::build_corpus(&cati_synbin::CorpusConfig::small(23));
+        let binary = &corpus.test[0].binary.strip();
+        let cache = temp_cache("corrupt");
+        let rec = Recorder::new(RecorderConfig::default());
+        let first = cache
+            .extraction(binary, FeatureView::Stripped, &rec)
+            .unwrap();
+        // Truncate every entry; the next read must recompute and heal.
+        for entry in std::fs::read_dir(cache.dir()).unwrap() {
+            let path = entry.unwrap().path();
+            std::fs::write(&path, b"{").unwrap();
+        }
+        let healed = cache
+            .extraction(binary, FeatureView::Stripped, &rec)
+            .unwrap();
+        assert_eq!(first, healed);
+        assert_eq!(rec.metrics().counter_value("cache.miss"), 2);
+        let warm = cache
+            .extraction(binary, FeatureView::Stripped, &rec)
+            .unwrap();
+        assert_eq!(first, warm);
+        assert_eq!(rec.metrics().counter_value("cache.hit"), 1);
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+}

@@ -5,7 +5,7 @@ use cati_analysis::{extract_observed, Extraction, FeatureView};
 use cati_asm::generalize::generalize;
 use cati_dwarf::{StageId, TypeClass};
 use cati_embedding::VucEmbedder;
-use cati_obs::Observer;
+use cati_obs::{Event, Observer};
 use cati_synbin::BuiltBinary;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -44,11 +44,32 @@ impl Dataset {
         view: FeatureView,
         obs: &dyn Observer,
     ) -> Dataset {
+        Dataset::from_binaries_cached(built, view, None, obs)
+    }
+
+    /// [`Dataset::from_binaries_observed`] through an optional
+    /// on-disk [`ArtifactCache`]: each extraction is loaded by the
+    /// binary's content digest when cached, extracted and stored
+    /// otherwise. The dataset is bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a binary fails to extract — corpus binaries are
+    /// produced by our own linker, so failure indicates a bug.
+    pub fn from_binaries_cached(
+        built: &[BuiltBinary],
+        view: FeatureView,
+        cache: Option<&crate::artifact_cache::ArtifactCache>,
+        obs: &dyn Observer,
+    ) -> Dataset {
         let entries = built
             .par_iter()
             .map(|b| {
-                let ex =
-                    extract_observed(&b.binary, view, obs).expect("corpus binary must extract");
+                let ex = match cache {
+                    Some(cache) => cache.extraction(&b.binary, view, obs),
+                    None => extract_observed(&b.binary, view, obs),
+                }
+                .expect("corpus binary must extract");
                 (b.app.clone(), ex)
             })
             .collect();
@@ -127,7 +148,11 @@ pub type Sample = (Vec<f32>, usize);
 
 /// Builds the training set of one stage: every VUC whose ground-truth
 /// class carries a label at `stage`, embedded and labeled, capped and
-/// rare-class-oversampled per the configuration.
+/// rare-class-oversampled per the configuration. Oversampling never
+/// adds more than `max_count` duplicates per rare class (the safety
+/// bound), and everything it adds is counted into the
+/// `train.oversampled` counter on `obs` (with a warning when the
+/// bound truncates a class short of its floor).
 pub fn stage_dataset(
     dataset: &Dataset,
     embedder: &VucEmbedder,
@@ -135,6 +160,7 @@ pub fn stage_dataset(
     max_samples: usize,
     oversample_floor: f64,
     rng: &mut StdRng,
+    obs: &dyn Observer,
 ) -> Vec<Sample> {
     // Collect (extraction ref, vuc idx, label) first — cheap.
     let mut refs: Vec<(&Extraction, usize, usize)> = Vec::new();
@@ -161,6 +187,7 @@ pub fn stage_dataset(
         }
         let max_count = counts.iter().copied().max().unwrap_or(0);
         let floor = ((max_count as f64) * oversample_floor) as usize;
+        let mut oversampled = 0u64;
         let mut extra = Vec::new();
         for (label, &count) in counts.iter().enumerate() {
             if count == 0 || count >= floor {
@@ -168,12 +195,26 @@ pub fn stage_dataset(
             }
             let pool: Vec<_> = refs.iter().filter(|r| r.2 == label).copied().collect();
             while count + extra.len() < floor && !pool.is_empty() {
-                extra.push(pool[rng.gen_range(0..pool.len())]);
-                if extra.len() > max_count {
-                    break; // hard safety bound
+                if extra.len() >= max_count {
+                    // Hard safety bound: never duplicate a class more
+                    // than the largest class's population.
+                    cati_obs::warn!(
+                        obs,
+                        "{stage}: oversampling label {label} stopped at the \
+                         {max_count}-duplicate bound, short of floor {floor}"
+                    );
+                    break;
                 }
+                extra.push(pool[rng.gen_range(0..pool.len())]);
             }
+            oversampled += extra.len() as u64;
             refs.append(&mut extra);
+        }
+        if oversampled > 0 {
+            obs.event(&Event::Counter {
+                name: "train.oversampled",
+                delta: oversampled,
+            });
         }
     }
     refs.into_par_iter()
@@ -231,7 +272,15 @@ mod tests {
         let model = Word2Vec::train(&sentences, W2vConfig::tiny());
         let embedder = VucEmbedder::new(model);
 
-        let s1 = stage_dataset(&ds, &embedder, StageId::Stage1, 300, 0.05, &mut rng);
+        let s1 = stage_dataset(
+            &ds,
+            &embedder,
+            StageId::Stage1,
+            300,
+            0.05,
+            &mut rng,
+            &cati_obs::NOOP,
+        );
         assert!(!s1.is_empty());
         assert!(
             s1.len() <= 330,
@@ -243,10 +292,142 @@ mod tests {
             assert!(*label < 2);
         }
         // Stage 3-2 may be tiny but labels stay in range.
-        let s32 = stage_dataset(&ds, &embedder, StageId::Stage3Float, 0, 0.05, &mut rng);
+        let s32 = stage_dataset(
+            &ds,
+            &embedder,
+            StageId::Stage3Float,
+            0,
+            0.05,
+            &mut rng,
+            &cati_obs::NOOP,
+        );
         for (_, label) in &s32 {
             assert!(*label < 3);
         }
+    }
+
+    /// A dataset of single-VUC variables with a chosen Stage-1 class
+    /// mix: `majority` non-pointers (Int) and `rare` pointers
+    /// (PtrVoid), every VUC a window of BLANKs.
+    fn synthetic_dataset(majority: usize, rare: usize) -> Dataset {
+        use cati_analysis::{VarKey, Variable, Vuc, VUC_LEN};
+        use cati_asm::generalize::GenInsn;
+        let mut vars = Vec::new();
+        let mut vucs = Vec::new();
+        for i in 0..majority + rare {
+            let class = if i < majority {
+                TypeClass::Int
+            } else {
+                TypeClass::PtrVoid
+            };
+            vars.push(Variable {
+                key: VarKey {
+                    func: i as u32,
+                    offset: -8,
+                },
+                name: None,
+                class: Some(class),
+                debin: None,
+                vucs: vec![i as u32],
+            });
+            vucs.push(Vuc {
+                insns: vec![GenInsn::blank(); VUC_LEN],
+                var: i as u32,
+                context_classes: vec![None; VUC_LEN],
+            });
+        }
+        Dataset {
+            entries: vec![(
+                "synthetic".to_string(),
+                Extraction {
+                    binary_name: "synthetic".to_string(),
+                    vars,
+                    vucs,
+                },
+            )],
+        }
+    }
+
+    fn tiny_embedder() -> VucEmbedder {
+        let sentences = vec![vec!["mov".to_string(), "ret".to_string()]];
+        VucEmbedder::new(Word2Vec::train(&sentences, W2vConfig::tiny()))
+    }
+
+    fn stage1_label_counts(samples: &[Sample]) -> (usize, usize) {
+        let ptrs = samples.iter().filter(|(_, l)| *l == 1).count();
+        (samples.len() - ptrs, ptrs)
+    }
+
+    #[test]
+    fn oversampling_fills_rare_classes_to_the_floor_and_counts_them() {
+        use cati_obs::{Recorder, RecorderConfig};
+        let ds = synthetic_dataset(100, 3);
+        let embedder = tiny_embedder();
+        let mut rng = StdRng::seed_from_u64(9);
+        let rec = Recorder::new(RecorderConfig::default());
+        // floor = 10% of the 100-strong majority = 10; the 3 pointer
+        // samples gain exactly 7 duplicates.
+        let s = stage_dataset(&ds, &embedder, StageId::Stage1, 0, 0.1, &mut rng, &rec);
+        let (ints, ptrs) = stage1_label_counts(&s);
+        assert_eq!((ints, ptrs), (100, 10));
+        assert_eq!(rec.metrics().counter_value("train.oversampled"), 7);
+    }
+
+    #[test]
+    fn class_exactly_at_the_floor_is_not_oversampled() {
+        use cati_obs::{Recorder, RecorderConfig};
+        let ds = synthetic_dataset(100, 10);
+        let embedder = tiny_embedder();
+        let mut rng = StdRng::seed_from_u64(9);
+        let rec = Recorder::new(RecorderConfig::default());
+        let s = stage_dataset(&ds, &embedder, StageId::Stage1, 0, 0.1, &mut rng, &rec);
+        assert_eq!(stage1_label_counts(&s), (100, 10));
+        assert_eq!(rec.metrics().counter_value("train.oversampled"), 0);
+    }
+
+    #[test]
+    fn oversampling_safety_bound_adds_at_most_max_count_duplicates() {
+        use cati_obs::{Recorder, RecorderConfig};
+        let ds = synthetic_dataset(10, 2);
+        let embedder = tiny_embedder();
+        let mut rng = StdRng::seed_from_u64(9);
+        let rec = Recorder::new(RecorderConfig::default());
+        // A floor of 5× the majority (50) can never be reached by any
+        // class; the bound stops each at exactly max_count = 10
+        // duplicates (the old loop leaked an 11th before noticing).
+        let s = stage_dataset(&ds, &embedder, StageId::Stage1, 0, 5.0, &mut rng, &rec);
+        assert_eq!(stage1_label_counts(&s), (20, 12));
+        assert_eq!(rec.metrics().counter_value("train.oversampled"), 20);
+    }
+
+    #[test]
+    fn output_may_exceed_max_samples_by_the_oversample_slack() {
+        let ds = synthetic_dataset(100, 2);
+        let embedder = tiny_embedder();
+        let mut rng = StdRng::seed_from_u64(9);
+        // 102 refs don't exceed the 102 cap, so nothing is truncated;
+        // oversampling then legitimately pushes past max_samples.
+        let s = stage_dataset(
+            &ds,
+            &embedder,
+            StageId::Stage1,
+            102,
+            0.1,
+            &mut rng,
+            &cati_obs::NOOP,
+        );
+        assert_eq!(s.len(), 110, "100 ints + 2 ptrs + 8 duplicates");
+        // With the floor disabled the cap is exact.
+        let capped = stage_dataset(
+            &ds,
+            &embedder,
+            StageId::Stage1,
+            50,
+            0.0,
+            &mut rng,
+            &cati_obs::NOOP,
+        );
+        assert_eq!(capped.len(), 50);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
+pub mod artifact_cache;
 pub mod compiler_id;
 pub mod config;
 pub mod dataset;
@@ -48,18 +49,24 @@ pub mod multistage;
 pub mod occlusion;
 pub mod pipeline;
 pub mod report;
+pub mod session;
 pub mod vote;
 
+pub use artifact_cache::{embedder_fingerprint, ArtifactCache};
 pub use compiler_id::CompilerId;
 pub use config::Config;
 pub use dataset::{class_histogram, embedding_sentences, Dataset};
 pub use debin::DebinTask;
 pub use metrics::{confusion, Confusion, Prf};
 pub use multistage::MultiStage;
-pub use occlusion::{importance_heatmap, occlusion_epsilons, ImportanceHeatmap};
-pub use pipeline::{
-    pipeline_accuracy, stage_var_metrics, stage_vuc_metrics, Cati, Evaluation, InferredVar,
+pub use occlusion::{
+    importance_heatmap, occlusion_epsilons, occlusion_epsilons_embedded, ImportanceHeatmap,
 };
+pub use pipeline::{
+    pipeline_accuracy, pipeline_accuracy_session, stage_var_metrics, stage_vuc_metrics, Cati,
+    Evaluation, InferredVar,
+};
+pub use session::EmbeddedExtraction;
 pub use vote::{clip_confidences, vote, VoteResult};
 
 // Re-export the substrate crates so downstream users need only one

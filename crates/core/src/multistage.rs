@@ -95,6 +95,7 @@ impl MultiStage {
                     config.max_stage_samples,
                     config.oversample_floor,
                     &mut rng,
+                    obs,
                 );
                 obs.event(&Event::Counter {
                     name: "train.samples",

@@ -7,7 +7,8 @@
 //! of VUCs whose ε falls below each threshold 0.1 … 1.0.
 
 use crate::pipeline::Cati;
-use cati_analysis::{Extraction, VUC_LEN};
+use crate::session::EmbeddedExtraction;
+use cati_analysis::VUC_LEN;
 use cati_asm::generalize::GenInsn;
 use cati_dwarf::StageId;
 use rayon::prelude::*;
@@ -23,7 +24,16 @@ pub type Epsilons = Vec<f32>;
 /// instruction with BLANK (paper's function R).
 pub fn occlusion_epsilons(cati: &Cati, window: &[GenInsn], stage: StageId) -> Epsilons {
     let x = cati.embedder.embed_window(window);
-    let base_probs = cati.stages.stage_probs(stage, &x);
+    occlusion_epsilons_embedded(cati, &x, window.len(), stage)
+}
+
+/// [`occlusion_epsilons`] for a window whose embedding `x` (an
+/// `embed_dim × len` tensor) is already in hand — the fast path: each
+/// of the `len` probes patches only the blanked position's channel
+/// column instead of re-embedding the whole window. Identical output:
+/// a BLANK column carries the same floats wherever it is written.
+pub fn occlusion_epsilons_embedded(cati: &Cati, x: &[f32], len: usize, stage: StageId) -> Epsilons {
+    let base_probs = cati.stages.stage_probs(stage, x);
     let (argmax, base_conf) = base_probs
         .iter()
         .enumerate()
@@ -31,11 +41,11 @@ pub fn occlusion_epsilons(cati: &Cati, window: &[GenInsn], stage: StageId) -> Ep
         .map(|(i, p)| (i, *p))
         .expect("non-empty distribution");
     let base_conf = base_conf.max(1e-6);
-    (0..window.len())
+    let blank = GenInsn::blank();
+    (0..len)
         .map(|k| {
-            let mut occluded = window.to_vec();
-            occluded[k] = GenInsn::blank();
-            let xo = cati.embedder.embed_window(&occluded);
+            let mut xo = x.to_vec();
+            cati.embedder.patch_window_position(&mut xo, len, k, &blank);
             let probs = cati.stages.stage_probs(stage, &xo);
             probs[argmax] / base_conf
         })
@@ -62,17 +72,18 @@ impl ImportanceHeatmap {
 }
 
 /// Builds the Fig. 6(b) heat map over (a sample of) the VUCs in
-/// `extractions`, evaluated at `stage`.
+/// `sessions`, evaluated at `stage`. The sessions' tensors serve as
+/// the occlusion base embeddings, so no VUC is re-embedded.
 pub fn importance_heatmap(
     cati: &Cati,
-    extractions: &[&Extraction],
+    sessions: &[EmbeddedExtraction<'_>],
     stage: StageId,
     max_vucs: usize,
 ) -> ImportanceHeatmap {
-    let mut windows: Vec<&Vec<GenInsn>> = Vec::new();
-    'outer: for ex in extractions {
-        for vuc in &ex.vucs {
-            windows.push(&vuc.insns);
+    let mut windows: Vec<&[f32]> = Vec::new();
+    'outer: for session in sessions {
+        for i in 0..session.extraction().vucs.len() {
+            windows.push(session.embedding(i));
             if max_vucs > 0 && windows.len() >= max_vucs {
                 break 'outer;
             }
@@ -80,7 +91,7 @@ pub fn importance_heatmap(
     }
     let all_eps: Vec<Epsilons> = windows
         .par_iter()
-        .map(|w| occlusion_epsilons(cati, w, stage))
+        .map(|x| occlusion_epsilons_embedded(cati, x, VUC_LEN, stage))
         .collect();
     let mut rows = vec![vec![0.0f64; 10]; VUC_LEN];
     for eps in &all_eps {
@@ -126,5 +137,34 @@ mod tests {
         for e in eps {
             assert!((e - 1.0).abs() < 1e-4, "blank-on-blank epsilon {e}");
         }
+
+        // The patch fast path must equal naive re-embedding of each
+        // occluded window bit for bit, on a real VUC.
+        let ex = cati_analysis::extract(
+            &corpus.test[0].binary.strip(),
+            cati_analysis::FeatureView::Stripped,
+        )
+        .unwrap();
+        let window = &ex.vucs[0].insns;
+        let fast = occlusion_epsilons(&cati, window, StageId::Stage1);
+        let base_probs = cati
+            .stages
+            .stage_probs(StageId::Stage1, &cati.embedder.embed_window(window));
+        let (argmax, base_conf) = base_probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, p)| (i, *p))
+            .unwrap();
+        let base_conf = base_conf.max(1e-6);
+        let naive: Epsilons = (0..window.len())
+            .map(|k| {
+                let mut occluded = window.clone();
+                occluded[k] = GenInsn::blank();
+                let xo = cati.embedder.embed_window(&occluded);
+                cati.stages.stage_probs(StageId::Stage1, &xo)[argmax] / base_conf
+            })
+            .collect();
+        assert_eq!(fast, naive, "patched probes diverged from re-embedding");
     }
 }

@@ -1,11 +1,13 @@
 //! The end-to-end CATI pipeline: train on a corpus, evaluate on
 //! labeled extractions, infer types from unseen stripped binaries.
 
+use crate::artifact_cache::ArtifactCache;
 use crate::config::Config;
-use crate::dataset::{embed_extraction, embedding_sentences, Dataset};
+use crate::dataset::{embedding_sentences, Dataset};
 use crate::metrics::{Confusion, Prf};
 use crate::multistage::MultiStage;
-use crate::vote::vote;
+use crate::session::EmbeddedExtraction;
+use crate::vote::{vote, VoteResult};
 use cati_analysis::{extract_observed, ExtractError, Extraction, FeatureView, VarKey};
 use cati_asm::binary::Binary;
 use cati_dwarf::{StageId, TypeClass};
@@ -38,6 +40,11 @@ pub struct Evaluation {
     pub vuc_preds: Vec<TypeClass>,
     /// Voted class of each variable (parallel to `Extraction::vars`).
     pub var_preds: Vec<TypeClass>,
+    /// The full Eq. 4 vote of each variable (parallel to
+    /// `Extraction::vars`), so downstream consumers — inference
+    /// confidence above all — reuse the outcome instead of re-voting
+    /// the identical distributions.
+    pub votes: Vec<VoteResult>,
 }
 
 /// One inferred variable of a stripped binary — the system's final
@@ -105,70 +112,97 @@ impl Cati {
         self.evaluate_observed(ex, &cati_obs::NOOP)
     }
 
-    /// [`Cati::evaluate`] with telemetry: an `evaluate` span, vote
-    /// clip-rate counters (`vote.clipped` / `vote.considered`), and a
-    /// winning-share histogram (`vote.confidence`). The evaluation is
-    /// bit-identical to the unobserved path for any observer.
+    /// [`Cati::evaluate`] with telemetry: an `evaluate` span, an
+    /// `embed.windows` counter, vote clip-rate counters
+    /// (`vote.clipped` / `vote.considered`), and a winning-share
+    /// histogram (`vote.confidence`). The evaluation is bit-identical
+    /// to the unobserved path for any observer.
     pub fn evaluate_observed(&self, ex: &Extraction, obs: &dyn Observer) -> Evaluation {
         self.config.with_threads(|| {
-            let _span = SpanGuard::enter(obs, "evaluate");
-            let xs = embed_extraction(ex, &self.embedder);
-            let vuc_dists = self.stages.leaf_distributions_batch(&xs);
-            let vuc_preds: Vec<TypeClass> = vuc_dists
-                .iter()
-                .map(|d| {
-                    TypeClass::ALL[d
-                        .iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1.total_cmp(b.1))
-                        .map(|(i, _)| i)
-                        .unwrap_or(0)]
-                })
-                .collect();
-            obs.event(&Event::RegisterHistogram {
-                name: "vote.confidence",
-                bounds: &UNIT_BUCKETS,
-            });
-            let mut clipped = 0u64;
-            let mut considered = 0u64;
-            let var_preds = ex
-                .vars
-                .iter()
-                .map(|var| {
-                    let dists: Vec<&[f32]> = var
-                        .vucs
-                        .iter()
-                        .map(|&v| vuc_dists[v as usize].as_slice())
-                        .collect();
-                    let result = vote(&dists, self.config.vote_threshold);
-                    clipped += u64::from(result.clipped);
-                    considered += (dists.len() * result.totals.len()) as u64;
-                    let share = result.totals[result.class] / dists.len() as f32;
-                    obs.event(&Event::Observe {
-                        name: "vote.confidence",
-                        value: f64::from(share.min(1.0)),
-                    });
-                    TypeClass::ALL[result.class]
-                })
-                .collect();
-            obs.event(&Event::Counter {
-                name: "vote.vars",
-                delta: ex.vars.len() as u64,
-            });
-            obs.event(&Event::Counter {
-                name: "vote.clipped",
-                delta: clipped,
-            });
-            obs.event(&Event::Counter {
-                name: "vote.considered",
-                delta: considered,
-            });
-            Evaluation {
-                vuc_dists,
-                vuc_preds,
-                var_preds,
-            }
+            let session = EmbeddedExtraction::new_observed(&self.embedder, ex, obs);
+            self.evaluate_session_inner(&session, obs)
         })
+    }
+
+    /// Evaluates a pre-embedded session — no re-embedding. Shared by
+    /// every consumer that already holds an [`EmbeddedExtraction`].
+    pub fn evaluate_session(
+        &self,
+        session: &EmbeddedExtraction<'_>,
+        obs: &dyn Observer,
+    ) -> Evaluation {
+        self.config
+            .with_threads(|| self.evaluate_session_inner(session, obs))
+    }
+
+    /// [`Cati::evaluate_session`] without the thread-pool scope, so
+    /// callers that already installed one don't nest pools.
+    fn evaluate_session_inner(
+        &self,
+        session: &EmbeddedExtraction<'_>,
+        obs: &dyn Observer,
+    ) -> Evaluation {
+        let _span = SpanGuard::enter(obs, "evaluate");
+        let ex = session.extraction();
+        let vuc_dists = self.stages.leaf_distributions_batch(session.embedded());
+        let vuc_preds: Vec<TypeClass> = vuc_dists
+            .iter()
+            .map(|d| {
+                TypeClass::ALL[d
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)]
+            })
+            .collect();
+        obs.event(&Event::RegisterHistogram {
+            name: "vote.confidence",
+            bounds: &UNIT_BUCKETS,
+        });
+        let mut clipped = 0u64;
+        let mut considered = 0u64;
+        let mut votes = Vec::with_capacity(ex.vars.len());
+        let var_preds = ex
+            .vars
+            .iter()
+            .map(|var| {
+                let dists: Vec<&[f32]> = var
+                    .vucs
+                    .iter()
+                    .map(|&v| vuc_dists[v as usize].as_slice())
+                    .collect();
+                let result = vote(&dists, self.config.vote_threshold);
+                clipped += u64::from(result.clipped);
+                considered += (dists.len() * result.totals.len()) as u64;
+                let share = result.totals[result.class] / dists.len() as f32;
+                obs.event(&Event::Observe {
+                    name: "vote.confidence",
+                    value: f64::from(share.min(1.0)),
+                });
+                let class = TypeClass::ALL[result.class];
+                votes.push(result);
+                class
+            })
+            .collect();
+        obs.event(&Event::Counter {
+            name: "vote.vars",
+            delta: ex.vars.len() as u64,
+        });
+        obs.event(&Event::Counter {
+            name: "vote.clipped",
+            delta: clipped,
+        });
+        obs.event(&Event::Counter {
+            name: "vote.considered",
+            delta: considered,
+        });
+        Evaluation {
+            vuc_dists,
+            vuc_preds,
+            var_preds,
+            votes,
+        }
     }
 
     /// Runs the full inference pipeline on a stripped binary: locate
@@ -194,20 +228,48 @@ impl Cati {
         binary: &Binary,
         obs: &dyn Observer,
     ) -> Result<Vec<InferredVar>, ExtractError> {
+        self.infer_cached(binary, None, obs)
+    }
+
+    /// [`Cati::infer_observed`] with an optional on-disk
+    /// [`ArtifactCache`]: the extraction and its embedded tensors are
+    /// loaded from the cache when their content keys match (and
+    /// stored after computing otherwise). Inference output is
+    /// bit-identical with or without a cache — entries hold exactly
+    /// what the pure extraction/embedding functions compute.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the binary's text section does not decode.
+    pub fn infer_cached(
+        &self,
+        binary: &Binary,
+        cache: Option<&ArtifactCache>,
+        obs: &dyn Observer,
+    ) -> Result<Vec<InferredVar>, ExtractError> {
         let _span = SpanGuard::enter(obs, "infer");
-        let ex = extract_observed(binary, FeatureView::Stripped, obs)?;
-        let eval = self.evaluate_observed(&ex, obs);
+        let ex = match cache {
+            Some(cache) => cache.extraction(binary, FeatureView::Stripped, obs)?,
+            None => extract_observed(binary, FeatureView::Stripped, obs)?,
+        };
+        let eval = self.config.with_threads(|| {
+            let session = match cache {
+                Some(c) => EmbeddedExtraction::from_embeddings(
+                    &ex,
+                    c.embeddings(binary, FeatureView::Stripped, &self.embedder, &ex, obs),
+                ),
+                None => EmbeddedExtraction::new_observed(&self.embedder, &ex, obs),
+            };
+            self.evaluate_session_inner(&session, obs)
+        });
         Ok(ex
             .vars
             .iter()
             .zip(&eval.var_preds)
-            .map(|(var, &class)| {
-                let dists: Vec<&[f32]> = var
-                    .vucs
-                    .iter()
-                    .map(|&v| eval.vuc_dists[v as usize].as_slice())
-                    .collect();
-                let result = vote(&dists, self.config.vote_threshold);
+            .zip(&eval.votes)
+            .map(|((var, &class), result)| {
+                // The evaluation already voted this variable (Eq. 4);
+                // reuse its totals for the confidence.
                 let share = result.totals[result.class] / var.vucs.len() as f32;
                 InferredVar {
                     key: var.key,
@@ -283,15 +345,16 @@ impl Cati {
 
 /// Per-stage evaluation at VUC granularity: each stage classifier is
 /// scored on the samples whose ground truth reaches it (paper Table
-/// III).
+/// III). Takes pre-embedded sessions, so an extraction shared across
+/// every stage and table is embedded exactly once.
 pub fn stage_vuc_metrics(
     cati: &Cati,
-    extractions: &[&Extraction],
+    sessions: &[EmbeddedExtraction<'_>],
     stage: StageId,
 ) -> (Prf, Confusion) {
     let mut m = Confusion::new(stage.num_classes());
-    for ex in extractions {
-        let xs = embed_extraction(ex, &cati.embedder);
+    for session in sessions {
+        let ex = session.extraction();
         // Only VUCs whose ground truth reaches this stage are scored;
         // batch the CNN over exactly that subset (borrowed rows).
         let scored: Vec<(usize, usize)> = ex
@@ -303,7 +366,7 @@ pub fn stage_vuc_metrics(
                 Some((i, stage.label_of(class)?))
             })
             .collect();
-        let sel: Vec<&[f32]> = scored.iter().map(|&(i, _)| xs[i].as_slice()).collect();
+        let sel: Vec<&[f32]> = scored.iter().map(|&(i, _)| session.embedding(i)).collect();
         let probs = cati.stages.stage_probs_batch(stage, &sel);
         for (&(_, truth), probs) in scored.iter().zip(&probs) {
             let pred = probs
@@ -320,16 +383,16 @@ pub fn stage_vuc_metrics(
 
 /// Per-stage evaluation at variable granularity, after voting over
 /// each variable's VUCs with the stage's own distributions (paper
-/// Table IV).
+/// Table IV). Takes pre-embedded sessions like [`stage_vuc_metrics`].
 pub fn stage_var_metrics(
     cati: &Cati,
-    extractions: &[&Extraction],
+    sessions: &[EmbeddedExtraction<'_>],
     stage: StageId,
 ) -> (Prf, Confusion) {
     let mut m = Confusion::new(stage.num_classes());
-    for ex in extractions {
-        let xs = embed_extraction(ex, &cati.embedder);
-        let stage_dists = cati.stages.stage_probs_batch(stage, &xs);
+    for session in sessions {
+        let ex = session.extraction();
+        let stage_dists = cati.stages.stage_probs_batch(stage, session.embedded());
         for var in &ex.vars {
             let Some(class) = var.class else { continue };
             let Some(truth) = stage.label_of(class) else {
@@ -350,7 +413,18 @@ pub fn stage_var_metrics(
 /// End-to-end accuracies of one extraction at both granularities
 /// (paper Table VI): `(vuc_accuracy, vuc_n, var_accuracy, var_n)`.
 pub fn pipeline_accuracy(cati: &Cati, ex: &Extraction) -> (f64, u64, f64, u64) {
-    let eval = cati.evaluate(ex);
+    let session = EmbeddedExtraction::new(&cati.embedder, ex);
+    pipeline_accuracy_session(cati, &session)
+}
+
+/// [`pipeline_accuracy`] over a pre-embedded session, for callers
+/// that share the session with other consumers.
+pub fn pipeline_accuracy_session(
+    cati: &Cati,
+    session: &EmbeddedExtraction<'_>,
+) -> (f64, u64, f64, u64) {
+    let ex = session.extraction();
+    let eval = cati.evaluate_session(session, &cati_obs::NOOP);
     let mut vuc_ok = 0u64;
     let mut vuc_n = 0u64;
     for (vuc, pred) in ex.vucs.iter().zip(&eval.vuc_preds) {

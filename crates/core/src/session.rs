@@ -1,0 +1,122 @@
+//! Shared evaluation sessions: embed an extraction once, reuse the
+//! tensors everywhere.
+//!
+//! Every consumer of an extraction's features — evaluation, the
+//! per-stage Table III/IV metrics, pipeline accuracy, the occlusion
+//! study — needs the same `[embed_dim][VUC_LEN]` tensor per VUC. An
+//! [`EmbeddedExtraction`] pairs an extraction with those tensors so
+//! each is computed exactly once per session instead of once per
+//! consumer.
+
+use crate::dataset::embed_extraction;
+use cati_analysis::Extraction;
+use cati_embedding::VucEmbedder;
+use cati_obs::{Event, Observer};
+
+/// An extraction plus the embedded tensor of each of its VUCs
+/// (parallel to `Extraction::vucs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddedExtraction<'a> {
+    ex: &'a Extraction,
+    xs: Vec<Vec<f32>>,
+}
+
+impl<'a> EmbeddedExtraction<'a> {
+    /// Embeds every VUC of `ex` (in parallel under the ambient rayon
+    /// pool).
+    pub fn new(embedder: &VucEmbedder, ex: &'a Extraction) -> EmbeddedExtraction<'a> {
+        EmbeddedExtraction::new_observed(embedder, ex, &cati_obs::NOOP)
+    }
+
+    /// [`EmbeddedExtraction::new`] with telemetry: bumps the
+    /// `embed.windows` counter by the number of VUCs embedded — the
+    /// counter the benchmarks assert on to prove each extraction is
+    /// embedded exactly once.
+    pub fn new_observed(
+        embedder: &VucEmbedder,
+        ex: &'a Extraction,
+        obs: &dyn Observer,
+    ) -> EmbeddedExtraction<'a> {
+        let xs = embed_extraction(ex, embedder);
+        obs.event(&Event::Counter {
+            name: "embed.windows",
+            delta: ex.vucs.len() as u64,
+        });
+        EmbeddedExtraction { ex, xs }
+    }
+
+    /// Wraps tensors computed elsewhere (e.g. loaded from the on-disk
+    /// artifact cache). No `embed.windows` are counted — nothing was
+    /// embedded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is not parallel to `ex.vucs`.
+    pub fn from_embeddings(ex: &'a Extraction, xs: Vec<Vec<f32>>) -> EmbeddedExtraction<'a> {
+        assert_eq!(
+            xs.len(),
+            ex.vucs.len(),
+            "one tensor per VUC: got {} tensors for {} VUCs",
+            xs.len(),
+            ex.vucs.len()
+        );
+        EmbeddedExtraction { ex, xs }
+    }
+
+    /// The underlying extraction.
+    pub fn extraction(&self) -> &'a Extraction {
+        self.ex
+    }
+
+    /// All VUC tensors, parallel to `Extraction::vucs`.
+    pub fn embedded(&self) -> &[Vec<f32>] {
+        &self.xs
+    }
+
+    /// The tensor of one VUC.
+    pub fn embedding(&self, vuc: usize) -> &[f32] {
+        &self.xs[vuc]
+    }
+
+    /// Consumes the session, returning the tensors (for handing to
+    /// the artifact cache).
+    pub fn into_embeddings(self) -> Vec<Vec<f32>> {
+        self.xs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use cati_analysis::FeatureView;
+    use cati_obs::{Recorder, RecorderConfig};
+
+    #[test]
+    fn session_embeds_once_and_counts_windows() {
+        let corpus = cati_synbin::build_corpus(&cati_synbin::CorpusConfig::small(19));
+        let cati =
+            crate::pipeline::Cati::train(&corpus.train[..2], &Config::small(), &cati_obs::NOOP);
+        let ex = cati_analysis::extract(&corpus.test[0].binary, FeatureView::Stripped).unwrap();
+        let rec = Recorder::new(RecorderConfig::default());
+        let session = EmbeddedExtraction::new_observed(&cati.embedder, &ex, &rec);
+        assert_eq!(session.embedded().len(), ex.vucs.len());
+        assert_eq!(
+            rec.metrics().counter_value("embed.windows"),
+            ex.vucs.len() as u64
+        );
+        // Tensors match direct embedding, and a wrapped session
+        // carries them unchanged without re-counting.
+        assert_eq!(
+            session.embedding(0),
+            &cati.embedder.embed_window(&ex.vucs[0].insns)[..]
+        );
+        let xs = session.into_embeddings();
+        let wrapped = EmbeddedExtraction::from_embeddings(&ex, xs);
+        assert_eq!(
+            rec.metrics().counter_value("embed.windows"),
+            ex.vucs.len() as u64
+        );
+        assert_eq!(wrapped.extraction().vucs.len(), ex.vucs.len());
+    }
+}

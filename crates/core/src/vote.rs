@@ -18,12 +18,26 @@ pub struct VoteResult {
     pub clipped: u32,
 }
 
+/// Eq. 3 for a single confidence: `(clipped value, was it promoted)`.
+/// The one place the clipping rule lives — [`clip_confidences`] and
+/// [`vote`] both call it, so they cannot drift apart.
+///
+/// A NaN confidence would silently poison the vote (it fails
+/// `p >= threshold`, then propagates through `totals` while
+/// `total_cmp` still orders it), so debug builds reject it here.
+#[inline]
+fn clip_one(p: f32, threshold: f32) -> (f32, bool) {
+    debug_assert!(!p.is_nan(), "NaN confidence fed to Eq. 3 clipping");
+    if p >= threshold {
+        (1.0, true)
+    } else {
+        (p, false)
+    }
+}
+
 /// Applies Eq. 3's clipping to one distribution.
 pub fn clip_confidences(probs: &[f32], threshold: f32) -> Vec<f32> {
-    probs
-        .iter()
-        .map(|&p| if p >= threshold { 1.0 } else { p })
-        .collect()
+    probs.iter().map(|&p| clip_one(p, threshold).0).collect()
 }
 
 /// Votes over the distributions of one variable's VUCs (Eq. 4).
@@ -45,12 +59,9 @@ pub fn vote<D: AsRef<[f32]>>(distributions: &[D], threshold: f32) -> VoteResult 
         let dist = dist.as_ref();
         assert_eq!(dist.len(), classes, "inconsistent class counts");
         for (t, &p) in totals.iter_mut().zip(dist) {
-            if p >= threshold {
-                *t += 1.0;
-                clipped += 1;
-            } else {
-                *t += p;
-            }
+            let (v, promoted) = clip_one(p, threshold);
+            *t += v;
+            clipped += u32::from(promoted);
         }
     }
     let class = totals
@@ -122,6 +133,13 @@ mod tests {
         let dists = vec![vec![0.91, 0.09], vec![0.95, 0.05], vec![0.3, 0.7]];
         assert_eq!(vote(&dists, 0.9).clipped, 2);
         assert_eq!(vote(&dists, 1.1).clipped, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN confidence")]
+    fn nan_probability_is_rejected_in_debug() {
+        vote(&[vec![f32::NAN, 0.5]], 0.9);
     }
 
     #[test]

@@ -67,6 +67,48 @@ proptest! {
     }
 
     #[test]
+    fn vote_totals_equal_summed_clip_confidences(
+        flat in vec(0u8..=64, 6..=36),
+        cols in 2usize..=6,
+        t in 0u8..=64,
+    ) {
+        // Eq. 3 is single-sourced: voting must accumulate exactly
+        // what `clip_confidences` produces row by row. Dyadic inputs
+        // make the sums exact, so equality is bitwise.
+        let d = rows(&flat, cols);
+        let threshold = f32::from(t) / 64.0;
+        let r = vote(&d, threshold);
+        let mut sums = vec![0.0f32; cols];
+        let mut promoted = 0u32;
+        for row in &d {
+            for (s, (&c, &p)) in sums
+                .iter_mut()
+                .zip(clip_confidences(row, threshold).iter().zip(row))
+            {
+                *s += c;
+                promoted += u32::from(p >= threshold);
+            }
+        }
+        prop_assert_eq!(&r.totals, &sums);
+        prop_assert_eq!(r.clipped, promoted);
+    }
+
+    #[test]
+    fn vote_rejects_nan_rows_in_debug(
+        flat in vec(0u8..=64, 4..=12),
+        cols in 2usize..=4,
+        poison in 0usize..=11,
+    ) {
+        // The NaN guard fires for a NaN anywhere in any row.
+        let mut d = rows(&flat, cols);
+        let n_cells = d.len() * cols;
+        let poison = poison % n_cells;
+        d[poison / cols][poison % cols] = f32::NAN;
+        let caught = std::panic::catch_unwind(|| vote(&d, 0.9)).is_err();
+        prop_assert_eq!(caught, cfg!(debug_assertions));
+    }
+
+    #[test]
     fn threshold_one_degenerates_to_probability_summing(
         flat in vec(0u8..=63, 6..=36),
         cols in 2usize..=6,

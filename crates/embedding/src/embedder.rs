@@ -3,21 +3,76 @@
 //! Each instruction is three tokens; each token embeds to `dim`
 //! floats; a VUC of `L` instructions becomes a `[3*dim][L]`
 //! channel-major matrix — the paper's 21×96 input at dim = 32.
+//!
+//! The generalized-instruction alphabet is tiny relative to the
+//! number of VUC instances, so the embedder memoizes the `3*dim`
+//! channel column of every [`GenInsn`] it sees: embedding a window
+//! becomes stitching cached rows into the channel-major layout, and
+//! occlusion probes can patch a single position in place.
 
 use crate::word2vec::Word2Vec;
 use cati_asm::generalize::{GenInsn, TOKENS_PER_INSN};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Embeds generalized instruction windows into CNN input tensors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Carries a memoizing per-instruction cache; the cache is pure
+/// derived state (exactly the floats [`Word2Vec::vector`] returns, or
+/// zeros for out-of-vocabulary tokens), so it never affects results,
+/// equality, or the serialized form.
+#[derive(Debug)]
 pub struct VucEmbedder {
     model: Word2Vec,
+    /// `GenInsn` → its `embed_dim()` channel column.
+    cache: RwLock<HashMap<GenInsn, Arc<[f32]>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Clone for VucEmbedder {
+    fn clone(&self) -> VucEmbedder {
+        VucEmbedder {
+            model: self.model.clone(),
+            cache: RwLock::new(self.cache.read().expect("embed cache lock").clone()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PartialEq for VucEmbedder {
+    fn eq(&self, other: &VucEmbedder) -> bool {
+        self.model == other.model
+    }
+}
+
+impl Serialize for VucEmbedder {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("model".to_string(), self.model.to_value());
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for VucEmbedder {
+    fn from_value(v: &serde::Value) -> Result<VucEmbedder, serde::DeError> {
+        let m = serde::as_object_for(v, "VucEmbedder")?;
+        Ok(VucEmbedder::new(serde::field(m, "model", "VucEmbedder")?))
+    }
 }
 
 impl VucEmbedder {
     /// Wraps a trained Word2Vec model.
     pub fn new(model: Word2Vec) -> VucEmbedder {
-        VucEmbedder { model }
+        VucEmbedder {
+            model,
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// Per-token embedding dimension.
@@ -35,24 +90,83 @@ impl VucEmbedder {
         &self.model
     }
 
+    /// The `embed_dim()` channel column of one instruction, straight
+    /// from the model (no cache involved).
+    fn compute_column(&self, insn: &GenInsn) -> Vec<f32> {
+        let dim = self.model.cfg.dim;
+        let mut col = vec![0.0f32; self.embed_dim()];
+        for (k, token) in insn.iter().enumerate() {
+            if let Some(v) = self.model.vector(token) {
+                col[k * dim..(k + 1) * dim].copy_from_slice(v);
+            }
+        }
+        col
+    }
+
+    /// The memoized channel column of one instruction.
+    fn insn_column(&self, insn: &GenInsn) -> Arc<[f32]> {
+        if let Some(col) = self.cache.read().expect("embed cache lock").get(insn) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(col);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let col: Arc<[f32]> = Arc::from(self.compute_column(insn));
+        Arc::clone(
+            self.cache
+                .write()
+                .expect("embed cache lock")
+                .entry(insn.clone())
+                .or_insert(col),
+        )
+    }
+
     /// Embeds a window of instructions into a `[embed_dim][len]`
     /// channel-major tensor (`x[c * len + t]`). Out-of-vocabulary
     /// tokens embed to zero — by construction generalization covers
     /// >99% of unseen instructions (paper §IV-B), so this is rare.
     pub fn embed_window(&self, insns: &[GenInsn]) -> Vec<f32> {
         let len = insns.len();
-        let dim = self.model.cfg.dim;
         let mut x = vec![0.0f32; self.embed_dim() * len];
         for (t, insn) in insns.iter().enumerate() {
-            for (k, token) in insn.iter().enumerate() {
-                if let Some(v) = self.model.vector(token) {
-                    for (d, &val) in v.iter().enumerate() {
-                        x[(k * dim + d) * len + t] = val;
-                    }
-                }
+            let col = self.insn_column(insn);
+            for (c, &v) in col.iter().enumerate() {
+                x[c * len + t] = v;
             }
         }
         x
+    }
+
+    /// Overwrites window position `t` of a tensor produced by
+    /// [`VucEmbedder::embed_window`] with `insn`'s channel column —
+    /// the occlusion fast path: a probe that blanks one instruction
+    /// patches `embed_dim` floats instead of re-embedding all `len`
+    /// positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an `embed_dim × len` tensor or `t` is out
+    /// of range.
+    pub fn patch_window_position(&self, x: &mut [f32], len: usize, t: usize, insn: &GenInsn) {
+        assert_eq!(x.len(), self.embed_dim() * len, "tensor/len mismatch");
+        assert!(t < len, "position {t} out of range for window of {len}");
+        let col = self.insn_column(insn);
+        for (c, &v) in col.iter().enumerate() {
+            x[c * len + t] = v;
+        }
+    }
+
+    /// `(hits, misses)` of the instruction-column cache since this
+    /// instance was created (clones start back at zero).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct instructions currently cached.
+    pub fn cached_insns(&self) -> usize {
+        self.cache.read().expect("embed cache lock").len()
     }
 
     /// Fraction of tokens in `insns` that are in-vocabulary; the
@@ -123,6 +237,24 @@ mod tests {
         VucEmbedder::new(Word2Vec::train(&sentences, W2vConfig::tiny()))
     }
 
+    /// The original non-memoized embedding, kept as the oracle the
+    /// cached path must match bit for bit.
+    fn embed_window_uncached(e: &VucEmbedder, insns: &[GenInsn]) -> Vec<f32> {
+        let len = insns.len();
+        let dim = e.token_dim();
+        let mut x = vec![0.0f32; e.embed_dim() * len];
+        for (t, insn) in insns.iter().enumerate() {
+            for (k, token) in insn.iter().enumerate() {
+                if let Some(v) = e.model().vector(token) {
+                    for (d, &val) in v.iter().enumerate() {
+                        x[(k * dim + d) * len + t] = val;
+                    }
+                }
+            }
+        }
+        x
+    }
+
     #[test]
     fn embed_shape_is_channel_major() {
         let e = embedder();
@@ -163,5 +295,57 @@ mod tests {
         let e = embedder();
         let windows = sample_windows();
         assert_eq!(e.coverage(windows.iter()), 1.0);
+    }
+
+    #[test]
+    fn cached_embedding_matches_uncached_oracle() {
+        let e = embedder();
+        for w in sample_windows() {
+            // First pass populates the cache, second pass hits it;
+            // both must equal the direct per-token lookup bit for bit.
+            let oracle = embed_window_uncached(&e, &w);
+            assert_eq!(e.embed_window(&w), oracle);
+            assert_eq!(e.embed_window(&w), oracle);
+        }
+        let (hits, misses) = e.cache_stats();
+        assert!(hits > 0, "second pass must hit the cache");
+        assert_eq!(misses as usize, e.cached_insns());
+    }
+
+    #[test]
+    fn patch_matches_full_reembedding() {
+        let e = embedder();
+        let w = sample_windows().remove(0);
+        let x = e.embed_window(&w);
+        for t in 0..w.len() {
+            let mut occluded = w.clone();
+            occluded[t] = GenInsn::blank();
+            let full = e.embed_window(&occluded);
+            let mut patched = x.clone();
+            e.patch_window_position(&mut patched, w.len(), t, &GenInsn::blank());
+            assert_eq!(patched, full, "patch at position {t} diverged");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_drops_cache_but_keeps_model() {
+        let e = embedder();
+        e.embed_window(&sample_windows()[0]);
+        assert!(e.cached_insns() > 0);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: VucEmbedder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e, "model must survive the roundtrip");
+        assert_eq!(back.cached_insns(), 0, "cache is not serialized");
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn clone_copies_cache_but_resets_stats() {
+        let e = embedder();
+        e.embed_window(&sample_windows()[0]);
+        let c = e.clone();
+        assert_eq!(c.cached_insns(), e.cached_insns());
+        assert_eq!(c.cache_stats(), (0, 0));
+        assert_eq!(c, e);
     }
 }

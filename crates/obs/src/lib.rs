@@ -271,6 +271,18 @@ macro_rules! info {
     };
 }
 
+/// Emits a [`Level::Warn`] [`Event::Message`] with format-string
+/// text: `warn!(obs, "cache write failed: {e}");`.
+#[macro_export]
+macro_rules! warn {
+    ($obs:expr, $($fmt:tt)+) => {
+        $crate::Observer::event($obs, &$crate::Event::Message {
+            level: $crate::Level::Warn,
+            text: &format!($($fmt)+),
+        })
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,7 +5,7 @@
 //! cargo run --release --example occlusion_study [small|medium]
 //! ```
 
-use cati::{importance_heatmap, Cati, Config};
+use cati::{importance_heatmap, Cati, Config, EmbeddedExtraction};
 use cati_analysis::{extract, Extraction, FeatureView, WINDOW};
 use cati_dwarf::StageId;
 use cati_synbin::{build_corpus, CorpusConfig};
@@ -25,10 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .take(4)
         .map(|b| extract(&b.binary, FeatureView::Stripped))
         .collect::<Result<_, _>>()?;
-    let refs: Vec<&Extraction> = exs.iter().collect();
+    let sessions: Vec<EmbeddedExtraction> = exs
+        .iter()
+        .map(|ex| EmbeddedExtraction::new(&cati.embedder, ex))
+        .collect();
 
     println!("computing occlusion heatmap over <= {max_vucs} VUCs (Stage 1)...");
-    let heatmap = importance_heatmap(&cati, &refs, StageId::Stage1, max_vucs);
+    let heatmap = importance_heatmap(&cati, &sessions, StageId::Stage1, max_vucs);
     println!("sampled {} VUCs\n", heatmap.samples);
     println!("pos   P(eps<0.1) ... P(eps<1.0)   importance");
     for (k, row) in heatmap.rows.iter().enumerate() {

@@ -5,7 +5,8 @@
 //! roundtrip with its inference output unchanged.
 
 use cati::obs::{Recorder, RecorderConfig};
-use cati::{Cati, Config};
+use cati::{ArtifactCache, Cati, Config, EmbeddedExtraction};
+use cati_analysis::{extract, FeatureView};
 use cati_synbin::{build_corpus, Corpus, CorpusConfig};
 
 /// Trains under a live [`Recorder`] (not the no-op observer), so this
@@ -124,5 +125,63 @@ fn golden_retrain_and_save_load_roundtrip() {
         loaded.infer(&stripped).unwrap(),
         before,
         "save/load roundtrip changed inference output"
+    );
+}
+
+#[test]
+fn sessions_and_artifact_cache_do_not_change_results() {
+    let corpus = build_corpus(&CorpusConfig::small(13));
+    let (cati, _) = train_with_threads(&corpus, 0);
+    let stripped = corpus.test[0].binary.strip();
+
+    // The plain path embeds internally; the session path embeds once
+    // up front through the memoizing per-instruction cache. Both must
+    // produce the same evaluation bit for bit.
+    let ex = extract(&stripped, FeatureView::Stripped).unwrap();
+    let plain = cati.evaluate(&ex);
+    let session = EmbeddedExtraction::new(&cati.embedder, &ex);
+    assert_eq!(
+        plain,
+        cati.evaluate_session(&session, &cati::obs::NOOP),
+        "session evaluation diverged from the plain path"
+    );
+
+    // Cold then warm on-disk artifact cache: inference must be
+    // bit-identical to the uncached path both times, and the warm run
+    // must actually serve from the cache.
+    let uncached = cati.infer(&stripped).unwrap();
+    let dir = std::env::temp_dir().join(format!("cati_artifacts_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cache = ArtifactCache::open(&dir).unwrap();
+    let cold_rec = Recorder::silent();
+    let cold = cati
+        .infer_cached(&stripped, Some(&cache), &cold_rec)
+        .unwrap();
+    let warm_rec = Recorder::silent();
+    let warm = cati
+        .infer_cached(&stripped, Some(&cache), &warm_rec)
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(uncached, cold, "cold artifact cache changed inference");
+    assert_eq!(uncached, warm, "warm artifact cache changed inference");
+    assert_eq!(
+        cold_rec.metrics().counter_value("cache.hit"),
+        0,
+        "cold run unexpectedly hit the artifact cache"
+    );
+    assert!(
+        warm_rec.metrics().counter_value("cache.hit") >= 2,
+        "warm run should hit both the extraction and embedding entries"
+    );
+    assert_eq!(
+        warm_rec.metrics().counter_value("cache.miss"),
+        0,
+        "warm run should not miss the artifact cache"
+    );
+    // The warm path reuses stored embeddings, so it must not re-embed.
+    assert_eq!(
+        warm_rec.metrics().counter_value("embed.windows"),
+        0,
+        "warm run re-embedded windows despite the cache"
     );
 }

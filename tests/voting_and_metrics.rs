@@ -1,6 +1,8 @@
 //! Voting behaviour and metric plumbing across the pipeline.
 
-use cati::{pipeline_accuracy, stage_var_metrics, stage_vuc_metrics, Cati, Config};
+use cati::{
+    pipeline_accuracy, stage_var_metrics, stage_vuc_metrics, Cati, Config, EmbeddedExtraction,
+};
 use cati_analysis::{extract, Extraction, FeatureView};
 use cati_dwarf::StageId;
 use cati_synbin::{build_corpus, CorpusConfig};
@@ -45,7 +47,10 @@ fn voting_does_not_hurt_aggregate_accuracy_much() {
 #[test]
 fn stage_metrics_are_consistent() {
     let (cati, exs) = setup();
-    let refs: Vec<&Extraction> = exs.iter().collect();
+    let refs: Vec<EmbeddedExtraction> = exs
+        .iter()
+        .map(|ex| EmbeddedExtraction::new(&cati.embedder, ex))
+        .collect();
     for stage in StageId::ALL {
         let (prf_vuc, conf_vuc) = stage_vuc_metrics(&cati, &refs, stage);
         let (prf_var, conf_var) = stage_var_metrics(&cati, &refs, stage);
@@ -73,7 +78,10 @@ fn stage_metrics_are_consistent() {
 #[test]
 fn stage1_generalizes_to_unseen_apps() {
     let (cati, exs) = setup();
-    let refs: Vec<&Extraction> = exs.iter().collect();
+    let refs: Vec<EmbeddedExtraction> = exs
+        .iter()
+        .map(|ex| EmbeddedExtraction::new(&cati.embedder, ex))
+        .collect();
     let (prf, conf) = stage_vuc_metrics(&cati, &refs, StageId::Stage1);
     assert!(conf.total() > 200);
     // Pointer vs non-pointer is the paper's easiest stage (~0.9 F1);
