@@ -1,0 +1,306 @@
+//! Pipeline-wide error taxonomy, diagnostics and coverage reporting.
+//!
+//! Every stage of the pipeline can fail on hostile input: the text
+//! section may not decode, the debug section may be truncated or lie
+//! about its own type graph, and a symbol table may point at garbage.
+//! [`CatiError`] names each failure with the stage it occurred in;
+//! [`Diagnostics`] collects non-fatal findings when the pipeline runs
+//! in lenient mode; [`Coverage`] quantifies how much of the binary the
+//! lenient path actually processed, so a partial result is never
+//! mistaken for a complete one.
+
+use cati_asm::codec::DecodeError;
+use cati_dwarf::DwarfError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The pipeline stage an error or diagnostic originated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PipelineStage {
+    /// Linear-sweep disassembly of the text section.
+    Decode,
+    /// Parsing of the debug-information section.
+    DebugParse,
+    /// Function splitting and symbol-table interpretation.
+    Split,
+    /// Variable recovery and VUC window cutting.
+    Extract,
+    /// Embedding / classification / voting.
+    Infer,
+}
+
+impl fmt::Display for PipelineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PipelineStage::Decode => "decode",
+            PipelineStage::DebugParse => "debug-parse",
+            PipelineStage::Split => "split",
+            PipelineStage::Extract => "extract",
+            PipelineStage::Infer => "infer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed, stage-attributed pipeline error.
+///
+/// This is the strict-mode contract: hostile input produces exactly
+/// one of these instead of a panic. The lenient path downgrades most
+/// of them to [`Diagnostic`]s and keeps going.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatiError {
+    /// The binary carries no debug section but labeling was requested.
+    NoDebugInfo,
+    /// The debug section is corrupt.
+    Dwarf(DwarfError),
+    /// The text section does not decode.
+    Decode(DecodeError),
+}
+
+/// Pre-taxonomy name for the extraction error, kept for callers that
+/// matched on the old type.
+pub type ExtractError = CatiError;
+
+impl CatiError {
+    /// The stage this error belongs to.
+    pub fn stage(&self) -> PipelineStage {
+        match self {
+            CatiError::NoDebugInfo | CatiError::Dwarf(_) => PipelineStage::DebugParse,
+            CatiError::Decode(_) => PipelineStage::Decode,
+        }
+    }
+}
+
+impl fmt::Display for CatiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatiError::NoDebugInfo => write!(f, "binary has no debug information"),
+            CatiError::Dwarf(e) => write!(f, "bad debug section: {e}"),
+            CatiError::Decode(e) => write!(f, "undecodable text section: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatiError::NoDebugInfo => None,
+            CatiError::Dwarf(e) => Some(e),
+            CatiError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<DwarfError> for CatiError {
+    fn from(e: DwarfError) -> Self {
+        CatiError::Dwarf(e)
+    }
+}
+
+impl From<DecodeError> for CatiError {
+    fn from(e: DecodeError) -> Self {
+        CatiError::Decode(e)
+    }
+}
+
+/// One non-fatal finding from a lenient pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stage the finding originated in.
+    pub stage: PipelineStage,
+    /// Function index the finding is attributed to, when known.
+    pub func: Option<u32>,
+    /// Virtual address the finding is attributed to, when known.
+    pub addr: Option<u64>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.stage)?;
+        if let Some(func) = self.func {
+            write!(f, " fn#{func}")?;
+        }
+        if let Some(addr) = self.addr {
+            write!(f, " @{addr:#x}")?;
+        }
+        write!(f, " {}", self.message)
+    }
+}
+
+/// Hard cap on retained diagnostics, so a pathological input cannot
+/// turn the sink into an allocation amplifier.
+pub const MAX_DIAGNOSTICS: usize = 1024;
+
+/// Bounded sink for [`Diagnostic`]s.
+///
+/// Keeps the first [`MAX_DIAGNOSTICS`] findings and counts the rest,
+/// preserving insertion order — deterministic for a deterministic
+/// producer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostics {
+    /// Retained findings, in emission order.
+    pub entries: Vec<Diagnostic>,
+    /// Findings dropped after the cap was hit.
+    pub dropped: u64,
+}
+
+impl Diagnostics {
+    /// An empty sink.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// Records a finding (or counts it, past the cap).
+    pub fn push(&mut self, diag: Diagnostic) {
+        if self.entries.len() < MAX_DIAGNOSTICS {
+            self.entries.push(diag);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Convenience: record a finding built from parts.
+    pub fn report(
+        &mut self,
+        stage: PipelineStage,
+        func: Option<u32>,
+        addr: Option<u64>,
+        message: impl Into<String>,
+    ) {
+        self.push(Diagnostic {
+            stage,
+            func,
+            addr,
+            message: message.into(),
+        });
+    }
+
+    /// Total findings observed, including dropped ones.
+    pub fn total(&self) -> u64 {
+        self.entries.len() as u64 + self.dropped
+    }
+
+    /// Whether no findings were recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.dropped == 0
+    }
+}
+
+/// How much of a binary a lenient run actually covered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coverage {
+    /// Functions the splitter identified (symbol ranges or ret-delimited).
+    pub functions_total: u64,
+    /// Functions skipped because their bytes did not decode.
+    pub functions_skipped: u64,
+    /// Text-section size in bytes.
+    pub bytes_total: u64,
+    /// Text bytes that produced no instruction (decode gaps, skipped
+    /// function bodies).
+    pub bytes_skipped: u64,
+    /// Whether the binary carried a debug section at all.
+    pub debug_present: bool,
+    /// Whether that debug section parsed and validated.
+    pub debug_ok: bool,
+    /// Variables recovered.
+    pub vars: u64,
+    /// VUC windows cut.
+    pub vucs: u64,
+}
+
+impl Coverage {
+    /// Whether nothing was skipped anywhere: every function decoded
+    /// and, if debug info was present, it parsed.
+    pub fn is_complete(&self) -> bool {
+        self.functions_skipped == 0
+            && self.bytes_skipped == 0
+            && (!self.debug_present || self.debug_ok)
+    }
+
+    /// Fraction of identified functions that survived, in `[0, 1]`;
+    /// `1.0` when the splitter found none.
+    pub fn function_coverage(&self) -> f64 {
+        if self.functions_total == 0 {
+            1.0
+        } else {
+            1.0 - self.functions_skipped as f64 / self.functions_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings_match_pre_taxonomy_wording() {
+        assert_eq!(
+            CatiError::NoDebugInfo.to_string(),
+            "binary has no debug information"
+        );
+        assert_eq!(
+            CatiError::Dwarf(DwarfError::BadMagic).to_string(),
+            "bad debug section: debug section has wrong magic number"
+        );
+        assert_eq!(
+            CatiError::Decode(DecodeError::Truncated { at: 3 }).to_string(),
+            "undecodable text section: instruction truncated at offset 3"
+        );
+    }
+
+    #[test]
+    fn errors_carry_their_stage() {
+        assert_eq!(CatiError::NoDebugInfo.stage(), PipelineStage::DebugParse);
+        assert_eq!(
+            CatiError::Dwarf(DwarfError::Truncated).stage(),
+            PipelineStage::DebugParse
+        );
+        assert_eq!(
+            CatiError::Decode(DecodeError::BadOperand { at: 0 }).stage(),
+            PipelineStage::Decode
+        );
+    }
+
+    #[test]
+    fn diagnostics_cap_counts_overflow() {
+        let mut sink = Diagnostics::new();
+        for i in 0..(MAX_DIAGNOSTICS + 10) {
+            sink.report(PipelineStage::Decode, None, Some(i as u64), "gap");
+        }
+        assert_eq!(sink.entries.len(), MAX_DIAGNOSTICS);
+        assert_eq!(sink.dropped, 10);
+        assert_eq!(sink.total(), MAX_DIAGNOSTICS as u64 + 10);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn diagnostic_display_is_attributed() {
+        let d = Diagnostic {
+            stage: PipelineStage::Extract,
+            func: Some(2),
+            addr: Some(0x40_1000),
+            message: "body skipped".into(),
+        };
+        assert_eq!(d.to_string(), "[extract] fn#2 @0x401000 body skipped");
+    }
+
+    #[test]
+    fn coverage_completeness() {
+        let mut cov = Coverage {
+            functions_total: 4,
+            debug_present: true,
+            debug_ok: true,
+            ..Coverage::default()
+        };
+        assert!(cov.is_complete());
+        assert_eq!(cov.function_coverage(), 1.0);
+        cov.functions_skipped = 1;
+        assert!(!cov.is_complete());
+        assert_eq!(cov.function_coverage(), 0.75);
+        cov.functions_skipped = 0;
+        cov.debug_ok = false;
+        assert!(!cov.is_complete());
+    }
+}

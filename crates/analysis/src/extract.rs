@@ -15,7 +15,7 @@ use cati_asm::fmt::NoSymbols;
 use cati_asm::generalize::{generalize, GenInsn};
 use cati_asm::insn::MemAccess;
 use cati_asm::reg::Gpr;
-use cati_dwarf::{Debin17, DebugInfo, DwarfError, TypeClass, VarLocation};
+use cati_dwarf::{Debin17, DebugInfo, TypeClass, VarLocation};
 use cati_obs::{Event, Observer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -103,40 +103,7 @@ pub enum FeatureView {
     Stripped,
 }
 
-/// Error during extraction.
-#[derive(Debug)]
-pub enum ExtractError {
-    /// The binary carries no debug section but labeling was requested.
-    NoDebugInfo,
-    /// The debug section is corrupt.
-    Dwarf(DwarfError),
-    /// The text section does not decode.
-    Decode(cati_asm::codec::DecodeError),
-}
-
-impl std::fmt::Display for ExtractError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ExtractError::NoDebugInfo => write!(f, "binary has no debug information"),
-            ExtractError::Dwarf(e) => write!(f, "bad debug section: {e}"),
-            ExtractError::Decode(e) => write!(f, "undecodable text section: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ExtractError {}
-
-impl From<DwarfError> for ExtractError {
-    fn from(e: DwarfError) -> Self {
-        ExtractError::Dwarf(e)
-    }
-}
-
-impl From<cati_asm::codec::DecodeError> for ExtractError {
-    fn from(e: cati_asm::codec::DecodeError) -> Self {
-        ExtractError::Decode(e)
-    }
-}
+pub use crate::error::{CatiError, Coverage, Diagnostic, Diagnostics, ExtractError, PipelineStage};
 
 /// Detects the frame base of a function from its prologue: a
 /// `push %rbp; mov %rsp,%rbp` pair means `%rbp`-based frames,
@@ -262,14 +229,56 @@ pub fn extract_observed(
         None => None,
     };
     let functions = split_functions(&insns, binary);
+    let bodies: Vec<Option<&[Located]>> = functions
+        .iter()
+        .map(|&(start, end)| Some(&insns[start..end]))
+        .collect();
+    let (kept, vucs) = extract_core(binary, &bodies, debug.as_ref(), view);
 
+    obs.event(&Event::Counter {
+        name: "extract.functions",
+        delta: functions.len() as u64,
+    });
+    obs.event(&Event::Counter {
+        name: "extract.vars",
+        delta: kept.len() as u64,
+    });
+    obs.event(&Event::Counter {
+        name: "extract.vars_labeled",
+        delta: kept.iter().filter(|v| v.class.is_some()).count() as u64,
+    });
+    obs.event(&Event::Counter {
+        name: "extract.vucs",
+        delta: vucs.len() as u64,
+    });
+
+    Ok(Extraction {
+        binary_name: binary.name.clone(),
+        vars: kept,
+        vucs,
+    })
+}
+
+/// The shared extraction loop: variable resolution and VUC cutting
+/// over already-split function bodies.
+///
+/// `bodies[i]` is function `i`'s instructions, or `None` when the
+/// lenient path skipped the function — indices stay stable either way,
+/// so [`VarKey::func`] means the same thing in strict and degraded
+/// runs of the same binary.
+fn extract_core(
+    binary: &Binary,
+    bodies: &[Option<&[Located]>],
+    debug: Option<&DebugInfo>,
+    view: FeatureView,
+) -> (Vec<Variable>, Vec<Vuc>) {
     let mut vars: Vec<Variable> = Vec::new();
     let mut var_index: HashMap<VarKey, u32> = HashMap::new();
     let mut vucs: Vec<Vuc> = Vec::new();
 
     // Per-function: find targets, resolve to variables, cut windows.
-    for (func_idx, &(start, end)) in functions.iter().enumerate() {
-        let body = &insns[start..end];
+    for (func_idx, slot) in bodies.iter().enumerate() {
+        let Some(body) = *slot else { continue };
         let base = detect_frame_base(body);
         let func_entry = body.first().map(|l| l.addr).unwrap_or(0);
         let debug_func = debug
@@ -364,28 +373,225 @@ pub fn extract_observed(
         debug_assert_ne!(vuc.var, u32::MAX);
     }
 
+    (kept, vucs)
+}
+
+/// The result of a lenient (fault-isolated) extraction run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LenientExtraction {
+    /// The (possibly partial) extraction.
+    pub extraction: Extraction,
+    /// How much of the binary was actually processed.
+    pub coverage: Coverage,
+    /// Non-fatal findings, in emission order.
+    pub diagnostics: Diagnostics,
+}
+
+/// The byte ranges of the text section that belong to each function
+/// symbol, mirroring the semantics of [`split_functions`]: PLT
+/// pseudo-symbols below the text base are ignored, one function per
+/// start address, later ranges clipped to begin after earlier ones
+/// end, everything clamped to the section.
+pub fn symbol_byte_ranges(binary: &Binary) -> Vec<(usize, usize)> {
+    let text_len = binary.text.len();
+    let mut ranges = Vec::new();
+    for sym in &binary.symbols {
+        if sym.addr < binary.text_base {
+            continue;
+        }
+        let start = usize::try_from(sym.addr - binary.text_base)
+            .unwrap_or(text_len)
+            .min(text_len);
+        let end = usize::try_from((sym.addr - binary.text_base).saturating_add(sym.len))
+            .unwrap_or(text_len)
+            .min(text_len);
+        if start < end {
+            ranges.push((start, end));
+        }
+    }
+    ranges.sort_unstable();
+    ranges.dedup_by_key(|r| r.0);
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(ranges.len());
+    for (start, end) in ranges {
+        let start = start.max(out.last().map_or(0, |&(_, prev_end)| prev_end));
+        if start < end {
+            out.push((start, end));
+        }
+    }
+    out
+}
+
+/// Fault-isolated extraction: never fails, reports what it skipped.
+///
+/// See [`extract_lenient_observed`].
+pub fn extract_lenient(binary: &Binary, view: FeatureView) -> LenientExtraction {
+    extract_lenient_observed(binary, view, &cati_obs::NOOP)
+}
+
+/// Fault-isolated extraction with telemetry.
+///
+/// The strict path ([`extract`]) refuses the whole binary on the first
+/// bad byte. This path degrades instead:
+///
+/// - a corrupt debug section becomes a diagnostic and the binary is
+///   processed unlabeled, the way a stripped binary is;
+/// - when the full text decodes, the result is **bit-identical** to
+///   the strict path's;
+/// - when it does not, each symbol's byte range is decoded in
+///   isolation and only the functions whose bytes are broken are
+///   dropped (their indices are kept, so surviving [`VarKey`]s match
+///   a strict run's);
+/// - without symbols, a resynchronizing sweep keeps every decodable
+///   region and records the gaps.
+///
+/// Emits `robust.skipped_fns`, `robust.bytes_skipped` and
+/// `robust.diagnostics` counters on top of the usual `extract.*` set.
+pub fn extract_lenient_observed(
+    binary: &Binary,
+    view: FeatureView,
+    obs: &dyn Observer,
+) -> LenientExtraction {
+    let mut diagnostics = Diagnostics::new();
+    let mut coverage = Coverage {
+        bytes_total: binary.text.len() as u64,
+        debug_present: binary.debug.is_some(),
+        ..Coverage::default()
+    };
+
+    // Debug info: corrupt sections downgrade to unlabeled recovery.
+    let debug = match &binary.debug {
+        Some(bytes) => match DebugInfo::parse(bytes) {
+            Ok(di) => {
+                coverage.debug_ok = true;
+                Some(di)
+            }
+            Err(e) => {
+                diagnostics.report(
+                    PipelineStage::DebugParse,
+                    None,
+                    None,
+                    format!("debug section rejected: {e}; continuing unlabeled"),
+                );
+                None
+            }
+        },
+        None => None,
+    };
+
+    // Text: try the strict whole-section sweep first so the clean-path
+    // result is bit-identical to `extract`; fall back to per-function
+    // isolation (with symbols) or a resynchronizing sweep (without).
+    let full = binary.disassemble();
+    let mut owned_bodies: Vec<Option<Vec<Located>>> = Vec::new();
+    let insns; // keeps the strict sweep alive for borrowing
+    let bodies: Vec<Option<&[Located]>> = match full {
+        Ok(decoded) => {
+            insns = decoded;
+            let functions = split_functions(&insns, binary);
+            functions
+                .iter()
+                .map(|&(start, end)| Some(&insns[start..end]))
+                .collect()
+        }
+        Err(first_err) if !binary.symbols.is_empty() => {
+            let ranges = symbol_byte_ranges(binary);
+            let mut covered = vec![false; binary.text.len()];
+            for (func_idx, &(start, end)) in ranges.iter().enumerate() {
+                let base = binary.text_base + start as u64;
+                match cati_asm::codec::linear_sweep(&binary.text[start..end], base) {
+                    Ok(body) => {
+                        covered[start..end].iter_mut().for_each(|b| *b = true);
+                        owned_bodies.push(Some(body));
+                    }
+                    Err(e) => {
+                        coverage.functions_skipped += 1;
+                        diagnostics.report(
+                            PipelineStage::Decode,
+                            Some(func_idx as u32),
+                            Some(base),
+                            format!("function body skipped: {e}"),
+                        );
+                        owned_bodies.push(None);
+                    }
+                }
+            }
+            if ranges.is_empty() {
+                // Symbols exist but none overlap the text: nothing to
+                // isolate, so surface the original failure.
+                diagnostics.report(
+                    PipelineStage::Decode,
+                    None,
+                    Some(binary.text_base),
+                    format!("text section rejected: {first_err}"),
+                );
+            }
+            coverage.bytes_skipped = covered.iter().filter(|&&b| !b).count() as u64;
+            owned_bodies.iter().map(|b| b.as_deref()).collect()
+        }
+        Err(_) => {
+            // No symbols to scope the damage: resynchronize and split
+            // the surviving instructions at `ret` boundaries.
+            let sweep = cati_asm::codec::linear_sweep_lenient(&binary.text, binary.text_base);
+            for gap in &sweep.gaps {
+                diagnostics.report(
+                    PipelineStage::Decode,
+                    None,
+                    Some(binary.text_base + gap.offset as u64),
+                    format!("skipped {} undecodable byte(s): {}", gap.len, gap.error),
+                );
+            }
+            coverage.bytes_skipped = sweep.skipped_bytes() as u64;
+            insns = sweep.insns;
+            split_functions(&insns, binary)
+                .iter()
+                .map(|&(start, end)| Some(&insns[start..end]))
+                .collect()
+        }
+    };
+
+    coverage.functions_total = bodies.len() as u64;
+    let (vars, vucs) = extract_core(binary, &bodies, debug.as_ref(), view);
+    coverage.vars = vars.len() as u64;
+    coverage.vucs = vucs.len() as u64;
+
     obs.event(&Event::Counter {
         name: "extract.functions",
-        delta: functions.len() as u64,
+        delta: bodies.len() as u64,
     });
     obs.event(&Event::Counter {
         name: "extract.vars",
-        delta: kept.len() as u64,
+        delta: vars.len() as u64,
     });
     obs.event(&Event::Counter {
         name: "extract.vars_labeled",
-        delta: kept.iter().filter(|v| v.class.is_some()).count() as u64,
+        delta: vars.iter().filter(|v| v.class.is_some()).count() as u64,
     });
     obs.event(&Event::Counter {
         name: "extract.vucs",
         delta: vucs.len() as u64,
     });
+    obs.event(&Event::Counter {
+        name: "robust.skipped_fns",
+        delta: coverage.functions_skipped,
+    });
+    obs.event(&Event::Counter {
+        name: "robust.bytes_skipped",
+        delta: coverage.bytes_skipped,
+    });
+    obs.event(&Event::Counter {
+        name: "robust.diagnostics",
+        delta: diagnostics.total(),
+    });
 
-    Ok(Extraction {
-        binary_name: binary.name.clone(),
-        vars: kept,
-        vucs,
-    })
+    LenientExtraction {
+        extraction: Extraction {
+            binary_name: binary.name.clone(),
+            vars,
+            vucs,
+        },
+        coverage,
+        diagnostics,
+    }
 }
 
 #[cfg(test)]
@@ -551,6 +757,125 @@ mod tests {
             clean.len(),
             "duplicates/aliases must not add functions"
         );
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_binary() {
+        for view in [FeatureView::WithSymbols, FeatureView::Stripped] {
+            let bin = sample_binary(OptLevel::O0, 8);
+            let strict = extract(&bin, view).unwrap();
+            let lenient = extract_lenient(&bin, view);
+            assert_eq!(strict, lenient.extraction);
+            assert!(lenient.coverage.is_complete());
+            assert!(lenient.diagnostics.is_empty());
+            assert!(lenient.coverage.debug_present && lenient.coverage.debug_ok);
+            assert_eq!(lenient.coverage.vars, strict.vars.len() as u64);
+        }
+    }
+
+    #[test]
+    fn lenient_downgrades_corrupt_debug_to_unlabeled() {
+        let mut bin = sample_binary(OptLevel::O0, 9);
+        if let Some(debug) = bin.debug.as_mut() {
+            let mid = debug.len() / 2;
+            debug.truncate(mid);
+        }
+        assert!(extract(&bin, FeatureView::WithSymbols).is_err());
+        let lenient = extract_lenient(&bin, FeatureView::WithSymbols);
+        assert!(lenient.coverage.debug_present);
+        assert!(!lenient.coverage.debug_ok);
+        assert!(!lenient.coverage.is_complete());
+        assert_eq!(lenient.diagnostics.entries.len(), 1);
+        assert_eq!(
+            lenient.diagnostics.entries[0].stage,
+            PipelineStage::DebugParse
+        );
+        // Recovery proceeds unlabeled, like a stripped binary.
+        assert!(!lenient.extraction.vars.is_empty());
+        assert!(lenient.extraction.vars.iter().all(|v| v.class.is_none()));
+    }
+
+    #[test]
+    fn lenient_isolates_a_broken_function() {
+        let bin = sample_binary(OptLevel::O0, 10);
+        let ranges = symbol_byte_ranges(&bin);
+        assert!(ranges.len() >= 3, "need several functions");
+        let clean = extract_lenient(&bin, FeatureView::Stripped);
+
+        // Clobber the middle function's first opcode byte.
+        let victim = ranges.len() / 2;
+        let mut broken = bin.clone();
+        broken.text[ranges[victim].0] = 0xFF;
+        assert!(extract(&broken, FeatureView::Stripped).is_err());
+
+        let lenient = extract_lenient(&broken, FeatureView::Stripped);
+        assert_eq!(lenient.coverage.functions_skipped, 1);
+        assert!(lenient.coverage.bytes_skipped > 0);
+        assert!(lenient
+            .diagnostics
+            .entries
+            .iter()
+            .any(|d| d.stage == PipelineStage::Decode && d.func == Some(victim as u32)));
+        // Only the victim's variables disappear; survivors keep their
+        // function indices, so their keys match the clean run's.
+        assert!(lenient
+            .extraction
+            .vars
+            .iter()
+            .all(|v| v.key.func != victim as u32));
+        let surviving: Vec<_> = clean
+            .extraction
+            .vars
+            .iter()
+            .filter(|v| v.key.func != victim as u32)
+            .map(|v| v.key)
+            .collect();
+        let lenient_keys: Vec<_> = lenient.extraction.vars.iter().map(|v| v.key).collect();
+        assert_eq!(surviving, lenient_keys);
+    }
+
+    #[test]
+    fn lenient_without_symbols_resynchronizes_around_gaps() {
+        let bin = sample_binary(OptLevel::O0, 11).strip();
+        let insns = bin.disassemble().unwrap();
+        // Clobber an opcode byte at a mid-text instruction boundary —
+        // operand payloads accept any byte, opcode positions do not.
+        let mid = (insns[insns.len() / 2].addr - bin.text_base) as usize;
+        let mut broken = bin.clone();
+        broken.text[mid] = 0xFF;
+        assert!(extract(&broken, FeatureView::Stripped).is_err());
+        let lenient = extract_lenient(&broken, FeatureView::Stripped);
+        assert!(lenient.coverage.bytes_skipped >= 1);
+        assert!(lenient
+            .diagnostics
+            .entries
+            .iter()
+            .any(|d| d.stage == PipelineStage::Decode));
+        assert!(!lenient.extraction.vars.is_empty());
+    }
+
+    #[test]
+    fn symbol_ranges_mirror_split_semantics() {
+        let mut bin = sample_binary(OptLevel::O0, 12);
+        // Same corruption as the split_functions test: duplicates,
+        // aliases, spilling lengths.
+        let dup = bin.symbols[0].clone();
+        bin.symbols.push(dup);
+        let mut alias = bin.symbols[1].clone();
+        alias.name = "alias".to_string();
+        alias.len += 4;
+        bin.symbols.push(alias);
+        bin.symbols[0].len += bin.symbols[1].len / 2;
+        let ranges = symbol_byte_ranges(&bin);
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping byte ranges {w:?}");
+        }
+        for &(start, end) in &ranges {
+            assert!(start < end);
+            assert!(end <= bin.text.len());
+        }
+        let insns = bin.disassemble().unwrap();
+        assert_eq!(ranges.len(), split_functions(&insns, &bin).len());
     }
 
     #[test]

@@ -30,14 +30,19 @@
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod digest;
+pub mod error;
 pub mod extract;
 pub mod recovery;
 pub mod stats;
 
 pub use digest::{digest_binary, digest_bytes, Digest, Fnv128};
+pub use error::{
+    CatiError, Coverage, Diagnostic, Diagnostics, ExtractError, PipelineStage, MAX_DIAGNOSTICS,
+};
 pub use extract::{
-    detect_frame_base, extract, extract_observed, split_functions, ExtractError, Extraction,
-    FeatureView, VarKey, Variable, Vuc, VUC_LEN, WINDOW,
+    detect_frame_base, extract, extract_lenient, extract_lenient_observed, extract_observed,
+    split_functions, symbol_byte_ranges, Extraction, FeatureView, LenientExtraction, VarKey,
+    Variable, Vuc, VUC_LEN, WINDOW,
 };
 pub use recovery::{recovery_stats, RecoveryStats};
 pub use stats::{clustering_stats, orphan_stats, ClusterStats, ClusteringReport, OrphanStats};

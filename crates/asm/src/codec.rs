@@ -166,7 +166,9 @@ impl<'a> Cursor<'a> {
         if self.pos + N > self.buf.len() {
             return Err(DecodeError::Truncated { at: self.start });
         }
-        let arr = self.buf[self.pos..self.pos + N].try_into().unwrap();
+        let arr = self.buf[self.pos..self.pos + N]
+            .try_into()
+            .map_err(|_| DecodeError::Truncated { at: self.start })?;
         self.pos += N;
         Ok(arr)
     }
@@ -286,6 +288,69 @@ pub fn linear_sweep(text: &[u8], base: u64) -> Result<Vec<Located>, DecodeError>
     Ok(out)
 }
 
+/// A run of bytes [`linear_sweep_lenient`] could not decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeGap {
+    /// Byte offset of the first skipped byte.
+    pub offset: usize,
+    /// Number of consecutive skipped bytes.
+    pub len: usize,
+    /// The error that started the gap.
+    pub error: DecodeError,
+}
+
+/// The result of a fault-tolerant sweep: whatever decoded, plus a
+/// report of every byte run that did not.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LenientSweep {
+    /// Instructions recovered, in address order.
+    pub insns: Vec<Located>,
+    /// Undecodable runs, in offset order (never adjacent — adjacent
+    /// bad bytes coalesce into one gap).
+    pub gaps: Vec<DecodeGap>,
+}
+
+impl LenientSweep {
+    /// Total number of bytes that did not decode.
+    pub fn skipped_bytes(&self) -> usize {
+        self.gaps.iter().map(|g| g.len).sum()
+    }
+}
+
+/// Fault-tolerant linear sweep: on an undecodable byte, records a gap,
+/// advances one byte and resynchronizes, so hostile sections yield a
+/// partial listing instead of an error. Every input byte lands in
+/// exactly one instruction or one gap; the sweep always terminates
+/// (each step consumes at least one byte).
+pub fn linear_sweep_lenient(text: &[u8], base: u64) -> LenientSweep {
+    let mut out = LenientSweep::default();
+    let mut pos = 0usize;
+    while pos < text.len() {
+        match decode_insn(text, pos) {
+            Ok((insn, len)) => {
+                out.insns.push(Located {
+                    addr: base + pos as u64,
+                    len: len as u32,
+                    insn,
+                });
+                pos += len.max(1);
+            }
+            Err(error) => {
+                match out.gaps.last_mut() {
+                    Some(g) if g.offset + g.len == pos => g.len += 1,
+                    _ => out.gaps.push(DecodeGap {
+                        offset: pos,
+                        len: 1,
+                        error,
+                    }),
+                }
+                pos += 1;
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +435,38 @@ mod tests {
             decode_insn(&bytes, 0),
             Err(DecodeError::BadOpcode { byte: 0xff, .. })
         ));
+    }
+
+    #[test]
+    fn lenient_sweep_recovers_around_junk() {
+        let insns = samples();
+        let mut bytes = encode_all(&insns);
+        // Splice three invalid opcode bytes into the middle of the
+        // stream, on an instruction boundary.
+        let (_, first_len) = decode_insn(&bytes, 0).unwrap();
+        for _ in 0..3 {
+            bytes.insert(first_len, 0xff);
+        }
+        let sweep = linear_sweep_lenient(&bytes, 0x401000);
+        // Everything decodes except the junk run, reported as one gap.
+        assert_eq!(sweep.insns.len(), insns.len());
+        assert_eq!(sweep.gaps.len(), 1);
+        assert_eq!(sweep.gaps[0].offset, first_len);
+        assert_eq!(sweep.gaps[0].len, 3);
+        assert_eq!(sweep.skipped_bytes(), 3);
+        // Every byte is accounted for: instruction lengths + gaps.
+        let covered: usize =
+            sweep.insns.iter().map(|l| l.len as usize).sum::<usize>() + sweep.skipped_bytes();
+        assert_eq!(covered, bytes.len());
+    }
+
+    #[test]
+    fn lenient_sweep_on_clean_stream_matches_strict() {
+        let bytes = encode_all(&samples());
+        let strict = linear_sweep(&bytes, 0x401000).unwrap();
+        let lenient = linear_sweep_lenient(&bytes, 0x401000);
+        assert_eq!(lenient.insns, strict);
+        assert!(lenient.gaps.is_empty());
     }
 
     #[test]

@@ -133,7 +133,12 @@ pub fn generalize<R: SymbolResolver>(insn: &Insn, symbols: &R) -> GenInsn {
         tokens.push(BLANK.to_string());
     }
     tokens.truncate(TOKENS_PER_INSN);
-    let arr: [String; TOKENS_PER_INSN] = tokens.try_into().expect("exactly three tokens");
+    // The pad/truncate above pins the length to TOKENS_PER_INSN, so
+    // this conversion cannot fail; the fallback keeps the function
+    // total without a panic path.
+    let arr: [String; TOKENS_PER_INSN] = tokens
+        .try_into()
+        .unwrap_or_else(|_| std::array::from_fn(|_| BLANK.to_string()));
     GenInsn { tokens: arr }
 }
 

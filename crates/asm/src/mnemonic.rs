@@ -289,10 +289,10 @@ mnemonics! {
 impl Mnemonic {
     /// Stable opcode byte used by the binary encoding.
     pub fn opcode(self) -> u8 {
-        Mnemonic::ALL
-            .iter()
-            .position(|m| *m == self)
-            .expect("mnemonic in ALL") as u8
+        // Every variant appears in ALL (the table is generated from
+        // the enum), so the search always succeeds; 0 is an
+        // unreachable fallback, not a meaning.
+        Mnemonic::ALL.iter().position(|m| *m == self).unwrap_or(0) as u8
     }
 
     /// Inverse of [`Mnemonic::opcode`].

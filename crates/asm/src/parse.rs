@@ -79,8 +79,12 @@ fn parse_mem(s: &str) -> Result<Operand, ParseError> {
     let open = s.find('(');
     let (disp_str, inner) = match open {
         Some(i) => {
+            // `)` before `(` (e.g. `)x(`) is hostile input, not a
+            // memory operand; rejecting it also keeps the slice below
+            // in bounds.
             let close = s
                 .rfind(')')
+                .filter(|&c| c > i)
                 .ok_or_else(|| ParseError::BadOperand(s.into()))?;
             (&s[..i], Some(&s[i + 1..close]))
         }
@@ -309,6 +313,18 @@ mod tests {
         ));
         assert!(parse_insn("mov %zzz,%rax").is_err());
         assert!(parse_insn("movl $0x1,0x4(%rbp,%r9,3)").is_err());
+    }
+
+    #[test]
+    fn close_paren_before_open_is_an_error_not_a_panic() {
+        // Regression: `)x(` used to slice `s[i+1..close]` with
+        // close < i and panic.
+        assert!(matches!(
+            parse_insn("movl )x(,%eax"),
+            Err(ParseError::BadOperand(_))
+        ));
+        assert!(parse_insn("mov ),%rax").is_err());
+        assert!(parse_insn(")(").is_err());
     }
 
     #[test]

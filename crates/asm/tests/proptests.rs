@@ -1,7 +1,7 @@
 //! Property-based tests: arbitrary instructions roundtrip through the
 //! byte codec and the AT&T formatter/parser.
 
-use cati_asm::codec::{decode_insn, encode_all, encode_insn, linear_sweep};
+use cati_asm::codec::{decode_insn, encode_all, encode_insn, linear_sweep, linear_sweep_lenient};
 use cati_asm::fmt::{format_insn, NoSymbols};
 use cati_asm::generalize::{generalize, TOKENS_PER_INSN};
 use cati_asm::insn::{Insn, MemRef, Operand};
@@ -85,6 +85,62 @@ proptest! {
     fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
         let _ = decode_insn(&bytes, 0);
         let _ = linear_sweep(&bytes, 0);
+    }
+
+    #[test]
+    fn decode_consumes_at_least_one_byte_or_errors(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Termination guarantee for every sweep built on decode_insn:
+        // a successful decode makes progress, so no input can wedge a
+        // sweep in place.
+        if let Ok((_, len)) = decode_insn(&bytes, 0) {
+            prop_assert!(len >= 1, "decode succeeded consuming 0 bytes");
+            prop_assert!(len <= bytes.len(), "decode consumed past the buffer");
+        } else {
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn lenient_sweep_accounts_for_every_byte(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // The resynchronizing sweep must terminate on arbitrary input
+        // and place every byte in exactly one instruction or gap.
+        let sweep = linear_sweep_lenient(&bytes, 0x401000);
+        let mut cursor = 0usize;
+        let mut insns = sweep.insns.iter().peekable();
+        let mut gaps = sweep.gaps.iter().peekable();
+        while cursor < bytes.len() {
+            let at_insn = insns
+                .peek()
+                .is_some_and(|l| (l.addr - 0x401000) as usize == cursor);
+            if at_insn {
+                let l = insns.next().unwrap();
+                prop_assert!(l.len >= 1);
+                cursor += l.len as usize;
+            } else {
+                let g = gaps.next();
+                prop_assert!(g.is_some(), "byte {cursor} in neither insn nor gap");
+                let g = g.unwrap();
+                prop_assert_eq!(g.offset, cursor);
+                prop_assert!(g.len >= 1);
+                cursor += g.len;
+            }
+        }
+        prop_assert_eq!(cursor, bytes.len());
+        prop_assert!(insns.next().is_none(), "instruction past the end");
+        prop_assert!(gaps.next().is_none(), "gap past the end");
+        // On decodable input the lenient sweep equals the strict one.
+        if let Ok(strict) = linear_sweep(&bytes, 0x401000) {
+            prop_assert_eq!(sweep.insns, strict);
+            prop_assert!(sweep.gaps.is_empty());
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_lines(line in "[ -~]{0,48}") {
+        // Printable-ASCII fuzzing of the AT&T parser: any outcome but
+        // a panic. (Regression driver for the `)x(` memory-operand
+        // slice panic.)
+        let _ = cati_asm::parse::parse_insn(&line);
     }
 
     #[test]

@@ -17,12 +17,13 @@
 
 use cati::obs::{git_rev, Level, LogFormat, Manifest, Recorder, RecorderConfig};
 use cati::{ArtifactCache, Cati, Config};
-use cati_analysis::{extract, FeatureView};
+use cati_analysis::{extract, extract_lenient, FeatureView};
 use cati_asm::binary::Binary;
 use cati_asm::fmt::format_insn;
-use cati_synbin::{build_corpus, Compiler, CorpusConfig};
+use cati_synbin::{build_corpus, mutate, Compiler, CorpusConfig, MutationKind};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 /// Formats a signed frame offset as `-0x18` / `0x40`.
 fn hex_off(off: i32) -> String {
@@ -207,6 +208,18 @@ fn cmd_disasm(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves the shared `--strict` / `--lenient` pair: strict is the
+/// default, the switches are mutually exclusive.
+fn lenient_of(args: &Args) -> Result<bool, String> {
+    match (
+        args.switches.contains("strict"),
+        args.switches.contains("lenient"),
+    ) {
+        (true, true) => Err("--strict and --lenient are mutually exclusive".into()),
+        (_, lenient) => Ok(lenient),
+    }
+}
+
 fn cmd_vars(args: &Args) -> Result<(), String> {
     let path = args
         .positional
@@ -218,7 +231,24 @@ fn cmd_vars(args: &Args) -> Result<(), String> {
     } else {
         FeatureView::Stripped
     };
-    let ex = extract(&binary, view).map_err(|e| e.to_string())?;
+    let ex = if lenient_of(args)? {
+        let lenient = extract_lenient(&binary, view);
+        for diag in &lenient.diagnostics.entries {
+            eprintln!("warning: {diag}");
+        }
+        if !lenient.coverage.is_complete() {
+            eprintln!(
+                "warning: partial result — {}/{} functions, {}/{} bytes skipped",
+                lenient.coverage.functions_skipped,
+                lenient.coverage.functions_total,
+                lenient.coverage.bytes_skipped,
+                lenient.coverage.bytes_total,
+            );
+        }
+        lenient.extraction
+    } else {
+        extract(&binary, view).map_err(|e| e.to_string())?
+    };
     println!(
         "{:<6} {:>8}  {:<24} {:>5}",
         "func", "offset", "type (ground truth)", "vucs"
@@ -337,32 +367,60 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
         cati.config.threads = t.parse().unwrap_or(0);
     }
     let recorder = recorder_of(args);
+    let lenient = lenient_of(args)?;
     let artifacts = args
         .flags
         .get("cache-dir")
         .map(|dir| ArtifactCache::open(dir).map_err(|e| format!("open cache {dir}: {e}")))
         .transpose()?;
-    let mut inferred = cati
-        .infer_cached(&binary, artifacts.as_ref(), &recorder)
-        .map_err(|e| e.to_string())?;
+    let report = if lenient {
+        Some(cati.infer_lenient_observed(&binary, &recorder))
+    } else {
+        None
+    };
+    let mut inferred = match &report {
+        Some(report) => report.vars.clone(),
+        None => cati
+            .infer_cached(&binary, artifacts.as_ref(), &recorder)
+            .map_err(|e| e.to_string())?,
+    };
     inferred.sort_by_key(|v| (v.key.func, v.key.offset));
-    write_manifest_if_requested(
-        args,
-        &recorder,
-        "infer",
-        &serde_json::json!({
+    let meta = match &report {
+        Some(report) => serde_json::json!({
             "model": model.as_str(),
             "binary": path.as_str(),
+            "mode": "lenient",
+            "variables": inferred.len(),
+            "cache_hits": recorder.metrics().counter_value("cache.hit"),
+            "cache_misses": recorder.metrics().counter_value("cache.miss"),
+            "coverage": serde_json::to_value(&report.coverage).map_err(|e| e.to_string())?,
+            "diagnostics": report.diagnostics.total(),
+        }),
+        None => serde_json::json!({
+            "model": model.as_str(),
+            "binary": path.as_str(),
+            "mode": "strict",
             "variables": inferred.len(),
             "cache_hits": recorder.metrics().counter_value("cache.hit"),
             "cache_misses": recorder.metrics().counter_value("cache.miss"),
         }),
-    )?;
+    };
+    write_manifest_if_requested(args, &recorder, "infer", &meta)?;
+    if let Some(report) = &report {
+        for diag in &report.diagnostics.entries {
+            eprintln!("warning: {diag}");
+        }
+    }
     if args.switches.contains("json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&inferred).map_err(|e| e.to_string())?
-        );
+        let payload = match &report {
+            Some(report) => {
+                let mut sorted = report.clone();
+                sorted.vars = inferred.clone();
+                serde_json::to_string_pretty(&sorted)
+            }
+            None => serde_json::to_string_pretty(&inferred),
+        };
+        println!("{}", payload.map_err(|e| e.to_string())?);
         return Ok(());
     }
     println!(
@@ -379,6 +437,271 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
             var.confidence * 100.0
         );
     }
+    if let Some(report) = &report {
+        let cov = &report.coverage;
+        println!(
+            "coverage: {}/{} functions, {}/{} bytes skipped, debug {}, {} diagnostic(s)",
+            cov.functions_total - cov.functions_skipped,
+            cov.functions_total,
+            cov.bytes_skipped,
+            cov.bytes_total,
+            if !cov.debug_present {
+                "absent"
+            } else if cov.debug_ok {
+                "ok"
+            } else {
+                "rejected"
+            },
+            report.diagnostics.total(),
+        );
+    }
+    Ok(())
+}
+
+/// Everything needed to regenerate one fuzz mutant exactly: the
+/// corpus is deterministic in its seed, the mutator in kind + seed.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct FuzzCase {
+    /// Seed the corpus was built from.
+    corpus_seed: u64,
+    /// Index into the corpus test split.
+    binary_index: usize,
+    /// Name of the source binary.
+    binary_name: String,
+    /// Mutation family (see [`MutationKind::name`]).
+    kind: String,
+    /// Seed the mutator ran with.
+    mutation_seed: u64,
+    /// Human-readable damage description.
+    detail: String,
+}
+
+/// Parses `--budget` values like `60s`, `90`, `500ms`.
+fn parse_budget(s: &str) -> Result<Duration, String> {
+    let (num, ms) = if let Some(v) = s.strip_suffix("ms") {
+        (v, true)
+    } else {
+        (s.strip_suffix('s').unwrap_or(s), false)
+    };
+    let n: u64 = num.parse().map_err(|_| format!("bad --budget `{s}`"))?;
+    Ok(if ms {
+        Duration::from_millis(n)
+    } else {
+        Duration::from_secs(n)
+    })
+}
+
+/// Regenerates the mutant a [`FuzzCase`] describes.
+fn rebuild_case(case: &FuzzCase) -> Result<(Binary, cati_synbin::Mutation), String> {
+    let corpus = build_corpus(&CorpusConfig::small(case.corpus_seed));
+    let built = corpus
+        .test
+        .get(case.binary_index)
+        .ok_or_else(|| format!("corpus has no test binary #{}", case.binary_index))?;
+    let kind = MutationKind::from_name(&case.kind)
+        .ok_or_else(|| format!("unknown mutation kind `{}`", case.kind))?;
+    Ok(mutate(&built.binary, kind, case.mutation_seed))
+}
+
+/// Runs one mutant through the pipeline both ways and returns
+/// `(strict_ok, lenient_vars, coverage_violation)`. Strict must yield
+/// a typed result (the process aborting here *is* the fuzz finding);
+/// lenient must always return, with internally consistent coverage.
+fn run_case(cati: &Cati, mutant: &Binary) -> (bool, usize, Option<String>) {
+    let strict_ok = cati.infer(&mutant.strip()).is_ok();
+    let report = cati.infer_lenient(mutant);
+    let cov = &report.coverage;
+    let violation = if cov.bytes_total != mutant.text.len() as u64 {
+        Some(format!(
+            "coverage bytes_total {} != text len {}",
+            cov.bytes_total,
+            mutant.text.len()
+        ))
+    } else if cov.bytes_skipped > cov.bytes_total {
+        Some(format!(
+            "coverage bytes_skipped {} > bytes_total {}",
+            cov.bytes_skipped, cov.bytes_total
+        ))
+    } else if cov.functions_skipped > cov.functions_total {
+        Some(format!(
+            "coverage functions_skipped {} > functions_total {}",
+            cov.functions_skipped, cov.functions_total
+        ))
+    } else if cov.functions_skipped > 0 && report.diagnostics.is_empty() {
+        Some("functions skipped without a diagnostic".into())
+    } else {
+        None
+    };
+    (strict_ok, report.vars.len(), violation)
+}
+
+fn cmd_fuzz(args: &Args) -> Result<(), String> {
+    let out = PathBuf::from(
+        args.flags
+            .get("out")
+            .map(String::as_str)
+            .unwrap_or("results/fuzz"),
+    );
+    std::fs::create_dir_all(&out).map_err(|e| format!("create {}: {e}", out.display()))?;
+
+    if let Some(replay) = args.flags.get("replay") {
+        return cmd_fuzz_replay(replay, &out);
+    }
+
+    let seed: u64 = args
+        .flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(2020);
+    let mutants: u64 = args
+        .flags
+        .get("mutants")
+        .map(|s| s.parse().map_err(|_| "bad --mutants"))
+        .transpose()?
+        .unwrap_or(500);
+    let budget = args
+        .flags
+        .get("budget")
+        .map(|s| parse_budget(s))
+        .transpose()?
+        .unwrap_or(Duration::from_secs(60));
+    let hang_limit = Duration::from_millis(
+        args.flags
+            .get("hang-limit-ms")
+            .map(|s| s.parse().map_err(|_| "bad --hang-limit-ms"))
+            .transpose()?
+            .unwrap_or(5000u64),
+    );
+
+    let started = Instant::now();
+    eprintln!("fuzz: building corpus (seed {seed}) and training a small model...");
+    let corpus = build_corpus(&CorpusConfig::small(seed));
+    let train_n = corpus.train.len().min(4);
+    let cati = Cati::train(&corpus.train[..train_n], &Config::small(), &cati::obs::NOOP);
+
+    let pending = out.join("pending.json");
+    let mut ran = 0u64;
+    let mut strict_ok = 0u64;
+    let mut strict_err = 0u64;
+    let mut hangs: Vec<serde_json::Value> = Vec::new();
+    let mut violations: Vec<serde_json::Value> = Vec::new();
+    let mut slowest_ms = 0u128;
+    let mut budget_exhausted = false;
+
+    for i in 0..mutants {
+        if started.elapsed() > budget {
+            budget_exhausted = true;
+            break;
+        }
+        let kind = MutationKind::ALL[i as usize % MutationKind::ALL.len()];
+        let binary_index = i as usize % corpus.test.len();
+        let mutation_seed = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1);
+        let source = &corpus.test[binary_index].binary;
+        let (mutant, mutation) = mutate(source, kind, mutation_seed);
+        let case = FuzzCase {
+            corpus_seed: seed,
+            binary_index,
+            binary_name: source.name.clone(),
+            kind: kind.name().to_string(),
+            mutation_seed,
+            detail: mutation.detail.clone(),
+        };
+        // The spec goes to disk *before* the pipeline runs: if the
+        // process dies here, pending.json IS the minimized reproducer.
+        save_json(&case, &pending)?;
+
+        let t0 = Instant::now();
+        let (ok, _vars, violation) = run_case(&cati, &mutant);
+        let dt = t0.elapsed();
+        slowest_ms = slowest_ms.max(dt.as_millis());
+        ran += 1;
+        if ok {
+            strict_ok += 1;
+        } else {
+            strict_err += 1;
+        }
+        if dt > hang_limit {
+            let kept = out.join(format!("hang-{i}.json"));
+            std::fs::rename(&pending, &kept).map_err(|e| e.to_string())?;
+            hangs.push(serde_json::json!({
+                "case": kept.display().to_string(),
+                "elapsed_ms": dt.as_millis() as u64,
+            }));
+        } else if let Some(v) = violation {
+            let kept = out.join(format!("violation-{i}.json"));
+            std::fs::rename(&pending, &kept).map_err(|e| e.to_string())?;
+            violations.push(serde_json::json!({
+                "case": kept.display().to_string(),
+                "violation": v,
+            }));
+        } else {
+            std::fs::remove_file(&pending).ok();
+        }
+    }
+
+    let summary = serde_json::json!({
+        "seed": seed,
+        "requested": mutants,
+        "ran": ran,
+        "strict_typed_ok": strict_ok,
+        "strict_typed_err": strict_err,
+        "hangs": hangs,
+        "coverage_violations": violations,
+        "slowest_mutant_ms": slowest_ms as u64,
+        "budget_exhausted": budget_exhausted,
+        "elapsed_ms": started.elapsed().as_millis() as u64,
+    });
+    save_json(&summary, &out.join("summary.json"))?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+    );
+    if !hangs.is_empty() || !violations.is_empty() {
+        return Err(format!(
+            "fuzz found {} hang(s), {} coverage violation(s); reproducers in {}",
+            hangs.len(),
+            violations.len(),
+            out.display()
+        ));
+    }
+    Ok(())
+}
+
+/// Replays one recorded [`FuzzCase`]: regenerates the mutant, writes
+/// it next to the reproducer for offline inspection, and runs it.
+fn cmd_fuzz_replay(path: &str, out: &Path) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let case: FuzzCase =
+        serde_json::from_slice(&bytes).map_err(|e| format!("parse {path}: {e}"))?;
+    eprintln!(
+        "replaying {} seed {} on {} (corpus seed {})...",
+        case.kind, case.mutation_seed, case.binary_name, case.corpus_seed
+    );
+    let (mutant, mutation) = rebuild_case(&case)?;
+    let repro = out.join("repro_binary.json");
+    save_json(&mutant, &repro)?;
+    eprintln!(
+        "mutant written to {} ({})",
+        repro.display(),
+        mutation.detail
+    );
+    let corpus = build_corpus(&CorpusConfig::small(case.corpus_seed));
+    let train_n = corpus.train.len().min(4);
+    let cati = Cati::train(&corpus.train[..train_n], &Config::small(), &cati::obs::NOOP);
+    let t0 = Instant::now();
+    let (ok, vars, violation) = run_case(&cati, &mutant);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&serde_json::json!({
+            "case": case,
+            "strict_typed_ok": ok,
+            "lenient_vars": vars,
+            "coverage_violation": violation,
+            "elapsed_ms": t0.elapsed().as_millis() as u64,
+        }))
+        .map_err(|e| e.to_string())?
+    );
     Ok(())
 }
 
@@ -433,11 +756,30 @@ cati — context-assisted type inference from stripped binaries
 USAGE:
   cati build-corpus --out DIR [--scale small|medium|paper] [--compiler gcc|clang] [--seed N]
   cati disasm BINARY.json [--strip]
-  cati vars BINARY.json
+  cati vars BINARY.json [--strict|--lenient]
   cati train --corpus DIR --out MODEL.json [--scale small|medium|paper] [--threads N]
-  cati infer --model MODEL.json BINARY.json [--json] [--threads N] [--cache-dir DIR]
+  cati infer --model MODEL.json BINARY.json [--strict|--lenient] [--json] [--threads N] [--cache-dir DIR]
+  cati fuzz [--seed N] [--mutants N] [--budget 60s] [--hang-limit-ms N] [--out DIR] [--replay CASE.json]
   cati report MANIFEST.jsonl [OTHER.jsonl] [--validate]
   cati strip BINARY.json --out STRIPPED.json
+
+Degradation modes (vars and infer):
+  --strict (default)  refuse hostile input with a typed error — a
+                      corrupt text or debug section fails the command.
+  --lenient           degrade instead: skip undecodable functions,
+                      drop a corrupt debug section, and report partial
+                      results plus a coverage line and per-finding
+                      warnings on stderr. With --json the output is a
+                      full report object {vars, coverage, diagnostics}.
+
+`cati fuzz` drives the seeded corruption engine (cati_synbin::hostile)
+against the full pipeline: each mutant must produce a typed error
+(strict) and a partial result with honest coverage (lenient) — never a
+panic or hang. The next case spec is written to OUT/pending.json
+before it runs, so a crash leaves the reproducer behind; hangs and
+coverage violations are kept as OUT/hang-*.json / OUT/violation-*.json
+and summarized in OUT/summary.json. --replay CASE.json regenerates a
+recorded mutant (writing OUT/repro_binary.json) and reruns it.
 
 Training and batched inference use --threads worker threads
 (0 or omitted = all cores); results are bit-identical for any value.
@@ -472,6 +814,7 @@ fn main() -> ExitCode {
         "vars" => cmd_vars(&args),
         "train" => cmd_train(&args),
         "infer" => cmd_infer(&args),
+        "fuzz" => cmd_fuzz(&args),
         "report" => cmd_report(&args),
         "strip" => cmd_strip(&args),
         "help" | "--help" | "-h" => {

@@ -98,7 +98,102 @@ fn full_cli_workflow() {
     let parsed: serde_json::Value = serde_json::from_str(&json_out).expect("valid JSON");
     assert!(parsed.as_array().map(|a| !a.is_empty()).unwrap_or(false));
 
-    // 8. Unknown commands fail cleanly.
+    // 8. Degradation modes. Append undecodable junk to the stripped
+    //    binary: strict inference must refuse it with a typed error,
+    //    lenient inference must return a partial result and say so.
+    let mut corrupt: cati_asm::binary::Binary =
+        serde_json::from_slice(&std::fs::read(dir.join("stripped.json")).unwrap()).unwrap();
+    corrupt.text.extend_from_slice(&[0xFF, 0xFF, 0xFF]);
+    std::fs::write(
+        dir.join("corrupt.json"),
+        serde_json::to_string(&corrupt).unwrap(),
+    )
+    .unwrap();
+    let (ok, _, stderr) = run(
+        &["infer", "--model", "model.json", "corrupt.json", "--strict"],
+        &dir,
+    );
+    assert!(!ok, "strict infer accepted a corrupt binary");
+    assert!(
+        stderr.contains("undecodable"),
+        "strict error is not typed/attributed: {stderr}"
+    );
+    let (ok, lenient_out, stderr) = run(
+        &[
+            "infer",
+            "--model",
+            "model.json",
+            "corrupt.json",
+            "--lenient",
+        ],
+        &dir,
+    );
+    assert!(ok, "lenient infer failed on a corrupt binary: {stderr}");
+    assert!(
+        lenient_out.contains("coverage"),
+        "lenient output lacks a coverage footer: {lenient_out}"
+    );
+    let (ok, lenient_json, _) = run(
+        &[
+            "infer",
+            "--model",
+            "model.json",
+            "corrupt.json",
+            "--lenient",
+            "--json",
+        ],
+        &dir,
+    );
+    assert!(ok);
+    let report: serde_json::Value = serde_json::from_str(&lenient_json).expect("valid JSON");
+    assert_eq!(
+        report["coverage"]["bytes_skipped"].as_u64(),
+        Some(3),
+        "coverage must account for exactly the junk bytes: {lenient_json}"
+    );
+    // The two flags are mutually exclusive.
+    let (ok, _, stderr) = run(
+        &[
+            "infer",
+            "--model",
+            "model.json",
+            "corrupt.json",
+            "--strict",
+            "--lenient",
+        ],
+        &dir,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("--strict"), "{stderr}");
+
+    // 9. A tiny fuzz campaign: must exit zero (no panics, hangs or
+    //    coverage violations) and leave a machine-readable summary.
+    let (ok, fuzz_out, stderr) = run(
+        &[
+            "fuzz",
+            "--seed",
+            "4",
+            "--mutants",
+            "20",
+            "--budget",
+            "120s",
+            "--out",
+            "fuzz",
+        ],
+        &dir,
+    );
+    assert!(ok, "fuzz campaign failed: {stderr}");
+    assert!(fuzz_out.contains("\"ran\""), "{fuzz_out}");
+    let summary: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(dir.join("fuzz/summary.json")).unwrap()).unwrap();
+    assert_eq!(summary["ran"].as_u64(), Some(20), "{summary}");
+    assert_eq!(
+        summary["hangs"].as_array().map(Vec::len),
+        Some(0),
+        "{summary}"
+    );
+
+    // 10. Unknown commands fail cleanly.
     let (ok, _, stderr) = run(&["frobnicate"], &dir);
     assert!(!ok);
     assert!(stderr.contains("unknown command"));

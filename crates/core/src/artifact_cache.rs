@@ -22,8 +22,9 @@ use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 /// Bumped whenever the serialized artifact layout changes, so stale
-/// caches are silently misses instead of parse errors.
-const FORMAT_VERSION: u32 = 1;
+/// caches are silently misses instead of parse errors. Version 2
+/// added the integrity envelope (payload digest on the first line).
+const FORMAT_VERSION: u32 = 2;
 
 /// A directory of content-addressed extraction/embedding artifacts.
 #[derive(Debug, Clone)]
@@ -45,6 +46,23 @@ pub fn embedder_fingerprint(embedder: &VucEmbedder) -> Digest {
     digest_bytes(&serde_json::to_vec(embedder).expect("embedder serializes"))
 }
 
+/// Wraps a serialized payload in the integrity envelope: the payload's
+/// digest, a newline, the payload bytes.
+fn seal_envelope(payload: &[u8]) -> Vec<u8> {
+    let mut out = digest_bytes(payload).to_string().into_bytes();
+    out.push(b'\n');
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verifies and strips the integrity envelope, returning the payload
+/// when the recorded digest matches its bytes.
+fn open_envelope(bytes: &[u8]) -> Option<&[u8]> {
+    let newline = bytes.iter().position(|&b| b == b'\n')?;
+    let (header, payload) = (&bytes[..newline], &bytes[newline + 1..]);
+    (digest_bytes(payload).to_string().as_bytes() == header).then_some(payload)
+}
+
 impl ArtifactCache {
     /// Opens (creating if needed) a cache rooted at `dir`.
     ///
@@ -62,15 +80,21 @@ impl ArtifactCache {
         &self.dir
     }
 
-    /// Loads and parses one artifact. A present, parseable entry is a
-    /// `cache.hit` (its size accumulating into `cache.bytes`);
-    /// anything else — absent, unreadable, corrupt — is a
-    /// `cache.miss` and the caller recomputes (overwriting a corrupt
-    /// entry).
+    /// Loads and parses one artifact. A present entry whose integrity
+    /// envelope verifies is a `cache.hit` (its size accumulating into
+    /// `cache.bytes`); anything else — absent, unreadable, checksum
+    /// mismatch, corrupt — is a `cache.miss` and the caller recomputes
+    /// (overwriting the bad entry). The checksum line makes *silently*
+    /// corrupted entries (bit flips that still parse as JSON) misses
+    /// too, so a damaged cache can change performance but never
+    /// results.
     fn load<T: Deserialize>(&self, file: &str, obs: &dyn Observer) -> Option<T> {
-        let loaded = std::fs::read(self.dir.join(file))
-            .ok()
-            .and_then(|bytes| Some((serde_json::from_slice(&bytes).ok()?, bytes.len())));
+        let loaded = std::fs::read(self.dir.join(file)).ok().and_then(|bytes| {
+            Some((
+                serde_json::from_slice(open_envelope(&bytes)?).ok()?,
+                bytes.len(),
+            ))
+        });
         match loaded {
             Some((value, len)) => {
                 obs.event(&Event::Counter {
@@ -94,11 +118,12 @@ impl ArtifactCache {
     }
 
     /// Stores one artifact atomically (tmp + rename, so a crash never
-    /// leaves a truncated entry a later run would half-parse). Write
-    /// failures only disable reuse, so they are logged, not fatal.
+    /// leaves a truncated entry a later run would half-parse), sealed
+    /// in the integrity envelope. Write failures only disable reuse,
+    /// so they are logged, not fatal.
     fn store<T: Serialize>(&self, file: &str, value: &T, obs: &dyn Observer) {
         let json = match serde_json::to_vec(value) {
-            Ok(json) => json,
+            Ok(json) => seal_envelope(&json),
             Err(e) => {
                 cati_obs::warn!(obs, "cache: serialize {file}: {e}");
                 return;
@@ -221,6 +246,39 @@ mod tests {
         assert!(m.counter_value("cache.bytes") > 0);
         // Only the cold embedding pass embedded anything.
         assert_eq!(m.counter_value("embed.windows"), direct.vucs.len() as u64);
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn silently_corrupted_entries_are_checksum_misses() {
+        // A bit flip that still parses as valid JSON must not be
+        // served: the envelope checksum catches what the parser can't.
+        let corpus = cati_synbin::build_corpus(&cati_synbin::CorpusConfig::small(23));
+        let binary = &corpus.test[0].binary.strip();
+        let cache = temp_cache("silent");
+        let rec = Recorder::new(RecorderConfig::default());
+        let first = cache
+            .extraction(binary, FeatureView::Stripped, &rec)
+            .unwrap();
+        for entry in std::fs::read_dir(cache.dir()).unwrap() {
+            let path = entry.unwrap().path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            let newline = bytes.iter().position(|&b| b == b'\n').unwrap();
+            // Change one digit inside the JSON payload to a different
+            // digit — the entry still parses, but the data is wrong.
+            let i = bytes[newline + 1..]
+                .iter()
+                .position(|b| b.is_ascii_digit())
+                .map(|i| i + newline + 1)
+                .unwrap();
+            bytes[i] = if bytes[i] == b'1' { b'2' } else { b'1' };
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        let healed = cache
+            .extraction(binary, FeatureView::Stripped, &rec)
+            .unwrap();
+        assert_eq!(first, healed, "tampered entry must recompute, not serve");
+        assert_eq!(rec.metrics().counter_value("cache.miss"), 2);
         std::fs::remove_dir_all(cache.dir()).ok();
     }
 

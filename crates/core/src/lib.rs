@@ -53,6 +53,7 @@ pub mod session;
 pub mod vote;
 
 pub use artifact_cache::{embedder_fingerprint, ArtifactCache};
+pub use cati_analysis::{CatiError, Coverage, Diagnostic, Diagnostics, PipelineStage};
 pub use compiler_id::CompilerId;
 pub use config::Config;
 pub use dataset::{class_histogram, embedding_sentences, Dataset};
@@ -64,7 +65,7 @@ pub use occlusion::{
 };
 pub use pipeline::{
     pipeline_accuracy, pipeline_accuracy_session, stage_var_metrics, stage_vuc_metrics, Cati,
-    Evaluation, InferredVar,
+    Evaluation, InferReport, InferredVar,
 };
 pub use session::EmbeddedExtraction;
 pub use vote::{clip_confidences, vote, VoteResult};

@@ -8,7 +8,10 @@ use crate::metrics::{Confusion, Prf};
 use crate::multistage::MultiStage;
 use crate::session::EmbeddedExtraction;
 use crate::vote::{vote, VoteResult};
-use cati_analysis::{extract_observed, ExtractError, Extraction, FeatureView, VarKey};
+use cati_analysis::{
+    extract_lenient_observed, extract_observed, Coverage, Diagnostics, ExtractError, Extraction,
+    FeatureView, VarKey,
+};
 use cati_asm::binary::Binary;
 use cati_dwarf::{StageId, TypeClass};
 use cati_embedding::{VucEmbedder, Word2Vec};
@@ -59,6 +62,18 @@ pub struct InferredVar {
     pub confidence: f32,
     /// Number of VUCs that voted.
     pub vuc_count: u32,
+}
+
+/// The outcome of a lenient inference run: always produced, with the
+/// coverage and diagnostics needed to judge how partial it is.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InferReport {
+    /// Inferred variables for every function that survived.
+    pub vars: Vec<InferredVar>,
+    /// How much of the binary was actually processed.
+    pub coverage: Coverage,
+    /// Non-fatal findings, in emission order.
+    pub diagnostics: Diagnostics,
 }
 
 impl Cati {
@@ -262,23 +277,36 @@ impl Cati {
             };
             self.evaluate_session_inner(&session, obs)
         });
-        Ok(ex
-            .vars
-            .iter()
-            .zip(&eval.var_preds)
-            .zip(&eval.votes)
-            .map(|((var, &class), result)| {
-                // The evaluation already voted this variable (Eq. 4);
-                // reuse its totals for the confidence.
-                let share = result.totals[result.class] / var.vucs.len() as f32;
-                InferredVar {
-                    key: var.key,
-                    class,
-                    confidence: share.min(1.0),
-                    vuc_count: var.vucs.len() as u32,
-                }
-            })
-            .collect())
+        Ok(inferred_vars(&ex, &eval))
+    }
+
+    /// Fault-isolated inference: never fails, reports what it skipped.
+    ///
+    /// See [`Cati::infer_lenient_observed`].
+    pub fn infer_lenient(&self, binary: &Binary) -> InferReport {
+        self.infer_lenient_observed(binary, &cati_obs::NOOP)
+    }
+
+    /// [`Cati::infer`] that degrades instead of refusing: extraction
+    /// runs through [`cati_analysis::extract_lenient_observed`], so a
+    /// corrupt debug section, undecodable function bodies, or decode
+    /// gaps become [`Diagnostics`] and a reduced [`Coverage`] rather
+    /// than an error. On a binary the strict path accepts, the
+    /// returned `vars` are **bit-identical** to [`Cati::infer`]'s and
+    /// the coverage is complete.
+    pub fn infer_lenient_observed(&self, binary: &Binary, obs: &dyn Observer) -> InferReport {
+        let _span = SpanGuard::enter(obs, "infer");
+        let lenient = extract_lenient_observed(binary, FeatureView::Stripped, obs);
+        let eval = self.config.with_threads(|| {
+            let session =
+                EmbeddedExtraction::new_observed(&self.embedder, &lenient.extraction, obs);
+            self.evaluate_session_inner(&session, obs)
+        });
+        InferReport {
+            vars: inferred_vars(&lenient.extraction, &eval),
+            coverage: lenient.coverage,
+            diagnostics: lenient.diagnostics,
+        }
     }
 
     /// Serializes the trained system to JSON at `path`, atomically:
@@ -341,6 +369,28 @@ impl Cati {
             )
         })
     }
+}
+
+/// Maps an evaluation back onto its extraction's variables — the
+/// final user-facing inference output. Shared by the strict and
+/// lenient paths so they cannot diverge on a binary both accept.
+fn inferred_vars(ex: &Extraction, eval: &Evaluation) -> Vec<InferredVar> {
+    ex.vars
+        .iter()
+        .zip(&eval.var_preds)
+        .zip(&eval.votes)
+        .map(|((var, &class), result)| {
+            // The evaluation already voted this variable (Eq. 4);
+            // reuse its totals for the confidence.
+            let share = result.totals[result.class] / var.vucs.len() as f32;
+            InferredVar {
+                key: var.key,
+                class,
+                confidence: share.min(1.0),
+                vuc_count: var.vucs.len() as u32,
+            }
+        })
+        .collect()
 }
 
 /// Per-stage evaluation at VUC granularity: each stage classifier is

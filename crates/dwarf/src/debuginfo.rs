@@ -82,24 +82,65 @@ impl TypeTable {
     /// Size in bytes of `ty`, consulting the definition tables for
     /// aggregates.
     ///
-    /// # Panics
-    ///
-    /// Panics if `ty` references a struct/enum index outside the table.
+    /// Total over arbitrary (even lying) type expressions: a
+    /// struct/union reference outside the table contributes size 0,
+    /// and array sizes saturate instead of overflowing — hostile
+    /// debug info degrades the answer, never the process.
+    /// [`DebugInfo::parse`] rejects dangling references up front, so
+    /// sections that round-tripped through it never hit the fallback.
     pub fn size_of(&self, ty: &CType) -> u32 {
         match ty.resolve() {
-            CType::Struct(i) | CType::Union(i) => self.structs[*i as usize].size,
-            CType::Array(elem, n) => self.size_of(elem) * (*n).max(1),
+            CType::Struct(i) | CType::Union(i) => {
+                self.structs.get(*i as usize).map_or(0, |s| s.size)
+            }
+            CType::Array(elem, n) => self.size_of(elem).saturating_mul((*n).max(1)),
             other => other.size(),
         }
     }
 
     /// Alignment in bytes of `ty`, consulting the definition tables.
+    /// Total like [`TypeTable::size_of`]: dangling references align 1.
     pub fn align_of(&self, ty: &CType) -> u32 {
         match ty.resolve() {
-            CType::Struct(i) | CType::Union(i) => self.structs[*i as usize].align,
+            CType::Struct(i) | CType::Union(i) => {
+                self.structs.get(*i as usize).map_or(1, |s| s.align)
+            }
             CType::Array(elem, _) => self.align_of(elem),
             other => other.align(),
         }
+    }
+
+    /// Checks that every struct/union/enum reference inside `ty`
+    /// points into the tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DwarfError::BadTypeRef`] naming the first dangling
+    /// index.
+    pub fn check_refs(&self, ty: &CType) -> Result<(), DwarfError> {
+        match ty {
+            CType::Struct(i) | CType::Union(i) => {
+                if *i as usize >= self.structs.len() {
+                    return Err(DwarfError::BadTypeRef {
+                        index: *i,
+                        table_len: self.structs.len() as u32,
+                    });
+                }
+            }
+            CType::Enum(i) => {
+                if *i as usize >= self.enums.len() {
+                    return Err(DwarfError::BadTypeRef {
+                        index: *i,
+                        table_len: self.enums.len() as u32,
+                    });
+                }
+            }
+            CType::Pointer(inner) | CType::Array(inner, _) | CType::Typedef(_, inner) => {
+                self.check_refs(inner)?;
+            }
+            CType::Void | CType::Bool | CType::Integer(..) | CType::Float(_) => {}
+        }
+        Ok(())
     }
 }
 
@@ -286,7 +327,33 @@ impl DebugInfo {
                 vars,
             });
         }
-        Ok(DebugInfo { types, functions })
+        let di = DebugInfo { types, functions };
+        di.validate()?;
+        Ok(di)
+    }
+
+    /// Verifies the section's internal type graph: every
+    /// struct/union/enum reference (in struct members and variable
+    /// types alike) must point into the definition tables. Called by
+    /// [`DebugInfo::parse`], so a parsed section is safe to size and
+    /// label without index checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DwarfError::BadTypeRef`] for the first dangling
+    /// reference.
+    pub fn validate(&self) -> Result<(), DwarfError> {
+        for s in &self.types.structs {
+            for m in &s.members {
+                self.types.check_refs(&m.ty)?;
+            }
+        }
+        for f in &self.functions {
+            for v in &f.vars {
+                self.types.check_refs(&v.ty)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -387,14 +454,17 @@ impl<'a> Reader<'a> {
     fn u8(&mut self) -> Result<u8, DwarfError> {
         Ok(self.take(1)?[0])
     }
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], DwarfError> {
+        self.take(N)?.try_into().map_err(|_| DwarfError::Truncated)
+    }
     fn u32(&mut self) -> Result<u32, DwarfError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn i32(&mut self) -> Result<i32, DwarfError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(i32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, DwarfError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
     fn str(&mut self) -> Result<String, DwarfError> {
         let len = self.u32()? as usize;
@@ -557,5 +627,44 @@ mod tests {
     #[test]
     fn var_count_sums_functions() {
         assert_eq!(sample().var_count(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_dangling_type_refs() {
+        // Regression: sections referencing definitions outside the
+        // tables used to parse fine and then panic `size_of`.
+        let mut di = sample();
+        di.functions[0].vars[0].ty = CType::ptr_to(CType::Struct(7));
+        assert!(!di.to_bytes().is_empty());
+        // A pointer target is still a reference; deep refs count too.
+        assert!(matches!(
+            DebugInfo::parse(&di.to_bytes()),
+            Err(DwarfError::BadTypeRef { index: 7, .. })
+        ));
+        let mut di = sample();
+        di.functions[0].vars[2].ty = CType::Enum(99);
+        assert!(matches!(
+            DebugInfo::parse(&di.to_bytes()),
+            Err(DwarfError::BadTypeRef { index: 99, .. })
+        ));
+        let mut di = sample();
+        di.types.structs[0].members[0].ty = CType::Union(3);
+        assert!(matches!(
+            DebugInfo::parse(&di.to_bytes()),
+            Err(DwarfError::BadTypeRef { index: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn size_of_is_total_over_lying_types() {
+        let di = sample();
+        // Dangling references size 0 / align 1 instead of panicking.
+        assert_eq!(di.types.size_of(&CType::Struct(42)), 0);
+        assert_eq!(di.types.align_of(&CType::Union(42)), 1);
+        // Array sizes saturate instead of overflowing.
+        let huge = CType::Array(Box::new(CType::Struct(0)), u32::MAX);
+        assert_eq!(di.types.size_of(&huge), u32::MAX);
+        let nested = CType::Array(Box::new(huge), u32::MAX);
+        assert_eq!(di.types.size_of(&nested), u32::MAX);
     }
 }

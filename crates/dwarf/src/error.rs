@@ -18,6 +18,15 @@ pub enum DwarfError {
     BadTag(u8),
     /// A type expression nests deeper than the parser allows.
     TypeTooDeep,
+    /// A type expression references a struct/union/enum index outside
+    /// the definition tables — debug info that lies about its own
+    /// type graph.
+    BadTypeRef {
+        /// The out-of-range index.
+        index: u32,
+        /// Number of entries in the referenced table.
+        table_len: u32,
+    },
 }
 
 impl fmt::Display for DwarfError {
@@ -31,6 +40,10 @@ impl fmt::Display for DwarfError {
             DwarfError::BadString => write!(f, "debug section string is not valid utf-8"),
             DwarfError::BadTag(t) => write!(f, "unknown tag byte 0x{t:02x} in debug section"),
             DwarfError::TypeTooDeep => write!(f, "type expression nests too deeply"),
+            DwarfError::BadTypeRef { index, table_len } => write!(
+                f,
+                "type references definition {index} but the table holds {table_len}"
+            ),
         }
     }
 }

@@ -100,9 +100,12 @@ fn arb_debuginfo() -> impl Strategy<Value = DebugInfo> {
             code_len,
             vars,
         });
+    // Type expressions reference struct/enum indices 0..4, and the
+    // parser now rejects sections whose references dangle — so the
+    // tables must always hold at least four definitions.
     (
-        proptest::collection::vec(sdef, 0..4),
-        proptest::collection::vec(edef, 0..4),
+        proptest::collection::vec(sdef, 4..8),
+        proptest::collection::vec(edef, 4..8),
         proptest::collection::vec(func, 0..5),
     )
         .prop_map(|(structs, enums, functions)| DebugInfo {
@@ -131,6 +134,53 @@ proptest! {
             let i = idx.index(bytes.len());
             bytes[i] ^= 1 << bit;
             let _ = DebugInfo::parse(&bytes); // must not panic
+        }
+    }
+
+    #[test]
+    fn mutated_blobs_stay_inside_the_19_class_universe(
+        di in arb_debuginfo(),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+        cut in any::<prop::sample::Index>(),
+        splice in any::<u8>(),
+    ) {
+        // Three mutation shapes: bit flip, truncation, byte splice.
+        // Whatever still parses must classify every variable inside
+        // TypeClass::ALL and compute sizes/alignments without panics —
+        // corrupt debug info may lose information, never invent a
+        // twentieth class.
+        let clean = di.to_bytes();
+        let mut mutants = Vec::new();
+        if !clean.is_empty() {
+            let mut flipped = clean.clone();
+            let i = idx.index(flipped.len());
+            flipped[i] ^= 1 << bit;
+            mutants.push(flipped);
+            let mut truncated = clean.clone();
+            truncated.truncate(cut.index(truncated.len()));
+            mutants.push(truncated);
+            let mut spliced = clean.clone();
+            let i = idx.index(spliced.len());
+            spliced[i] = splice;
+            mutants.push(spliced);
+        }
+        for bytes in &mutants {
+            let Ok(parsed) = DebugInfo::parse(bytes) else { continue };
+            for func in &parsed.functions {
+                for var in &func.vars {
+                    if let Some(class) = TypeClass::of(&var.ty) {
+                        prop_assert!(
+                            TypeClass::ALL.contains(&class),
+                            "class {class:?} outside the 19-class set"
+                        );
+                    }
+                    // Totality: sizes and alignments on surviving
+                    // (validated) types never panic.
+                    let _ = parsed.types.size_of(&var.ty);
+                    let _ = parsed.types.align_of(&var.ty);
+                }
+            }
         }
     }
 

@@ -1,0 +1,475 @@
+//! Seeded corruption engine for robustness testing.
+//!
+//! Real stripped binaries are not merely unlabeled — they are packed,
+//! truncated by transfer errors, patched by hand, protected by
+//! deliberate anti-disassembly, and shipped with debug info that lies.
+//! This module manufactures those conditions on demand: each
+//! [`MutationKind`] is one corruption family, and [`mutate`] applies
+//! it deterministically from a seed, returning both the damaged binary
+//! and a machine-readable [`Mutation`] record that is sufficient to
+//! regenerate the exact mutant (kind + seed + the source binary).
+//!
+//! The engine is the input half of the fuzz harness: `cati fuzz`
+//! drives these mutators against the full pipeline and demands typed
+//! errors or degraded-but-honest partial results — never panics.
+
+use cati_asm::binary::{Binary, Symbol};
+use cati_asm::codec;
+use cati_asm::mnemonic::Mnemonic;
+use cati_dwarf::{CType, DebugInfo};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One family of hostile-input corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MutationKind {
+    /// Cut the text section short, ending it mid-instruction.
+    TruncateText,
+    /// Flip random bits anywhere in the text section.
+    FlipBytes,
+    /// Overwrite opcode bytes at instruction boundaries with bytes no
+    /// mnemonic uses.
+    SpliceOpcode,
+    /// Insert bytes mid-stream, desynchronizing every later
+    /// instruction from the symbol table's idea of where code lives.
+    Desync,
+    /// Forge symbols: lengths that spill into neighbours, entries
+    /// pointing outside the text section, overlaps.
+    ForgeSymbols,
+    /// Duplicate and alias existing symbols.
+    DuplicateSymbols,
+    /// Flip random bits in the serialized debug section.
+    CorruptDebug,
+    /// Semantically corrupt parseable debug info so it *lies*:
+    /// dangling type references, absurd array counts.
+    LyingDebug,
+    /// Cut the debug section short.
+    TruncateDebug,
+    /// Append junk bytes past the last symbol's end.
+    JunkPadding,
+}
+
+impl MutationKind {
+    /// Every corruption family, in a fixed order (the fuzz loop cycles
+    /// through this).
+    pub const ALL: [MutationKind; 10] = [
+        MutationKind::TruncateText,
+        MutationKind::FlipBytes,
+        MutationKind::SpliceOpcode,
+        MutationKind::Desync,
+        MutationKind::ForgeSymbols,
+        MutationKind::DuplicateSymbols,
+        MutationKind::CorruptDebug,
+        MutationKind::LyingDebug,
+        MutationKind::TruncateDebug,
+        MutationKind::JunkPadding,
+    ];
+
+    /// Stable lowercase identifier, used in reproducer files.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::TruncateText => "truncate-text",
+            MutationKind::FlipBytes => "flip-bytes",
+            MutationKind::SpliceOpcode => "splice-opcode",
+            MutationKind::Desync => "desync",
+            MutationKind::ForgeSymbols => "forge-symbols",
+            MutationKind::DuplicateSymbols => "duplicate-symbols",
+            MutationKind::CorruptDebug => "corrupt-debug",
+            MutationKind::LyingDebug => "lying-debug",
+            MutationKind::TruncateDebug => "truncate-debug",
+            MutationKind::JunkPadding => "junk-padding",
+        }
+    }
+
+    /// Parses [`MutationKind::name`] back into a kind.
+    pub fn from_name(name: &str) -> Option<MutationKind> {
+        MutationKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for MutationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Machine-readable record of one applied mutation. Together with the
+/// source binary, `(kind, seed)` regenerates the mutant exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mutation {
+    /// The corruption family applied.
+    pub kind: MutationKind,
+    /// Seed the mutator ran with.
+    pub seed: u64,
+    /// Name of the binary that was mutated.
+    pub binary: String,
+    /// What exactly was damaged (offsets, counts, values).
+    pub detail: String,
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} seed={} on {}: {}",
+            self.kind, self.seed, self.binary, self.detail
+        )
+    }
+}
+
+/// The smallest byte value that is not a valid opcode.
+fn first_invalid_opcode() -> u8 {
+    debug_assert!(
+        Mnemonic::ALL.len() < 0x100,
+        "need at least one invalid byte"
+    );
+    Mnemonic::ALL.len().min(0xFF) as u8
+}
+
+/// Applies `kind` to a copy of `binary`, deterministically from
+/// `seed`. The source binary is never modified; the returned
+/// [`Mutation`] describes the damage.
+pub fn mutate(binary: &Binary, kind: MutationKind, seed: u64) -> (Binary, Mutation) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = binary.clone();
+    let detail = match kind {
+        MutationKind::TruncateText => truncate_text(&mut out, &mut rng),
+        MutationKind::FlipBytes => flip_bytes(&mut out, &mut rng),
+        MutationKind::SpliceOpcode => splice_opcode(&mut out, &mut rng),
+        MutationKind::Desync => desync(&mut out, &mut rng),
+        MutationKind::ForgeSymbols => forge_symbols(&mut out, &mut rng),
+        MutationKind::DuplicateSymbols => duplicate_symbols(&mut out, &mut rng),
+        MutationKind::CorruptDebug => corrupt_debug(&mut out, &mut rng),
+        MutationKind::LyingDebug => lying_debug(&mut out, &mut rng),
+        MutationKind::TruncateDebug => truncate_debug(&mut out, &mut rng),
+        MutationKind::JunkPadding => junk_padding(&mut out, &mut rng),
+    };
+    let mutation = Mutation {
+        kind,
+        seed,
+        binary: binary.name.clone(),
+        detail,
+    };
+    (out, mutation)
+}
+
+fn truncate_text(bin: &mut Binary, rng: &mut StdRng) -> String {
+    if bin.text.is_empty() {
+        return "text already empty; unchanged".into();
+    }
+    let keep = rng.gen_range(0..bin.text.len());
+    bin.text.truncate(keep);
+    format!("text truncated to {keep} byte(s)")
+}
+
+fn flip_bytes(bin: &mut Binary, rng: &mut StdRng) -> String {
+    if bin.text.is_empty() {
+        return "text empty; unchanged".into();
+    }
+    let n = rng.gen_range(1..=8usize);
+    let mut sites = Vec::with_capacity(n);
+    for _ in 0..n {
+        let at = rng.gen_range(0..bin.text.len());
+        let bit = rng.gen_range(0..8u8);
+        bin.text[at] ^= 1 << bit;
+        sites.push(format!("{at}:{bit}"));
+    }
+    format!("flipped {n} bit(s) at offset:bit {}", sites.join(","))
+}
+
+fn splice_opcode(bin: &mut Binary, rng: &mut StdRng) -> String {
+    if bin.text.is_empty() {
+        return "text empty; unchanged".into();
+    }
+    // Prefer real instruction boundaries so the splice lands on an
+    // opcode position; on undecodable input fall back to random sites.
+    let boundaries: Vec<usize> = match codec::linear_sweep(&bin.text, bin.text_base) {
+        Ok(insns) => insns
+            .iter()
+            .map(|l| (l.addr - bin.text_base) as usize)
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    let lo = u32::from(first_invalid_opcode());
+    let n = rng.gen_range(1..=3usize);
+    let mut sites = Vec::with_capacity(n);
+    for _ in 0..n {
+        let at = if boundaries.is_empty() {
+            rng.gen_range(0..bin.text.len())
+        } else {
+            boundaries[rng.gen_range(0..boundaries.len())]
+        };
+        let byte = rng.gen_range(lo..256) as u8;
+        bin.text[at] = byte;
+        sites.push(format!("{at}=0x{byte:02x}"));
+    }
+    format!("spliced {n} invalid opcode(s) at {}", sites.join(","))
+}
+
+fn desync(bin: &mut Binary, rng: &mut StdRng) -> String {
+    if bin.text.is_empty() {
+        return "text empty; unchanged".into();
+    }
+    let at = rng.gen_range(0..bin.text.len());
+    let n = rng.gen_range(1..=3usize);
+    let inserted: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+    for (i, b) in inserted.iter().enumerate() {
+        bin.text.insert(at + i, *b);
+    }
+    // Symbols are left pointing at the old addresses — that is the
+    // point: every instruction after the insertion is desynchronized
+    // from the metadata.
+    format!("inserted {n} byte(s) at offset {at}; symbols left stale")
+}
+
+fn forge_symbols(bin: &mut Binary, rng: &mut StdRng) -> String {
+    let mut actions = Vec::new();
+    if let Some(i) = pick_index(bin.symbols.len(), rng) {
+        let spill = rng.gen_range(1..64u64);
+        bin.symbols[i].len += spill;
+        actions.push(format!("symbol#{i} len +{spill} (spills)"));
+    }
+    let ghost_addr = bin.text_base + bin.text.len() as u64 + rng.gen_range(0..4096u64);
+    let ghost_len = rng.gen_range(1..128u64);
+    bin.symbols.push(Symbol {
+        name: "forged_ghost".into(),
+        addr: ghost_addr,
+        len: ghost_len,
+    });
+    actions.push(format!(
+        "ghost symbol @{ghost_addr:#x}+{ghost_len} beyond text"
+    ));
+    if let Some(i) = pick_index(bin.symbols.len().saturating_sub(1), rng) {
+        let base = &bin.symbols[i];
+        let overlap = Symbol {
+            name: "forged_overlap".into(),
+            addr: base.addr + base.len / 2,
+            len: base.len.max(2),
+        };
+        actions.push(format!(
+            "overlap symbol @{:#x}+{} inside symbol#{i}",
+            overlap.addr, overlap.len
+        ));
+        bin.symbols.push(overlap);
+    }
+    actions.join("; ")
+}
+
+fn duplicate_symbols(bin: &mut Binary, rng: &mut StdRng) -> String {
+    if bin.symbols.is_empty() {
+        return "no symbols; unchanged".into();
+    }
+    let n = rng.gen_range(1..=2usize).min(bin.symbols.len());
+    let mut actions = Vec::with_capacity(n * 2);
+    for _ in 0..n {
+        let i = rng.gen_range(0..bin.symbols.len());
+        let dup = bin.symbols[i].clone();
+        actions.push(format!("duplicated symbol#{i} ({})", dup.name));
+        bin.symbols.push(dup);
+        let mut alias = bin.symbols[i].clone();
+        alias.name = format!("{}__alias", alias.name);
+        alias.len = alias.len.saturating_add(rng.gen_range(0..8u64));
+        actions.push(format!("aliased symbol#{i} as {}", alias.name));
+        bin.symbols.push(alias);
+    }
+    actions.join("; ")
+}
+
+fn corrupt_debug(bin: &mut Binary, rng: &mut StdRng) -> String {
+    let Some(debug) = bin.debug.as_mut() else {
+        return "no debug section; unchanged".into();
+    };
+    if debug.is_empty() {
+        return "debug section empty; unchanged".into();
+    }
+    let n = rng.gen_range(1..=8usize);
+    let mut sites = Vec::with_capacity(n);
+    for _ in 0..n {
+        let at = rng.gen_range(0..debug.len());
+        let bit = rng.gen_range(0..8u8);
+        debug[at] ^= 1 << bit;
+        sites.push(format!("{at}:{bit}"));
+    }
+    format!("flipped {n} debug bit(s) at offset:bit {}", sites.join(","))
+}
+
+fn lying_debug(bin: &mut Binary, rng: &mut StdRng) -> String {
+    let Some(bytes) = bin.debug.as_ref() else {
+        return "no debug section; unchanged".into();
+    };
+    let Ok(mut di) = DebugInfo::parse(bytes) else {
+        // Already unparseable: fall back to making it worse.
+        return corrupt_debug(bin, rng);
+    };
+    let lie = rng.gen_range(0..3u8);
+    let detail = match lie {
+        0 => {
+            // Point a variable's type outside the definition tables.
+            let dangling = di.types.structs.len() as u32 + rng.gen_range(1..100u32);
+            let target = di
+                .functions
+                .iter_mut()
+                .flat_map(|f| f.vars.iter_mut())
+                .next();
+            match target {
+                Some(var) => {
+                    var.ty = CType::Struct(dangling);
+                    format!("first variable retyped to dangling struct#{dangling}")
+                }
+                None => "no variables to retype; unchanged".into(),
+            }
+        }
+        1 => {
+            // Declare an array so large its size computation would
+            // overflow a careless implementation.
+            let count = u32::MAX - rng.gen_range(0..16u32);
+            let target = di
+                .functions
+                .iter_mut()
+                .flat_map(|f| f.vars.iter_mut())
+                .next();
+            match target {
+                Some(var) => {
+                    var.ty = CType::Array(Box::new(var.ty.clone()), count);
+                    format!("first variable wrapped in absurd array[{count}]")
+                }
+                None => "no variables to retype; unchanged".into(),
+            }
+        }
+        _ => {
+            // Corrupt a struct member to reference a missing union.
+            let dangling = di.types.structs.len() as u32 + rng.gen_range(1..100u32);
+            let target = di
+                .types
+                .structs
+                .iter_mut()
+                .flat_map(|s| s.members.iter_mut())
+                .next();
+            match target {
+                Some(member) => {
+                    member.ty = CType::Union(dangling);
+                    format!("first struct member retyped to dangling union#{dangling}")
+                }
+                None => "no struct members to corrupt; unchanged".into(),
+            }
+        }
+    };
+    bin.debug = Some(di.to_bytes());
+    detail
+}
+
+fn truncate_debug(bin: &mut Binary, rng: &mut StdRng) -> String {
+    let Some(debug) = bin.debug.as_mut() else {
+        return "no debug section; unchanged".into();
+    };
+    if debug.is_empty() {
+        return "debug section empty; unchanged".into();
+    }
+    let keep = rng.gen_range(0..debug.len());
+    debug.truncate(keep);
+    format!("debug section truncated to {keep} byte(s)")
+}
+
+fn junk_padding(bin: &mut Binary, rng: &mut StdRng) -> String {
+    let lo = u32::from(first_invalid_opcode());
+    let n = rng.gen_range(1..=16usize);
+    let junk: Vec<u8> = (0..n).map(|_| rng.gen_range(lo..256) as u8).collect();
+    bin.text.extend_from_slice(&junk);
+    format!("appended {n} junk byte(s) past the last symbol")
+}
+
+fn pick_index(len: usize, rng: &mut StdRng) -> Option<usize> {
+    (len > 0).then(|| rng.gen_range(0..len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::build_app;
+    use crate::profile::{CodegenOptions, Compiler, OptLevel};
+    use crate::typedist::AppProfile;
+
+    fn sample() -> Binary {
+        let mut rng = StdRng::seed_from_u64(77);
+        let opts = CodegenOptions {
+            compiler: Compiler::Gcc,
+            opt: OptLevel::O0,
+        };
+        build_app(&AppProfile::new("hostile"), opts, 0.5, &mut rng)
+            .remove(0)
+            .binary
+    }
+
+    #[test]
+    fn every_kind_is_deterministic_and_described() {
+        let bin = sample();
+        for kind in MutationKind::ALL {
+            for seed in [0u64, 1, 99] {
+                let (a, ma) = mutate(&bin, kind, seed);
+                let (b, mb) = mutate(&bin, kind, seed);
+                assert_eq!(a, b, "{kind} seed {seed} not deterministic");
+                assert_eq!(ma, mb);
+                assert!(!ma.detail.is_empty(), "{kind} gave empty detail");
+                assert_eq!(ma.kind, kind);
+                assert_eq!(ma.seed, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_change_the_binary() {
+        // Every family must actually damage this (debug-carrying,
+        // symbol-carrying) binary for at least one seed.
+        let bin = sample();
+        for kind in MutationKind::ALL {
+            let changed = (0..10u64).any(|seed| mutate(&bin, kind, seed).0 != bin);
+            assert!(changed, "{kind} never changed the binary in 10 seeds");
+        }
+    }
+
+    #[test]
+    fn source_binary_is_untouched() {
+        let bin = sample();
+        let copy = bin.clone();
+        for kind in MutationKind::ALL {
+            let _ = mutate(&bin, kind, 3);
+        }
+        assert_eq!(bin, copy);
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in MutationKind::ALL {
+            assert_eq!(MutationKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(MutationKind::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn splice_makes_text_undecodable() {
+        let bin = sample();
+        let (mutant, _) = mutate(&bin, MutationKind::SpliceOpcode, 5);
+        assert!(codec::linear_sweep(&mutant.text, mutant.text_base).is_err());
+    }
+
+    #[test]
+    fn lying_debug_still_serializes() {
+        let bin = sample();
+        let mut lied = 0;
+        for seed in 0..12u64 {
+            let (mutant, m) = mutate(&bin, MutationKind::LyingDebug, seed);
+            let debug = mutant.debug.expect("debug kept");
+            if m.detail.contains("unchanged") {
+                continue;
+            }
+            lied += 1;
+            // The lie is either caught by parse-time validation
+            // (dangling refs) or survives as an absurd-but-parseable
+            // section; both are fair game for the pipeline.
+            let _ = DebugInfo::parse(&debug);
+        }
+        assert!(lied >= 3, "lying mutator rarely fired ({lied}/12)");
+    }
+}

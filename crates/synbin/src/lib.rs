@@ -26,6 +26,7 @@
 pub mod codegen;
 pub mod corpus;
 pub mod gen;
+pub mod hostile;
 pub mod ir;
 pub mod link;
 pub mod profile;
@@ -34,6 +35,7 @@ pub mod typedist;
 pub use codegen::{lower_function, FuncCode, ScalarKind};
 pub use corpus::{build_app, build_corpus, BuiltBinary, Corpus, CorpusConfig};
 pub use gen::generate_program;
+pub use hostile::{mutate, Mutation, MutationKind};
 pub use link::link_program;
 pub use profile::{CodegenOptions, Compiler, OptLevel};
 pub use typedist::{AppProfile, TypeMix};

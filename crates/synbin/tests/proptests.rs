@@ -2,7 +2,10 @@
 //! over seeds, profiles and optimization levels, and its output
 //! satisfies binary-level invariants.
 
-use cati_synbin::{generate_program, link_program, AppProfile, CodegenOptions, Compiler, OptLevel};
+use cati_synbin::{
+    generate_program, link_program, mutate, AppProfile, CodegenOptions, Compiler, MutationKind,
+    OptLevel,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -65,4 +68,37 @@ proptest! {
         }
     }
 
+    #[test]
+    fn mutators_are_deterministic_and_self_describing(
+        seed in any::<u64>(),
+        mutation_seed in any::<u64>(),
+        kind_idx in 0usize..MutationKind::ALL.len(),
+    ) {
+        let profile = AppProfile::new("prop");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = generate_program("p", &profile, &mut rng);
+        let opts = CodegenOptions { compiler: Compiler::Gcc, opt: OptLevel(0) };
+        let binary = link_program(&program, opts, &mut rng);
+        let kind = MutationKind::ALL[kind_idx];
+
+        let (a, ma) = mutate(&binary, kind, mutation_seed);
+        let (b, mb) = mutate(&binary, kind, mutation_seed);
+        // Same seed: identical mutant, identical record.
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&ma, &mb);
+        // Every mutation is machine-readable and attributed.
+        prop_assert_eq!(ma.kind, kind);
+        prop_assert_eq!(ma.seed, mutation_seed);
+        prop_assert_eq!(&ma.binary, &binary.name);
+        prop_assert!(!ma.detail.is_empty(), "{kind} gave an empty detail");
+        // The record roundtrips through serde for reproducer files.
+        let json = serde_json::to_string(&ma).unwrap();
+        let back: cati_synbin::Mutation = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, ma);
+        // Mutators never touch their input.
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let program2 = generate_program("p", &profile, &mut rng2);
+        let binary2 = link_program(&program2, opts, &mut rng2);
+        prop_assert_eq!(binary, binary2);
+    }
 }

@@ -129,6 +129,46 @@ fn golden_retrain_and_save_load_roundtrip() {
 }
 
 #[test]
+fn lenient_mode_is_bit_identical_to_strict_on_clean_binaries() {
+    // The error-path machinery must be invisible on healthy input:
+    // lenient inference routes through the same strict sweep first,
+    // so on an unmutated binary its output — and its coverage
+    // accounting — must match the strict path bit for bit.
+    let corpus = build_corpus(&CorpusConfig::small(13));
+    let (cati, _) = train_with_threads(&corpus, 0);
+    for built in corpus.test.iter().take(3) {
+        let stripped = built.binary.strip();
+        let symbols_only = cati_asm::binary::Binary {
+            debug: None,
+            ..built.binary.clone()
+        };
+        for bin in [&stripped, &symbols_only] {
+            let strict = cati.infer(bin).unwrap();
+            let report = cati.infer_lenient(bin);
+            assert_eq!(
+                report.vars, strict,
+                "{}: lenient inference diverged from strict on clean input",
+                bin.name
+            );
+            assert!(
+                report.diagnostics.is_empty(),
+                "{}: clean binary produced diagnostics: {:?}",
+                bin.name,
+                report.diagnostics
+            );
+            assert!(
+                report.coverage.is_complete(),
+                "{}: clean binary reported incomplete coverage: {:?}",
+                bin.name,
+                report.coverage
+            );
+            assert_eq!(report.coverage.bytes_skipped, 0);
+            assert_eq!(report.coverage.functions_skipped, 0);
+        }
+    }
+}
+
+#[test]
 fn sessions_and_artifact_cache_do_not_change_results() {
     let corpus = build_corpus(&CorpusConfig::small(13));
     let (cati, _) = train_with_threads(&corpus, 0);

@@ -1,0 +1,235 @@
+//! Metamorphic properties of the extraction pipeline (ISSUE 4): known
+//! relations between a binary and a transformed twin that must hold
+//! *exactly*, because every feature CATI consumes is local to a
+//! function body.
+//!
+//! 1. Stripping symbols never changes the extracted VUC windows of
+//!    surviving functions.
+//! 2. Deleting one function's body removes exactly that function's
+//!    variables and nothing else — the remaining votes are
+//!    bit-identical.
+//! 3. Inter-function junk padding changes no vote: the lenient path
+//!    skips exactly the junk and infers the same variables.
+
+use std::sync::OnceLock;
+
+use cati::obs::NOOP;
+use cati::{Cati, Config, PipelineStage};
+use cati_analysis::{
+    extract, split_functions, symbol_byte_ranges, Extraction, FeatureView, Variable,
+};
+use cati_asm::binary::Binary;
+use cati_dwarf::DebugInfo;
+use cati_synbin::{build_corpus, Corpus, CorpusConfig};
+
+fn trained() -> &'static (Cati, Corpus) {
+    static CELL: OnceLock<(Cati, Corpus)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let corpus = build_corpus(&CorpusConfig::small(29));
+        let n = corpus.train.len().min(4);
+        let cati = Cati::train(&corpus.train[..n], &Config::small(), &NOOP);
+        (cati, corpus)
+    })
+}
+
+/// A binary with its symbol table but no debug section.
+fn symbols_only(bin: &Binary) -> Binary {
+    Binary {
+        debug: None,
+        ..bin.clone()
+    }
+}
+
+/// The VUC windows of one variable, in VUC order.
+fn windows_of(ex: &Extraction, var: &Variable) -> Vec<Vec<cati_asm::generalize::GenInsn>> {
+    var.vucs
+        .iter()
+        .map(|&i| ex.vucs[i as usize].insns.clone())
+        .collect()
+}
+
+#[test]
+fn stripping_symbols_never_changes_vuc_windows() {
+    let (_, corpus) = trained();
+    let mut compared = 0usize;
+    for built in &corpus.test {
+        let bin = &built.binary;
+        let with_syms = symbols_only(bin);
+        let stripped = bin.strip();
+        // Symbol-table splitting and ret-boundary splitting can
+        // legitimately disagree (e.g. tail duplication); the window
+        // property is only claimed where the splits agree.
+        let insns = bin.disassemble().unwrap();
+        if split_functions(&insns, &with_syms) != split_functions(&insns, &stripped) {
+            continue;
+        }
+        let a = extract(&with_syms, FeatureView::Stripped).unwrap();
+        let b = extract(&stripped, FeatureView::Stripped).unwrap();
+        assert_eq!(
+            a.vars, b.vars,
+            "{}: stripping changed recovered variables",
+            bin.name
+        );
+        assert_eq!(
+            a.vucs, b.vucs,
+            "{}: stripping changed VUC windows",
+            bin.name
+        );
+        compared += 1;
+    }
+    assert!(
+        compared >= 3,
+        "only {compared} binaries had agreeing splits; property untested"
+    );
+}
+
+/// Removes the highest-addressed function (text bytes, symbol and
+/// debug record) from `bin` without moving anything else.
+fn drop_last_function(bin: &Binary) -> (Binary, u32) {
+    let last = bin
+        .symbols
+        .iter()
+        .filter(|s| s.addr >= bin.text_base)
+        .max_by_key(|s| s.addr)
+        .expect("binary has no text symbols")
+        .clone();
+    let cut = (last.addr - bin.text_base) as usize;
+    let last_idx = (symbol_byte_ranges(bin).len() - 1) as u32;
+    let mut small = bin.clone();
+    small.text.truncate(cut);
+    small
+        .symbols
+        .retain(|s| s.addr < bin.text_base || s.addr != last.addr);
+    if let Some(debug) = &bin.debug {
+        let mut di = DebugInfo::parse(debug).unwrap();
+        di.functions.retain(|f| f.entry != last.addr);
+        small.debug = Some(di.to_bytes());
+    }
+    (small, last_idx)
+}
+
+#[test]
+fn deleting_a_function_only_removes_its_variables() {
+    let (_, corpus) = trained();
+    for built in corpus.test.iter().take(3) {
+        let bin = &built.binary;
+        let (small, last_idx) = drop_last_function(bin);
+        // The Stripped feature view keeps windows independent of the
+        // symbol table, so the surviving functions' features cannot be
+        // perturbed by the deleted call target.
+        let full = extract(bin, FeatureView::Stripped).unwrap();
+        let cut = extract(&small, FeatureView::Stripped).unwrap();
+        let expected: Vec<&Variable> = full
+            .vars
+            .iter()
+            .filter(|v| v.key.func != last_idx)
+            .collect();
+        assert_eq!(
+            cut.vars.len(),
+            expected.len(),
+            "{}: variable count changed beyond the deleted function",
+            bin.name
+        );
+        for (got, want) in cut.vars.iter().zip(&expected) {
+            assert_eq!(got.key, want.key, "{}: variable identity moved", bin.name);
+            assert_eq!(got.name, want.name);
+            assert_eq!(got.class, want.class);
+            assert_eq!(
+                windows_of(&cut, got),
+                windows_of(&full, want),
+                "{}: windows of a surviving variable changed",
+                bin.name
+            );
+        }
+    }
+}
+
+#[test]
+fn deleting_a_function_keeps_remaining_votes_bit_identical() {
+    let (cati, corpus) = trained();
+    let bin = &corpus.test[0].binary;
+    let (small, last_idx) = drop_last_function(bin);
+    let full = cati.infer(&symbols_only(bin)).unwrap();
+    let cut = cati.infer(&symbols_only(&small)).unwrap();
+    let expected: Vec<_> = full
+        .iter()
+        .filter(|v| v.key.func != last_idx)
+        .cloned()
+        .collect();
+    assert_eq!(
+        cut, expected,
+        "votes of surviving variables changed after deleting one function"
+    );
+}
+
+/// Inserts runs of undecodable bytes between function bodies and
+/// shifts the symbols accordingly; returns the padded binary and the
+/// number of junk bytes inserted.
+fn pad_with_junk(bin: &Binary) -> (Binary, u64) {
+    const JUNK: u8 = 0xFF; // far beyond Mnemonic::ALL: never decodes
+    let ranges = symbol_byte_ranges(bin);
+    let mut text = Vec::with_capacity(bin.text.len() + 8 * ranges.len());
+    let mut symbols: Vec<_> = bin
+        .symbols
+        .iter()
+        .filter(|s| s.addr < bin.text_base)
+        .cloned()
+        .collect();
+    let mut junk_total = 0u64;
+    for (i, &(start, end)) in ranges.iter().enumerate() {
+        if i > 0 {
+            let pad = 1 + (i % 7);
+            text.extend(std::iter::repeat_n(JUNK, pad));
+            junk_total += pad as u64;
+        }
+        let old_addr = bin.text_base + start as u64;
+        let mut sym = bin
+            .symbols
+            .iter()
+            .find(|s| s.addr == old_addr)
+            .expect("range without a symbol")
+            .clone();
+        sym.addr = bin.text_base + text.len() as u64;
+        symbols.push(sym);
+        text.extend_from_slice(&bin.text[start..end]);
+    }
+    text.extend(std::iter::repeat_n(JUNK, 3));
+    junk_total += 3;
+    let padded = Binary {
+        text,
+        symbols,
+        debug: None,
+        ..bin.clone()
+    };
+    (padded, junk_total)
+}
+
+#[test]
+fn junk_padding_between_functions_changes_no_vote() {
+    let (cati, corpus) = trained();
+    let bin = &corpus.test[0].binary;
+    let (padded, junk_total) = pad_with_junk(bin);
+
+    // Strict mode refuses the padded binary with a typed decode error.
+    let err = cati
+        .infer(&padded)
+        .expect_err("junk padding must fail strict inference");
+    assert_eq!(err.stage(), PipelineStage::Decode);
+
+    // Lenient mode skips exactly the junk and nothing else...
+    let report = cati.infer_lenient(&padded);
+    assert_eq!(report.coverage.bytes_total, padded.text.len() as u64);
+    assert_eq!(
+        report.coverage.bytes_skipped, junk_total,
+        "lenient mode skipped something other than the junk"
+    );
+    assert_eq!(report.coverage.functions_skipped, 0);
+    assert!(!report.coverage.is_complete());
+
+    // ...so every vote is bit-identical to the unpadded binary's.
+    let unpadded = cati.infer(&symbols_only(bin)).unwrap();
+    assert_eq!(
+        report.vars, unpadded,
+        "junk between functions changed at least one vote"
+    );
+}
