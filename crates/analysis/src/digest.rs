@@ -58,6 +58,12 @@ impl Fnv128 {
         self.update(&v.to_le_bytes());
     }
 
+    /// Absorbs one `u32` — the framing width of the binary model
+    /// container's header and section-table fields.
+    pub fn update_u32(&mut self, v: u32) {
+        self.update(&v.to_le_bytes());
+    }
+
     /// The final digest.
     pub fn finish(&self) -> Digest {
         Digest(self.0)

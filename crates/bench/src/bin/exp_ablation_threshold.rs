@@ -25,16 +25,13 @@ fn main() {
     let mut per_var: Vec<(TypeClass, Vec<Vec<f32>>)> = Vec::new();
     for (_, ex) in ctx.test.iter() {
         let xs = embed_extraction(ex, &ctx.cati.embedder);
-        let dists: Vec<Vec<f32>> = xs
-            .iter()
-            .map(|x| ctx.cati.stages.leaf_distribution(x))
-            .collect();
+        let dists = ctx.cati.stages.leaf_distributions_batch(&xs);
         for var in &ex.vars {
             let Some(class) = var.class else { continue };
             let vd: Vec<Vec<f32>> = var
                 .vucs
                 .iter()
-                .map(|&v| dists[v as usize].clone())
+                .map(|&v| dists.row(v as usize).to_vec())
                 .collect();
             per_var.push((class, vd));
         }

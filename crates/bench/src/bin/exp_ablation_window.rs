@@ -61,27 +61,18 @@ fn accuracies(
     for (_, ex) in test.iter() {
         let ex: &Extraction = ex;
         let xs = embed_extraction(ex, embedder);
-        let dists: Vec<Vec<f32>> = xs.iter().map(|x| stages.leaf_distribution(x)).collect();
-        for (vuc, dist) in ex.vucs.iter().zip(&dists) {
+        let dists = stages.leaf_distributions_batch(&xs);
+        for (vuc, dist) in ex.vucs.iter().zip(dists.rows_iter()) {
             let Some(class) = vuc.class(&ex.vars) else {
                 continue;
             };
-            let pred = dist
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
+            let pred = cati::argmax(dist);
             vuc_n += 1;
             vuc_ok += u64::from(TypeClass::ALL[pred] == class);
         }
         for var in &ex.vars {
             let Some(class) = var.class else { continue };
-            let vd: Vec<Vec<f32>> = var
-                .vucs
-                .iter()
-                .map(|&v| dists[v as usize].clone())
-                .collect();
+            let vd: Vec<&[f32]> = var.vucs.iter().map(|&v| dists.row(v as usize)).collect();
             let pred = vote(&vd, threshold).class;
             var_n += 1;
             var_ok += u64::from(TypeClass::ALL[pred] == class);

@@ -212,6 +212,36 @@ fn main() {
          {cache_speedup:.2}x cold/warm, outputs bit-identical"
     );
 
+    // Model container: save the trained system as a CATI1 container,
+    // then time a cold load back and verify it round-trips exactly.
+    let model_path = artifacts_dir.join("speed-model.cati");
+    cati.save(&model_path).expect("save model");
+    let model_bytes = std::fs::metadata(&model_path)
+        .expect("model metadata")
+        .len();
+    let t = Instant::now();
+    let loaded = Cati::load(&model_path).expect("load model");
+    let model_load_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(loaded, cati, "loaded model diverged from the saved one");
+
+    // Embedding throughput: VUC rows embedded per second over the
+    // stripped test set (the tensor-build stage of inference).
+    let test_exs: Vec<_> = stripped
+        .iter()
+        .filter_map(|bin| cati_analysis::extract(bin, FeatureView::Stripped).ok())
+        .collect();
+    let t = Instant::now();
+    let embed_rows: usize = test_exs
+        .iter()
+        .map(|ex| cati::dataset::embed_extraction(ex, &cati.embedder).rows())
+        .sum();
+    let embed_s = t.elapsed().as_secs_f64();
+    let embed_rows_per_s = embed_rows as f64 / embed_s.max(1e-9);
+    println!(
+        "model container: {model_bytes} bytes, loads in {model_load_ms:.1} ms; \
+         embedding {embed_rows} rows at {embed_rows_per_s:.0} rows/s"
+    );
+
     let run_json = |r: &Run| {
         json!({
             "threads": r.threads,
@@ -241,6 +271,9 @@ fn main() {
         "cache_cold_hits": cold_hits,
         "cache_warm_hits": warm_hits,
         "cache_outputs_bit_identical": true,
+        "model_bytes": model_bytes,
+        "model_load_ms": model_load_ms,
+        "embed_rows_per_s": embed_rows_per_s,
         "note": if cores == 1 {
             "single-core machine: threads>1 runs oversubscribed, wall-clock speedup not measurable"
         } else {

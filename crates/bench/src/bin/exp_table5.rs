@@ -29,27 +29,19 @@ fn main() {
     for (_, ex) in ctx.test.iter() {
         let xs = embed_extraction(ex, &ctx.cati.embedder);
         // Cache stage distributions for all VUCs.
-        let stage_dists: Vec<(StageId, Vec<Vec<f32>>)> = StageId::ALL
+        let stage_dists: Vec<(StageId, cati::Tensor)> = StageId::ALL
             .iter()
-            .map(|&s| {
-                let d: Vec<Vec<f32>> = xs
-                    .iter()
-                    .map(|x| ctx.cati.stages.stage_probs(s, x))
-                    .collect();
-                (s, d)
-            })
+            .map(|&s| (s, ctx.cati.stages.stage_probs_batch(s, &xs)))
             .collect();
-        let dist_of = |s: StageId, i: usize| -> &Vec<f32> {
-            &stage_dists
+        let dist_of = |s: StageId, i: usize| -> &[f32] {
+            stage_dists
                 .iter()
                 .find(|(x, _)| *x == s)
                 .expect("stage cached")
-                .1[i]
+                .1
+                .row(i)
         };
-        let leaf_dists: Vec<Vec<f32>> = xs
-            .iter()
-            .map(|x| ctx.cati.stages.leaf_distribution(x))
-            .collect();
+        let leaf_dists = ctx.cati.stages.leaf_distributions_batch(&xs);
 
         for var in &ex.vars {
             let Some(class) = var.class else { continue };
@@ -57,20 +49,20 @@ fn main() {
             support[ci] += 1;
             // Per-stage voted prediction along the truth path.
             for (depth, (stage, truth_label)) in StageId::path_of(class).iter().enumerate() {
-                let dists: Vec<Vec<f32>> = var
+                let dists: Vec<&[f32]> = var
                     .vucs
                     .iter()
-                    .map(|&v| dist_of(*stage, v as usize).clone())
+                    .map(|&v| dist_of(*stage, v as usize))
                     .collect();
                 let pred = vote(&dists, ctx.cati.config.vote_threshold).class;
                 stage_n[ci][depth] += 1;
                 stage_ok[ci][depth] += u64::from(pred == *truth_label);
             }
             // Final composed decision.
-            let dists: Vec<Vec<f32>> = var
+            let dists: Vec<&[f32]> = var
                 .vucs
                 .iter()
-                .map(|&v| leaf_dists[v as usize].clone())
+                .map(|&v| leaf_dists.row(v as usize))
                 .collect();
             let pred = vote(&dists, ctx.cati.config.vote_threshold).class;
             final_ok[ci] += u64::from(TypeClass::ALL[pred] == class);

@@ -6,8 +6,9 @@
 //! cati build-corpus --out DIR [--scale S] [--compiler C] [--seed N]
 //! cati disasm BINARY.json [--strip]
 //! cati vars BINARY.json
-//! cati train --corpus DIR --out MODEL.json [--scale S] [--threads N]
-//! cati infer --model MODEL.json BINARY.json [--threads N]
+//! cati train --corpus DIR --out MODEL.cati [--scale S] [--threads N]
+//! cati infer --model MODEL.cati BINARY.json [--threads N]
+//! cati convert --model MODEL --out FILE [--format cati1|json]
 //! cati strip BINARY.json --out STRIPPED.json
 //! ```
 //!
@@ -274,10 +275,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             .get("corpus")
             .ok_or("train requires --corpus DIR")?,
     );
-    let out = args
-        .flags
-        .get("out")
-        .ok_or("train requires --out MODEL.json")?;
+    let out = args.flags.get("out").ok_or("train requires --out MODEL")?;
     let (config, _) = scale_of(args);
     let manifest: Vec<serde_json::Value> = serde_json::from_slice(
         &std::fs::read(corpus_dir.join("manifest.json")).map_err(|e| e.to_string())?,
@@ -738,6 +736,27 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_convert(args: &Args) -> Result<(), String> {
+    let model = args
+        .flags
+        .get("model")
+        .ok_or("convert requires --model MODEL")?;
+    let out = args.flags.get("out").ok_or("convert requires --out FILE")?;
+    let format = args
+        .flags
+        .get("format")
+        .map(String::as_str)
+        .unwrap_or("cati1");
+    let cati = Cati::load(model).map_err(|e| e.to_string())?;
+    match format {
+        "cati1" => cati.save(out).map_err(|e| e.to_string())?,
+        "json" => cati.save_json(out).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown --format `{other}` (want cati1 or json)")),
+    }
+    println!("model converted to {format}: {out}");
+    Ok(())
+}
+
 fn cmd_strip(args: &Args) -> Result<(), String> {
     let path = args
         .positional
@@ -757,10 +776,11 @@ USAGE:
   cati build-corpus --out DIR [--scale small|medium|paper] [--compiler gcc|clang] [--seed N]
   cati disasm BINARY.json [--strip]
   cati vars BINARY.json [--strict|--lenient]
-  cati train --corpus DIR --out MODEL.json [--scale small|medium|paper] [--threads N]
-  cati infer --model MODEL.json BINARY.json [--strict|--lenient] [--json] [--threads N] [--cache-dir DIR]
+  cati train --corpus DIR --out MODEL.cati [--scale small|medium|paper] [--threads N]
+  cati infer --model MODEL.cati BINARY.json [--strict|--lenient] [--json] [--threads N] [--cache-dir DIR]
   cati fuzz [--seed N] [--mutants N] [--budget 60s] [--hang-limit-ms N] [--out DIR] [--replay CASE.json]
   cati report MANIFEST.jsonl [OTHER.jsonl] [--validate]
+  cati convert --model MODEL --out FILE [--format cati1|json]
   cati strip BINARY.json --out STRIPPED.json
 
 Degradation modes (vars and infer):
@@ -790,6 +810,15 @@ fingerprint) so repeated runs skip recomputation; output is
 bit-identical with or without the cache. Cache traffic is reported as
 cache_hits / cache_misses in the run manifest.
 
+Model format:
+  `cati train` writes models as CATI1 — a versioned, checksummed
+  binary container (magic header, section table, flat little-endian
+  f32 weight tensors). `cati infer` and `cati convert` sniff the
+  format from the first bytes, so legacy JSON models keep working.
+  `cati convert` rewrites a model in either direction:
+    cati convert --model old.json --out model.cati             # JSON -> CATI1
+    cati convert --model model.cati --out m.json --format json # CATI1 -> JSON
+
 Telemetry (train and infer):
   --log-format text|json        live event mirror on stderr (default text)
   --log-level error|warn|info|debug
@@ -816,6 +845,7 @@ fn main() -> ExitCode {
         "infer" => cmd_infer(&args),
         "fuzz" => cmd_fuzz(&args),
         "report" => cmd_report(&args),
+        "convert" => cmd_convert(&args),
         "strip" => cmd_strip(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -17,14 +17,17 @@ use cati_analysis::{
 };
 use cati_asm::binary::Binary;
 use cati_embedding::VucEmbedder;
+use cati_nn::Tensor;
 use cati_obs::{Event, Observer};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 /// Bumped whenever the serialized artifact layout changes, so stale
 /// caches are silently misses instead of parse errors. Version 2
-/// added the integrity envelope (payload digest on the first line).
-const FORMAT_VERSION: u32 = 2;
+/// added the integrity envelope (payload digest on the first line);
+/// version 3 switched embedding entries to the framed flat tensor
+/// encoding (`{rows, cols, data}`).
+const FORMAT_VERSION: u32 = 3;
 
 /// A directory of content-addressed extraction/embedding artifacts.
 #[derive(Debug, Clone)]
@@ -179,15 +182,15 @@ impl ArtifactCache {
         embedder: &VucEmbedder,
         ex: &Extraction,
         obs: &dyn Observer,
-    ) -> Vec<Vec<f32>> {
+    ) -> Tensor {
         let file = format!(
             "emb-v{FORMAT_VERSION}-{}-{}-{}.json",
             digest_binary(binary),
             view_tag(view),
             embedder_fingerprint(embedder)
         );
-        if let Some(xs) = self.load::<Vec<Vec<f32>>>(&file, obs) {
-            if xs.len() == ex.vucs.len() {
+        if let Some(xs) = self.load::<Tensor>(&file, obs) {
+            if xs.rows() == ex.vucs.len() {
                 return xs;
             }
         }

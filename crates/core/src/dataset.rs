@@ -5,6 +5,7 @@ use cati_analysis::{extract_observed, Extraction, FeatureView};
 use cati_asm::generalize::generalize;
 use cati_dwarf::{StageId, TypeClass};
 use cati_embedding::VucEmbedder;
+use cati_nn::Tensor;
 use cati_obs::{Event, Observer};
 use cati_synbin::BuiltBinary;
 use rand::rngs::StdRng;
@@ -222,12 +223,21 @@ pub fn stage_dataset(
         .collect()
 }
 
-/// Embeds every VUC of one extraction (inference path).
-pub fn embed_extraction(ex: &Extraction, embedder: &VucEmbedder) -> Vec<Vec<f32>> {
-    ex.vucs
-        .par_iter()
-        .map(|v| embedder.embed_window(&v.insns))
-        .collect()
+/// Embeds every VUC of one extraction (inference path) into one flat
+/// `vucs × (embed_dim·VUC_LEN)` [`Tensor`], one row per VUC. Rows are
+/// filled in parallel; each row is bit-identical to
+/// [`VucEmbedder::embed_window`] on that VUC.
+pub fn embed_extraction(ex: &Extraction, embedder: &VucEmbedder) -> Tensor {
+    let cols = ex
+        .vucs
+        .first()
+        .map_or(0, |v| embedder.embed_dim() * v.insns.len());
+    Tensor::build_rows(
+        ex.vucs.len(),
+        cols,
+        || (),
+        |(), i, row| embedder.embed_window_into(&ex.vucs[i].insns, row),
+    )
 }
 
 /// The class distribution of labeled variables, indexed by

@@ -73,22 +73,15 @@ impl DebinTask {
         let mut correct = 0u64;
         let mut total = 0u64;
         for ex in extractions {
-            let xs: Vec<Vec<f32>> = ex
-                .vucs
-                .par_iter()
-                .map(|v| embedder.embed_window(&v.insns))
-                .collect();
+            let xs = crate::dataset::embed_extraction(ex, embedder);
             let dists = self.model.predict_batch(&xs);
             for var in &ex.vars {
                 let Some(truth) = var.debin else { continue };
                 if var.vucs.is_empty() {
                     continue;
                 }
-                let var_dists: Vec<&[f32]> = var
-                    .vucs
-                    .iter()
-                    .map(|&v| dists[v as usize].as_slice())
-                    .collect();
+                let var_dists: Vec<&[f32]> =
+                    var.vucs.iter().map(|&v| dists.row(v as usize)).collect();
                 let pred = vote(&var_dists, self.threshold).class;
                 total += 1;
                 correct += u64::from(pred == truth.index());

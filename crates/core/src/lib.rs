@@ -45,6 +45,7 @@ pub mod config;
 pub mod dataset;
 pub mod debin;
 pub mod metrics;
+pub mod model_io;
 pub mod multistage;
 pub mod occlusion;
 pub mod pipeline;
@@ -54,11 +55,13 @@ pub mod vote;
 
 pub use artifact_cache::{embedder_fingerprint, ArtifactCache};
 pub use cati_analysis::{CatiError, Coverage, Diagnostic, Diagnostics, PipelineStage};
+pub use cati_nn::{argmax, Rows, Tensor};
 pub use compiler_id::CompilerId;
 pub use config::Config;
 pub use dataset::{class_histogram, embedding_sentences, Dataset};
 pub use debin::DebinTask;
 pub use metrics::{confusion, Confusion, Prf};
+pub use model_io::{decode_cati1, encode_cati1, is_cati1, CATI1_MAGIC, CATI1_VERSION};
 pub use multistage::MultiStage;
 pub use occlusion::{
     importance_heatmap, occlusion_epsilons, occlusion_epsilons_embedded, ImportanceHeatmap,

@@ -1,0 +1,488 @@
+//! The CATI1 binary model container.
+//!
+//! A trained [`Cati`] used to persist as one serde-JSON blob; loading
+//! it paid a full-text parse of every weight. The CATI1 container
+//! instead stores the weights as named little-endian `f32` tensors and
+//! keeps JSON only for the small structured head (configuration and
+//! vocabulary). Layout (all integers little-endian; see DESIGN.md §12):
+//!
+//! ```text
+//! magic        8 bytes   "CATI1\r\n\0"
+//! version      u32       container version (currently 1)
+//! n_sections   u32
+//! section table, per section:
+//!     name_len u32
+//!     name     name_len bytes (UTF-8)
+//!     offset   u64       absolute file offset of the payload
+//!     len      u64       payload length in bytes
+//!     digest   u128      FNV-1a/128 of the payload
+//! table digest u128      FNV-1a/128 over magic, version, count and
+//!                        every table entry (names length-prefixed)
+//! payloads     concatenated section payloads, in table order
+//! ```
+//!
+//! Two sections: `meta` (JSON: pipeline config, Word2Vec config,
+//! vocabulary, and the `(stage, cnn-config)` list) and `tensors`
+//! (binary: tensor count, then per tensor a length-prefixed name, a
+//! u64 element count, and the raw `f32` data). Tensor names are
+//! `w2v.input`, `w2v.output`, and `stage.<stage>.p0`‥`p7` in
+//! [`TextCnn::params`] order. Every write is a pure function of the
+//! model, so re-saving an unchanged model is byte-identical.
+//!
+//! [`load_model`] sniffs the format: CATI1 by magic, legacy JSON by a
+//! leading `{`; anything else fails with a hex preview of the first
+//! bytes. Loaded models are bit-identical to what was saved, whichever
+//! format carried them.
+
+use crate::pipeline::Cati;
+use cati_analysis::{digest_bytes, Fnv128};
+use cati_dwarf::StageId;
+use cati_embedding::{Vocab, VucEmbedder, W2vConfig, Word2Vec};
+use cati_nn::{TextCnn, TextCnnConfig};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// The 8-byte CATI1 magic. The `\r\n` catches newline-translating
+/// transports, the trailing NUL catches C-string truncation.
+pub const CATI1_MAGIC: [u8; 8] = *b"CATI1\r\n\0";
+
+/// Container format version written by [`encode_cati1`].
+pub const CATI1_VERSION: u32 = 1;
+
+/// Whether `bytes` carry the CATI1 magic.
+pub fn is_cati1(bytes: &[u8]) -> bool {
+    bytes.starts_with(&CATI1_MAGIC)
+}
+
+// ---------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------
+
+/// The named flat weight tensors of a trained system, in the fixed
+/// container order.
+fn weight_tensors(cati: &Cati) -> Vec<(String, Vec<f32>)> {
+    let model = cati.embedder.model();
+    let mut tensors = vec![
+        ("w2v.input".to_string(), model.input_matrix().to_vec()),
+        ("w2v.output".to_string(), model.output_matrix().to_vec()),
+    ];
+    for (stage, cnn) in cati.stages.models() {
+        for (k, t) in cnn.params().into_iter().enumerate() {
+            tensors.push((format!("stage.{stage}.p{k}"), t.to_vec()));
+        }
+    }
+    tensors
+}
+
+/// The `meta` section payload: everything except the weights, as JSON.
+fn meta_blob(cati: &Cati) -> Vec<u8> {
+    let model = cati.embedder.model();
+    let mut m = serde::Map::new();
+    m.insert("config".to_string(), cati.config.to_value());
+    m.insert("w2v".to_string(), model.cfg.to_value());
+    m.insert("vocab".to_string(), model.vocab.to_value());
+    let stages: Vec<serde::Value> = cati
+        .stages
+        .models()
+        .iter()
+        .map(|(stage, cnn)| {
+            let mut s = serde::Map::new();
+            s.insert("stage".to_string(), stage.to_value());
+            s.insert("cfg".to_string(), cnn.cfg.to_value());
+            serde::Value::Object(s)
+        })
+        .collect();
+    m.insert("stages".to_string(), serde::Value::Array(stages));
+    serde_json::to_vec(&serde::Value::Object(m)).unwrap_or_default()
+}
+
+/// The `tensors` section payload: count, then per tensor a
+/// length-prefixed name, a u64 element count, and raw LE `f32` data.
+fn tensor_blob(tensors: &[(String, Vec<f32>)]) -> Vec<u8> {
+    let floats: usize = tensors.iter().map(|(_, t)| t.len()).sum();
+    let mut out = Vec::with_capacity(4 + floats * 4 + tensors.len() * 24);
+    out.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
+    for (name, data) in tensors {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        for v in data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Encodes a trained system as a CATI1 container.
+pub fn encode_cati1(cati: &Cati) -> Vec<u8> {
+    let sections: Vec<(&str, Vec<u8>)> = vec![
+        ("meta", meta_blob(cati)),
+        ("tensors", tensor_blob(&weight_tensors(cati))),
+    ];
+    let table_len: usize = sections.iter().map(|(n, _)| 4 + n.len() + 8 + 8 + 16).sum();
+    let header_len = CATI1_MAGIC.len() + 4 + 4 + table_len + 16;
+    let payload_len: usize = sections.iter().map(|(_, p)| p.len()).sum();
+    let mut out = Vec::with_capacity(header_len + payload_len);
+    out.extend_from_slice(&CATI1_MAGIC);
+    out.extend_from_slice(&CATI1_VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    let mut hasher = Fnv128::new();
+    hasher.update(&CATI1_MAGIC);
+    hasher.update_u32(CATI1_VERSION);
+    hasher.update_u32(sections.len() as u32);
+    let mut offset = header_len as u64;
+    for (name, payload) in &sections {
+        let digest = digest_bytes(payload);
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&digest.0.to_le_bytes());
+        hasher.update_field(name.as_bytes());
+        hasher.update_u64(offset);
+        hasher.update_u64(payload.len() as u64);
+        hasher.update(&digest.0.to_le_bytes());
+        offset += payload.len() as u64;
+    }
+    out.extend_from_slice(&hasher.finish().0.to_le_bytes());
+    for (_, payload) in &sections {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+// ---------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------
+
+/// A bounds-checked byte reader over the container.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(format!(
+                "truncated container: {what} needs {n} bytes at offset {}, file has {}",
+                self.pos,
+                self.bytes.len()
+            )),
+        }
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let b = self.take(8, what)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn u128(&mut self, what: &str) -> Result<u128, String> {
+        let b = self.take(16, what)?;
+        let mut buf = [0u8; 16];
+        buf.copy_from_slice(b);
+        Ok(u128::from_le_bytes(buf))
+    }
+
+    fn name(&mut self, what: &str) -> Result<String, String> {
+        let len = self.u32(what)? as usize;
+        if len > 4096 {
+            return Err(format!("{what} name length {len} is implausible"));
+        }
+        String::from_utf8(self.take(len, what)?.to_vec())
+            .map_err(|e| format!("{what} name is not UTF-8: {e}"))
+    }
+}
+
+/// Splits the container into verified `(name, payload)` sections: the
+/// table checksum, every section's bounds, and every section's payload
+/// checksum must all hold.
+fn read_sections(bytes: &[u8]) -> Result<Vec<(String, &[u8])>, String> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    cur.take(CATI1_MAGIC.len(), "magic")?;
+    let version = cur.u32("container version")?;
+    if version != CATI1_VERSION {
+        return Err(format!(
+            "unsupported CATI1 container version {version} (this build reads {CATI1_VERSION})"
+        ));
+    }
+    let count = cur.u32("section count")?;
+    if count == 0 || count > 64 {
+        return Err(format!("implausible section count {count}"));
+    }
+    let mut hasher = Fnv128::new();
+    hasher.update(&CATI1_MAGIC);
+    hasher.update_u32(version);
+    hasher.update_u32(count);
+    let mut table = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let name = cur.name("section")?;
+        let offset = cur.u64("section offset")?;
+        let len = cur.u64("section length")?;
+        let digest = cur.u128("section digest")?;
+        hasher.update_field(name.as_bytes());
+        hasher.update_u64(offset);
+        hasher.update_u64(len);
+        hasher.update(&digest.to_le_bytes());
+        table.push((name, offset, len, digest));
+    }
+    let recorded = cur.u128("table digest")?;
+    if hasher.finish().0 != recorded {
+        return Err("section table checksum mismatch (corrupt header)".to_string());
+    }
+    let mut sections = Vec::with_capacity(table.len());
+    for (name, offset, len, digest) in table {
+        let end = offset.checked_add(len).filter(|&e| e <= bytes.len() as u64);
+        let Some(end) = end else {
+            return Err(format!(
+                "section {name} out of bounds: bytes {offset}..{} of a {}-byte file",
+                offset.saturating_add(len),
+                bytes.len()
+            ));
+        };
+        let payload = &bytes[offset as usize..end as usize];
+        if digest_bytes(payload).0 != digest {
+            return Err(format!("section {name} checksum mismatch"));
+        }
+        sections.push((name, payload));
+    }
+    Ok(sections)
+}
+
+/// Parses the `tensors` payload into name → flat floats.
+fn read_tensors(payload: &[u8]) -> Result<HashMap<String, Vec<f32>>, String> {
+    let mut cur = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let count = cur.u32("tensor count")?;
+    let mut tensors = HashMap::with_capacity(count as usize);
+    for _ in 0..count {
+        let name = cur.name("tensor")?;
+        let floats = cur.u64(&format!("tensor {name} length"))? as usize;
+        let n = floats
+            .checked_mul(4)
+            .ok_or_else(|| format!("tensor {name} length {floats} overflows"))?;
+        let data = cur.take(n, &format!("tensor {name} data"))?;
+        let values = data
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        tensors.insert(name, values);
+    }
+    Ok(tensors)
+}
+
+fn take_tensor(tensors: &mut HashMap<String, Vec<f32>>, name: &str) -> Result<Vec<f32>, String> {
+    tensors
+        .remove(name)
+        .ok_or_else(|| format!("missing tensor {name}"))
+}
+
+/// Decodes a CATI1 container back into a trained system.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found:
+/// truncation, checksum mismatch, a missing section or tensor, or a
+/// tensor whose shape disagrees with the recorded configuration.
+pub fn decode_cati1(bytes: &[u8]) -> Result<Cati, String> {
+    let sections = read_sections(bytes)?;
+    let payload = |name: &str| -> Result<&[u8], String> {
+        sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, p)| p)
+            .ok_or_else(|| format!("missing section {name}"))
+    };
+    let meta: serde::Value = serde_json::from_slice(payload("meta")?)
+        .map_err(|e| format!("meta section is not valid JSON: {e}"))?;
+    let meta = serde::as_object_for(&meta, "CATI1 meta").map_err(|e| e.to_string())?;
+    let config: crate::config::Config =
+        serde::field(meta, "config", "CATI1 meta").map_err(|e| e.to_string())?;
+    let w2v_cfg: W2vConfig = serde::field(meta, "w2v", "CATI1 meta").map_err(|e| e.to_string())?;
+    let vocab: Vocab = serde::field(meta, "vocab", "CATI1 meta").map_err(|e| e.to_string())?;
+    let stage_vals: Vec<serde::Value> =
+        serde::field(meta, "stages", "CATI1 meta").map_err(|e| e.to_string())?;
+
+    let mut tensors = read_tensors(payload("tensors")?)?;
+    let input = take_tensor(&mut tensors, "w2v.input")?;
+    let output = take_tensor(&mut tensors, "w2v.output")?;
+    let w2v = Word2Vec::from_parts(vocab, w2v_cfg, input, output)?;
+
+    let mut models = Vec::with_capacity(stage_vals.len());
+    for v in &stage_vals {
+        let m = serde::as_object_for(v, "CATI1 stage entry").map_err(|e| e.to_string())?;
+        let stage: StageId =
+            serde::field(m, "stage", "CATI1 stage entry").map_err(|e| e.to_string())?;
+        let cfg: TextCnnConfig =
+            serde::field(m, "cfg", "CATI1 stage entry").map_err(|e| e.to_string())?;
+        let params = (0..8)
+            .map(|k| take_tensor(&mut tensors, &format!("stage.{stage}.p{k}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let cnn = TextCnn::from_params(cfg, &params).map_err(|e| format!("stage {stage}: {e}"))?;
+        models.push((stage, cnn));
+    }
+    if !tensors.is_empty() {
+        let mut extra: Vec<&String> = tensors.keys().collect();
+        extra.sort();
+        return Err(format!("unexpected tensors in container: {extra:?}"));
+    }
+    Ok(Cati {
+        config,
+        embedder: VucEmbedder::new(w2v),
+        stages: crate::multistage::MultiStage::from_models(models),
+    })
+}
+
+// ---------------------------------------------------------------
+// File I/O
+// ---------------------------------------------------------------
+
+/// Writes `bytes` to `path` atomically (tmp + rename), annotating
+/// failures with the path and payload size.
+pub(crate) fn save_bytes_atomic(bytes: &[u8], path: &Path) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!(
+                "write model ({} bytes) to {}: {e}",
+                bytes.len(),
+                tmp.display()
+            ),
+        )
+    })?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("rename {} -> {}: {e}", tmp.display(), path.display()),
+        )
+    })
+}
+
+/// Saves a trained system to `path` as a CATI1 container (atomically).
+pub(crate) fn save_cati1(cati: &Cati, path: &Path) -> std::io::Result<()> {
+    save_bytes_atomic(&encode_cati1(cati), path)
+}
+
+/// Loads a model file in either supported format, sniffing the bytes:
+/// the CATI1 magic selects the binary container, a leading `{` (after
+/// whitespace) the legacy JSON blob. Anything else fails with a hex
+/// preview of the first bytes and a format hint.
+pub(crate) fn load_model(path: &Path) -> std::io::Result<Cati> {
+    let bytes = std::fs::read(path).map_err(|e| {
+        std::io::Error::new(e.kind(), format!("read model {}: {e}", path.display()))
+    })?;
+    let parse_err = |detail: String| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "parse model {} ({} bytes): {detail}",
+                path.display(),
+                bytes.len()
+            ),
+        )
+    };
+    if is_cati1(&bytes) {
+        decode_cati1(&bytes).map_err(parse_err)
+    } else if bytes.iter().copied().find(|b| !b.is_ascii_whitespace()) == Some(b'{') {
+        serde_json::from_slice(&bytes).map_err(|e| parse_err(e.to_string()))
+    } else {
+        let preview: Vec<String> = bytes.iter().take(8).map(|b| format!("{b:02x}")).collect();
+        Err(parse_err(format!(
+            "unrecognized model format (first bytes: {}); expected CATI1 magic or JSON model",
+            preview.join(" ")
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use cati_synbin::{build_corpus, CorpusConfig};
+
+    fn tiny_cati() -> Cati {
+        let corpus = build_corpus(&CorpusConfig::small(29));
+        Cati::train(&corpus.train[..2], &Config::small(), &cati_obs::NOOP)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_exact_and_deterministic() {
+        let cati = tiny_cati();
+        let bytes = encode_cati1(&cati);
+        assert!(is_cati1(&bytes));
+        assert_eq!(
+            bytes,
+            encode_cati1(&cati),
+            "encoding must be a pure function"
+        );
+        let back = decode_cati1(&bytes).unwrap();
+        assert_eq!(back, cati, "container roundtrip must be bit-exact");
+        assert_eq!(
+            encode_cati1(&back),
+            bytes,
+            "re-encoding must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let cati = tiny_cati();
+        let mut bytes = encode_cati1(&cati);
+        // Flip a bit in the first table entry's offset field (magic 8
+        // + version 4 + count 4 + name_len 4 + "meta" 4 = offset 24):
+        // the table checksum must catch it.
+        bytes[24] ^= 1;
+        let err = decode_cati1(&bytes).expect_err("corrupt header must not decode");
+        assert!(err.contains("checksum"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn truncated_section_is_rejected_with_bounds_context() {
+        let cati = tiny_cati();
+        let bytes = encode_cati1(&cati);
+        let cut = bytes.len() - bytes.len() / 4;
+        let err = decode_cati1(&bytes[..cut]).expect_err("truncated container must not decode");
+        assert!(
+            err.contains("out of bounds") || err.contains("truncated"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn tampered_payload_fails_its_section_checksum() {
+        let cati = tiny_cati();
+        let mut bytes = encode_cati1(&cati);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let err = decode_cati1(&bytes).expect_err("tampered payload must not decode");
+        assert!(err.contains("checksum mismatch"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let cati = tiny_cati();
+        let mut bytes = encode_cati1(&cati);
+        bytes[CATI1_MAGIC.len()] = 9;
+        let err = decode_cati1(&bytes).expect_err("future version must not decode");
+        assert!(err.contains("version 9"), "unexpected error: {err}");
+    }
+}

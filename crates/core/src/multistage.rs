@@ -4,7 +4,7 @@ use crate::config::Config;
 use crate::dataset::{stage_dataset, Dataset};
 use cati_dwarf::{StageId, TypeClass};
 use cati_embedding::VucEmbedder;
-use cati_nn::{Adam, TextCnn, TextCnnConfig, TrainHook};
+use cati_nn::{argmax, Adam, Rows, Tensor, TextCnn, TextCnnConfig, TrainHook};
 use cati_obs::{Event, Level, Observer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -148,6 +148,18 @@ impl MultiStage {
         MultiStage { models }
     }
 
+    /// Reassembles the tree from `(stage, model)` pairs — the binary
+    /// model-container loading path. Order is preserved; callers are
+    /// expected to supply every stage of [`StageId::ALL`].
+    pub fn from_models(models: Vec<(StageId, TextCnn)>) -> MultiStage {
+        MultiStage { models }
+    }
+
+    /// The `(stage, model)` pairs, in training order.
+    pub fn models(&self) -> &[(StageId, TextCnn)] {
+        &self.models
+    }
+
     /// The model for one stage.
     ///
     /// # Panics
@@ -169,43 +181,40 @@ impl MultiStage {
     }
 
     /// Per-stage class probabilities for a batch of embedded VUCs
-    /// (one batched CNN pass; workspaces shared per worker shard).
-    pub fn stage_probs_batch<X: AsRef<[f32]> + Sync>(
-        &self,
-        stage: StageId,
-        xs: &[X],
-    ) -> Vec<Vec<f32>> {
+    /// (one batched CNN pass; workspaces shared per worker), one
+    /// `stage.num_classes()` row per input row. Inputs are anything
+    /// implementing [`Rows`] — the session's flat tensor or a borrowed
+    /// row subset.
+    pub fn stage_probs_batch<R: Rows + ?Sized>(&self, stage: StageId, xs: &R) -> Tensor {
         self.stage(stage).predict_batch(xs)
     }
 
     /// Leaf distributions of a whole batch of embedded VUCs: one
     /// batched pass per stage, then the per-sample root-to-leaf
-    /// products. Row `i` equals `leaf_distribution(&xs[i])`.
-    pub fn leaf_distributions_batch<X: AsRef<[f32]> + Sync>(&self, xs: &[X]) -> Vec<Vec<f32>> {
-        let per_stage: Vec<(StageId, Vec<Vec<f32>>)> = StageId::ALL
+    /// products, as an `n × 19` tensor. Row `i` equals
+    /// `leaf_distribution(xs row i)`.
+    pub fn leaf_distributions_batch<R: Rows + ?Sized>(&self, xs: &R) -> Tensor {
+        let per_stage: Vec<(StageId, Tensor)> = StageId::ALL
             .iter()
             .map(|&s| (s, self.stage_probs_batch(s, xs)))
             .collect();
-        (0..xs.len())
-            .map(|i| {
-                let prob = |stage: StageId, label: usize| -> f32 {
-                    per_stage
-                        .iter()
-                        .find(|(s, _)| *s == stage)
-                        .map(|(_, p)| p[i][label])
-                        .unwrap_or(0.0)
-                };
-                TypeClass::ALL
+        let mut out = Tensor::zeros(xs.count(), TypeClass::ALL.len());
+        for i in 0..xs.count() {
+            let prob = |stage: StageId, label: usize| -> f32 {
+                per_stage
                     .iter()
-                    .map(|&class| {
-                        StageId::path_of(class)
-                            .into_iter()
-                            .map(|(stage, label)| prob(stage, label))
-                            .product()
-                    })
-                    .collect()
-            })
-            .collect()
+                    .find(|(s, _)| *s == stage)
+                    .map(|(_, p)| p.row(i)[label])
+                    .unwrap_or(0.0)
+            };
+            for (slot, &class) in out.row_mut(i).iter_mut().zip(TypeClass::ALL.iter()) {
+                *slot = StageId::path_of(class)
+                    .into_iter()
+                    .map(|(stage, label)| prob(stage, label))
+                    .product();
+            }
+        }
+        out
     }
 
     /// The full 19-class leaf distribution of one embedded VUC: the
@@ -242,13 +251,8 @@ impl MultiStage {
         let mut path = Vec::with_capacity(3);
         loop {
             let probs = self.stage_probs(stage, x);
-            let (label, conf) = probs
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, p)| (i, *p))
-                .expect("non-empty distribution");
-            path.push((stage, label, conf));
+            let label = argmax(&probs);
+            path.push((stage, label, probs[label]));
             if let Some(leaf) = stage.leaf(label) {
                 return (leaf, path);
             }

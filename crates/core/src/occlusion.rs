@@ -11,6 +11,7 @@ use crate::session::EmbeddedExtraction;
 use cati_analysis::VUC_LEN;
 use cati_asm::generalize::GenInsn;
 use cati_dwarf::StageId;
+use cati_nn::argmax;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -34,20 +35,15 @@ pub fn occlusion_epsilons(cati: &Cati, window: &[GenInsn], stage: StageId) -> Ep
 /// a BLANK column carries the same floats wherever it is written.
 pub fn occlusion_epsilons_embedded(cati: &Cati, x: &[f32], len: usize, stage: StageId) -> Epsilons {
     let base_probs = cati.stages.stage_probs(stage, x);
-    let (argmax, base_conf) = base_probs
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, p)| (i, *p))
-        .expect("non-empty distribution");
-    let base_conf = base_conf.max(1e-6);
+    let best = argmax(&base_probs);
+    let base_conf = base_probs[best].max(1e-6);
     let blank = GenInsn::blank();
     (0..len)
         .map(|k| {
             let mut xo = x.to_vec();
             cati.embedder.patch_window_position(&mut xo, len, k, &blank);
             let probs = cati.stages.stage_probs(stage, &xo);
-            probs[argmax] / base_conf
+            probs[best] / base_conf
         })
         .collect()
 }

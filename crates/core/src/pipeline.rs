@@ -15,6 +15,7 @@ use cati_analysis::{
 use cati_asm::binary::Binary;
 use cati_dwarf::{StageId, TypeClass};
 use cati_embedding::{VucEmbedder, Word2Vec};
+use cati_nn::{argmax, Tensor};
 use cati_obs::metrics::UNIT_BUCKETS;
 use cati_obs::{Event, Observer, SpanGuard};
 use cati_synbin::BuiltBinary;
@@ -37,8 +38,8 @@ pub struct Cati {
 /// Per-VUC and per-variable predictions for one extraction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Evaluation {
-    /// Leaf distribution of each VUC (19 classes).
-    pub vuc_dists: Vec<Vec<f32>>,
+    /// Leaf distributions, one 19-class row per VUC.
+    pub vuc_dists: Tensor,
     /// Argmax class of each VUC.
     pub vuc_preds: Vec<TypeClass>,
     /// Voted class of each variable (parallel to `Extraction::vars`).
@@ -161,15 +162,8 @@ impl Cati {
         let ex = session.extraction();
         let vuc_dists = self.stages.leaf_distributions_batch(session.embedded());
         let vuc_preds: Vec<TypeClass> = vuc_dists
-            .iter()
-            .map(|d| {
-                TypeClass::ALL[d
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)]
-            })
+            .rows_iter()
+            .map(|d| TypeClass::ALL[argmax(d)])
             .collect();
         obs.event(&Event::RegisterHistogram {
             name: "vote.confidence",
@@ -185,15 +179,14 @@ impl Cati {
                 let dists: Vec<&[f32]> = var
                     .vucs
                     .iter()
-                    .map(|&v| vuc_dists[v as usize].as_slice())
+                    .map(|&v| vuc_dists.row(v as usize))
                     .collect();
                 let result = vote(&dists, self.config.vote_threshold);
                 clipped += u64::from(result.clipped);
                 considered += (dists.len() * result.totals.len()) as u64;
-                let share = result.totals[result.class] / dists.len() as f32;
                 obs.event(&Event::Observe {
                     name: "vote.confidence",
-                    value: f64::from(share.min(1.0)),
+                    value: f64::from(result.winning_share(dists.len())),
                 });
                 let class = TypeClass::ALL[result.class];
                 votes.push(result);
@@ -309,65 +302,50 @@ impl Cati {
         }
     }
 
-    /// Serializes the trained system to JSON at `path`, atomically:
-    /// the model is written to a `.tmp` sibling and renamed into
-    /// place, so a crash mid-write never leaves a truncated model at
-    /// the target path.
+    /// Serializes the trained system to `path` as a CATI1 binary
+    /// container (see [`crate::model_io`]), atomically: the model is
+    /// written to a `.tmp` sibling and renamed into place, so a crash
+    /// mid-write never leaves a truncated model at the target path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures, each annotated with the path (and
+    /// payload size) involved.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        crate::model_io::save_cati1(self, path.as_ref())
+    }
+
+    /// Serializes the trained system in the legacy JSON format that
+    /// [`Cati::load`] still accepts — kept for migration tooling and
+    /// format-compatibility tests. Written atomically like
+    /// [`Cati::save`].
     ///
     /// # Errors
     ///
     /// Propagates I/O and serialization failures, each annotated with
     /// the path (and payload size) involved.
-    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+    pub fn save_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let path = path.as_ref();
         let json = serde_json::to_vec(self).map_err(|e| {
             std::io::Error::other(format!("serialize model for {}: {e}", path.display()))
         })?;
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, &json).map_err(|e| {
-            std::io::Error::new(
-                e.kind(),
-                format!(
-                    "write model ({} bytes) to {}: {e}",
-                    json.len(),
-                    tmp.display()
-                ),
-            )
-        })?;
-        std::fs::rename(&tmp, path).map_err(|e| {
-            std::io::Error::new(
-                e.kind(),
-                format!("rename {} -> {}: {e}", tmp.display(), path.display()),
-            )
-        })
+        crate::model_io::save_bytes_atomic(&json, path)
     }
 
-    /// Loads a system serialized by [`Cati::save`].
+    /// Loads a system saved by [`Cati::save`] — either a CATI1 binary
+    /// container or a legacy JSON model; the format is sniffed from
+    /// the first bytes.
     ///
     /// # Errors
     ///
-    /// Propagates I/O and deserialization failures. Parse failures are
+    /// Propagates I/O and decoding failures. Parse failures are
     /// reported as [`std::io::ErrorKind::InvalidData`] and carry the
-    /// path, the file size, and the parser's line/column position —
-    /// enough to locate a truncated or corrupted byte without a
-    /// debugger.
+    /// path, the file size, and what failed (truncation bounds,
+    /// checksum mismatches, or the JSON parser's position); a file in
+    /// neither format gets a hex preview of its first bytes and a
+    /// "expected CATI1 magic or JSON model" hint.
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<Cati> {
-        let path = path.as_ref();
-        let bytes = std::fs::read(path).map_err(|e| {
-            std::io::Error::new(e.kind(), format!("read model {}: {e}", path.display()))
-        })?;
-        serde_json::from_slice(&bytes).map_err(|e| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!(
-                    "parse model {} ({} bytes): {e}",
-                    path.display(),
-                    bytes.len()
-                ),
-            )
-        })
+        crate::model_io::load_model(path.as_ref())
     }
 }
 
@@ -381,12 +359,11 @@ fn inferred_vars(ex: &Extraction, eval: &Evaluation) -> Vec<InferredVar> {
         .zip(&eval.votes)
         .map(|((var, &class), result)| {
             // The evaluation already voted this variable (Eq. 4);
-            // reuse its totals for the confidence.
-            let share = result.totals[result.class] / var.vucs.len() as f32;
+            // its winning share IS the confidence.
             InferredVar {
                 key: var.key,
                 class,
-                confidence: share.min(1.0),
+                confidence: result.winning_share(var.vucs.len()),
                 vuc_count: var.vucs.len() as u32,
             }
         })
@@ -418,14 +395,8 @@ pub fn stage_vuc_metrics(
             .collect();
         let sel: Vec<&[f32]> = scored.iter().map(|&(i, _)| session.embedding(i)).collect();
         let probs = cati.stages.stage_probs_batch(stage, &sel);
-        for (&(_, truth), probs) in scored.iter().zip(&probs) {
-            let pred = probs
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            m.record(truth, pred);
+        for (&(_, truth), probs) in scored.iter().zip(probs.rows_iter()) {
+            m.record(truth, argmax(probs));
         }
     }
     (m.weighted_avg(), m)
@@ -451,7 +422,7 @@ pub fn stage_var_metrics(
             let dists: Vec<&[f32]> = var
                 .vucs
                 .iter()
-                .map(|&v| stage_dists[v as usize].as_slice())
+                .map(|&v| stage_dists.row(v as usize))
                 .collect();
             let pred = vote(&dists, cati.config.vote_threshold).class;
             m.record(truth, pred);

@@ -11,6 +11,7 @@
 use crate::dataset::embed_extraction;
 use cati_analysis::Extraction;
 use cati_embedding::VucEmbedder;
+use cati_nn::Tensor;
 use cati_obs::{Event, Observer};
 
 /// An extraction plus the embedded tensor of each of its VUCs
@@ -18,7 +19,7 @@ use cati_obs::{Event, Observer};
 #[derive(Debug, Clone, PartialEq)]
 pub struct EmbeddedExtraction<'a> {
     ex: &'a Extraction,
-    xs: Vec<Vec<f32>>,
+    xs: Tensor,
 }
 
 impl<'a> EmbeddedExtraction<'a> {
@@ -52,12 +53,12 @@ impl<'a> EmbeddedExtraction<'a> {
     /// # Panics
     ///
     /// Panics if `xs` is not parallel to `ex.vucs`.
-    pub fn from_embeddings(ex: &'a Extraction, xs: Vec<Vec<f32>>) -> EmbeddedExtraction<'a> {
+    pub fn from_embeddings(ex: &'a Extraction, xs: Tensor) -> EmbeddedExtraction<'a> {
         assert_eq!(
-            xs.len(),
+            xs.rows(),
             ex.vucs.len(),
-            "one tensor per VUC: got {} tensors for {} VUCs",
-            xs.len(),
+            "one tensor row per VUC: got {} rows for {} VUCs",
+            xs.rows(),
             ex.vucs.len()
         );
         EmbeddedExtraction { ex, xs }
@@ -68,19 +69,20 @@ impl<'a> EmbeddedExtraction<'a> {
         self.ex
     }
 
-    /// All VUC tensors, parallel to `Extraction::vucs`.
-    pub fn embedded(&self) -> &[Vec<f32>] {
+    /// The flat VUC tensor matrix, one row per `Extraction::vucs`
+    /// entry.
+    pub fn embedded(&self) -> &Tensor {
         &self.xs
     }
 
-    /// The tensor of one VUC.
+    /// The tensor row of one VUC.
     pub fn embedding(&self, vuc: usize) -> &[f32] {
-        &self.xs[vuc]
+        self.xs.row(vuc)
     }
 
-    /// Consumes the session, returning the tensors (for handing to
-    /// the artifact cache).
-    pub fn into_embeddings(self) -> Vec<Vec<f32>> {
+    /// Consumes the session, returning the tensor matrix (for handing
+    /// to the artifact cache).
+    pub fn into_embeddings(self) -> Tensor {
         self.xs
     }
 }
@@ -100,7 +102,7 @@ mod tests {
         let ex = cati_analysis::extract(&corpus.test[0].binary, FeatureView::Stripped).unwrap();
         let rec = Recorder::new(RecorderConfig::default());
         let session = EmbeddedExtraction::new_observed(&cati.embedder, &ex, &rec);
-        assert_eq!(session.embedded().len(), ex.vucs.len());
+        assert_eq!(session.embedded().rows(), ex.vucs.len());
         assert_eq!(
             rec.metrics().counter_value("embed.windows"),
             ex.vucs.len() as u64

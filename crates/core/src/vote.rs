@@ -4,6 +4,7 @@
 //! or above the threshold (0.9) are promoted to 1.0 so that confident
 //! predictions dominate, then the per-class sums are argmaxed.
 
+use cati_nn::argmax;
 use serde::{Deserialize, Serialize};
 
 /// The outcome of voting over one variable's VUC distributions.
@@ -16,6 +17,17 @@ pub struct VoteResult {
     /// How many confidences Eq. 3 promoted to 1.0 (telemetry: the
     /// clip rate is `clipped / (VUCs × classes)`).
     pub clipped: u32,
+}
+
+impl VoteResult {
+    /// The winning class's share of a perfect score — its accumulated
+    /// confidence over the `vucs` that voted, clamped to 1.0 (clipping
+    /// can push a total past `vucs`). This is the single source for
+    /// both the confidence histogram observation and
+    /// `InferredVar.confidence`, so the two can never drift apart.
+    pub fn winning_share(&self, vucs: usize) -> f32 {
+        (self.totals[self.class] / vucs as f32).min(1.0)
+    }
 }
 
 /// Eq. 3 for a single confidence: `(clipped value, was it promoted)`.
@@ -64,12 +76,7 @@ pub fn vote<D: AsRef<[f32]>>(distributions: &[D], threshold: f32) -> VoteResult 
             clipped += u32::from(promoted);
         }
     }
-    let class = totals
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .expect("non-empty totals");
+    let class = argmax(&totals);
     VoteResult {
         class,
         totals,

@@ -125,15 +125,29 @@ impl VucEmbedder {
     /// tokens embed to zero — by construction generalization covers
     /// >99% of unseen instructions (paper §IV-B), so this is rare.
     pub fn embed_window(&self, insns: &[GenInsn]) -> Vec<f32> {
+        let mut x = vec![0.0f32; self.embed_dim() * insns.len()];
+        self.embed_window_into(insns, &mut x);
+        x
+    }
+
+    /// [`VucEmbedder::embed_window`] writing into a caller-provided
+    /// buffer — the flat-tensor fast path: embedding a whole
+    /// extraction fills one row of a contiguous matrix per VUC with
+    /// no per-row allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an `embed_dim × insns.len()` buffer.
+    pub fn embed_window_into(&self, insns: &[GenInsn], x: &mut [f32]) {
         let len = insns.len();
-        let mut x = vec![0.0f32; self.embed_dim() * len];
+        assert_eq!(x.len(), self.embed_dim() * len, "tensor/len mismatch");
+        x.fill(0.0);
         for (t, insn) in insns.iter().enumerate() {
             let col = self.insn_column(insn);
             for (c, &v) in col.iter().enumerate() {
                 x[c * len + t] = v;
             }
         }
-        x
     }
 
     /// Overwrites window position `t` of a tensor produced by

@@ -159,6 +159,49 @@ impl Word2Vec {
         }
     }
 
+    /// Reassembles a model from its parts — the binary model-container
+    /// loading path. The matrices are flat `[vocab][dim]` row-major,
+    /// exactly as [`Word2Vec::input_matrix`]/[`Word2Vec::output_matrix`]
+    /// return them.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either matrix's length disagrees with
+    /// `vocab.len().max(1) * cfg.dim`.
+    pub fn from_parts(
+        vocab: Vocab,
+        cfg: W2vConfig,
+        input: Vec<f32>,
+        output: Vec<f32>,
+    ) -> Result<Word2Vec, String> {
+        let want = vocab.len().max(1) * cfg.dim;
+        if input.len() != want || output.len() != want {
+            return Err(format!(
+                "w2v matrices need {want} floats for {} tokens × {} dims, got input {} / output {}",
+                vocab.len(),
+                cfg.dim,
+                input.len(),
+                output.len()
+            ));
+        }
+        Ok(Word2Vec {
+            vocab,
+            cfg,
+            input,
+            output,
+        })
+    }
+
+    /// The flat `[vocab][dim]` input (word) embedding matrix.
+    pub fn input_matrix(&self) -> &[f32] {
+        &self.input
+    }
+
+    /// The flat `[vocab][dim]` output (context) embedding matrix.
+    pub fn output_matrix(&self) -> &[f32] {
+        &self.output
+    }
+
     /// The input embedding of a token, or `None` if out of vocabulary.
     pub fn vector(&self, token: &str) -> Option<&[f32]> {
         let id = self.vocab.id(token)?;

@@ -29,6 +29,8 @@
 pub mod layers;
 pub mod model;
 pub mod optim;
+pub mod tensor;
 
 pub use model::{NoHook, TextCnn, TextCnnConfig, TrainHook, Workspace};
 pub use optim::{Adam, GradBuffers, Sgd};
+pub use tensor::{argmax, Rows, Tensor};

@@ -11,6 +11,7 @@ use crate::layers::{
     Dense,
 };
 use crate::optim::{Adam, GradBuffers};
+use crate::tensor::{argmax, Rows, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -171,6 +172,39 @@ impl TextCnn {
         ]
     }
 
+    /// Reconstructs a model from a configuration and its eight
+    /// parameter tensors in [`TextCnn::params`] order — the
+    /// model-container loading path.
+    ///
+    /// # Errors
+    ///
+    /// Fails (with a description naming the offending tensor) when a
+    /// tensor's length disagrees with the configuration's shapes.
+    pub fn from_params(cfg: TextCnnConfig, tensors: &[Vec<f32>]) -> Result<TextCnn, String> {
+        const NAMES: [&str; 8] = [
+            "conv1.w", "conv1.b", "conv2.w", "conv2.b", "fc1.w", "fc1.b", "fc2.w", "fc2.b",
+        ];
+        if tensors.len() != NAMES.len() {
+            return Err(format!(
+                "expected {} parameter tensors, got {}",
+                NAMES.len(),
+                tensors.len()
+            ));
+        }
+        let mut model = TextCnn::new(cfg, 0);
+        for ((dst, src), name) in model.params_mut().into_iter().zip(tensors).zip(NAMES) {
+            if dst.len() != src.len() {
+                return Err(format!(
+                    "tensor {name}: {} floats, config needs {}",
+                    src.len(),
+                    dst.len()
+                ));
+            }
+            dst.copy_from_slice(src);
+        }
+        Ok(model)
+    }
+
     fn params_mut(&mut self) -> [&mut Vec<f32>; 8] {
         [
             &mut self.conv1.w,
@@ -213,21 +247,25 @@ impl TextCnn {
         probs
     }
 
-    /// Class probabilities for a batch of inputs. Equivalent to
-    /// mapping [`TextCnn::predict`], but workers reuse one
-    /// [`Workspace`] per shard instead of allocating activations for
-    /// every sample. Inputs may be owned rows (`Vec<f32>`) or
-    /// borrowed ones (`&[f32]`, `&Vec<f32>`), so callers can batch a
-    /// selected subset of a table without copying it.
-    pub fn predict_batch<X: AsRef<[f32]> + Sync>(&self, xs: &[X]) -> Vec<Vec<f32>> {
-        xs.par_iter()
-            .map_init(Workspace::default, |ws, x| {
-                self.forward(x.as_ref(), ws);
-                let mut probs = ws.logits.clone();
-                softmax(&mut probs);
-                probs
-            })
-            .collect()
+    /// Class probabilities for a batch of inputs, written into one
+    /// flat `n × classes` [`Tensor`]. Row `i` equals
+    /// `predict(row i)`; workers reuse one [`Workspace`] per thread
+    /// instead of allocating activations (or an output row) per
+    /// sample. Inputs are anything implementing [`Rows`] — a
+    /// [`Tensor`], owned rows, or borrowed rows (`Vec<&[f32]>`), so
+    /// callers can batch a selected subset of a table without copying
+    /// it.
+    pub fn predict_batch<R: Rows + ?Sized>(&self, xs: &R) -> Tensor {
+        Tensor::build_rows(
+            xs.count(),
+            self.cfg.classes,
+            Workspace::default,
+            |ws, i, out| {
+                self.forward(xs.row_at(i), ws);
+                out.copy_from_slice(&ws.logits);
+                softmax(out);
+            },
+        )
     }
 
     /// Forward + backward for one `(x, label)`; accumulates gradients
@@ -365,14 +403,7 @@ impl TextCnn {
             .map_init(Workspace::default, |ws, (x, label)| {
                 // argmax over logits == argmax over softmax probs.
                 self.forward(x, ws);
-                let pred = ws
-                    .logits
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0);
-                usize::from(pred == *label)
+                usize::from(argmax(&ws.logits) == *label)
             })
             .sum();
         correct as f64 / data.len() as f64

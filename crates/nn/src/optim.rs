@@ -1,4 +1,10 @@
 //! Optimizers and gradient accumulation buffers.
+//!
+//! All buffers live in one flat `Vec<f32>` with a cumulative-end
+//! table marking tensor boundaries, so a whole gradient (or moment)
+//! set is one allocation and every element-wise pass is one linear
+//! sweep. The per-element arithmetic and its order are identical to
+//! the former per-tensor nested loops, keeping training bit-exact.
 
 use serde::{Deserialize, Serialize};
 
@@ -7,14 +13,31 @@ use serde::{Deserialize, Serialize};
 /// parallel) before one optimizer step.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GradBuffers {
-    bufs: Vec<Vec<f32>>,
+    /// All tensors concatenated, in declaration order.
+    data: Vec<f32>,
+    /// Cumulative end offset of each tensor within `data`.
+    ends: Vec<usize>,
+}
+
+/// Cumulative end offsets for the given tensor lengths.
+fn ends_of(sizes: &[usize]) -> Vec<usize> {
+    sizes
+        .iter()
+        .scan(0usize, |acc, &n| {
+            *acc += n;
+            Some(*acc)
+        })
+        .collect()
 }
 
 impl GradBuffers {
     /// Zeroed buffers with the given tensor lengths.
     pub fn new(sizes: &[usize]) -> GradBuffers {
+        let ends = ends_of(sizes);
+        let total = ends.last().copied().unwrap_or(0);
         GradBuffers {
-            bufs: sizes.iter().map(|&n| vec![0.0; n]).collect(),
+            data: vec![0.0; total],
+            ends,
         }
     }
 
@@ -25,8 +48,20 @@ impl GradBuffers {
     ///
     /// Panics if the buffer count is not eight.
     pub fn as_mut_arrays(&mut self) -> [&mut [f32]; 8] {
-        let mut it = self.bufs.iter_mut();
-        std::array::from_fn(|_| it.next().expect("eight gradient tensors").as_mut_slice())
+        assert_eq!(self.ends.len(), 8, "eight gradient tensors");
+        let mut rest = self.data.as_mut_slice();
+        let mut start = 0;
+        let mut out = Vec::with_capacity(8);
+        for &end in &self.ends {
+            let (head, tail) = rest.split_at_mut(end - start);
+            out.push(head);
+            rest = tail;
+            start = end;
+        }
+        match out.try_into() {
+            Ok(arrays) => arrays,
+            Err(_) => unreachable!("eight gradient tensors"),
+        }
     }
 
     /// Element-wise accumulate `other` into `self`.
@@ -35,42 +70,36 @@ impl GradBuffers {
     ///
     /// Panics if shapes differ.
     pub fn add(&mut self, other: &GradBuffers) {
-        assert_eq!(self.bufs.len(), other.bufs.len());
-        for (a, b) in self.bufs.iter_mut().zip(&other.bufs) {
-            for (x, y) in a.iter_mut().zip(b) {
-                *x += *y;
-            }
+        assert_eq!(self.ends, other.ends);
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x += *y;
         }
     }
 
     /// Multiply every gradient by `s`.
     pub fn scale(&mut self, s: f32) {
-        for buf in &mut self.bufs {
-            for v in buf.iter_mut() {
-                *v *= s;
-            }
+        for v in self.data.iter_mut() {
+            *v *= s;
         }
     }
 
     /// Reset to zero.
     pub fn zero(&mut self) {
-        for buf in &mut self.bufs {
-            buf.fill(0.0);
-        }
+        self.data.fill(0.0);
     }
 
     /// Global L2 norm across all buffers.
     pub fn norm(&self) -> f32 {
-        self.bufs
-            .iter()
-            .flat_map(|b| b.iter())
-            .map(|v| v * v)
-            .sum::<f32>()
-            .sqrt()
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
     }
 
-    fn iter(&self) -> impl Iterator<Item = &Vec<f32>> {
-        self.bufs.iter()
+    /// Borrow each tensor in declaration order.
+    fn slices(&self) -> impl Iterator<Item = &[f32]> {
+        self.ends.iter().scan(0usize, |start, &end| {
+            let s = &self.data[*start..end];
+            *start = end;
+            Some(s)
+        })
     }
 }
 
@@ -88,8 +117,8 @@ pub struct Adam {
     /// Clip gradients to this global norm (0 disables).
     pub clip: f32,
     t: u64,
-    m: Vec<Vec<f32>>,
-    v: Vec<Vec<f32>>,
+    m: Vec<f32>,
+    v: Vec<f32>,
 }
 
 impl Adam {
@@ -110,10 +139,8 @@ impl Adam {
     /// One update step over all parameter tensors.
     pub fn step(&mut self, params: [&mut Vec<f32>; 8], grads: &mut GradBuffers) {
         if self.m.is_empty() {
-            for g in grads.iter() {
-                self.m.push(vec![0.0; g.len()]);
-                self.v.push(vec![0.0; g.len()]);
-            }
+            self.m = vec![0.0; grads.data.len()];
+            self.v = vec![0.0; grads.data.len()];
         }
         if self.clip > 0.0 {
             let norm = grads.norm();
@@ -124,11 +151,12 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, g), (m, v)) in params
-            .into_iter()
-            .zip(grads.iter())
-            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
-        {
+        let mut off = 0;
+        for (p, g) in params.into_iter().zip(grads.slices()) {
+            let (m, v) = (
+                &mut self.m[off..off + g.len()],
+                &mut self.v[off..off + g.len()],
+            );
             for i in 0..p.len() {
                 m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
                 v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
@@ -136,6 +164,7 @@ impl Adam {
                 let vhat = v[i] / bc2;
                 p[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
+            off += g.len();
         }
     }
 }
@@ -147,7 +176,7 @@ pub struct Sgd {
     pub lr: f32,
     /// Momentum coefficient.
     pub momentum: f32,
-    velocity: Vec<Vec<f32>>,
+    velocity: Vec<f32>,
 }
 
 impl Sgd {
@@ -163,19 +192,16 @@ impl Sgd {
     /// One update step.
     pub fn step(&mut self, params: [&mut Vec<f32>; 8], grads: &GradBuffers) {
         if self.velocity.is_empty() {
-            for g in grads.iter() {
-                self.velocity.push(vec![0.0; g.len()]);
-            }
+            self.velocity = vec![0.0; grads.data.len()];
         }
-        for ((p, g), vel) in params
-            .into_iter()
-            .zip(grads.iter())
-            .zip(self.velocity.iter_mut())
-        {
+        let mut off = 0;
+        for (p, g) in params.into_iter().zip(grads.slices()) {
+            let vel = &mut self.velocity[off..off + g.len()];
             for i in 0..p.len() {
                 vel[i] = self.momentum * vel[i] - self.lr * g[i];
                 p[i] += vel[i];
             }
+            off += g.len();
         }
     }
 }
@@ -247,5 +273,15 @@ mod tests {
         assert_eq!(a.as_mut_arrays()[0][0], 1.5);
         a.zero();
         assert_eq!(a.norm(), 0.0);
+    }
+
+    #[test]
+    fn slices_follow_declaration_order() {
+        let mut g = GradBuffers::new(&[1, 2, 1, 1, 1, 1, 1, 1]);
+        g.as_mut_arrays()[1][1] = 7.0;
+        let tensors: Vec<Vec<f32>> = g.slices().map(<[f32]>::to_vec).collect();
+        assert_eq!(tensors[0], vec![0.0]);
+        assert_eq!(tensors[1], vec![0.0, 7.0]);
+        assert_eq!(tensors.iter().map(Vec::len).sum::<usize>(), 9);
     }
 }

@@ -19,8 +19,8 @@ fn inputs(cfg: &TextCnnConfig, n: usize) -> Vec<Vec<f32>> {
 
 fn assert_parity(model: &TextCnn, xs: &[Vec<f32>]) {
     let batch = model.predict_batch(xs);
-    assert_eq!(batch.len(), xs.len());
-    for (x, row) in xs.iter().zip(&batch) {
+    assert_eq!(batch.rows(), xs.len());
+    for (x, row) in xs.iter().zip(batch.rows_iter()) {
         let single = model.predict(x);
         assert_eq!(single.len(), row.len());
         for (a, b) in single.iter().zip(row) {

@@ -1,0 +1,154 @@
+//! Model container format tests: the committed golden CATI1 fixture
+//! must keep loading byte-for-byte, and a legacy JSON model must
+//! migrate to CATI1 without changing a single prediction.
+//!
+//! The fixture pins the on-disk format: if an encoder change produces
+//! different bytes for the same model, the golden test fails and the
+//! change needs a format version bump (plus a regenerated fixture via
+//! `cargo test -p cati --test model_format -- --ignored`).
+
+use cati::{encode_cati1, is_cati1, Cati, Config};
+use cati_synbin::{build_corpus, Corpus, CorpusConfig};
+use std::path::PathBuf;
+
+/// Corpus seed the fixture model was trained from. Distinct from the
+/// seeds other test harnesses use, so corpus tweaks elsewhere do not
+/// silently alter this fixture's provenance.
+const FIXTURE_SEED: u64 = 47;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/model")
+}
+
+fn fixture_corpus() -> Corpus {
+    build_corpus(&CorpusConfig::small(FIXTURE_SEED))
+}
+
+/// The deterministic tiny system the fixture records: two training
+/// binaries at the small scale. Retraining reproduces it exactly
+/// (engine determinism), which is what lets the golden bytes live in
+/// the repository at all.
+fn fixture_model(corpus: &Corpus) -> Cati {
+    Cati::train(&corpus.train[..2], &Config::small(), &cati::obs::NOOP)
+}
+
+/// Predictions over the first stripped test binary, as a JSON value —
+/// the comparison currency of the recorded-predictions fixture.
+fn fixture_predictions(cati: &Cati, corpus: &Corpus) -> serde_json::Value {
+    let stripped = corpus.test[0].binary.strip();
+    let mut vars = cati.infer(&stripped).expect("fixture inference");
+    vars.sort_by_key(|v| (v.key.func, v.key.offset));
+    serde_json::to_value(&vars).expect("predictions to JSON")
+}
+
+#[test]
+fn golden_cati1_fixture_still_loads_and_predicts_identically() {
+    let dir = fixture_dir();
+    let model_path = dir.join("golden.cati");
+    let bytes = std::fs::read(&model_path).expect("read golden.cati (regenerate with --ignored)");
+    assert!(is_cati1(&bytes), "golden fixture lost its CATI1 magic");
+
+    let cati = Cati::load(&model_path).expect("load golden fixture");
+
+    // Re-encoding the loaded system must reproduce the committed
+    // bytes exactly: the container format (and the weights inside it)
+    // have not drifted.
+    assert_eq!(
+        encode_cati1(&cati),
+        bytes,
+        "re-encoding the golden model produced different bytes — \
+         format change without a version bump?"
+    );
+
+    // And the model must still say exactly what it said when the
+    // fixture was recorded.
+    let recorded: serde_json::Value = serde_json::from_slice(
+        &std::fs::read(dir.join("golden_predictions.json")).expect("read golden_predictions.json"),
+    )
+    .expect("parse golden_predictions.json");
+    assert_eq!(
+        fixture_predictions(&cati, &fixture_corpus()),
+        recorded,
+        "golden model's predictions drifted from the recorded fixture"
+    );
+}
+
+#[test]
+fn json_model_migrates_to_cati1_without_changing_inference() {
+    let corpus = fixture_corpus();
+    let cati = fixture_model(&corpus);
+    let dir = std::env::temp_dir().join(format!("cati_migrate_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A legacy JSON model still loads through the same entry point
+    // (format sniffing), bit-identical to the in-memory system.
+    let json_path = dir.join("legacy.json");
+    cati.save_json(&json_path).unwrap();
+    let legacy = Cati::load(&json_path).expect("legacy JSON model must still load");
+    assert_eq!(legacy, cati, "JSON roundtrip changed the model");
+
+    // Migrating it: save writes CATI1, loading that gives the same
+    // system back, and re-saving is byte-identical (the encoder is
+    // deterministic, so migrated models diff clean).
+    let cati1_path = dir.join("migrated.cati");
+    legacy.save(&cati1_path).unwrap();
+    let first = std::fs::read(&cati1_path).unwrap();
+    assert!(is_cati1(&first), "save did not emit a CATI1 container");
+    let migrated = Cati::load(&cati1_path).expect("migrated model must load");
+    assert_eq!(migrated, cati, "JSON -> CATI1 migration changed the model");
+    let resaved_path = dir.join("resaved.cati");
+    migrated.save(&resaved_path).unwrap();
+    assert_eq!(
+        std::fs::read(&resaved_path).unwrap(),
+        first,
+        "re-saving a migrated model is not byte-identical"
+    );
+
+    // The migrated model predicts exactly what the original did.
+    let stripped = corpus.test[0].binary.strip();
+    assert_eq!(
+        migrated.infer(&stripped).unwrap(),
+        cati.infer(&stripped).unwrap(),
+        "migration changed inference output"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unrecognized_model_format_reports_a_hex_preview() {
+    let dir = std::env::temp_dir().join(format!("cati_badfmt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("not_a_model.bin");
+    std::fs::write(&path, b"\x7fELF\x02\x01\x01\x00junk").unwrap();
+    let err = Cati::load(&path).expect_err("garbage must not load");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(
+        msg.contains("7f") && msg.contains("expected CATI1 magic or JSON model"),
+        "unrecognized-format error lacks hex preview or hint: {msg}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regenerates the golden fixture. Run explicitly after an intended
+/// format or model change:
+///
+/// ```sh
+/// cargo test -p cati --test model_format -- --ignored
+/// ```
+#[test]
+#[ignore = "writes tests/fixtures/model; run explicitly to regenerate"]
+fn regenerate_golden_fixture() {
+    let corpus = fixture_corpus();
+    let cati = fixture_model(&corpus);
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("golden.cati"), encode_cati1(&cati)).unwrap();
+    let preds = fixture_predictions(&cati, &corpus);
+    std::fs::write(
+        dir.join("golden_predictions.json"),
+        serde_json::to_string_pretty(&preds).unwrap(),
+    )
+    .unwrap();
+    println!("regenerated {}", dir.display());
+}
