@@ -242,6 +242,93 @@ fn main() {
          embedding {embed_rows} rows at {embed_rows_per_s:.0} rows/s"
     );
 
+    // Serve daemon throughput: the same model behind `cati serve`,
+    // measured end to end over loopback HTTP — requests/s and
+    // latency percentiles at 1 and 8 concurrent clients, plus a
+    // cold-cache pass (fresh server-side ArtifactCache, so the first
+    // touch of each binary pays extraction + embedding). Every
+    // response is checked byte-identical to in-process inference.
+    let serve_cache_dir = artifacts_dir.join("serve-cache");
+    let _ = std::fs::remove_dir_all(&serve_cache_dir);
+    let handle = cati_serve::Server::start(
+        cati.clone(),
+        cati_serve::ServeConfig {
+            cache_dir: Some(serve_cache_dir),
+            ..cati_serve::ServeConfig::default()
+        },
+    )
+    .expect("start serve daemon");
+    let expected: Vec<String> = stripped
+        .iter()
+        .map(|bin| {
+            let mut vars = cati.infer(bin).expect("inference");
+            vars.sort_by_key(|v| (v.key.func, v.key.offset));
+            serde_json::to_string_pretty(&vars).expect("vars json")
+        })
+        .collect();
+    let requests: Vec<cati_serve::Request> = stripped
+        .iter()
+        .map(|bin| {
+            cati_serve::Request::new("POST", "/infer")
+                .with_body(serde_json::to_vec(bin).expect("binary json"))
+        })
+        .collect();
+    let serve_pass = |clients: usize, per_client: usize| -> (f64, f64, f64) {
+        let addr = handle.addr();
+        let t = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let requests = requests.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let mut latencies_ms = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let k = (c * per_client + i) % requests.len();
+                        let t0 = Instant::now();
+                        let response =
+                            cati_serve::roundtrip(addr, &requests[k]).expect("serve roundtrip");
+                        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(response.status, 200, "serve answered {}", response.status);
+                        assert_eq!(
+                            String::from_utf8_lossy(&response.body),
+                            expected[k],
+                            "served response diverged from in-process inference"
+                        );
+                    }
+                    latencies_ms
+                })
+            })
+            .collect();
+        let mut latencies: Vec<f64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread"))
+            .collect();
+        let wall_s = t.elapsed().as_secs_f64();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        (
+            (clients * per_client) as f64 / wall_s.max(1e-9),
+            pct(0.50),
+            pct(0.99),
+        )
+    };
+    // Cold: one sequential sweep populates the server-side cache.
+    let (serve_cold_reqs_per_s, serve_cold_p50_ms, _) = serve_pass(1, stripped.len());
+    // Warm: cache hits only, 1 client vs 8 clients.
+    let (serve_1_reqs_per_s, serve_1_p50_ms, serve_1_p99_ms) = serve_pass(1, 16);
+    let (serve_reqs_per_s, serve_p50_ms, serve_p99_ms) = serve_pass(8, 3);
+    let serve_metrics = handle.recorder().metrics().snapshot();
+    let serve_batched = serve_metrics
+        .histogram("serve.batch_size")
+        .map_or(0.0, |h| h.sum - h.count as f64);
+    drop(handle);
+    println!(
+        "serve: cold {serve_cold_reqs_per_s:.1} req/s (p50 {serve_cold_p50_ms:.1} ms); \
+         warm 1 client {serve_1_reqs_per_s:.1} req/s (p50 {serve_1_p50_ms:.1} / p99 {serve_1_p99_ms:.1} ms), \
+         8 clients {serve_reqs_per_s:.1} req/s (p50 {serve_p50_ms:.1} / p99 {serve_p99_ms:.1} ms); \
+         {serve_batched:.0} requests rode in shared batches"
+    );
+
     let run_json = |r: &Run| {
         json!({
             "threads": r.threads,
@@ -274,6 +361,17 @@ fn main() {
         "model_bytes": model_bytes,
         "model_load_ms": model_load_ms,
         "embed_rows_per_s": embed_rows_per_s,
+        "serve_cold_reqs_per_s": serve_cold_reqs_per_s,
+        "serve_cold_p50_ms": serve_cold_p50_ms,
+        "serve_1client_reqs_per_s": serve_1_reqs_per_s,
+        "serve_1client_p50_ms": serve_1_p50_ms,
+        "serve_1client_p99_ms": serve_1_p99_ms,
+        "serve_reqs_per_s": serve_reqs_per_s,
+        "serve_p50_ms": serve_p50_ms,
+        "serve_p99_ms": serve_p99_ms,
+        "serve_clients": 8,
+        "serve_batched_requests": serve_batched,
+        "serve_outputs_bit_identical": true,
         "note": if cores == 1 {
             "single-core machine: threads>1 runs oversubscribed, wall-clock speedup not measurable"
         } else {
@@ -296,5 +394,7 @@ fn main() {
         "models_bit_identical": bit_identical,
         "cache_speedup": cache_speedup,
         "cache_warm_hits": warm_hits,
+        "serve_reqs_per_s": serve_reqs_per_s,
+        "serve_p99_ms": serve_p99_ms,
     }));
 }

@@ -21,6 +21,7 @@ use cati::{ArtifactCache, Cati, Config};
 use cati_analysis::{extract, extract_lenient, FeatureView};
 use cati_asm::binary::Binary;
 use cati_asm::fmt::format_insn;
+use cati_serve::{HangLimit, ServeConfig, Server};
 use cati_synbin::{build_corpus, mutate, Compiler, CorpusConfig, MutationKind};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -94,7 +95,13 @@ fn scale_of(args: &Args) -> (Config, fn(u64) -> CorpusConfig) {
 /// `--log-format text|json` (default text), `--log-level
 /// error|warn|info|debug` (default info), `--batch-stats`.
 fn recorder_of(args: &Args) -> Recorder {
-    Recorder::new(RecorderConfig {
+    Recorder::new(recorder_config_of(args))
+}
+
+/// The [`RecorderConfig`] behind [`recorder_of`], also handed to the
+/// serve daemon (whose recorder lives inside the server).
+fn recorder_config_of(args: &Args) -> RecorderConfig {
+    RecorderConfig {
         log: Some(
             args.flags
                 .get("log-format")
@@ -107,7 +114,7 @@ fn recorder_of(args: &Args) -> Recorder {
             .map(|s| Level::parse(s))
             .unwrap_or(Level::Info),
         batch_stats: args.switches.contains("batch-stats"),
-    })
+    }
 }
 
 /// Writes the run manifest when `--manifest PATH` was given. `extra`
@@ -474,19 +481,11 @@ struct FuzzCase {
     detail: String,
 }
 
-/// Parses `--budget` values like `60s`, `90`, `500ms`.
+/// Parses `--budget` values like `60s`, `90`, `500ms` via the shared
+/// hang-limit machinery ([`cati_serve::timeout`]) that `cati serve`
+/// uses for request deadlines.
 fn parse_budget(s: &str) -> Result<Duration, String> {
-    let (num, ms) = if let Some(v) = s.strip_suffix("ms") {
-        (v, true)
-    } else {
-        (s.strip_suffix('s').unwrap_or(s), false)
-    };
-    let n: u64 = num.parse().map_err(|_| format!("bad --budget `{s}`"))?;
-    Ok(if ms {
-        Duration::from_millis(n)
-    } else {
-        Duration::from_secs(n)
-    })
+    cati_serve::parse_duration(s).map_err(|e| format!("--budget: {e}"))
 }
 
 /// Regenerates the mutant a [`FuzzCase`] describes.
@@ -564,7 +563,7 @@ fn cmd_fuzz(args: &Args) -> Result<(), String> {
         .map(|s| parse_budget(s))
         .transpose()?
         .unwrap_or(Duration::from_secs(60));
-    let hang_limit = Duration::from_millis(
+    let hang_limit = HangLimit::from_ms(
         args.flags
             .get("hang-limit-ms")
             .map(|s| s.parse().map_err(|_| "bad --hang-limit-ms"))
@@ -619,7 +618,7 @@ fn cmd_fuzz(args: &Args) -> Result<(), String> {
         } else {
             strict_err += 1;
         }
-        if dt > hang_limit {
+        if hang_limit.exceeded(dt) {
             let kept = out.join(format!("hang-{i}.json"));
             std::fs::rename(&pending, &kept).map_err(|e| e.to_string())?;
             hangs.push(serde_json::json!({
@@ -769,6 +768,67 @@ fn cmd_strip(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let model = args
+        .flags
+        .get("model")
+        .ok_or("serve requires --model MODEL.cati")?;
+    let mut cfg = ServeConfig {
+        addr: args
+            .flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8472".to_string()),
+        recorder: recorder_config_of(args),
+        ..ServeConfig::default()
+    };
+    if let Some(v) = args.flags.get("queue-capacity") {
+        cfg.queue_capacity = v.parse().map_err(|_| "bad --queue-capacity")?;
+    }
+    if let Some(v) = args.flags.get("max-batch") {
+        cfg.max_batch = v.parse().map_err(|_| "bad --max-batch")?;
+    }
+    if let Some(v) = args.flags.get("workers") {
+        cfg.workers = v.parse().map_err(|_| "bad --workers")?;
+    }
+    if let Some(v) = args.flags.get("hang-limit-ms") {
+        cfg.hang_limit = HangLimit::from_ms(v.parse().map_err(|_| "bad --hang-limit-ms")?);
+    }
+    if let Some(dir) = args.flags.get("cache-dir") {
+        cfg.cache_dir = Some(PathBuf::from(dir));
+    }
+    if let Some(t) = args.flags.get("threads") {
+        cfg.threads = t.parse().unwrap_or(0);
+    }
+    let mut handle =
+        Server::start_from_path(model, cfg).map_err(|e| format!("serve {model}: {e}"))?;
+    eprintln!(
+        "serving on http://{} (model version {})",
+        handle.addr(),
+        handle.model_version()
+    );
+    eprintln!(
+        "routes: POST /infer  GET /health  GET /metrics  POST /admin/reload  POST /admin/shutdown"
+    );
+    handle.wait();
+    let metrics = handle.recorder().metrics();
+    let meta = serde_json::json!({
+        "model": model.as_str(),
+        "addr": handle.addr().to_string(),
+        "model_version": handle.model_version(),
+        "requests": metrics.counter_value("serve.requests"),
+        "served": metrics.counter_value("serve.served"),
+        "rejected": metrics.counter_value("serve.rejected"),
+        "deadline_expired": metrics.counter_value("serve.deadline_expired"),
+        "reloads": metrics.counter_value("serve.reloads"),
+        "cache_hits": metrics.counter_value("cache.hit"),
+        "cache_misses": metrics.counter_value("cache.miss"),
+    });
+    write_manifest_if_requested(args, handle.recorder(), "serve", &meta)?;
+    eprintln!("server stopped");
+    Ok(())
+}
+
 const USAGE: &str = "\
 cati — context-assisted type inference from stripped binaries
 
@@ -779,6 +839,8 @@ USAGE:
   cati train --corpus DIR --out MODEL.cati [--scale small|medium|paper] [--threads N]
   cati infer --model MODEL.cati BINARY.json [--strict|--lenient] [--json] [--threads N] [--cache-dir DIR]
   cati fuzz [--seed N] [--mutants N] [--budget 60s] [--hang-limit-ms N] [--out DIR] [--replay CASE.json]
+  cati serve --model MODEL.cati [--addr HOST:PORT] [--queue-capacity N] [--max-batch N] [--workers N]
+             [--hang-limit-ms N] [--cache-dir DIR] [--threads N] [--manifest PATH]
   cati report MANIFEST.jsonl [OTHER.jsonl] [--validate]
   cati convert --model MODEL --out FILE [--format cati1|json]
   cati strip BINARY.json --out STRIPPED.json
@@ -800,6 +862,23 @@ before it runs, so a crash leaves the reproducer behind; hangs and
 coverage violations are kept as OUT/hang-*.json / OUT/violation-*.json
 and summarized in OUT/summary.json. --replay CASE.json regenerates a
 recorded mutant (writing OUT/repro_binary.json) and reruns it.
+
+`cati serve` keeps one model resident behind an HTTP/1.1 daemon
+(default 127.0.0.1:8472). POST a Binary JSON to /infer and the
+response body is byte-identical to `cati infer --json` on the same
+file (add ?mode=lenient or the x-cati-mode: lenient header for the
+lenient report). Concurrent requests are coalesced into one batched
+classification pass (--max-batch, default 8) behind a bounded queue
+(--queue-capacity, default 64; overflow answers 503). Per-request
+deadlines reuse the fuzz hang-limit machinery: --hang-limit-ms (or the
+x-cati-hang-limit-ms request header; 0 = unlimited) turns a slow
+request into a 504 while the server keeps serving. POST
+{\"model\": PATH} to /admin/reload to hot-swap the model without
+dropping traffic — every response carries x-cati-model-version. GET
+/metrics dumps the live counter/histogram registry as JSON; --manifest
+writes the full request timeline on shutdown (POST /admin/shutdown).
+--cache-dir mounts the artifact cache server-side, shared across
+clients and keyed by binary digest.
 
 Training and batched inference use --threads worker threads
 (0 or omitted = all cores); results are bit-identical for any value.
@@ -844,6 +923,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "infer" => cmd_infer(&args),
         "fuzz" => cmd_fuzz(&args),
+        "serve" => cmd_serve(&args),
         "report" => cmd_report(&args),
         "convert" => cmd_convert(&args),
         "strip" => cmd_strip(&args),

@@ -159,8 +159,42 @@ impl Cati {
         obs: &dyn Observer,
     ) -> Evaluation {
         let _span = SpanGuard::enter(obs, "evaluate");
-        let ex = session.extraction();
         let vuc_dists = self.stages.leaf_distributions_batch(session.embedded());
+        self.vote_dists(session.extraction(), vuc_dists, obs)
+    }
+
+    /// Evaluates an extraction from **precomputed** leaf distributions
+    /// (one 19-class row per VUC, e.g. a per-request slice of a
+    /// cross-request micro-batch). Rows must be exactly what
+    /// [`MultiStage::leaf_distributions_batch`] yields for the
+    /// extraction's embedded VUCs; per-row classification is
+    /// row-independent, so a slice of a larger batch is bit-identical
+    /// to a dedicated pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vuc_dists` is not parallel to `ex.vucs`.
+    pub fn evaluate_dists(
+        &self,
+        ex: &Extraction,
+        vuc_dists: Tensor,
+        obs: &dyn Observer,
+    ) -> Evaluation {
+        assert_eq!(
+            vuc_dists.rows(),
+            ex.vucs.len(),
+            "one distribution row per VUC: got {} rows for {} VUCs",
+            vuc_dists.rows(),
+            ex.vucs.len()
+        );
+        self.vote_dists(ex, vuc_dists, obs)
+    }
+
+    /// The voting half of an evaluation: per-VUC argmax plus the
+    /// Eq. 3/4 per-variable vote over `vuc_dists`. Shared by the
+    /// session paths and [`Cati::evaluate_dists`] so the batched
+    /// serve path cannot drift from one-shot inference.
+    fn vote_dists(&self, ex: &Extraction, vuc_dists: Tensor, obs: &dyn Observer) -> Evaluation {
         let vuc_preds: Vec<TypeClass> = vuc_dists
             .rows_iter()
             .map(|d| TypeClass::ALL[argmax(d)])
@@ -271,6 +305,28 @@ impl Cati {
             self.evaluate_session_inner(&session, obs)
         });
         Ok(inferred_vars(&ex, &eval))
+    }
+
+    /// Final user-facing inference output from an extraction plus
+    /// precomputed leaf distributions — the tail of the serve
+    /// daemon's cross-request micro-batch: many extractions are
+    /// embedded, their rows concatenated through one
+    /// [`MultiStage::leaf_distributions_batch`] pass, and each
+    /// request's row slice flows through here. Bit-identical to
+    /// [`Cati::infer`] on the same binary because both end in
+    /// [`Cati::evaluate_dists`]'s voting path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vuc_dists` is not parallel to `ex.vucs`.
+    pub fn infer_prepared(
+        &self,
+        ex: &Extraction,
+        vuc_dists: Tensor,
+        obs: &dyn Observer,
+    ) -> Vec<InferredVar> {
+        let eval = self.evaluate_dists(ex, vuc_dists, obs);
+        inferred_vars(ex, &eval)
     }
 
     /// Fault-isolated inference: never fails, reports what it skipped.

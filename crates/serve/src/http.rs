@@ -1,0 +1,447 @@
+//! A minimal, dependency-free HTTP/1.1 layer over `std::net`.
+//!
+//! Just enough of the protocol for the serve daemon and its clients:
+//! request line + headers + `Content-Length` body, `Connection:
+//! close` responses. No chunked encoding, no keep-alive, no TLS —
+//! every exchange is one connection, which keeps the concurrency
+//! model (thread per connection, bounded work queue behind it)
+//! trivially auditable.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on a request body (a serialized [`cati_asm::binary::Binary`]
+/// is well under this). Larger bodies are refused with 413 instead of
+/// buffering unbounded attacker-controlled input.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Upper bound on the request line plus headers.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, query string included (`/infer?mode=lenient`).
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// A request-layer failure mapped to the status code the server
+/// answers with.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Malformed request line, header, or `Content-Length` → 400.
+    Malformed(String),
+    /// Head or body over the hard size limits → 413.
+    TooLarge(String),
+    /// The peer hung up or the socket failed; nothing to answer.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Malformed(m) => write!(f, "malformed request: {m}"),
+            RequestError::TooLarge(m) => write!(f, "request too large: {m}"),
+            RequestError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl Request {
+    /// A request with no headers or body.
+    pub fn new(method: &str, path: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Adds a header (builder-style).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl std::fmt::Display) -> Request {
+        self.headers
+            .push((name.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    /// Sets the body (builder-style); `Content-Length` is emitted by
+    /// [`Request::write_to`].
+    #[must_use]
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Request {
+        self.body = body.into();
+        self
+    }
+
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path without its query string, and the query string (empty
+    /// when absent).
+    pub fn route(&self) -> (&str, &str) {
+        match self.path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (self.path.as_str(), ""),
+        }
+    }
+
+    /// Reads one request from a buffered stream.
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError::Malformed`] for protocol violations,
+    /// [`RequestError::TooLarge`] past the size limits,
+    /// [`RequestError::Io`] when the socket fails (including a clean
+    /// EOF before any byte, reported as `UnexpectedEof`).
+    pub fn read_from(reader: &mut impl BufRead) -> Result<Request, RequestError> {
+        let line = read_crlf_line(reader, MAX_HEAD_BYTES)?;
+        if line.is_empty() {
+            return Err(RequestError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before request line",
+            )));
+        }
+        let mut parts = line.split(' ');
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v)) if parts.next().is_none() && !m.is_empty() => (m, p, v),
+            _ => return Err(RequestError::Malformed(format!("request line `{line}`"))),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(RequestError::Malformed(format!("version `{version}`")));
+        }
+        let mut headers = Vec::new();
+        let mut head_bytes = line.len();
+        loop {
+            let line = read_crlf_line(reader, MAX_HEAD_BYTES)?;
+            if line.is_empty() {
+                break;
+            }
+            head_bytes += line.len();
+            if head_bytes > MAX_HEAD_BYTES {
+                return Err(RequestError::TooLarge(format!(
+                    "headers exceed {MAX_HEAD_BYTES} bytes"
+                )));
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(RequestError::Malformed(format!("header `{line}`")));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| RequestError::Malformed(format!("content-length `{v}`")))?,
+            None => 0,
+        };
+        if content_length > MAX_BODY_BYTES {
+            return Err(RequestError::TooLarge(format!(
+                "body of {content_length} bytes exceeds {MAX_BODY_BYTES}"
+            )));
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).map_err(RequestError::Io)?;
+        Ok(Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body,
+        })
+    }
+
+    /// Serializes the request (emitting `Content-Length` and
+    /// `Connection: close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(w, "{} {} HTTP/1.1\r\n", self.method, self.path)?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n", self.body.len())?;
+        write!(w, "connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// One HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 503, ...).
+    pub status: u16,
+    /// Headers in emission order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response: `application/json` body with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: vec![("content-type".to_string(), "application/json".to_string())],
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header (builder-style).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl std::fmt::Display) -> Response {
+        self.headers
+            .push((name.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The canonical reason phrase of the status codes this server
+    /// emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response (emitting `Content-Length` and
+    /// `Connection: close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            Response::reason(self.status)
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n", self.body.len())?;
+        write!(w, "connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+
+    /// Reads one response from a buffered stream.
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as [`Request::read_from`].
+    pub fn read_from(reader: &mut impl BufRead) -> Result<Response, RequestError> {
+        let line = read_crlf_line(reader, MAX_HEAD_BYTES)?;
+        let status = line
+            .strip_prefix("HTTP/1.1 ")
+            .or_else(|| line.strip_prefix("HTTP/1.0 "))
+            .and_then(|rest| rest.split(' ').next())
+            .and_then(|code| code.parse::<u16>().ok())
+            .ok_or_else(|| RequestError::Malformed(format!("status line `{line}`")))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = read_crlf_line(reader, MAX_HEAD_BYTES)?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(RequestError::Malformed(format!("header `{line}`")));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        let body = match content_length {
+            Some(n) if n <= MAX_BODY_BYTES => {
+                let mut body = vec![0u8; n];
+                reader.read_exact(&mut body).map_err(RequestError::Io)?;
+                body
+            }
+            Some(n) => {
+                return Err(RequestError::TooLarge(format!("response body {n} bytes")));
+            }
+            // No Content-Length: read to EOF (Connection: close).
+            None => {
+                let mut body = Vec::new();
+                reader.read_to_end(&mut body).map_err(RequestError::Io)?;
+                body
+            }
+        };
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line, without the
+/// terminator, bounded by `max` bytes.
+fn read_crlf_line(reader: &mut impl BufRead, max: usize) -> Result<String, RequestError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > max {
+                    return Err(RequestError::TooLarge(format!("line exceeds {max} bytes")));
+                }
+            }
+            Err(e) => return Err(RequestError::Io(e)),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| RequestError::Malformed("non-UTF-8 head".to_string()))
+}
+
+/// A blocking one-shot HTTP exchange over a fresh `TcpStream` — the
+/// client the test harness and benchmarks drive the daemon with.
+///
+/// # Errors
+///
+/// I/O failures and malformed responses, as `io::Error`.
+pub fn roundtrip(addr: SocketAddr, request: &Request) -> io::Result<Response> {
+    roundtrip_with_timeout(addr, request, None)
+}
+
+/// [`roundtrip`] with an optional socket read timeout (the client-side
+/// safety net; the server's own deadline machinery answers first).
+///
+/// # Errors
+///
+/// I/O failures and malformed responses, as `io::Error`.
+pub fn roundtrip_with_timeout(
+    addr: SocketAddr,
+    request: &Request,
+    timeout: Option<Duration>,
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(timeout)?;
+    request.write_to(&mut stream)?;
+    let mut reader = BufReader::new(stream);
+    Response::read_from(&mut reader).map_err(|e| match e {
+        RequestError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /infer?mode=lenient HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = Request::read_from(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.route(), ("/infer", "mode=lenient"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET /x SPDY/3\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(
+                    Request::read_from(&mut Cursor::new(raw)),
+                    Err(RequestError::Malformed(_))
+                ),
+                "{raw:?} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_are_too_large_not_buffered() {
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(matches!(
+            Request::read_from(&mut Cursor::new(raw.as_bytes())),
+            Err(RequestError::Malformed(_)) | Err(RequestError::TooLarge(_))
+        ));
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            Request::read_from(&mut Cursor::new(raw.as_bytes())),
+            Err(RequestError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn request_and_response_roundtrip_through_bytes() {
+        let req = Request::new("POST", "/infer")
+            .with_header("X-Cati-Hang-Limit-Ms", 250)
+            .with_body(&b"{\"a\":1}"[..]);
+        let mut wire = Vec::new();
+        req.write_to(&mut wire).unwrap();
+        let back = Request::read_from(&mut Cursor::new(&wire)).unwrap();
+        assert_eq!(back.header("x-cati-hang-limit-ms"), Some("250"));
+        assert_eq!(back.body, req.body);
+
+        let resp = Response::json(503, &b"{\"error\":\"full\"}"[..]).with_header("x-v", "1");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let back = Response::read_from(&mut Cursor::new(&wire)).unwrap();
+        assert_eq!(back.status, 503);
+        assert_eq!(back.header("x-v"), Some("1"));
+        assert_eq!(back.body, resp.body);
+    }
+
+    #[test]
+    fn eof_before_request_line_is_io_not_malformed() {
+        assert!(matches!(
+            Request::read_from(&mut Cursor::new(&b""[..])),
+            Err(RequestError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,34 @@
+//! `cati-serve` — a long-lived inference daemon for CATI.
+//!
+//! `cati infer` pays the full startup cost — loading the model,
+//! opening caches — for every binary. This crate keeps one trained
+//! [`cati::Cati`] resident behind a hand-rolled HTTP/1.1 front end
+//! (plain [`std::net`], no async runtime) and amortizes that cost
+//! across requests:
+//!
+//! - **Bounded admission**: a fixed-capacity work queue; overload is
+//!   an immediate 503, never an unbounded backlog.
+//! - **Cross-request micro-batching**: concurrent requests are
+//!   coalesced into one `leaf_distributions_batch` pass. Rows are
+//!   independent, so responses stay bit-identical to one-shot `cati
+//!   infer --json`.
+//! - **Hot swap**: `POST /admin/reload` atomically replaces the model;
+//!   every response names the model version that computed it.
+//! - **Deadlines**: the fuzz campaign's hang-limit machinery
+//!   ([`timeout`]) turns slow requests into clean 504s.
+//! - **Shared artifact tier**: an optional server-side
+//!   [`cati::ArtifactCache`] keyed by binary digest.
+//!
+//! See DESIGN.md §13 and the README's "Serving" section.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
+pub mod http;
+pub mod server;
+pub mod timeout;
+
+pub use http::{roundtrip, roundtrip_with_timeout, Request, RequestError, Response};
+pub use server::{model_version, ModelSlot, ServeConfig, Server, ServerHandle, BATCH_BUCKETS};
+pub use timeout::{parse_duration, HangLimit};

@@ -1,0 +1,91 @@
+//! Hang-limit machinery shared by `cati fuzz` and the serve daemon.
+//!
+//! The fuzz campaign introduced the pattern: a wall-clock budget per
+//! unit of work, checked against measured elapsed time — never a
+//! preemptive timer, so a slow computation is *reported* (hang file,
+//! 504) rather than torn down mid-write. This module single-sources
+//! the duration parsing (`60s`, `500ms`, bare seconds) and the
+//! exceeded-check so the two consumers cannot drift.
+
+use std::time::Duration;
+
+/// Parses a human duration argument: `60s`, `90` (seconds), `500ms`.
+///
+/// # Errors
+///
+/// Returns a message naming the bad input.
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (num, ms) = if let Some(v) = s.strip_suffix("ms") {
+        (v, true)
+    } else {
+        (s.strip_suffix('s').unwrap_or(s), false)
+    };
+    let n: u64 = num.parse().map_err(|_| format!("bad duration `{s}`"))?;
+    Ok(if ms {
+        Duration::from_millis(n)
+    } else {
+        Duration::from_secs(n)
+    })
+}
+
+/// A wall-clock budget for one unit of work. `None` = unlimited.
+///
+/// The contract (inherited from `cati fuzz --hang-limit-ms`): the
+/// work itself is never interrupted; callers measure elapsed time and
+/// ask [`HangLimit::exceeded`] whether to report the unit as hung
+/// (fuzz: `hang-*.json` reproducer; serve: a 504 response while the
+/// abandoned computation finishes in the background).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HangLimit(pub Option<Duration>);
+
+impl HangLimit {
+    /// A limit of `ms` milliseconds (0 = unlimited).
+    pub fn from_ms(ms: u64) -> HangLimit {
+        HangLimit((ms > 0).then(|| Duration::from_millis(ms)))
+    }
+
+    /// No limit: nothing ever hangs.
+    pub fn unlimited() -> HangLimit {
+        HangLimit(None)
+    }
+
+    /// Whether `elapsed` blew the budget.
+    pub fn exceeded(&self, elapsed: Duration) -> bool {
+        self.0.is_some_and(|limit| elapsed > limit)
+    }
+
+    /// The budget as a `Duration`, if bounded.
+    pub fn duration(&self) -> Option<Duration> {
+        self.0
+    }
+
+    /// The budget in milliseconds (0 = unlimited), for reporting.
+    pub fn as_ms(&self) -> u64 {
+        self.0.map_or(0, |d| d.as_millis() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_seconds_millis_and_bare_numbers() {
+        assert_eq!(parse_duration("60s").unwrap(), Duration::from_secs(60));
+        assert_eq!(parse_duration("90").unwrap(), Duration::from_secs(90));
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert!(parse_duration("abc").is_err());
+        assert!(parse_duration("1.5s").is_err());
+    }
+
+    #[test]
+    fn hang_limit_is_exclusive_at_the_bound() {
+        let limit = HangLimit::from_ms(100);
+        assert!(!limit.exceeded(Duration::from_millis(100)));
+        assert!(limit.exceeded(Duration::from_millis(101)));
+        assert!(!HangLimit::unlimited().exceeded(Duration::from_secs(3600)));
+        assert_eq!(HangLimit::from_ms(0), HangLimit::unlimited());
+        assert_eq!(HangLimit::from_ms(250).as_ms(), 250);
+        assert_eq!(HangLimit::unlimited().as_ms(), 0);
+    }
+}
