@@ -339,8 +339,14 @@ fn main() {
             "infer_vucs_per_s": r.infer_vucs_per_s,
         })
     };
+    // Stamp provenance so BENCH_speed.json and the history line can
+    // be diffed across revisions (`cati report --bench-diff`).
+    let rev = cati::obs::git_rev(std::path::Path::new("."));
+    let stamped_ms = cati::obs::manifest::unix_ms();
     let report = json!({
         "experiment": "speed",
+        "git_rev": rev.as_deref().unwrap_or("unknown"),
+        "unix_ms": stamped_ms,
         "scale": scale.name(),
         "seed": SEED,
         "cores": cores,
@@ -386,6 +392,23 @@ fn main() {
     )
     .expect("write BENCH_speed.json");
     println!("wrote {out}");
+
+    // Perf observatory: append the flat key-metric record to the
+    // git-rev-stamped history, one line per benchmark run.
+    let history_line = json!({
+        "git_rev": rev.as_deref().unwrap_or("unknown"),
+        "unix_ms": stamped_ms,
+        "scale": scale.name(),
+        "cores": cores,
+        "infer_vucs_per_s": parallel.infer_vucs_per_s,
+        "embed_rows_per_s": embed_rows_per_s,
+        "serve_reqs_per_s": serve_reqs_per_s,
+        "serve_p99_ms": serve_p99_ms,
+        "model_load_ms": model_load_ms,
+    });
+    let history = "results/bench_history.jsonl";
+    cati::obs::bench::append_history(history, &history_line).expect("append bench history");
+    println!("appended key metrics to {history}");
     run.finish(&json!({
         "experiment": "speed",
         "scale": scale.name(),

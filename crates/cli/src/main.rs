@@ -117,17 +117,8 @@ fn recorder_config_of(args: &Args) -> RecorderConfig {
     }
 }
 
-/// Writes the run manifest when `--manifest PATH` was given. `extra`
-/// keys join the standard `name` / `git_rev` meta fields.
-fn write_manifest_if_requested(
-    args: &Args,
-    recorder: &Recorder,
-    name: &str,
-    extra: &serde_json::Value,
-) -> Result<(), String> {
-    let Some(path) = args.flags.get("manifest") else {
-        return Ok(());
-    };
+/// The standard run-meta object: `name` / `git_rev` plus `extra` keys.
+fn run_meta(name: &str, extra: &serde_json::Value) -> serde_json::Value {
     let mut meta = serde_json::Map::new();
     meta.insert("name".to_string(), serde_json::json!(name));
     if let Some(rev) = git_rev(Path::new(".")) {
@@ -138,11 +129,43 @@ fn write_manifest_if_requested(
             meta.insert(k.clone(), v.clone());
         }
     }
-    recorder
-        .write_manifest(path, &serde_json::Value::Object(meta))
-        .map_err(|e| e.to_string())?;
-    // stderr, so `infer --json > out.json` stays machine-readable.
-    eprintln!("manifest written to {path}");
+    serde_json::Value::Object(meta)
+}
+
+/// Writes the run manifest when `--manifest PATH` was given and a
+/// Chrome trace when `--trace OUT.json` was given. `extra` keys join
+/// the standard `name` / `git_rev` meta fields.
+fn write_manifest_if_requested(
+    args: &Args,
+    recorder: &Recorder,
+    name: &str,
+    extra: &serde_json::Value,
+) -> Result<(), String> {
+    let meta = run_meta(name, extra);
+    if let Some(path) = args.flags.get("manifest") {
+        recorder
+            .write_manifest(path, &meta)
+            .map_err(|e| e.to_string())?;
+        // stderr, so `infer --json > out.json` stays machine-readable.
+        eprintln!("manifest written to {path}");
+    }
+    if let Some(path) = args.flags.get("trace") {
+        let jsonl = recorder.manifest_jsonl(&meta);
+        let manifest = Manifest::parse(&jsonl).map_err(|e| format!("trace: {e}"))?;
+        write_chrome_trace(&manifest, path)?;
+    }
+    Ok(())
+}
+
+/// Renders `manifest` as Chrome `trace_event` JSON (load it in
+/// Perfetto / `chrome://tracing`) at `path`.
+fn write_chrome_trace(manifest: &Manifest, path: &str) -> Result<(), String> {
+    let trace = cati::obs::chrome_trace::render(manifest);
+    std::fs::write(path, &trace).map_err(|e| format!("write trace {path}: {e}"))?;
+    eprintln!(
+        "chrome trace written to {path} ({} spans)",
+        manifest.spans.len()
+    );
     Ok(())
 }
 
@@ -708,12 +731,44 @@ fn load_manifest(path: &str) -> Result<Manifest, String> {
     Manifest::parse(&text).map_err(|e| format!("parse {path}: {e}"))
 }
 
+/// `cati report CURRENT --bench-diff BASELINE`: compares two bench
+/// records across the key metrics and exits non-zero on regression
+/// (unless `--warn-only`).
+fn cmd_bench_diff(args: &Args, current_path: &str, baseline_path: &str) -> Result<(), String> {
+    use cati::obs::bench::{BenchDiff, BenchRecord};
+    let base = BenchRecord::load(baseline_path)?;
+    let current = BenchRecord::load(current_path)?;
+    let threshold: f64 = args
+        .flags
+        .get("threshold")
+        .map(|s| s.parse().map_err(|_| "bad --threshold (want percent)"))
+        .transpose()?
+        .unwrap_or(10.0);
+    let diff = BenchDiff::compare(&base, &current, threshold);
+    print!("{}", diff.render(&base, &current));
+    let regressed = diff.regressions();
+    if !regressed.is_empty() && !args.switches.contains("warn-only") {
+        return Err(format!(
+            "bench regression past ±{:.1}%: {}",
+            diff.threshold_pct,
+            regressed.join(", ")
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_report(args: &Args) -> Result<(), String> {
     let path = args
         .positional
         .first()
         .ok_or("report requires a manifest path")?;
+    if let Some(baseline) = args.flags.get("bench-diff") {
+        return cmd_bench_diff(args, path, baseline);
+    }
     let manifest = load_manifest(path)?;
+    if let Some(out) = args.flags.get("trace") {
+        return write_chrome_trace(&manifest, out);
+    }
     if args.switches.contains("validate") {
         manifest
             .validate()
@@ -841,7 +896,8 @@ USAGE:
   cati fuzz [--seed N] [--mutants N] [--budget 60s] [--hang-limit-ms N] [--out DIR] [--replay CASE.json]
   cati serve --model MODEL.cati [--addr HOST:PORT] [--queue-capacity N] [--max-batch N] [--workers N]
              [--hang-limit-ms N] [--cache-dir DIR] [--threads N] [--manifest PATH]
-  cati report MANIFEST.jsonl [OTHER.jsonl] [--validate]
+  cati report MANIFEST.jsonl [OTHER.jsonl] [--validate] [--trace OUT.json]
+  cati report CURRENT.json --bench-diff BASELINE.json [--threshold PCT] [--warn-only]
   cati convert --model MODEL --out FILE [--format cati1|json]
   cati strip BINARY.json --out STRIPPED.json
 
@@ -898,16 +954,41 @@ Model format:
     cati convert --model old.json --out model.cati             # JSON -> CATI1
     cati convert --model model.cati --out m.json --format json # CATI1 -> JSON
 
-Telemetry (train and infer):
+Telemetry (train, infer, serve):
   --log-format text|json        live event mirror on stderr (default text)
   --log-level error|warn|info|debug
   --manifest PATH               write a run manifest (JSONL) for `cati report`
+  --trace OUT.json              export the run as Chrome trace_event JSON
+                                (open in Perfetto or chrome://tracing)
   --batch-stats                 also record per-minibatch gradient norms
 
-`cati report` pretty-prints one manifest, diffs two, or with
---validate checks structure (meta line, spans/losses, monotonic
-timestamps) and exits non-zero on failure.
+`cati report` pretty-prints one manifest (span tree, histograms with
+p50/p95/p99), diffs two, exports an existing manifest as a Chrome
+trace (--trace OUT.json), or with --validate checks structure (meta
+line, spans/losses, monotonic timestamps) and exits non-zero on
+failure.
+
+Perf observatory:
+  `cargo run -p cati-bench --release --bin exp_speed` stamps git_rev /
+  unix_ms into results/BENCH_speed.json and appends a flat record to
+  results/bench_history.jsonl. `cati report CURRENT --bench-diff
+  BASELINE` compares the key metrics (infer_vucs_per_s,
+  embed_rows_per_s, serve_reqs_per_s, serve_p99_ms, model_load_ms)
+  against a noise threshold (--threshold PCT, default 10) and exits
+  non-zero on regression; --warn-only reports without failing. Either
+  side may be a single JSON record or JSONL history (last line wins).
+
+Per-span allocation columns (alloc bytes / count in --trace output,
+`cati report`, and /debug/profile) need the counting allocator:
+build with `--features alloc-profile`.
 ";
+
+/// With `--features alloc-profile`, route all allocations through the
+/// counting allocator so spans carry allocation columns.
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static COUNTING_ALLOCATOR: cati::obs::alloc::CountingAllocator =
+    cati::obs::alloc::CountingAllocator;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -132,6 +132,10 @@ impl MultiStage {
                 obs.event(&Event::SpanClose {
                     path: &format!("train.{stage_name}"),
                     nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    // Synthetic span, not guard-managed: no
+                    // allocation attribution.
+                    alloc_bytes: 0,
+                    alloc_count: 0,
                 });
                 let line = format!("{stage}: {} samples, final loss {last_loss:.4}", data.len());
                 (stage, model, line)

@@ -1,0 +1,83 @@
+//! Counting global allocator for the `alloc-profile` feature.
+//!
+//! [`CountingAllocator`] wraps [`System`] and bumps two per-thread
+//! counters (allocation count, allocated bytes) on every `alloc`.
+//! [`SpanGuard`](crate::SpanGuard) samples [`thread_counters`] on
+//! entry, on child entry/exit, and on drop, attributing each slice of
+//! heap activity to the span that was *innermost* while it happened.
+//!
+//! The allocator must be installed by the final binary:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: cati_obs::alloc::CountingAllocator =
+//!     cati_obs::alloc::CountingAllocator;
+//! ```
+//!
+//! Without that line the feature still compiles and every counter
+//! stays 0. Deallocations are deliberately not tracked: the counters
+//! measure allocation *pressure* (how much a span asks of the
+//! allocator), not live heap size, so they are monotone per thread
+//! and span deltas can never go negative.
+//!
+//! This is the only module in the crate that needs `unsafe`: two
+//! blocks that delegate verbatim to `System`. The counter updates use
+//! `Cell::try_with` so allocations during thread-local teardown are
+//! silently uncounted instead of aborting.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Monotone per-thread allocation counters `(count, bytes)` since the
+/// thread first allocated. Both are 0 when [`CountingAllocator`] is
+/// not installed as the global allocator.
+pub fn thread_counters() -> (u64, u64) {
+    (
+        ALLOC_COUNT.try_with(Cell::get).unwrap_or(0),
+        ALLOC_BYTES.try_with(Cell::get).unwrap_or(0),
+    )
+}
+
+/// A [`System`]-delegating global allocator that counts per-thread
+/// allocation count and bytes. Zero branches beyond two thread-local
+/// `Cell` bumps per `alloc`; `dealloc` is pure delegation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAllocator;
+
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get().wrapping_add(1)));
+        let _ = ALLOC_BYTES.try_with(|b| b.set(b.get().wrapping_add(layout.size() as u64)));
+        // SAFETY: contract is inherited unchanged from the caller and
+        // discharged by the system allocator.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: as above — pure delegation.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone_and_see_a_big_allocation() {
+        let (c0, b0) = thread_counters();
+        let v: Vec<u8> = Vec::with_capacity(1 << 16);
+        let (c1, b1) = thread_counters();
+        drop(v);
+        let (c2, b2) = thread_counters();
+        assert!(c1 > c0, "allocation count did not advance");
+        assert!(b1 >= b0 + (1 << 16), "byte counter missed the Vec");
+        assert!(c2 >= c1 && b2 >= b1, "counters must be monotone");
+    }
+}

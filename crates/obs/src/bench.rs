@@ -1,0 +1,405 @@
+//! Bench records and the perf-regression observatory.
+//!
+//! `exp_speed` (and the serve benchmark inside it) write a rich
+//! `BENCH_speed.json`; this module defines the *flat* record appended
+//! to `results/bench_history.jsonl` (one JSON object per line,
+//! git-rev-stamped) and the diff logic behind
+//! `cati report CURRENT --bench-diff BASELINE`: each key metric has a
+//! direction (throughput up = good, latency up = bad) and a
+//! regression is a move in the bad direction past a configurable
+//! noise threshold. Missing metrics are reported but are not
+//! regressions — small CI runs legitimately skip sections — while a
+//! record carrying *none* of the key metrics is malformed and errors.
+
+use serde_json::{Map, Value};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Whether a bigger value is an improvement or a regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-style: bigger is better.
+    HigherIsBetter,
+    /// Latency-style: smaller is better.
+    LowerIsBetter,
+}
+
+/// The metrics `--bench-diff` compares, with their directions.
+pub const KEY_METRICS: [(&str, Direction); 5] = [
+    ("infer_vucs_per_s", Direction::HigherIsBetter),
+    ("embed_rows_per_s", Direction::HigherIsBetter),
+    ("serve_reqs_per_s", Direction::HigherIsBetter),
+    ("serve_p99_ms", Direction::LowerIsBetter),
+    ("model_load_ms", Direction::LowerIsBetter),
+];
+
+/// One bench record: identification plus flat numeric metrics.
+#[derive(Debug, Clone, Default)]
+pub struct BenchRecord {
+    /// Git revision the record was produced at, if stamped.
+    pub git_rev: Option<String>,
+    /// Unix milliseconds the record was produced at, if stamped.
+    pub unix_ms: Option<u64>,
+    /// Benchmark scale name, if present.
+    pub scale: Option<String>,
+    /// Flat numeric metrics (key-metric names plus anything else
+    /// numeric at the top level).
+    pub values: Map,
+}
+
+impl BenchRecord {
+    /// Extracts a record from a parsed JSON object. Top-level numeric
+    /// fields are taken directly; key metrics not found there are
+    /// searched for in the *last* entry of a `runs` array (the
+    /// `BENCH_speed.json` layout, whose last run is the
+    /// all-cores one).
+    pub fn from_value(v: &Value) -> BenchRecord {
+        let mut rec = BenchRecord {
+            git_rev: v["git_rev"].as_str().map(str::to_string),
+            unix_ms: v["unix_ms"].as_u64(),
+            scale: v["scale"].as_str().map(str::to_string),
+            ..BenchRecord::default()
+        };
+        if let Value::Object(obj) = v {
+            for (k, val) in obj.iter() {
+                if val.as_f64().is_some() {
+                    rec.values.insert(k.clone(), val.clone());
+                }
+            }
+        }
+        let last_run = v["runs"].as_array().and_then(|runs| runs.last());
+        for (name, _) in KEY_METRICS {
+            if rec.values.get(name).is_some() {
+                continue;
+            }
+            // Key metrics live either in the last run entry or in
+            // nested sections (`serve`, `model`) of the rich report.
+            if let Some(found) = last_run
+                .and_then(|r| r[name].as_f64())
+                .or_else(|| find_numeric(v, name))
+            {
+                rec.values.insert(name.to_string(), Value::from(found));
+            }
+        }
+        rec
+    }
+
+    /// Parses a record from file text: either one JSON object, or
+    /// JSONL history (the *last* non-empty line is taken).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unparseable JSON or a record carrying none of the
+    /// [`KEY_METRICS`].
+    pub fn parse(text: &str) -> Result<BenchRecord, String> {
+        let v: Value = serde_json::from_str(text.trim()).or_else(|whole_err| {
+            text.lines()
+                .rev()
+                .find(|l| !l.trim().is_empty())
+                .ok_or_else(|| format!("empty bench record: {whole_err}"))
+                .and_then(|line| {
+                    serde_json::from_str(line.trim())
+                        .map_err(|e| format!("bench record is not JSON: {e}"))
+                })
+        })?;
+        if !matches!(v, Value::Object(_)) {
+            return Err("bench record is not a JSON object".to_string());
+        }
+        let rec = BenchRecord::from_value(&v);
+        if !KEY_METRICS.iter().any(|(n, _)| rec.metric(n).is_some()) {
+            return Err(format!(
+                "bench record has none of the key metrics ({})",
+                KEY_METRICS.map(|(n, _)| n).join(", ")
+            ));
+        }
+        Ok(rec)
+    }
+
+    /// Reads and parses a record file.
+    ///
+    /// # Errors
+    ///
+    /// As [`BenchRecord::parse`], plus I/O failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<BenchRecord, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("read bench record {}: {e}", path.display()))?;
+        BenchRecord::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// A metric by name (finite values only).
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.values
+            .get(name)
+            .and_then(Value::as_f64)
+            .filter(|v| v.is_finite())
+    }
+}
+
+/// Recursively finds the first finite numeric field named `name`.
+fn find_numeric(v: &Value, name: &str) -> Option<f64> {
+    match v {
+        Value::Object(obj) => {
+            if let Some(x) = obj.get(name).and_then(Value::as_f64) {
+                if x.is_finite() {
+                    return Some(x);
+                }
+            }
+            obj.iter().find_map(|(_, child)| find_numeric(child, name))
+        }
+        Value::Array(items) => items.iter().find_map(|child| find_numeric(child, name)),
+        _ => None,
+    }
+}
+
+/// One compared metric in a [`BenchDiff`].
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub name: &'static str,
+    /// Direction of goodness.
+    pub direction: Direction,
+    /// Baseline value, if present.
+    pub base: Option<f64>,
+    /// Current value, if present.
+    pub current: Option<f64>,
+    /// Signed percent change current-vs-base (`None` when either side
+    /// is missing or base is 0).
+    pub delta_pct: Option<f64>,
+    /// Whether the move is in the bad direction past the threshold.
+    pub regressed: bool,
+}
+
+/// The result of comparing two bench records.
+#[derive(Debug, Clone)]
+pub struct BenchDiff {
+    /// Noise threshold in percent.
+    pub threshold_pct: f64,
+    /// One row per key metric.
+    pub rows: Vec<MetricDelta>,
+}
+
+impl BenchDiff {
+    /// Compares `current` against `base` across [`KEY_METRICS`] with
+    /// a noise threshold in percent.
+    pub fn compare(base: &BenchRecord, current: &BenchRecord, threshold_pct: f64) -> BenchDiff {
+        let threshold_pct = if threshold_pct.is_finite() && threshold_pct >= 0.0 {
+            threshold_pct
+        } else {
+            10.0
+        };
+        let rows = KEY_METRICS
+            .iter()
+            .map(|&(name, direction)| {
+                let b = base.metric(name);
+                let c = current.metric(name);
+                let delta_pct = match (b, c) {
+                    (Some(b), Some(c)) if b != 0.0 => Some((c - b) / b * 100.0),
+                    _ => None,
+                };
+                let regressed = delta_pct.is_some_and(|d| match direction {
+                    Direction::HigherIsBetter => d < -threshold_pct,
+                    Direction::LowerIsBetter => d > threshold_pct,
+                });
+                MetricDelta {
+                    name,
+                    direction,
+                    base: b,
+                    current: c,
+                    delta_pct,
+                    regressed,
+                }
+            })
+            .collect();
+        BenchDiff {
+            threshold_pct,
+            rows,
+        }
+    }
+
+    /// Names of regressed metrics.
+    pub fn regressions(&self) -> Vec<&'static str> {
+        self.rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| r.name)
+            .collect()
+    }
+
+    /// Human-readable table.
+    pub fn render(&self, base: &BenchRecord, current: &BenchRecord) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench diff (threshold ±{:.1}%): {} -> {}",
+            self.threshold_pct,
+            base.git_rev.as_deref().map_or("?", shorten),
+            current.git_rev.as_deref().map_or("?", shorten),
+        );
+        for row in &self.rows {
+            let arrow = match row.direction {
+                Direction::HigherIsBetter => "higher=better",
+                Direction::LowerIsBetter => "lower=better",
+            };
+            let fmt = |v: Option<f64>| v.map_or("(absent)".to_string(), |x| format!("{x:.3}"));
+            let verdict = if row.regressed {
+                "REGRESSED"
+            } else if row.delta_pct.is_none() {
+                "skipped"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<18} {b:>14} -> {c:>14}  {d:>9}  [{arrow}] {verdict}",
+                name = row.name,
+                b = fmt(row.base),
+                c = fmt(row.current),
+                d = row
+                    .delta_pct
+                    .map_or("n/a".to_string(), |d| format!("{d:+.1}%")),
+            );
+        }
+        let regressed = self.regressions();
+        if regressed.is_empty() {
+            let _ = writeln!(out, "  no regressions");
+        } else {
+            let _ = writeln!(out, "  REGRESSIONS: {}", regressed.join(", "));
+        }
+        out
+    }
+}
+
+/// First 12 characters of a git revision for display.
+fn shorten(rev: &str) -> &str {
+    &rev[..rev.len().min(12)]
+}
+
+/// Appends one JSON record as a line of `path`, creating parent
+/// directories.
+///
+/// # Errors
+///
+/// Propagates I/O failures, annotated with the path.
+pub fn append_history(path: impl AsRef<Path>, record: &Value) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", serde_json::to_string(record).unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn record(vals: &[(&str, f64)]) -> BenchRecord {
+        let mut obj = Map::new();
+        for (k, v) in vals {
+            obj.insert(k.to_string(), Value::from(*v));
+        }
+        BenchRecord::from_value(&Value::Object(obj))
+    }
+
+    const ALL: [(&str, f64); 5] = [
+        ("infer_vucs_per_s", 1000.0),
+        ("embed_rows_per_s", 5000.0),
+        ("serve_reqs_per_s", 200.0),
+        ("serve_p99_ms", 40.0),
+        ("model_load_ms", 3.0),
+    ];
+
+    #[test]
+    fn identical_records_have_no_regressions() {
+        let r = record(&ALL);
+        let diff = BenchDiff::compare(&r, &r, 10.0);
+        assert!(diff.regressions().is_empty());
+        assert!(diff.rows.iter().all(|row| row.delta_pct == Some(0.0)));
+    }
+
+    #[test]
+    fn fifty_percent_throughput_drop_regresses() {
+        let base = record(&ALL);
+        let mut worse = ALL;
+        worse[0].1 = 500.0; // infer_vucs_per_s halved
+        let cur = record(&worse);
+        let diff = BenchDiff::compare(&base, &cur, 10.0);
+        assert_eq!(diff.regressions(), vec!["infer_vucs_per_s"]);
+        // A generous threshold swallows the same drop.
+        assert!(BenchDiff::compare(&base, &cur, 75.0)
+            .regressions()
+            .is_empty());
+    }
+
+    #[test]
+    fn latency_direction_is_inverted() {
+        let base = record(&ALL);
+        let mut worse = ALL;
+        worse[3].1 = 80.0; // serve_p99_ms doubled = bad
+        let diff = BenchDiff::compare(&base, &record(&worse), 10.0);
+        assert_eq!(diff.regressions(), vec!["serve_p99_ms"]);
+        let mut better = ALL;
+        better[3].1 = 10.0; // p99 improved = fine
+        assert!(BenchDiff::compare(&base, &record(&better), 10.0)
+            .regressions()
+            .is_empty());
+    }
+
+    #[test]
+    fn missing_metrics_skip_instead_of_regressing() {
+        let base = record(&ALL);
+        let cur = record(&ALL[..2]); // serve metrics absent
+        let diff = BenchDiff::compare(&base, &cur, 10.0);
+        assert!(diff.regressions().is_empty());
+        assert!(diff.render(&base, &cur).contains("skipped"));
+    }
+
+    #[test]
+    fn parse_accepts_object_and_jsonl_and_rejects_garbage() {
+        let one = json!({"git_rev": "abc", "infer_vucs_per_s": 10.0});
+        let rec = BenchRecord::parse(&serde_json::to_string(&one).unwrap()).unwrap();
+        assert_eq!(rec.metric("infer_vucs_per_s"), Some(10.0));
+        assert_eq!(rec.git_rev.as_deref(), Some("abc"));
+
+        let jsonl = format!(
+            "{}\n{}\n",
+            serde_json::to_string(&json!({"infer_vucs_per_s": 1.0})).unwrap(),
+            serde_json::to_string(&json!({"infer_vucs_per_s": 2.0})).unwrap(),
+        );
+        let last = BenchRecord::parse(&jsonl).unwrap();
+        assert_eq!(last.metric("infer_vucs_per_s"), Some(2.0), "last line wins");
+
+        assert!(BenchRecord::parse("not json").is_err());
+        assert!(
+            BenchRecord::parse("{\"unrelated\": 1.0}").is_err(),
+            "no key metrics = malformed"
+        );
+    }
+
+    #[test]
+    fn key_metrics_are_found_in_nested_rich_reports() {
+        let rich = json!({
+            "git_rev": "deadbeef",
+            "runs": json!([
+                json!({"threads": 1, "infer_vucs_per_s": 100.0}),
+                json!({"threads": 8, "infer_vucs_per_s": 640.0, "embed_rows_per_s": 9000.0}),
+            ]),
+            "serve": json!({"serve_reqs_per_s": 300.0, "serve_p99_ms": 12.5}),
+            "model": json!({"model_load_ms": 2.25}),
+        });
+        let rec = BenchRecord::from_value(&rich);
+        assert_eq!(rec.metric("infer_vucs_per_s"), Some(640.0), "last run wins");
+        assert_eq!(rec.metric("embed_rows_per_s"), Some(9000.0));
+        assert_eq!(rec.metric("serve_reqs_per_s"), Some(300.0));
+        assert_eq!(rec.metric("serve_p99_ms"), Some(12.5));
+        assert_eq!(rec.metric("model_load_ms"), Some(2.25));
+    }
+}

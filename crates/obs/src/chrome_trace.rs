@@ -1,0 +1,285 @@
+//! Chrome `trace_event` export: renders a parsed [`Manifest`] into
+//! JSON loadable by Perfetto / `chrome://tracing`.
+//!
+//! Each manifest span becomes one complete (`"ph":"X"`) event with
+//! microsecond timestamps. The manifest records span *closes*
+//! (`ts_ms` = close time, `ms` = duration), so nominally
+//! `begin = ts_ms - ms` — but the two clocks involved (the recorder's
+//! elapsed-ms timestamps, taken under the timeline lock, and each
+//! `SpanGuard`'s own `Instant`) can disagree by scheduling jitter,
+//! which would make a child poke a few microseconds outside its
+//! parent and render as overlap. The exporter therefore *clamps*
+//! children into their parents, reconstructing per-thread nesting
+//! from the close order: within one thread spans close inner-first,
+//! so walking the records in reverse close order visits parents
+//! before their children, and lexical path-prefix parenthood
+//! (`a.b` is inside `a`) identifies the enclosing open span exactly.
+//! The output is strictly nested per thread *by construction* — the
+//! property [`validate`] checks and tests assert.
+//!
+//! Messages are included as instant (`"ph":"i"`) events so warnings
+//! line up with the spans they interrupted.
+
+use crate::manifest::Manifest;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Renders a manifest as a Chrome `trace_event` JSON object
+/// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+pub fn render(manifest: &Manifest) -> String {
+    serde_json::to_string(&to_value(manifest)).unwrap_or_else(|_| "{}".to_string())
+}
+
+/// [`render`], but returning the JSON tree.
+pub fn to_value(manifest: &Manifest) -> Value {
+    let mut events: Vec<Value> = Vec::with_capacity(manifest.spans.len() + 8);
+    let run_name = manifest.meta["name"].as_str().unwrap_or("cati");
+    events.push(json!({
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": json!({"name": run_name}),
+    }));
+
+    // Group spans by thread, preserving file (= close) order.
+    let mut by_tid: BTreeMap<u64, Vec<&crate::manifest::SpanLine>> = BTreeMap::new();
+    for s in &manifest.spans {
+        by_tid.entry(s.tid).or_default().push(s);
+    }
+    for (&tid, spans) in &by_tid {
+        events.push(json!({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": json!({"name": format!("thread-{tid}")}),
+        }));
+        // Reverse close order: parents (which close after their
+        // children) come first, so each span can be clamped into its
+        // nearest open lexical ancestor.
+        let mut intervals: Vec<(f64, f64, &crate::manifest::SpanLine)> =
+            Vec::with_capacity(spans.len());
+        let mut open: Vec<(String, f64, f64)> = Vec::new();
+        for s in spans.iter().rev() {
+            let mut end = s.ts_ms.max(0.0);
+            let mut begin = (s.ts_ms - s.ms).max(0.0);
+            while let Some((ppath, pb, pe)) = open.last() {
+                if is_strict_prefix(ppath, &s.path) {
+                    begin = begin.max(*pb);
+                    end = end.min(*pe);
+                    if begin > end {
+                        begin = end;
+                    }
+                    break;
+                }
+                open.pop();
+            }
+            open.push((s.path.clone(), begin, end));
+            intervals.push((begin, end, s));
+        }
+        intervals.reverse();
+        for (begin, end, s) in intervals {
+            let mut args = serde_json::Map::new();
+            args.insert("path".to_string(), json!(s.path));
+            if s.alloc_count > 0 {
+                args.insert("alloc_bytes".to_string(), json!(s.alloc_bytes));
+                args.insert("alloc_count".to_string(), json!(s.alloc_count));
+            }
+            events.push(json!({
+                "name": s.path,
+                "cat": "span",
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": begin * 1e3,
+                "dur": (end - begin) * 1e3,
+                "args": Value::Object(args),
+            }));
+        }
+    }
+    for (ts_ms, level, text) in &manifest.messages {
+        events.push(json!({
+            "name": text,
+            "cat": format!("message.{level}"),
+            "ph": "i",
+            "s": "t",
+            "pid": 1,
+            "tid": 0,
+            "ts": ts_ms * 1e3,
+        }));
+    }
+    json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    })
+}
+
+/// Is `parent` a strict dot-path prefix of `child` (`a` of `a.b`)?
+fn is_strict_prefix(parent: &str, child: &str) -> bool {
+    child.len() > parent.len()
+        && child.starts_with(parent)
+        && child.as_bytes()[parent.len()] == b'.'
+}
+
+/// Checks that `text` is well-formed Chrome trace JSON: parses, has a
+/// `traceEvents` array, every event carries `name`/`ph`/`pid`/`tid`,
+/// every `"X"` event has finite non-negative `ts`/`dur`, and within
+/// each thread complete events are strictly nested (no partial
+/// overlap).
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn validate(text: &str) -> Result<(), String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("trace is not JSON: {e}"))?;
+    let events = v["traceEvents"]
+        .as_array()
+        .ok_or("missing traceEvents array")?;
+    let mut by_tid: BTreeMap<u64, Vec<(f64, f64, String)>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e["ph"]
+            .as_str()
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if e["name"].as_str().is_none() {
+            return Err(format!("event {i}: missing name"));
+        }
+        if e["pid"].as_u64().is_none() || e["tid"].as_u64().is_none() {
+            return Err(format!("event {i}: missing pid/tid"));
+        }
+        if ph != "X" {
+            continue;
+        }
+        let ts = e["ts"]
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: X without ts"))?;
+        let dur = e["dur"]
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: X without dur"))?;
+        if !ts.is_finite() || !dur.is_finite() || ts < 0.0 || dur < 0.0 {
+            return Err(format!("event {i}: bad ts/dur ({ts}, {dur})"));
+        }
+        by_tid
+            .entry(e["tid"].as_u64().unwrap_or(0))
+            .or_default()
+            .push((ts, ts + dur, e["name"].as_str().unwrap_or("?").to_string()));
+    }
+    for (tid, mut iv) in by_tid {
+        // Sort by begin ascending, longest first on ties, and check
+        // the stack property: each event either nests inside the top
+        // of the stack or begins after it ends.
+        iv.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let mut stack: Vec<(f64, f64, String)> = Vec::new();
+        for (b, e, name) in iv {
+            while let Some((_, se, _)) = stack.last() {
+                if b >= *se {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some((_, se, sname)) = stack.last() {
+                if e > *se {
+                    return Err(format!(
+                        "tid {tid}: `{name}` [{b}, {e}] partially overlaps `{sname}` (ends {se})"
+                    ));
+                }
+            }
+            stack.push((b, e, name));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest_of(lines: &str) -> Manifest {
+        let text = format!("{{\"record\":\"meta\",\"ts_ms\":0.0,\"name\":\"t\"}}\n{lines}");
+        Manifest::parse(&text).expect("test manifest parses")
+    }
+
+    #[test]
+    fn spans_become_complete_events_matching_the_manifest() {
+        let m = manifest_of(concat!(
+            "{\"record\":\"span\",\"ts_ms\":4.0,\"path\":\"a.b\",\"ms\":3.0,\"tid\":1}\n",
+            "{\"record\":\"span\",\"ts_ms\":5.0,\"path\":\"a\",\"ms\":5.0,\"tid\":1}\n",
+        ));
+        let text = render(&m);
+        validate(&text).expect("trace validates");
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let names: Vec<&str> = v["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["ph"] == "X")
+            .map(|e| e["name"].as_str().unwrap())
+            .collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&"a") && names.contains(&"a.b"));
+    }
+
+    #[test]
+    fn clock_jitter_is_clamped_into_strict_nesting() {
+        // Child [0.9, 4.1] pokes out of parent [1.0, 4.0] on both
+        // sides — the exporter must clamp it inside.
+        let m = manifest_of(concat!(
+            "{\"record\":\"span\",\"ts_ms\":4.1,\"path\":\"p.c\",\"ms\":3.2,\"tid\":7}\n",
+            "{\"record\":\"span\",\"ts_ms\":4.0,\"path\":\"p\",\"ms\":3.0,\"tid\":7}\n",
+        ));
+        let text = render(&m);
+        validate(&text).expect("clamped trace validates");
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        let child = events.iter().find(|e| e["name"] == "p.c").unwrap();
+        let parent = events.iter().find(|e| e["name"] == "p").unwrap();
+        let (cb, cd) = (
+            child["ts"].as_f64().unwrap(),
+            child["dur"].as_f64().unwrap(),
+        );
+        let (pb, pd) = (
+            parent["ts"].as_f64().unwrap(),
+            parent["dur"].as_f64().unwrap(),
+        );
+        assert!(cb >= pb && cb + cd <= pb + pd, "child clamped into parent");
+    }
+
+    #[test]
+    fn sibling_spans_on_one_thread_do_not_nest() {
+        let m = manifest_of(concat!(
+            "{\"record\":\"span\",\"ts_ms\":2.0,\"path\":\"x.s1\",\"ms\":2.0,\"tid\":3}\n",
+            "{\"record\":\"span\",\"ts_ms\":5.0,\"path\":\"x.s2\",\"ms\":2.5,\"tid\":3}\n",
+            "{\"record\":\"span\",\"ts_ms\":5.5,\"path\":\"x\",\"ms\":5.5,\"tid\":3}\n",
+        ));
+        validate(&render(&m)).expect("siblings validate");
+    }
+
+    #[test]
+    fn threads_are_independent_lanes() {
+        let m = manifest_of(concat!(
+            "{\"record\":\"span\",\"ts_ms\":3.0,\"path\":\"w\",\"ms\":3.0,\"tid\":2}\n",
+            "{\"record\":\"span\",\"ts_ms\":3.5,\"path\":\"v\",\"ms\":3.2,\"tid\":4}\n",
+        ));
+        let text = render(&m);
+        validate(&text).expect("separate tids validate");
+        // Overlapping top-level spans on the SAME thread would fail.
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let tids: Vec<u64> = v["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["ph"] == "X")
+            .map(|e| e["tid"].as_u64().unwrap())
+            .collect();
+        assert!(tids.contains(&2) && tids.contains(&4));
+    }
+
+    #[test]
+    fn validate_rejects_partial_overlap() {
+        let bad = r#"{"traceEvents": [
+            {"name":"a","ph":"X","pid":1,"tid":1,"ts":0.0,"dur":10.0},
+            {"name":"b","ph":"X","pid":1,"tid":1,"ts":5.0,"dur":10.0}
+        ]}"#;
+        let err = validate(bad).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+    }
+}

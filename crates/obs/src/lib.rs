@@ -21,19 +21,31 @@
 //! telemetry never perturbs determinism (observers only *read* the
 //! computation) and costs ≈nothing when disabled.
 
-#![forbid(unsafe_code)]
+// The crate is `forbid(unsafe_code)` except under `alloc-profile`,
+// whose `GlobalAlloc` impl requires two audited `unsafe` blocks that
+// delegate straight to `System` (see `alloc.rs`).
+#![cfg_attr(not(feature = "alloc-profile"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-profile", deny(unsafe_code))]
 #![warn(missing_docs)]
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
+#[cfg(feature = "alloc-profile")]
+pub mod alloc;
+pub mod bench;
+pub mod chrome_trace;
 pub mod manifest;
 pub mod metrics;
+pub mod profile;
+pub mod prometheus;
 pub mod recorder;
 
 pub use manifest::{git_rev, Manifest};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use profile::SpanTree;
 pub use recorder::{LogFormat, Recorder, RecorderConfig};
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Severity of a [`Event::Message`], ordered most to least severe.
@@ -88,6 +100,12 @@ pub enum Event<'a> {
         path: &'a str,
         /// Wall-clock duration in nanoseconds.
         nanos: u64,
+        /// Heap bytes allocated on this thread while the span was the
+        /// innermost open span (0 unless the `alloc-profile` feature
+        /// is enabled).
+        alloc_bytes: u64,
+        /// Heap allocation count attributed like `alloc_bytes`.
+        alloc_count: u64,
     },
     /// A monotonic counter increment.
     Counter {
@@ -189,11 +207,48 @@ impl<F: Fn(&str) + Send + Sync> Observer for FnObserver<F> {
     }
 }
 
+/// One open span on a thread's stack. Under `alloc-profile` each
+/// frame also tracks heap activity attributed to it while it is the
+/// *innermost* open span: `self_*` accumulates finished slices, and
+/// `mark_*` remembers the thread counters when this frame last became
+/// innermost (on its own entry, or when a child closed).
+struct SpanFrame {
+    path: String,
+    #[cfg(feature = "alloc-profile")]
+    self_bytes: u64,
+    #[cfg(feature = "alloc-profile")]
+    self_count: u64,
+    #[cfg(feature = "alloc-profile")]
+    mark_bytes: u64,
+    #[cfg(feature = "alloc-profile")]
+    mark_count: u64,
+}
+
 thread_local! {
-    /// Per-thread stack of open span paths. Worker threads spawned by
+    /// Per-thread stack of open span frames. Worker threads spawned by
     /// the rayon shim start with an empty stack, so their spans root
     /// at their own names and never interleave with other threads'.
-    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<Vec<SpanFrame>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_THREAD_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_TOKEN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A small positive integer identifying the calling thread, stable for
+/// the thread's lifetime and dense across the process (first caller
+/// gets 1). Used by [`Recorder`] to stamp span records with a thread
+/// identity the Chrome-trace exporter can lane spans by; unlike
+/// `std::thread::ThreadId` it serializes naturally.
+pub fn thread_token() -> u64 {
+    THREAD_TOKEN.with(|token| {
+        if token.get() == 0 {
+            token.set(NEXT_THREAD_TOKEN.fetch_add(1, Ordering::Relaxed));
+        }
+        token.get()
+    })
 }
 
 /// An RAII timer for one span: emits [`Event::SpanOpen`] on entry and
@@ -211,11 +266,29 @@ impl<'a> SpanGuard<'a> {
     pub fn enter(obs: &'a dyn Observer, name: &str) -> SpanGuard<'a> {
         let path = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
+            #[cfg(feature = "alloc-profile")]
+            let (now_count, now_bytes) = alloc::thread_counters();
+            #[cfg(feature = "alloc-profile")]
+            if let Some(top) = stack.last_mut() {
+                // The parent stops being innermost: bank its slice.
+                top.self_bytes += now_bytes.saturating_sub(top.mark_bytes);
+                top.self_count += now_count.saturating_sub(top.mark_count);
+            }
             let path = match stack.last() {
-                Some(parent) => format!("{parent}.{name}"),
+                Some(parent) => format!("{}.{name}", parent.path),
                 None => name.to_string(),
             };
-            stack.push(path.clone());
+            stack.push(SpanFrame {
+                path: path.clone(),
+                #[cfg(feature = "alloc-profile")]
+                self_bytes: 0,
+                #[cfg(feature = "alloc-profile")]
+                self_count: 0,
+                #[cfg(feature = "alloc-profile")]
+                mark_bytes: now_bytes,
+                #[cfg(feature = "alloc-profile")]
+                mark_count: now_count,
+            });
             path
         });
         obs.event(&Event::SpanOpen { path: &path });
@@ -235,20 +308,48 @@ impl<'a> SpanGuard<'a> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        #[allow(unused_mut)]
+        let mut alloc_totals = (0u64, 0u64);
         SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
+            #[cfg(feature = "alloc-profile")]
+            let (now_count, now_bytes) = alloc::thread_counters();
             // Guards drop LIFO in normal use; tolerate out-of-order
             // drops by removing the matching entry wherever it is.
-            if let Some(i) = stack.iter().rposition(|p| p == &self.path) {
-                stack.remove(i);
+            if let Some(i) = stack.iter().rposition(|f| f.path == self.path) {
+                #[allow(clippy::let_underscore_untyped)]
+                let _frame = stack.remove(i);
+                #[cfg(feature = "alloc-profile")]
+                {
+                    alloc_totals = (
+                        _frame
+                            .self_bytes
+                            .wrapping_add(now_bytes.saturating_sub(_frame.mark_bytes)),
+                        _frame
+                            .self_count
+                            .wrapping_add(now_count.saturating_sub(_frame.mark_count)),
+                    );
+                    if let Some(top) = stack.last_mut() {
+                        // The parent is innermost again: restart its
+                        // slice at the current counters.
+                        top.mark_bytes = now_bytes;
+                        top.mark_count = now_count;
+                    }
+                }
             }
         });
         self.obs.event(&Event::SpanClose {
             path: &self.path,
             nanos,
+            alloc_bytes: alloc_totals.0,
+            alloc_count: alloc_totals.1,
         });
     }
 }
+
+#[cfg(all(test, feature = "alloc-profile"))]
+#[global_allocator]
+static TEST_COUNTING_ALLOCATOR: alloc::CountingAllocator = alloc::CountingAllocator;
 
 /// Opens a [`SpanGuard`] with a format-string name:
 /// `let _g = span!(obs, "train.{stage}");`.
@@ -310,6 +411,62 @@ mod tests {
         }
         let got = cap.0.lock().unwrap().clone();
         assert_eq!(got, vec!["outer.inner1".to_string(), "outer".to_string()]);
+    }
+
+    /// A 1 MiB `Vec` allocated while `outer.inner` is the innermost
+    /// open span must be charged to it — not to `outer`, whose
+    /// self-allocation only covers its own bookkeeping.
+    #[cfg(feature = "alloc-profile")]
+    #[test]
+    fn allocations_attribute_to_the_innermost_span() {
+        #[derive(Default)]
+        struct AllocCapture(Mutex<Vec<(String, u64, u64)>>);
+        impl Observer for AllocCapture {
+            fn event(&self, event: &Event<'_>) {
+                if let Event::SpanClose {
+                    path,
+                    alloc_bytes,
+                    alloc_count,
+                    ..
+                } = event
+                {
+                    self.0
+                        .lock()
+                        .unwrap()
+                        .push((path.to_string(), *alloc_bytes, *alloc_count));
+                }
+            }
+        }
+        const BIG: usize = 1 << 20;
+        let cap = AllocCapture::default();
+        {
+            let _outer = SpanGuard::enter(&cap, "alloc_outer");
+            {
+                let _inner = SpanGuard::enter(&cap, "alloc_inner");
+                let v: Vec<u8> = Vec::with_capacity(BIG);
+                drop(v);
+            }
+        }
+        let got = cap.0.lock().unwrap().clone();
+        let inner = got
+            .iter()
+            .find(|(p, ..)| p == "alloc_outer.alloc_inner")
+            .expect("inner span close");
+        let outer = got
+            .iter()
+            .find(|(p, ..)| p == "alloc_outer")
+            .expect("outer span close");
+        assert!(
+            inner.1 >= BIG as u64,
+            "inner span owns the {BIG}-byte Vec, saw {} bytes",
+            inner.1
+        );
+        assert!(inner.2 >= 1, "inner span saw no allocations");
+        assert!(
+            outer.1 < BIG as u64,
+            "outer self-allocation ({} bytes) must exclude the child's Vec",
+            outer.1
+        );
     }
 
     #[test]

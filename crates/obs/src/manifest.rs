@@ -51,8 +51,15 @@ pub struct SpanLine {
     pub path: String,
     /// Duration in milliseconds.
     pub ms: f64,
-    /// Timestamp (ms since run start).
+    /// Timestamp (ms since run start) of the span *close*.
     pub ts_ms: f64,
+    /// Thread token of the recording thread (0 in manifests written
+    /// before thread identity was recorded).
+    pub tid: u64,
+    /// Self-attributed allocated bytes (0 without `alloc-profile`).
+    pub alloc_bytes: u64,
+    /// Self-attributed allocation count (0 without `alloc-profile`).
+    pub alloc_count: u64,
 }
 
 /// One stage-epoch loss from a manifest.
@@ -124,6 +131,9 @@ impl Manifest {
                     path: v["path"].as_str().unwrap_or("?").to_string(),
                     ms: v["ms"].as_f64().unwrap_or(0.0),
                     ts_ms: v["ts_ms"].as_f64().unwrap_or(0.0),
+                    tid: v["tid"].as_u64().unwrap_or(0),
+                    alloc_bytes: v["alloc_bytes"].as_u64().unwrap_or(0),
+                    alloc_count: v["alloc_count"].as_u64().unwrap_or(0),
                 }),
                 "loss" => m.losses.push(LossLine {
                     stage: v["stage"].as_str().unwrap_or("?").to_string(),
@@ -188,6 +198,19 @@ impl Manifest {
         totals
     }
 
+    /// Aggregates the manifest's spans into a call tree (see
+    /// [`crate::profile`]).
+    pub fn span_tree(&self) -> crate::profile::SpanTree {
+        crate::profile::SpanTree::from_observations(self.spans.iter().map(|s| {
+            crate::profile::SpanObservation {
+                path: &s.path,
+                nanos: (s.ms * 1e6) as u64,
+                alloc_bytes: s.alloc_bytes,
+                alloc_count: s.alloc_count,
+            }
+        }))
+    }
+
     /// Final (last-epoch) loss per stage.
     pub fn final_losses(&self) -> BTreeMap<String, f64> {
         let mut out = BTreeMap::new();
@@ -216,6 +239,14 @@ impl Manifest {
             let width = totals.keys().map(String::len).max().unwrap_or(0);
             for (path, ms) in &totals {
                 let _ = writeln!(out, "  {path:<width$}  {:>12}", fmt_ms(*ms));
+            }
+            let tree = self.span_tree();
+            // The tree view only adds information when spans nest.
+            if tree.roots.iter().any(|r| !r.children.is_empty()) {
+                let _ = writeln!(out, "span tree (calls / total / self):");
+                for line in tree.render().lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
             }
         }
         if !self.losses.is_empty() {
@@ -249,9 +280,15 @@ impl Manifest {
             if !m.histograms.is_empty() {
                 let _ = writeln!(out, "histograms:");
                 for h in &m.histograms {
+                    let quantiles = match (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99)) {
+                        (Some(p50), Some(p95), Some(p99)) => {
+                            format!(" p50={p50:.4} p95={p95:.4} p99={p99:.4}")
+                        }
+                        _ => String::new(),
+                    };
                     let _ = writeln!(
                         out,
-                        "  {:<32} n={} mean={:.4} invalid={}",
+                        "  {:<32} n={} mean={:.4}{quantiles} invalid={}",
                         h.name,
                         h.count,
                         h.mean(),

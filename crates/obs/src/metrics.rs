@@ -131,6 +131,60 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the recorded
+    /// distribution by linear interpolation within the bucket that
+    /// contains the target rank (the estimator Prometheus'
+    /// `histogram_quantile` uses):
+    ///
+    /// - the first bucket interpolates from a lower edge of 0 when
+    ///   its bound is positive, else from the bound itself;
+    /// - the overflow bucket has no upper edge, so any rank landing
+    ///   there reports the last finite bound (a lower bound on the
+    ///   true quantile);
+    /// - `None` when the histogram is empty or `q` is out of range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) || self.bounds.is_empty() {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if next as f64 >= target {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: unbounded above.
+                    return self.bounds.last().copied();
+                }
+                let upper = self.bounds[i];
+                let lower = if i == 0 {
+                    if upper > 0.0 {
+                        0.0
+                    } else {
+                        upper
+                    }
+                } else {
+                    self.bounds[i - 1]
+                };
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * frac);
+            }
+            cum = next;
+        }
+        self.bounds.last().copied()
+    }
+
+    /// `(p50, p95, p99)` quantile estimates (`None` when empty).
+    pub fn percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.5)?,
+            self.quantile(0.95)?,
+            self.quantile(0.99)?,
+        ))
+    }
 }
 
 /// Serializable state of one counter.
@@ -357,6 +411,56 @@ mod tests {
         m.set_gauge("g", 1.5);
         m.set_gauge("g", -2.5);
         assert_eq!(m.snapshot().gauge("g"), Some(-2.5));
+    }
+
+    #[test]
+    fn quantiles_match_exact_percentiles_of_a_uniform_distribution() {
+        // 1..=100 into decade buckets: every bucket holds exactly 10
+        // observations, so linear interpolation is *exact* at any
+        // quantile whose rank lands on a bucket-fraction boundary.
+        let bounds: Vec<f64> = (1..=10).map(|i| (i * 10) as f64).collect();
+        let h = Histogram::new(&bounds);
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        let s = h.snapshot("u");
+        assert!((s.quantile(0.5).unwrap() - 50.0).abs() < 1e-9);
+        assert!((s.quantile(0.95).unwrap() - 95.0).abs() < 1e-9);
+        assert!((s.quantile(0.99).unwrap() - 99.0).abs() < 1e-9);
+        assert!((s.quantile(1.0).unwrap() - 100.0).abs() < 1e-9);
+        let (p50, p95, p99) = s.percentiles().unwrap();
+        assert!((p50 - 50.0).abs() < 1e-9);
+        assert!((p95 - 95.0).abs() < 1e-9);
+        assert!((p99 - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_skewed_bucket() {
+        // 3 observations ≤ 1.0 and 1 observation in (1.0, 2.0]:
+        // p50's rank (2.0 of 4) is two-thirds into the first bucket.
+        let h = Histogram::new(&[1.0, 2.0]);
+        for v in [0.2, 0.4, 0.9, 1.5] {
+            h.record(v);
+        }
+        let s = h.snapshot("skew");
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((p50 - 2.0 / 3.0).abs() < 1e-9, "got {p50}");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.snapshot("e").quantile(0.5), None, "empty histogram");
+        h.record(5.0);
+        h.record(7.0);
+        let s = h.snapshot("e");
+        assert_eq!(
+            s.quantile(0.99),
+            Some(1.0),
+            "overflow ranks clamp to the last finite bound"
+        );
+        assert_eq!(s.quantile(-0.1), None);
+        assert_eq!(s.quantile(1.1), None);
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! Aggregated span call trees (`cati profile` core).
+//!
+//! The tracing layer emits one [`SpanClose`](crate::Event::SpanClose)
+//! per span *instance*; this module folds those instances into a
+//! [`SpanTree`] keyed by dot-joined path, with per-node:
+//!
+//! - `calls` — how many instances closed with this exact path,
+//! - `total_ns` — summed wall-clock time of those instances (a parent
+//!   span's total includes time spent in same-thread children),
+//! - `self_ns` — `total_ns` minus the totals of direct children,
+//!   floored at 0 (children running on *other* threads — rayon-shim
+//!   workers — can legitimately sum past the parent's wall clock),
+//! - `alloc_*` — allocation pressure. `SpanClose` already carries
+//!   *self* attribution (the innermost-span accounting done by
+//!   `SpanGuard` under the `alloc-profile` feature), so here
+//!   `self_alloc_*` is a straight sum and `alloc_*` is the subtree
+//!   rollup.
+//!
+//! Parenthood is purely lexical: `a.b` is a child of `a` because span
+//! paths are built by appending `.name` to the parent's path. A path
+//! whose parent never closed (e.g. the manifest was written while the
+//! parent was still open) gets an *implicit* node with `calls == 0`
+//! whose total is the sum of its children.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One span instance feeding a profile: the fields of a
+/// [`SpanClose`](crate::Event::SpanClose) event or a manifest span
+/// record.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanObservation<'a> {
+    /// Full dot-joined span path.
+    pub path: &'a str,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u64,
+    /// Self-attributed allocated bytes (0 without `alloc-profile`).
+    pub alloc_bytes: u64,
+    /// Self-attributed allocation count (0 without `alloc-profile`).
+    pub alloc_count: u64,
+}
+
+/// One node of an aggregated [`SpanTree`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileNode {
+    /// Last path segment (node label).
+    pub name: String,
+    /// Full dot-joined path.
+    pub path: String,
+    /// Closed span instances with exactly this path (0 for implicit
+    /// intermediate nodes).
+    pub calls: u64,
+    /// Summed wall-clock nanoseconds (includes same-thread children;
+    /// for implicit nodes, the sum of the children's totals).
+    pub total_ns: u64,
+    /// `total_ns` minus direct children's totals, floored at 0.
+    pub self_ns: u64,
+    /// Subtree allocated bytes (self + all descendants).
+    pub alloc_bytes: u64,
+    /// Subtree allocation count (self + all descendants).
+    pub alloc_count: u64,
+    /// Bytes allocated while a span with this path was innermost.
+    pub self_alloc_bytes: u64,
+    /// Allocations made while a span with this path was innermost.
+    pub self_alloc_count: u64,
+    /// Child nodes, ordered by path.
+    pub children: Vec<ProfileNode>,
+}
+
+/// An aggregated profile: a forest of [`ProfileNode`]s rooted at the
+/// top-level span names seen in the run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanTree {
+    /// Root nodes, ordered by path.
+    pub roots: Vec<ProfileNode>,
+}
+
+#[derive(Default, Clone, Copy)]
+struct Agg {
+    calls: u64,
+    total_ns: u64,
+    self_alloc_bytes: u64,
+    self_alloc_count: u64,
+}
+
+impl SpanTree {
+    /// Builds a tree by aggregating span observations by path.
+    pub fn from_observations<'a, I>(observations: I) -> SpanTree
+    where
+        I: IntoIterator<Item = SpanObservation<'a>>,
+    {
+        let mut by_path: BTreeMap<String, Agg> = BTreeMap::new();
+        for o in observations {
+            let agg = by_path.entry(o.path.to_string()).or_default();
+            agg.calls += 1;
+            agg.total_ns = agg.total_ns.saturating_add(o.nanos);
+            agg.self_alloc_bytes = agg.self_alloc_bytes.saturating_add(o.alloc_bytes);
+            agg.self_alloc_count = agg.self_alloc_count.saturating_add(o.alloc_count);
+        }
+        let mut roots = Vec::new();
+        for (path, agg) in &by_path {
+            insert(&mut roots, path, agg);
+        }
+        for root in &mut roots {
+            finalize(root);
+        }
+        SpanTree { roots }
+    }
+
+    /// Total wall-clock nanoseconds across root spans.
+    pub fn total_ns(&self) -> u64 {
+        self.roots.iter().map(|r| r.total_ns).sum()
+    }
+
+    /// Depth-first iteration over all nodes.
+    pub fn walk(&self, mut f: impl FnMut(&ProfileNode, usize)) {
+        fn go(node: &ProfileNode, depth: usize, f: &mut impl FnMut(&ProfileNode, usize)) {
+            f(node, depth);
+            for child in &node.children {
+                go(child, depth + 1, f);
+            }
+        }
+        for root in &self.roots {
+            go(root, 0, &mut f);
+        }
+    }
+
+    /// Finds a node by its full dot-joined path.
+    pub fn find(&self, path: &str) -> Option<&ProfileNode> {
+        fn go<'a>(nodes: &'a [ProfileNode], path: &str) -> Option<&'a ProfileNode> {
+            for node in nodes {
+                if node.path == path {
+                    return Some(node);
+                }
+                if path.starts_with(&node.path)
+                    && path.as_bytes().get(node.path.len()) == Some(&b'.')
+                {
+                    return go(&node.children, path);
+                }
+            }
+            None
+        }
+        go(&self.roots, path)
+    }
+
+    /// Human-readable indented rendering, longest-total-first among
+    /// siblings. Allocation columns appear only when any node carries
+    /// nonzero allocation counters.
+    pub fn render(&self) -> String {
+        let mut any_alloc = false;
+        self.walk(|n, _| any_alloc |= n.alloc_count > 0);
+        let mut out = String::new();
+        let mut ordered: Vec<&ProfileNode> = self.roots.iter().collect();
+        ordered.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.path.cmp(&b.path)));
+        for root in ordered {
+            render_node(root, 0, any_alloc, &mut out);
+        }
+        out
+    }
+
+    /// Serializes the tree as a JSON object `{"roots": [...]}`.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self).unwrap_or(serde_json::Value::Null)
+    }
+}
+
+fn insert(nodes: &mut Vec<ProfileNode>, path: &str, agg: &Agg) {
+    let mut prefix_end = 0usize;
+    let mut current = nodes;
+    loop {
+        let rest = &path[prefix_end..];
+        let (segment, is_leaf) = match rest.find('.') {
+            Some(dot) => (&rest[..dot], false),
+            None => (rest, true),
+        };
+        let node_path_end = prefix_end + segment.len();
+        let node_path = &path[..node_path_end];
+        let idx = match current.iter().position(|n| n.path == node_path) {
+            Some(i) => i,
+            None => {
+                current.push(ProfileNode {
+                    name: segment.to_string(),
+                    path: node_path.to_string(),
+                    calls: 0,
+                    total_ns: 0,
+                    self_ns: 0,
+                    alloc_bytes: 0,
+                    alloc_count: 0,
+                    self_alloc_bytes: 0,
+                    self_alloc_count: 0,
+                    children: Vec::new(),
+                });
+                current.len() - 1
+            }
+        };
+        if is_leaf {
+            let node = &mut current[idx];
+            node.calls = agg.calls;
+            node.total_ns = agg.total_ns;
+            node.self_alloc_bytes = agg.self_alloc_bytes;
+            node.self_alloc_count = agg.self_alloc_count;
+            return;
+        }
+        prefix_end = node_path_end + 1;
+        current = &mut current[idx].children;
+    }
+}
+
+/// Post-order pass computing implicit totals, self time, and subtree
+/// allocation rollups.
+fn finalize(node: &mut ProfileNode) {
+    let mut child_total = 0u64;
+    let mut child_alloc_bytes = 0u64;
+    let mut child_alloc_count = 0u64;
+    for child in &mut node.children {
+        finalize(child);
+        child_total = child_total.saturating_add(child.total_ns);
+        child_alloc_bytes = child_alloc_bytes.saturating_add(child.alloc_bytes);
+        child_alloc_count = child_alloc_count.saturating_add(child.alloc_count);
+    }
+    if node.calls == 0 {
+        // Implicit intermediate: no closed instance of its own.
+        node.total_ns = child_total;
+        node.self_ns = 0;
+    } else {
+        node.self_ns = node.total_ns.saturating_sub(child_total);
+    }
+    node.alloc_bytes = node.self_alloc_bytes.saturating_add(child_alloc_bytes);
+    node.alloc_count = node.self_alloc_count.saturating_add(child_alloc_count);
+}
+
+fn render_node(node: &ProfileNode, depth: usize, any_alloc: bool, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let _ = write!(
+        out,
+        "{indent}{name:<width$} calls {calls:>6}  total {total:>10}  self {self_:>10}",
+        name = node.name,
+        width = 28usize.saturating_sub(indent.len()),
+        calls = node.calls,
+        total = fmt_ns(node.total_ns),
+        self_ = fmt_ns(node.self_ns),
+    );
+    if any_alloc {
+        let _ = write!(
+            out,
+            "  alloc {bytes}/{count}",
+            bytes = fmt_bytes(node.alloc_bytes),
+            count = node.alloc_count
+        );
+    }
+    out.push('\n');
+    let mut ordered: Vec<&ProfileNode> = node.children.iter().collect();
+    ordered.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.path.cmp(&b.path)));
+    for child in ordered {
+        render_node(child, depth + 1, any_alloc, out);
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(path: &str, nanos: u64) -> SpanObservation<'_> {
+        SpanObservation {
+            path,
+            nanos,
+            alloc_bytes: 0,
+            alloc_count: 0,
+        }
+    }
+
+    #[test]
+    fn self_time_plus_children_reconstructs_parent_total() {
+        let tree = SpanTree::from_observations(vec![
+            obs("train", 1_000),
+            obs("train.stage1", 300),
+            obs("train.stage2", 450),
+            obs("train.stage2.epoch", 200),
+            obs("train.stage2.epoch", 150),
+        ]);
+        let train = tree.find("train").expect("train node");
+        assert_eq!(train.calls, 1);
+        assert_eq!(train.total_ns, 1_000);
+        assert_eq!(train.self_ns, 1_000 - 300 - 450);
+        let stage2 = tree.find("train.stage2").expect("stage2 node");
+        assert_eq!(stage2.total_ns, 450);
+        assert_eq!(stage2.self_ns, 450 - 350);
+        let epoch = tree.find("train.stage2.epoch").expect("epoch node");
+        assert_eq!(epoch.calls, 2);
+        assert_eq!(epoch.total_ns, 350);
+        assert_eq!(epoch.self_ns, 350);
+        // Invariant the satellite test demands: every non-implicit
+        // node's self + Σ direct children totals == its own total
+        // (exact here; saturating only under parallel children).
+        tree.walk(|n, _| {
+            if n.calls > 0 {
+                let child_sum: u64 = n.children.iter().map(|c| c.total_ns).sum();
+                assert_eq!(n.self_ns + child_sum, n.total_ns, "at {}", n.path);
+            }
+        });
+    }
+
+    #[test]
+    fn orphan_children_get_implicit_parents() {
+        let tree =
+            SpanTree::from_observations(vec![obs("serve.batch", 400), obs("serve.batch", 600)]);
+        let serve = tree.find("serve").expect("implicit serve node");
+        assert_eq!(serve.calls, 0);
+        assert_eq!(serve.total_ns, 1_000, "implicit total is children's sum");
+        assert_eq!(serve.self_ns, 0);
+        let batch = tree.find("serve.batch").expect("batch node");
+        assert_eq!(batch.calls, 2);
+    }
+
+    #[test]
+    fn parallel_children_floor_self_time_at_zero() {
+        // Two worker-thread children sum past the parent's wall clock.
+        let tree = SpanTree::from_observations(vec![
+            obs("par", 1_000),
+            obs("par.w", 900),
+            obs("par.w", 800),
+        ]);
+        let par = tree.find("par").expect("par node");
+        assert_eq!(par.self_ns, 0, "self time saturates, never underflows");
+    }
+
+    #[test]
+    fn self_alloc_sums_and_subtree_rolls_up() {
+        let tree = SpanTree::from_observations(vec![
+            SpanObservation {
+                path: "a",
+                nanos: 10,
+                alloc_bytes: 100,
+                alloc_count: 1,
+            },
+            SpanObservation {
+                path: "a.b",
+                nanos: 5,
+                alloc_bytes: 1_000,
+                alloc_count: 3,
+            },
+        ]);
+        let a = tree.find("a").expect("a node");
+        assert_eq!(a.self_alloc_bytes, 100);
+        assert_eq!(a.alloc_bytes, 1_100, "subtree rollup");
+        assert_eq!(a.alloc_count, 4);
+    }
+
+    #[test]
+    fn tree_serializes_and_round_trips() {
+        let tree = SpanTree::from_observations(vec![obs("x", 42), obs("x.y", 21)]);
+        let json = serde_json::to_string(&tree).expect("serialize");
+        let back: SpanTree = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, tree);
+        assert!(tree.render().contains("calls"));
+    }
+}

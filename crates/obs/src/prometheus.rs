@@ -1,0 +1,364 @@
+//! Prometheus text exposition (format version 0.0.4) for
+//! [`MetricsSnapshot`], plus a validating parser used by tests and CI
+//! to assert the exposition is well-formed.
+//!
+//! Metric names are sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` by
+//! mapping every other character (the registry uses dots:
+//! `serve.phase.embed_ms`) to `_`. Histograms follow the standard
+//! cumulative encoding: one `_bucket{le="..."}` sample per bound, a
+//! `+Inf` bucket equal to `_count`, then `_sum` and `_count`.
+//! Non-finite observations are exposed as a separate
+//! `<name>_invalid_total` counter rather than being folded into the
+//! buckets — a NaN latency must be visible, not laundered.
+
+use crate::metrics::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The content type Prometheus scrapers expect.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Maps a registry name onto the Prometheus metric-name alphabet.
+pub fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a snapshot as Prometheus exposition text.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        let name = sanitize(&c.name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+    for g in &snapshot.gauges {
+        let name = sanitize(&g.name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_value(g.value));
+    }
+    for h in &snapshot.histograms {
+        let name = sanitize(&h.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for (i, bound) in h.bounds.iter().enumerate() {
+            cum += h.counts.get(i).copied().unwrap_or(0);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", fmt_value(*bound));
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", fmt_value(h.sum));
+        let _ = writeln!(out, "{name}_count {}", h.count);
+        if h.invalid > 0 {
+            let _ = writeln!(out, "# TYPE {name}_invalid_total counter");
+            let _ = writeln!(out, "{name}_invalid_total {}", h.invalid);
+        }
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// A parsed exposition: `# TYPE` declarations and all samples.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// Declared metric types by family name.
+    pub types: BTreeMap<String, String>,
+    /// All samples in source order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// All samples whose name equals `name`.
+    pub fn samples_named(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// The single value of an unlabelled sample, if present.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|e| format!("bad value `{other}`: {e}")),
+    }
+}
+
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=` in `{s}`"))?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_name(&key) {
+            return Err(format!("bad label name `{key}`"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        let inner = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label value not quoted in `{s}`"))?;
+        let close = inner
+            .find('"')
+            .ok_or_else(|| format!("unterminated label value in `{s}`"))?;
+        labels.push((key, inner[..close].to_string()));
+        rest = inner[close + 1..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value in `{s}`"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Parses and validates exposition text.
+///
+/// Beyond line syntax, histogram families (declared `# TYPE ...
+/// histogram`) are checked structurally: bucket counts cumulative and
+/// non-decreasing by `le`, a `+Inf` bucket present and equal to
+/// `<family>_count`, and `_sum` present.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line or violated
+/// histogram invariant.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut exp = Exposition::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or(format!("line {}: TYPE without name", i + 1))?;
+                let kind = parts
+                    .next()
+                    .ok_or(format!("line {}: TYPE without kind", i + 1))?;
+                if !valid_name(name) {
+                    return Err(format!("line {}: bad metric name `{name}`", i + 1));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {}: unknown TYPE `{kind}`", i + 1));
+                }
+                exp.types.insert(name.to_string(), kind.to_string());
+            }
+            continue;
+        }
+        // Sample: name[{labels}] value [timestamp]
+        let (name_part, after) = match line.find('{') {
+            Some(brace) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or(format!("line {}: unterminated labels", i + 1))?;
+                if close < brace {
+                    return Err(format!("line {}: mismatched braces", i + 1));
+                }
+                let labels = parse_labels(line[brace + 1..close].trim())
+                    .map_err(|e| format!("line {}: {e}", i + 1))?;
+                (
+                    (line[..brace].trim().to_string(), labels),
+                    line[close + 1..].trim(),
+                )
+            }
+            None => {
+                let mut parts = line.splitn(2, char::is_whitespace);
+                let name = parts.next().unwrap_or_default().to_string();
+                ((name, Vec::new()), parts.next().unwrap_or("").trim())
+            }
+        };
+        let (name, labels) = name_part;
+        if !valid_name(&name) {
+            return Err(format!("line {}: bad metric name `{name}`", i + 1));
+        }
+        let mut fields = after.split_whitespace();
+        let value = parse_value(
+            fields
+                .next()
+                .ok_or(format!("line {}: missing value", i + 1))?,
+        )
+        .map_err(|e| format!("line {}: {e}", i + 1))?;
+        if let Some(ts) = fields.next() {
+            ts.parse::<i64>()
+                .map_err(|_| format!("line {}: bad timestamp `{ts}`", i + 1))?;
+        }
+        if fields.next().is_some() {
+            return Err(format!("line {}: trailing junk", i + 1));
+        }
+        exp.samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    validate_histograms(&exp)?;
+    Ok(exp)
+}
+
+fn validate_histograms(exp: &Exposition) -> Result<(), String> {
+    for (family, kind) in &exp.types {
+        if kind != "histogram" {
+            continue;
+        }
+        let buckets = exp.samples_named(&format!("{family}_bucket"));
+        if buckets.is_empty() {
+            return Err(format!("histogram `{family}` has no buckets"));
+        }
+        let mut prev = 0.0f64;
+        let mut inf_value = None;
+        for b in &buckets {
+            let le = b
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.as_str())
+                .ok_or(format!("histogram `{family}`: bucket without le"))?;
+            if b.value < prev {
+                return Err(format!(
+                    "histogram `{family}`: bucket counts not cumulative at le={le}"
+                ));
+            }
+            prev = b.value;
+            if le == "+Inf" {
+                inf_value = Some(b.value);
+            }
+        }
+        let inf = inf_value.ok_or(format!("histogram `{family}`: missing +Inf bucket"))?;
+        let count = exp
+            .value(&format!("{family}_count"))
+            .ok_or(format!("histogram `{family}`: missing _count"))?;
+        if (inf - count).abs() > f64::EPSILON * count.abs().max(1.0) {
+            return Err(format!(
+                "histogram `{family}`: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+        if exp.value(&format!("{family}_sum")).is_none() {
+            return Err(format!("histogram `{family}`: missing _sum"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    #[test]
+    fn render_parses_and_round_trips_values() {
+        let m = Metrics::new();
+        m.inc("serve.requests", 7);
+        m.set_gauge("serve.queue.depth", 3.0);
+        m.register_histogram("serve.latency_ms", &[1.0, 5.0, 25.0]);
+        for v in [0.5, 2.0, 4.0, 30.0, f64::NAN] {
+            m.observe("serve.latency_ms", v);
+        }
+        let text = render(&m.snapshot());
+        let exp = parse(&text).expect("exposition parses");
+        assert_eq!(exp.value("serve_requests"), Some(7.0));
+        assert_eq!(exp.value("serve_queue_depth"), Some(3.0));
+        assert_eq!(
+            exp.types.get("serve_latency_ms").map(String::as_str),
+            Some("histogram")
+        );
+        let buckets = exp.samples_named("serve_latency_ms_bucket");
+        assert_eq!(buckets.len(), 4, "3 bounds + +Inf");
+        assert_eq!(buckets[0].value, 1.0, "≤1: {{0.5}}");
+        assert_eq!(buckets[1].value, 3.0, "≤5 cumulative");
+        assert_eq!(buckets[3].value, 4.0, "+Inf equals count");
+        assert_eq!(exp.value("serve_latency_ms_count"), Some(4.0));
+        assert_eq!(exp.value("serve_latency_ms_invalid_total"), Some(1.0));
+    }
+
+    #[test]
+    fn sanitize_maps_registry_names_onto_the_prometheus_alphabet() {
+        assert_eq!(sanitize("serve.phase.embed_ms"), "serve_phase_embed_ms");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("ok_name"), "ok_name");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("no value here\nx").is_err());
+        assert!(parse("bad-name 1.0").is_err());
+        assert!(parse("m{le=\"unterminated} 1.0").is_err());
+        assert!(parse("m 1.0 extra junk").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_inconsistent_histograms() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\n\
+                    h_bucket{le=\"+Inf\"} 3\n\
+                    h_sum 10\n\
+                    h_count 3\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.contains("cumulative"), "{err}");
+        let text2 = "# TYPE h histogram\n\
+                     h_bucket{le=\"1\"} 1\n\
+                     h_sum 10\n\
+                     h_count 1\n";
+        let err2 = parse(text2).unwrap_err();
+        assert!(err2.contains("+Inf"), "{err2}");
+    }
+}

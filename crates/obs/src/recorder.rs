@@ -64,6 +64,14 @@ pub enum Entry {
         path: String,
         /// Duration in milliseconds.
         ms: f64,
+        /// Thread token ([`crate::thread_token`]) of the closing
+        /// thread — spans close on the thread that opened them, so
+        /// this identifies the span's thread for trace export.
+        tid: u64,
+        /// Self-attributed allocated bytes (0 without `alloc-profile`).
+        alloc_bytes: u64,
+        /// Self-attributed allocation count (0 without `alloc-profile`).
+        alloc_count: u64,
     },
     /// One stage-epoch mean loss.
     Loss {
@@ -133,11 +141,32 @@ impl Recorder {
     pub fn span_totals(&self) -> Vec<(String, f64)> {
         let mut totals: BTreeMap<String, f64> = BTreeMap::new();
         for (_, e) in self.timeline.lock().expect("timeline lock").iter() {
-            if let Entry::Span { path, ms } = e {
+            if let Entry::Span { path, ms, .. } = e {
                 *totals.entry(path.clone()).or_default() += ms;
             }
         }
         totals.into_iter().collect()
+    }
+
+    /// Aggregates all recorded spans into a call tree (see
+    /// [`crate::profile`]).
+    pub fn span_tree(&self) -> crate::profile::SpanTree {
+        let timeline = self.timeline.lock().expect("timeline lock");
+        crate::profile::SpanTree::from_observations(timeline.iter().filter_map(|(_, e)| match e {
+            Entry::Span {
+                path,
+                ms,
+                alloc_bytes,
+                alloc_count,
+                ..
+            } => Some(crate::profile::SpanObservation {
+                path,
+                nanos: (ms * 1e6) as u64,
+                alloc_bytes: *alloc_bytes,
+                alloc_count: *alloc_count,
+            }),
+            _ => None,
+        }))
     }
 
     /// All `(stage, epoch, loss)` records in arrival order.
@@ -176,7 +205,7 @@ impl Recorder {
                     .unwrap_or_default(),
                 }
             }
-            Entry::Span { path, ms } => {
+            Entry::Span { path, ms, .. } => {
                 if self.cfg.level < Level::Info {
                     return;
                 }
@@ -228,9 +257,25 @@ impl Recorder {
         out.push('\n');
         for (ts, entry) in self.timeline.lock().expect("timeline lock").iter() {
             let v = match entry {
-                Entry::Span { path, ms } => json!({
-                    "record": "span", "ts_ms": *ts, "path": path, "ms": *ms,
-                }),
+                Entry::Span {
+                    path,
+                    ms,
+                    tid,
+                    alloc_bytes,
+                    alloc_count,
+                } => {
+                    let mut v = json!({
+                        "record": "span", "ts_ms": *ts, "path": path, "ms": *ms,
+                        "tid": *tid,
+                    });
+                    if *alloc_count > 0 {
+                        if let Value::Object(m) = &mut v {
+                            m.insert("alloc_bytes".to_string(), json!(*alloc_bytes));
+                            m.insert("alloc_count".to_string(), json!(*alloc_count));
+                        }
+                    }
+                    v
+                }
                 Entry::Loss { stage, epoch, loss } => json!({
                     "record": "loss", "ts_ms": *ts, "stage": stage,
                     "epoch": *epoch, "loss": *loss,
@@ -288,12 +333,25 @@ impl Observer for Recorder {
     fn event(&self, event: &Event<'_>) {
         match *event {
             Event::SpanOpen { .. } => {}
-            Event::SpanClose { path, nanos } => {
+            Event::SpanClose {
+                path,
+                nanos,
+                alloc_bytes,
+                alloc_count,
+            } => {
                 let ms = nanos as f64 / 1e6;
                 self.metrics.observe("span_ms", ms);
+                if alloc_count > 0 {
+                    self.metrics.inc("profile.alloc_bytes", alloc_bytes);
+                    self.metrics.inc("profile.alloc_count", alloc_count);
+                }
                 self.record(Entry::Span {
                     path: path.to_string(),
                     ms,
+                    // `event` runs on the span's own thread.
+                    tid: crate::thread_token(),
+                    alloc_bytes,
+                    alloc_count,
                 });
             }
             Event::Counter { name, delta } => self.metrics.inc(name, delta),
@@ -348,13 +406,49 @@ mod tests {
         r.event(&Event::SpanClose {
             path: "a",
             nanos: 2_000_000,
+            alloc_bytes: 0,
+            alloc_count: 0,
         });
         r.event(&Event::SpanClose {
             path: "a",
             nanos: 3_000_000,
+            alloc_bytes: 0,
+            alloc_count: 0,
         });
         let totals = r.span_totals();
         assert_eq!(totals.len(), 1);
         assert!((totals[0].1 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_tree_aggregates_timeline_with_thread_identity() {
+        let r = Recorder::silent();
+        r.event(&Event::SpanClose {
+            path: "run.step",
+            nanos: 1_000_000,
+            alloc_bytes: 64,
+            alloc_count: 2,
+        });
+        r.event(&Event::SpanClose {
+            path: "run",
+            nanos: 4_000_000,
+            alloc_bytes: 0,
+            alloc_count: 0,
+        });
+        let tree = r.span_tree();
+        let run = tree.find("run").expect("run node");
+        assert_eq!(run.calls, 1);
+        assert_eq!(run.alloc_bytes, 64, "subtree alloc rolls up");
+        let step = tree.find("run.step").expect("step node");
+        assert_eq!(step.self_alloc_count, 2);
+        // Every span line in the manifest carries the recording
+        // thread's token.
+        let jsonl = r.manifest_jsonl(&json!({"name": "t"}));
+        let span_line = jsonl
+            .lines()
+            .filter_map(|l| serde_json::from_str::<Value>(l).ok())
+            .find(|v| v.get("record").and_then(Value::as_str) == Some("span"))
+            .expect("span line");
+        assert!(span_line.get("tid").and_then(Value::as_u64).unwrap_or(0) >= 1);
     }
 }

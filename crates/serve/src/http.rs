@@ -201,6 +201,16 @@ impl Response {
         }
     }
 
+    /// A plain-text response with an explicit content type (e.g. the
+    /// Prometheus exposition format).
+    pub fn text(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: vec![("content-type".to_string(), content_type.to_string())],
+            body: body.into(),
+        }
+    }
+
     /// Adds a header (builder-style).
     #[must_use]
     pub fn with_header(mut self, name: &str, value: impl std::fmt::Display) -> Response {

@@ -33,13 +33,14 @@ use cati_analysis::{
     digest_bytes, extract_lenient_observed, extract_observed, Extraction, FeatureView,
 };
 use cati_asm::binary::Binary;
+use cati_obs::metrics::{MetricsSnapshot, DEFAULT_BUCKETS};
 use cati_obs::{Event, Observer, Recorder, RecorderConfig, SpanGuard};
-use serde_json::json;
+use serde_json::{json, Value};
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -47,6 +48,25 @@ use std::time::{Duration, Instant};
 /// Histogram bounds for `serve.batch_size` (requests coalesced per
 /// worker drain).
 pub const BATCH_BUCKETS: [f64; 8] = [1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0];
+
+/// The per-request phase histograms (`serve.phase.*`): where a
+/// request's wall time goes between admission and response.
+///
+/// - `queue_wait_ms` — admission → worker drain;
+/// - `embed_ms` — extraction + embedding of one request (cache hits
+///   land here too, near zero);
+/// - `batch_wait_ms` — prepared → shared classification pass start
+///   (waiting for batchmates to embed);
+/// - `leaf_ms` — the shared `leaf_distributions_batch` pass, observed
+///   once per batched request;
+/// - `vote_ms` — per-request voting + response serialization.
+pub const PHASE_HISTOGRAMS: [&str; 5] = [
+    "serve.phase.queue_wait_ms",
+    "serve.phase.embed_ms",
+    "serve.phase.batch_wait_ms",
+    "serve.phase.leaf_ms",
+    "serve.phase.vote_ms",
+];
 
 /// Configuration of one daemon instance.
 #[derive(Debug, Clone)]
@@ -230,11 +250,30 @@ struct ServeState {
     recorder: Recorder,
     cache: Option<ArtifactCache>,
     shutdown: AtomicBool,
+    /// Monotonic sequence for generated trace ids.
+    trace_seq: AtomicU64,
+    /// Unix-ms at daemon start; makes generated trace ids distinct
+    /// across daemon restarts, not just within one.
+    trace_epoch_ms: u64,
 }
 
 impl ServeState {
     fn current_model(&self) -> Arc<ModelSlot> {
         Arc::clone(&self.model.read().expect("model lock"))
+    }
+
+    /// The trace id of one exchange: the caller's `x-cati-trace-id`
+    /// if it is printable and short enough, else a generated
+    /// `<epoch_ms>-<seq>` id unique for this daemon's lifetime.
+    fn trace_id(&self, request: &Request) -> String {
+        if let Some(id) = request.header("x-cati-trace-id") {
+            let id = id.trim();
+            if !id.is_empty() && id.len() <= 128 && id.chars().all(|c| c.is_ascii_graphic()) {
+                return id.to_string();
+            }
+        }
+        let n = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        format!("{:x}-{n:06x}", self.trace_epoch_ms)
     }
 
     /// Flags shutdown and wakes everything that blocks: workers on
@@ -318,6 +357,11 @@ impl Server {
         recorder
             .metrics()
             .register_histogram("serve.batch_size", &BATCH_BUCKETS);
+        for name in PHASE_HISTOGRAMS {
+            recorder
+                .metrics()
+                .register_histogram(name, &DEFAULT_BUCKETS);
+        }
         let threads = cfg.threads;
         let state = Arc::new(ServeState {
             cfg,
@@ -328,6 +372,8 @@ impl Server {
             recorder,
             cache,
             shutdown: AtomicBool::new(false),
+            trace_seq: AtomicU64::new(0),
+            trace_epoch_ms: cati_obs::manifest::unix_ms(),
         });
         let workers = (0..state.cfg.workers.max(1))
             .map(|_| {
@@ -397,12 +443,13 @@ fn handle_connection(state: &Arc<ServeState>, stream: &TcpStream) {
     let t0 = Instant::now();
     let (path, _) = request.route();
     let path = path.to_string();
-    let response = route(state, &request, t0);
+    let trace_id = state.trace_id(&request);
+    let response = route(state, &request, t0).with_header("x-cati-trace-id", &trace_id);
     let status = response.status;
     let _ = response.write_to(&mut { stream });
     cati_obs::info!(
         &state.recorder,
-        "serve {} {path} -> {status} ({:.1}ms)",
+        "serve {} {path} -> {status} ({:.1}ms) trace={trace_id}",
         request.method,
         t0.elapsed().as_secs_f64() * 1e3
     );
@@ -426,9 +473,28 @@ fn route(state: &Arc<ServeState>, request: &Request, t0: Instant) -> Response {
         ),
         ("GET", "/metrics") => {
             let snapshot = state.recorder.snapshot();
-            let body = serde_json::to_string_pretty(&snapshot)
-                .unwrap_or_default()
-                .into_bytes();
+            let wants_prometheus = query
+                .split('&')
+                .any(|kv| kv == "format=prometheus" || kv == "format=prom");
+            let response = if wants_prometheus {
+                Response::text(
+                    200,
+                    cati_obs::prometheus::CONTENT_TYPE,
+                    cati_obs::prometheus::render(&snapshot),
+                )
+            } else {
+                Response::json(200, metrics_json_body(&snapshot))
+            };
+            with_version(state, response)
+        }
+        ("GET", "/debug/profile") => {
+            let tree = state.recorder.span_tree();
+            let body = serde_json::to_string_pretty(&json!({
+                "span_tree": tree.to_json(),
+                "total_ns": tree.total_ns(),
+            }))
+            .unwrap_or_default()
+            .into_bytes();
             with_version(state, Response::json(200, body))
         }
         ("POST", "/admin/reload") => reload_route(state, request),
@@ -440,7 +506,11 @@ fn route(state: &Arc<ServeState>, request: &Request, t0: Instant) -> Response {
                 Response::json(200, &br#"{"status":"shutting-down"}"#[..]),
             )
         }
-        (_, "/infer" | "/admin/reload" | "/admin/shutdown" | "/health" | "/metrics") => {
+        (
+            _,
+            "/infer" | "/admin/reload" | "/admin/shutdown" | "/health" | "/metrics"
+            | "/debug/profile",
+        ) => {
             state.recorder.metrics().inc("serve.errors", 1);
             with_version(
                 state,
@@ -452,6 +522,35 @@ fn route(state: &Arc<ServeState>, request: &Request, t0: Instant) -> Response {
             with_version(state, Response::json(404, &br#"{"error":"not found"}"#[..]))
         }
     }
+}
+
+/// The `/metrics` JSON body: the serialized [`MetricsSnapshot`] with
+/// `p50`/`p95`/`p99` estimates added to every non-empty histogram.
+fn metrics_json_body(snapshot: &MetricsSnapshot) -> Vec<u8> {
+    let histograms: Vec<Value> = snapshot
+        .histograms
+        .iter()
+        .map(|h| {
+            let mut m = match serde_json::to_value(h) {
+                Ok(Value::Object(m)) => m,
+                _ => serde_json::Map::new(),
+            };
+            if let Some((p50, p95, p99)) = h.percentiles() {
+                m.insert("p50".to_string(), Value::from(p50));
+                m.insert("p95".to_string(), Value::from(p95));
+                m.insert("p99".to_string(), Value::from(p99));
+            }
+            Value::Object(m)
+        })
+        .collect();
+    let mut root = match serde_json::to_value(snapshot) {
+        Ok(Value::Object(m)) => m,
+        _ => serde_json::Map::new(),
+    };
+    root.insert("histograms".to_string(), Value::Array(histograms));
+    serde_json::to_string_pretty(&Value::Object(root))
+        .unwrap_or_default()
+        .into_bytes()
 }
 
 /// Stamps the *current* model version onto a server-generated
@@ -605,6 +704,9 @@ struct Prepared {
     /// Lenient-mode coverage report (`None` = strict request).
     report: Option<(Coverage, Diagnostics)>,
     xs: Tensor,
+    /// When this request finished embedding (start of its batch-wait
+    /// phase).
+    prepared_at: Instant,
 }
 
 /// Worker: drain → snapshot model → batch-classify → respond.
@@ -644,6 +746,14 @@ fn process_batch(state: &Arc<ServeState>, model: &ModelSlot, jobs: Vec<Job>) {
     let obs: &dyn Observer = &state.recorder;
     let _span = SpanGuard::enter(obs, "serve.batch");
     let cati = &model.cati;
+    let metrics = state.recorder.metrics();
+    let drained = Instant::now();
+    for job in &jobs {
+        metrics.observe(
+            "serve.phase.queue_wait_ms",
+            drained.duration_since(job.admitted).as_secs_f64() * 1e3,
+        );
+    }
     let mut prepared: Vec<Prepared> = Vec::with_capacity(jobs.len());
     for job in jobs {
         if let Some(delay) = job.test_delay {
@@ -653,6 +763,7 @@ fn process_batch(state: &Arc<ServeState>, model: &ModelSlot, jobs: Vec<Job>) {
             state.recorder.metrics().inc("serve.deadline_dropped", 1);
             continue;
         }
+        let embed_t0 = Instant::now();
         let (ex, report) = if job.lenient {
             let lenient = extract_lenient_observed(&job.binary, FeatureView::Stripped, obs);
             (
@@ -688,11 +799,16 @@ fn process_batch(state: &Arc<ServeState>, model: &ModelSlot, jobs: Vec<Job>) {
                 xs
             }
         };
+        metrics.observe(
+            "serve.phase.embed_ms",
+            embed_t0.elapsed().as_secs_f64() * 1e3,
+        );
         prepared.push(Prepared {
             job,
             ex,
             report,
             xs,
+            prepared_at: Instant::now(),
         });
     }
     if prepared.is_empty() {
@@ -713,13 +829,25 @@ fn process_batch(state: &Arc<ServeState>, model: &ModelSlot, jobs: Vec<Job>) {
         data.extend_from_slice(p.xs.as_slice());
     }
     let batch_xs = Tensor::from_flat(total_rows, cols, data);
+    let classify_t0 = Instant::now();
+    for p in &prepared {
+        metrics.observe(
+            "serve.phase.batch_wait_ms",
+            classify_t0.duration_since(p.prepared_at).as_secs_f64() * 1e3,
+        );
+    }
     let dists = cati
         .config
         .with_threads(|| cati.stages.leaf_distributions_batch(&batch_xs));
     let num_classes = dists.cols();
+    let leaf_ms = classify_t0.elapsed().as_secs_f64() * 1e3;
+    for _ in &prepared {
+        metrics.observe("serve.phase.leaf_ms", leaf_ms);
+    }
 
     let mut offset = 0usize;
     for p in prepared {
+        let vote_t0 = Instant::now();
         let n = p.ex.vucs.len();
         let rows = dists.as_slice()[offset * num_classes..(offset + n) * num_classes].to_vec();
         offset += n;
@@ -747,6 +875,7 @@ fn process_batch(state: &Arc<ServeState>, model: &ModelSlot, jobs: Vec<Job>) {
             )
             .with_header("x-cati-model-version", &model.version),
         };
+        metrics.observe("serve.phase.vote_ms", vote_t0.elapsed().as_secs_f64() * 1e3);
         finish(state, &p.job, response, &model.version);
     }
 }

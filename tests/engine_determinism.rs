@@ -169,6 +169,42 @@ fn lenient_mode_is_bit_identical_to_strict_on_clean_binaries() {
 }
 
 #[test]
+fn profiling_does_not_perturb_inference_output() {
+    // The profiler must be a pure observer: inference under a live
+    // recorder (span tree, phase metrics) is bit-identical to the
+    // unobserved path, and with profiling off (no `alloc-profile`
+    // feature) the span tree carries no allocation columns at all.
+    let corpus = build_corpus(&CorpusConfig::small(13));
+    let (cati, _) = train_with_threads(&corpus, 0);
+    let stripped = corpus.test[0].binary.strip();
+
+    let unobserved = cati.infer(&stripped).unwrap();
+    let recorder = Recorder::silent();
+    let observed = cati.infer_observed(&stripped, &recorder).unwrap();
+    assert_eq!(
+        serde_json::to_string(&unobserved).unwrap(),
+        serde_json::to_string(&observed).unwrap(),
+        "profiling perturbed inference output"
+    );
+
+    // The observed run did produce a span tree.
+    let tree = recorder.span_tree();
+    assert!(tree.total_ns() > 0, "observed run produced no spans");
+
+    // Without the counting allocator, allocation accounting must be
+    // exactly zero everywhere — not merely small.
+    #[cfg(not(feature = "alloc-profile"))]
+    {
+        let mut alloc_total = 0u64;
+        tree.walk(|node, _| alloc_total += node.alloc_bytes + node.alloc_count);
+        assert_eq!(
+            alloc_total, 0,
+            "allocation columns nonzero without the alloc-profile feature"
+        );
+    }
+}
+
+#[test]
 fn sessions_and_artifact_cache_do_not_change_results() {
     let corpus = build_corpus(&CorpusConfig::small(13));
     let (cati, _) = train_with_threads(&corpus, 0);

@@ -487,6 +487,150 @@ fn reload_of_a_bad_model_is_rejected_and_harmless() {
     assert_eq!(text(&response), one_shot_strict(cati, &binary));
 }
 
+/// Every response carries a trace id; generated ids are unique across
+/// 8 concurrent clients and a caller-supplied id is echoed verbatim.
+#[test]
+fn trace_ids_are_unique_and_caller_ids_are_echoed() {
+    let (_, corpus) = trained();
+    let handle = start(ephemeral(ServeConfig::default()));
+    let addr = handle.addr();
+    let binary = corpus.test[0].binary.strip();
+
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let binary = binary.clone();
+            std::thread::spawn(move || {
+                let response = roundtrip(addr, &infer_request(&binary)).expect("roundtrip");
+                assert_eq!(response.status, 200);
+                response
+                    .header("x-cati-trace-id")
+                    .expect("every response carries a trace id")
+                    .to_string()
+            })
+        })
+        .collect();
+    let ids: Vec<String> = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+    let unique: std::collections::HashSet<&String> = ids.iter().collect();
+    assert_eq!(
+        unique.len(),
+        ids.len(),
+        "generated trace ids collided: {ids:?}"
+    );
+
+    // A caller-supplied id is honored; hostile ones are replaced.
+    let tagged = infer_request(&binary).with_header("x-cati-trace-id", "req-42-from-client");
+    let response = roundtrip(addr, &tagged).unwrap();
+    assert_eq!(
+        response.header("x-cati-trace-id"),
+        Some("req-42-from-client")
+    );
+
+    let hostile = infer_request(&binary).with_header("x-cati-trace-id", "bad id with spaces");
+    let response = roundtrip(addr, &hostile).unwrap();
+    let got = response.header("x-cati-trace-id").expect("replacement id");
+    assert_ne!(got, "bad id with spaces");
+}
+
+/// `GET /metrics?format=prometheus` answers well-formed text
+/// exposition: parses, carries the serve families, and each histogram
+/// is structurally consistent (`+Inf` bucket == `_count`).
+#[test]
+fn metrics_prometheus_exposition_is_well_formed() {
+    let (_, corpus) = trained();
+    let handle = start(ephemeral(ServeConfig::default()));
+    let addr = handle.addr();
+    let response = roundtrip(addr, &infer_request(&corpus.test[0].binary.strip())).unwrap();
+    assert_eq!(response.status, 200);
+
+    let response = roundtrip(addr, &Request::new("GET", "/metrics?format=prometheus")).unwrap();
+    assert_eq!(response.status, 200);
+    assert!(response
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("text/plain")));
+    let body = text(&response);
+    let exposition = cati::obs::prometheus::parse(&body)
+        .unwrap_or_else(|e| panic!("exposition rejected: {e}\n{body}"));
+    assert!(
+        exposition.value("serve_requests").is_some(),
+        "serve.requests counter missing:\n{body}"
+    );
+    for phase in ["queue_wait", "embed", "batch_wait", "leaf", "vote"] {
+        let count = exposition.value(&format!("serve_phase_{phase}_ms_count"));
+        assert!(
+            count.is_some_and(|c| c >= 1.0),
+            "serve.phase.{phase}_ms histogram missing or empty:\n{body}"
+        );
+    }
+}
+
+/// The JSON `/metrics` histograms carry estimated p50/p95/p99.
+#[test]
+fn metrics_json_histograms_carry_quantiles() {
+    let (_, corpus) = trained();
+    let handle = start(ephemeral(ServeConfig::default()));
+    let addr = handle.addr();
+    let response = roundtrip(addr, &infer_request(&corpus.test[0].binary.strip())).unwrap();
+    assert_eq!(response.status, 200);
+
+    let response = roundtrip(addr, &Request::new("GET", "/metrics")).unwrap();
+    assert_eq!(response.status, 200);
+    let v: serde_json::Value = serde_json::from_str(&text(&response)).expect("metrics json");
+    let histograms = v["histograms"].as_array().expect("histograms array");
+    let latency = histograms
+        .iter()
+        .find(|h| h["name"] == "serve.latency_ms")
+        .expect("serve.latency_ms histogram");
+    for q in ["p50", "p95", "p99"] {
+        assert!(
+            latency[q].as_f64().is_some_and(f64::is_finite),
+            "serve.latency_ms lacks {q}: {latency:?}"
+        );
+    }
+}
+
+/// `GET /debug/profile` dumps the aggregated span tree, including the
+/// batched-classification span after traffic has flowed.
+#[test]
+fn debug_profile_exposes_the_span_tree() {
+    let (_, corpus) = trained();
+    let handle = start(ephemeral(ServeConfig::default()));
+    let addr = handle.addr();
+    let response = roundtrip(addr, &infer_request(&corpus.test[0].binary.strip())).unwrap();
+    assert_eq!(response.status, 200);
+
+    // The batch span closes when the worker's drain loop returns —
+    // shortly *after* the response is delivered — so poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let batch = loop {
+        let response = roundtrip(addr, &Request::new("GET", "/debug/profile")).unwrap();
+        assert_eq!(response.status, 200);
+        let v: serde_json::Value = serde_json::from_str(&text(&response)).expect("profile json");
+        let roots = v["span_tree"]["roots"]
+            .as_array()
+            .expect("roots array")
+            .clone();
+        // Dotted paths nest: `serve.batch` is root `serve`, child `batch`.
+        if let Some(batch) = roots
+            .iter()
+            .filter_map(|n| n["children"].as_array())
+            .flatten()
+            .find(|n| n["path"] == "serve.batch")
+        {
+            break batch.clone();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no serve.batch span in profile after 5s: {v:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(batch["calls"].as_u64().is_some_and(|c| c >= 1));
+    assert!(batch["total_ns"].as_u64().is_some_and(|ns| ns > 0));
+}
+
 fn text(response: &Response) -> String {
     String::from_utf8_lossy(&response.body).into_owned()
 }
