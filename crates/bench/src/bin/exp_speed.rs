@@ -223,6 +223,76 @@ fn main() {
     let loaded = Cati::load(&model_path).expect("load model");
     let model_load_ms = t.elapsed().as_secs_f64() * 1e3;
     assert_eq!(loaded, cati, "loaded model diverged from the saved one");
+    // A v2 container load keeps the weights memory-mapped (zero-copy).
+    let model_mapped_tensors = loaded.mapped_param_count();
+    #[cfg(unix)]
+    assert!(
+        model_mapped_tensors > 0,
+        "v2 model load should be zero-copy on unix"
+    );
+
+    // Quantized inference parity: quantize a clone at each mode,
+    // infer over the stripped test set twice (the determinism gate),
+    // and measure the accuracy cost against the f32 outputs —
+    // class-change fraction and mean |Δconfidence| — for the run
+    // manifest. The f32 engine itself is never touched.
+    let f32_vars: Vec<Vec<_>> = stripped
+        .iter()
+        .map(|bin| {
+            let mut v = cati.infer(bin).expect("inference");
+            v.sort_by_key(|v| (v.key.func, v.key.offset));
+            v
+        })
+        .collect();
+    let quant_parity = |mode: cati::nn::QuantMode| {
+        let mut q = cati.clone();
+        q.quantize(mode);
+        let pass = || -> Vec<Vec<_>> {
+            stripped
+                .iter()
+                .map(|bin| {
+                    let mut v = q.infer(bin).expect("quantized inference");
+                    v.sort_by_key(|v| (v.key.func, v.key.offset));
+                    v
+                })
+                .collect()
+        };
+        let qv = pass();
+        assert_eq!(
+            qv,
+            pass(),
+            "{mode} quantized inference must be deterministic"
+        );
+        let (mut changed, mut total) = (0usize, 0usize);
+        let mut conf_delta = 0.0f64;
+        for (fv, qv) in f32_vars.iter().zip(&qv) {
+            assert_eq!(fv.len(), qv.len(), "{mode} changed the variable set");
+            for (a, b) in fv.iter().zip(qv) {
+                total += 1;
+                changed += usize::from(a.class != b.class);
+                conf_delta += f64::from((a.confidence - b.confidence).abs());
+            }
+        }
+        let frac = changed as f64 / total.max(1) as f64;
+        let mean_dconf = conf_delta / total.max(1) as f64;
+        println!(
+            "quantized ({mode}): {changed}/{total} class changes ({:.2}%), \
+             mean |Δconfidence| {mean_dconf:.5}",
+            frac * 100.0
+        );
+        json!({
+            "mode": mode.name(),
+            "vars": total,
+            "class_changes": changed,
+            "class_change_fraction": frac,
+            "mean_abs_confidence_delta": mean_dconf,
+            "deterministic": true,
+        })
+    };
+    let quantized = vec![
+        quant_parity(cati::nn::QuantMode::Int8),
+        quant_parity(cati::nn::QuantMode::F16),
+    ];
 
     // Embedding throughput: VUC rows embedded per second over the
     // stripped test set (the tensor-build stage of inference).
@@ -230,12 +300,22 @@ fn main() {
         .iter()
         .filter_map(|bin| cati_analysis::extract(bin, FeatureView::Stripped).ok())
         .collect();
-    let t = Instant::now();
-    let embed_rows: usize = test_exs
-        .iter()
-        .map(|ex| cati::dataset::embed_extraction(ex, &cati.embedder).rows())
-        .sum();
-    let embed_s = t.elapsed().as_secs_f64();
+    // Best of three passes: a single pass is dominated by scheduler
+    // and frequency noise on small corpora, and the quantity of
+    // interest is steady-state throughput (the first pass also warms
+    // the column cache for any instruction inference never saw).
+    let mut embed_rows = 0usize;
+    let mut embed_s = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let rows: usize = test_exs
+            .iter()
+            .map(|ex| cati::dataset::embed_extraction(ex, &cati.embedder).rows())
+            .sum();
+        let s = t.elapsed().as_secs_f64();
+        embed_rows = rows;
+        embed_s = embed_s.min(s);
+    }
     let embed_rows_per_s = embed_rows as f64 / embed_s.max(1e-9);
     println!(
         "model container: {model_bytes} bytes, loads in {model_load_ms:.1} ms; \
@@ -366,6 +446,8 @@ fn main() {
         "cache_outputs_bit_identical": true,
         "model_bytes": model_bytes,
         "model_load_ms": model_load_ms,
+        "model_mapped_tensors": model_mapped_tensors,
+        "quantized": quantized,
         "embed_rows_per_s": embed_rows_per_s,
         "serve_cold_reqs_per_s": serve_cold_reqs_per_s,
         "serve_cold_p50_ms": serve_cold_p50_ms,

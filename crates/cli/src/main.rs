@@ -394,6 +394,17 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     if let Some(t) = args.flags.get("threads") {
         cati.config.threads = t.parse().unwrap_or(0);
     }
+    // Opt-in quantized inference: snap the weights before anything is
+    // embedded or cached. Deterministic, but not bit-identical to the
+    // f32 model — see DESIGN.md §15.
+    let quantize = args
+        .flags
+        .get("quantize")
+        .map(|m| cati::nn::QuantMode::parse(m))
+        .transpose()?;
+    if let Some(mode) = quantize {
+        cati.quantize(mode);
+    }
     let recorder = recorder_of(args);
     let lenient = lenient_of(args)?;
     let artifacts = args
@@ -418,6 +429,7 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
             "model": model.as_str(),
             "binary": path.as_str(),
             "mode": "lenient",
+            "quantize": quantize.map_or("none", |m| m.name()),
             "variables": inferred.len(),
             "cache_hits": recorder.metrics().counter_value("cache.hit"),
             "cache_misses": recorder.metrics().counter_value("cache.miss"),
@@ -428,6 +440,7 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
             "model": model.as_str(),
             "binary": path.as_str(),
             "mode": "strict",
+            "quantize": quantize.map_or("none", |m| m.name()),
             "variables": inferred.len(),
             "cache_hits": recorder.metrics().counter_value("cache.hit"),
             "cache_misses": recorder.metrics().counter_value("cache.miss"),
@@ -804,8 +817,17 @@ fn cmd_convert(args: &Args) -> Result<(), String> {
     let cati = Cati::load(model).map_err(|e| e.to_string())?;
     match format {
         "cati1" => cati.save(out).map_err(|e| e.to_string())?,
+        "cati1-v1" => {
+            // Downgrade to the legacy packed layout for pre-v2 readers.
+            let bytes = cati::encode_cati1_v1(&cati);
+            std::fs::write(out, bytes).map_err(|e| format!("write {out}: {e}"))?;
+        }
         "json" => cati.save_json(out).map_err(|e| e.to_string())?,
-        other => return Err(format!("unknown --format `{other}` (want cati1 or json)")),
+        other => {
+            return Err(format!(
+                "unknown --format `{other}` (want cati1, cati1-v1 or json)"
+            ))
+        }
     }
     println!("model converted to {format}: {out}");
     Ok(())
@@ -893,12 +915,13 @@ USAGE:
   cati vars BINARY.json [--strict|--lenient]
   cati train --corpus DIR --out MODEL.cati [--scale small|medium|paper] [--threads N]
   cati infer --model MODEL.cati BINARY.json [--strict|--lenient] [--json] [--threads N] [--cache-dir DIR]
+             [--quantize int8|f16]
   cati fuzz [--seed N] [--mutants N] [--budget 60s] [--hang-limit-ms N] [--out DIR] [--replay CASE.json]
   cati serve --model MODEL.cati [--addr HOST:PORT] [--queue-capacity N] [--max-batch N] [--workers N]
              [--hang-limit-ms N] [--cache-dir DIR] [--threads N] [--manifest PATH]
   cati report MANIFEST.jsonl [OTHER.jsonl] [--validate] [--trace OUT.json]
   cati report CURRENT.json --bench-diff BASELINE.json [--threshold PCT] [--warn-only]
-  cati convert --model MODEL --out FILE [--format cati1|json]
+  cati convert --model MODEL --out FILE [--format cati1|cati1-v1|json]
   cati strip BINARY.json --out STRIPPED.json
 
 Degradation modes (vars and infer):
@@ -946,13 +969,24 @@ bit-identical with or without the cache. Cache traffic is reported as
 cache_hits / cache_misses in the run manifest.
 
 Model format:
-  `cati train` writes models as CATI1 — a versioned, checksummed
+  `cati train` writes models as CATI1 v2 — a versioned, checksummed
   binary container (magic header, section table, flat little-endian
-  f32 weight tensors). `cati infer` and `cati convert` sniff the
-  format from the first bytes, so legacy JSON models keep working.
-  `cati convert` rewrites a model in either direction:
-    cati convert --model old.json --out model.cati             # JSON -> CATI1
-    cati convert --model model.cati --out m.json --format json # CATI1 -> JSON
+  f32 weight tensors, each 64-byte aligned so loading memory-maps the
+  weights zero-copy). `cati infer` and `cati convert` sniff the format
+  from the first bytes, so v1 containers and legacy JSON models keep
+  working (they load with one copy). `cati convert` rewrites a model
+  in any direction:
+    cati convert --model old.json --out model.cati               # JSON -> CATI1 v2
+    cati convert --model model.cati --out m.json --format json   # CATI1 -> JSON
+    cati convert --model model.cati --out v1.cati --format cati1-v1  # v2 -> legacy v1
+
+Quantized inference:
+  `cati infer --quantize int8|f16` snaps the loaded weights onto a
+  coarser grid before inference (per-row symmetric int8, or IEEE
+  binary16), dequantized back to f32 so every kernel runs the normal
+  deterministic path. Output is reproducible but NOT bit-identical to
+  the f32 model; the accuracy delta is measured by the bench parity
+  harness and recorded in its run manifest.
 
 Telemetry (train, infer, serve):
   --log-format text|json        live event mirror on stderr (default text)

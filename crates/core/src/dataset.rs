@@ -227,17 +227,45 @@ pub fn stage_dataset(
 /// `vucs × (embed_dim·VUC_LEN)` [`Tensor`], one row per VUC. Rows are
 /// filled in parallel; each row is bit-identical to
 /// [`VucEmbedder::embed_window`] on that VUC.
+///
+/// Hot-path shape: the instruction-column cache is read-locked *once*
+/// for the whole batch (`VucEmbedder::columns`) and every worker
+/// scatters borrowed columns straight into its rows — no per-insn
+/// lock, `Arc` clone, or telemetry atomics, and no redundant zero
+/// fill. Columns missing from the cache are computed directly into
+/// the rows (same floats), then inserted afterwards via one
+/// [`VucEmbedder::prime`] pass so later extractions hit.
 pub fn embed_extraction(ex: &Extraction, embedder: &VucEmbedder) -> Tensor {
+    use std::sync::atomic::{AtomicU64, Ordering};
     let cols = ex
         .vucs
         .first()
         .map_or(0, |v| embedder.embed_dim() * v.insns.len());
-    Tensor::build_rows(
-        ex.vucs.len(),
-        cols,
-        || (),
-        |(), i, row| embedder.embed_window_into(&ex.vucs[i].insns, row),
-    )
+    let misses = AtomicU64::new(0);
+    let mut insns_total = 0u64;
+    let xs = {
+        let view = embedder.columns();
+        Tensor::build_rows(
+            ex.vucs.len(),
+            cols,
+            || &view,
+            |view, i, row| {
+                let m = view.fill_window(&ex.vucs[i].insns, row) as u64;
+                if m > 0 {
+                    misses.fetch_add(m, Ordering::Relaxed);
+                }
+            },
+        )
+    };
+    let missed = misses.into_inner();
+    for v in &ex.vucs {
+        insns_total += v.insns.len() as u64;
+    }
+    embedder.record_usage(insns_total - missed, missed);
+    if missed > 0 {
+        embedder.prime(ex.vucs.iter().map(|v| v.insns.as_slice()));
+    }
+    xs
 }
 
 /// The class distribution of labeled variables, indexed by

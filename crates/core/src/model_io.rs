@@ -4,11 +4,12 @@
 //! it paid a full-text parse of every weight. The CATI1 container
 //! instead stores the weights as named little-endian `f32` tensors and
 //! keeps JSON only for the small structured head (configuration and
-//! vocabulary). Layout (all integers little-endian; see DESIGN.md §12):
+//! vocabulary). Layout (all integers little-endian; see DESIGN.md
+//! §12/§15):
 //!
 //! ```text
 //! magic        8 bytes   "CATI1\r\n\0"
-//! version      u32       container version (currently 1)
+//! version      u32       container version (1 or 2)
 //! n_sections   u32
 //! section table, per section:
 //!     name_len u32
@@ -18,37 +19,69 @@
 //!     digest   u128      FNV-1a/128 of the payload
 //! table digest u128      FNV-1a/128 over magic, version, count and
 //!                        every table entry (names length-prefixed)
-//! payloads     concatenated section payloads, in table order
+//! payloads     section payloads, in table order (v1: packed;
+//!              v2: each starting on a 64-byte file offset, with
+//!              zero padding between)
 //! ```
 //!
 //! Two sections: `meta` (JSON: pipeline config, Word2Vec config,
-//! vocabulary, and the `(stage, cnn-config)` list) and `tensors`
-//! (binary: tensor count, then per tensor a length-prefixed name, a
-//! u64 element count, and the raw `f32` data). Tensor names are
-//! `w2v.input`, `w2v.output`, and `stage.<stage>.p0`‥`p7` in
-//! [`TextCnn::params`] order. Every write is a pure function of the
-//! model, so re-saving an unchanged model is byte-identical.
+//! vocabulary, and the `(stage, cnn-config)` list) and `tensors`.
+//! Tensor names are `w2v.input`, `w2v.output`, and
+//! `stage.<stage>.p0`‥`p7` in [`TextCnn::params`] order. Every write
+//! is a pure function of the model, so re-saving an unchanged model
+//! is byte-identical.
 //!
-//! [`load_model`] sniffs the format: CATI1 by magic, legacy JSON by a
-//! leading `{`; anything else fails with a hex preview of the first
-//! bytes. Loaded models are bit-identical to what was saved, whichever
-//! format carried them.
+//! The `tensors` payload differs by version:
+//!
+//! - **v1** interleaves data with headers: count, then per tensor a
+//!   length-prefixed name, a u64 element count, and the raw `f32`
+//!   data. Simple, but tensor data lands at arbitrary offsets, so
+//!   loading must copy.
+//! - **v2** separates an index from a data region: count, then per
+//!   tensor `{name_len, name, elems u64, rel_off u64}`, then zero
+//!   padding so the data region starts on a 64-byte boundary, then
+//!   each tensor's raw `f32` data at its `rel_off` — every `rel_off`
+//!   64-byte aligned, with zero padding between tensors. Because v2
+//!   section payloads also start on 64-byte *file* offsets, every
+//!   tensor's absolute file offset is 64-byte aligned, so
+//!   [`load_model`] can `mmap` the file and hand out weight slices
+//!   that point straight into the page cache (zero-copy; see
+//!   `cati_nn::mmap`).
+//!
+//! [`load_model`] sniffs the format: CATI1 by magic (v1 copies, v2
+//! maps), legacy JSON by a leading `{`; anything else fails with a
+//! hex preview of the first bytes. Loaded models are bit-identical to
+//! what was saved, whichever format carried them. `cati convert`
+//! migrates between all three.
 
 use crate::pipeline::Cati;
 use cati_analysis::{digest_bytes, Fnv128};
 use cati_dwarf::StageId;
 use cati_embedding::{Vocab, VucEmbedder, W2vConfig, Word2Vec};
-use cati_nn::{TextCnn, TextCnnConfig};
+use cati_nn::{MapSlice, MappedFile, ParamBuf, TextCnn, TextCnnConfig};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// The 8-byte CATI1 magic. The `\r\n` catches newline-translating
 /// transports, the trailing NUL catches C-string truncation.
 pub const CATI1_MAGIC: [u8; 8] = *b"CATI1\r\n\0";
 
 /// Container format version written by [`encode_cati1`].
-pub const CATI1_VERSION: u32 = 1;
+pub const CATI1_VERSION: u32 = 2;
+
+/// Oldest container version [`decode_cati1`] still reads.
+pub const CATI1_MIN_VERSION: u32 = 1;
+
+/// Alignment (bytes) of every v2 section payload and tensor datum.
+/// 64 covers `f32` (so mapped slices are directly viewable), SIMD
+/// vector loads, and cache-line-aligned weight rows.
+pub const CATI1_ALIGN: usize = 64;
+
+fn align_up(n: usize) -> usize {
+    n.div_ceil(CATI1_ALIGN) * CATI1_ALIGN
+}
 
 /// Whether `bytes` carry the CATI1 magic.
 pub fn is_cati1(bytes: &[u8]) -> bool {
@@ -60,16 +93,16 @@ pub fn is_cati1(bytes: &[u8]) -> bool {
 // ---------------------------------------------------------------
 
 /// The named flat weight tensors of a trained system, in the fixed
-/// container order.
-fn weight_tensors(cati: &Cati) -> Vec<(String, Vec<f32>)> {
+/// container order (borrowed views — encoding never copies weights).
+fn weight_tensors(cati: &Cati) -> Vec<(String, &[f32])> {
     let model = cati.embedder.model();
     let mut tensors = vec![
-        ("w2v.input".to_string(), model.input_matrix().to_vec()),
-        ("w2v.output".to_string(), model.output_matrix().to_vec()),
+        ("w2v.input".to_string(), model.input_matrix()),
+        ("w2v.output".to_string(), model.output_matrix()),
     ];
     for (stage, cnn) in cati.stages.models() {
         for (k, t) in cnn.params().into_iter().enumerate() {
-            tensors.push((format!("stage.{stage}.p{k}"), t.to_vec()));
+            tensors.push((format!("stage.{stage}.p{k}"), t));
         }
     }
     tensors
@@ -97,9 +130,9 @@ fn meta_blob(cati: &Cati) -> Vec<u8> {
     serde_json::to_vec(&serde::Value::Object(m)).unwrap_or_default()
 }
 
-/// The `tensors` section payload: count, then per tensor a
+/// The v1 `tensors` section payload: count, then per tensor a
 /// length-prefixed name, a u64 element count, and raw LE `f32` data.
-fn tensor_blob(tensors: &[(String, Vec<f32>)]) -> Vec<u8> {
+fn tensor_blob_v1(tensors: &[(String, &[f32])]) -> Vec<u8> {
     let floats: usize = tensors.iter().map(|(_, t)| t.len()).sum();
     let mut out = Vec::with_capacity(4 + floats * 4 + tensors.len() * 24);
     out.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
@@ -107,49 +140,133 @@ fn tensor_blob(tensors: &[(String, Vec<f32>)]) -> Vec<u8> {
         out.extend_from_slice(&(name.len() as u32).to_le_bytes());
         out.extend_from_slice(name.as_bytes());
         out.extend_from_slice(&(data.len() as u64).to_le_bytes());
-        for v in data {
+        for v in *data {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
     out
 }
 
-/// Encodes a trained system as a CATI1 container.
-pub fn encode_cati1(cati: &Cati) -> Vec<u8> {
+/// The v2 `tensors` section payload: an index (count, then per tensor
+/// name / element count / section-relative data offset), zero padding
+/// to a [`CATI1_ALIGN`] boundary, then each tensor's raw LE `f32`
+/// data at its recorded offset — every offset aligned, zero padding
+/// between tensors. Combined with aligned section placement this
+/// makes every tensor's *file* offset 64-byte aligned, which is what
+/// lets the loader view mapped bytes as `&[f32]` directly.
+fn tensor_blob_v2(tensors: &[(String, &[f32])]) -> Vec<u8> {
+    let index_len: usize = 4 + tensors
+        .iter()
+        .map(|(n, _)| 4 + n.len() + 8 + 8)
+        .sum::<usize>();
+    let mut rel = align_up(index_len);
+    let mut offsets = Vec::with_capacity(tensors.len());
+    for (_, data) in tensors {
+        offsets.push(rel);
+        rel = align_up(rel + data.len() * 4);
+    }
+    let total = offsets
+        .last()
+        .zip(tensors.last())
+        .map_or(align_up(index_len), |(&off, (_, d))| off + d.len() * 4);
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
+    for ((name, data), &off) in tensors.iter().zip(&offsets) {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(off as u64).to_le_bytes());
+    }
+    for ((_, data), &off) in tensors.iter().zip(&offsets) {
+        out.resize(off, 0);
+        for v in *data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Assembles a container of the given `version` from a `meta` payload
+/// and named tensors. v1 packs payloads back to back; v2 starts every
+/// payload on a [`CATI1_ALIGN`]-byte file offset.
+fn encode_raw(version: u32, meta: &[u8], tensors: &[(String, &[f32])]) -> Vec<u8> {
     let sections: Vec<(&str, Vec<u8>)> = vec![
-        ("meta", meta_blob(cati)),
-        ("tensors", tensor_blob(&weight_tensors(cati))),
+        ("meta", meta.to_vec()),
+        (
+            "tensors",
+            if version == 1 {
+                tensor_blob_v1(tensors)
+            } else {
+                tensor_blob_v2(tensors)
+            },
+        ),
     ];
     let table_len: usize = sections.iter().map(|(n, _)| 4 + n.len() + 8 + 8 + 16).sum();
     let header_len = CATI1_MAGIC.len() + 4 + 4 + table_len + 16;
     let payload_len: usize = sections.iter().map(|(_, p)| p.len()).sum();
-    let mut out = Vec::with_capacity(header_len + payload_len);
+    let place = |end: usize| {
+        if version == 1 {
+            end
+        } else {
+            align_up(end)
+        }
+    };
+    let mut out = Vec::with_capacity(place(header_len) + payload_len + CATI1_ALIGN);
     out.extend_from_slice(&CATI1_MAGIC);
-    out.extend_from_slice(&CATI1_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
     let mut hasher = Fnv128::new();
     hasher.update(&CATI1_MAGIC);
-    hasher.update_u32(CATI1_VERSION);
+    hasher.update_u32(version);
     hasher.update_u32(sections.len() as u32);
-    let mut offset = header_len as u64;
+    let mut offset = place(header_len);
+    let mut offsets = Vec::with_capacity(sections.len());
     for (name, payload) in &sections {
         let digest = digest_bytes(payload);
         out.extend_from_slice(&(name.len() as u32).to_le_bytes());
         out.extend_from_slice(name.as_bytes());
-        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(offset as u64).to_le_bytes());
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&digest.0.to_le_bytes());
         hasher.update_field(name.as_bytes());
-        hasher.update_u64(offset);
+        hasher.update_u64(offset as u64);
         hasher.update_u64(payload.len() as u64);
         hasher.update(&digest.0.to_le_bytes());
-        offset += payload.len() as u64;
+        offsets.push(offset);
+        offset = place(offset + payload.len());
     }
     out.extend_from_slice(&hasher.finish().0.to_le_bytes());
-    for (_, payload) in &sections {
+    for ((_, payload), &off) in sections.iter().zip(&offsets) {
+        out.resize(off, 0); // zero padding up to the aligned offset
         out.extend_from_slice(payload);
     }
     out
+}
+
+/// Encodes a trained system as a CATI1 container at the current
+/// version ([`CATI1_VERSION`] = 2, the mmap-friendly aligned layout).
+pub fn encode_cati1(cati: &Cati) -> Vec<u8> {
+    encode_raw(CATI1_VERSION, &meta_blob(cati), &weight_tensors(cati))
+}
+
+/// Encodes a trained system as a *v1* CATI1 container — the packed
+/// legacy layout, byte-identical to what pre-v2 builds wrote. Kept
+/// for `cati convert --format cati1-v1` (downgrade for older readers)
+/// and for the migration round-trip tests.
+pub fn encode_cati1_v1(cati: &Cati) -> Vec<u8> {
+    encode_raw(1, &meta_blob(cati), &weight_tensors(cati))
+}
+
+/// Test/CI hook: encodes arbitrary named tensors as a v2 container
+/// (with an empty `meta` payload), so the alignment invariant can be
+/// property-tested over shapes without training a model.
+#[doc(hidden)]
+pub fn encode_v2_raw(tensors: &[(String, Vec<f32>)]) -> Vec<u8> {
+    let views: Vec<(String, &[f32])> = tensors
+        .iter()
+        .map(|(n, d)| (n.clone(), d.as_slice()))
+        .collect();
+    encode_raw(CATI1_VERSION, b"{}", &views)
 }
 
 // ---------------------------------------------------------------
@@ -208,16 +325,27 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Splits the container into verified `(name, payload)` sections: the
-/// table checksum, every section's bounds, and every section's payload
-/// checksum must all hold.
-fn read_sections(bytes: &[u8]) -> Result<Vec<(String, &[u8])>, String> {
+/// A verified section: name, absolute file offset of the payload, and
+/// the payload itself (the offset is what lets the v2 tensor reader
+/// hand out windows into the *file* mapping).
+struct Section<'a> {
+    name: String,
+    offset: usize,
+    payload: &'a [u8],
+}
+
+/// Splits the container into verified sections: the table checksum,
+/// every section's bounds, and every section's payload checksum must
+/// all hold. Returns the container version alongside (any version in
+/// [`CATI1_MIN_VERSION`]..=[`CATI1_VERSION`] is accepted).
+fn read_sections(bytes: &[u8]) -> Result<(u32, Vec<Section<'_>>), String> {
     let mut cur = Cursor { bytes, pos: 0 };
     cur.take(CATI1_MAGIC.len(), "magic")?;
     let version = cur.u32("container version")?;
-    if version != CATI1_VERSION {
+    if !(CATI1_MIN_VERSION..=CATI1_VERSION).contains(&version) {
         return Err(format!(
-            "unsupported CATI1 container version {version} (this build reads {CATI1_VERSION})"
+            "unsupported CATI1 container version {version} \
+             (this build reads {CATI1_MIN_VERSION}..={CATI1_VERSION})"
         ));
     }
     let count = cur.u32("section count")?;
@@ -258,13 +386,38 @@ fn read_sections(bytes: &[u8]) -> Result<Vec<(String, &[u8])>, String> {
         if digest_bytes(payload).0 != digest {
             return Err(format!("section {name} checksum mismatch"));
         }
-        sections.push((name, payload));
+        sections.push(Section {
+            name,
+            offset: offset as usize,
+            payload,
+        });
     }
-    Ok(sections)
+    Ok((version, sections))
 }
 
-/// Parses the `tensors` payload into name → flat floats.
-fn read_tensors(payload: &[u8]) -> Result<HashMap<String, Vec<f32>>, String> {
+/// Copies `elems` floats out of `payload` at byte `off` (the non-mmap
+/// tensor path, and the fallback when a mapped window is misaligned).
+fn copy_f32s(payload: &[u8], off: usize, elems: usize, name: &str) -> Result<Vec<f32>, String> {
+    let end = elems
+        .checked_mul(4)
+        .and_then(|b| off.checked_add(b))
+        .filter(|&e| e <= payload.len())
+        .ok_or_else(|| {
+            format!(
+                "tensor {name} data {off}+{elems}x4 out of bounds ({}-byte section)",
+                payload.len()
+            )
+        })?;
+    Ok(payload[off..end]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Parses a v1 `tensors` payload (headers interleaved with data) into
+/// name → owned buffer. v1 data lands at arbitrary offsets, so this
+/// path always copies.
+fn read_tensors_v1(payload: &[u8]) -> Result<HashMap<String, ParamBuf>, String> {
     let mut cur = Cursor {
         bytes: payload,
         pos: 0,
@@ -278,37 +431,70 @@ fn read_tensors(payload: &[u8]) -> Result<HashMap<String, Vec<f32>>, String> {
             .checked_mul(4)
             .ok_or_else(|| format!("tensor {name} length {floats} overflows"))?;
         let data = cur.take(n, &format!("tensor {name} data"))?;
-        let values = data
+        let values: Vec<f32> = data
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        tensors.insert(name, values);
+        tensors.insert(name, ParamBuf::from(values));
     }
     Ok(tensors)
 }
 
-fn take_tensor(tensors: &mut HashMap<String, Vec<f32>>, name: &str) -> Result<Vec<f32>, String> {
+/// Parses a v2 `tensors` payload (index + aligned data region) into
+/// name → buffer. With a real mapping each buffer is a zero-copy
+/// window into the file (`section_off + rel_off` is 64-byte aligned
+/// by construction); without one — heap-read fallback, or decoding
+/// from a byte slice — the data is copied.
+fn read_tensors_v2(
+    payload: &[u8],
+    section_off: usize,
+    map: Option<&Arc<MappedFile>>,
+) -> Result<HashMap<String, ParamBuf>, String> {
+    let mut cur = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let count = cur.u32("tensor count")?;
+    let mut tensors = HashMap::with_capacity(count as usize);
+    for _ in 0..count {
+        let name = cur.name("tensor")?;
+        let elems = cur.u64(&format!("tensor {name} length"))? as usize;
+        let rel = cur.u64(&format!("tensor {name} offset"))? as usize;
+        let buf = match map {
+            Some(map) if map.is_mapped() => {
+                match MapSlice::new(Arc::clone(map), section_off + rel, elems) {
+                    Ok(slice) => ParamBuf::from_map(slice),
+                    // Misaligned window (shouldn't happen for a real
+                    // mapping, which is page-aligned): fall back to a
+                    // copy rather than failing the load.
+                    Err(_) => ParamBuf::from(copy_f32s(payload, rel, elems, &name)?),
+                }
+            }
+            _ => ParamBuf::from(copy_f32s(payload, rel, elems, &name)?),
+        };
+        tensors.insert(name, buf);
+    }
+    Ok(tensors)
+}
+
+fn take_tensor(tensors: &mut HashMap<String, ParamBuf>, name: &str) -> Result<ParamBuf, String> {
     tensors
         .remove(name)
         .ok_or_else(|| format!("missing tensor {name}"))
 }
 
-/// Decodes a CATI1 container back into a trained system.
-///
-/// # Errors
-///
-/// Returns a description of the first structural problem found:
-/// truncation, checksum mismatch, a missing section or tensor, or a
-/// tensor whose shape disagrees with the recorded configuration.
-pub fn decode_cati1(bytes: &[u8]) -> Result<Cati, String> {
-    let sections = read_sections(bytes)?;
-    let payload = |name: &str| -> Result<&[u8], String> {
+/// Decodes a CATI1 container (any supported version). When `map` is a
+/// real file mapping of the same bytes, v2 weight tensors become
+/// zero-copy windows into it; otherwise all weights are copied out.
+fn decode_with(bytes: &[u8], map: Option<&Arc<MappedFile>>) -> Result<Cati, String> {
+    let (version, sections) = read_sections(bytes)?;
+    let section = |name: &str| -> Result<&Section<'_>, String> {
         sections
             .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, p)| p)
+            .find(|s| s.name == name)
             .ok_or_else(|| format!("missing section {name}"))
     };
+    let payload = |name: &str| -> Result<&[u8], String> { section(name).map(|s| s.payload) };
     let meta: serde::Value = serde_json::from_slice(payload("meta")?)
         .map_err(|e| format!("meta section is not valid JSON: {e}"))?;
     let meta = serde::as_object_for(&meta, "CATI1 meta").map_err(|e| e.to_string())?;
@@ -319,7 +505,12 @@ pub fn decode_cati1(bytes: &[u8]) -> Result<Cati, String> {
     let stage_vals: Vec<serde::Value> =
         serde::field(meta, "stages", "CATI1 meta").map_err(|e| e.to_string())?;
 
-    let mut tensors = read_tensors(payload("tensors")?)?;
+    let tsec = section("tensors")?;
+    let mut tensors = if version == 1 {
+        read_tensors_v1(tsec.payload)?
+    } else {
+        read_tensors_v2(tsec.payload, tsec.offset, map)?
+    };
     let input = take_tensor(&mut tensors, "w2v.input")?;
     let output = take_tensor(&mut tensors, "w2v.output")?;
     let w2v = Word2Vec::from_parts(vocab, w2v_cfg, input, output)?;
@@ -334,7 +525,8 @@ pub fn decode_cati1(bytes: &[u8]) -> Result<Cati, String> {
         let params = (0..8)
             .map(|k| take_tensor(&mut tensors, &format!("stage.{stage}.p{k}")))
             .collect::<Result<Vec<_>, _>>()?;
-        let cnn = TextCnn::from_params(cfg, &params).map_err(|e| format!("stage {stage}: {e}"))?;
+        let cnn =
+            TextCnn::from_param_bufs(cfg, params).map_err(|e| format!("stage {stage}: {e}"))?;
         models.push((stage, cnn));
     }
     if !tensors.is_empty() {
@@ -347,6 +539,47 @@ pub fn decode_cati1(bytes: &[u8]) -> Result<Cati, String> {
         embedder: VucEmbedder::new(w2v),
         stages: crate::multistage::MultiStage::from_models(models),
     })
+}
+
+/// Decodes a CATI1 container back into a trained system (all weights
+/// copied into owned buffers — the mmap path lives in [`load_model`]).
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found:
+/// truncation, checksum mismatch, an unsupported version, a missing
+/// section or tensor, or a tensor whose shape disagrees with the
+/// recorded configuration.
+pub fn decode_cati1(bytes: &[u8]) -> Result<Cati, String> {
+    decode_with(bytes, None)
+}
+
+/// Test/CI hook: the `(name, absolute file offset, element count)` of
+/// every tensor in a v2 container, for asserting the 64-byte
+/// alignment invariant without decoding a full model.
+#[doc(hidden)]
+pub fn v2_tensor_offsets(bytes: &[u8]) -> Result<Vec<(String, usize, usize)>, String> {
+    let (version, sections) = read_sections(bytes)?;
+    if version < 2 {
+        return Err(format!("v2 offsets requested of a v{version} container"));
+    }
+    let tsec = sections
+        .iter()
+        .find(|s| s.name == "tensors")
+        .ok_or_else(|| "missing section tensors".to_string())?;
+    let mut cur = Cursor {
+        bytes: tsec.payload,
+        pos: 0,
+    };
+    let count = cur.u32("tensor count")?;
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let name = cur.name("tensor")?;
+        let elems = cur.u64("tensor length")? as usize;
+        let rel = cur.u64("tensor offset")? as usize;
+        out.push((name, tsec.offset + rel, elems));
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------
@@ -382,14 +615,16 @@ pub(crate) fn save_cati1(cati: &Cati, path: &Path) -> std::io::Result<()> {
     save_bytes_atomic(&encode_cati1(cati), path)
 }
 
-/// Loads a model file in either supported format, sniffing the bytes:
-/// the CATI1 magic selects the binary container, a leading `{` (after
+/// Loads a model file in any supported format, sniffing the bytes:
+/// the CATI1 magic selects the binary container (v2 weights read
+/// zero-copy out of the mapping; v1 copies), a leading `{` (after
 /// whitespace) the legacy JSON blob. Anything else fails with a hex
 /// preview of the first bytes and a format hint.
 pub(crate) fn load_model(path: &Path) -> std::io::Result<Cati> {
-    let bytes = std::fs::read(path).map_err(|e| {
+    let map = MappedFile::open(path).map_err(|e| {
         std::io::Error::new(e.kind(), format!("read model {}: {e}", path.display()))
     })?;
+    let bytes = map.bytes();
     let parse_err = |detail: String| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidData,
@@ -400,10 +635,10 @@ pub(crate) fn load_model(path: &Path) -> std::io::Result<Cati> {
             ),
         )
     };
-    if is_cati1(&bytes) {
-        decode_cati1(&bytes).map_err(parse_err)
+    if is_cati1(bytes) {
+        decode_with(bytes, Some(&map)).map_err(parse_err)
     } else if bytes.iter().copied().find(|b| !b.is_ascii_whitespace()) == Some(b'{') {
-        serde_json::from_slice(&bytes).map_err(|e| parse_err(e.to_string()))
+        serde_json::from_slice(bytes).map_err(|e| parse_err(e.to_string()))
     } else {
         let preview: Vec<String> = bytes.iter().take(8).map(|b| format!("{b:02x}")).collect();
         Err(parse_err(format!(
@@ -484,5 +719,124 @@ mod tests {
         bytes[CATI1_MAGIC.len()] = 9;
         let err = decode_cati1(&bytes).expect_err("future version must not decode");
         assert!(err.contains("version 9"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn v1_containers_still_decode_and_roundtrip_byte_identically() {
+        let cati = tiny_cati();
+        let v1 = encode_cati1_v1(&cati);
+        assert_eq!(
+            u32::from_le_bytes([v1[8], v1[9], v1[10], v1[11]]),
+            1,
+            "legacy encoder must stamp version 1"
+        );
+        let back = decode_cati1(&v1).expect("v1 container must still load");
+        assert_eq!(back, cati, "v1 decode must be bit-exact");
+        // v1 -> decode -> v1 re-encode is the convert round-trip.
+        assert_eq!(encode_cati1_v1(&back), v1);
+        // And upgrading then downgrading lands on the same v1 bytes.
+        let v2 = encode_cati1(&cati);
+        let upgraded = decode_cati1(&v2).expect("v2 container must load");
+        assert_eq!(encode_cati1_v1(&upgraded), v1);
+    }
+
+    #[test]
+    fn v2_tensor_offsets_are_cache_line_aligned() {
+        let bytes = encode_cati1(&tiny_cati());
+        let offsets = v2_tensor_offsets(&bytes).expect("offset table");
+        assert!(!offsets.is_empty());
+        for (name, off, elems) in &offsets {
+            assert_eq!(
+                off % CATI1_ALIGN,
+                0,
+                "tensor {name} starts at {off}, not {CATI1_ALIGN}-byte aligned"
+            );
+            assert!(
+                off + elems * 4 <= bytes.len(),
+                "tensor {name} out of bounds"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// The alignment invariant holds for arbitrary tensor shapes,
+        /// not just the shapes a trained model happens to produce —
+        /// including empty tensors and lengths straddling the 16-float
+        /// (64-byte) boundary.
+        #[test]
+        fn v2_alignment_holds_for_arbitrary_shapes(
+            lens in proptest::collection::vec(0usize..40, 1..8)
+        ) {
+            let tensors: Vec<(String, Vec<f32>)> = lens
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (format!("t{i}"), (0..n).map(|k| k as f32).collect()))
+                .collect();
+            let bytes = encode_v2_raw(&tensors);
+            let offsets = v2_tensor_offsets(&bytes).unwrap();
+            proptest::prop_assert_eq!(offsets.len(), tensors.len());
+            for ((name, data), (oname, off, elems)) in tensors.iter().zip(&offsets) {
+                proptest::prop_assert_eq!(name, oname);
+                proptest::prop_assert_eq!(data.len(), *elems);
+                proptest::prop_assert_eq!(off % CATI1_ALIGN, 0);
+                // The recorded window really holds the tensor's bytes.
+                for (k, v) in data.iter().enumerate() {
+                    let at = off + k * 4;
+                    let got = f32::from_le_bytes([
+                        bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3],
+                    ]);
+                    proptest::prop_assert_eq!(got.to_bits(), v.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mmap_load_is_zero_copy_and_bit_identical_to_heap_decode() {
+        let cati = tiny_cati();
+        let dir = std::env::temp_dir().join(format!("cati-v2-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.cati");
+        cati.save(&path).unwrap();
+        let loaded = Cati::load(&path).unwrap();
+        assert_eq!(loaded, cati, "mmap load must be bit-exact");
+        // On unix the load really mapped: 2 w2v matrices + 8 params
+        // per stage stay windows into the file.
+        #[cfg(unix)]
+        assert_eq!(
+            loaded.mapped_param_count(),
+            2 + 8 * cati.stages.models().len(),
+            "v2 load should keep every weight tensor mapped"
+        );
+        let heap = decode_cati1(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(heap.mapped_param_count(), 0);
+        assert_eq!(heap, loaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantized_model_stays_loadable_and_close_to_f32() {
+        let cati = tiny_cati();
+        let mut q = cati.clone();
+        q.quantize(cati_nn::QuantMode::F16);
+        assert_ne!(q, cati, "quantization must actually move weights");
+        // Quantized weights survive a container round-trip exactly.
+        let bytes = encode_cati1(&q);
+        assert_eq!(decode_cati1(&bytes).unwrap(), q);
+        // f16 snapping keeps every weight within 1 half-ULP of the
+        // original: 2^-11 relative for normals, 2^-25 absolute in the
+        // subnormal range.
+        let model = cati.embedder.model();
+        let qmodel = q.embedder.model();
+        for (a, b) in model
+            .input_matrix()
+            .iter()
+            .zip(qmodel.input_matrix().iter())
+        {
+            assert!(
+                (a - b).abs() <= a.abs() * (-11f32).exp2() + (-25f32).exp2(),
+                "{a} snapped to {b}"
+            );
+        }
     }
 }

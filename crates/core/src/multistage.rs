@@ -164,6 +164,12 @@ impl MultiStage {
         &self.models
     }
 
+    /// Mutable access to the `(stage, model)` pairs — the
+    /// quantization path ([`crate::pipeline::Cati::quantize`]).
+    pub fn models_mut(&mut self) -> &mut [(StageId, TextCnn)] {
+        &mut self.models
+    }
+
     /// The model for one stage.
     ///
     /// # Panics

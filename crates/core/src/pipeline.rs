@@ -15,7 +15,7 @@ use cati_analysis::{
 use cati_asm::binary::Binary;
 use cati_dwarf::{StageId, TypeClass};
 use cati_embedding::{VucEmbedder, Word2Vec};
-use cati_nn::{argmax, Tensor};
+use cati_nn::{argmax, QuantMode, Tensor};
 use cati_obs::metrics::UNIT_BUCKETS;
 use cati_obs::{Event, Observer, SpanGuard};
 use cati_synbin::BuiltBinary;
@@ -402,6 +402,37 @@ impl Cati {
     /// "expected CATI1 magic or JSON model" hint.
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<Cati> {
         crate::model_io::load_model(path.as_ref())
+    }
+
+    /// Quantizes every weight matrix in place — both Word2Vec
+    /// embedding matrices and all stage-CNN filter/projection weights
+    /// (biases excepted) — snapping them to the chosen grid and
+    /// dequantizing back to `f32` (see [`cati_nn::quant`]). The
+    /// opt-in quantized inference mode: still fully deterministic,
+    /// but *not* bit-identical to the f32 model; the accuracy cost is
+    /// measured by the bench parity harness and recorded in the run
+    /// manifest. Applied before any inference runs, so the embedder's
+    /// column cache never holds full-precision floats (it is cleared
+    /// here).
+    pub fn quantize(&mut self, mode: QuantMode) {
+        self.embedder.quantize(mode);
+        for (_, cnn) in self.stages.models_mut() {
+            cnn.quantize(mode);
+        }
+    }
+
+    /// How many weight tensors currently read straight out of a
+    /// memory-mapped CATI1 v2 container (zero for trained or
+    /// JSON/v1-loaded models) — diagnostics for the zero-copy load
+    /// tests.
+    pub fn mapped_param_count(&self) -> usize {
+        self.embedder.mapped_param_count()
+            + self
+                .stages
+                .models()
+                .iter()
+                .map(|(_, cnn)| cnn.mapped_param_count())
+                .sum::<usize>()
     }
 }
 

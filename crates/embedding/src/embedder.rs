@@ -10,10 +10,10 @@
 //! becomes stitching cached rows into the channel-major layout, and
 //! occlusion probes can patch a single position in place.
 
+use crate::hash::FxHashMap;
 use crate::word2vec::Word2Vec;
 use cati_asm::generalize::{GenInsn, TOKENS_PER_INSN};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -26,8 +26,10 @@ use std::sync::{Arc, RwLock};
 #[derive(Debug)]
 pub struct VucEmbedder {
     model: Word2Vec,
-    /// `GenInsn` → its `embed_dim()` channel column.
-    cache: RwLock<HashMap<GenInsn, Arc<[f32]>>>,
+    /// `GenInsn` → its `embed_dim()` channel column. Keyed with the
+    /// crate-local [`FxHashMap`]: one lookup per instruction per VUC
+    /// makes SipHash over three strings the bulk-embedding bottleneck.
+    cache: RwLock<FxHashMap<GenInsn, Arc<[f32]>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -69,7 +71,7 @@ impl VucEmbedder {
     pub fn new(model: Word2Vec) -> VucEmbedder {
         VucEmbedder {
             model,
-            cache: RwLock::new(HashMap::new()),
+            cache: RwLock::new(FxHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -88,6 +90,22 @@ impl VucEmbedder {
     /// The underlying Word2Vec model.
     pub fn model(&self) -> &Word2Vec {
         &self.model
+    }
+
+    /// Quantizes the embedding matrices in place (see
+    /// [`Word2Vec::quantize`]) and drops every cached instruction
+    /// column — cached columns are derived from the pre-quantization
+    /// matrix and would otherwise leak full-precision floats into
+    /// quantized inference.
+    pub fn quantize(&mut self, mode: cati_nn::QuantMode) {
+        self.model.quantize(mode);
+        self.cache.write().expect("embed cache lock").clear();
+    }
+
+    /// How many of the model's matrices still read straight out of a
+    /// memory-mapped container (zero-copy load diagnostics).
+    pub fn mapped_param_count(&self) -> usize {
+        self.model.mapped_param_count()
     }
 
     /// The `embed_dim()` channel column of one instruction, straight
@@ -150,6 +168,73 @@ impl VucEmbedder {
         }
     }
 
+    /// Ensures every instruction of `windows` has a cached channel
+    /// column, inserting all misses under a single write lock (the
+    /// per-insn path takes the lock once per new instruction).
+    ///
+    /// Purely a cache warm-up: it never touches the hit/miss
+    /// telemetry, which is accounted by the lookup paths.
+    pub fn prime<'a>(&self, windows: impl IntoIterator<Item = &'a [GenInsn]>) {
+        let mut fresh: FxHashMap<GenInsn, Arc<[f32]>> = FxHashMap::default();
+        {
+            let cache = self.cache.read().expect("embed cache lock");
+            for w in windows {
+                for insn in w {
+                    if !cache.contains_key(insn) && !fresh.contains_key(insn) {
+                        fresh.insert(insn.clone(), Arc::from(self.compute_column(insn)));
+                    }
+                }
+            }
+        }
+        if fresh.is_empty() {
+            return;
+        }
+        let mut cache = self.cache.write().expect("embed cache lock");
+        for (insn, col) in fresh {
+            cache.entry(insn).or_insert(col);
+        }
+    }
+
+    /// A read-locked view of the column cache for embedding many
+    /// windows in bulk: one lock acquisition for the whole batch
+    /// instead of one per instruction, and columns are borrowed
+    /// straight from the map (no per-lookup `Arc` traffic). The view
+    /// is `Sync`, so parallel workers filling disjoint tensor rows
+    /// can share it.
+    ///
+    /// Writers (including [`VucEmbedder::prime`] and the per-insn
+    /// miss path) block while a view is alive — keep its scope to one
+    /// batch.
+    pub fn columns(&self) -> ColumnView<'_> {
+        // Window edges are BLANK-padded, so the all-BLANK instruction
+        // is by far the most frequent key; the view resolves its
+        // column once up front and matches it by direct comparison,
+        // skipping the hash-and-probe entirely for padding.
+        let blank = GenInsn::blank();
+        let blank_col = self.compute_column(&blank);
+        let guard = self.cache.read().expect("embed cache lock");
+        let blank_cached = guard.contains_key(&blank);
+        ColumnView {
+            guard,
+            model: &self.model,
+            blank,
+            blank_col,
+            blank_cached,
+        }
+    }
+
+    /// Adds a batch of lookups to the hit/miss telemetry — the bulk
+    /// embedding path accounts one extraction at a time instead of
+    /// bumping two atomics per instruction.
+    pub fn record_usage(&self, hits: u64, misses: u64) {
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            self.misses.fetch_add(misses, Ordering::Relaxed);
+        }
+    }
+
     /// Overwrites window position `t` of a tensor produced by
     /// [`VucEmbedder::embed_window`] with `insn`'s channel column —
     /// the occlusion fast path: a probe that blanks one instruction
@@ -203,6 +288,73 @@ impl VucEmbedder {
         } else {
             known as f64 / total as f64
         }
+    }
+}
+
+/// A read-locked bulk view of a [`VucEmbedder`]'s column cache; see
+/// [`VucEmbedder::columns`].
+#[derive(Debug)]
+pub struct ColumnView<'a> {
+    guard: std::sync::RwLockReadGuard<'a, FxHashMap<GenInsn, Arc<[f32]>>>,
+    model: &'a Word2Vec,
+    /// The all-BLANK padding instruction, matched by equality (its
+    /// mnemonic differs from every real generalized mnemonic, so the
+    /// comparison fails fast on length).
+    blank: GenInsn,
+    /// Pre-resolved channel column for [`ColumnView::blank`] — the
+    /// same floats [`VucEmbedder::compute_column`] produces, so the
+    /// fast path is bit-identical to a cache hit or miss.
+    blank_col: Vec<f32>,
+    /// Whether the shared cache already held the BLANK column when
+    /// this view was taken; if not, BLANK occurrences still count as
+    /// misses so the caller's re-prime inserts it.
+    blank_cached: bool,
+}
+
+impl ColumnView<'_> {
+    /// Bit-identical to [`VucEmbedder::embed_window_into`], reading
+    /// columns through the held guard. Instructions missing from the
+    /// cache are computed directly into the tensor (same floats, not
+    /// inserted — a read lock cannot grow the map); the returned miss
+    /// count lets the caller re-[`VucEmbedder::prime`] afterwards and
+    /// feed [`VucEmbedder::record_usage`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an `embed_dim × insns.len()` buffer.
+    pub fn fill_window(&self, insns: &[GenInsn], x: &mut [f32]) -> usize {
+        let len = insns.len();
+        let dim = self.model.cfg.dim;
+        let embed_dim = TOKENS_PER_INSN * dim;
+        assert_eq!(x.len(), embed_dim * len, "tensor/len mismatch");
+        let mut misses = 0usize;
+        for (t, insn) in insns.iter().enumerate() {
+            if *insn == self.blank {
+                if !self.blank_cached {
+                    misses += 1;
+                }
+                for (xc, &v) in x.chunks_exact_mut(len).zip(self.blank_col.iter()) {
+                    xc[t] = v;
+                }
+            } else if let Some(col) = self.guard.get(insn) {
+                for (xc, &v) in x.chunks_exact_mut(len).zip(col.iter()) {
+                    xc[t] = v;
+                }
+            } else {
+                misses += 1;
+                for c in 0..embed_dim {
+                    x[c * len + t] = 0.0;
+                }
+                for (k, token) in insn.iter().enumerate() {
+                    if let Some(v) = self.model.vector(token) {
+                        for (d, &val) in v.iter().enumerate() {
+                            x[(k * dim + d) * len + t] = val;
+                        }
+                    }
+                }
+            }
+        }
+        misses
     }
 }
 
@@ -339,6 +491,44 @@ mod tests {
             e.patch_window_position(&mut patched, w.len(), t, &GenInsn::blank());
             assert_eq!(patched, full, "patch at position {t} diverged");
         }
+    }
+
+    #[test]
+    fn bulk_fill_matches_per_insn_path_cold_and_warm() {
+        let windows = sample_windows();
+        for warm in [false, true] {
+            let e = embedder();
+            if warm {
+                e.prime(windows.iter().map(Vec::as_slice));
+                assert!(e.cached_insns() > 0, "prime populated nothing");
+            }
+            let view = e.columns();
+            for w in &windows {
+                let mut bulk = vec![f32::NAN; e.embed_dim() * w.len()];
+                let misses = view.fill_window(w, &mut bulk);
+                assert_eq!(
+                    misses == 0,
+                    warm,
+                    "warm={warm} should mean zero bulk misses"
+                );
+                let oracle = embed_window_uncached(&e, w);
+                assert_eq!(bulk, oracle, "bulk fill diverged (warm={warm})");
+            }
+        }
+    }
+
+    #[test]
+    fn prime_is_idempotent_and_skips_telemetry() {
+        let e = embedder();
+        let windows = sample_windows();
+        e.prime(windows.iter().map(Vec::as_slice));
+        let n = e.cached_insns();
+        assert!(n > 0);
+        e.prime(windows.iter().map(Vec::as_slice));
+        assert_eq!(e.cached_insns(), n, "second prime must not grow the cache");
+        assert_eq!(e.cache_stats(), (0, 0), "prime never counts hits/misses");
+        e.record_usage(7, 3);
+        assert_eq!(e.cache_stats(), (7, 3));
     }
 
     #[test]

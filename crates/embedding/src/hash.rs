@@ -1,0 +1,96 @@
+//! A fast, non-cryptographic hasher for the instruction-column cache.
+//!
+//! The embedding hot path performs one cache lookup per instruction
+//! per VUC, and a [`GenInsn`](cati_asm::generalize::GenInsn) key hashes
+//! three short heap strings — with the standard library's SipHash that
+//! hashing dominates bulk embedding. This is the rustc-hash (FxHash)
+//! recipe: fold 8-byte words with a rotate/xor/multiply. It is *not*
+//! DoS-resistant; the cache is a bounded memo over the generalized
+//! instruction alphabet (a few thousand entries), so a colliding
+//! workload degrades one analysis, never a shared table.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash multiplier (same constant rustc uses).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Word-folding FxHash state.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.fold(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_length_sensitive() {
+        let h = |s: &str| {
+            use std::hash::Hash;
+            let mut hasher = FxHasher::default();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h("mov"), h("mov"));
+        assert_ne!(h("mov"), h("movq"));
+        assert_ne!(h("lea"), h("leaq"));
+        // Note: zero words folded from the zero state are absorbed
+        // ("" and "\0" collide) — an accepted FxHash property; a rare
+        // collision only costs an equality probe in the cache.
+    }
+
+    #[test]
+    fn map_round_trips_string_tuples() {
+        let mut m: FxHashMap<[String; 3], usize> = FxHashMap::default();
+        let key = ["mov".to_string(), "RSP".to_string(), "REG".to_string()];
+        m.insert(key.clone(), 7);
+        assert_eq!(m.get(&key), Some(&7));
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -28,9 +28,10 @@
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod embedder;
+pub mod hash;
 pub mod vocab;
 pub mod word2vec;
 
-pub use embedder::{to_sentences, VucEmbedder};
+pub use embedder::{to_sentences, ColumnView, VucEmbedder};
 pub use vocab::Vocab;
 pub use word2vec::{W2vConfig, Word2Vec};

@@ -1,5 +1,6 @@
 //! Token vocabulary with a unigram table for negative sampling.
 
+use crate::hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -8,7 +9,9 @@ use std::collections::HashMap;
 pub struct Vocab {
     tokens: Vec<String>,
     counts: Vec<u64>,
-    index: HashMap<String, u32>,
+    /// Token → id. [`FxHashMap`] because the embedding miss path does
+    /// three lookups per instruction occurrence.
+    index: FxHashMap<String, u32>,
 }
 
 impl Vocab {

@@ -4,6 +4,7 @@
 //! at paper scale); the resulting input vectors feed the VUC embedder.
 
 use crate::vocab::Vocab;
+use cati_nn::{ParamBuf, QuantMode};
 use cati_obs::{Event, Observer, SpanGuard};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -60,10 +61,12 @@ pub struct Word2Vec {
     pub vocab: Vocab,
     /// Configuration used for training.
     pub cfg: W2vConfig,
-    /// Input embeddings, `[vocab][dim]`.
-    input: Vec<f32>,
+    /// Input embeddings, `[vocab][dim]`; a [`ParamBuf`] so a model
+    /// loaded from a CATI1 v2 container reads them zero-copy out of
+    /// the mapped file.
+    input: ParamBuf,
     /// Output embeddings, `[vocab][dim]`.
-    output: Vec<f32>,
+    output: ParamBuf,
 }
 
 fn sigmoid(x: f32) -> f32 {
@@ -154,15 +157,16 @@ impl Word2Vec {
         Word2Vec {
             vocab,
             cfg,
-            input,
-            output,
+            input: input.into(),
+            output: output.into(),
         }
     }
 
     /// Reassembles a model from its parts — the binary model-container
     /// loading path. The matrices are flat `[vocab][dim]` row-major,
     /// exactly as [`Word2Vec::input_matrix`]/[`Word2Vec::output_matrix`]
-    /// return them.
+    /// return them; mmap-backed [`ParamBuf`]s are installed without a
+    /// copy (the zero-copy CATI1 v2 path).
     ///
     /// # Errors
     ///
@@ -171,9 +175,10 @@ impl Word2Vec {
     pub fn from_parts(
         vocab: Vocab,
         cfg: W2vConfig,
-        input: Vec<f32>,
-        output: Vec<f32>,
+        input: impl Into<ParamBuf>,
+        output: impl Into<ParamBuf>,
     ) -> Result<Word2Vec, String> {
+        let (input, output) = (input.into(), output.into());
         let want = vocab.len().max(1) * cfg.dim;
         if input.len() != want || output.len() != want {
             return Err(format!(
@@ -207,6 +212,23 @@ impl Word2Vec {
         let id = self.vocab.id(token)?;
         let i = id as usize * self.cfg.dim;
         Some(&self.input[i..i + self.cfg.dim])
+    }
+
+    /// Quantizes both embedding matrices in place (per-token rows for
+    /// int8). Part of the opt-in quantized inference mode; callers
+    /// must apply it before any embedding column is computed or
+    /// cached.
+    pub fn quantize(&mut self, mode: QuantMode) {
+        let dim = self.cfg.dim.max(1);
+        cati_nn::quant::quantize_dequant_rows(self.input.to_mut(), dim, mode);
+        cati_nn::quant::quantize_dequant_rows(self.output.to_mut(), dim, mode);
+    }
+
+    /// How many of the two embedding matrices currently read straight
+    /// out of a memory-mapped container (diagnostics for the
+    /// zero-copy load tests).
+    pub fn mapped_param_count(&self) -> usize {
+        usize::from(self.input.is_mapped()) + usize::from(self.output.is_mapped())
     }
 
     /// Cosine similarity between two tokens (0 for OOV).

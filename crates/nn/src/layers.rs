@@ -5,6 +5,7 @@
 //! accumulate into caller-owned buffers so mini-batches can be
 //! processed in parallel and reduced.
 
+use crate::param::ParamBuf;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -25,10 +26,11 @@ pub struct Conv1d {
     pub out_ch: usize,
     /// Kernel width (odd).
     pub k: usize,
-    /// Weights, laid out `[out][in][k]`.
-    pub w: Vec<f32>,
+    /// Weights, laid out `[out][in][k]`; a [`ParamBuf`] so loaded
+    /// models can read them straight out of a mapped container.
+    pub w: ParamBuf,
     /// Per-output-channel bias.
-    pub b: Vec<f32>,
+    pub b: ParamBuf,
 }
 
 impl Conv1d {
@@ -43,7 +45,7 @@ impl Conv1d {
             out_ch,
             k,
             w,
-            b: vec![0.0; out_ch],
+            b: vec![0.0; out_ch].into(),
         }
     }
 
@@ -54,35 +56,42 @@ impl Conv1d {
 
     /// Forward pass: `x` is `[in_ch][len]` flattened; output is
     /// `[out_ch][len]` flattened.
+    ///
+    /// Every kernel tap is applied unconditionally: a `0.0` weight
+    /// contributes `0.0 * x`, which on non-finite inputs is NaN — the
+    /// same arithmetic the backward pass performs. (The old
+    /// zero-weight skip made forward silently ignore ±∞/NaN under a
+    /// zero tap while backward propagated it, and its data-dependent
+    /// branch blocked vectorization.)
     pub fn forward(&self, x: &[f32], len: usize, y: &mut Vec<f32>) {
         debug_assert_eq!(x.len(), self.in_ch * len);
         let pad = self.k / 2;
         y.clear();
         y.resize(self.out_ch * len, 0.0);
+        // Columns where every tap `t + dk - pad` lands inside
+        // `[0, len)`: the interior `[pad, len + pad - k + 1)`, clamped
+        // for inputs shorter than the kernel.
+        let lo = pad.min(len);
+        let hi = (len + pad + 1).saturating_sub(self.k).clamp(lo, len);
         for o in 0..self.out_ch {
             let yo = &mut y[o * len..(o + 1) * len];
             yo.fill(self.b[o]);
             for i in 0..self.in_ch {
                 let xi = &x[i * len..(i + 1) * len];
-                let wbase = (o * self.in_ch + i) * self.k;
-                for dk in 0..self.k {
-                    let wv = self.w[wbase + dk];
-                    if wv == 0.0 {
-                        continue;
-                    }
-                    // t + dk - pad must be in [0, len)
-                    let t0 = pad.saturating_sub(dk);
-                    let t1 = (len + pad).saturating_sub(dk).min(len);
-                    for t in t0..t1 {
-                        yo[t] += wv * xi[t + dk - pad];
-                    }
-                }
+                let w = &self.w[(o * self.in_ch + i) * self.k..][..self.k];
+                conv_accum_row(w, xi, yo, pad, lo, hi);
             }
         }
     }
 
     /// Backward pass. `gy` is the output gradient `[out_ch][len]`;
     /// fills `gx` (same shape as `x`) and accumulates into `gw`/`gb`.
+    ///
+    /// The input-gradient and weight-gradient updates run as separate
+    /// inner loops per tap: the shifted saxpy into `gx` is independent
+    /// per element (vectorizable), while the weight-gradient reduction
+    /// stays a single scalar chain in ascending `t` so accumulation
+    /// order — and therefore every output bit — is unchanged.
     #[allow(clippy::too_many_arguments)]
     pub fn backward(
         &self,
@@ -104,21 +113,125 @@ impl Conv1d {
                 let gxi = &mut gx[i * len..(i + 1) * len];
                 let wbase = (o * self.in_ch + i) * self.k;
                 for dk in 0..self.k {
+                    // t + dk - pad must be in [0, len)
                     let t0 = pad.saturating_sub(dk);
                     let t1 = (len + pad).saturating_sub(dk).min(len);
-                    let mut gwv = 0.0f32;
+                    if t0 >= t1 {
+                        continue; // tap entirely out of bounds (len < k)
+                    }
+                    let (s0, s1) = (t0 + dk - pad, t1 + dk - pad);
                     let wv = self.w[wbase + dk];
-                    for t in t0..t1 {
-                        let xv = xi[t + dk - pad];
-                        gwv += gyo[t] * xv;
-                        gxi[t + dk - pad] += gyo[t] * wv;
+                    for (d, &g) in gxi[s0..s1].iter_mut().zip(&gyo[t0..t1]) {
+                        *d += g * wv;
+                    }
+                    let mut gwv = 0.0f32;
+                    for (&g, &xv) in gyo[t0..t1].iter().zip(&xi[s0..s1]) {
+                        gwv += g * xv;
                     }
                     gw[wbase + dk] += gwv;
                 }
             }
         }
     }
+
+    /// Lane-major forward over [`LANES`] samples at once: `xt` is
+    /// `[in_ch][len][LANES]` (lane `j` = sample `j`), `yt` receives
+    /// `[out_ch][len][LANES]` in the same layout.
+    ///
+    /// With samples as the innermost contiguous dimension, every
+    /// kernel tap becomes a shifted saxpy over `(t1-t0)*LANES`
+    /// contiguous floats — no interior/edge split, no data-dependent
+    /// branches, one broadcast weight feeding 8 independent lanes.
+    /// Each lane's per-element accumulation chain is bias-seeded then
+    /// ascending `(i, dk)` over in-bounds taps — exactly
+    /// [`Conv1d::forward`]'s chain, so per-sample outputs are bitwise
+    /// identical to the one-sample path.
+    pub fn forward_lanes(&self, xt: &[f32], len: usize, yt: &mut Vec<f32>) {
+        const L: usize = LANES;
+        debug_assert_eq!(xt.len(), self.in_ch * len * L);
+        let pad = self.k / 2;
+        yt.clear();
+        yt.resize(self.out_ch * len * L, 0.0);
+        for o in 0..self.out_ch {
+            let yo = &mut yt[o * len * L..(o + 1) * len * L];
+            yo.fill(self.b[o]);
+            for i in 0..self.in_ch {
+                let xi = &xt[i * len * L..(i + 1) * len * L];
+                let wbase = (o * self.in_ch + i) * self.k;
+                for dk in 0..self.k {
+                    // Columns where tap `t + dk - pad` is in [0, len).
+                    let t0 = pad.saturating_sub(dk);
+                    let t1 = (len + pad).saturating_sub(dk).min(len);
+                    if t0 >= t1 {
+                        continue; // tap entirely out of bounds (len < k)
+                    }
+                    let (s0, s1) = (t0 + dk - pad, t1 + dk - pad);
+                    let wv = self.w[wbase + dk];
+                    let src = &xi[s0 * L..s1 * L];
+                    let dst = &mut yo[t0 * L..t1 * L];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += wv * s;
+                    }
+                }
+            }
+        }
+    }
 }
+
+/// Adds one input channel's contribution `Σ_dk w[dk]·xi[t+dk-pad]`
+/// into every output column `yo[t]`, keeping each column's
+/// accumulation chain in ascending-`dk` order (the bit-parity
+/// contract with the scalar reference kernel).
+///
+/// Columns in `[lo, hi)` see the whole kernel in bounds, so their
+/// inner loop is a straight multiply-add over `xi[t-pad..t-pad+k]`
+/// with no data-dependent branches; an 8-column block turns that into
+/// independent per-lane chains the autovectorizer lifts into SIMD.
+/// Edge columns fall back to per-tap bounds checks (zero padding).
+#[inline]
+fn conv_accum_row(w: &[f32], xi: &[f32], yo: &mut [f32], pad: usize, lo: usize, hi: usize) {
+    const B: usize = 8;
+    let len = yo.len();
+    for t in (0..lo).chain(hi..len) {
+        let mut acc = yo[t];
+        for (dk, &wv) in w.iter().enumerate() {
+            let src = t + dk;
+            if src >= pad && src - pad < len {
+                acc += wv * xi[src - pad];
+            }
+        }
+        yo[t] = acc;
+    }
+    let mut t = lo;
+    while t + B <= hi {
+        let mut acc = [0.0f32; B];
+        acc.copy_from_slice(&yo[t..t + B]);
+        for (dk, &wv) in w.iter().enumerate() {
+            let xs = &xi[t + dk - pad..t + dk - pad + B];
+            for (a, &xv) in acc.iter_mut().zip(xs) {
+                *a += wv * xv;
+            }
+        }
+        yo[t..t + B].copy_from_slice(&acc);
+        t += B;
+    }
+    for t in t..hi {
+        let xw = &xi[t - pad..t - pad + w.len()];
+        let mut acc = yo[t];
+        for (&wv, &xv) in w.iter().zip(xw) {
+            acc += wv * xv;
+        }
+        yo[t] = acc;
+    }
+}
+
+/// Sample lanes per batched-inference tile ([`Dense::forward_batch`],
+/// [`Conv1d::forward_lanes`], [`maxpool2_lanes`]): 8 floats is one
+/// AVX register (or two SSE ones), and small enough that accumulator
+/// blocks stay in registers. Tiles are *lane-major*: element `e` of
+/// samples `0..8` sits at `[e * LANES .. e * LANES + 8]`, so every
+/// per-element op is a contiguous 8-wide SIMD op.
+pub const LANES: usize = 8;
 
 /// Fully connected layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -127,10 +240,11 @@ pub struct Dense {
     pub in_dim: usize,
     /// Output features.
     pub out_dim: usize,
-    /// Weights `[out][in]`.
-    pub w: Vec<f32>,
+    /// Weights `[out][in]`; a [`ParamBuf`] so loaded models can read
+    /// them straight out of a mapped container.
+    pub w: ParamBuf,
     /// Bias `[out]`.
-    pub b: Vec<f32>,
+    pub b: ParamBuf,
 }
 
 impl Dense {
@@ -143,7 +257,7 @@ impl Dense {
             in_dim,
             out_dim,
             w,
-            b: vec![0.0; out_dim],
+            b: vec![0.0; out_dim].into(),
         }
     }
 
@@ -161,6 +275,40 @@ impl Dense {
             let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
             let dot: f32 = row.iter().zip(x).map(|(a, b)| a * b).sum();
             y.push(dot + self.b[o]);
+        }
+    }
+
+    /// Tiled batch-GEMM over [`LANES`] samples at once: `xt` is
+    /// the input tile *transposed* to `[in_dim][LANES]` (lane `j` =
+    /// sample `j`), `out` receives `[out_dim][LANES]` in the same
+    /// lane-major layout.
+    ///
+    /// Each lane's accumulation chain is exactly
+    /// [`Dense::forward`]'s — zero-seeded, ascending `i`, bias added
+    /// last — so per-sample outputs are bitwise identical to the
+    /// one-sample path. The weight `w[o][i]` broadcasts across the 8
+    /// contiguous lanes, which is the shape the autovectorizer turns
+    /// into SIMD: one weight load feeds 8 independent multiply-adds,
+    /// and the weight matrix streams through once per *tile* instead
+    /// of once per sample.
+    pub fn forward_batch(&self, xt: &[f32], out: &mut Vec<f32>) {
+        const L: usize = LANES;
+        debug_assert_eq!(xt.len(), self.in_dim * L);
+        out.clear();
+        out.resize(self.out_dim * L, 0.0);
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = [0.0f32; L];
+            for (i, &wv) in row.iter().enumerate() {
+                let xs = &xt[i * L..i * L + L];
+                for (a, &xv) in acc.iter_mut().zip(xs) {
+                    *a += wv * xv;
+                }
+            }
+            let b = self.b[o];
+            for (dst, a) in out[o * L..o * L + L].iter_mut().zip(acc) {
+                *dst = a + b;
+            }
         }
     }
 
@@ -232,6 +380,31 @@ pub fn maxpool2(x: &[f32], channels: usize, len: usize) -> (Vec<f32>, Vec<u32>) 
     (y, arg)
 }
 
+/// Lane-major max-pool over [`LANES`] samples at once: `xt` is
+/// `[channels][len][LANES]`, `yt` receives
+/// `[channels][len/2][LANES]`. Inference-only — no argmax indices are
+/// recorded. Each lane's select is `a >= b ? a : b`, the same
+/// comparison (including NaN polarity) as [`maxpool2`].
+pub fn maxpool2_lanes(xt: &[f32], channels: usize, len: usize, yt: &mut Vec<f32>) {
+    const L: usize = LANES;
+    debug_assert_eq!(xt.len(), channels * len * L);
+    let out_len = len / 2;
+    yt.clear();
+    yt.resize(channels * out_len * L, 0.0);
+    for c in 0..channels {
+        let xc = &xt[c * len * L..(c + 1) * len * L];
+        let yc = &mut yt[c * out_len * L..(c + 1) * out_len * L];
+        for t in 0..out_len {
+            let a = &xc[2 * t * L..2 * t * L + L];
+            let b = &xc[(2 * t + 1) * L..(2 * t + 1) * L + L];
+            let dst = &mut yc[t * L..t * L + L];
+            for j in 0..L {
+                dst[j] = if a[j] >= b[j] { a[j] } else { b[j] };
+            }
+        }
+    }
+}
+
 /// Backward max-pool: route gradients to the argmax positions.
 pub fn maxpool2_backward(gy: &[f32], arg: &[u32], input_len_total: usize) -> Vec<f32> {
     let mut gx = vec![0.0; input_len_total];
@@ -265,14 +438,249 @@ pub fn cross_entropy_backward(probs: &mut [f32], label: usize) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::SeedableRng;
+
+    /// The pre-blocking scalar forward loop, kept verbatim as the
+    /// bit-parity oracle — including the `wv == 0.0` skip, which the
+    /// finite-input proptest's generators never trigger (weights are
+    /// drawn from ranges excluding exact zero).
+    fn conv_forward_oracle(c: &Conv1d, x: &[f32], len: usize, y: &mut Vec<f32>) {
+        let pad = c.k / 2;
+        y.clear();
+        y.resize(c.out_ch * len, 0.0);
+        for o in 0..c.out_ch {
+            let yo = &mut y[o * len..(o + 1) * len];
+            yo.fill(c.b[o]);
+            for i in 0..c.in_ch {
+                let xi = &x[i * len..(i + 1) * len];
+                let wbase = (o * c.in_ch + i) * c.k;
+                for dk in 0..c.k {
+                    let wv = c.w[wbase + dk];
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    let t0 = pad.saturating_sub(dk);
+                    let t1 = (len + pad).saturating_sub(dk).min(len);
+                    for t in t0..t1 {
+                        yo[t] += wv * xi[t + dk - pad];
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pre-blocking scalar backward loop, kept verbatim as the
+    /// bit-parity oracle.
+    fn conv_backward_oracle(
+        c: &Conv1d,
+        x: &[f32],
+        len: usize,
+        gy: &[f32],
+        gx: &mut Vec<f32>,
+        gw: &mut [f32],
+        gb: &mut [f32],
+    ) {
+        let pad = c.k / 2;
+        gx.clear();
+        gx.resize(c.in_ch * len, 0.0);
+        for o in 0..c.out_ch {
+            let gyo = &gy[o * len..(o + 1) * len];
+            gb[o] += gyo.iter().sum::<f32>();
+            for i in 0..c.in_ch {
+                let xi = &x[i * len..(i + 1) * len];
+                let gxi = &mut gx[i * len..(i + 1) * len];
+                let wbase = (o * c.in_ch + i) * c.k;
+                for dk in 0..c.k {
+                    let t0 = pad.saturating_sub(dk);
+                    let t1 = (len + pad).saturating_sub(dk).min(len);
+                    let mut gwv = 0.0f32;
+                    let wv = c.w[wbase + dk];
+                    for t in t0..t1 {
+                        let xv = xi[t + dk - pad];
+                        gwv += gyo[t] * xv;
+                        gxi[t + dk - pad] += gyo[t] * wv;
+                    }
+                    gw[wbase + dk] += gwv;
+                }
+            }
+        }
+    }
+
+    fn conv_with_weights(in_ch: usize, out_ch: usize, k: usize, ws: &[f32], bs: &[f32]) -> Conv1d {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut c = Conv1d::new(in_ch, out_ch, k, &mut rng);
+        c.w = ws.to_vec().into();
+        c.b = bs.to_vec().into();
+        c
+    }
+
+    proptest! {
+        /// The blocked forward kernel is bitwise equal to the old
+        /// scalar loops on finite inputs, across lengths that hit the
+        /// short-input, block-remainder, and multi-block paths.
+        #[test]
+        fn blocked_forward_is_bitwise_equal_to_scalar_oracle(
+            seed in 0u64..1000,
+            len in 1usize..40,
+            in_ch in 1usize..4,
+            out_ch in 1usize..4,
+            kk in 0usize..3,
+        ) {
+            let k = 2 * kk + 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            use rand::Rng;
+            let nz = |r: &mut StdRng| {
+                let v: f32 = r.gen_range(0.05f32..2.0);
+                if r.gen_range(0..2) == 0 { v } else { -v }
+            };
+            let ws: Vec<f32> = (0..out_ch * in_ch * k).map(|_| nz(&mut rng)).collect();
+            let bs: Vec<f32> = (0..out_ch).map(|_| nz(&mut rng)).collect();
+            let conv = conv_with_weights(in_ch, out_ch, k, &ws, &bs);
+            let x: Vec<f32> = (0..in_ch * len).map(|_| nz(&mut rng)).collect();
+            let (mut y, mut y_ref) = (Vec::new(), Vec::new());
+            conv.forward(&x, len, &mut y);
+            conv_forward_oracle(&conv, &x, len, &mut y_ref);
+            let bits: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+            let bits_ref: Vec<u32> = y_ref.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(bits, bits_ref);
+        }
+
+        /// The restructured backward (split saxpy/reduction loops) is
+        /// bitwise equal to the old fused scalar loop on finite
+        /// inputs.
+        #[test]
+        fn restructured_backward_is_bitwise_equal_to_scalar_oracle(
+            seed in 0u64..1000,
+            len in 1usize..40,
+            in_ch in 1usize..4,
+            out_ch in 1usize..4,
+            kk in 0usize..3,
+        ) {
+            let k = 2 * kk + 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            use rand::Rng;
+            let nz = |r: &mut StdRng| {
+                let v: f32 = r.gen_range(0.05f32..2.0);
+                if r.gen_range(0..2) == 0 { v } else { -v }
+            };
+            let ws: Vec<f32> = (0..out_ch * in_ch * k).map(|_| nz(&mut rng)).collect();
+            let bs: Vec<f32> = (0..out_ch).map(|_| nz(&mut rng)).collect();
+            let conv = conv_with_weights(in_ch, out_ch, k, &ws, &bs);
+            let x: Vec<f32> = (0..in_ch * len).map(|_| nz(&mut rng)).collect();
+            let gy: Vec<f32> = (0..out_ch * len).map(|_| nz(&mut rng)).collect();
+            let (mut gx, mut gx_ref) = (Vec::new(), Vec::new());
+            let mut gw = vec![0.1f32; conv.w.len()];
+            let mut gw_ref = gw.clone();
+            let mut gb = vec![0.2f32; conv.b.len()];
+            let mut gb_ref = gb.clone();
+            conv.backward(&x, len, &gy, &mut gx, &mut gw, &mut gb);
+            conv_backward_oracle(&conv, &x, len, &gy, &mut gx_ref, &mut gw_ref, &mut gb_ref);
+            let b = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+            prop_assert_eq!(b(&gx), b(&gx_ref));
+            prop_assert_eq!(b(&gw), b(&gw_ref));
+            prop_assert_eq!(b(&gb), b(&gb_ref));
+        }
+
+        /// `Dense::forward_batch` lanes are bitwise equal to 8
+        /// independent `Dense::forward` calls.
+        #[test]
+        fn dense_forward_batch_lanes_match_single_sample_path(
+            seed in 0u64..1000,
+            in_dim in 1usize..24,
+            out_dim in 1usize..12,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dense = Dense::new(in_dim, out_dim, &mut rng);
+            use rand::Rng;
+            let samples: Vec<Vec<f32>> = (0..LANES)
+                .map(|_| (0..in_dim).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+                .collect();
+            let mut xt = vec![0.0f32; in_dim * LANES];
+            for (j, s) in samples.iter().enumerate() {
+                for (i, &v) in s.iter().enumerate() {
+                    xt[i * LANES + j] = v;
+                }
+            }
+            let mut out = Vec::new();
+            dense.forward_batch(&xt, &mut out);
+            for (j, s) in samples.iter().enumerate() {
+                let mut y = Vec::new();
+                dense.forward(s, &mut y);
+                for o in 0..out_dim {
+                    prop_assert_eq!(out[o * LANES + j].to_bits(), y[o].to_bits());
+                }
+            }
+        }
+    }
+
+    /// With the zero-weight skip removed, a hostile window containing
+    /// ±∞/NaN takes the *same* numeric path in forward and backward: a
+    /// zero tap over an infinite input yields NaN in both (0·∞ = NaN),
+    /// where the old forward silently skipped it while backward
+    /// propagated it.
+    #[test]
+    fn forward_and_backward_agree_on_non_finite_inputs() {
+        // One channel, identity-ish kernel with an explicit 0.0 tap.
+        let conv = conv_with_weights(1, 1, 3, &[0.0, 1.0, 0.0], &[0.0]);
+        let len = 5;
+        let x = vec![1.0, f32::INFINITY, 2.0, 3.0, 4.0];
+        let mut y = Vec::new();
+        conv.forward(&x, len, &mut y);
+        // The ∞ column reaches outputs through all three taps; the
+        // zero taps contribute 0·∞ = NaN to the neighbours instead of
+        // being skipped.
+        assert!(
+            y[0].is_nan(),
+            "left neighbour sees 0.0·∞ = NaN, got {}",
+            y[0]
+        );
+        assert!(
+            y[1].is_infinite(),
+            "centre tap passes ∞ through, got {}",
+            y[1]
+        );
+        assert!(
+            y[2].is_nan(),
+            "right neighbour sees 0.0·∞ = NaN, got {}",
+            y[2]
+        );
+        assert_eq!(&y[3..], &[3.0, 4.0], "columns away from ∞ are untouched");
+
+        // Backward with gy = ∞ at one column: the zero taps produce
+        // NaN input-gradients at the neighbours — the same arithmetic
+        // forward now performs, rather than a silently different path.
+        let gy = vec![0.0, f32::INFINITY, 0.0, 0.0, 0.0];
+        let mut gx = Vec::new();
+        let mut gw = vec![0.0; 3];
+        let mut gb = vec![0.0; 1];
+        conv.backward(&x, len, &gy, &mut gx, &mut gw, &mut gb);
+        assert!(
+            gx[0].is_nan(),
+            "gx left neighbour: 0.0·∞ = NaN, got {}",
+            gx[0]
+        );
+        assert!(gx[1].is_infinite(), "gx centre: 1.0·∞ = ∞, got {}", gx[1]);
+        assert!(
+            gx[2].is_nan(),
+            "gx right neighbour: 0.0·∞ = NaN, got {}",
+            gx[2]
+        );
+        for (t, (f, b)) in y[..3].iter().zip(&gx[..3]).enumerate() {
+            assert_eq!(
+                f.is_nan(),
+                b.is_nan(),
+                "forward/backward disagree on non-finite handling at column {t}"
+            );
+        }
+    }
 
     #[test]
     fn conv_identity_kernel_preserves_signal() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut conv = Conv1d::new(1, 1, 3, &mut rng);
-        conv.w = vec![0.0, 1.0, 0.0];
-        conv.b = vec![0.0];
+        conv.w = vec![0.0, 1.0, 0.0].into();
+        conv.b = vec![0.0].into();
         let x = vec![1.0, 2.0, 3.0, 4.0];
         let mut y = Vec::new();
         conv.forward(&x, 4, &mut y);
@@ -303,7 +711,7 @@ mod tests {
         // Check a few weight gradients.
         for idx in [0usize, 3, 7, conv.w.len() - 1] {
             let mut c2 = conv.clone();
-            c2.w[idx] += eps;
+            c2.w.to_mut()[idx] += eps;
             let num = (loss(&c2, &x) - loss(&conv, &x)) / eps;
             assert!(
                 (num - gw[idx]).abs() < 0.05 * (1.0 + num.abs()),
@@ -344,7 +752,7 @@ mod tests {
         let eps = 1e-3f32;
         for (idx, &g) in gw.iter().enumerate() {
             let mut d2 = dense.clone();
-            d2.w[idx] += eps;
+            d2.w.to_mut()[idx] += eps;
             let num = (loss(&d2, &x) - loss(&dense, &x)) / eps;
             assert!((num - g).abs() < 0.02 * (1.0 + num.abs()));
         }

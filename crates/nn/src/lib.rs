@@ -22,15 +22,25 @@
 //! assert!(loss.is_finite());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the [`mmap`] module is the workspace's
+// single, documented unsafe island (the zero-copy weight loader);
+// everything else stays unsafe-free and any new unsafe outside that
+// module is a compile error.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod layers;
+pub mod mmap;
 pub mod model;
 pub mod optim;
+pub mod param;
+pub mod quant;
 pub mod tensor;
 
+pub use mmap::{MapSlice, MappedFile};
 pub use model::{NoHook, TextCnn, TextCnnConfig, TrainHook, Workspace};
 pub use optim::{Adam, GradBuffers, Sgd};
+pub use param::ParamBuf;
+pub use quant::QuantMode;
 pub use tensor::{argmax, Rows, Tensor};

@@ -7,10 +7,11 @@
 //! tests can run a tiny instance.
 
 use crate::layers::{
-    cross_entropy_backward, maxpool2, maxpool2_backward, relu, relu_backward, softmax, Conv1d,
-    Dense,
+    cross_entropy_backward, maxpool2, maxpool2_backward, maxpool2_lanes, relu, relu_backward,
+    softmax, Conv1d, Dense, LANES,
 };
 use crate::optim::{Adam, GradBuffers};
+use crate::param::ParamBuf;
 use crate::tensor::{argmax, Rows, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -120,6 +121,30 @@ pub struct Workspace {
     gx: Vec<f32>,
 }
 
+/// Per-thread scratch for the tiled [`TextCnn::predict_batch`] path:
+/// a per-sample [`Workspace`] for partial tail tiles, plus the
+/// lane-major activation tiles for full [`LANES`]-sample tiles.
+#[derive(Debug, Default)]
+struct BatchWorkspace {
+    ws: Workspace,
+    /// Input tile transposed to `[embed_dim][seq_len][LANES]`.
+    xt: Vec<f32>,
+    /// First conv activations `[conv1][seq_len][LANES]`.
+    c1t: Vec<f32>,
+    /// First pooled activations `[conv1][seq_len/2][LANES]`.
+    p1t: Vec<f32>,
+    /// Second conv activations `[conv2][seq_len/2][LANES]`.
+    c2t: Vec<f32>,
+    /// Second pooled activations `[conv2][seq_len/4][LANES]` — which
+    /// flattened is exactly the `[fc_in][LANES]` tile
+    /// [`Dense::forward_batch`] consumes.
+    p2t: Vec<f32>,
+    /// Hidden activations `[fc][LANES]`.
+    h: Vec<f32>,
+    /// Logits `[classes][LANES]`.
+    logits: Vec<f32>,
+}
+
 impl TextCnn {
     /// A freshly initialized model.
     pub fn new(cfg: TextCnnConfig, seed: u64) -> TextCnn {
@@ -172,6 +197,25 @@ impl TextCnn {
         ]
     }
 
+    /// How many of the eight parameter buffers currently read straight
+    /// out of a memory-mapped container (diagnostics; tests assert the
+    /// zero-copy load path actually maps).
+    pub fn mapped_param_count(&self) -> usize {
+        [
+            &self.conv1.w,
+            &self.conv1.b,
+            &self.conv2.w,
+            &self.conv2.b,
+            &self.fc1.w,
+            &self.fc1.b,
+            &self.fc2.w,
+            &self.fc2.b,
+        ]
+        .into_iter()
+        .filter(|p| p.is_mapped())
+        .count()
+    }
+
     /// Reconstructs a model from a configuration and its eight
     /// parameter tensors in [`TextCnn::params`] order — the
     /// model-container loading path.
@@ -181,18 +225,34 @@ impl TextCnn {
     /// Fails (with a description naming the offending tensor) when a
     /// tensor's length disagrees with the configuration's shapes.
     pub fn from_params(cfg: TextCnnConfig, tensors: &[Vec<f32>]) -> Result<TextCnn, String> {
+        Self::from_param_bufs(
+            cfg,
+            tensors.iter().map(|t| ParamBuf::from(t.clone())).collect(),
+        )
+    }
+
+    /// [`TextCnn::from_params`] without the copy: the eight buffers
+    /// (in the same order) are installed as-is, so mmap-backed
+    /// [`ParamBuf`]s flow straight into the model — the zero-copy
+    /// CATI1 v2 loading path.
+    ///
+    /// # Errors
+    ///
+    /// Fails (naming the offending tensor) when the buffer count or a
+    /// buffer's length disagrees with the configuration's shapes.
+    pub fn from_param_bufs(cfg: TextCnnConfig, bufs: Vec<ParamBuf>) -> Result<TextCnn, String> {
         const NAMES: [&str; 8] = [
             "conv1.w", "conv1.b", "conv2.w", "conv2.b", "fc1.w", "fc1.b", "fc2.w", "fc2.b",
         ];
-        if tensors.len() != NAMES.len() {
+        if bufs.len() != NAMES.len() {
             return Err(format!(
                 "expected {} parameter tensors, got {}",
                 NAMES.len(),
-                tensors.len()
+                bufs.len()
             ));
         }
         let mut model = TextCnn::new(cfg, 0);
-        for ((dst, src), name) in model.params_mut().into_iter().zip(tensors).zip(NAMES) {
+        for ((dst, src), name) in model.params_mut().into_iter().zip(&bufs).zip(NAMES) {
             if dst.len() != src.len() {
                 return Err(format!(
                     "tensor {name}: {} floats, config needs {}",
@@ -200,26 +260,53 @@ impl TextCnn {
                     dst.len()
                 ));
             }
-            dst.copy_from_slice(src);
         }
+        let mut it = bufs.into_iter();
+        let mut next = || it.next().expect("length checked above");
+        model.conv1.w = next();
+        model.conv1.b = next();
+        model.conv2.w = next();
+        model.conv2.b = next();
+        model.fc1.w = next();
+        model.fc1.b = next();
+        model.fc2.w = next();
+        model.fc2.b = next();
         Ok(model)
     }
 
     fn params_mut(&mut self) -> [&mut Vec<f32>; 8] {
         [
-            &mut self.conv1.w,
-            &mut self.conv1.b,
-            &mut self.conv2.w,
-            &mut self.conv2.b,
-            &mut self.fc1.w,
-            &mut self.fc1.b,
-            &mut self.fc2.w,
-            &mut self.fc2.b,
+            self.conv1.w.to_mut(),
+            self.conv1.b.to_mut(),
+            self.conv2.w.to_mut(),
+            self.conv2.b.to_mut(),
+            self.fc1.w.to_mut(),
+            self.fc1.b.to_mut(),
+            self.fc2.w.to_mut(),
+            self.fc2.b.to_mut(),
         ]
     }
 
-    /// Forward pass into `ws`; returns the logits slice.
-    pub fn forward<'w>(&self, x: &[f32], ws: &'w mut Workspace) -> &'w [f32] {
+    /// Quantizes the *weight* matrices in place with `mode` (biases
+    /// stay f32 — they are tiny and additive, so quantizing them buys
+    /// nothing and costs accuracy). Runtime arithmetic stays f32: the
+    /// weights are quantized then immediately dequantized, so this
+    /// changes the stored values once and nothing else about
+    /// inference.
+    pub fn quantize(&mut self, mode: crate::quant::QuantMode) {
+        use crate::quant::quantize_dequant_rows;
+        let row1 = self.conv1.in_ch * self.conv1.k;
+        quantize_dequant_rows(self.conv1.w.to_mut(), row1, mode);
+        let row2 = self.conv2.in_ch * self.conv2.k;
+        quantize_dequant_rows(self.conv2.w.to_mut(), row2, mode);
+        quantize_dequant_rows(self.fc1.w.to_mut(), self.fc1.in_dim, mode);
+        quantize_dequant_rows(self.fc2.w.to_mut(), self.fc2.in_dim, mode);
+    }
+
+    /// Runs the conv → pool half of the network, leaving the pooled
+    /// feature vector in `ws.p2` (and the intermediate activations /
+    /// argmaxes the backward pass needs in the workspace).
+    fn conv_features(&self, x: &[f32], ws: &mut Workspace) {
         let len = self.cfg.seq_len;
         self.conv1.forward(x, len, &mut ws.c1);
         relu(&mut ws.c1);
@@ -232,6 +319,11 @@ impl TextCnn {
         let (p2, a2) = maxpool2(&ws.c2, self.cfg.conv2, len2);
         ws.p2 = p2;
         ws.a2 = a2;
+    }
+
+    /// Forward pass into `ws`; returns the logits slice.
+    pub fn forward<'w>(&self, x: &[f32], ws: &'w mut Workspace) -> &'w [f32] {
+        self.conv_features(x, ws);
         self.fc1.forward(&ws.p2, &mut ws.h);
         relu(&mut ws.h);
         self.fc2.forward(&ws.h, &mut ws.logits);
@@ -255,15 +347,60 @@ impl TextCnn {
     /// [`Tensor`], owned rows, or borrowed rows (`Vec<&[f32]>`), so
     /// callers can batch a selected subset of a table without copying
     /// it.
+    ///
+    /// Samples are processed in [`LANES`]-row tiles that run the
+    /// whole network *lane-major* — samples as the innermost
+    /// contiguous dimension. The input rows transpose once into an
+    /// `[embed_dim][seq_len][LANES]` tile, then every layer
+    /// ([`Conv1d::forward_lanes`], [`maxpool2_lanes`], [`relu`],
+    /// [`Dense::forward_batch`]) streams its weights through once per
+    /// tile while operating on 8 contiguous sample lanes at a time.
+    /// Per-sample accumulation chains are unchanged, so every
+    /// probability is bitwise identical to the one-sample path
+    /// (pinned by test and by the golden-prediction fixtures).
     pub fn predict_batch<R: Rows + ?Sized>(&self, xs: &R) -> Tensor {
-        Tensor::build_rows(
+        const L: usize = LANES;
+        let classes = self.cfg.classes;
+        let len = self.cfg.seq_len;
+        let len2 = len / 2;
+        Tensor::build_row_blocks(
             xs.count(),
-            self.cfg.classes,
-            Workspace::default,
-            |ws, i, out| {
-                self.forward(xs.row_at(i), ws);
-                out.copy_from_slice(&ws.logits);
-                softmax(out);
+            classes,
+            L,
+            BatchWorkspace::default,
+            |bw, first, chunk| {
+                let n = chunk.len() / classes;
+                if n < L {
+                    // Partial tail tile: plain per-sample path.
+                    for (j, out) in chunk.chunks_mut(classes).enumerate() {
+                        self.forward(xs.row_at(first + j), &mut bw.ws);
+                        out.copy_from_slice(&bw.ws.logits);
+                        softmax(out);
+                    }
+                    return;
+                }
+                bw.xt.clear();
+                bw.xt.resize(self.cfg.embed_dim * len * L, 0.0);
+                for j in 0..L {
+                    for (e, &v) in xs.row_at(first + j).iter().enumerate() {
+                        bw.xt[e * L + j] = v;
+                    }
+                }
+                self.conv1.forward_lanes(&bw.xt, len, &mut bw.c1t);
+                relu(&mut bw.c1t);
+                maxpool2_lanes(&bw.c1t, self.cfg.conv1, len, &mut bw.p1t);
+                self.conv2.forward_lanes(&bw.p1t, len2, &mut bw.c2t);
+                relu(&mut bw.c2t);
+                maxpool2_lanes(&bw.c2t, self.cfg.conv2, len2, &mut bw.p2t);
+                self.fc1.forward_batch(&bw.p2t, &mut bw.h);
+                relu(&mut bw.h);
+                self.fc2.forward_batch(&bw.h, &mut bw.logits);
+                for (j, out) in chunk.chunks_mut(classes).enumerate() {
+                    for (c, dst) in out.iter_mut().enumerate() {
+                        *dst = bw.logits[c * L + j];
+                    }
+                    softmax(out);
+                }
             },
         )
     }
@@ -482,6 +619,30 @@ mod tests {
             last = model.train_epoch(&data, &mut opt, 16, &mut rng);
         }
         assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn predict_batch_is_bitwise_equal_to_per_sample_predict() {
+        let cfg = TextCnnConfig::tiny(4, 5);
+        let model = TextCnn::new(cfg, 21);
+        // 19 rows: two full 8-lane tiles plus a 3-row tail.
+        let mut rng = StdRng::seed_from_u64(77);
+        use rand::Rng;
+        let rows: Vec<Vec<f32>> = (0..19)
+            .map(|_| {
+                (0..cfg.embed_dim * cfg.seq_len)
+                    .map(|_| rng.gen_range(-1.5f32..1.5))
+                    .collect()
+            })
+            .collect();
+        let batch = model.predict_batch(&rows);
+        assert_eq!((batch.rows(), batch.cols()), (19, 5));
+        for (i, row) in rows.iter().enumerate() {
+            let single = model.predict(row);
+            let a: Vec<u32> = batch.row(i).iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "tiled batch row {i} diverges from predict()");
+        }
     }
 
     #[test]

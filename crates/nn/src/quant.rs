@@ -1,0 +1,240 @@
+//! Opt-in weight quantization (int8 / f16), dequantized back to f32.
+//!
+//! CATI's quantized inference mode does *not* change runtime
+//! arithmetic: weights are quantized once (per-row symmetric int8, or
+//! IEEE binary16 per element) and immediately dequantized, so every
+//! kernel still runs the plain f32 path and inference stays fully
+//! deterministic — just against snapped weight values. The accuracy
+//! cost is measured by the parity harness (class-change fraction and
+//! mean |Δconfidence| against the f32 model) and recorded in the run
+//! manifest; the f32 path is bitwise untouched.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Which quantization grid to snap weights onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Per-row symmetric int8: each row scales by `absmax/127`,
+    /// values round to the nearest of 255 signed steps.
+    Int8,
+    /// IEEE 754 binary16 per element (round to nearest even).
+    F16,
+}
+
+impl QuantMode {
+    /// Parses a `--quantize` argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted values.
+    pub fn parse(s: &str) -> Result<QuantMode, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "int8" | "i8" => Ok(QuantMode::Int8),
+            "f16" | "fp16" | "half" => Ok(QuantMode::F16),
+            other => Err(format!(
+                "unknown quantization mode `{other}` (expected int8 or f16)"
+            )),
+        }
+    }
+
+    /// The canonical name (`int8` / `f16`).
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantMode::Int8 => "int8",
+            QuantMode::F16 => "f16",
+        }
+    }
+}
+
+impl std::fmt::Display for QuantMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Serialize for QuantMode {
+    fn to_value(&self) -> Value {
+        self.name().to_string().to_value()
+    }
+}
+
+impl Deserialize for QuantMode {
+    fn from_value(v: &Value) -> Result<QuantMode, DeError> {
+        let s = String::from_value(v)?;
+        QuantMode::parse(&s).map_err(DeError)
+    }
+}
+
+/// Quantizes `data` (rows of `row` consecutive floats) then
+/// dequantizes in place. `row = data.len()` gives per-tensor scaling;
+/// a zero `row` is treated as one row.
+pub fn quantize_dequant_rows(data: &mut [f32], row: usize, mode: QuantMode) {
+    let row = if row == 0 { data.len().max(1) } else { row };
+    match mode {
+        QuantMode::Int8 => {
+            for r in data.chunks_mut(row) {
+                let absmax = r.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                if absmax == 0.0 || !absmax.is_finite() {
+                    continue; // all-zero row, or non-finite: leave as is
+                }
+                let scale = absmax / 127.0;
+                for v in r {
+                    let q = (*v / scale).round().clamp(-127.0, 127.0);
+                    *v = q * scale;
+                }
+            }
+        }
+        QuantMode::F16 => {
+            for v in data {
+                *v = f16_bits_to_f32(f32_to_f16_bits(*v));
+            }
+        }
+    }
+}
+
+/// `f32` → IEEE binary16 bits, round to nearest even. Overflow maps
+/// to ±inf; NaN stays NaN (quiet bit set).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let b = x.to_bits();
+    let sign = ((b >> 16) & 0x8000) as u16;
+    let exp32 = (b >> 23) & 0xff;
+    let man = b & 0x007f_ffff;
+    if exp32 == 0xff {
+        // Inf or NaN.
+        return sign | 0x7c00 | if man != 0 { 0x0200 } else { 0 };
+    }
+    let exp = exp32 as i32 - 127 + 15;
+    if exp >= 0x1f {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if exp <= 0 {
+        // Subnormal half (or zero): shift the full 24-bit significand
+        // down, rounding to nearest even.
+        if exp < -10 {
+            return sign; // underflows to ±0
+        }
+        let full = man | 0x0080_0000;
+        let shift = (14 - exp) as u32; // 14..=24
+        let half = full >> shift;
+        let rem = full & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let round_up = rem > halfway || (rem == halfway && half & 1 == 1);
+        return sign | (half + u32::from(round_up)) as u16;
+    }
+    let half = ((exp as u32) << 10) | (man >> 13);
+    let rem = man & 0x1fff;
+    let round_up = rem > 0x1000 || (rem == 0x1000 && half & 1 == 1);
+    // A mantissa carry naturally bumps the exponent; carrying out of
+    // the largest normal (0x7bff) lands exactly on ±inf (0x7c00).
+    sign | (half + u32::from(round_up)) as u16
+}
+
+/// IEEE binary16 bits → `f32` (exact: every half is representable).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = if h & 0x8000 != 0 { -1.0f32 } else { 1.0f32 };
+    let exp = (h >> 10) & 0x1f;
+    let man = u32::from(h & 0x3ff);
+    match exp {
+        0 => sign * (man as f32) * (-24f32).exp2(),
+        0x1f => {
+            if man == 0 {
+                sign * f32::INFINITY
+            } else {
+                f32::NAN
+            }
+        }
+        _ => {
+            let bits =
+                (u32::from(h) & 0x8000) << 16 | (u32::from(exp) + 127 - 15) << 23 | man << 13;
+            f32::from_bits(bits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrip_is_exact_for_representable_values() {
+        for v in [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            1.5,
+            2.0,
+            65504.0,
+            -65504.0,
+            6.103_515_6e-5, // smallest normal half
+            5.960_464_5e-8, // smallest subnormal half
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+        ] {
+            let back = f16_bits_to_f32(f32_to_f16_bits(v));
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} must round-trip exactly");
+        }
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_rounds_to_nearest_even_and_saturates() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next half;
+        // round-to-even keeps 1.0.
+        let halfway = 1.0f32 + (-11f32).exp2();
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(halfway)), 1.0);
+        // Just above halfway rounds up.
+        let above = 1.0f32 + (-11f32).exp2() + (-20f32).exp2();
+        assert!(f16_bits_to_f32(f32_to_f16_bits(above)) > 1.0);
+        // Beyond the largest half saturates to inf.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e6)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e6)), f32::NEG_INFINITY);
+        // Relative error of a quantized normal value stays within one
+        // half-precision ULP (2^-11).
+        for v in [0.1f32, 3.37159, -123.456, 0.007] {
+            let q = f16_bits_to_f32(f32_to_f16_bits(v));
+            assert!(((q - v) / v).abs() <= (-11f32).exp2(), "{v} -> {q}");
+        }
+    }
+
+    #[test]
+    fn int8_rows_scale_independently_and_bound_the_error() {
+        // Two rows with very different magnitudes: per-row scaling
+        // keeps the small row's resolution.
+        let mut data = vec![100.0, -50.0, 25.0, 12.5, 0.001, -0.0005, 0.00025, 0.000125];
+        let orig = data.clone();
+        quantize_dequant_rows(&mut data, 4, QuantMode::Int8);
+        for (q, v) in data.iter().zip(&orig) {
+            let row_absmax = if v.abs() >= 0.001 { 100.0f32 } else { 0.001 };
+            assert!(
+                (q - v).abs() <= row_absmax / 127.0 / 2.0 + 1e-9,
+                "{v} -> {q} exceeds half a quantization step"
+            );
+        }
+        // The absmax element is reproduced exactly.
+        assert_eq!(data[0], 100.0);
+        assert_eq!(data[4], 0.001);
+    }
+
+    #[test]
+    fn int8_leaves_zero_rows_alone_and_is_idempotent() {
+        let mut zeros = vec![0.0f32; 6];
+        quantize_dequant_rows(&mut zeros, 3, QuantMode::Int8);
+        assert_eq!(zeros, vec![0.0f32; 6]);
+        let mut data = vec![1.0f32, -0.37, 0.82, 0.0];
+        quantize_dequant_rows(&mut data, 4, QuantMode::Int8);
+        let once = data.clone();
+        quantize_dequant_rows(&mut data, 4, QuantMode::Int8);
+        assert_eq!(data, once, "re-quantizing must be a fixed point");
+    }
+
+    #[test]
+    fn mode_parsing_accepts_aliases_and_rejects_junk() {
+        assert_eq!(QuantMode::parse("int8").unwrap(), QuantMode::Int8);
+        assert_eq!(QuantMode::parse(" F16 ").unwrap(), QuantMode::F16);
+        assert_eq!(QuantMode::parse("half").unwrap(), QuantMode::F16);
+        assert!(QuantMode::parse("int4").is_err());
+        assert_eq!(QuantMode::Int8.name(), "int8");
+    }
+}

@@ -106,18 +106,30 @@ impl Tensor {
         init: impl Fn() -> S + Sync,
         fill: impl Fn(&mut S, usize, &mut [f32]) + Sync,
     ) -> Tensor {
-        let mut out = Tensor::zeros(rows, cols);
         if rows == 0 || cols == 0 {
-            return out;
+            return Tensor {
+                rows,
+                cols,
+                data: vec![0.0; rows * cols],
+            };
         }
         let workers = rayon::current_num_threads().clamp(1, rows);
         if workers == 1 {
+            // Sequential path: grow the block one row at a time and
+            // fill each row in place while its cache lines are still
+            // hot from the zero-extend, so the output streams to
+            // memory once instead of a full-block zero-fill stream
+            // followed by a fill stream.
+            let mut data = Vec::with_capacity(rows * cols);
             let mut state = init();
-            for (i, row) in out.data.chunks_mut(cols).enumerate() {
-                fill(&mut state, i, row);
+            for i in 0..rows {
+                let start = data.len();
+                data.resize(start + cols, 0.0);
+                fill(&mut state, i, &mut data[start..]);
             }
-            return out;
+            return Tensor { rows, cols, data };
         }
+        let mut out = Tensor::zeros(rows, cols);
         // Split the flat block into one contiguous row-range per
         // worker and fill the ranges on scoped threads: safe disjoint
         // mutation without any unsafe or per-row allocation.
@@ -141,6 +153,68 @@ impl Tensor {
                     for (j, row) in block.chunks_mut(cols).enumerate() {
                         fill(&mut state, first + j, row);
                     }
+                });
+            }
+        });
+        out
+    }
+
+    /// Like [`Tensor::build_rows`], but hands each worker a *block*
+    /// of up to `block` consecutive rows at a time:
+    /// `fill(state, first_row, rows)` receives the first row index of
+    /// the block and its `n × cols` flat slice. Batched kernels use
+    /// this to amortize per-sample work (weight streaming, tile
+    /// transposes) across a micro-batch.
+    ///
+    /// Work splits at block boundaries only, so block contents — and
+    /// therefore every output bit — depend on the block index alone,
+    /// never on the thread count.
+    pub fn build_row_blocks<S>(
+        rows: usize,
+        cols: usize,
+        block: usize,
+        init: impl Fn() -> S + Sync,
+        fill: impl Fn(&mut S, usize, &mut [f32]) + Sync,
+    ) -> Tensor {
+        let block = block.max(1);
+        let mut out = Tensor::zeros(rows, cols);
+        if rows == 0 || cols == 0 {
+            return out;
+        }
+        let nblocks = rows.div_ceil(block);
+        let workers = rayon::current_num_threads().clamp(1, nblocks);
+        let run = |state: &mut S, first: usize, chunk: &mut [f32]| {
+            let mut row = first;
+            for piece in chunk.chunks_mut(block * cols) {
+                fill(state, row, piece);
+                row += piece.len() / cols;
+            }
+        };
+        if workers == 1 {
+            let mut state = init();
+            run(&mut state, 0, &mut out.data);
+            return out;
+        }
+        // One contiguous run of whole blocks per worker; disjoint
+        // mutable splits, no unsafe.
+        let per_worker = nblocks.div_ceil(workers) * block;
+        let mut spans: Vec<(usize, &mut [f32])> = Vec::with_capacity(workers);
+        let mut rest: &mut [f32] = &mut out.data;
+        let mut start = 0usize;
+        while start < rows {
+            let take = per_worker.min(rows - start);
+            let (head, tail) = rest.split_at_mut(take * cols);
+            spans.push((start, head));
+            rest = tail;
+            start += take;
+        }
+        std::thread::scope(|s| {
+            for (first, span) in spans {
+                let init = &init;
+                let run = &run;
+                s.spawn(move || {
+                    let mut state = init();
+                    run(&mut state, first, span);
                 });
             }
         });
@@ -373,6 +447,34 @@ mod tests {
         // Degenerate shapes don't spawn or panic.
         assert!(Tensor::build_rows(0, 5, || (), fill).is_empty());
         assert_eq!(Tensor::build_rows(3, 0, || (), fill).rows(), 3);
+    }
+
+    #[test]
+    fn build_row_blocks_matches_build_rows_and_is_thread_invariant() {
+        let per_row = |i: usize, j: usize| (i * 17 + j) as f32 * 0.5;
+        let rows_fill = move |_: &mut (), i: usize, row: &mut [f32]| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = per_row(i, j);
+            }
+        };
+        let blocks_fill = move |_: &mut (), first: usize, chunk: &mut [f32]| {
+            for (r, row) in chunk.chunks_mut(3).enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = per_row(first + r, j);
+                }
+            }
+        };
+        // 29 rows of 3 with block 8: three full tiles + a 5-row tail.
+        let by_rows = Tensor::build_rows(29, 3, || (), rows_fill);
+        let by_blocks = Tensor::build_row_blocks(29, 3, 8, || (), blocks_fill);
+        assert_eq!(by_rows, by_blocks);
+        let single = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| Tensor::build_row_blocks(29, 3, 8, || (), blocks_fill));
+        assert_eq!(by_blocks, single);
+        assert!(Tensor::build_row_blocks(0, 3, 8, || (), blocks_fill).is_empty());
     }
 
     #[test]

@@ -278,11 +278,25 @@ fn shorten(rev: &str) -> &str {
 /// Appends one JSON record as a line of `path`, creating parent
 /// directories.
 ///
+/// The record is serialized *before* the file is opened: a
+/// serialization failure propagates as an error and appends nothing,
+/// instead of the old behaviour of swallowing it
+/// (`unwrap_or_default`) and corrupting the history with a blank
+/// line. A serialization that somehow produces a blank or multi-line
+/// string is rejected the same way — every line of a history file is
+/// one complete JSON record.
+///
 /// # Errors
 ///
-/// Propagates I/O failures, annotated with the path.
+/// Propagates serialization and I/O failures.
 pub fn append_history(path: impl AsRef<Path>, record: &Value) -> std::io::Result<()> {
     use std::io::Write as _;
+    let line = serde_json::to_string(record).map_err(std::io::Error::other)?;
+    if line.trim().is_empty() || line.contains('\n') {
+        return Err(std::io::Error::other(format!(
+            "bench record serialized to an invalid history line: {line:?}"
+        )));
+    }
     let path = path.as_ref();
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -293,7 +307,7 @@ pub fn append_history(path: impl AsRef<Path>, record: &Value) -> std::io::Result
         .create(true)
         .append(true)
         .open(path)?;
-    writeln!(f, "{}", serde_json::to_string(record).unwrap_or_default())
+    writeln!(f, "{line}")
 }
 
 #[cfg(test)]
@@ -382,6 +396,43 @@ mod tests {
             BenchRecord::parse("{\"unrelated\": 1.0}").is_err(),
             "no key metrics = malformed"
         );
+    }
+
+    #[test]
+    fn jsonl_parsing_skips_blank_lines() {
+        // A history that suffered the old blank-line corruption (or
+        // hand edits) still parses to the last *real* record.
+        let jsonl = format!(
+            "{}\n\n   \n{}\n\n",
+            serde_json::to_string(&json!({"infer_vucs_per_s": 1.0})).unwrap(),
+            serde_json::to_string(&json!({"infer_vucs_per_s": 2.0})).unwrap(),
+        );
+        let rec = BenchRecord::parse(&jsonl).unwrap();
+        assert_eq!(rec.metric("infer_vucs_per_s"), Some(2.0));
+        // All-blank input is an empty record, not a panic.
+        assert!(BenchRecord::parse("\n  \n\n").is_err());
+    }
+
+    #[test]
+    fn append_history_never_writes_blank_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "cati-bench-append-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("history.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        append_history(&path, &json!({"infer_vucs_per_s": 1.0})).unwrap();
+        append_history(&path, &json!({"infer_vucs_per_s": 2.0})).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(
+            text.lines().all(|l| !l.trim().is_empty()),
+            "history must contain no blank lines: {text:?}"
+        );
+        let rec = BenchRecord::parse(&text).unwrap();
+        assert_eq!(rec.metric("infer_vucs_per_s"), Some(2.0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -10,17 +10,29 @@
 use std::time::Duration;
 
 /// Parses a human duration argument: `60s`, `90` (seconds), `500ms`.
+/// Surrounding whitespace is tolerated (config files and request
+/// headers routinely carry it).
 ///
 /// # Errors
 ///
-/// Returns a message naming the bad input.
+/// Returns a message naming the bad input and what was expected — a
+/// bare suffix (`"ms"`, `"s"`), an empty string, a non-integer, and
+/// an out-of-range number each get a distinct, actionable message.
 pub fn parse_duration(s: &str) -> Result<Duration, String> {
-    let (num, ms) = if let Some(v) = s.strip_suffix("ms") {
+    let trimmed = s.trim();
+    let (num, ms) = if let Some(v) = trimmed.strip_suffix("ms") {
         (v, true)
     } else {
-        (s.strip_suffix('s').unwrap_or(s), false)
+        (trimmed.strip_suffix('s').unwrap_or(trimmed), false)
     };
-    let n: u64 = num.parse().map_err(|_| format!("bad duration `{s}`"))?;
+    if num.is_empty() {
+        return Err(format!(
+            "bad duration `{s}`: missing a number (expected e.g. `60s`, `500ms`, or bare seconds)"
+        ));
+    }
+    let n: u64 = num.parse().map_err(|e: std::num::ParseIntError| {
+        format!("bad duration `{s}`: `{num}` is not a whole number ({e})")
+    })?;
     Ok(if ms {
         Duration::from_millis(n)
     } else {
@@ -74,8 +86,48 @@ mod tests {
         assert_eq!(parse_duration("60s").unwrap(), Duration::from_secs(60));
         assert_eq!(parse_duration("90").unwrap(), Duration::from_secs(90));
         assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("10ms").unwrap(), Duration::from_millis(10));
         assert!(parse_duration("abc").is_err());
         assert!(parse_duration("1.5s").is_err());
+    }
+
+    #[test]
+    fn tolerates_surrounding_whitespace() {
+        assert_eq!(parse_duration(" 5s ").unwrap(), Duration::from_secs(5));
+        assert_eq!(
+            parse_duration("\t250ms\n").unwrap(),
+            Duration::from_millis(250)
+        );
+        assert_eq!(parse_duration(" 7 ").unwrap(), Duration::from_secs(7));
+    }
+
+    #[test]
+    fn bare_suffixes_and_empty_input_get_a_clear_message() {
+        for bad in ["ms", "s", "", "   "] {
+            let err = parse_duration(bad).expect_err(bad);
+            assert!(
+                err.contains("missing a number"),
+                "`{bad}` should name the missing number, got: {err}"
+            );
+        }
+        // Internal whitespace is still rejected (the number must be
+        // one token).
+        assert!(parse_duration("5 s").is_err());
+    }
+
+    #[test]
+    fn overflowing_numbers_are_rejected_not_wrapped() {
+        // u64::MAX + 1.
+        let err = parse_duration("18446744073709551616ms").expect_err("overflow");
+        assert!(
+            err.contains("18446744073709551616"),
+            "overflow error should echo the input, got: {err}"
+        );
+        // The largest representable value still parses.
+        assert_eq!(
+            parse_duration("18446744073709551615ms").unwrap(),
+            Duration::from_millis(u64::MAX)
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! change needs a format version bump (plus a regenerated fixture via
 //! `cargo test -p cati --test model_format -- --ignored`).
 
-use cati::{encode_cati1, is_cati1, Cati, Config};
+use cati::{encode_cati1, encode_cati1_v1, is_cati1, Cati, Config};
 use cati_synbin::{build_corpus, Corpus, CorpusConfig};
 use std::path::PathBuf;
 
@@ -50,14 +50,26 @@ fn golden_cati1_fixture_still_loads_and_predicts_identically() {
 
     let cati = Cati::load(&model_path).expect("load golden fixture");
 
-    // Re-encoding the loaded system must reproduce the committed
-    // bytes exactly: the container format (and the weights inside it)
-    // have not drifted.
+    // The committed fixture is a v1 container — it pins the legacy
+    // packed layout. Re-encoding the loaded system *as v1* must
+    // reproduce the committed bytes exactly: the legacy encoder (and
+    // the weights inside it) have not drifted.
     assert_eq!(
-        encode_cati1(&cati),
+        encode_cati1_v1(&cati),
         bytes,
-        "re-encoding the golden model produced different bytes — \
-         format change without a version bump?"
+        "re-encoding the golden model as v1 produced different bytes — \
+         legacy format drift without a version bump?"
+    );
+
+    // Upgrading it to the current v2 container must round-trip to the
+    // identical system (the v1 -> v2 migration path).
+    let v2 = encode_cati1(&cati);
+    assert!(is_cati1(&v2));
+    assert_ne!(v2, bytes, "v2 should differ from the packed v1 layout");
+    assert_eq!(
+        cati::decode_cati1(&v2).expect("v2 re-encode must decode"),
+        cati,
+        "v1 -> v2 migration changed the model"
     );
 
     // And the model must still say exactly what it said when the
@@ -71,6 +83,39 @@ fn golden_cati1_fixture_still_loads_and_predicts_identically() {
         recorded,
         "golden model's predictions drifted from the recorded fixture"
     );
+}
+
+#[test]
+fn v1_golden_migrated_to_v2_loads_zero_copy_with_identical_predictions() {
+    let dir = fixture_dir();
+    let cati = Cati::load(dir.join("golden.cati")).expect("load golden fixture");
+    let tmp = std::env::temp_dir().join(format!("cati_v2_migrate_{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+
+    // save() writes the current (v2) container; loading it back goes
+    // through the mmap path.
+    let v2_path = tmp.join("golden_v2.cati");
+    cati.save(&v2_path).unwrap();
+    let mapped = Cati::load(&v2_path).expect("v2 model must load");
+    assert_eq!(mapped, cati, "v1 -> v2 migration changed the model");
+    #[cfg(unix)]
+    assert!(
+        mapped.mapped_param_count() > 0,
+        "a v2 load on unix should keep weights memory-mapped"
+    );
+
+    // The mmap-backed model predicts exactly what the recorded
+    // fixture says — zero-copy weights are bit-identical weights.
+    let recorded: serde_json::Value = serde_json::from_slice(
+        &std::fs::read(dir.join("golden_predictions.json")).expect("read golden_predictions.json"),
+    )
+    .expect("parse golden_predictions.json");
+    assert_eq!(
+        fixture_predictions(&mapped, &fixture_corpus()),
+        recorded,
+        "mmap-loaded model's predictions drifted from the recorded fixture"
+    );
+    std::fs::remove_dir_all(&tmp).ok();
 }
 
 #[test]
@@ -143,7 +188,9 @@ fn regenerate_golden_fixture() {
     let cati = fixture_model(&corpus);
     let dir = fixture_dir();
     std::fs::create_dir_all(&dir).unwrap();
-    std::fs::write(dir.join("golden.cati"), encode_cati1(&cati)).unwrap();
+    // The fixture deliberately stays a v1 container: it pins the
+    // legacy packed layout and keeps the v1 decode path exercised.
+    std::fs::write(dir.join("golden.cati"), encode_cati1_v1(&cati)).unwrap();
     let preds = fixture_predictions(&cati, &corpus);
     std::fs::write(
         dir.join("golden_predictions.json"),
