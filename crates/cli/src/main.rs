@@ -345,7 +345,34 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     }
     println!("training on {} binaries...", train.len());
     let recorder = recorder_of(args);
-    let cati = Cati::train(&train, &config, &recorder);
+    let cati = match args.flags.get("checkpoint-dir") {
+        // Out-of-core path: shards on disk, one atomic checkpoint per
+        // stage per epoch, byte-identical to the in-memory path. The
+        // env knobs cut or slow the run at epoch boundaries — the CI
+        // kill-and-resume smoke test drives them.
+        Some(dir) => {
+            let opts = cati::StreamOptions {
+                resume: args.switches.contains("resume"),
+                stop_after_epoch: std::env::var("CATI_STREAM_STOP_AFTER_EPOCH")
+                    .ok()
+                    .and_then(|s| s.parse().ok()),
+                epoch_sleep_ms: std::env::var("CATI_STREAM_EPOCH_SLEEP_MS")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0),
+            };
+            match Cati::train_streamed(&train, &config, Path::new(dir), opts, &recorder)
+                .map_err(|e| e.to_string())?
+            {
+                Some(cati) => cati,
+                None => {
+                    println!("training paused at the requested epoch; resume with --resume");
+                    return Ok(());
+                }
+            }
+        }
+        None => Cati::train(&train, &config, &recorder),
+    };
     cati.save(out).map_err(|e| e.to_string())?;
     println!("model saved to {out}");
     // Score a small held-out sample so the run manifest also captures
@@ -914,6 +941,7 @@ USAGE:
   cati disasm BINARY.json [--strip]
   cati vars BINARY.json [--strict|--lenient]
   cati train --corpus DIR --out MODEL.cati [--scale small|medium|paper] [--threads N]
+             [--checkpoint-dir DIR] [--resume]
   cati infer --model MODEL.cati BINARY.json [--strict|--lenient] [--json] [--threads N] [--cache-dir DIR]
              [--quantize int8|f16]
   cati fuzz [--seed N] [--mutants N] [--budget 60s] [--hang-limit-ms N] [--out DIR] [--replay CASE.json]
@@ -961,6 +989,19 @@ clients and keyed by binary digest.
 
 Training and batched inference use --threads worker threads
 (0 or omitted = all cores); results are bit-identical for any value.
+
+Training at scale:
+  `cati train --checkpoint-dir DIR` streams the embedded training
+  samples into digest-checked on-disk shards under DIR/shards and
+  trains out-of-core, so peak memory is bounded by the model plus one
+  shard buffer — never by corpus size. Every stage writes one atomic
+  checkpoint (weights + optimizer moments + RNG state) per epoch, and
+  the trained model is byte-identical to an in-memory run on the same
+  inputs. After any interruption — including a hard kill mid-epoch —
+  rerun with --resume: completed phases load instead of recomputing
+  and the finished model is byte-identical to an uninterrupted run. A
+  checkpoint directory from a different configuration or corpus is
+  refused with a typed error.
 
 `cati infer --cache-dir DIR` keeps a content-addressed artifact cache
 (extraction + window embeddings, keyed by binary digest and model

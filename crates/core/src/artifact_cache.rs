@@ -50,8 +50,9 @@ pub fn embedder_fingerprint(embedder: &VucEmbedder) -> Digest {
 }
 
 /// Wraps a serialized payload in the integrity envelope: the payload's
-/// digest, a newline, the payload bytes.
-fn seal_envelope(payload: &[u8]) -> Vec<u8> {
+/// digest, a newline, the payload bytes. Shared with the shard and
+/// checkpoint layers, which seal their JSON sidecars the same way.
+pub(crate) fn seal_envelope(payload: &[u8]) -> Vec<u8> {
     let mut out = digest_bytes(payload).to_string().into_bytes();
     out.push(b'\n');
     out.extend_from_slice(payload);
@@ -60,7 +61,7 @@ fn seal_envelope(payload: &[u8]) -> Vec<u8> {
 
 /// Verifies and strips the integrity envelope, returning the payload
 /// when the recorded digest matches its bytes.
-fn open_envelope(bytes: &[u8]) -> Option<&[u8]> {
+pub(crate) fn open_envelope(bytes: &[u8]) -> Option<&[u8]> {
     let newline = bytes.iter().position(|&b| b == b'\n')?;
     let (header, payload) = (&bytes[..newline], &bytes[newline + 1..]);
     (digest_bytes(payload).to_string().as_bytes() == header).then_some(payload)

@@ -147,54 +147,108 @@ pub fn embedding_sentences(
 /// One embedded, stage-labeled training sample.
 pub type Sample = (Vec<f32>, usize);
 
-/// Builds the training set of one stage: every VUC whose ground-truth
-/// class carries a label at `stage`, embedded and labeled, capped and
-/// rare-class-oversampled per the configuration. Oversampling never
-/// adds more than `max_count` duplicates per rare class (the safety
-/// bound), and everything it adds is counted into the
-/// `train.oversampled` counter on `obs` (with a warning when the
-/// bound truncates a class short of its floor).
-pub fn stage_dataset(
-    dataset: &Dataset,
-    embedder: &VucEmbedder,
+/// One stage's planned sample order over a labeled pool: a base order
+/// (identity when uncapped — no intermediate index buffer; an owned
+/// shuffled prefix when capped) followed by oversampled duplicates.
+/// Both the in-memory and the on-disk (shard) training paths build
+/// their sample sequence from this one planner, which is what makes
+/// them bit-identical: the plan is a pure function of the pool's
+/// labels and the RNG, never of where the floats live.
+pub(crate) struct StagePlan {
+    /// `None` = pool identity order; `Some` = capped-and-shuffled.
+    base: Option<Vec<u32>>,
+    /// Length of the base order.
+    base_len: usize,
+    /// Oversampled duplicates appended after the base, in the order
+    /// the oversampling loop drew them.
+    extras: Vec<u32>,
+}
+
+impl StagePlan {
+    /// Total planned samples.
+    pub(crate) fn len(&self) -> usize {
+        self.base_len + self.extras.len()
+    }
+
+    /// Pool index of the sample at plan position `i`.
+    pub(crate) fn get(&self, i: usize) -> u32 {
+        if i < self.base_len {
+            match &self.base {
+                Some(order) => order[i],
+                None => i as u32,
+            }
+        } else {
+            self.extras[i - self.base_len]
+        }
+    }
+
+    /// Pool indices in plan order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// The capped-and-shuffled base order, if a cap applied.
+    fn base_order(&self) -> Option<&[u32]> {
+        self.base.as_deref()
+    }
+
+    /// The oversampled duplicate indices.
+    fn extra_order(&self) -> &[u32] {
+        &self.extras
+    }
+}
+
+/// Plans one stage's sample order from the pool's stage labels:
+/// optional cap (shuffle + truncate), then rare-class oversampling to
+/// a floor fraction of the largest class. RNG consumption depends
+/// only on pool length and label multiplicities, so any two pools
+/// with equal label sequences produce equal plans. When no cap
+/// applies, the base order is the identity — no index buffer is
+/// allocated or re-shuffled.
+pub(crate) fn plan_stage_samples(
+    pool_labels: &[usize],
     stage: StageId,
     max_samples: usize,
     oversample_floor: f64,
     rng: &mut StdRng,
     obs: &dyn Observer,
-) -> Vec<Sample> {
-    // Collect (extraction ref, vuc idx, label) first — cheap.
-    let mut refs: Vec<(&Extraction, usize, usize)> = Vec::new();
-    for (_, ex) in &dataset.entries {
-        for (i, vuc) in ex.vucs.iter().enumerate() {
-            let Some(class) = vuc.class(&ex.vars) else {
-                continue;
-            };
-            let Some(label) = stage.label_of(class) else {
-                continue;
-            };
-            refs.push((ex, i, label));
+) -> StagePlan {
+    let mut base: Option<Vec<u32>> = None;
+    if max_samples > 0 && pool_labels.len() > max_samples {
+        let mut order: Vec<u32> = (0..pool_labels.len() as u32).collect();
+        order.shuffle(rng);
+        order.truncate(max_samples);
+        base = Some(order);
+    }
+    let base_len = base.as_ref().map_or(pool_labels.len(), Vec::len);
+    let label_at = |i: usize| -> usize {
+        match &base {
+            Some(order) => pool_labels[order[i] as usize],
+            None => pool_labels[i],
         }
-    }
-    if max_samples > 0 && refs.len() > max_samples {
-        refs.shuffle(rng);
-        refs.truncate(max_samples);
-    }
+    };
+    let mut extras: Vec<u32> = Vec::new();
     // Rare-class oversampling to a floor fraction of the largest class.
     if oversample_floor > 0.0 {
         let mut counts = vec![0usize; stage.num_classes()];
-        for &(_, _, l) in &refs {
-            counts[l] += 1;
+        for i in 0..base_len {
+            counts[label_at(i)] += 1;
         }
         let max_count = counts.iter().copied().max().unwrap_or(0);
         let floor = ((max_count as f64) * oversample_floor) as usize;
         let mut oversampled = 0u64;
-        let mut extra = Vec::new();
+        let mut extra: Vec<u32> = Vec::new();
         for (label, &count) in counts.iter().enumerate() {
             if count == 0 || count >= floor {
                 continue;
             }
-            let pool: Vec<_> = refs.iter().filter(|r| r.2 == label).copied().collect();
+            let pool: Vec<u32> = (0..base_len)
+                .filter(|&i| label_at(i) == label)
+                .map(|i| match &base {
+                    Some(order) => order[i],
+                    None => i as u32,
+                })
+                .collect();
             while count + extra.len() < floor && !pool.is_empty() {
                 if extra.len() >= max_count {
                     // Hard safety bound: never duplicate a class more
@@ -209,7 +263,7 @@ pub fn stage_dataset(
                 extra.push(pool[rng.gen_range(0..pool.len())]);
             }
             oversampled += extra.len() as u64;
-            refs.append(&mut extra);
+            extras.append(&mut extra);
         }
         if oversampled > 0 {
             obs.event(&Event::Counter {
@@ -218,9 +272,63 @@ pub fn stage_dataset(
             });
         }
     }
-    refs.into_par_iter()
-        .map(|(ex, i, label)| (embedder.embed_window(&ex.vucs[i].insns), label))
-        .collect()
+    StagePlan {
+        base,
+        base_len,
+        extras,
+    }
+}
+
+/// Builds the training set of one stage: every VUC whose ground-truth
+/// class carries a label at `stage`, embedded and labeled, capped and
+/// rare-class-oversampled per the configuration (see
+/// [`plan_stage_samples`]). Oversampling never adds more than
+/// `max_count` duplicates per rare class (the safety bound), and
+/// everything it adds is counted into the `train.oversampled` counter
+/// on `obs` (with a warning when the bound truncates a class short of
+/// its floor).
+pub fn stage_dataset(
+    dataset: &Dataset,
+    embedder: &VucEmbedder,
+    stage: StageId,
+    max_samples: usize,
+    oversample_floor: f64,
+    rng: &mut StdRng,
+    obs: &dyn Observer,
+) -> Vec<Sample> {
+    // Collect (extraction ref, vuc idx) + label first — cheap.
+    let mut refs: Vec<(&Extraction, usize)> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    for (_, ex) in &dataset.entries {
+        for (i, vuc) in ex.vucs.iter().enumerate() {
+            let Some(class) = vuc.class(&ex.vars) else {
+                continue;
+            };
+            let Some(label) = stage.label_of(class) else {
+                continue;
+            };
+            refs.push((ex, i));
+            labels.push(label);
+        }
+    }
+    let plan = plan_stage_samples(&labels, stage, max_samples, oversample_floor, rng, obs);
+    let embed_at = |i: usize| -> Sample {
+        let (ex, v) = refs[i];
+        (embedder.embed_window(&ex.vucs[v].insns), labels[i])
+    };
+    // Base order: embed straight out of the pool when uncapped — the
+    // common `max_samples == 0` path allocates no intermediate index
+    // buffer at all.
+    let mut samples: Vec<Sample> = match plan.base_order() {
+        None => refs
+            .par_iter()
+            .zip(labels.par_iter())
+            .map(|((ex, v), &label)| (embedder.embed_window(&ex.vucs[*v].insns), label))
+            .collect(),
+        Some(order) => order.par_iter().map(|&i| embed_at(i as usize)).collect(),
+    };
+    samples.extend(plan.extra_order().iter().map(|&i| embed_at(i as usize)));
+    samples
 }
 
 /// Embeds every VUC of one extraction (inference path) into one flat
@@ -466,6 +574,122 @@ mod tests {
             &cati_obs::NOOP,
         );
         assert_eq!(capped.len(), 50);
+    }
+
+    /// Verbatim copy of the pre-planner `stage_dataset` (the PR 1
+    /// algorithm: materialize a `(ref, vuc, label)` vec, shuffle and
+    /// truncate it under a cap, oversample by appending into it).
+    /// Kept as the reference that pins the planner-based rewrite —
+    /// including its RNG consumption — bitwise.
+    fn stage_dataset_reference(
+        dataset: &Dataset,
+        embedder: &VucEmbedder,
+        stage: StageId,
+        max_samples: usize,
+        oversample_floor: f64,
+        rng: &mut StdRng,
+        obs: &dyn Observer,
+    ) -> Vec<Sample> {
+        let mut refs: Vec<(&Extraction, usize, usize)> = Vec::new();
+        for (_, ex) in &dataset.entries {
+            for (i, vuc) in ex.vucs.iter().enumerate() {
+                let Some(class) = vuc.class(&ex.vars) else {
+                    continue;
+                };
+                let Some(label) = stage.label_of(class) else {
+                    continue;
+                };
+                refs.push((ex, i, label));
+            }
+        }
+        if max_samples > 0 && refs.len() > max_samples {
+            refs.shuffle(rng);
+            refs.truncate(max_samples);
+        }
+        if oversample_floor > 0.0 {
+            let mut counts = vec![0usize; stage.num_classes()];
+            for &(_, _, l) in &refs {
+                counts[l] += 1;
+            }
+            let max_count = counts.iter().copied().max().unwrap_or(0);
+            let floor = ((max_count as f64) * oversample_floor) as usize;
+            let mut extra = Vec::new();
+            for (label, &count) in counts.iter().enumerate() {
+                if count == 0 || count >= floor {
+                    continue;
+                }
+                let pool: Vec<_> = refs.iter().filter(|r| r.2 == label).copied().collect();
+                while count + extra.len() < floor && !pool.is_empty() {
+                    if extra.len() >= max_count {
+                        break;
+                    }
+                    extra.push(pool[rng.gen_range(0..pool.len())]);
+                }
+                refs.append(&mut extra);
+            }
+        }
+        let _ = obs;
+        refs.into_par_iter()
+            .map(|(ex, i, label)| (embedder.embed_window(&ex.vucs[i].insns), label))
+            .collect()
+    }
+
+    #[test]
+    fn planner_rewrite_is_bitwise_identical_to_the_reference() {
+        use rand::Rng;
+        let (real, _) = tiny_dataset();
+        let synth = synthetic_dataset(60, 5);
+        let embedder = tiny_embedder();
+        for ds in [&real, &synth] {
+            for stage in [StageId::Stage1, StageId::Stage2NonPtr, StageId::Stage3Int] {
+                for &(max_samples, floor) in
+                    &[(0usize, 0.0f64), (0, 0.1), (50, 0.1), (30, 0.0), (10, 5.0)]
+                {
+                    for seed in [1u64, 9, 42] {
+                        let mut rng_new = StdRng::seed_from_u64(seed);
+                        let mut rng_old = StdRng::seed_from_u64(seed);
+                        let new = stage_dataset(
+                            ds,
+                            &embedder,
+                            stage,
+                            max_samples,
+                            floor,
+                            &mut rng_new,
+                            &cati_obs::NOOP,
+                        );
+                        let old = stage_dataset_reference(
+                            ds,
+                            &embedder,
+                            stage,
+                            max_samples,
+                            floor,
+                            &mut rng_old,
+                            &cati_obs::NOOP,
+                        );
+                        let case = format!("{stage} cap={max_samples} floor={floor} seed={seed}");
+                        assert_eq!(new.len(), old.len(), "{case}: sample count");
+                        for (k, ((xa, la), (xb, lb))) in new.iter().zip(&old).enumerate() {
+                            assert_eq!(la, lb, "{case}: label of sample {k}");
+                            assert!(
+                                xa.iter()
+                                    .zip(xb.iter())
+                                    .all(|(a, b)| a.to_bits() == b.to_bits())
+                                    && xa.len() == xb.len(),
+                                "{case}: floats of sample {k} differ bitwise"
+                            );
+                        }
+                        // Identical RNG consumption: both generators
+                        // must sit at the same stream position.
+                        assert_eq!(rng_new.state(), rng_old.state(), "{case}: rng state");
+                        assert_eq!(
+                            rng_new.gen_range(0..u32::MAX),
+                            rng_old.gen_range(0..u32::MAX),
+                            "{case}: next draw"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

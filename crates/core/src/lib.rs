@@ -40,6 +40,7 @@
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod artifact_cache;
+pub mod checkpoint;
 pub mod compiler_id;
 pub mod config;
 pub mod dataset;
@@ -51,11 +52,13 @@ pub mod occlusion;
 pub mod pipeline;
 pub mod report;
 pub mod session;
+pub mod shards;
 pub mod vote;
 
 pub use artifact_cache::{embedder_fingerprint, ArtifactCache};
 pub use cati_analysis::{CatiError, Coverage, Diagnostic, Diagnostics, PipelineStage};
 pub use cati_nn::{argmax, Rows, Tensor};
+pub use checkpoint::{CheckpointDir, CheckpointError, StageCheckpoint, TrainIdentity};
 pub use compiler_id::CompilerId;
 pub use config::Config;
 pub use dataset::{class_histogram, embedding_sentences, Dataset};
@@ -65,7 +68,7 @@ pub use model_io::{
     decode_cati1, encode_cati1, encode_cati1_v1, is_cati1, CATI1_ALIGN, CATI1_MAGIC,
     CATI1_MIN_VERSION, CATI1_VERSION,
 };
-pub use multistage::MultiStage;
+pub use multistage::{MultiStage, StreamError, StreamOptions};
 pub use occlusion::{
     importance_heatmap, occlusion_epsilons, occlusion_epsilons_embedded, ImportanceHeatmap,
 };
@@ -74,6 +77,7 @@ pub use pipeline::{
     Evaluation, InferReport, InferredVar,
 };
 pub use session::EmbeddedExtraction;
+pub use shards::{write_dataset_shards, ShardError, ShardSamples, ShardSet, ShardWriter};
 pub use vote::{clip_confidences, vote, VoteResult};
 
 // Re-export the substrate crates so downstream users need only one

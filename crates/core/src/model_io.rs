@@ -257,6 +257,37 @@ pub fn encode_cati1_v1(cati: &Cati) -> Vec<u8> {
     encode_raw(1, &meta_blob(cati), &weight_tensors(cati))
 }
 
+/// Encodes an arbitrary `(meta JSON, named tensors)` pair as a CATI1
+/// v2 container. The epoch checkpoints reuse the model container
+/// framing — checksummed section table, aligned tensor payloads,
+/// whole-file integrity — for model weights *and* the optimizer
+/// moments riding alongside them.
+pub(crate) fn encode_meta_tensors(meta: &[u8], tensors: &[(String, &[f32])]) -> Vec<u8> {
+    encode_raw(CATI1_VERSION, meta, tensors)
+}
+
+/// Decodes a container written by [`encode_meta_tensors`] back into
+/// its meta payload and named tensor buffers (all copied — checkpoint
+/// loads are rare and short-lived, so no mmap path).
+pub(crate) fn decode_meta_tensors(
+    bytes: &[u8],
+) -> Result<(Vec<u8>, HashMap<String, ParamBuf>), String> {
+    let (version, sections) = read_sections(bytes)?;
+    if version < 2 {
+        return Err(format!("checkpoint container is v{version}, expected v2"));
+    }
+    let find = |name: &str| -> Result<&Section<'_>, String> {
+        sections
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| format!("missing section {name}"))
+    };
+    let meta = find("meta")?.payload.to_vec();
+    let tsec = find("tensors")?;
+    let tensors = read_tensors_v2(tsec.payload, tsec.offset, None)?;
+    Ok((meta, tensors))
+}
+
 /// Test/CI hook: encodes arbitrary named tensors as a v2 container
 /// (with an empty `meta` payload), so the alignment invariant can be
 /// property-tested over shapes without training a model.

@@ -1,7 +1,9 @@
 //! The tree of six stage classifiers (paper Fig. 5).
 
+use crate::checkpoint::{CheckpointDir, CheckpointError, TrainIdentity};
 use crate::config::Config;
-use crate::dataset::{stage_dataset, Dataset};
+use crate::dataset::{plan_stage_samples, stage_dataset, Dataset};
+use crate::shards::{ShardError, ShardSamples, ShardSet};
 use cati_dwarf::{StageId, TypeClass};
 use cati_embedding::VucEmbedder;
 use cati_nn::{argmax, Adam, Rows, Tensor, TextCnn, TextCnnConfig, TrainHook};
@@ -10,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::time::Instant;
 
 /// RNG stream seed for one stage's data sampling and batch schedule:
@@ -52,6 +55,57 @@ impl TrainHook for EpochHook<'_> {
             loss: mean_loss as f64,
         });
     }
+}
+
+/// A typed failure of the out-of-core (streamed) training path.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The shard layer failed (I/O, truncation, corruption, …).
+    Shard(ShardError),
+    /// The checkpoint layer failed (I/O, corruption, identity
+    /// mismatch).
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Shard(e) => e.fmt(f),
+            StreamError::Checkpoint(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<ShardError> for StreamError {
+    fn from(e: ShardError) -> StreamError {
+        StreamError::Shard(e)
+    }
+}
+
+impl From<CheckpointError> for StreamError {
+    fn from(e: CheckpointError) -> StreamError {
+        StreamError::Checkpoint(e)
+    }
+}
+
+/// Knobs of the streamed training loop beyond the [`Config`]. The
+/// defaults run start-to-finish like the in-memory path; tests and the
+/// CLI use the extra fields to pause at epoch boundaries or widen the
+/// kill window without mutating process environment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamOptions {
+    /// Resume from the checkpoint directory's saved state instead of
+    /// starting fresh (fresh is assumed when no checkpoint exists).
+    pub resume: bool,
+    /// Stop (checkpointed) after this many total epochs per stage,
+    /// before the configured epoch count — the in-process way to cut a
+    /// run at an exact epoch boundary.
+    pub stop_after_epoch: Option<usize>,
+    /// Sleep this long after each epoch's checkpoint lands — widens
+    /// the window a kill-mid-epoch test aims for.
+    pub epoch_sleep_ms: u64,
 }
 
 /// The six trained stage models.
@@ -150,6 +204,147 @@ impl MultiStage {
             models.push((stage, model));
         }
         MultiStage { models }
+    }
+
+    /// [`MultiStage::train`] out-of-core: the same six concurrent
+    /// stage workers, but samples live in an on-disk [`ShardSet`] and
+    /// every epoch ends with an atomic per-stage checkpoint in `ckpt`.
+    ///
+    /// Bit-for-bit parity with the in-memory path holds by
+    /// construction: each stage derives the identical RNG, filters the
+    /// shard label bytes into the identical stage-label sequence the
+    /// in-memory pool would produce, runs the *same*
+    /// [`plan_stage_samples`] planner over it (RNG consumption depends
+    /// only on lengths and label multiplicities), and feeds the shard
+    /// rows through the same [`cati_nn::SampleSource`] trainer — the
+    /// shuffle, minibatch sharding, and reduction order never see
+    /// where the floats live.
+    ///
+    /// With `opts.resume`, stages restart from their saved epoch with
+    /// model, optimizer, and RNG restored bitwise (the plan is
+    /// replayed deterministically first), so a resumed run finishes
+    /// byte-identical to an uninterrupted one. Returns `Ok(None)` when
+    /// `opts.stop_after_epoch` paused the run before the configured
+    /// epoch count — every completed epoch is checkpointed either way.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a typed [`StreamError`] on checkpoint I/O failure,
+    /// corruption, or a checkpoint that belongs to a different run
+    /// (`identity` mismatch).
+    pub fn train_streamed(
+        shards: &ShardSet,
+        config: &Config,
+        ckpt: &CheckpointDir,
+        identity: &TrainIdentity,
+        opts: StreamOptions,
+        obs: &dyn Observer,
+    ) -> Result<Option<MultiStage>, StreamError> {
+        let embed_dim = shards.cols() / cati_analysis::VUC_LEN;
+        let stop = opts
+            .stop_after_epoch
+            .unwrap_or(config.epochs)
+            .min(config.epochs);
+        let trained: Vec<Result<(StageId, TextCnn, String), StreamError>> = StageId::ALL
+            .par_iter()
+            .with_max_len(1)
+            .map(|&stage| {
+                let t0 = Instant::now();
+                let stage_name = stage.to_string();
+                let mut rng = StdRng::seed_from_u64(stage_seed(config.seed, stage));
+                // Pool pass: stage-filter the resident label bytes —
+                // exactly the rows the in-memory pool would hold, in
+                // the same order. Floats stay on disk.
+                let mut pool_rows: Vec<u32> = Vec::new();
+                let mut pool_labels: Vec<usize> = Vec::new();
+                for (row, &cls) in shards.labels().iter().enumerate() {
+                    if let Some(label) = stage.label_of(TypeClass::ALL[cls as usize]) {
+                        pool_rows.push(row as u32);
+                        pool_labels.push(label);
+                    }
+                }
+                let plan = plan_stage_samples(
+                    &pool_labels,
+                    stage,
+                    config.max_stage_samples,
+                    config.oversample_floor,
+                    &mut rng,
+                    obs,
+                );
+                let sample_plan: Vec<(u32, u16)> = plan
+                    .iter()
+                    .map(|i| (pool_rows[i as usize], pool_labels[i as usize] as u16))
+                    .collect();
+                let data = ShardSamples::new(shards, sample_plan);
+                obs.event(&Event::Counter {
+                    name: "train.samples",
+                    delta: plan.len() as u64,
+                });
+                let cnn_cfg = TextCnnConfig {
+                    seq_len: cati_analysis::VUC_LEN,
+                    embed_dim,
+                    conv1: config.conv1,
+                    conv2: config.conv2,
+                    fc: config.fc,
+                    classes: stage.num_classes(),
+                };
+                let mut model = TextCnn::new(cnn_cfg, config.seed ^ stage as u64);
+                let mut opt = Adam::new(config.lr);
+                let mut start_epoch = 0usize;
+                if opts.resume {
+                    if let Some(saved) = ckpt.load_stage(stage, cnn_cfg, identity)? {
+                        start_epoch = saved.epoch;
+                        model = saved.model;
+                        opt = saved.opt;
+                        rng = saved.rng;
+                    }
+                }
+                let mut last_loss = f32::NAN;
+                let mut hook = EpochHook {
+                    obs,
+                    stage: &stage_name,
+                    epoch: 0,
+                };
+                for epoch in start_epoch..stop {
+                    hook.epoch = epoch;
+                    last_loss = model.train_epoch_hooked(
+                        &data,
+                        &mut opt,
+                        config.batch,
+                        &mut rng,
+                        &mut hook,
+                    );
+                    ckpt.save_stage(stage, epoch + 1, &model, &opt, &rng, identity)?;
+                    if opts.epoch_sleep_ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(opts.epoch_sleep_ms));
+                    }
+                }
+                obs.event(&Event::SpanClose {
+                    path: &format!("train.{stage_name}"),
+                    nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    alloc_bytes: 0,
+                    alloc_count: 0,
+                });
+                let line = format!(
+                    "{stage}: {} samples (streamed), final loss {last_loss:.4}",
+                    plan.len()
+                );
+                Ok((stage, model, line))
+            })
+            .collect();
+        let mut models = Vec::with_capacity(trained.len());
+        for result in trained {
+            let (stage, model, line) = result?;
+            obs.event(&Event::Message {
+                level: Level::Info,
+                text: &line,
+            });
+            models.push((stage, model));
+        }
+        if stop < config.epochs {
+            return Ok(None);
+        }
+        Ok(Some(MultiStage { models }))
     }
 
     /// Reassembles the tree from `(stage, model)` pairs — the binary

@@ -2,11 +2,13 @@
 //! labeled extractions, infer types from unseen stripped binaries.
 
 use crate::artifact_cache::ArtifactCache;
+use crate::checkpoint::{CheckpointDir, TrainIdentity};
 use crate::config::Config;
 use crate::dataset::{embedding_sentences, Dataset};
 use crate::metrics::{Confusion, Prf};
-use crate::multistage::MultiStage;
+use crate::multistage::{MultiStage, StreamError, StreamOptions};
 use crate::session::EmbeddedExtraction;
+use crate::shards::{write_dataset_shards, ShardError, ShardSet};
 use crate::vote::{vote, VoteResult};
 use cati_analysis::{
     extract_lenient_observed, extract_observed, Coverage, Diagnostics, ExtractError, Extraction,
@@ -111,6 +113,107 @@ impl Cati {
                 embedder,
                 stages,
             }
+        })
+    }
+
+    /// [`Cati::train`] out-of-core, with epoch checkpoint/resume: the
+    /// embedded training samples are streamed to a digest-checked
+    /// shard set under `ckpt_dir/shards` and trained from disk, so
+    /// peak memory is bounded by the model plus one shard buffer —
+    /// never by corpus size — and every stage checkpoints atomically
+    /// at every epoch boundary. The trained system is **bit-identical**
+    /// to [`Cati::train`] on the same inputs (see
+    /// [`MultiStage::train_streamed`] for why), and a run resumed
+    /// after an interruption — even a hard kill mid-epoch — finishes
+    /// byte-identical to an uninterrupted one.
+    ///
+    /// With `opts.resume`, completed phases are loaded instead of
+    /// recomputed: the persisted embedder skips extraction + Word2Vec,
+    /// a sealed shard set is re-verified and reused (an unsealed one —
+    /// killed mid-write — is rebuilt), and each stage restarts from
+    /// its last checkpointed epoch. Returns `Ok(None)` when
+    /// `opts.stop_after_epoch` paused the run early; resume later to
+    /// finish.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a typed [`StreamError`] on shard or checkpoint
+    /// corruption, I/O failure, or a checkpoint directory belonging to
+    /// a different configuration or corpus.
+    pub fn train_streamed(
+        train: &[BuiltBinary],
+        config: &Config,
+        ckpt_dir: &Path,
+        opts: StreamOptions,
+        obs: &dyn Observer,
+    ) -> Result<Option<Cati>, StreamError> {
+        config.with_threads(|| {
+            let ckpt = CheckpointDir::open(ckpt_dir)?;
+            let shards_dir = ckpt.shards_dir();
+            let saved = if opts.resume {
+                ckpt.load_embedder()?
+            } else {
+                None
+            };
+            let (embedder, shards) = match saved {
+                // Resume with the embedder phase already done: reuse
+                // the sealed shard set, or rebuild it if the run died
+                // before the manifest sealed (shards are written after
+                // the embedder, so this is the only partial state).
+                Some(embedder) => match ShardSet::open(&shards_dir) {
+                    Ok(shards) => (embedder, shards),
+                    Err(ShardError::Io { ref err, .. })
+                        if err.kind() == std::io::ErrorKind::NotFound =>
+                    {
+                        let dataset = {
+                            let _span = SpanGuard::enter(obs, "extract");
+                            Dataset::from_binaries_observed(train, FeatureView::WithSymbols, obs)
+                        };
+                        write_dataset_shards(&dataset, &embedder, &shards_dir, 0, obs)?;
+                        (embedder, ShardSet::open(&shards_dir)?)
+                    }
+                    Err(e) => return Err(e.into()),
+                },
+                None => {
+                    let mut rng = StdRng::seed_from_u64(config.seed);
+                    cati_obs::info!(obs, "extracting {} training binaries", train.len());
+                    let dataset = {
+                        let _span = SpanGuard::enter(obs, "extract");
+                        Dataset::from_binaries_observed(train, FeatureView::WithSymbols, obs)
+                    };
+                    let embedder = {
+                        let _span = SpanGuard::enter(obs, "embed");
+                        let sentences = embedding_sentences(train, config.max_sentences, &mut rng);
+                        cati_obs::info!(obs, "training Word2Vec on {} sentences", sentences.len());
+                        VucEmbedder::new(Word2Vec::train_observed(&sentences, config.w2v, obs))
+                    };
+                    ckpt.save_embedder(&embedder)?;
+                    let rows = {
+                        let _span = SpanGuard::enter(obs, "shard");
+                        write_dataset_shards(&dataset, &embedder, &shards_dir, 0, obs)?
+                    };
+                    cati_obs::info!(obs, "streamed {rows} samples into on-disk shards");
+                    (embedder, ShardSet::open(&shards_dir)?)
+                }
+            };
+            let fingerprint = crate::artifact_cache::embedder_fingerprint(&embedder).to_string();
+            if shards.fingerprint() != fingerprint {
+                return Err(ShardError::Inconsistent {
+                    path: shards_dir.join(crate::shards::SHARD_MANIFEST),
+                    detail: "shard set was embedded by a different model".to_string(),
+                }
+                .into());
+            }
+            let identity = TrainIdentity {
+                config: config_digest(config),
+                data: shards.identity().to_string(),
+            };
+            let stages = MultiStage::train_streamed(&shards, config, &ckpt, &identity, opts, obs)?;
+            Ok(stages.map(|stages| Cati {
+                config: *config,
+                embedder,
+                stages,
+            }))
         })
     }
 
@@ -433,6 +536,17 @@ impl Cati {
                 .iter()
                 .map(|(_, cnn)| cnn.mapped_param_count())
                 .sum::<usize>()
+    }
+}
+
+/// Digest of the serialized training configuration — half of the
+/// [`TrainIdentity`] stamped into every checkpoint.
+fn config_digest(config: &Config) -> String {
+    match serde_json::to_vec(config) {
+        Ok(bytes) => cati_analysis::digest_bytes(&bytes).to_string(),
+        // Config is a plain struct of numbers; serialization cannot
+        // fail, but a fixed sentinel keeps this total.
+        Err(_) => "config-unserializable".to_string(),
     }
 }
 

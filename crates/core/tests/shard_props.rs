@@ -1,0 +1,87 @@
+//! Property tests for the shard frame codec (`cati::shards`).
+//!
+//! The codec is the foundation the out-of-core training path trusts:
+//! a decoded shard must be bit-identical to what was encoded, and any
+//! damage — truncation at *any* byte offset, any single bit flip —
+//! must surface as a typed [`ShardError`], never as silently wrong
+//! training data. Floats are drawn as raw bit patterns, so NaN
+//! payloads and negative zero round-trip too.
+
+use cati::shards::{decode_shard, encode_shard};
+use cati::ShardError;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::path::Path;
+
+/// Builds the `(cols, labels, rows)` encode inputs from a flat bit
+/// pattern draw.
+fn shard_inputs(cols: usize, labels: Vec<u8>, bits: Vec<u32>) -> (Vec<u8>, Vec<f32>) {
+    let rows: Vec<f32> = bits
+        .iter()
+        .cycle()
+        .take(labels.len() * cols)
+        .map(|&b| f32::from_bits(b))
+        .collect();
+    (labels, rows)
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_is_bit_identical(
+        cols in 1usize..8,
+        labels in vec(0u8..=255, 0..20),
+        bits in vec(any::<u32>(), 1..16),
+    ) {
+        let (labels, rows) = shard_inputs(cols, labels, bits);
+        let bytes = encode_shard(cols, &labels, &rows);
+        let (got_cols, got_labels, got_rows) =
+            decode_shard(&bytes, Path::new("prop")).expect("valid shard must decode");
+        prop_assert_eq!(got_cols, cols);
+        prop_assert_eq!(got_labels, labels);
+        prop_assert_eq!(got_rows.len(), rows.len());
+        for (a, b) in got_rows.iter().zip(&rows) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_a_typed_error(
+        cols in 1usize..5,
+        labels in vec(0u8..=255, 0..8),
+        bits in vec(any::<u32>(), 1..8),
+    ) {
+        let (labels, rows) = shard_inputs(cols, labels, bits);
+        let bytes = encode_shard(cols, &labels, &rows);
+        for cut in 0..bytes.len() {
+            match decode_shard(&bytes[..cut], Path::new("prop")) {
+                Err(
+                    ShardError::Truncated { .. }
+                    | ShardError::BadMagic { .. }
+                    | ShardError::BadVersion { .. }
+                    | ShardError::DigestMismatch { .. }
+                    | ShardError::Inconsistent { .. },
+                ) => {}
+                Err(other) => prop_assert!(false, "cut at {cut}: unexpected error {other}"),
+                Ok(_) => prop_assert!(false, "cut at {cut} decoded successfully"),
+            }
+        }
+    }
+
+    #[test]
+    fn no_single_bit_flip_decodes(
+        cols in 1usize..5,
+        labels in vec(0u8..=255, 0..8),
+        bits in vec(any::<u32>(), 1..8),
+        flip in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let (labels, rows) = shard_inputs(cols, labels, bits);
+        let mut bytes = encode_shard(cols, &labels, &rows);
+        let i = flip.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        prop_assert!(
+            decode_shard(&bytes, Path::new("prop")).is_err(),
+            "flip of bit {bit} at byte {i} still decoded"
+        );
+    }
+}

@@ -39,7 +39,7 @@ pub mod quant;
 pub mod tensor;
 
 pub use mmap::{MapSlice, MappedFile};
-pub use model::{NoHook, TextCnn, TextCnnConfig, TrainHook, Workspace};
+pub use model::{NoHook, SampleSource, TextCnn, TextCnnConfig, TrainHook, Workspace};
 pub use optim::{Adam, GradBuffers, Sgd};
 pub use param::ParamBuf;
 pub use quant::QuantMode;

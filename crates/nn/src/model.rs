@@ -92,6 +92,50 @@ pub struct NoHook;
 
 impl TrainHook for NoHook {}
 
+/// Random access to `(features, label)` training samples, abstracting
+/// over where the floats live: an in-memory `Vec` of embedded rows or
+/// an out-of-core source that decodes rows on demand (e.g. on-disk
+/// shards). Training over any two sources holding the same samples in
+/// the same order is bit-identical — the trainer's shuffle, sharding,
+/// and reduction see only indices and lengths.
+pub trait SampleSource: Sync {
+    /// Number of samples.
+    fn len(&self) -> usize;
+
+    /// True when the source holds no samples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sample at `idx` as `(features, label)`. `scratch` is a
+    /// caller-owned buffer an out-of-core source may decode the row
+    /// into (and borrow from); an in-memory source ignores it and
+    /// borrows from itself. Callers reuse one scratch per worker, so
+    /// steady-state access allocates nothing.
+    fn sample<'a>(&'a self, idx: usize, scratch: &'a mut Vec<f32>) -> (&'a [f32], usize);
+}
+
+impl SampleSource for [(Vec<f32>, usize)] {
+    fn len(&self) -> usize {
+        <[(Vec<f32>, usize)]>::len(self)
+    }
+
+    fn sample<'a>(&'a self, idx: usize, _scratch: &'a mut Vec<f32>) -> (&'a [f32], usize) {
+        let (x, label) = &self[idx];
+        (x, *label)
+    }
+}
+
+impl SampleSource for Vec<(Vec<f32>, usize)> {
+    fn len(&self) -> usize {
+        <[(Vec<f32>, usize)]>::len(self)
+    }
+
+    fn sample<'a>(&'a self, idx: usize, scratch: &'a mut Vec<f32>) -> (&'a [f32], usize) {
+        self.as_slice().sample(idx, scratch)
+    }
+}
+
 /// A 2-layer convolutional text classifier.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TextCnn {
@@ -456,9 +500,9 @@ impl TextCnn {
     /// the shard's samples sequentially, and the shard buffers are
     /// reduced strictly in shard order. Gradient sums are therefore
     /// bit-identical for any thread count.
-    pub fn batch_gradients(
+    pub fn batch_gradients<S: SampleSource + ?Sized>(
         &self,
-        data: &[(Vec<f32>, usize)],
+        data: &S,
         idxs: &[usize],
     ) -> (GradBuffers, f64) {
         /// Samples per worker shard: small enough to balance load,
@@ -469,10 +513,12 @@ impl TextCnn {
             .par_iter()
             .map(|shard| {
                 let mut ws = Workspace::default();
+                let mut scratch = Vec::new();
                 let mut g = self.grad_buffers();
                 let mut loss = 0.0f64;
                 for &i in *shard {
-                    loss += f64::from(self.backward(&data[i].0, data[i].1, &mut ws, &mut g));
+                    let (x, label) = data.sample(i, &mut scratch);
+                    loss += f64::from(self.backward(x, label, &mut ws, &mut g));
                 }
                 (g, loss)
             })
@@ -491,9 +537,9 @@ impl TextCnn {
     /// One epoch of mini-batch training over `data`, shuffled with
     /// `rng`; per-sample backward passes run data-parallel via
     /// [`TextCnn::batch_gradients`]. Returns the mean loss.
-    pub fn train_epoch(
+    pub fn train_epoch<S: SampleSource + ?Sized>(
         &mut self,
-        data: &[(Vec<f32>, usize)],
+        data: &S,
         opt: &mut Adam,
         batch_size: usize,
         rng: &mut StdRng,
@@ -505,9 +551,9 @@ impl TextCnn {
     /// each minibatch's mean loss (plus the gradient norm when it
     /// asks for it) and the epoch's mean loss. Training results are
     /// identical to the unhooked path for any hook.
-    pub fn train_epoch_hooked(
+    pub fn train_epoch_hooked<S: SampleSource + ?Sized>(
         &mut self,
-        data: &[(Vec<f32>, usize)],
+        data: &S,
         opt: &mut Adam,
         batch_size: usize,
         rng: &mut StdRng,
@@ -530,18 +576,23 @@ impl TextCnn {
     }
 
     /// Classification accuracy over `data`; workers share one
-    /// [`Workspace`] per shard.
-    pub fn accuracy(&self, data: &[(Vec<f32>, usize)]) -> f64 {
+    /// [`Workspace`] (and one decode scratch) per shard.
+    pub fn accuracy<S: SampleSource + ?Sized>(&self, data: &S) -> f64 {
         if data.is_empty() {
             return 0.0;
         }
-        let correct: usize = data
+        let idxs: Vec<usize> = (0..data.len()).collect();
+        let correct: usize = idxs
             .par_iter()
-            .map_init(Workspace::default, |ws, (x, label)| {
-                // argmax over logits == argmax over softmax probs.
-                self.forward(x, ws);
-                usize::from(argmax(&ws.logits) == *label)
-            })
+            .map_init(
+                || (Workspace::default(), Vec::new()),
+                |(ws, scratch), &i| {
+                    let (x, label) = data.sample(i, scratch);
+                    // argmax over logits == argmax over softmax probs.
+                    self.forward(x, ws);
+                    usize::from(argmax(&ws.logits) == label)
+                },
+            )
             .sum();
         correct as f64 / data.len() as f64
     }

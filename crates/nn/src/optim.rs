@@ -136,6 +136,25 @@ impl Adam {
         }
     }
 
+    /// The optimizer's internal state for checkpointing: the step
+    /// count and the first/second moment buffers (empty before the
+    /// first [`Adam::step`]).
+    pub fn state(&self) -> (u64, &[f32], &[f32]) {
+        (self.t, &self.m, &self.v)
+    }
+
+    /// Rebuilds an optimizer from checkpointed state. Combined with
+    /// the hyper-parameters of [`Adam::new`], the restored optimizer's
+    /// future steps are bit-identical to the captured one's.
+    pub fn from_state(lr: f32, t: u64, m: Vec<f32>, v: Vec<f32>) -> Adam {
+        Adam {
+            t,
+            m,
+            v,
+            ..Adam::new(lr)
+        }
+    }
+
     /// One update step over all parameter tensors.
     pub fn step(&mut self, params: [&mut Vec<f32>; 8], grads: &mut GradBuffers) {
         if self.m.is_empty() {

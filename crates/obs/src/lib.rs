@@ -39,7 +39,7 @@ pub mod profile;
 pub mod prometheus;
 pub mod recorder;
 
-pub use manifest::{git_rev, Manifest};
+pub use manifest::{git_rev, peak_rss_bytes, Manifest};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use profile::SpanTree;
 pub use recorder::{LogFormat, Recorder, RecorderConfig};

@@ -20,6 +20,17 @@ pub fn unix_ms() -> u64 {
         .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable. The
+/// scale benchmarks record this to demonstrate that out-of-core
+/// training keeps peak memory flat as the corpus grows.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
 /// Best-effort git revision of the checkout containing `start` (or
 /// any ancestor directory): reads `.git/HEAD` without invoking git.
 /// Falls back to the `GITHUB_SHA` environment variable, then `None`.

@@ -82,6 +82,55 @@ fn thread_count_does_not_change_the_model() {
 }
 
 #[test]
+fn thread_count_does_not_change_the_streamed_model() {
+    // The out-of-core path inherits the same guarantee: training from
+    // on-disk shards with one worker or four must be bit-identical —
+    // the shard-order reduction, not scheduling, decides the sums.
+    let corpus = build_corpus(&CorpusConfig::small(13));
+    let streamed = |threads: usize| {
+        let config = Config {
+            threads,
+            ..Config::small()
+        };
+        let dir =
+            std::env::temp_dir().join(format!("cati_det_stream_t{threads}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cati = Cati::train_streamed(
+            &corpus.train,
+            &config,
+            &dir,
+            cati::StreamOptions::default(),
+            &cati::obs::NOOP,
+        )
+        .expect("streamed training failed")
+        .expect("full streamed run must produce a system");
+        std::fs::remove_dir_all(&dir).ok();
+        cati
+    };
+    let one = streamed(1);
+    let four = streamed(4);
+    // Whole-system equality would also compare the config, whose
+    // `threads` knob intentionally differs; everything training
+    // *produced* must match bit for bit.
+    assert_eq!(
+        serde_json::to_string(&one.stages).unwrap(),
+        serde_json::to_string(&four.stages).unwrap(),
+        "streamed stage models diverged across thread counts"
+    );
+    assert_eq!(
+        serde_json::to_string(&one.embedder).unwrap(),
+        serde_json::to_string(&four.embedder).unwrap(),
+        "streamed embedders diverged across thread counts"
+    );
+    let stripped = corpus.test[0].binary.strip();
+    assert_eq!(
+        one.infer(&stripped).unwrap(),
+        four.infer(&stripped).unwrap(),
+        "streamed-model inference diverged across thread counts"
+    );
+}
+
+#[test]
 fn golden_retrain_and_save_load_roundtrip() {
     let corpus = build_corpus(&CorpusConfig::small(13));
     let (a, _) = train_with_threads(&corpus, 0);
