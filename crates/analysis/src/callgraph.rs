@@ -1,0 +1,197 @@
+//! Static call graph over split function bodies.
+//!
+//! Built once per binary by the interprocedural context assembler:
+//! every `call` whose target address is the entry of another split
+//! function becomes an edge. Indirect calls and externs (PLT
+//! pseudo-symbols outside the decoded bodies) resolve to nothing and
+//! are simply absent from the graph — the assembler degrades to blank
+//! padding exactly as the function-local mode would.
+//!
+//! Function indices match the body slice handed to
+//! [`CallGraph::build`], which is the same indexing
+//! [`crate::extract::VarKey::func`] uses: lenient extraction keeps a
+//! `None` slot for every skipped function, so edges into or out of a
+//! corrupt function disappear while every surviving index keeps its
+//! meaning.
+
+use cati_asm::codec::Located;
+use cati_asm::mnemonic::Kind;
+use std::collections::HashMap;
+
+/// One resolved `call` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Index of the calling function.
+    pub caller: u32,
+    /// Instruction position of the `call` inside the caller's body.
+    pub pos: u32,
+    /// Index of the called function.
+    pub callee: u32,
+}
+
+/// Call edges of one decoded binary, indexed both ways.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// All resolved sites, sorted by `(caller, pos)`.
+    sites: Vec<CallSite>,
+    /// `callee → indices into `sites``, each list sorted by
+    /// `(caller, pos)` — the canonical-caller order.
+    callers: HashMap<u32, Vec<u32>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over split bodies (`None` = function skipped
+    /// by lenient extraction; it contributes no edges in either
+    /// direction but keeps its index).
+    pub fn build(bodies: &[Option<&[Located]>]) -> CallGraph {
+        let mut entry_of: HashMap<u64, u32> = HashMap::new();
+        for (idx, body) in bodies.iter().enumerate() {
+            if let Some(first) = body.and_then(|b| b.first()) {
+                // First entry wins on (degenerate) duplicate entry
+                // addresses so resolution is deterministic.
+                entry_of.entry(first.addr).or_insert(idx as u32);
+            }
+        }
+        let mut sites = Vec::new();
+        for (caller, body) in bodies.iter().enumerate() {
+            let Some(body) = *body else { continue };
+            for (pos, located) in body.iter().enumerate() {
+                if !matches!(located.insn.mnemonic.kind(), Kind::Call) {
+                    continue;
+                }
+                let Some(target) = located.insn.target() else {
+                    continue;
+                };
+                if let Some(&callee) = entry_of.get(&target) {
+                    sites.push(CallSite {
+                        caller: caller as u32,
+                        pos: pos as u32,
+                        callee,
+                    });
+                }
+            }
+        }
+        // Enumeration order is already (caller, pos)-sorted.
+        let mut callers: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, site) in sites.iter().enumerate() {
+            callers.entry(site.callee).or_default().push(i as u32);
+        }
+        CallGraph { sites, callers }
+    }
+
+    /// All resolved call sites, sorted by `(caller, pos)`.
+    pub fn sites(&self) -> &[CallSite] {
+        &self.sites
+    }
+
+    /// Call sites targeting `callee`, in `(caller, pos)` order — the
+    /// first entry is the canonical caller used for splicing.
+    pub fn callers_of(&self, callee: u32) -> impl Iterator<Item = CallSite> + '_ {
+        self.callers
+            .get(&callee)
+            .into_iter()
+            .flatten()
+            .map(|&i| self.sites[i as usize])
+    }
+
+    /// The callee of the call instruction at `(caller, pos)`, if that
+    /// position is a resolved call site.
+    pub fn callee_at(&self, caller: u32, pos: usize) -> Option<u32> {
+        let i = self
+            .sites
+            .partition_point(|s| (s.caller, s.pos) < (caller, pos as u32));
+        self.sites
+            .get(i)
+            .filter(|s| s.caller == caller && s.pos == pos as u32)
+            .map(|s| s.callee)
+    }
+
+    /// Whether `func` is the target of at least one resolved call.
+    pub fn is_called(&self, func: u32) -> bool {
+        self.callers.get(&func).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Number of resolved edges.
+    pub fn edge_count(&self) -> usize {
+        self.sites.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::split_functions;
+    use cati_synbin::{build_app, AppProfile, CodegenOptions, Compiler, OptLevel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph_of(seed: u64) -> (CallGraph, usize) {
+        let profile = AppProfile::new("cg");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opts = CodegenOptions {
+            compiler: Compiler::Gcc,
+            opt: OptLevel::O0,
+        };
+        let bin = build_app(&profile, opts, 0.5, &mut rng).remove(0).binary;
+        let insns = bin.disassemble().unwrap();
+        let functions = split_functions(&insns, &bin);
+        let bodies: Vec<Option<&[Located]>> =
+            functions.iter().map(|&(s, e)| Some(&insns[s..e])).collect();
+        (CallGraph::build(&bodies), bodies.len())
+    }
+
+    #[test]
+    fn some_binary_has_local_call_edges() {
+        let found = (0..20).any(|seed| graph_of(seed).0.edge_count() > 0);
+        assert!(found, "no local call edges in 20 synthetic binaries");
+    }
+
+    #[test]
+    fn edges_are_sorted_and_in_range() {
+        for seed in 0..10 {
+            let (g, n) = graph_of(seed);
+            for w in g.sites().windows(2) {
+                assert!((w[0].caller, w[0].pos) < (w[1].caller, w[1].pos));
+            }
+            for s in g.sites() {
+                assert!((s.caller as usize) < n);
+                assert!((s.callee as usize) < n);
+                assert_eq!(g.callee_at(s.caller, s.pos as usize), Some(s.callee));
+                assert!(g.is_called(s.callee));
+                assert!(g
+                    .callers_of(s.callee)
+                    .any(|c| c.caller == s.caller && c.pos == s.pos));
+            }
+        }
+    }
+
+    #[test]
+    fn skipped_bodies_contribute_no_edges() {
+        for seed in 0..20 {
+            let (full, _) = graph_of(seed);
+            let Some(&site) = full.sites().first() else {
+                continue;
+            };
+            let profile = AppProfile::new("cg");
+            let mut rng = StdRng::seed_from_u64(seed);
+            let opts = CodegenOptions {
+                compiler: Compiler::Gcc,
+                opt: OptLevel::O0,
+            };
+            let bin = build_app(&profile, opts, 0.5, &mut rng).remove(0).binary;
+            let insns = bin.disassemble().unwrap();
+            let functions = split_functions(&insns, &bin);
+            let mut bodies: Vec<Option<&[Located]>> =
+                functions.iter().map(|&(s, e)| Some(&insns[s..e])).collect();
+            bodies[site.callee as usize] = None;
+            let g = CallGraph::build(&bodies);
+            assert!(!g.is_called(site.callee));
+            assert!(g
+                .sites()
+                .iter()
+                .all(|s| s.callee != site.callee && s.caller != site.callee));
+            return;
+        }
+        panic!("no call edge found to knock out");
+    }
+}

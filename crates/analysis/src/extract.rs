@@ -9,6 +9,7 @@
 //! targets resolve to the same stack slot belong to the same variable
 //! — the grouping the voting stage uses.
 
+use crate::assemble::{ContextAssembler, ContextMode, Slot, TargetVar};
 use cati_asm::binary::Binary;
 use cati_asm::codec::Located;
 use cati_asm::fmt::NoSymbols;
@@ -211,6 +212,33 @@ pub fn extract(binary: &Binary, view: FeatureView) -> Result<Extraction, Extract
     extract_observed(binary, view, &cati_obs::NOOP)
 }
 
+/// [`extract`] with an explicit [`ContextMode`]. `FunctionLocal` is
+/// bit-identical to [`extract`]; `Interprocedural` splices caller and
+/// callee context into the window padding.
+///
+/// # Errors
+///
+/// Same failure modes as [`extract`].
+pub fn extract_mode(
+    binary: &Binary,
+    view: FeatureView,
+    mode: ContextMode,
+) -> Result<Extraction, ExtractError> {
+    extract_mode_observed(binary, view, mode, &cati_obs::NOOP)
+}
+
+/// How many window slots the assembler padded vs spliced — the
+/// boundary-context ledger behind the `extract.windows_padded` /
+/// `extract.windows_spliced` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Slots emitted as BLANK padding.
+    pub padded: u64,
+    /// Slots filled from another function by an interprocedural
+    /// splice rule.
+    pub spliced: u64,
+}
+
 /// [`extract`] with telemetry: emits counters for functions scanned,
 /// variables recovered (labeled and total), and VUCs cut. The returned
 /// extraction is identical to the unobserved path for any observer.
@@ -223,6 +251,20 @@ pub fn extract_observed(
     view: FeatureView,
     obs: &dyn Observer,
 ) -> Result<Extraction, ExtractError> {
+    extract_mode_observed(binary, view, ContextMode::FunctionLocal, obs)
+}
+
+/// [`extract_mode`] with telemetry; see [`extract_observed`].
+///
+/// # Errors
+///
+/// Same failure modes as [`extract`].
+pub fn extract_mode_observed(
+    binary: &Binary,
+    view: FeatureView,
+    mode: ContextMode,
+    obs: &dyn Observer,
+) -> Result<Extraction, ExtractError> {
     let insns = binary.disassemble()?;
     let debug = match &binary.debug {
         Some(bytes) => Some(DebugInfo::parse(bytes)?),
@@ -233,7 +275,7 @@ pub fn extract_observed(
         .iter()
         .map(|&(start, end)| Some(&insns[start..end]))
         .collect();
-    let (kept, vucs) = extract_core(binary, &bodies, debug.as_ref(), view);
+    let (kept, vucs, windows) = extract_core(binary, &bodies, debug.as_ref(), view, mode);
 
     obs.event(&Event::Counter {
         name: "extract.functions",
@@ -251,12 +293,24 @@ pub fn extract_observed(
         name: "extract.vucs",
         delta: vucs.len() as u64,
     });
+    emit_window_counters(obs, windows);
 
     Ok(Extraction {
         binary_name: binary.name.clone(),
         vars: kept,
         vucs,
     })
+}
+
+fn emit_window_counters(obs: &dyn Observer, windows: WindowStats) {
+    obs.event(&Event::Counter {
+        name: "extract.windows_padded",
+        delta: windows.padded,
+    });
+    obs.event(&Event::Counter {
+        name: "extract.windows_spliced",
+        delta: windows.spliced,
+    });
 }
 
 /// The shared extraction loop: variable resolution and VUC cutting
@@ -271,10 +325,13 @@ fn extract_core(
     bodies: &[Option<&[Located]>],
     debug: Option<&DebugInfo>,
     view: FeatureView,
-) -> (Vec<Variable>, Vec<Vuc>) {
+    mode: ContextMode,
+) -> (Vec<Variable>, Vec<Vuc>, WindowStats) {
     let mut vars: Vec<Variable> = Vec::new();
     let mut var_index: HashMap<VarKey, u32> = HashMap::new();
     let mut vucs: Vec<Vuc> = Vec::new();
+    let mut windows = WindowStats::default();
+    let assembler = ContextAssembler::new(mode, bodies);
 
     // Per-function: find targets, resolve to variables, cut windows.
     for (func_idx, slot) in bodies.iter().enumerate() {
@@ -331,21 +388,48 @@ fn extract_core(
             if debug.is_some() && vars[vid as usize].class.is_none() {
                 continue;
             }
+            let target = TargetVar {
+                vid,
+                offset: vars[vid as usize].key.offset,
+                frame_base: base,
+                insn_var: &insn_var,
+            };
+            let plan = assembler.plan(func_idx as u32, i, &target);
             let mut window = Vec::with_capacity(VUC_LEN);
             let mut context_classes = Vec::with_capacity(VUC_LEN);
-            for j in i as i64 - WINDOW as i64..=i as i64 + WINDOW as i64 {
-                if j < 0 || j as usize >= body.len() {
-                    window.push(GenInsn::blank());
-                    context_classes.push(None);
-                    continue;
+            for slot in &plan.slots {
+                match *slot {
+                    Slot::Blank => {
+                        windows.padded += 1;
+                        window.push(GenInsn::blank());
+                        context_classes.push(None);
+                    }
+                    Slot::Local(j) => {
+                        let gen = match view {
+                            FeatureView::WithSymbols => generalize(&body[j].insn, binary),
+                            FeatureView::Stripped => generalize(&body[j].insn, &NoSymbols),
+                        };
+                        window.push(gen);
+                        context_classes.push(insn_var[j].and_then(|v| vars[v as usize].class));
+                    }
+                    spliced @ Slot::Spliced { .. } => {
+                        windows.spliced += 1;
+                        // A spliced instruction belongs to another
+                        // function's frame; its operated variable (if
+                        // any) is not resolvable here, so it carries
+                        // no context class — exactly like padding.
+                        let insn = assembler
+                            .instruction(func_idx as u32, spliced)
+                            .map(|l| &l.insn);
+                        let gen = match (insn, view) {
+                            (None, _) => GenInsn::blank(),
+                            (Some(insn), FeatureView::WithSymbols) => generalize(insn, binary),
+                            (Some(insn), FeatureView::Stripped) => generalize(insn, &NoSymbols),
+                        };
+                        window.push(gen);
+                        context_classes.push(None);
+                    }
                 }
-                let j = j as usize;
-                let gen = match view {
-                    FeatureView::WithSymbols => generalize(&body[j].insn, binary),
-                    FeatureView::Stripped => generalize(&body[j].insn, &NoSymbols),
-                };
-                window.push(gen);
-                context_classes.push(insn_var[j].and_then(|v| vars[v as usize].class));
             }
             let vuc_id = vucs.len() as u32;
             vucs.push(Vuc {
@@ -373,7 +457,7 @@ fn extract_core(
         debug_assert_ne!(vuc.var, u32::MAX);
     }
 
-    (kept, vucs)
+    (kept, vucs, windows)
 }
 
 /// The result of a lenient (fault-isolated) extraction run.
@@ -428,6 +512,15 @@ pub fn extract_lenient(binary: &Binary, view: FeatureView) -> LenientExtraction 
     extract_lenient_observed(binary, view, &cati_obs::NOOP)
 }
 
+/// [`extract_lenient`] with an explicit [`ContextMode`].
+pub fn extract_lenient_mode(
+    binary: &Binary,
+    view: FeatureView,
+    mode: ContextMode,
+) -> LenientExtraction {
+    extract_lenient_mode_observed(binary, view, mode, &cati_obs::NOOP)
+}
+
 /// Fault-isolated extraction with telemetry.
 ///
 /// The strict path ([`extract`]) refuses the whole binary on the first
@@ -449,6 +542,21 @@ pub fn extract_lenient(binary: &Binary, view: FeatureView) -> LenientExtraction 
 pub fn extract_lenient_observed(
     binary: &Binary,
     view: FeatureView,
+    obs: &dyn Observer,
+) -> LenientExtraction {
+    extract_lenient_mode_observed(binary, view, ContextMode::FunctionLocal, obs)
+}
+
+/// [`extract_lenient_observed`] with an explicit [`ContextMode`].
+///
+/// Fault isolation composes with splicing: a function whose body was
+/// skipped contributes no call-graph edges, so any splice that would
+/// have drawn from it degrades back to BLANK padding instead of
+/// poisoning the surviving windows.
+pub fn extract_lenient_mode_observed(
+    binary: &Binary,
+    view: FeatureView,
+    mode: ContextMode,
     obs: &dyn Observer,
 ) -> LenientExtraction {
     let mut diagnostics = Diagnostics::new();
@@ -550,7 +658,7 @@ pub fn extract_lenient_observed(
     };
 
     coverage.functions_total = bodies.len() as u64;
-    let (vars, vucs) = extract_core(binary, &bodies, debug.as_ref(), view);
+    let (vars, vucs, windows) = extract_core(binary, &bodies, debug.as_ref(), view, mode);
     coverage.vars = vars.len() as u64;
     coverage.vucs = vucs.len() as u64;
 
@@ -570,6 +678,7 @@ pub fn extract_lenient_observed(
         name: "extract.vucs",
         delta: vucs.len() as u64,
     });
+    emit_window_counters(obs, windows);
     obs.event(&Event::Counter {
         name: "robust.skipped_fns",
         delta: coverage.functions_skipped,
@@ -876,6 +985,102 @@ mod tests {
         }
         let insns = bin.disassemble().unwrap();
         assert_eq!(ranges.len(), split_functions(&insns, &bin).len());
+    }
+
+    #[test]
+    fn function_local_mode_is_identical_to_default_extraction() {
+        for seed in 0..6 {
+            let bin = sample_binary(OptLevel::O0, 30 + seed);
+            for view in [FeatureView::WithSymbols, FeatureView::Stripped] {
+                let default = extract(&bin, view).unwrap();
+                let explicit = extract_mode(&bin, view, ContextMode::FunctionLocal).unwrap();
+                assert_eq!(default, explicit);
+            }
+        }
+    }
+
+    #[test]
+    fn interproc_mode_keeps_varkeys_and_splices_some_windows() {
+        let mut any_spliced = false;
+        for seed in 0..30 {
+            let bin = sample_binary(OptLevel::O0, 40 + seed);
+            let local = extract(&bin, FeatureView::WithSymbols).unwrap();
+            let inter =
+                extract_mode(&bin, FeatureView::WithSymbols, ContextMode::Interprocedural).unwrap();
+            // Splicing changes window *content*, never which variables
+            // exist or how many VUCs each one owns.
+            let keys = |ex: &Extraction| ex.vars.iter().map(|v| v.key).collect::<Vec<_>>();
+            assert_eq!(keys(&local), keys(&inter));
+            assert_eq!(local.vucs.len(), inter.vucs.len());
+            for (a, b) in local.vucs.iter().zip(&inter.vucs) {
+                assert_eq!(a.var, b.var);
+                assert_eq!(a.insns.len(), b.insns.len());
+                // Interior (non-padding) slots are untouched.
+                assert_eq!(a.insns[WINDOW], b.insns[WINDOW]);
+                for (ga, gb) in a.insns.iter().zip(&b.insns) {
+                    if ga.mnemonic() != "BLANK" {
+                        assert_eq!(ga, gb, "splice must only replace BLANK padding");
+                    }
+                }
+            }
+            if local.vucs.iter().zip(&inter.vucs).any(|(a, b)| a != b) {
+                any_spliced = true;
+            }
+        }
+        assert!(
+            any_spliced,
+            "no window gained interprocedural context in 30 binaries"
+        );
+    }
+
+    #[test]
+    fn interproc_lenient_matches_strict_on_clean_binary() {
+        let bin = sample_binary(OptLevel::O0, 13);
+        for view in [FeatureView::WithSymbols, FeatureView::Stripped] {
+            let strict = extract_mode(&bin, view, ContextMode::Interprocedural).unwrap();
+            let lenient = extract_lenient_mode(&bin, view, ContextMode::Interprocedural);
+            assert_eq!(strict, lenient.extraction);
+            assert!(lenient.diagnostics.is_empty());
+        }
+    }
+
+    #[test]
+    fn window_counters_account_for_every_edge_slot() {
+        fn counter(obs: &cati_obs::Recorder, name: &str) -> u64 {
+            obs.snapshot()
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        }
+        let bin = sample_binary(OptLevel::O0, 14);
+        let obs = cati_obs::Recorder::new(cati_obs::RecorderConfig::default());
+        let ex = extract_mode_observed(
+            &bin,
+            FeatureView::WithSymbols,
+            ContextMode::Interprocedural,
+            &obs,
+        )
+        .unwrap();
+        let padded = counter(&obs, "extract.windows_padded");
+        let spliced = counter(&obs, "extract.windows_spliced");
+        let blanks: u64 = ex
+            .vucs
+            .iter()
+            .flat_map(|v| v.insns.iter())
+            .filter(|g| g.tokens.iter().all(|t| t == "BLANK"))
+            .count() as u64;
+        // Every BLANK slot was counted as padding; spliced slots are
+        // the non-blank remainder of the edge overhang.
+        assert_eq!(padded, blanks);
+        let local_obs = cati_obs::Recorder::new(cati_obs::RecorderConfig::default());
+        extract_observed(&bin, FeatureView::WithSymbols, &local_obs).unwrap();
+        assert_eq!(counter(&local_obs, "extract.windows_spliced"), 0);
+        assert_eq!(
+            counter(&local_obs, "extract.windows_padded"),
+            padded + spliced,
+            "splices must replace padding one-for-one"
+        );
     }
 
     #[test]

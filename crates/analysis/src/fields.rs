@@ -1,0 +1,606 @@
+//! Struct member recovery from access idioms (post-vote pass).
+//!
+//! Once the voting stage decides a variable is `struct` /
+//! `struct*`, the scalar class alone is not actionable — ReSym's
+//! observation is that recovered *member lists* are what make an
+//! inferred type usable. This pass re-scans the decoded bodies (the
+//! generalized VUC windows have already collapsed displacements to
+//! `IMM`, so raw instructions are required) and clusters
+//! member-offset accesses into an inferred `{offset, width}` list:
+//!
+//! - **direct accesses** — `d(%rbp)` with `base ≤ d < base + span`
+//!   are member touches of a by-value struct at `base`;
+//! - **pointer chase** — `lea base(%rbp), %r` (address-of) or, for
+//!   pointer-classed variables, `mov base(%rbp), %r` taints `%r`;
+//!   subsequent `d(%r)` accesses are members at offset `d`, until the
+//!   register is clobbered or control flow ends the block;
+//! - **interprocedural follow** (only under
+//!   [`ContextMode::Interprocedural`]) — a pointer variable loaded
+//!   into a System V argument register before a resolved `call` is
+//!   re-homed by the callee prologue; loads of that home slot are
+//!   chased inside the callee one level deep.
+//!
+//! The variable's extent (`span`) is an input, mirroring the paper's
+//! §IV-A stance that variable *location* recovery is a solved,
+//! separate problem: we evaluate member structure given the slot and
+//! its size, scored against DWARF ground truth by [`score_fields`].
+
+use crate::assemble::{ContextMode, INT_ARG_REG_NUMS};
+use crate::callgraph::CallGraph;
+use crate::extract::{detect_frame_base, split_functions, ExtractError, VarKey};
+use cati_asm::binary::Binary;
+use cati_asm::codec::Located;
+use cati_asm::insn::{Insn, MemAccess, Operand};
+use cati_asm::mnemonic::Kind;
+use cati_asm::reg::Gpr;
+use cati_dwarf::{StructDef, TypeTable};
+use serde::{Deserialize, Serialize};
+
+/// How far into a callee body the prologue scan looks for the home
+/// slot of an argument register.
+const PROLOGUE_SCAN: usize = 24;
+
+/// One inferred struct member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FieldMember {
+    /// Byte offset from the start of the aggregate.
+    pub offset: u32,
+    /// Access width in bytes (0 when only the address was taken).
+    pub width: u32,
+}
+
+/// The inferred member list of one variable, sorted by offset. When
+/// the same offset is touched at several widths, the widest access
+/// wins (a `movq` store dominates a later byte-wise poke).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldList {
+    /// Deduplicated members in offset order.
+    pub members: Vec<FieldMember>,
+}
+
+impl FieldList {
+    fn insert(&mut self, offset: u32, width: u32) {
+        match self.members.iter_mut().find(|m| m.offset == offset) {
+            Some(m) => m.width = m.width.max(width),
+            None => self.members.push(FieldMember { offset, width }),
+        }
+    }
+
+    fn finish(mut self) -> FieldList {
+        self.members.sort_unstable();
+        self
+    }
+}
+
+/// One variable to recover members for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldQuery {
+    /// The variable (function index + frame-slot base).
+    pub key: VarKey,
+    /// Extent of the aggregate in bytes — member offsets must fall in
+    /// `[0, span)`.
+    pub span: u32,
+    /// Whether the slot holds a *pointer* to the aggregate (`struct*`
+    /// vote) rather than the aggregate itself (`struct` vote). Direct
+    /// slot accesses then touch the pointer, not members, and plain
+    /// loads of the slot seed the pointer chase.
+    pub pointer: bool,
+}
+
+/// Member-recovery outcome against one DWARF struct definition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldScore {
+    /// Predicted offsets that exist in the ground truth.
+    pub true_positives: u64,
+    /// Predicted offsets with no ground-truth member.
+    pub false_positives: u64,
+    /// Ground-truth members never predicted.
+    pub false_negatives: u64,
+    /// True positives whose access width also equals the member size.
+    pub width_matches: u64,
+}
+
+impl FieldScore {
+    /// Fraction of predicted members that are real.
+    pub fn precision(&self) -> f64 {
+        let p = self.true_positives + self.false_positives;
+        if p == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / p as f64
+    }
+
+    /// Fraction of real members that were predicted.
+    pub fn recall(&self) -> f64 {
+        let t = self.true_positives + self.false_negatives;
+        if t == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / t as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// Among matched members, how often the access width equals the
+    /// declared size (x87 80-bit spills legitimately miss here).
+    pub fn width_accuracy(&self) -> f64 {
+        if self.true_positives == 0 {
+            return 0.0;
+        }
+        self.width_matches as f64 / self.true_positives as f64
+    }
+
+    /// Sums another score into this one (corpus aggregation).
+    pub fn absorb(&mut self, other: &FieldScore) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+        self.width_matches += other.width_matches;
+    }
+}
+
+/// Scores an inferred member list against a DWARF struct definition.
+/// Matching is by offset; widths are compared via
+/// [`TypeTable::size_of`] on the matched member's type.
+pub fn score_fields(pred: &FieldList, truth: &StructDef, types: &TypeTable) -> FieldScore {
+    let mut score = FieldScore::default();
+    for m in &pred.members {
+        match truth.members.iter().find(|t| t.offset == m.offset) {
+            Some(t) => {
+                score.true_positives += 1;
+                if types.size_of(&t.ty) == m.width {
+                    score.width_matches += 1;
+                }
+            }
+            None => score.false_positives += 1,
+        }
+    }
+    score.false_negatives = truth
+        .members
+        .iter()
+        .filter(|t| pred.members.iter().all(|m| m.offset != t.offset))
+        .count() as u64;
+    score
+}
+
+/// Recovers member lists for `queries` over a strictly decoded
+/// binary. Queries are answered in input order; a query whose
+/// function index is out of range yields an empty list.
+///
+/// # Errors
+///
+/// Fails if the text section does not decode.
+pub fn recover_struct_fields(
+    binary: &Binary,
+    queries: &[FieldQuery],
+    mode: ContextMode,
+) -> Result<Vec<FieldList>, ExtractError> {
+    let insns = binary.disassemble()?;
+    let functions = split_functions(&insns, binary);
+    let bodies: Vec<Option<&[Located]>> = functions
+        .iter()
+        .map(|&(start, end)| Some(&insns[start..end]))
+        .collect();
+    Ok(recover_fields_in(&bodies, queries, mode))
+}
+
+/// [`recover_struct_fields`] over already-split bodies (`None` slots
+/// are skipped functions; queries into them yield empty lists).
+pub fn recover_fields_in(
+    bodies: &[Option<&[Located]>],
+    queries: &[FieldQuery],
+    mode: ContextMode,
+) -> Vec<FieldList> {
+    let graph = match mode {
+        ContextMode::Interprocedural => Some(CallGraph::build(bodies)),
+        ContextMode::FunctionLocal => None,
+    };
+    queries
+        .iter()
+        .map(|q| recover_one(bodies, graph.as_ref(), q))
+        .collect()
+}
+
+fn recover_one(
+    bodies: &[Option<&[Located]>],
+    graph: Option<&CallGraph>,
+    q: &FieldQuery,
+) -> FieldList {
+    let Some(Some(body)) = bodies.get(q.key.func as usize).copied() else {
+        return FieldList::default();
+    };
+    let base = detect_frame_base(body);
+    let mut out = FieldList::default();
+
+    if !q.pointer {
+        // Direct accesses inside the extent are member touches.
+        for l in body {
+            let Some((mem, access)) = l.insn.mem_operand() else {
+                continue;
+            };
+            if access == MemAccess::AddressOf {
+                continue; // the address-of seeds the chase below
+            }
+            if mem.base.map(|b| b.num()) != Some(base.num()) || mem.index.is_some() {
+                continue;
+            }
+            let rel = i64::from(mem.disp) - i64::from(q.key.offset);
+            if (0..i64::from(q.span)).contains(&rel) {
+                out.insert(rel as u32, access_width(&l.insn));
+            }
+        }
+    }
+
+    // Pointer chase: taint the register that receives the aggregate's
+    // address (or the pointer value) and collect its dereferences.
+    for (p, l) in body.iter().enumerate() {
+        let Some(r) = chase_seed(&l.insn, base, q) else {
+            continue;
+        };
+        chase(body, p + 1, r, q.span, &mut out);
+    }
+
+    // Interprocedural follow: pointer flows into an argument register
+    // ahead of a resolved call — continue the chase in the callee.
+    if let Some(graph) = graph {
+        if q.pointer {
+            follow_into_callees(bodies, graph, body, base, q, &mut out);
+        }
+    }
+
+    out.finish()
+}
+
+/// The tainted register a seed instruction produces, if any.
+fn chase_seed(insn: &Insn, base: Gpr, q: &FieldQuery) -> Option<Gpr> {
+    let (mem, access) = insn.mem_operand()?;
+    if mem.base.map(|b| b.num()) != Some(base.num())
+        || mem.index.is_some()
+        || mem.disp != q.key.offset
+    {
+        return None;
+    }
+    let wanted = if q.pointer {
+        MemAccess::Read // `mov slot(%rbp), %r` — the pointer value
+    } else {
+        MemAccess::AddressOf // `lea slot(%rbp), %r` — the address
+    };
+    if access != wanted {
+        return None;
+    }
+    match insn.operands.last()? {
+        Operand::Reg(r) => Some(*r),
+        _ => None,
+    }
+}
+
+/// Collects `d(%r)` accesses from `start` until `%r` is clobbered or
+/// the basic block ends.
+fn chase(body: &[Located], start: usize, r: Gpr, span: u32, out: &mut FieldList) {
+    for l in &body[start..] {
+        if l.insn.mnemonic.is_control_flow() {
+            return; // conservative: blocks end the taint
+        }
+        if let Some((mem, access)) = l.insn.mem_operand() {
+            if mem.base.map(|b| b.num()) == Some(r.num())
+                && mem.index.is_none()
+                && access != MemAccess::AddressOf
+                && (0..i64::from(span)).contains(&i64::from(mem.disp))
+            {
+                out.insert(mem.disp as u32, access_width(&l.insn));
+            }
+        }
+        if clobbers(&l.insn, r.num()) {
+            return;
+        }
+    }
+}
+
+/// Chases the pointer through call edges: a load of the slot into an
+/// argument register, followed by a resolved call, re-homes the
+/// pointer in the callee's prologue; loads of that home slot continue
+/// the chase there.
+fn follow_into_callees(
+    bodies: &[Option<&[Located]>],
+    graph: &CallGraph,
+    body: &[Located],
+    base: Gpr,
+    q: &FieldQuery,
+    out: &mut FieldList,
+) {
+    for (p, l) in body.iter().enumerate() {
+        let Some(r) = chase_seed(&l.insn, base, q) else {
+            continue;
+        };
+        if !INT_ARG_REG_NUMS.contains(&r.num()) {
+            continue;
+        }
+        // The next resolved call consumes the argument registers.
+        let Some(callee) = (p + 1..body.len()).find_map(|c| {
+            body[c]
+                .insn
+                .mnemonic
+                .kind()
+                .eq(&Kind::Call)
+                .then(|| graph.callee_at(q.key.func, c))
+                .flatten()
+        }) else {
+            continue;
+        };
+        let Some(Some(callee_body)) = bodies.get(callee as usize).copied() else {
+            continue;
+        };
+        let callee_base = detect_frame_base(callee_body);
+        // Prologue home: `mov %argreg, s(%rbp)`.
+        let Some(home) = callee_body.iter().take(PROLOGUE_SCAN).find_map(|l| {
+            let (mem, access) = l.insn.mem_operand()?;
+            let stored = match l.insn.operands.first()? {
+                Operand::Reg(src) => *src,
+                _ => return None,
+            };
+            (access == MemAccess::Write
+                && stored.num() == r.num()
+                && mem.base.map(|b| b.num()) == Some(callee_base.num())
+                && mem.index.is_none())
+            .then_some(mem.disp)
+        }) else {
+            continue;
+        };
+        // Loads of the home slot re-taint a register inside the callee.
+        let homed = FieldQuery {
+            key: VarKey {
+                func: callee,
+                offset: home,
+            },
+            span: q.span,
+            pointer: true,
+        };
+        for (cp, cl) in callee_body.iter().enumerate() {
+            if let Some(cr) = chase_seed(&cl.insn, callee_base, &homed) {
+                chase(callee_body, cp + 1, cr, q.span, out);
+            }
+        }
+    }
+}
+
+/// Bytes the instruction's memory access touches (0 if unknown).
+fn access_width(insn: &Insn) -> u32 {
+    insn.mnemonic.mem_access_bytes().unwrap_or(0)
+}
+
+/// Whether `insn` overwrites register number `num` (destination is
+/// the last operand in AT&T order).
+fn clobbers(insn: &Insn, num: u8) -> bool {
+    let writes_dst = matches!(
+        insn.mnemonic.kind(),
+        Kind::Move
+            | Kind::Movabs
+            | Kind::Ext { .. }
+            | Kind::Lea
+            | Kind::Arith
+            | Kind::Shift
+            | Kind::Unary
+            | Kind::Mul
+            | Kind::Pop
+            | Kind::SetCc
+            | Kind::SseCvt
+    );
+    if !writes_dst {
+        return false;
+    }
+    matches!(insn.operands.last(), Some(Operand::Reg(r)) if r.num() == num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cati_asm::parse::parse_insn;
+
+    fn body_of(lines: &[&str], base_addr: u64) -> Vec<Located> {
+        lines
+            .iter()
+            .enumerate()
+            .map(|(k, line)| Located {
+                addr: base_addr + k as u64 * 4,
+                len: 4,
+                insn: parse_insn(line).unwrap().insn,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn direct_accesses_cluster_into_members() {
+        let body = body_of(
+            &[
+                "push %rbp",
+                "mov %rsp,%rbp",
+                "movl $0x1,-0x20(%rbp)",
+                "movq $0x2,-0x18(%rbp)",
+                "movb $0x3,-0x10(%rbp)",
+                "movl $0x4,-0x4(%rbp)", // outside the 24-byte extent
+                "ret",
+            ],
+            0x1000,
+        );
+        let bodies: Vec<Option<&[Located]>> = vec![Some(&body)];
+        let got = recover_fields_in(
+            &bodies,
+            &[FieldQuery {
+                key: VarKey {
+                    func: 0,
+                    offset: -0x20,
+                },
+                span: 24,
+                pointer: false,
+            }],
+            ContextMode::FunctionLocal,
+        );
+        assert_eq!(
+            got[0].members,
+            vec![
+                FieldMember {
+                    offset: 0,
+                    width: 4
+                },
+                FieldMember {
+                    offset: 8,
+                    width: 8
+                },
+                FieldMember {
+                    offset: 16,
+                    width: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn pointer_chase_stops_at_clobber() {
+        let body = body_of(
+            &[
+                "push %rbp",
+                "mov %rsp,%rbp",
+                "mov -0x8(%rbp),%rax", // seed: pointer load
+                "movl $0x7,0x4(%rax)", // member {4, 4}
+                "mov 0x8(%rax),%rax",  // member {8, 8}, then clobber
+                "movl $0x9,0xc(%rax)", // rax no longer the struct
+                "ret",
+            ],
+            0x1000,
+        );
+        let bodies: Vec<Option<&[Located]>> = vec![Some(&body)];
+        let got = recover_fields_in(
+            &bodies,
+            &[FieldQuery {
+                key: VarKey {
+                    func: 0,
+                    offset: -8,
+                },
+                span: 16,
+                pointer: true,
+            }],
+            ContextMode::FunctionLocal,
+        );
+        assert_eq!(
+            got[0].members,
+            vec![
+                FieldMember {
+                    offset: 4,
+                    width: 4
+                },
+                FieldMember {
+                    offset: 8,
+                    width: 8
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn interproc_mode_follows_pointer_into_callee() {
+        let caller = body_of(
+            &[
+                "push %rbp",
+                "mov %rsp,%rbp",
+                "mov -0x10(%rbp),%rdi",
+                "callq 0x2000",
+                "pop %rbp",
+                "ret",
+            ],
+            0x1000,
+        );
+        let callee = body_of(
+            &[
+                "push %rbp",
+                "mov %rsp,%rbp",
+                "mov %rdi,-0x8(%rbp)",
+                "mov -0x8(%rbp),%rax",
+                "movl $0x1,0x4(%rax)",
+                "movq $0x2,0x8(%rax)",
+                "pop %rbp",
+                "ret",
+            ],
+            0x2000,
+        );
+        let bodies: Vec<Option<&[Located]>> = vec![Some(&caller), Some(&callee)];
+        let query = FieldQuery {
+            key: VarKey {
+                func: 0,
+                offset: -0x10,
+            },
+            span: 16,
+            pointer: true,
+        };
+        let local = recover_fields_in(&bodies, &[query], ContextMode::FunctionLocal);
+        assert!(local[0].members.is_empty(), "got {:?}", local[0].members);
+        let inter = recover_fields_in(&bodies, &[query], ContextMode::Interprocedural);
+        assert_eq!(
+            inter[0].members,
+            vec![
+                FieldMember {
+                    offset: 4,
+                    width: 4
+                },
+                FieldMember {
+                    offset: 8,
+                    width: 8
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn score_math_is_consistent() {
+        use cati_dwarf::{CType, IntWidth, Member, Signedness, StructDef};
+        let def = StructDef::layout(
+            "s".to_string(),
+            vec![
+                (
+                    "a".to_string(),
+                    CType::Integer(IntWidth::Int, Signedness::Signed),
+                ),
+                (
+                    "b".to_string(),
+                    CType::Integer(IntWidth::Long, Signedness::Signed),
+                ),
+            ],
+        );
+        let types = TypeTable::new();
+        let _ = Member {
+            name: String::new(),
+            ty: CType::Void,
+            offset: 0,
+        };
+        let pred = FieldList {
+            members: vec![
+                FieldMember {
+                    offset: 0,
+                    width: 4,
+                },
+                FieldMember {
+                    offset: 8,
+                    width: 4,
+                }, // width wrong
+                FieldMember {
+                    offset: 20,
+                    width: 4,
+                }, // no such member
+            ],
+        };
+        let s = score_fields(&pred, &def, &types);
+        assert_eq!(s.true_positives, 2);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.false_negatives, 0);
+        assert_eq!(s.width_matches, 1);
+        assert!((s.precision() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.recall() - 1.0).abs() < 1e-9);
+        assert!(s.f1() > 0.0 && s.width_accuracy() == 0.5);
+    }
+}

@@ -29,20 +29,30 @@
 #![warn(missing_docs)]
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
+pub mod assemble;
+pub mod callgraph;
 pub mod digest;
 pub mod error;
 pub mod extract;
+pub mod fields;
 pub mod recovery;
 pub mod stats;
 
+pub use assemble::{ContextAssembler, ContextMode, Slot, TargetVar, WindowPlan};
+pub use callgraph::{CallGraph, CallSite};
 pub use digest::{digest_binary, digest_bytes, Digest, Fnv128};
 pub use error::{
     CatiError, Coverage, Diagnostic, Diagnostics, ExtractError, PipelineStage, MAX_DIAGNOSTICS,
 };
 pub use extract::{
-    detect_frame_base, extract, extract_lenient, extract_lenient_observed, extract_observed,
-    split_functions, symbol_byte_ranges, Extraction, FeatureView, LenientExtraction, VarKey,
-    Variable, Vuc, VUC_LEN, WINDOW,
+    detect_frame_base, extract, extract_lenient, extract_lenient_mode,
+    extract_lenient_mode_observed, extract_lenient_observed, extract_mode, extract_mode_observed,
+    extract_observed, split_functions, symbol_byte_ranges, Extraction, FeatureView,
+    LenientExtraction, VarKey, Variable, Vuc, WindowStats, VUC_LEN, WINDOW,
+};
+pub use fields::{
+    recover_fields_in, recover_struct_fields, score_fields, FieldList, FieldMember, FieldQuery,
+    FieldScore,
 };
 pub use recovery::{recovery_stats, RecoveryStats};
 pub use stats::{clustering_stats, orphan_stats, ClusterStats, ClusteringReport, OrphanStats};

@@ -1,21 +1,35 @@
-//! Ablation: context window width — the paper's core design choice
-//! (w = 10, §II-A). Models are retrained with the context masked to
-//! ±w for w ∈ {0, 2, 5, 10}; w = 0 is the no-context baseline, the
-//! proxy for dependency-only methods like DEBIN/TypeMiner on orphan
-//! variables.
+//! Ablation: context window width and context-assembly mode.
+//!
+//! Two axes over the paper's core design choice (§II-A):
+//!
+//! 1. **Width** — models retrained with the context masked to ±w for
+//!    w ∈ {0, 2, 5, 10}; w = 0 is the no-context baseline, the proxy
+//!    for dependency-only methods like DEBIN/TypeMiner on orphan
+//!    variables.
+//! 2. **Mode** — the paper's function-local windows (out-of-range
+//!    slots pad with BLANK) versus interprocedural windows (callee
+//!    prologues / caller continuations spliced into the padding at
+//!    call/ret boundaries, DESIGN.md §17). Stages are retrained per
+//!    mode on matching extractions; the Word2Vec embedder is shared —
+//!    spliced slots contain ordinary generalized instructions, so the
+//!    vocabulary is identical.
 //!
 //! ```sh
 //! cargo run --release -p cati-bench --bin exp_ablation_window -- --scale medium
+//! cargo run --release -p cati-bench --bin exp_ablation_window -- --quick
 //! ```
+//!
+//! `--quick` trims the width axis to {0, 10} for CI smoke runs.
 
 use cati::dataset::embed_extraction;
 use cati::report::Table;
-use cati::{vote, Dataset, MultiStage};
-use cati_analysis::{Extraction, WINDOW};
+use cati::{vote, ContextMode, Dataset, MultiStage};
+use cati_analysis::{Extraction, FeatureView, WINDOW};
 use cati_asm::generalize::GenInsn;
 use cati_bench::{load_ctx_observed, RunObs, Scale};
 use cati_dwarf::TypeClass;
 use cati_synbin::Compiler;
+use serde_json::json;
 
 /// Blanks all instructions farther than `w` from the center.
 fn mask_window(insns: &[GenInsn], w: usize) -> Vec<GenInsn> {
@@ -86,12 +100,16 @@ fn accuracies(
 
 fn main() {
     let scale = Scale::from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
     let run = RunObs::from_args("exp_ablation_window");
     let ctx = load_ctx_observed(scale, Compiler::Gcc, run.obs());
     let config = scale.config();
 
+    // Axis 1: window width (function-local mode).
+    let widths: &[usize] = if quick { &[0, 10] } else { &[0, 2, 5, 10] };
+    let mut width_rows = Vec::new();
     let mut table = Table::new(&["window ±w", "VUC accuracy", "variable accuracy", "note"]);
-    for &w in &[0usize, 2, 5, 10] {
+    for &w in widths {
         eprintln!("[ablation] training with window ±{w}...");
         let train = mask_dataset(&ctx.train, w);
         let test = mask_dataset(&ctx.test, w);
@@ -102,6 +120,7 @@ fn main() {
             10 => "paper's VUC",
             _ => "",
         };
+        width_rows.push(json!({ "w": w, "vuc_accuracy": vuc, "var_accuracy": var }));
         table.row(vec![
             format!("{w}"),
             format!("{vuc:.4}"),
@@ -111,6 +130,55 @@ fn main() {
     }
     println!("\nAblation — context window width ({})\n", scale.name());
     println!("{}", table.render());
+
+    // Axis 2: context-assembly mode. Extract, retrain and score each
+    // mode on its own datasets; window width stays at the full ±10.
+    let mut mode_rows = Vec::new();
+    let mut mode_table = Table::new(&["context mode", "VUC accuracy", "variable accuracy", "note"]);
+    for mode in ContextMode::ALL {
+        eprintln!("[ablation] training with context mode {mode}...");
+        let train = Dataset::from_binaries_mode(
+            &ctx.corpus.train,
+            FeatureView::WithSymbols,
+            mode,
+            None,
+            &cati::obs::NOOP,
+        );
+        let test = Dataset::from_binaries_mode(
+            &ctx.corpus.test,
+            FeatureView::Stripped,
+            mode,
+            None,
+            &cati::obs::NOOP,
+        );
+        let stages = MultiStage::train(&train, &ctx.cati.embedder, &config, &cati::obs::NOOP);
+        let (vuc, var) = accuracies(&stages, &ctx.cati.embedder, &test, config.vote_threshold);
+        let note = match mode {
+            ContextMode::FunctionLocal => "paper baseline",
+            ContextMode::Interprocedural => "call/ret splicing",
+        };
+        mode_rows.push(json!({
+            "mode": mode.name(),
+            "vuc_accuracy": vuc,
+            "var_accuracy": var,
+        }));
+        mode_table.row(vec![
+            mode.name().to_string(),
+            format!("{vuc:.4}"),
+            format!("{var:.4}"),
+            note.into(),
+        ]);
+    }
+    println!("\nAblation — context-assembly mode ({})\n", scale.name());
+    println!("{}", mode_table.render());
     println!("Expected shape: accuracy grows with w; the w=0 row is the uncertain-sample");
-    println!("ceiling that motivates the VUC (paper §II).");
+    println!("ceiling that motivates the VUC (paper §II). The interproc row shows what");
+    println!("splicing real caller/callee context into the padding buys over BLANKs.");
+
+    run.finish(&json!({
+        "scale": scale.name(),
+        "quick": quick,
+        "window_ablation": width_rows,
+        "mode_ablation": mode_rows,
+    }));
 }

@@ -18,7 +18,7 @@
 
 use cati::obs::{git_rev, Level, LogFormat, Manifest, Recorder, RecorderConfig};
 use cati::{ArtifactCache, Cati, Config};
-use cati_analysis::{extract, extract_lenient, FeatureView};
+use cati_analysis::{extract_lenient_mode, extract_mode, ContextMode, FeatureView};
 use cati_asm::binary::Binary;
 use cati_asm::fmt::format_insn;
 use cati_serve::{HangLimit, ServeConfig, Server};
@@ -251,6 +251,17 @@ fn lenient_of(args: &Args) -> Result<bool, String> {
     }
 }
 
+/// Parses `--context function|interproc` into a [`ContextMode`].
+/// `None` when the flag is absent — callers pick the default (the
+/// paper's function-local mode for extraction and training, the
+/// model's own training mode for inference).
+fn context_of(args: &Args) -> Result<Option<ContextMode>, String> {
+    args.flags
+        .get("context")
+        .map(|v| ContextMode::parse(v).ok_or_else(|| format!("--context: unknown mode `{v}`")))
+        .transpose()
+}
+
 fn cmd_vars(args: &Args) -> Result<(), String> {
     let path = args
         .positional
@@ -262,8 +273,9 @@ fn cmd_vars(args: &Args) -> Result<(), String> {
     } else {
         FeatureView::Stripped
     };
+    let mode = context_of(args)?.unwrap_or_default();
     let ex = if lenient_of(args)? {
-        let lenient = extract_lenient(&binary, view);
+        let lenient = extract_lenient_mode(&binary, view, mode);
         for diag in &lenient.diagnostics.entries {
             eprintln!("warning: {diag}");
         }
@@ -278,7 +290,7 @@ fn cmd_vars(args: &Args) -> Result<(), String> {
         }
         lenient.extraction
     } else {
-        extract(&binary, view).map_err(|e| e.to_string())?
+        extract_mode(&binary, view, mode).map_err(|e| e.to_string())?
     };
     println!(
         "{:<6} {:>8}  {:<24} {:>5}",
@@ -306,7 +318,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             .ok_or("train requires --corpus DIR")?,
     );
     let out = args.flags.get("out").ok_or("train requires --out MODEL")?;
-    let (config, _) = scale_of(args);
+    let (mut config, _) = scale_of(args);
+    if let Some(mode) = context_of(args)? {
+        config = config.with_context_mode(mode);
+    }
     let manifest: Vec<serde_json::Value> = serde_json::from_slice(
         &std::fs::read(corpus_dir.join("manifest.json")).map_err(|e| e.to_string())?,
     )
@@ -421,6 +436,11 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     if let Some(t) = args.flags.get("threads") {
         cati.config.threads = t.parse().unwrap_or(0);
     }
+    // Default to the context mode the model was trained with; an
+    // explicit --context overrides (e.g. to probe mode mismatch).
+    if let Some(mode) = context_of(args)? {
+        cati.config.context_mode = mode;
+    }
     // Opt-in quantized inference: snap the weights before anything is
     // embedded or cached. Deterministic, but not bit-identical to the
     // f32 model — see DESIGN.md §15.
@@ -456,6 +476,7 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
             "model": model.as_str(),
             "binary": path.as_str(),
             "mode": "lenient",
+            "context": cati.config.context_mode.name(),
             "quantize": quantize.map_or("none", |m| m.name()),
             "variables": inferred.len(),
             "cache_hits": recorder.metrics().counter_value("cache.hit"),
@@ -467,6 +488,7 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
             "model": model.as_str(),
             "binary": path.as_str(),
             "mode": "strict",
+            "context": cati.config.context_mode.name(),
             "quantize": quantize.map_or("none", |m| m.name()),
             "variables": inferred.len(),
             "cache_hits": recorder.metrics().counter_value("cache.hit"),
@@ -939,11 +961,11 @@ cati — context-assisted type inference from stripped binaries
 USAGE:
   cati build-corpus --out DIR [--scale small|medium|paper] [--compiler gcc|clang] [--seed N]
   cati disasm BINARY.json [--strip]
-  cati vars BINARY.json [--strict|--lenient]
+  cati vars BINARY.json [--strict|--lenient] [--context function|interproc]
   cati train --corpus DIR --out MODEL.cati [--scale small|medium|paper] [--threads N]
-             [--checkpoint-dir DIR] [--resume]
+             [--checkpoint-dir DIR] [--resume] [--context function|interproc]
   cati infer --model MODEL.cati BINARY.json [--strict|--lenient] [--json] [--threads N] [--cache-dir DIR]
-             [--quantize int8|f16]
+             [--quantize int8|f16] [--context function|interproc]
   cati fuzz [--seed N] [--mutants N] [--budget 60s] [--hang-limit-ms N] [--out DIR] [--replay CASE.json]
   cati serve --model MODEL.cati [--addr HOST:PORT] [--queue-capacity N] [--max-batch N] [--workers N]
              [--hang-limit-ms N] [--cache-dir DIR] [--threads N] [--manifest PATH]
@@ -951,6 +973,16 @@ USAGE:
   cati report CURRENT.json --bench-diff BASELINE.json [--threshold PCT] [--warn-only]
   cati convert --model MODEL --out FILE [--format cati1|cati1-v1|json]
   cati strip BINARY.json --out STRIPPED.json
+
+Context assembly (vars, train and infer):
+  --context function   (default) the paper's function-local VUC
+                       windows — out-of-range slots pad with BLANK.
+  --context interproc  splice callee prologues and caller
+                       continuations into the padding at call/ret
+                       boundaries when the variable flows through an
+                       argument or return register (DESIGN.md §17).
+                       `infer` defaults to the mode the model was
+                       trained with; the flag overrides it.
 
 Degradation modes (vars and infer):
   --strict (default)  refuse hostile input with a typed error — a

@@ -13,7 +13,8 @@
 
 use crate::dataset::embed_extraction;
 use cati_analysis::{
-    digest_binary, digest_bytes, extract_observed, Digest, ExtractError, Extraction, FeatureView,
+    digest_binary, digest_bytes, extract_mode_observed, ContextMode, Digest, ExtractError,
+    Extraction, FeatureView,
 };
 use cati_asm::binary::Binary;
 use cati_embedding::VucEmbedder;
@@ -26,8 +27,11 @@ use std::path::{Path, PathBuf};
 /// caches are silently misses instead of parse errors. Version 2
 /// added the integrity envelope (payload digest on the first line);
 /// version 3 switched embedding entries to the framed flat tensor
-/// encoding (`{rows, cols, data}`).
-const FORMAT_VERSION: u32 = 3;
+/// encoding (`{rows, cols, data}`); version 4 added the context-mode
+/// tag to both extraction and embedding keys, so a warm
+/// `FunctionLocal` cache can never serve an `Interprocedural` run of
+/// the same binary (and vice versa).
+const FORMAT_VERSION: u32 = 4;
 
 /// A directory of content-addressed extraction/embedding artifacts.
 #[derive(Debug, Clone)]
@@ -145,9 +149,8 @@ impl ArtifactCache {
         }
     }
 
-    /// The extraction of `binary` under `view`: loaded from the cache
-    /// when the binary's digest matches, otherwise extracted and
-    /// stored.
+    /// The extraction of `binary` under `view` in the baseline
+    /// ([`ContextMode::FunctionLocal`]) mode.
     ///
     /// # Errors
     ///
@@ -159,15 +162,35 @@ impl ArtifactCache {
         view: FeatureView,
         obs: &dyn Observer,
     ) -> Result<Extraction, ExtractError> {
+        self.extraction_mode(binary, view, ContextMode::FunctionLocal, obs)
+    }
+
+    /// The extraction of `binary` under `view` and `mode`: loaded
+    /// from the cache when the binary's digest matches (the key
+    /// carries the mode tag, so entries of one mode are invisible to
+    /// the other), otherwise extracted and stored.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a cache miss forces extraction and the binary's text
+    /// section does not decode.
+    pub fn extraction_mode(
+        &self,
+        binary: &Binary,
+        view: FeatureView,
+        mode: ContextMode,
+        obs: &dyn Observer,
+    ) -> Result<Extraction, ExtractError> {
         let file = format!(
-            "ext-v{FORMAT_VERSION}-{}-{}.json",
+            "ext-v{FORMAT_VERSION}-{}-{}-{}.json",
             digest_binary(binary),
-            view_tag(view)
+            view_tag(view),
+            mode.name()
         );
         if let Some(ex) = self.load(&file, obs) {
             return Ok(ex);
         }
-        let ex = extract_observed(binary, view, obs)?;
+        let ex = extract_mode_observed(binary, view, mode, obs)?;
         self.store(&file, &ex, obs);
         Ok(ex)
     }
@@ -184,10 +207,26 @@ impl ArtifactCache {
         ex: &Extraction,
         obs: &dyn Observer,
     ) -> Tensor {
+        self.embeddings_mode(binary, view, ContextMode::FunctionLocal, embedder, ex, obs)
+    }
+
+    /// [`ArtifactCache::embeddings`] keyed by context mode — the
+    /// embedded rows derive from the mode-dependent extraction, so
+    /// they need the same key separation.
+    pub fn embeddings_mode(
+        &self,
+        binary: &Binary,
+        view: FeatureView,
+        mode: ContextMode,
+        embedder: &VucEmbedder,
+        ex: &Extraction,
+        obs: &dyn Observer,
+    ) -> Tensor {
         let file = format!(
-            "emb-v{FORMAT_VERSION}-{}-{}-{}.json",
+            "emb-v{FORMAT_VERSION}-{}-{}-{}-{}.json",
             digest_binary(binary),
             view_tag(view),
+            mode.name(),
             embedder_fingerprint(embedder)
         );
         if let Some(xs) = self.load::<Tensor>(&file, obs) {
@@ -250,6 +289,60 @@ mod tests {
         assert!(m.counter_value("cache.bytes") > 0);
         // Only the cold embedding pass embedded anything.
         assert_eq!(m.counter_value("embed.windows"), direct.vucs.len() as u64);
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn warm_function_local_cache_never_hits_an_interproc_run() {
+        let corpus = cati_synbin::build_corpus(&cati_synbin::CorpusConfig::small(23));
+        let binary = &corpus.test[0].binary.strip();
+        let cache = temp_cache("modekey");
+        let warmup = Recorder::new(RecorderConfig::default());
+        // Warm the cache in FunctionLocal mode (twice: prove it's warm).
+        cache
+            .extraction(binary, FeatureView::Stripped, &warmup)
+            .unwrap();
+        cache
+            .extraction(binary, FeatureView::Stripped, &warmup)
+            .unwrap();
+        assert_eq!(warmup.metrics().counter_value("cache.hit"), 1);
+
+        // The same binary in Interprocedural mode must miss: the key
+        // carries the mode tag.
+        let rec = Recorder::new(RecorderConfig::default());
+        let inter = cache
+            .extraction_mode(
+                binary,
+                FeatureView::Stripped,
+                ContextMode::Interprocedural,
+                &rec,
+            )
+            .unwrap();
+        assert_eq!(rec.metrics().counter_value("cache.hit"), 0);
+        assert_eq!(rec.metrics().counter_value("cache.miss"), 1);
+        let direct = cati_analysis::extract_mode(
+            binary,
+            FeatureView::Stripped,
+            ContextMode::Interprocedural,
+        )
+        .unwrap();
+        assert_eq!(inter, direct);
+
+        // And both modes now coexist: each warm in its own key space.
+        let warm = Recorder::new(RecorderConfig::default());
+        cache
+            .extraction(binary, FeatureView::Stripped, &warm)
+            .unwrap();
+        cache
+            .extraction_mode(
+                binary,
+                FeatureView::Stripped,
+                ContextMode::Interprocedural,
+                &warm,
+            )
+            .unwrap();
+        assert_eq!(warm.metrics().counter_value("cache.hit"), 2);
+        assert_eq!(warm.metrics().counter_value("cache.miss"), 0);
         std::fs::remove_dir_all(cache.dir()).ok();
     }
 

@@ -1,10 +1,11 @@
 //! Pipeline configuration at three scales.
 
+use cati_analysis::ContextMode;
 use cati_embedding::W2vConfig;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Full CATI pipeline configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Deserialize)]
 pub struct Config {
     /// Word2Vec hyper-parameters.
     pub w2v: W2vConfig,
@@ -35,9 +36,63 @@ pub struct Config {
     pub threads: usize,
     /// Master seed.
     pub seed: u64,
+    /// How VUC windows treat the function boundary: the paper's
+    /// function-local padding, or interprocedural splicing. Missing
+    /// in serialized configs predating the field — deserializes as
+    /// [`ContextMode::FunctionLocal`].
+    pub context_mode: ContextMode,
+}
+
+// Hand-written so the baseline serialization is byte-identical to the
+// pre-`context_mode` era: the field is only emitted when it differs
+// from the default. Models, checkpoints and `config_digest` values
+// produced by FunctionLocal runs therefore never change, which the
+// golden-fixture and determinism tests pin.
+impl Serialize for Config {
+    fn to_value(&self) -> Value {
+        let mut m = serde::Map::new();
+        m.insert("w2v".to_string(), Serialize::to_value(&self.w2v));
+        m.insert("conv1".to_string(), Serialize::to_value(&self.conv1));
+        m.insert("conv2".to_string(), Serialize::to_value(&self.conv2));
+        m.insert("fc".to_string(), Serialize::to_value(&self.fc));
+        m.insert("epochs".to_string(), Serialize::to_value(&self.epochs));
+        m.insert("batch".to_string(), Serialize::to_value(&self.batch));
+        m.insert("lr".to_string(), Serialize::to_value(&self.lr));
+        m.insert(
+            "vote_threshold".to_string(),
+            Serialize::to_value(&self.vote_threshold),
+        );
+        m.insert(
+            "max_stage_samples".to_string(),
+            Serialize::to_value(&self.max_stage_samples),
+        );
+        m.insert(
+            "max_sentences".to_string(),
+            Serialize::to_value(&self.max_sentences),
+        );
+        m.insert(
+            "oversample_floor".to_string(),
+            Serialize::to_value(&self.oversample_floor),
+        );
+        m.insert("threads".to_string(), Serialize::to_value(&self.threads));
+        m.insert("seed".to_string(), Serialize::to_value(&self.seed));
+        if self.context_mode != ContextMode::FunctionLocal {
+            m.insert(
+                "context_mode".to_string(),
+                Serialize::to_value(&self.context_mode),
+            );
+        }
+        Value::Object(m)
+    }
 }
 
 impl Config {
+    /// This configuration with the given context-assembly mode.
+    pub fn with_context_mode(mut self, mode: ContextMode) -> Config {
+        self.context_mode = mode;
+        self
+    }
+
     /// Paper-scale hyper-parameters (§IV–§V): embed 32, window 5,
     /// CNN 32-64 + FC-1024, threshold 0.9.
     pub fn paper() -> Config {
@@ -55,6 +110,7 @@ impl Config {
             oversample_floor: 0.05,
             threads: 0,
             seed: 2020,
+            context_mode: ContextMode::FunctionLocal,
         }
     }
 
@@ -78,6 +134,7 @@ impl Config {
             oversample_floor: 0.05,
             threads: 0,
             seed: 2020,
+            context_mode: ContextMode::FunctionLocal,
         }
     }
 
@@ -115,6 +172,7 @@ impl Config {
             oversample_floor: 0.05,
             threads: 0,
             seed: 2020,
+            context_mode: ContextMode::FunctionLocal,
         }
     }
 }
@@ -135,5 +193,26 @@ mod tests {
         assert_eq!(p.conv1, 32);
         assert_eq!(p.conv2, 64);
         assert_eq!(p.fc, 1024);
+    }
+
+    #[test]
+    fn function_local_serialization_omits_context_mode() {
+        // The default mode must serialize exactly as the
+        // pre-context_mode schema did, or config digests, golden
+        // models and checkpoints would all shift.
+        let json = serde_json::to_string(&Config::small()).unwrap();
+        assert!(!json.contains("context_mode"), "{json}");
+        let back: Config = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Config::small());
+        assert_eq!(back.context_mode, ContextMode::FunctionLocal);
+    }
+
+    #[test]
+    fn interproc_config_round_trips() {
+        let cfg = Config::small().with_context_mode(ContextMode::Interprocedural);
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains("\"context_mode\":\"interproc\""), "{json}");
+        let back: Config = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
     }
 }

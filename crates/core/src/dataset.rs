@@ -1,7 +1,7 @@
 //! Dataset assembly: corpus → extractions → embedding sentences →
 //! per-stage training sets.
 
-use cati_analysis::{extract_observed, Extraction, FeatureView};
+use cati_analysis::{extract_mode_observed, ContextMode, Extraction, FeatureView};
 use cati_asm::generalize::generalize;
 use cati_dwarf::{StageId, TypeClass};
 use cati_embedding::VucEmbedder;
@@ -63,12 +63,31 @@ impl Dataset {
         cache: Option<&crate::artifact_cache::ArtifactCache>,
         obs: &dyn Observer,
     ) -> Dataset {
+        Dataset::from_binaries_mode(built, view, ContextMode::FunctionLocal, cache, obs)
+    }
+
+    /// [`Dataset::from_binaries_cached`] under an explicit
+    /// [`ContextMode`]. Cache keys incorporate the mode, so warm
+    /// function-local artifacts are never served to an
+    /// interprocedural run (or vice versa).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a binary fails to extract — corpus binaries are
+    /// produced by our own linker, so failure indicates a bug.
+    pub fn from_binaries_mode(
+        built: &[BuiltBinary],
+        view: FeatureView,
+        mode: ContextMode,
+        cache: Option<&crate::artifact_cache::ArtifactCache>,
+        obs: &dyn Observer,
+    ) -> Dataset {
         let entries = built
             .par_iter()
             .map(|b| {
                 let ex = match cache {
-                    Some(cache) => cache.extraction(&b.binary, view, obs),
-                    None => extract_observed(&b.binary, view, obs),
+                    Some(cache) => cache.extraction_mode(&b.binary, view, mode, obs),
+                    None => extract_mode_observed(&b.binary, view, mode, obs),
                 }
                 .expect("corpus binary must extract");
                 (b.app.clone(), ex)

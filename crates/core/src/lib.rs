@@ -56,7 +56,7 @@ pub mod shards;
 pub mod vote;
 
 pub use artifact_cache::{embedder_fingerprint, ArtifactCache};
-pub use cati_analysis::{CatiError, Coverage, Diagnostic, Diagnostics, PipelineStage};
+pub use cati_analysis::{CatiError, ContextMode, Coverage, Diagnostic, Diagnostics, PipelineStage};
 pub use cati_nn::{argmax, Rows, Tensor};
 pub use checkpoint::{CheckpointDir, CheckpointError, StageCheckpoint, TrainIdentity};
 pub use compiler_id::CompilerId;

@@ -11,8 +11,8 @@ use crate::session::EmbeddedExtraction;
 use crate::shards::{write_dataset_shards, ShardError, ShardSet};
 use crate::vote::{vote, VoteResult};
 use cati_analysis::{
-    extract_lenient_observed, extract_observed, Coverage, Diagnostics, ExtractError, Extraction,
-    FeatureView, VarKey,
+    extract_lenient_mode_observed, extract_mode_observed, Coverage, Diagnostics, ExtractError,
+    Extraction, FeatureView, VarKey,
 };
 use cati_asm::binary::Binary;
 use cati_dwarf::{StageId, TypeClass};
@@ -93,7 +93,13 @@ impl Cati {
             cati_obs::info!(obs, "extracting {} training binaries", train.len());
             let dataset = {
                 let _span = SpanGuard::enter(obs, "extract");
-                Dataset::from_binaries_observed(train, FeatureView::WithSymbols, obs)
+                Dataset::from_binaries_mode(
+                    train,
+                    FeatureView::WithSymbols,
+                    config.context_mode,
+                    None,
+                    obs,
+                )
             };
             cati_obs::info!(
                 obs,
@@ -167,7 +173,13 @@ impl Cati {
                     {
                         let dataset = {
                             let _span = SpanGuard::enter(obs, "extract");
-                            Dataset::from_binaries_observed(train, FeatureView::WithSymbols, obs)
+                            Dataset::from_binaries_mode(
+                                train,
+                                FeatureView::WithSymbols,
+                                config.context_mode,
+                                None,
+                                obs,
+                            )
                         };
                         write_dataset_shards(&dataset, &embedder, &shards_dir, 0, obs)?;
                         (embedder, ShardSet::open(&shards_dir)?)
@@ -179,7 +191,13 @@ impl Cati {
                     cati_obs::info!(obs, "extracting {} training binaries", train.len());
                     let dataset = {
                         let _span = SpanGuard::enter(obs, "extract");
-                        Dataset::from_binaries_observed(train, FeatureView::WithSymbols, obs)
+                        Dataset::from_binaries_mode(
+                            train,
+                            FeatureView::WithSymbols,
+                            config.context_mode,
+                            None,
+                            obs,
+                        )
                     };
                     let embedder = {
                         let _span = SpanGuard::enter(obs, "embed");
@@ -393,15 +411,23 @@ impl Cati {
         obs: &dyn Observer,
     ) -> Result<Vec<InferredVar>, ExtractError> {
         let _span = SpanGuard::enter(obs, "infer");
+        let mode = self.config.context_mode;
         let ex = match cache {
-            Some(cache) => cache.extraction(binary, FeatureView::Stripped, obs)?,
-            None => extract_observed(binary, FeatureView::Stripped, obs)?,
+            Some(cache) => cache.extraction_mode(binary, FeatureView::Stripped, mode, obs)?,
+            None => extract_mode_observed(binary, FeatureView::Stripped, mode, obs)?,
         };
         let eval = self.config.with_threads(|| {
             let session = match cache {
                 Some(c) => EmbeddedExtraction::from_embeddings(
                     &ex,
-                    c.embeddings(binary, FeatureView::Stripped, &self.embedder, &ex, obs),
+                    c.embeddings_mode(
+                        binary,
+                        FeatureView::Stripped,
+                        mode,
+                        &self.embedder,
+                        &ex,
+                        obs,
+                    ),
                 ),
                 None => EmbeddedExtraction::new_observed(&self.embedder, &ex, obs),
             };
@@ -448,7 +474,12 @@ impl Cati {
     /// the coverage is complete.
     pub fn infer_lenient_observed(&self, binary: &Binary, obs: &dyn Observer) -> InferReport {
         let _span = SpanGuard::enter(obs, "infer");
-        let lenient = extract_lenient_observed(binary, FeatureView::Stripped, obs);
+        let lenient = extract_lenient_mode_observed(
+            binary,
+            FeatureView::Stripped,
+            self.config.context_mode,
+            obs,
+        );
         let eval = self.config.with_threads(|| {
             let session =
                 EmbeddedExtraction::new_observed(&self.embedder, &lenient.extraction, obs);

@@ -30,7 +30,7 @@ use crate::http::{Request, RequestError, Response};
 use crate::timeout::HangLimit;
 use cati::{encode_cati1, ArtifactCache, Cati, Coverage, Diagnostics, InferReport, Tensor};
 use cati_analysis::{
-    digest_bytes, extract_lenient_observed, extract_observed, Extraction, FeatureView,
+    digest_bytes, extract_lenient_mode_observed, extract_mode_observed, Extraction, FeatureView,
 };
 use cati_asm::binary::Binary;
 use cati_obs::metrics::{MetricsSnapshot, DEFAULT_BUCKETS};
@@ -764,16 +764,18 @@ fn process_batch(state: &Arc<ServeState>, model: &ModelSlot, jobs: Vec<Job>) {
             continue;
         }
         let embed_t0 = Instant::now();
+        let mode = cati.config.context_mode;
         let (ex, report) = if job.lenient {
-            let lenient = extract_lenient_observed(&job.binary, FeatureView::Stripped, obs);
+            let lenient =
+                extract_lenient_mode_observed(&job.binary, FeatureView::Stripped, mode, obs);
             (
                 lenient.extraction,
                 Some((lenient.coverage, lenient.diagnostics)),
             )
         } else {
             let extracted = match &state.cache {
-                Some(cache) => cache.extraction(&job.binary, FeatureView::Stripped, obs),
-                None => extract_observed(&job.binary, FeatureView::Stripped, obs),
+                Some(cache) => cache.extraction_mode(&job.binary, FeatureView::Stripped, mode, obs),
+                None => extract_mode_observed(&job.binary, FeatureView::Stripped, mode, obs),
             };
             match extracted {
                 Ok(ex) => (ex, None),
@@ -787,9 +789,14 @@ fn process_batch(state: &Arc<ServeState>, model: &ModelSlot, jobs: Vec<Job>) {
             }
         };
         let xs = match (&state.cache, job.lenient) {
-            (Some(cache), false) => {
-                cache.embeddings(&job.binary, FeatureView::Stripped, &cati.embedder, &ex, obs)
-            }
+            (Some(cache), false) => cache.embeddings_mode(
+                &job.binary,
+                FeatureView::Stripped,
+                mode,
+                &cati.embedder,
+                &ex,
+                obs,
+            ),
             _ => {
                 let xs = cati::dataset::embed_extraction(&ex, &cati.embedder);
                 obs.event(&Event::Counter {

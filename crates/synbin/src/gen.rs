@@ -944,7 +944,7 @@ fn generate_function(
         };
         let wrap = ctx.rng.gen_range(0..10);
         let mut episode_stmts = Vec::new();
-        if ctx.rng.gen_bool(0.12) {
+        if ctx.rng.gen_bool(profile.call_density) {
             ctx.call_episode(&mut episode_stmts);
         } else {
             ctx.episode(id, &mut episode_stmts);
@@ -1059,6 +1059,41 @@ mod tests {
         let pa = generate_program("x", &profile, &mut a);
         let pb = generate_program("x", &profile, &mut b);
         assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn call_density_knob_densifies_call_episodes() {
+        fn count_calls(profile: &AppProfile, seed: u64) -> usize {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut calls = 0;
+            for i in 0..8 {
+                let p = generate_program(&format!("p{i}"), profile, &mut rng);
+                for f in &p.functions {
+                    calls += f
+                        .walk_stmts()
+                        .into_iter()
+                        .filter(|s| {
+                            matches!(
+                                s,
+                                Stmt::CallStmt { .. }
+                                    | Stmt::Assign {
+                                        rhs: Rhs::Call(..),
+                                        ..
+                                    }
+                            )
+                        })
+                        .count();
+                }
+            }
+            calls
+        }
+        let base = AppProfile::new("dense");
+        let dense = AppProfile::new("dense").with_call_density(0.40);
+        assert_eq!(base.call_density, 0.12);
+        assert!(
+            count_calls(&dense, 23) > count_calls(&base, 23),
+            "raising call_density must yield more call episodes"
+        );
     }
 
     #[test]

@@ -96,6 +96,81 @@ fn every_mutator_class_degrades_honestly_at_extraction() {
     }
 }
 
+/// Interprocedural lenient extraction under corruption: a corrupt
+/// callee must degrade its splices back to the function-local BLANKs
+/// instead of poisoning caller windows, and splicing must never move
+/// variable identity — on any mutant, the surviving `VarKey`s are the
+/// same set in both context modes, and every slot the function-local
+/// window fills is byte-identical in the interprocedural window.
+#[test]
+fn interproc_lenient_degrades_splices_without_poisoning() {
+    use cati_analysis::{extract_lenient_mode, extract_mode, ContextMode};
+    use cati_asm::generalize::GenInsn;
+    let (_, corpus) = trained();
+    let blank = GenInsn::blank();
+    for (bi, built) in corpus.test.iter().take(2).enumerate() {
+        // Clean baseline: lenient interproc equals strict interproc.
+        let strict = extract_mode(
+            &built.binary.strip(),
+            FeatureView::Stripped,
+            ContextMode::Interprocedural,
+        )
+        .unwrap();
+        let clean = extract_lenient_mode(
+            &built.binary.strip(),
+            FeatureView::Stripped,
+            ContextMode::Interprocedural,
+        );
+        assert_eq!(strict.vars, clean.extraction.vars, "clean lenient drifted");
+        assert_eq!(strict.vucs, clean.extraction.vucs, "clean lenient drifted");
+
+        for kind in MutationKind::ALL {
+            for s in 0..2u64 {
+                let seed = 5000 * (bi as u64 + 1) + s;
+                let (mutant, record) = cati_synbin::mutate(&built.binary, kind, seed);
+                let ip = extract_lenient_mode(
+                    &mutant,
+                    FeatureView::Stripped,
+                    ContextMode::Interprocedural,
+                );
+                let fl = extract_lenient_mode(
+                    &mutant,
+                    FeatureView::Stripped,
+                    ContextMode::FunctionLocal,
+                );
+                let ip_keys: Vec<_> = ip.extraction.vars.iter().map(|v| v.key).collect();
+                let fl_keys: Vec<_> = fl.extraction.vars.iter().map(|v| v.key).collect();
+                assert_eq!(
+                    ip_keys, fl_keys,
+                    "context mode changed surviving variable identity on {record}"
+                );
+                assert_eq!(
+                    ip.extraction.vucs.len(),
+                    fl.extraction.vucs.len(),
+                    "context mode changed VUC count on {record}"
+                );
+                for (wi, (iw, fw)) in ip
+                    .extraction
+                    .vucs
+                    .iter()
+                    .zip(&fl.extraction.vucs)
+                    .enumerate()
+                {
+                    for (slot, (is_, fs)) in iw.insns.iter().zip(&fw.insns).enumerate() {
+                        if *fs != blank {
+                            assert_eq!(
+                                is_, fs,
+                                "window {wi} slot {slot}: splicing rewrote a local \
+                                 instruction on {record}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Model-level sweep: one seed per mutator class through full strict
 /// and lenient inference. Lenient inference must return a partial
 /// result whose coverage matches the report.

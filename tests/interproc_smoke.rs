@@ -1,0 +1,106 @@
+//! Interprocedural-context smoke: both context modes train and infer
+//! end-to-end on a small multi-function corpus, and the
+//! function-local output is pinned byte-for-byte against a committed
+//! baseline — the whole-pipeline proof that the `ContextAssembler`
+//! refactor left the paper's mode untouched. CI runs this as the
+//! `interproc-smoke` step.
+
+use cati::obs::{Recorder, RecorderConfig, NOOP};
+use cati::{Cati, Config, ContextMode};
+use cati_synbin::{build_corpus, Corpus, CorpusConfig};
+use std::path::PathBuf;
+
+/// Corpus seed of the committed baseline. Distinct from every other
+/// fixture seed so unrelated harness tweaks never silently alter this
+/// baseline's provenance.
+const FIXTURE_SEED: u64 = 53;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/interproc")
+}
+
+fn fixture_corpus() -> Corpus {
+    build_corpus(&CorpusConfig::small(FIXTURE_SEED))
+}
+
+fn train(corpus: &Corpus, mode: ContextMode) -> Cati {
+    let config = Config::small().with_context_mode(mode);
+    Cati::train(&corpus.train[..2], &config, &NOOP)
+}
+
+/// Sorted predictions over the first stripped test binary, pretty
+/// JSON — the byte-for-byte comparison currency of the baseline.
+fn predictions(cati: &Cati, corpus: &Corpus) -> String {
+    let stripped = corpus.test[0].binary.strip();
+    let mut vars = cati.infer(&stripped).expect("smoke inference");
+    vars.sort_by_key(|v| (v.key.func, v.key.offset));
+    serde_json::to_string_pretty(&serde_json::to_value(&vars).expect("predictions to JSON"))
+        .expect("render predictions")
+}
+
+#[test]
+fn function_local_output_matches_committed_baseline() {
+    let corpus = fixture_corpus();
+    let cati = train(&corpus, ContextMode::FunctionLocal);
+    let recorded = std::fs::read_to_string(fixture_dir().join("function_local_predictions.json"))
+        .expect("read function_local_predictions.json (regenerate with --ignored)");
+    assert_eq!(
+        predictions(&cati, &corpus),
+        recorded,
+        "function-local end-to-end output drifted from the committed baseline"
+    );
+}
+
+#[test]
+fn interproc_mode_trains_infers_and_actually_splices() {
+    let corpus = fixture_corpus();
+    let cati = train(&corpus, ContextMode::Interprocedural);
+    assert_eq!(cati.config.context_mode, ContextMode::Interprocedural);
+
+    // The mode round-trips through the model container.
+    let dir = std::env::temp_dir().join(format!("cati_ip_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ip.cati");
+    cati.save(&path).unwrap();
+    let loaded = Cati::load(&path).expect("interproc model must load");
+    assert_eq!(loaded.config.context_mode, ContextMode::Interprocedural);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Inference works and the extraction it runs truly splices: the
+    // window counters across the test split must show spliced slots.
+    let rec = Recorder::new(RecorderConfig::default());
+    let mut inferred_total = 0usize;
+    for built in &corpus.test {
+        inferred_total += cati
+            .infer_observed(&built.binary.strip(), &rec)
+            .expect("interproc inference")
+            .len();
+    }
+    assert!(inferred_total > 0, "interproc inference typed no variables");
+    let spliced = rec.metrics().counter_value("extract.windows_spliced");
+    assert!(
+        spliced > 0,
+        "no window was spliced across the whole test split"
+    );
+}
+
+/// Regenerates the committed baseline. Run explicitly after an
+/// intended change to the function-local pipeline:
+///
+/// ```sh
+/// cargo test -p cati --test interproc_smoke -- --ignored
+/// ```
+#[test]
+#[ignore = "writes tests/fixtures/interproc; run explicitly to regenerate"]
+fn regenerate_function_local_baseline() {
+    let corpus = fixture_corpus();
+    let cati = train(&corpus, ContextMode::FunctionLocal);
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("function_local_predictions.json"),
+        predictions(&cati, &corpus),
+    )
+    .unwrap();
+    println!("regenerated {}", dir.display());
+}

@@ -162,6 +162,70 @@ fn deleting_a_function_keeps_remaining_votes_bit_identical() {
     );
 }
 
+/// Interprocedural extension of the deletion property: splicing makes
+/// windows depend on call *edges*, so deleting a function that is
+/// never called and itself calls nothing must still change no
+/// surviving window or vote — there was no edge to lose.
+#[test]
+fn deleting_an_uncalled_function_changes_no_interproc_window() {
+    let (_, corpus) = trained();
+    let mut tested = 0usize;
+    for built in corpus.test.iter().chain(corpus.train.iter()) {
+        let bin = &built.binary;
+        let insns = match bin.disassemble() {
+            Ok(i) => i,
+            Err(_) => continue,
+        };
+        let ranges = split_functions(&insns, bin);
+        if ranges.len() < 2 {
+            continue;
+        }
+        let bodies: Vec<Option<&[cati_asm::codec::Located]>> = ranges
+            .iter()
+            .map(|&(start, end)| Some(&insns[start..end]))
+            .collect();
+        let graph = cati_analysis::CallGraph::build(&bodies);
+        let last = (ranges.len() - 1) as u32;
+        // Only the isolated case carries the property: an uncalled
+        // function with no outgoing local calls sits on no edge, so
+        // no splice anywhere can reference it.
+        let isolated = !graph.is_called(last) && !graph.sites().iter().any(|s| s.caller == last);
+        if !isolated {
+            continue;
+        }
+        let (small, last_idx) = drop_last_function(bin);
+        assert_eq!(last_idx, last);
+        let full = cati_analysis::extract_mode(
+            bin,
+            FeatureView::Stripped,
+            cati_analysis::ContextMode::Interprocedural,
+        )
+        .unwrap();
+        let cut = cati_analysis::extract_mode(
+            &small,
+            FeatureView::Stripped,
+            cati_analysis::ContextMode::Interprocedural,
+        )
+        .unwrap();
+        let expected: Vec<&Variable> = full.vars.iter().filter(|v| v.key.func != last).collect();
+        assert_eq!(cut.vars.len(), expected.len(), "{}", bin.name);
+        for (got, want) in cut.vars.iter().zip(&expected) {
+            assert_eq!(got.key, want.key, "{}: variable identity moved", bin.name);
+            assert_eq!(
+                windows_of(&cut, got),
+                windows_of(&full, want),
+                "{}: an interproc window of a surviving variable changed",
+                bin.name
+            );
+        }
+        tested += 1;
+    }
+    assert!(
+        tested >= 1,
+        "no binary ended in an isolated function; property untested"
+    );
+}
+
 /// Inserts runs of undecodable bytes between function bodies and
 /// shifts the symbols accordingly; returns the padded binary and the
 /// number of junk bytes inserted.
